@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation (DESIGN.md): the cost model's two roles in Heron —
+ * key-variable extraction for CGA crossover (vs CGA-1's random key
+ * variables) and epsilon-greedy measurement selection (vs uniform
+ * random selection).
+ *
+ * Expected shape: full Heron on top; random measurement selection
+ * costs more than random key variables at moderate budgets.
+ */
+#include "bench_common.h"
+
+using namespace heron;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv, 150);
+    auto spec = hw::DlaSpec::v100();
+    auto config = options.tune_config();
+    auto workload = ops::gemm(512, 1024, 1024);
+
+    struct Variant {
+        std::string label;
+        autotune::HeronAblation ablation;
+    };
+    std::vector<Variant> variants;
+    {
+        autotune::HeronAblation a;
+        a.label = "Heron (full)";
+        variants.push_back({a.label, a});
+    }
+    {
+        autotune::HeronAblation a;
+        a.label = "random key vars (CGA-1)";
+        a.random_key_vars = true;
+        variants.push_back({a.label, a});
+    }
+    {
+        autotune::HeronAblation a;
+        a.label = "random measure selection";
+        a.random_measure_selection = true;
+        variants.push_back({a.label, a});
+    }
+    {
+        autotune::HeronAblation a;
+        a.label = "both random";
+        a.random_key_vars = true;
+        a.random_measure_selection = true;
+        variants.push_back({a.label, a});
+    }
+
+    std::printf("Model-guidance ablation on %s, %d trials, 3 "
+                "seeds\n\n",
+                workload.name.c_str(), options.trials);
+    TextTable t({"variant", "mean best GFLOP/s", "rel. to full"});
+    t.set_title("Cost-model guidance ablation");
+    double full_mean = 0;
+    for (const auto &variant : variants) {
+        RunningStat best;
+        for (uint64_t s = 0; s < 3; ++s) {
+            auto cfg = config;
+            cfg.seed = options.seed + s;
+            auto tuner = autotune::make_heron_tuner_ablated(
+                spec, cfg, variant.ablation);
+            best.push(tuner->tune(workload).result.best_gflops);
+        }
+        if (variant.label == "Heron (full)")
+            full_mean = best.mean();
+        t.add_row({variant.label, TextTable::fmt(best.mean(), 0),
+                   TextTable::fmt(full_mean > 0
+                                      ? best.mean() / full_mean
+                                      : 0,
+                                  3)});
+        std::fprintf(stderr, "  [%s] done\n",
+                     variant.label.c_str());
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation (DESIGN.md): contribution of individual generation-rule
+ * families to Heron's results. Disables one rule family at a time
+ * and reports best performance and the valid-program rate of the
+ * resulting space on a GEMM and a C2D workload.
+ *
+ * Expected shape: disabling memory constraints (C5) tanks validity;
+ * disabling multi-level caches (S2) or tensorize (S1) tanks
+ * performance; disabling storage_align or vthread costs a smaller
+ * factor.
+ */
+#include "bench_common.h"
+
+using namespace heron;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv, 150);
+    auto spec = hw::DlaSpec::v100();
+    auto config = options.tune_config();
+
+    std::vector<ops::Workload> workloads = {
+        ops::gemm(512, 1024, 1024),
+        ops::c2d(16, 64, 28, 28, 64, 3, 3, 1, 1),
+    };
+
+    struct Variant {
+        std::string label;
+        autotune::HeronAblation ablation;
+    };
+    std::vector<Variant> variants;
+    auto add = [&](std::string label,
+                   void (*mutate)(rules::Options &)) {
+        autotune::HeronAblation ablation;
+        ablation.label = label;
+        mutate(ablation.options);
+        variants.push_back({std::move(label), std::move(ablation)});
+    };
+    add("full", [](rules::Options &) {});
+    add("no-tensorize (S1)",
+        [](rules::Options &o) { o.enable_tensorize = false; });
+    add("no-multilevel-cache (S2)", [](rules::Options &o) {
+        o.enable_multi_level_cache = false;
+    });
+    add("no-mem-constraints (C5)", [](rules::Options &o) {
+        o.enable_mem_constraints = false;
+    });
+    add("no-storage-align",
+        [](rules::Options &o) { o.enable_storage_align = false; });
+    add("no-vthread",
+        [](rules::Options &o) { o.enable_vthread = false; });
+    add("fixed-attach (no C4 SELECT)",
+        [](rules::Options &o) { o.tunable_attach = false; });
+
+    std::printf("Rule ablation: Heron variants, %d trials\n\n",
+                options.trials);
+    TextTable t({"variant", "workload", "best GFLOP/s",
+                 "rel. to full", "valid%"});
+    t.set_title("Generation-rule ablation (V100 TensorCore)");
+    for (const auto &w : workloads) {
+        double full_best = 0;
+        for (const auto &variant : variants) {
+            auto tuner = autotune::make_heron_tuner_ablated(
+                spec, config, variant.ablation);
+            auto o = tuner->tune(w);
+            if (variant.label == "full")
+                full_best = o.result.best_gflops;
+            double valid_pct =
+                o.result.total_measured
+                    ? 100.0 * (double)o.result.valid_count /
+                          (double)o.result.total_measured
+                    : 0.0;
+            t.add_row({variant.label, w.name,
+                       TextTable::fmt(o.result.best_gflops, 0),
+                       TextTable::fmt(full_best > 0
+                                          ? o.result.best_gflops /
+                                                full_best
+                                          : 0,
+                                      3),
+                       TextTable::fmt(valid_pct, 1)});
+            std::fprintf(stderr, "  [%s] %s done\n",
+                         variant.label.c_str(), w.name.c_str());
+        }
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    return 0;
+}

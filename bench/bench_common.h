@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench binary prints the rows/series of one paper artifact.
+ * Budgets default to a laptop-scale fraction of the paper's 2000
+ * trials; pass --trials N (or set HERON_BENCH_TRIALS) to raise
+ * them, and --quick to shrink them for smoke runs.
+ */
+#ifndef HERON_BENCH_BENCH_COMMON_H
+#define HERON_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autotune/tuner.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace heron::bench {
+
+/** Command-line options common to all benches. */
+struct BenchOptions {
+    int trials = 150;
+    uint64_t seed = 1;
+    bool quick = false;
+
+    static BenchOptions
+    parse(int argc, char **argv, int default_trials = 150)
+    {
+        BenchOptions options;
+        options.trials = default_trials;
+        if (const char *env = std::getenv("HERON_BENCH_TRIALS"))
+            options.trials = std::atoi(env);
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
+                options.trials = std::atoi(argv[++i]);
+            } else if (!std::strcmp(argv[i], "--seed") &&
+                       i + 1 < argc) {
+                options.seed =
+                    static_cast<uint64_t>(std::atoll(argv[++i]));
+            } else if (!std::strcmp(argv[i], "--quick")) {
+                options.quick = true;
+                options.trials = std::max(20, options.trials / 5);
+            }
+        }
+        return options;
+    }
+
+    autotune::TuneConfig
+    tune_config() const
+    {
+        autotune::TuneConfig config;
+        config.trials = trials;
+        config.seed = seed;
+        return config;
+    }
+};
+
+/** One tuner's best GFLOP/s per workload. */
+struct SuiteRow {
+    std::string tuner;
+    std::vector<double> gflops; // parallel to the workload list
+};
+
+/**
+ * Run a set of tuners over a workload suite; returns best GFLOP/s
+ * per (tuner, workload), 0 when unsupported or nothing valid.
+ */
+inline std::vector<SuiteRow>
+run_suite(const std::vector<std::unique_ptr<autotune::Tuner>> &tuners,
+          const std::vector<ops::Workload> &workloads)
+{
+    std::vector<SuiteRow> rows;
+    for (const auto &tuner : tuners) {
+        SuiteRow row;
+        row.tuner = tuner->name();
+        for (const auto &w : workloads) {
+            double gflops = 0.0;
+            if (tuner->supports(w)) {
+                auto outcome = tuner->tune(w);
+                gflops = outcome.result.best_gflops;
+            }
+            row.gflops.push_back(gflops);
+            std::fprintf(stderr, "  [%s] %s: %.1f GFLOP/s\n",
+                         row.tuner.c_str(), w.name.c_str(), gflops);
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/**
+ * Print the paper's "performance relative to Heron" view: one row
+ * per tuner, one column per workload, plus the geomean column
+ * (computed over workloads where both sides produced a program).
+ */
+inline void
+print_relative_table(const std::string &title,
+                     const std::vector<ops::Workload> &workloads,
+                     const std::vector<SuiteRow> &rows,
+                     const std::string &reference = "Heron")
+{
+    const SuiteRow *ref = nullptr;
+    for (const auto &row : rows)
+        if (row.tuner == reference)
+            ref = &row;
+    if (!ref) {
+        std::printf("reference tuner %s missing\n",
+                    reference.c_str());
+        return;
+    }
+
+    std::vector<std::string> headers{"tuner"};
+    for (const auto &w : workloads)
+        headers.push_back(w.name);
+    headers.push_back("geomean-rel");
+    TextTable table(headers);
+    table.set_title(title);
+    for (const auto &row : rows) {
+        std::vector<std::string> cells{row.tuner};
+        std::vector<double> rels;
+        for (size_t i = 0; i < workloads.size(); ++i) {
+            double mine = row.gflops[i];
+            double base = ref->gflops[i];
+            if (mine <= 0 || base <= 0) {
+                cells.push_back("n/a");
+                continue;
+            }
+            double rel = mine / base;
+            rels.push_back(rel);
+            cells.push_back(TextTable::fmt(rel, 3));
+        }
+        cells.push_back(rels.empty()
+                            ? std::string("n/a")
+                            : TextTable::fmt(geomean(rels), 3));
+        table.add_row(std::move(cells));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+}
+
+/** Print absolute GFLOP/s (paper Fig. 7 also reports absolutes). */
+inline void
+print_absolute_table(const std::string &title,
+                     const std::vector<ops::Workload> &workloads,
+                     const std::vector<SuiteRow> &rows)
+{
+    std::vector<std::string> headers{"tuner"};
+    for (const auto &w : workloads)
+        headers.push_back(w.name);
+    TextTable table(headers);
+    table.set_title(title);
+    for (const auto &row : rows) {
+        std::vector<std::string> cells{row.tuner};
+        for (double g : row.gflops)
+            cells.push_back(g > 0 ? TextTable::fmt(g, 0)
+                                  : std::string("n/a"));
+        table.add_row(std::move(cells));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+}
+
+} // namespace heron::bench
+
+#endif // HERON_BENCH_BENCH_COMMON_H

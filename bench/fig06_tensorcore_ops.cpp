@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paper Fig. 6: operator performance on V100 TensorCore, relative
+ * to Heron, against AutoTVM, Ansor, AMOS, and the hand-tuned
+ * PyTorch/cuDNN/cuBLAS library.
+ *
+ * Expected shape (paper): Heron wins on average with ~1.55x over
+ * AutoTVM, ~2.85x over Ansor (no TensorCore access), ~1.52x over
+ * AMOS, and ~2.69x over the vendor library, with vendor/ AMOS
+ * competitive on a few shapes.
+ */
+#include "bench_common.h"
+
+using namespace heron;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv, 150);
+    auto spec = hw::DlaSpec::v100();
+    auto config = options.tune_config();
+
+    auto suite = ops::tensorcore_op_suite();
+    if (options.quick)
+        suite.resize(6);
+
+    std::vector<std::unique_ptr<autotune::Tuner>> tuners;
+    tuners.push_back(autotune::make_heron_tuner(spec, config));
+    tuners.push_back(autotune::make_autotvm_tuner(spec, config));
+    tuners.push_back(autotune::make_ansor_tuner(spec, config));
+    tuners.push_back(autotune::make_amos_tuner(spec, config));
+    tuners.push_back(autotune::make_vendor_library(spec, config));
+
+    std::printf("Fig. 6 reproduction: %zu operators on V100 "
+                "TensorCore, %d trials per tuner\n\n",
+                suite.size(), options.trials);
+    auto rows = bench::run_suite(tuners, suite);
+    bench::print_relative_table(
+        "Fig. 6: performance relative to Heron (V100 TensorCore)",
+        suite, rows);
+    bench::print_absolute_table("Absolute GFLOP/s", suite, rows);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Paper Fig. 7 + Table 9: GEMM (G1-G5) and C2D (C1-C5) on NVIDIA T4
+ * and A100, including the AKG polyhedral baseline and absolute
+ * throughput (hardware-utilization view).
+ *
+ * Expected shape: Heron consistently on top on both GPUs;
+ * exploration-based approaches scale across platforms while the
+ * fixed vendor/AKG schedules shift in relative quality.
+ */
+#include "bench_common.h"
+
+using namespace heron;
+
+namespace {
+
+void
+run_platform(const hw::DlaSpec &spec,
+             const bench::BenchOptions &options)
+{
+    auto config = options.tune_config();
+    auto workloads = ops::table9_gemm();
+    auto convs = ops::table9_conv();
+    workloads.insert(workloads.end(), convs.begin(), convs.end());
+    if (options.quick)
+        workloads.resize(4);
+
+    std::vector<std::unique_ptr<autotune::Tuner>> tuners;
+    tuners.push_back(autotune::make_heron_tuner(spec, config));
+    tuners.push_back(autotune::make_autotvm_tuner(spec, config));
+    tuners.push_back(autotune::make_ansor_tuner(spec, config));
+    tuners.push_back(autotune::make_amos_tuner(spec, config));
+    tuners.push_back(autotune::make_akg_tuner(spec, config));
+    tuners.push_back(autotune::make_vendor_library(spec, config));
+
+    std::printf("\n==== %s ====\n", spec.name.c_str());
+    auto rows = bench::run_suite(tuners, workloads);
+    bench::print_relative_table(
+        "Fig. 7: performance relative to Heron (" + spec.name + ")",
+        workloads, rows);
+    bench::print_absolute_table(
+        "Fig. 7 absolute GFLOP/s (" + spec.name + ", peak " +
+            TextTable::fmt(spec.peak_gmacs() * 2.0, 0) + ")",
+        workloads, rows);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv, 120);
+    std::printf("Fig. 7 / Table 9 reproduction: %d trials per "
+                "tuner per case\n",
+                options.trials);
+    run_platform(hw::DlaSpec::t4(), options);
+    run_platform(hw::DlaSpec::a100(), options);
+    return 0;
+}

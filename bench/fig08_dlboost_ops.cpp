@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Paper Fig. 8: operator performance on Intel DL Boost (VNNI int8)
+ * relative to Heron, against AutoTVM, Ansor, AMOS, and oneDNN.
+ *
+ * Expected shape (paper): ~2.93x over AutoTVM, ~12x over Ansor
+ * (fp32 scalar path), ~2.71x over AMOS (shallow mapping templates,
+ * no packed layouts), ~1.49x over oneDNN.
+ */
+#include "bench_common.h"
+
+using namespace heron;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv, 150);
+    auto spec = hw::DlaSpec::dlboost();
+    auto config = options.tune_config();
+
+    auto suite = ops::dlboost_op_suite();
+    if (options.quick)
+        suite.resize(5);
+
+    std::vector<std::unique_ptr<autotune::Tuner>> tuners;
+    tuners.push_back(autotune::make_heron_tuner(spec, config));
+    tuners.push_back(autotune::make_autotvm_tuner(spec, config));
+    tuners.push_back(autotune::make_ansor_tuner(spec, config));
+    tuners.push_back(autotune::make_amos_tuner(spec, config));
+    tuners.push_back(autotune::make_vendor_library(spec, config));
+
+    std::printf("Fig. 8 reproduction: %zu operators on DL Boost, "
+                "%d trials per tuner\n\n",
+                suite.size(), options.trials);
+    auto rows = bench::run_suite(tuners, suite);
+    bench::print_relative_table(
+        "Fig. 8: performance relative to Heron (Intel DL Boost)",
+        suite, rows);
+    bench::print_absolute_table("Absolute GOP/s", suite, rows);
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Paper Fig. 9: GEMM, C2D, and BMM on the TVM VTA accelerator,
+ * Heron vs AutoTVM (the only baseline that targets VTA).
+ *
+ * Expected shape (paper): ~2.32x average; near parity on C2D
+ * (simple flexible GEMM units make the space easy), larger wins on
+ * GEMM/BMM through deeper multi-level tiling under the buffer and
+ * accumulator write-gap constraints.
+ */
+#include "bench_common.h"
+
+using namespace heron;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv, 150);
+    auto spec = hw::DlaSpec::vta();
+    auto config = options.tune_config();
+
+    auto suite = ops::vta_op_suite();
+
+    std::vector<std::unique_ptr<autotune::Tuner>> tuners;
+    tuners.push_back(autotune::make_heron_tuner(spec, config));
+    tuners.push_back(autotune::make_autotvm_tuner(spec, config));
+
+    std::printf("Fig. 9 reproduction: %zu operators on VTA, %d "
+                "trials per tuner\n\n",
+                suite.size(), options.trials);
+    auto rows = bench::run_suite(tuners, suite);
+    bench::print_relative_table(
+        "Fig. 9: performance relative to Heron (VTA)", suite, rows);
+    bench::print_absolute_table("Absolute GOP/s", suite, rows);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Paper Fig. 10: whole-network performance on TensorCore (batch 16)
+ * for ResNet-50, Inception-V3, VGG-16, and BERT, relative to Heron,
+ * against AutoTVM, AMOS, and PyTorch-cuDNN.
+ *
+ * Expected shape (paper): Heron ~1.69x over AutoTVM, ~1.46x over
+ * AMOS, ~1.44x over PyTorch-cuDNN, with the largest library gap on
+ * the 3x3-convolution-only VGG-16.
+ */
+#include "autotune/network.h"
+#include "bench_common.h"
+
+using namespace heron;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv, 40);
+    auto spec = hw::DlaSpec::v100();
+    auto config = options.tune_config();
+
+    auto networks = ops::all_networks(16);
+    if (options.quick) {
+        for (auto &net : networks)
+            if (net.layers.size() > 6)
+                net.layers.resize(6);
+    }
+
+    std::vector<std::unique_ptr<autotune::Tuner>> tuners;
+    tuners.push_back(autotune::make_heron_tuner(spec, config));
+    tuners.push_back(autotune::make_autotvm_tuner(spec, config));
+    tuners.push_back(autotune::make_amos_tuner(spec, config));
+    tuners.push_back(autotune::make_vendor_library(spec, config));
+
+    std::printf("Fig. 10 reproduction: 4 networks on V100 "
+                "TensorCore, %d trials per layer\n\n",
+                options.trials);
+
+    std::vector<std::string> headers{"tuner"};
+    for (const auto &net : networks)
+        headers.push_back(net.name);
+    headers.push_back("geomean-rel");
+    TextTable table(headers);
+    table.set_title(
+        "Fig. 10: network latency relative to Heron (lower ratio = "
+        "slower than Heron)");
+
+    std::vector<double> heron_latency;
+    for (const auto &tuner : tuners) {
+        std::vector<std::string> cells{tuner->name()};
+        std::vector<double> rels;
+        for (size_t n = 0; n < networks.size(); ++n) {
+            auto outcome = autotune::tune_network(*tuner,
+                                                  networks[n]);
+            std::fprintf(stderr, "  [%s] %s: %.2f ms\n",
+                         tuner->name().c_str(),
+                         networks[n].name.c_str(),
+                         outcome.total_latency_ms);
+            if (tuner->name() == "Heron") {
+                heron_latency.push_back(outcome.total_latency_ms);
+                cells.push_back(TextTable::fmt(1.0, 3));
+                rels.push_back(1.0);
+            } else {
+                double rel =
+                    heron_latency[n] / outcome.total_latency_ms;
+                rels.push_back(rel);
+                cells.push_back(TextTable::fmt(rel, 3));
+            }
+        }
+        cells.push_back(TextTable::fmt(geomean(rels), 3));
+        table.add_row(std::move(cells));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    return 0;
+}

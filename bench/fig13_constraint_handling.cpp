@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Paper Fig. 13: CGA vs other constraint-handling GA techniques
+ * across GEMM problem sizes (N, N, N):
+ *
+ *   CGA-1  CGA with randomly chosen key variables
+ *   GA-1   stochastic ranking (Runarsson & Yao)
+ *   GA-2   SAT-decoder (Lukasiewycz et al.)
+ *   GA-3   infeasibility-driven multi-objective (Ray et al.)
+ *
+ * Expected shape: CGA on top; CGA-1 close behind with a gap that
+ * shrinks at large N; GA-2 competitive at small N but degrading
+ * with size; GA-1/GA-3 behind (they cannot guarantee valid
+ * offspring).
+ */
+#include "bench_common.h"
+#include "search/algorithms.h"
+#include "search/cga.h"
+
+using namespace heron;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv, 150);
+    std::vector<int64_t> sizes{128, 256, 512, 1024, 2048};
+    if (options.quick)
+        sizes = {128, 512};
+
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+
+    search::SearchConfig sc;
+    sc.trials = options.trials;
+    sc.seed = options.seed;
+
+    std::vector<std::string> headers{"algorithm"};
+    for (int64_t n : sizes)
+        headers.push_back("N=" + std::to_string(n));
+    TextTable t(headers);
+    t.set_title("Fig. 13: performance relative to CGA on GEMM "
+                "(N, N, N), " +
+                std::to_string(options.trials) + " trials");
+
+    struct Algo {
+        const char *name;
+        std::function<search::SearchResult(
+            const rules::GeneratedSpace &, hw::Measurer &)>
+            run;
+    };
+    std::vector<Algo> algos = {
+        {"CGA",
+         [&](const rules::GeneratedSpace &s, hw::Measurer &m) {
+             return search::cga_search(s, m, sc, false);
+         }},
+        {"CGA-1",
+         [&](const rules::GeneratedSpace &s, hw::Measurer &m) {
+             return search::cga_search(s, m, sc, true);
+         }},
+        {"GA-1",
+         [&](const rules::GeneratedSpace &s, hw::Measurer &m) {
+             return search::stochastic_ranking_ga(s, m, sc);
+         }},
+        {"GA-2",
+         [&](const rules::GeneratedSpace &s, hw::Measurer &m) {
+             return search::sat_decoder_ga(s, m, sc);
+         }},
+        {"GA-3",
+         [&](const rules::GeneratedSpace &s, hw::Measurer &m) {
+             return search::multi_objective_ga(s, m, sc);
+         }},
+    };
+
+    // best gflops per (algo, size)
+    std::vector<std::vector<double>> best(
+        algos.size(), std::vector<double>(sizes.size(), 0.0));
+    for (size_t si = 0; si < sizes.size(); ++si) {
+        auto space = gen.generate(
+            ops::gemm(sizes[si], sizes[si], sizes[si]));
+        for (size_t ai = 0; ai < algos.size(); ++ai) {
+            hw::Measurer m(space.spec);
+            auto result = algos[ai].run(space, m);
+            best[ai][si] = result.best_gflops;
+            std::fprintf(stderr, "  [%s] N=%ld: %.1f GFLOP/s\n",
+                         algos[ai].name, (long)sizes[si],
+                         result.best_gflops);
+        }
+    }
+
+    for (size_t ai = 0; ai < algos.size(); ++ai) {
+        std::vector<std::string> cells{algos[ai].name};
+        for (size_t si = 0; si < sizes.size(); ++si) {
+            double rel = best[0][si] > 0
+                             ? best[ai][si] / best[0][si]
+                             : 0.0;
+            cells.push_back(TextTable::fmt(rel, 3));
+        }
+        t.add_row(std::move(cells));
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    return 0;
+}

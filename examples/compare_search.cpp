@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Search-algorithm comparison example: run CGA against classic
+ * constraint-handling techniques on one constrained space and print
+ * the best-so-far trajectories side by side — a minimal version of
+ * the paper's Fig. 12/13 experiments using the public search API.
+ *
+ * Run: ./build/examples/compare_search [trials]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "hw/measurer.h"
+#include "search/algorithms.h"
+#include "search/cga.h"
+
+using namespace heron;
+
+int
+main(int argc, char **argv)
+{
+    int trials = argc > 1 ? std::atoi(argv[1]) : 200;
+
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    auto space = gen.generate(ops::c2d(16, 128, 28, 28, 128, 3, 3,
+                                       1, 1));
+    std::printf("Space: %zu vars, %zu constraints, %zu tunables; "
+                "%d trials per algorithm\n\n",
+                space.csp.num_vars(), space.csp.num_constraints(),
+                space.csp.tunable_vars().size(), trials);
+
+    search::SearchConfig config;
+    config.trials = trials;
+
+    struct Entry {
+        const char *name;
+        search::SearchResult result;
+    };
+    std::vector<Entry> entries;
+    {
+        hw::Measurer m(space.spec);
+        entries.push_back(
+            {"CGA", search::cga_search(space, m, config)});
+    }
+    {
+        hw::Measurer m(space.spec);
+        entries.push_back(
+            {"SAT-decoder GA",
+             search::sat_decoder_ga(space, m, config)});
+    }
+    {
+        hw::Measurer m(space.spec);
+        entries.push_back(
+            {"stochastic-ranking GA",
+             search::stochastic_ranking_ga(space, m, config)});
+    }
+    {
+        hw::Measurer m(space.spec);
+        entries.push_back(
+            {"random (RandSAT)",
+             search::random_search(space, m, config)});
+    }
+
+    std::printf("%-22s %8s %12s  trajectory (best GFLOP/s at 20%% "
+                "steps)\n",
+                "algorithm", "valid%", "best");
+    for (const auto &e : entries) {
+        std::printf("%-22s %7.1f%% %12.0f  ", e.name,
+                    100.0 * (double)e.result.valid_count /
+                        (double)e.result.total_measured,
+                    e.result.best_gflops);
+        const auto &h = e.result.history;
+        for (int pct = 20; pct <= 100; pct += 20) {
+            size_t i = std::min(
+                h.size() - 1,
+                static_cast<size_t>(h.size() * pct / 100));
+            std::printf("%8.0f", h[i]);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * heron_tune: command-line tuning driver.
+ *
+ * Tune one operator for one DLA from the shell, print the winning
+ * schedule and generated kernel source, and optionally append the
+ * result to a JSON-lines tuning log.
+ *
+ * Usage:
+ *   heron_tune --dla v100|t4|a100|dlboost|vta
+ *              --op gemm|gemv|bmm|c1d|c2d|c3d|t2d|dil|scan
+ *              --shape M,N,K (operator-specific parameter list)
+ *              [--trials N] [--seed S] [--tuner heron|autotvm|
+ *               ansor|amos|akg|vendor] [--log FILE] [--emit]
+ *
+ * Examples:
+ *   heron_tune --dla v100 --op gemm --shape 512,1024,1024
+ *   heron_tune --dla dlboost --op c2d \
+ *              --shape 16,64,56,56,64,3,3,1,1,1 --trials 400
+ *   heron_tune --dla vta --op gemm --shape 256,256,256 --emit
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "autotune/record.h"
+#include "autotune/tuner.h"
+#include "codegen/emitter.h"
+#include "schedule/concrete.h"
+
+using namespace heron;
+
+namespace {
+
+struct CliArgs {
+    std::string dla = "v100";
+    std::string op = "gemm";
+    std::string tuner = "heron";
+    std::vector<int64_t> shape;
+    int trials = 200;
+    uint64_t seed = 1;
+    std::string log_path;
+    bool emit = false;
+};
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "heron_tune: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: heron_tune --dla <v100|t4|a100|dlboost|vta>"
+                 " --op <gemm|gemv|bmm|c1d|c2d|c3d|t2d|dil|scan>"
+                 " --shape <comma-separated>"
+                 " [--trials N] [--seed S]"
+                 " [--tuner heron|autotvm|ansor|amos|akg|vendor]"
+                 " [--log FILE] [--emit]\n");
+    std::exit(2);
+}
+
+CliArgs
+parse(int argc, char **argv)
+{
+    CliArgs args;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) {
+            if (i + 1 >= argc)
+                usage((std::string(flag) + " needs a value").c_str());
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--dla")) {
+            args.dla = need("--dla");
+        } else if (!std::strcmp(argv[i], "--op")) {
+            args.op = need("--op");
+        } else if (!std::strcmp(argv[i], "--tuner")) {
+            args.tuner = need("--tuner");
+        } else if (!std::strcmp(argv[i], "--shape")) {
+            std::istringstream in(need("--shape"));
+            std::string token;
+            while (std::getline(in, token, ','))
+                args.shape.push_back(std::atoll(token.c_str()));
+        } else if (!std::strcmp(argv[i], "--trials")) {
+            args.trials = std::atoi(need("--trials"));
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            args.seed = static_cast<uint64_t>(
+                std::atoll(need("--seed")));
+        } else if (!std::strcmp(argv[i], "--log")) {
+            args.log_path = need("--log");
+        } else if (!std::strcmp(argv[i], "--emit")) {
+            args.emit = true;
+        } else {
+            usage((std::string("unknown flag ") + argv[i]).c_str());
+        }
+    }
+    return args;
+}
+
+hw::DlaSpec
+spec_for(const std::string &name)
+{
+    if (name == "v100")
+        return hw::DlaSpec::v100();
+    if (name == "t4")
+        return hw::DlaSpec::t4();
+    if (name == "a100")
+        return hw::DlaSpec::a100();
+    if (name == "dlboost")
+        return hw::DlaSpec::dlboost();
+    if (name == "vta")
+        return hw::DlaSpec::vta();
+    usage("unknown --dla");
+}
+
+ops::Workload
+workload_for(const CliArgs &args, const hw::DlaSpec &spec)
+{
+    ir::DataType dt = spec.kind == hw::DlaKind::kTensorCore
+                          ? ir::DataType::kFloat16
+                          : ir::DataType::kInt8;
+    const auto &s = args.shape;
+    auto want = [&](size_t n, const char *fmt) {
+        if (s.size() != n)
+            usage((std::string("--shape for this op must be ") +
+                   fmt)
+                      .c_str());
+    };
+    if (args.op == "gemm") {
+        want(3, "M,N,K");
+        return ops::gemm(s[0], s[1], s[2], dt);
+    }
+    if (args.op == "gemv") {
+        want(2, "M,K");
+        return ops::gemv(s[0], s[1], dt);
+    }
+    if (args.op == "bmm") {
+        want(4, "B,M,N,K");
+        return ops::bmm(s[0], s[1], s[2], s[3], dt);
+    }
+    if (args.op == "c1d") {
+        want(7, "N,CI,L,CO,KW,stride,pad");
+        return ops::c1d(s[0], s[1], s[2], s[3], s[4], s[5], s[6],
+                        dt);
+    }
+    if (args.op == "c2d") {
+        want(9, "N,CI,H,W,CO,R,S,stride,pad");
+        return ops::c2d(s[0], s[1], s[2], s[3], s[4], s[5], s[6],
+                        s[7], s[8], dt);
+    }
+    if (args.op == "c3d") {
+        want(11, "N,CI,D,H,W,CO,KD,R,S,stride,pad");
+        return ops::c3d(s[0], s[1], s[2], s[3], s[4], s[5], s[6],
+                        s[7], s[8], s[9], s[10], dt);
+    }
+    if (args.op == "t2d") {
+        want(9, "N,CI,H,W,CO,R,S,stride,pad");
+        return ops::t2d(s[0], s[1], s[2], s[3], s[4], s[5], s[6],
+                        s[7], s[8], dt);
+    }
+    if (args.op == "dil") {
+        want(10, "N,CI,H,W,CO,R,S,stride,pad,dilation");
+        return ops::dil(s[0], s[1], s[2], s[3], s[4], s[5], s[6],
+                        s[7], s[8], s[9], dt);
+    }
+    if (args.op == "scan") {
+        want(2, "N,L");
+        return ops::scan(s[0], s[1]);
+    }
+    usage("unknown --op");
+}
+
+std::unique_ptr<autotune::Tuner>
+tuner_for(const CliArgs &args, const hw::DlaSpec &spec)
+{
+    autotune::TuneConfig config;
+    config.trials = args.trials;
+    config.seed = args.seed;
+    if (args.tuner == "heron")
+        return autotune::make_heron_tuner(spec, config);
+    if (args.tuner == "autotvm")
+        return autotune::make_autotvm_tuner(spec, config);
+    if (args.tuner == "ansor")
+        return autotune::make_ansor_tuner(spec, config);
+    if (args.tuner == "amos")
+        return autotune::make_amos_tuner(spec, config);
+    if (args.tuner == "akg")
+        return autotune::make_akg_tuner(spec, config);
+    if (args.tuner == "vendor")
+        return autotune::make_vendor_library(spec, config);
+    usage("unknown --tuner");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args = parse(argc, argv);
+    if (args.shape.empty())
+        usage("--shape is required");
+
+    hw::DlaSpec spec = spec_for(args.dla);
+    ops::Workload workload = workload_for(args, spec);
+    auto tuner = tuner_for(args, spec);
+    if (!tuner->supports(workload)) {
+        std::fprintf(stderr, "%s does not support %s on %s\n",
+                     tuner->name().c_str(), workload.name.c_str(),
+                     spec.name.c_str());
+        return 1;
+    }
+
+    std::printf("Tuning %s on %s with %s (%d trials)...\n",
+                workload.label().c_str(), spec.name.c_str(),
+                tuner->name().c_str(), args.trials);
+    auto outcome = tuner->tune(workload);
+    if (!outcome.result.found()) {
+        std::printf("No valid program found.\n");
+        return 1;
+    }
+    std::printf("Best: %.4f ms, %.0f GFLOP/s (peak %.0f); %lld/%lld "
+                "measurements valid; compile %.1f s (%.1f s "
+                "measuring)\n",
+                outcome.result.best_latency_ms,
+                outcome.result.best_gflops, spec.peak_gmacs() * 2.0,
+                static_cast<long long>(outcome.result.valid_count),
+                static_cast<long long>(
+                    outcome.result.total_measured),
+                outcome.compile_seconds(), outcome.measure_seconds);
+
+    rules::SpaceGenerator generator(spec, rules::Options::heron());
+    auto space = generator.generate(workload);
+    if (space.csp.num_vars() == outcome.result.best.size()) {
+        auto program = space.bind(outcome.result.best);
+        std::printf("\n%s", program.to_string().c_str());
+        if (args.emit)
+            std::printf("\n%s",
+                        codegen::emit_source(space, program).c_str());
+    }
+
+    if (!args.log_path.empty() &&
+        space.csp.num_vars() == outcome.result.best.size()) {
+        autotune::TuningRecord record;
+        record.workload = workload.name;
+        record.dla = spec.name;
+        record.tuner = tuner->name();
+        record.latency_ms = outcome.result.best_latency_ms;
+        record.gflops = outcome.result.best_gflops;
+        record.assignment = outcome.result.best;
+        std::ofstream log(args.log_path, std::ios::app);
+        log << record.to_json() << "\n";
+        std::printf("\nAppended record to %s\n",
+                    args.log_path.c_str());
+    }
+    return 0;
+}

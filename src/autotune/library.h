@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Library building: the end-to-end "generate a high-performance
+ * library" flow the paper's title promises. A LibraryBuilder tunes
+ * a set of workloads for one DLA and packages the winners as
+ * generated kernel sources plus a C++ dispatch header.
+ */
+#ifndef HERON_AUTOTUNE_LIBRARY_H
+#define HERON_AUTOTUNE_LIBRARY_H
+
+#include <string>
+#include <vector>
+
+#include "autotune/tuner.h"
+
+namespace heron::autotune {
+
+/** One tuned kernel of the generated library. */
+struct LibraryEntry {
+    ops::Workload workload;
+    std::string kernel_name;
+    csp::Assignment best;
+    double latency_ms = 0.0;
+    double gflops = 0.0;
+    /** Target-idiom kernel source (see codegen::emit_source). */
+    std::string source;
+    bool tuned = false;
+};
+
+/** A generated library for one DLA. */
+struct Library {
+    hw::DlaSpec spec;
+    std::vector<LibraryEntry> entries;
+
+    /**
+     * The public header of the generated library: one entry point
+     * per kernel plus a by-shape dispatch helper, the artifact a
+     * downstream user links against.
+     */
+    std::string emit_header(const std::string &library_name) const;
+
+    /** Human-readable build report. */
+    std::string summary() const;
+};
+
+/** Tunes a workload set and emits the library. */
+class LibraryBuilder
+{
+  public:
+    LibraryBuilder(hw::DlaSpec spec, TuneConfig config);
+
+    /** Queue a workload. */
+    void add(ops::Workload workload);
+
+    /** Number of queued workloads. */
+    size_t size() const { return workloads_.size(); }
+
+    /** Tune everything and package the results. */
+    Library build();
+
+  private:
+    hw::DlaSpec spec_;
+    TuneConfig config_;
+    std::vector<ops::Workload> workloads_;
+};
+
+} // namespace heron::autotune
+
+#endif // HERON_AUTOTUNE_LIBRARY_H

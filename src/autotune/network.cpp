@@ -1,0 +1,49 @@
+#include "autotune/network.h"
+
+#include "support/logging.h"
+
+namespace heron::autotune {
+
+NetworkOutcome
+tune_network(Tuner &tuner, const ops::Network &network,
+             double fallback_factor)
+{
+    NetworkOutcome outcome;
+    outcome.tuner = tuner.name();
+    outcome.network = network.name;
+
+    const hw::DlaSpec &spec = tuner.spec();
+    for (const auto &layer : network.layers) {
+        LayerOutcome lo;
+        lo.layer = layer.workload.name;
+        lo.count = layer.count;
+
+        double fallback_ms =
+            static_cast<double>(layer.workload.flops()) /
+            (2.0 * spec.peak_gmacs() * 1e9) * 1e3 * fallback_factor;
+        // A memory-bound floor keeps tiny layers from rounding to
+        // zero cost.
+        fallback_ms = std::max(fallback_ms, 0.01);
+
+        if (!tuner.supports(layer.workload)) {
+            lo.latency_ms = fallback_ms;
+            ++outcome.unsupported_layers;
+        } else {
+            auto result = tuner.tune(layer.workload);
+            outcome.compile_seconds += result.compile_seconds();
+            if (result.result.found()) {
+                lo.latency_ms = result.result.best_latency_ms;
+                lo.tuned = true;
+            } else {
+                lo.latency_ms = fallback_ms;
+                ++outcome.unsupported_layers;
+            }
+        }
+        outcome.total_latency_ms +=
+            lo.latency_ms * static_cast<double>(lo.count);
+        outcome.layers.push_back(std::move(lo));
+    }
+    return outcome;
+}
+
+} // namespace heron::autotune

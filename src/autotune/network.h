@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Whole-network tuning (paper §7.2): tune each distinct layer with
+ * a per-layer budget, then sum occurrence-weighted best latencies.
+ */
+#ifndef HERON_AUTOTUNE_NETWORK_H
+#define HERON_AUTOTUNE_NETWORK_H
+
+#include <string>
+#include <vector>
+
+#include "autotune/tuner.h"
+#include "ops/networks.h"
+
+namespace heron::autotune {
+
+/** Per-layer tuning record. */
+struct LayerOutcome {
+    std::string layer;
+    int count = 1;
+    double latency_ms = 0.0;
+    bool tuned = false;
+};
+
+/** Whole-network result. */
+struct NetworkOutcome {
+    std::string tuner;
+    std::string network;
+    std::vector<LayerOutcome> layers;
+    /** Sum of count * per-layer latency. */
+    double total_latency_ms = 0.0;
+    double compile_seconds = 0.0;
+    /** Layers the tuner could not handle. */
+    int unsupported_layers = 0;
+};
+
+/**
+ * Tune every distinct layer of @p network with @p tuner.
+ * Unsupported or failed layers are charged @p fallback_factor times
+ * the best latency any tuner could plausibly reach (a pessimistic
+ * eager-fallback runtime), keeping totals comparable.
+ */
+NetworkOutcome tune_network(Tuner &tuner,
+                            const ops::Network &network,
+                            double fallback_factor = 4.0);
+
+} // namespace heron::autotune
+
+#endif // HERON_AUTOTUNE_NETWORK_H

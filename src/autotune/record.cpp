@@ -1,0 +1,152 @@
+#include "autotune/record.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace heron::autotune {
+
+namespace {
+
+/** Escape a string for our JSON subset. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * Extract the value of "key": from a one-line JSON object. Returns
+ * the raw token (string contents without quotes, or the number /
+ * array text). nullopt when absent.
+ */
+std::optional<std::string>
+extract(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    pos += needle.size();
+    while (pos < line.size() && line[pos] == ' ')
+        ++pos;
+    if (pos >= line.size())
+        return std::nullopt;
+    if (line[pos] == '"') {
+        std::string value;
+        for (size_t i = pos + 1; i < line.size(); ++i) {
+            if (line[i] == '\\' && i + 1 < line.size()) {
+                value += line[++i];
+                continue;
+            }
+            if (line[i] == '"')
+                return value;
+            value += line[i];
+        }
+        return std::nullopt;
+    }
+    if (line[pos] == '[') {
+        size_t end = line.find(']', pos);
+        if (end == std::string::npos)
+            return std::nullopt;
+        return line.substr(pos + 1, end - pos - 1);
+    }
+    size_t end = pos;
+    while (end < line.size() && line[end] != ',' &&
+           line[end] != '}')
+        ++end;
+    return line.substr(pos, end - pos);
+}
+
+} // namespace
+
+std::string
+TuningRecord::to_json() const
+{
+    std::ostringstream out;
+    out << "{\"workload\":\"" << escape(workload) << "\","
+        << "\"dla\":\"" << escape(dla) << "\","
+        << "\"tuner\":\"" << escape(tuner) << "\","
+        << "\"latency_ms\":" << latency_ms << ","
+        << "\"gflops\":" << gflops << ",\"assignment\":[";
+    for (size_t i = 0; i < assignment.size(); ++i)
+        out << (i ? "," : "") << assignment[i];
+    out << "]}";
+    return out.str();
+}
+
+std::optional<TuningRecord>
+TuningRecord::from_json(const std::string &line)
+{
+    TuningRecord record;
+    auto workload = extract(line, "workload");
+    auto dla = extract(line, "dla");
+    auto tuner = extract(line, "tuner");
+    auto latency = extract(line, "latency_ms");
+    auto gflops = extract(line, "gflops");
+    auto assignment = extract(line, "assignment");
+    if (!workload || !dla || !tuner || !latency || !gflops ||
+        !assignment)
+        return std::nullopt;
+    record.workload = *workload;
+    record.dla = *dla;
+    record.tuner = *tuner;
+    record.latency_ms = std::atof(latency->c_str());
+    record.gflops = std::atof(gflops->c_str());
+
+    std::istringstream values(*assignment);
+    std::string token;
+    while (std::getline(values, token, ',')) {
+        if (token.empty())
+            continue;
+        record.assignment.push_back(std::atoll(token.c_str()));
+    }
+    return record;
+}
+
+std::string
+write_records(const std::vector<TuningRecord> &records)
+{
+    std::ostringstream out;
+    for (const auto &record : records)
+        out << record.to_json() << "\n";
+    return out.str();
+}
+
+std::vector<TuningRecord>
+read_records(const std::string &text)
+{
+    std::vector<TuningRecord> records;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        auto record = TuningRecord::from_json(line);
+        if (record)
+            records.push_back(std::move(*record));
+        else
+            HERON_WARN << "skipping malformed tuning record";
+    }
+    return records;
+}
+
+std::optional<hw::MeasureResult>
+replay(const TuningRecord &record,
+       const rules::GeneratedSpace &space, hw::Measurer &measurer)
+{
+    if (record.assignment.size() != space.csp.num_vars())
+        return std::nullopt;
+    if (!space.csp.valid(record.assignment))
+        return std::nullopt;
+    return measurer.measure(space.bind(record.assignment));
+}
+
+} // namespace heron::autotune

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tuning records: persist best configurations as JSON-lines (the
+ * AutoTVM-log workflow) so tuned libraries can be rebuilt, shipped,
+ * or replayed without re-searching.
+ */
+#ifndef HERON_AUTOTUNE_RECORD_H
+#define HERON_AUTOTUNE_RECORD_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csp/csp.h"
+#include "hw/measurer.h"
+#include "rules/space_generator.h"
+
+namespace heron::autotune {
+
+/** One persisted tuning result. */
+struct TuningRecord {
+    std::string workload;
+    std::string dla;
+    std::string tuner;
+    double latency_ms = 0.0;
+    double gflops = 0.0;
+    csp::Assignment assignment;
+
+    /** One-line JSON encoding. */
+    std::string to_json() const;
+
+    /** Parse a line produced by to_json(); nullopt on malformed
+     * input. */
+    static std::optional<TuningRecord>
+    from_json(const std::string &line);
+};
+
+/** Serialize records as JSON lines. */
+std::string write_records(const std::vector<TuningRecord> &records);
+
+/** Parse JSON-lines text; malformed lines are skipped. */
+std::vector<TuningRecord> read_records(const std::string &text);
+
+/**
+ * Replay a record against a freshly generated space: bind its
+ * assignment and re-measure. Returns nullopt when the assignment
+ * no longer fits the space (e.g. generator options changed).
+ */
+std::optional<hw::MeasureResult>
+replay(const TuningRecord &record,
+       const rules::GeneratedSpace &space, hw::Measurer &measurer);
+
+} // namespace heron::autotune
+
+#endif // HERON_AUTOTUNE_RECORD_H

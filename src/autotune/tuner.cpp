@@ -1,0 +1,637 @@
+#include "autotune/tuner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "model/cost_model.h"
+#include "search/algorithms.h"
+#include "search/cga.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::autotune {
+
+using csp::Assignment;
+using csp::RandSatSolver;
+using csp::VarId;
+using schedule::LoopRole;
+using search::Evaluator;
+using search::SearchConfig;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+uint64_t
+hash_assignment(const Assignment &a)
+{
+    uint64_t h = 0x9e3779b9;
+    for (int64_t v : a)
+        h = hash_combine(h, static_cast<uint64_t>(v));
+    return h;
+}
+
+/** Common base: holds the DLA spec and config. */
+class TunerBase : public Tuner
+{
+  public:
+    TunerBase(hw::DlaSpec spec, TuneConfig config)
+        : spec_(std::move(spec)), config_(config)
+    {
+    }
+
+    bool
+    supports(const ops::Workload &workload) const override
+    {
+        if (spec_.kind == hw::DlaKind::kVta ||
+            spec_.kind == hw::DlaKind::kTpu)
+            return rules::workload_tensorizable(spec_, workload);
+        return true;
+    }
+
+    const hw::DlaSpec &spec() const override { return spec_; }
+
+  protected:
+    hw::DlaSpec spec_;
+    TuneConfig config_;
+
+    hw::MeasureConfig
+    measure_config() const
+    {
+        hw::MeasureConfig mc = config_.measure;
+        mc.seed = config_.seed * 7919 + 13;
+        return mc;
+    }
+};
+
+/** The full Heron pipeline (Algorithm 2), with ablation knobs. */
+class HeronTuner : public TunerBase
+{
+  public:
+    HeronTuner(hw::DlaSpec spec, TuneConfig config,
+               HeronAblation ablation)
+        : TunerBase(std::move(spec), config),
+          ablation_(std::move(ablation))
+    {
+    }
+
+    std::string name() const override { return ablation_.label; }
+
+    TuneOutcome
+    tune(const ops::Workload &workload) override
+    {
+        TuneOutcome outcome;
+        outcome.tuner = name();
+        outcome.workload = workload.name;
+
+        auto search_start = Clock::now();
+        rules::SpaceGenerator generator(spec_, ablation_.options);
+        auto space = generator.generate(workload);
+        RandSatSolver solver(space.csp);
+        hw::Measurer measurer(spec_, measure_config());
+        Evaluator evaluator(space, measurer);
+        model::CostModel model(space.csp);
+        Rng rng(config_.seed);
+        outcome.search_seconds += seconds_since(search_start);
+
+        std::unordered_set<uint64_t> measured;
+        // (assignment, measured score) for survivor selection.
+        std::vector<std::pair<Assignment, double>> archive;
+
+        while (evaluator.count() < config_.trials) {
+            auto round_start = Clock::now();
+            // Step 1: first generation = survivors + random valid.
+            std::vector<Assignment> pop;
+            {
+                std::vector<size_t> order(archive.size());
+                for (size_t i = 0; i < order.size(); ++i)
+                    order[i] = i;
+                std::stable_sort(
+                    order.begin(), order.end(),
+                    [&](size_t a, size_t b) {
+                        return archive[a].second > archive[b].second;
+                    });
+                size_t survivors = std::min<size_t>(
+                    order.size(),
+                    static_cast<size_t>(config_.population / 2));
+                for (size_t i = 0; i < survivors; ++i)
+                    pop.push_back(archive[order[i]].first);
+            }
+            int need = config_.population -
+                       static_cast<int>(pop.size());
+            for (auto &a : solver.solve_n(rng, std::max(need, 1)))
+                pop.push_back(std::move(a));
+            if (pop.empty())
+                break;
+
+            // Step 2: evolve for several generations on predicted
+            // fitness.
+            if (model.trained()) {
+                for (int g = 0; g < config_.generations; ++g) {
+                    auto model_start = Clock::now();
+                    std::vector<double> fitness;
+                    fitness.reserve(pop.size());
+                    for (const auto &a : pop)
+                        fitness.push_back(
+                            std::max(0.0, model.predict(a)));
+                    outcome.model_seconds +=
+                        seconds_since(model_start);
+
+                    auto parents = search::roulette_select(
+                        pop, fitness, config_.population, rng);
+                    auto offspring =
+                        search::constraint_crossover_mutation(
+                            space.csp, solver, model, parents,
+                            config_.population, config_.key_vars,
+                            ablation_.random_key_vars, rng);
+                    pop = std::move(parents);
+                    for (auto &child : offspring)
+                        pop.push_back(std::move(child));
+                }
+            }
+
+            // Step 3: epsilon-greedy measurement selection.
+            std::vector<Assignment> candidates;
+            for (auto &a : pop) {
+                uint64_t h = hash_assignment(a);
+                if (measured.count(h))
+                    continue;
+                candidates.push_back(std::move(a));
+            }
+            if (candidates.empty()) {
+                auto extra = solver.solve_n(rng, 4);
+                for (auto &a : extra)
+                    candidates.push_back(std::move(a));
+                if (candidates.empty())
+                    break;
+            }
+            int budget_left =
+                config_.trials - static_cast<int>(evaluator.count());
+            int to_measure = std::min(
+                {config_.measure_per_round, budget_left,
+                 static_cast<int>(candidates.size())});
+
+            std::vector<size_t> pick_order(candidates.size());
+            for (size_t i = 0; i < pick_order.size(); ++i)
+                pick_order[i] = i;
+            if (model.trained() &&
+                !ablation_.random_measure_selection) {
+                auto model_start = Clock::now();
+                std::vector<double> predicted(candidates.size());
+                for (size_t i = 0; i < candidates.size(); ++i)
+                    predicted[i] = model.predict(candidates[i]);
+                std::stable_sort(pick_order.begin(),
+                                 pick_order.end(),
+                                 [&](size_t a, size_t b) {
+                                     return predicted[a] >
+                                            predicted[b];
+                                 });
+                outcome.model_seconds += seconds_since(model_start);
+                // epsilon fraction replaced by random picks.
+                int random_picks = static_cast<int>(
+                    config_.epsilon * to_measure);
+                for (int i = 0; i < random_picks; ++i) {
+                    size_t j =
+                        rng.index(pick_order.size() -
+                                  static_cast<size_t>(i)) +
+                        static_cast<size_t>(i);
+                    std::swap(pick_order[static_cast<size_t>(i)],
+                              pick_order[j]);
+                }
+            } else {
+                rng.shuffle(pick_order);
+            }
+            outcome.search_seconds += seconds_since(round_start);
+
+            // Step 4: measure and update the model.
+            for (int i = 0; i < to_measure; ++i) {
+                const Assignment &a =
+                    candidates[pick_order[static_cast<size_t>(i)]];
+                double score = evaluator.measure(a);
+                measured.insert(hash_assignment(a));
+                model.add_scored_sample(a, score);
+                archive.emplace_back(a, score);
+            }
+            auto fit_start = Clock::now();
+            model.fit();
+            outcome.model_seconds += seconds_since(fit_start);
+        }
+
+        outcome.result = evaluator.result();
+        outcome.measure_seconds = measurer.simulated_seconds();
+        return outcome;
+    }
+
+  private:
+    HeronAblation ablation_;
+};
+
+/** Wraps one of the search-module algorithms over a fixed flavor. */
+class SearchTuner : public TunerBase
+{
+  public:
+    using Algorithm = search::SearchResult (*)(
+        const rules::GeneratedSpace &, hw::Measurer &,
+        const SearchConfig &);
+
+    SearchTuner(hw::DlaSpec spec, TuneConfig config,
+                std::string name, rules::Options options,
+                Algorithm algorithm)
+        : TunerBase(std::move(spec), config), name_(std::move(name)),
+          options_(options), algorithm_(algorithm)
+    {
+    }
+
+    std::string name() const override { return name_; }
+
+    bool
+    supports(const ops::Workload &workload) const override
+    {
+        if (spec_.kind == hw::DlaKind::kVta ||
+            spec_.kind == hw::DlaKind::kTpu) {
+            if (!options_.enable_tensorize)
+                return false; // no scalar fallback
+            return rules::workload_tensorizable(spec_, workload);
+        }
+        return true;
+    }
+
+    TuneOutcome
+    tune(const ops::Workload &workload) override
+    {
+        TuneOutcome outcome;
+        outcome.tuner = name_;
+        outcome.workload = workload.name;
+
+        auto start = Clock::now();
+        rules::SpaceGenerator generator(spec_, options_);
+        auto space = generator.generate(workload);
+        hw::Measurer measurer(spec_, measure_config());
+
+        SearchConfig sc;
+        sc.trials = config_.trials;
+        sc.population = config_.population;
+        sc.seed = config_.seed;
+        outcome.result = algorithm_(space, measurer, sc);
+        outcome.search_seconds = seconds_since(start);
+        outcome.measure_seconds = measurer.simulated_seconds();
+        return outcome;
+    }
+
+  private:
+    std::string name_;
+    rules::Options options_;
+    Algorithm algorithm_;
+};
+
+/** AMOS-like: model-ranked random sampling of valid mappings. */
+class AmosTuner : public TunerBase
+{
+  public:
+    AmosTuner(hw::DlaSpec spec, TuneConfig config)
+        : TunerBase(std::move(spec), config)
+    {
+    }
+
+    std::string name() const override { return "AMOS"; }
+
+    TuneOutcome
+    tune(const ops::Workload &workload) override
+    {
+        TuneOutcome outcome;
+        outcome.tuner = name();
+        outcome.workload = workload.name;
+
+        auto start = Clock::now();
+        rules::SpaceGenerator generator(spec_,
+                                        rules::Options::amos());
+        auto space = generator.generate(workload);
+        RandSatSolver solver(space.csp);
+        hw::Measurer measurer(spec_, measure_config());
+        Evaluator evaluator(space, measurer);
+        model::CostModel model(space.csp);
+        Rng rng(config_.seed);
+
+        while (evaluator.count() < config_.trials) {
+            auto pool =
+                solver.solve_n(rng, 3 * config_.measure_per_round);
+            if (pool.empty())
+                break;
+            std::vector<size_t> order(pool.size());
+            for (size_t i = 0; i < order.size(); ++i)
+                order[i] = i;
+            if (model.trained()) {
+                auto model_start = Clock::now();
+                std::vector<double> predicted(pool.size());
+                for (size_t i = 0; i < pool.size(); ++i)
+                    predicted[i] = model.predict(pool[i]);
+                std::stable_sort(order.begin(), order.end(),
+                                 [&](size_t a, size_t b) {
+                                     return predicted[a] >
+                                            predicted[b];
+                                 });
+                outcome.model_seconds += seconds_since(model_start);
+            } else {
+                rng.shuffle(order);
+            }
+            int budget_left =
+                config_.trials - static_cast<int>(evaluator.count());
+            int to_measure =
+                std::min({config_.measure_per_round, budget_left,
+                          static_cast<int>(pool.size())});
+            for (int i = 0; i < to_measure; ++i) {
+                const Assignment &a =
+                    pool[order[static_cast<size_t>(i)]];
+                double score = evaluator.measure(a);
+                model.add_scored_sample(a, score);
+            }
+            auto fit_start = Clock::now();
+            model.fit();
+            outcome.model_seconds += seconds_since(fit_start);
+        }
+        outcome.result = evaluator.result();
+        outcome.search_seconds =
+            seconds_since(start) - outcome.model_seconds;
+        outcome.measure_seconds = measurer.simulated_seconds();
+        return outcome;
+    }
+};
+
+/**
+ * A fixed-recipe scheduler: preferences per loop role decoded to
+ * the nearest feasible configuration. Used for both the vendor
+ * library stand-in and the AKG-like polyhedral heuristic, with
+ * different recipes.
+ */
+class RecipeTuner : public TunerBase
+{
+  public:
+    struct Recipe {
+        int64_t vthread = 1;
+        int64_t thread = 2;
+        int64_t spatial_serial = 4;
+        int64_t reduce_serial = 4;
+        int64_t buffer = 8;
+        int64_t intrinsic_spatial = 16;
+        int64_t vector_len = 8;
+        int64_t pad = 8;
+        int64_t unroll = 4;
+    };
+
+    RecipeTuner(hw::DlaSpec spec, TuneConfig config,
+                std::string name, std::vector<Recipe> recipes,
+                bool gemm_conv_only)
+        : TunerBase(std::move(spec), config), name_(std::move(name)),
+          recipes_(std::move(recipes)),
+          gemm_conv_only_(gemm_conv_only)
+    {
+        HERON_CHECK(!recipes_.empty());
+    }
+
+    std::string name() const override { return name_; }
+
+    bool
+    supports(const ops::Workload &workload) const override
+    {
+        if (gemm_conv_only_ &&
+            workload.kind != ops::OpKind::kGemm &&
+            workload.kind != ops::OpKind::kC2d)
+            return false;
+        return TunerBase::supports(workload);
+    }
+
+    TuneOutcome
+    tune(const ops::Workload &workload) override
+    {
+        TuneOutcome outcome;
+        outcome.tuner = name_;
+        outcome.workload = workload.name;
+
+        auto start = Clock::now();
+        rules::SpaceGenerator generator(spec_,
+                                        rules::Options::heron());
+        auto space = generator.generate(workload);
+        hw::Measurer measurer(spec_, measure_config());
+        Evaluator evaluator(space, measurer);
+        Rng rng(config_.seed);
+
+        // A library ships several kernel variants and dispatches by
+        // an internal heuristic; model that as trying each recipe.
+        for (const Recipe &recipe : recipes_) {
+            auto prefs = build_preferences(space, recipe);
+            auto a = search::solve_with_preferences(space.csp, prefs,
+                                                    rng);
+            if (a)
+                evaluator.measure(*a);
+            else
+                evaluator.measure_failure();
+        }
+        outcome.result = evaluator.result();
+        outcome.search_seconds = seconds_since(start);
+        outcome.measure_seconds = measurer.simulated_seconds();
+        return outcome;
+    }
+
+  private:
+    std::string name_;
+    std::vector<Recipe> recipes_;
+    bool gemm_conv_only_;
+
+    std::unordered_map<VarId, int64_t>
+    build_preferences(const rules::GeneratedSpace &space,
+                      const Recipe &recipe) const
+    {
+        std::unordered_map<VarId, int64_t> prefs;
+        for (const auto &plan : space.tmpl.stages) {
+            if (plan.role != schedule::StageRole::kMain) {
+                VarId vec = space.csp.find_var("vec." + plan.name);
+                if (vec >= 0)
+                    prefs[vec] = recipe.vector_len;
+                VarId pad = space.csp.find_var("pad." + plan.name);
+                if (pad >= 0)
+                    prefs[pad] = recipe.pad;
+                VarId loc = space.csp.find_var("loc." + plan.name);
+                if (loc >= 0)
+                    prefs[loc] = 0; // outermost reduce attach
+                continue;
+            }
+            VarId unroll =
+                space.csp.find_var("unroll." + plan.name);
+            if (unroll >= 0)
+                prefs[unroll] = recipe.unroll;
+            for (const auto &axis : plan.axes) {
+                for (int l = 1; l < axis.num_levels(); ++l) {
+                    VarId tile = space.csp.find_var(
+                        "tile." + axis.level_name(plan.name, l));
+                    if (tile < 0)
+                        continue;
+                    prefs[tile] = preference_for(
+                        recipe, axis.roles[static_cast<size_t>(l)],
+                        axis.reduce);
+                }
+            }
+        }
+        return prefs;
+    }
+
+    static int64_t
+    preference_for(const Recipe &recipe, LoopRole role, bool reduce)
+    {
+        switch (role) {
+          case LoopRole::kVThread: return recipe.vthread;
+          case LoopRole::kThread: return recipe.thread;
+          case LoopRole::kBuffer: return recipe.buffer;
+          case LoopRole::kIntrinsic:
+            return reduce ? 16 : recipe.intrinsic_spatial;
+          case LoopRole::kSerial:
+          default:
+            return reduce ? recipe.reduce_serial
+                          : recipe.spatial_serial;
+        }
+    }
+};
+
+} // namespace
+
+bool
+Tuner::supports(const ops::Workload &) const
+{
+    return true;
+}
+
+std::unique_ptr<Tuner>
+make_heron_tuner(hw::DlaSpec spec, TuneConfig config)
+{
+    return std::make_unique<HeronTuner>(std::move(spec), config,
+                                        HeronAblation{});
+}
+
+std::unique_ptr<Tuner>
+make_heron_tuner_ablated(hw::DlaSpec spec, TuneConfig config,
+                         HeronAblation ablation)
+{
+    return std::make_unique<HeronTuner>(std::move(spec), config,
+                                        std::move(ablation));
+}
+
+std::unique_ptr<Tuner>
+make_autotvm_tuner(hw::DlaSpec spec, TuneConfig config)
+{
+    return std::make_unique<SearchTuner>(
+        std::move(spec), config, "AutoTVM",
+        rules::Options::autotvm(),
+        &search::template_consistent_sa);
+}
+
+std::unique_ptr<Tuner>
+make_ansor_tuner(hw::DlaSpec spec, TuneConfig config)
+{
+    return std::make_unique<SearchTuner>(
+        std::move(spec), config, "Ansor", rules::Options::ansor(),
+        &search::genetic_algorithm);
+}
+
+std::unique_ptr<Tuner>
+make_amos_tuner(hw::DlaSpec spec, TuneConfig config)
+{
+    return std::make_unique<AmosTuner>(std::move(spec), config);
+}
+
+std::unique_ptr<Tuner>
+make_akg_tuner(hw::DlaSpec spec, TuneConfig config)
+{
+    // One balanced polyhedral-style tiling; no storage_align and no
+    // variant dispatch.
+    RecipeTuner::Recipe recipe;
+    recipe.vthread = 1;
+    recipe.thread = 4;
+    recipe.spatial_serial = 4;
+    recipe.reduce_serial = 4;
+    recipe.intrinsic_spatial = 16;
+    recipe.vector_len = 4;
+    recipe.pad = 0;
+    recipe.unroll = 1;
+    return std::make_unique<RecipeTuner>(
+        std::move(spec), config, "AKG",
+        std::vector<RecipeTuner::Recipe>{recipe}, true);
+}
+
+std::unique_ptr<Tuner>
+make_vendor_library(hw::DlaSpec spec, TuneConfig config)
+{
+    // A hand-tuned library ships several expert kernel variants
+    // (conflict-free padding, wide vectors, different tile aspect
+    // ratios) and dispatches among them — strong, but not
+    // shape-specialized search.
+    std::vector<RecipeTuner::Recipe> recipes;
+    {
+        RecipeTuner::Recipe r; // large-tile throughput kernel
+        r.vthread = 2;
+        r.thread = 2;
+        r.spatial_serial = 4;
+        r.reduce_serial = 4;
+        r.buffer = 64;
+        r.intrinsic_spatial = 16;
+        r.vector_len = 8;
+        r.pad = 8;
+        r.unroll = 8;
+        recipes.push_back(r);
+    }
+    {
+        RecipeTuner::Recipe r; // wide-parallel kernel
+        r.vthread = 1;
+        r.thread = 4;
+        r.spatial_serial = 2;
+        r.reduce_serial = 8;
+        r.intrinsic_spatial = 16;
+        r.vector_len = 8;
+        r.pad = 8;
+        r.unroll = 4;
+        recipes.push_back(r);
+    }
+    {
+        RecipeTuner::Recipe r; // small-tile latency kernel
+        r.vthread = 1;
+        r.thread = 2;
+        r.spatial_serial = 2;
+        r.reduce_serial = 16;
+        r.intrinsic_spatial = 16;
+        r.vector_len = 4;
+        r.pad = 8;
+        r.unroll = 2;
+        recipes.push_back(r);
+    }
+    {
+        RecipeTuner::Recipe r; // deep-k split kernel
+        r.vthread = 2;
+        r.thread = 4;
+        r.spatial_serial = 1;
+        r.reduce_serial = 32;
+        r.buffer = 32;
+        r.intrinsic_spatial = 32;
+        r.vector_len = 8;
+        r.pad = 16;
+        r.unroll = 8;
+        recipes.push_back(r);
+    }
+    std::string name;
+    switch (spec.kind) {
+      case hw::DlaKind::kTensorCore: name = "cuDNN/cuBLAS"; break;
+      case hw::DlaKind::kDlBoost: name = "oneDNN"; break;
+      case hw::DlaKind::kVta: name = "VendorLib"; break;
+      case hw::DlaKind::kTpu: name = "VendorLib"; break;
+    }
+    return std::make_unique<RecipeTuner>(std::move(spec), config,
+                                         name, std::move(recipes),
+                                         false);
+}
+
+} // namespace heron::autotune

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * End-to-end tuners: the full Heron pipeline (paper Fig. 3 /
+ * Algorithm 2) and the baseline systems it is compared against.
+ *
+ * Every tuner shares the same DLA measurement path; they differ in
+ * which search space they generate (template flavor) and how they
+ * explore it:
+ *
+ *   Heron    Heron space    + CGA evolved on cost-model fitness,
+ *                             epsilon-greedy measurement selection
+ *   AutoTVM  manual space   + simulated annealing
+ *   Ansor    no-tensorize   + evolutionary search
+ *   AMOS     mapping space  + model-ranked random sampling
+ *   AKG      polyhedral-style deterministic schedule (GEMM/C2D)
+ *   Vendor   fixed expert schedule (cuDNN/oneDNN stand-in)
+ */
+#ifndef HERON_AUTOTUNE_TUNER_H
+#define HERON_AUTOTUNE_TUNER_H
+
+#include <memory>
+#include <string>
+
+#include "hw/measurer.h"
+#include "ops/op_library.h"
+#include "rules/space_generator.h"
+#include "search/common.h"
+
+namespace heron::autotune {
+
+/** Tuning budget and hyperparameters. */
+struct TuneConfig {
+    /** Hardware measurement budget per workload. */
+    int trials = 200;
+    /** CGA population size. */
+    int population = 24;
+    /** Model-fitness CGA generations per measurement round. */
+    int generations = 3;
+    /** Candidates measured per round. */
+    int measure_per_round = 12;
+    /** Fraction of measured candidates chosen at random. */
+    double epsilon = 0.15;
+    /** Key variables per CGA crossover. */
+    int key_vars = 8;
+    uint64_t seed = 1;
+    hw::MeasureConfig measure;
+};
+
+/** What a tuning run produced, plus its cost accounting. */
+struct TuneOutcome {
+    std::string tuner;
+    std::string workload;
+    search::SearchResult result;
+    /** Simulated hardware measurement time (dominant in Tab. 10). */
+    double measure_seconds = 0.0;
+    /** Wall-clock spent in search (solver + genetic operators). */
+    double search_seconds = 0.0;
+    /** Wall-clock spent training/querying the cost model. */
+    double model_seconds = 0.0;
+
+    /** Total "compilation" time (Table 10 / Fig. 14). */
+    double
+    compile_seconds() const
+    {
+        return measure_seconds + search_seconds + model_seconds;
+    }
+};
+
+/** A complete tuning system (space generation + exploration). */
+class Tuner
+{
+  public:
+    virtual ~Tuner() = default;
+
+    /** Display name ("Heron", "AutoTVM", ...). */
+    virtual std::string name() const = 0;
+
+    /** True when the tuner supports this operator kind. */
+    virtual bool supports(const ops::Workload &workload) const;
+
+    /** The DLA this tuner targets. */
+    virtual const hw::DlaSpec &spec() const = 0;
+
+    /** Tune one workload to the configured budget. */
+    virtual TuneOutcome tune(const ops::Workload &workload) = 0;
+};
+
+/** Full Heron (constrained generation + CGA, Algorithm 2). */
+std::unique_ptr<Tuner> make_heron_tuner(hw::DlaSpec spec,
+                                        TuneConfig config = {});
+
+/** AutoTVM-like: manual template + simulated annealing. */
+std::unique_ptr<Tuner> make_autotvm_tuner(hw::DlaSpec spec,
+                                          TuneConfig config = {});
+
+/** Ansor-like: rule template without tensorize + evolution. */
+std::unique_ptr<Tuner> make_ansor_tuner(hw::DlaSpec spec,
+                                        TuneConfig config = {});
+
+/** AMOS-like: intrinsic mapping space + model-ranked sampling. */
+std::unique_ptr<Tuner> make_amos_tuner(hw::DlaSpec spec,
+                                       TuneConfig config = {});
+
+/** AKG-like: deterministic polyhedral-style schedule, no search. */
+std::unique_ptr<Tuner> make_akg_tuner(hw::DlaSpec spec,
+                                      TuneConfig config = {});
+
+/** Vendor hand-tuned library (cuDNN/cuBLAS/oneDNN stand-in). */
+std::unique_ptr<Tuner> make_vendor_library(hw::DlaSpec spec,
+                                           TuneConfig config = {});
+
+/**
+ * Heron with rule/search ablation switches, for the ablation
+ * benches (rule families off, CGA-1, model-free selection).
+ */
+struct HeronAblation {
+    rules::Options options = rules::Options::heron();
+    /** CGA-1: random key variables. */
+    bool random_key_vars = false;
+    /** Replace epsilon-greedy by uniform measurement selection. */
+    bool random_measure_selection = false;
+    std::string label = "Heron";
+};
+
+std::unique_ptr<Tuner> make_heron_tuner_ablated(
+    hw::DlaSpec spec, TuneConfig config, HeronAblation ablation);
+
+} // namespace heron::autotune
+
+#endif // HERON_AUTOTUNE_TUNER_H

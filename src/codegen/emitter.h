@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Kernel source emitters.
+ *
+ * Heron's end product is a *library*: for each (operator, shape,
+ * DLA) the tuner picks a schedule, and the backend lowers it to
+ * source code (CUDA for TensorCore, intrinsics C for DL Boost, a
+ * command stream for VTA). Offline we cannot run nvcc/ICC/FPGA
+ * tools, so the emitters produce faithful human-readable source in
+ * each target's idiom from the bound ConcreteProgram: grid/block
+ * geometry, __shared__ allocations with storage_align padding,
+ * wmma fragments and mma_sync calls, VNNI vpdpbusd loops, VTA
+ * load/gemm/store instruction sequences.
+ */
+#ifndef HERON_CODEGEN_EMITTER_H
+#define HERON_CODEGEN_EMITTER_H
+
+#include <string>
+
+#include "rules/space_generator.h"
+#include "schedule/concrete.h"
+
+namespace heron::codegen {
+
+/**
+ * Emit target-idiomatic kernel source for @p program (a bound
+ * schedule from @p space). Dispatches on the space's DLA kind.
+ */
+std::string emit_source(const rules::GeneratedSpace &space,
+                        const schedule::ConcreteProgram &program);
+
+/** CUDA-like kernel for TensorCore (or CUDA-core) programs. */
+std::string emit_cuda(const rules::GeneratedSpace &space,
+                      const schedule::ConcreteProgram &program);
+
+/** AVX512/VNNI-flavored C for DL Boost programs. */
+std::string emit_cpu(const rules::GeneratedSpace &space,
+                     const schedule::ConcreteProgram &program);
+
+/** VTA runtime command sequence. */
+std::string emit_vta(const rules::GeneratedSpace &space,
+                     const schedule::ConcreteProgram &program);
+
+/** C identifier-safe version of a workload/kernel name. */
+std::string sanitize_identifier(const std::string &name);
+
+} // namespace heron::codegen
+
+#endif // HERON_CODEGEN_EMITTER_H

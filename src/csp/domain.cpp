@@ -1,0 +1,235 @@
+#include "csp/domain.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace heron::csp {
+
+Domain::Domain() : explicit_(false), lo_(1), hi_(0) {}
+
+Domain
+Domain::singleton(int64_t value)
+{
+    return interval(value, value);
+}
+
+Domain
+Domain::interval(int64_t lo, int64_t hi)
+{
+    Domain d;
+    d.explicit_ = false;
+    d.lo_ = lo;
+    d.hi_ = hi;
+    return d;
+}
+
+Domain
+Domain::of(std::vector<int64_t> values)
+{
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    Domain d;
+    d.explicit_ = true;
+    d.set_ = std::move(values);
+    return d;
+}
+
+bool
+Domain::empty() const
+{
+    return explicit_ ? set_.empty() : lo_ > hi_;
+}
+
+bool
+Domain::is_singleton() const
+{
+    return explicit_ ? set_.size() == 1 : lo_ == hi_;
+}
+
+int64_t
+Domain::min() const
+{
+    HERON_CHECK(!empty());
+    return explicit_ ? set_.front() : lo_;
+}
+
+int64_t
+Domain::max() const
+{
+    HERON_CHECK(!empty());
+    return explicit_ ? set_.back() : hi_;
+}
+
+int64_t
+Domain::value() const
+{
+    HERON_CHECK(is_singleton());
+    return min();
+}
+
+int64_t
+Domain::size() const
+{
+    if (explicit_)
+        return static_cast<int64_t>(set_.size());
+    if (lo_ > hi_)
+        return 0;
+    if (hi_ - lo_ == std::numeric_limits<int64_t>::max())
+        return std::numeric_limits<int64_t>::max();
+    return hi_ - lo_ + 1;
+}
+
+bool
+Domain::contains(int64_t v) const
+{
+    if (explicit_)
+        return std::binary_search(set_.begin(), set_.end(), v);
+    return v >= lo_ && v <= hi_;
+}
+
+bool
+Domain::restrict_bounds(int64_t lo, int64_t hi)
+{
+    if (explicit_) {
+        size_t before = set_.size();
+        auto first = std::lower_bound(set_.begin(), set_.end(), lo);
+        auto last = std::upper_bound(first, set_.end(), hi);
+        if (first == set_.begin() && last == set_.end())
+            return false;
+        set_.assign(first, last);
+        return set_.size() != before;
+    }
+    int64_t new_lo = std::max(lo_, lo);
+    int64_t new_hi = std::min(hi_, hi);
+    bool changed = new_lo != lo_ || new_hi != hi_;
+    lo_ = new_lo;
+    hi_ = new_hi;
+    return changed;
+}
+
+bool
+Domain::assign(int64_t v)
+{
+    if (!contains(v)) {
+        // Wipe out.
+        bool was_empty = empty();
+        explicit_ = false;
+        lo_ = 1;
+        hi_ = 0;
+        return !was_empty;
+    }
+    if (is_singleton())
+        return false;
+    explicit_ = false;
+    lo_ = v;
+    hi_ = v;
+    return true;
+}
+
+bool
+Domain::remove(int64_t v)
+{
+    if (!contains(v))
+        return false;
+    if (explicit_) {
+        auto it = std::lower_bound(set_.begin(), set_.end(), v);
+        set_.erase(it);
+        return true;
+    }
+    if (lo_ == hi_) {
+        hi_ = lo_ - 1;
+        return true;
+    }
+    if (v == lo_) {
+        ++lo_;
+        return true;
+    }
+    if (v == hi_) {
+        --hi_;
+        return true;
+    }
+    // Removing an interior interval value would need a gap; fall back
+    // to materializing. Interior removal only happens on small
+    // domains in practice.
+    HERON_CHECK_LE(hi_ - lo_, int64_t{1} << 20);
+    std::vector<int64_t> vals;
+    vals.reserve(static_cast<size_t>(hi_ - lo_));
+    for (int64_t x = lo_; x <= hi_; ++x)
+        if (x != v)
+            vals.push_back(x);
+    explicit_ = true;
+    set_ = std::move(vals);
+    return true;
+}
+
+bool
+Domain::intersect_values(const std::vector<int64_t> &values)
+{
+    std::vector<int64_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<int64_t> kept;
+    for (int64_t v : sorted)
+        if (contains(v))
+            kept.push_back(v);
+    bool changed = !explicit_ ||
+                   kept.size() != set_.size();
+    explicit_ = true;
+    set_ = std::move(kept);
+    return changed;
+}
+
+bool
+Domain::intersect(const Domain &other)
+{
+    if (!other.explicit_)
+        return restrict_bounds(other.lo_, other.hi_);
+    return intersect_values(other.set_);
+}
+
+bool
+Domain::filter(const std::function<bool(int64_t)> &pred)
+{
+    HERON_CHECK(explicit_);
+    size_t before = set_.size();
+    set_.erase(std::remove_if(set_.begin(), set_.end(),
+                              [&](int64_t v) { return !pred(v); }),
+               set_.end());
+    return set_.size() != before;
+}
+
+std::vector<int64_t>
+Domain::values() const
+{
+    if (explicit_)
+        return set_;
+    HERON_CHECK(!empty());
+    HERON_CHECK_LE(hi_ - lo_, int64_t{1} << 20);
+    std::vector<int64_t> vals;
+    vals.reserve(static_cast<size_t>(hi_ - lo_ + 1));
+    for (int64_t x = lo_; x <= hi_; ++x)
+        vals.push_back(x);
+    return vals;
+}
+
+std::string
+Domain::to_string() const
+{
+    std::ostringstream out;
+    if (empty())
+        return "{}";
+    if (explicit_) {
+        out << "{";
+        for (size_t i = 0; i < set_.size(); ++i)
+            out << (i ? "," : "") << set_[i];
+        out << "}";
+    } else {
+        out << "[" << lo_ << ".." << hi_ << "]";
+    }
+    return out.str();
+}
+
+} // namespace heron::csp

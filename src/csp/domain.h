@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Finite domains for CSP variables.
+ *
+ * Two representations are supported behind one interface:
+ *  - an explicit sorted value set (tile-size candidates, intrinsic
+ *    shapes, boolean flags), used for variables the solver branches on;
+ *  - a pure interval [lo, hi], used for derived variables (loop
+ *    lengths, memory footprints) that propagation determines once the
+ *    branching variables are assigned.
+ */
+#ifndef HERON_CSP_DOMAIN_H
+#define HERON_CSP_DOMAIN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace heron::csp {
+
+/** The set of values a CSP variable may still take. */
+class Domain
+{
+  public:
+    /** Empty domain (immediately failed). */
+    Domain();
+
+    /** Singleton domain {value}. */
+    static Domain singleton(int64_t value);
+
+    /** Interval domain [lo, hi]. */
+    static Domain interval(int64_t lo, int64_t hi);
+
+    /** Explicit set domain; input need not be sorted or unique. */
+    static Domain of(std::vector<int64_t> values);
+
+    /** True when no value remains. */
+    bool empty() const;
+
+    /** True when exactly one value remains. */
+    bool is_singleton() const;
+
+    /** True when the domain stores an explicit value set. */
+    bool is_explicit() const { return explicit_; }
+
+    /** Smallest remaining value. Requires non-empty. */
+    int64_t min() const;
+
+    /** Largest remaining value. Requires non-empty. */
+    int64_t max() const;
+
+    /** The single value of a singleton domain. */
+    int64_t value() const;
+
+    /**
+     * Number of remaining values. For interval domains this is
+     * hi - lo + 1 (saturating).
+     */
+    int64_t size() const;
+
+    /** Membership test. */
+    bool contains(int64_t v) const;
+
+    /**
+     * Shrink to [lo, hi]. @return true if the domain changed.
+     */
+    bool restrict_bounds(int64_t lo, int64_t hi);
+
+    /** Shrink to the single value @p v. @return true if changed. */
+    bool assign(int64_t v);
+
+    /** Remove one value. @return true if changed. */
+    bool remove(int64_t v);
+
+    /**
+     * Intersect with an explicit candidate list. Converts interval
+     * domains to explicit form. @return true if changed.
+     */
+    bool intersect_values(const std::vector<int64_t> &values);
+
+    /** Intersect with another domain. @return true if changed. */
+    bool intersect(const Domain &other);
+
+    /**
+     * Keep only values satisfying @p pred. Only valid on explicit
+     * domains. @return true if changed.
+     */
+    bool filter(const std::function<bool(int64_t)> &pred);
+
+    /**
+     * Remaining values as a vector. Interval domains are
+     * materialized; callers must ensure the interval is small.
+     */
+    std::vector<int64_t> values() const;
+
+    /** Human-readable rendering ("{1,2,4}" or "[0..48152]"). */
+    std::string to_string() const;
+
+  private:
+    bool explicit_;
+    // Explicit representation (valid when explicit_).
+    std::vector<int64_t> set_;
+    // Interval representation (valid when !explicit_). Empty iff
+    // lo_ > hi_.
+    int64_t lo_;
+    int64_t hi_;
+};
+
+} // namespace heron::csp
+
+#endif // HERON_CSP_DOMAIN_H

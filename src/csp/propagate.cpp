@@ -1,0 +1,381 @@
+#include "csp/propagate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::csp {
+
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+
+} // namespace
+
+PropagationEngine::PropagationEngine(const Csp &csp,
+                                     const std::vector<Constraint> &extra)
+    : csp_(csp)
+{
+    build(extra);
+}
+
+PropagationEngine::PropagationEngine(const Csp &csp) : csp_(csp)
+{
+    build({});
+}
+
+void
+PropagationEngine::build(const std::vector<Constraint> &extra)
+{
+    domains_.reserve(csp_.num_vars());
+    for (const auto &v : csp_.vars())
+        domains_.push_back(v.initial);
+
+    all_constraints_.reserve(csp_.constraints().size() + extra.size());
+    for (const auto &c : csp_.constraints())
+        all_constraints_.push_back(&c);
+    for (const auto &c : extra)
+        all_constraints_.push_back(&c);
+
+    watchers_.assign(csp_.num_vars(), {});
+    auto watch = [&](VarId v, int ci) {
+        if (v >= 0)
+            watchers_[static_cast<size_t>(v)].push_back(ci);
+    };
+    for (size_t ci = 0; ci < all_constraints_.size(); ++ci) {
+        const Constraint &c = *all_constraints_[ci];
+        watch(c.result, static_cast<int>(ci));
+        for (VarId op : c.operands)
+            watch(op, static_cast<int>(ci));
+        watch(c.selector, static_cast<int>(ci));
+    }
+
+    queued_.assign(all_constraints_.size(), true);
+    queue_.clear();
+    queue_.reserve(all_constraints_.size());
+    for (size_t ci = 0; ci < all_constraints_.size(); ++ci)
+        queue_.push_back(static_cast<int>(ci));
+}
+
+void
+PropagationEngine::restore(std::vector<Domain> snapshot)
+{
+    HERON_CHECK_EQ(snapshot.size(), domains_.size());
+    domains_ = std::move(snapshot);
+    std::fill(queued_.begin(), queued_.end(), false);
+    queue_.clear();
+}
+
+void
+PropagationEngine::touch(VarId id)
+{
+    enqueue_watchers(id);
+}
+
+void
+PropagationEngine::enqueue_watchers(VarId id)
+{
+    for (int ci : watchers_[static_cast<size_t>(id)]) {
+        if (!queued_[static_cast<size_t>(ci)]) {
+            queued_[static_cast<size_t>(ci)] = true;
+            queue_.push_back(ci);
+        }
+    }
+}
+
+bool
+PropagationEngine::propagate()
+{
+    while (!queue_.empty()) {
+        int ci = queue_.back();
+        queue_.pop_back();
+        queued_[static_cast<size_t>(ci)] = false;
+        if (!revise(*all_constraints_[static_cast<size_t>(ci)]))
+            return false;
+    }
+    return true;
+}
+
+bool
+PropagationEngine::assign_and_propagate(VarId id, int64_t value)
+{
+    Domain &d = domains_[static_cast<size_t>(id)];
+    if (!d.contains(value))
+        return false;
+    if (!d.is_singleton()) {
+        d.assign(value);
+        enqueue_watchers(id);
+    }
+    return propagate();
+}
+
+bool
+PropagationEngine::all_assigned() const
+{
+    for (const auto &d : domains_)
+        if (!d.is_singleton())
+            return false;
+    return true;
+}
+
+Assignment
+PropagationEngine::extract() const
+{
+    Assignment a(domains_.size());
+    for (size_t i = 0; i < domains_.size(); ++i) {
+        HERON_CHECK(domains_[i].is_singleton())
+            << "variable " << csp_.var(static_cast<VarId>(i)).name
+            << " not assigned";
+        a[i] = domains_[i].value();
+    }
+    return a;
+}
+
+bool
+PropagationEngine::clamp(VarId id, int64_t lo, int64_t hi)
+{
+    Domain &d = domains_[static_cast<size_t>(id)];
+    if (d.restrict_bounds(lo, hi))
+        enqueue_watchers(id);
+    return !d.empty();
+}
+
+bool
+PropagationEngine::revise(const Constraint &c)
+{
+    switch (c.kind) {
+      case ConstraintKind::kProd: return revise_prod(c);
+      case ConstraintKind::kSum: return revise_sum(c);
+      case ConstraintKind::kEq: return revise_eq(c);
+      case ConstraintKind::kLe: return revise_le(c);
+      case ConstraintKind::kIn: return revise_in(c);
+      case ConstraintKind::kSelect: return revise_select(c);
+    }
+    return false;
+}
+
+bool
+PropagationEngine::revise_prod(const Constraint &c)
+{
+    // All product operands are non-negative in Heron-generated
+    // problems (tile sizes, loop lengths, byte counts).
+    const size_t n = c.operands.size();
+    Domain &dv = domains_[static_cast<size_t>(c.result)];
+    if (dv.empty())
+        return false;
+
+    int64_t min_prod = 1, max_prod = 1;
+    for (VarId op : c.operands) {
+        const Domain &d = domains_[static_cast<size_t>(op)];
+        if (d.empty())
+            return false;
+        HERON_CHECK_GE(d.min(), 0)
+            << "PROD operand may be negative: "
+            << csp_.var(op).name;
+        min_prod = checked_mul(min_prod, d.min());
+        max_prod = checked_mul(max_prod, d.max());
+    }
+    if (!clamp(c.result, min_prod, max_prod))
+        return false;
+
+    // Filter each operand by bounds implied by the others.
+    for (size_t i = 0; i < n; ++i) {
+        int64_t others_min = 1, others_max = 1;
+        for (size_t j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            const Domain &d = domains_[static_cast<size_t>(c.operands[j])];
+            others_min = checked_mul(others_min, d.min());
+            others_max = checked_mul(others_max, d.max());
+        }
+        int64_t lo = 0, hi = kInf;
+        if (others_max > 0 && others_max != kInf && dv.min() > 0)
+            lo = ceil_div(dv.min(), others_max);
+        if (others_min > 0 && dv.max() != kInf)
+            hi = dv.max() / others_min;
+        if (!clamp(c.operands[i], lo, hi))
+            return false;
+    }
+
+    // Exactness: when all but at most one participant is fixed.
+    size_t unassigned = 0;
+    int64_t fixed_prod = 1;
+    size_t open_idx = n;
+    for (size_t i = 0; i < n; ++i) {
+        const Domain &d = domains_[static_cast<size_t>(c.operands[i])];
+        if (d.is_singleton()) {
+            fixed_prod = checked_mul(fixed_prod, d.value());
+        } else {
+            ++unassigned;
+            open_idx = i;
+        }
+    }
+
+    if (unassigned == 0) {
+        Domain &d = domains_[static_cast<size_t>(c.result)];
+        if (!d.contains(fixed_prod))
+            return false;
+        if (!d.is_singleton()) {
+            d.assign(fixed_prod);
+            enqueue_watchers(c.result);
+        }
+        return true;
+    }
+    if (unassigned == 1 && dv.is_singleton()) {
+        int64_t target = dv.value();
+        VarId open = c.operands[open_idx];
+        Domain &d = domains_[static_cast<size_t>(open)];
+        if (fixed_prod == 0) {
+            // 0 * x == target requires target == 0; x unconstrained.
+            return target == 0;
+        }
+        if (target % fixed_prod != 0)
+            return false;
+        int64_t needed = target / fixed_prod;
+        if (!d.contains(needed))
+            return false;
+        if (!d.is_singleton()) {
+            d.assign(needed);
+            enqueue_watchers(open);
+        }
+    }
+    return true;
+}
+
+bool
+PropagationEngine::revise_sum(const Constraint &c)
+{
+    const size_t n = c.operands.size();
+    Domain &dv = domains_[static_cast<size_t>(c.result)];
+    if (dv.empty())
+        return false;
+
+    int64_t min_sum = 0, max_sum = 0;
+    bool max_inf = false;
+    for (VarId op : c.operands) {
+        const Domain &d = domains_[static_cast<size_t>(op)];
+        if (d.empty())
+            return false;
+        min_sum += d.min();
+        if (d.max() == kInf)
+            max_inf = true;
+        else
+            max_sum += d.max();
+    }
+    if (!clamp(c.result, min_sum, max_inf ? kInf : max_sum))
+        return false;
+
+    for (size_t i = 0; i < n; ++i) {
+        int64_t others_min = 0, others_max = 0;
+        bool others_max_inf = false;
+        for (size_t j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            const Domain &d = domains_[static_cast<size_t>(c.operands[j])];
+            others_min += d.min();
+            if (d.max() == kInf)
+                others_max_inf = true;
+            else
+                others_max += d.max();
+        }
+        int64_t lo = others_max_inf
+                         ? std::numeric_limits<int64_t>::min()
+                         : dv.min() - others_max;
+        int64_t hi = dv.max() == kInf ? kInf : dv.max() - others_min;
+        if (!clamp(c.operands[i], lo, hi))
+            return false;
+    }
+    return true;
+}
+
+bool
+PropagationEngine::revise_eq(const Constraint &c)
+{
+    Domain &a = domains_[static_cast<size_t>(c.result)];
+    Domain &b = domains_[static_cast<size_t>(c.operands[0])];
+    if (a.intersect(b))
+        enqueue_watchers(c.result);
+    if (b.intersect(a))
+        enqueue_watchers(c.operands[0]);
+    return !a.empty() && !b.empty();
+}
+
+bool
+PropagationEngine::revise_le(const Constraint &c)
+{
+    const Domain &a = domains_[static_cast<size_t>(c.result)];
+    const Domain &b = domains_[static_cast<size_t>(c.operands[0])];
+    if (a.empty() || b.empty())
+        return false;
+    if (!clamp(c.result, std::numeric_limits<int64_t>::min(), b.max()))
+        return false;
+    if (!clamp(c.operands[0], a.min(), kInf))
+        return false;
+    return true;
+}
+
+bool
+PropagationEngine::revise_in(const Constraint &c)
+{
+    Domain &d = domains_[static_cast<size_t>(c.result)];
+    if (d.intersect_values(c.constants))
+        enqueue_watchers(c.result);
+    return !d.empty();
+}
+
+bool
+PropagationEngine::revise_select(const Constraint &c)
+{
+    const int64_t n = static_cast<int64_t>(c.operands.size());
+    if (!clamp(c.selector, 0, n - 1))
+        return false;
+    Domain &du = domains_[static_cast<size_t>(c.selector)];
+    Domain &dv = domains_[static_cast<size_t>(c.result)];
+    if (du.empty() || dv.empty())
+        return false;
+
+    // Prune selector values whose selected variable cannot equal v.
+    if (du.is_explicit() || du.size() <= 64) {
+        for (int64_t u : du.values()) {
+            const Domain &dop =
+                domains_[static_cast<size_t>(c.operands[static_cast<size_t>(u)])];
+            bool feasible =
+                !dop.empty() && dop.max() >= dv.min() && dop.min() <= dv.max();
+            if (!feasible) {
+                if (du.remove(u))
+                    enqueue_watchers(c.selector);
+            }
+        }
+        if (du.empty())
+            return false;
+    }
+
+    // v is bounded by the union of candidate operand bounds.
+    int64_t lo = kInf, hi = std::numeric_limits<int64_t>::min();
+    for (int64_t u : du.values()) {
+        const Domain &dop =
+            domains_[static_cast<size_t>(c.operands[static_cast<size_t>(u)])];
+        if (dop.empty())
+            return false;
+        lo = std::min(lo, dop.min());
+        hi = std::max(hi, dop.max());
+    }
+    if (!clamp(c.result, lo, hi))
+        return false;
+
+    // Fixed selector degenerates to EQ(v, op_u).
+    if (du.is_singleton()) {
+        VarId op = c.operands[static_cast<size_t>(du.value())];
+        Domain &dop = domains_[static_cast<size_t>(op)];
+        if (dv.intersect(dop))
+            enqueue_watchers(c.result);
+        if (dop.intersect(dv))
+            enqueue_watchers(op);
+        return !dv.empty() && !dop.empty();
+    }
+    return true;
+}
+
+} // namespace heron::csp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Constraint propagation engine.
+ *
+ * Runs per-constraint-type filtering to a fixpoint over a working
+ * copy of all variable domains. Used by the RandSAT solver after
+ * every branching decision and by CGA to pre-prune offspring CSPs.
+ */
+#ifndef HERON_CSP_PROPAGATE_H
+#define HERON_CSP_PROPAGATE_H
+
+#include <vector>
+
+#include "csp/csp.h"
+
+namespace heron::csp {
+
+/**
+ * Mutable propagation state: the current domains of every variable
+ * plus the machinery to reach a propagation fixpoint.
+ *
+ * The engine owns a combined view of the base problem's constraints
+ * and an optional set of extra constraints (CGA crossover adds IN
+ * constraints without copying the whole problem).
+ */
+class PropagationEngine
+{
+  public:
+    /**
+     * Build an engine over @p csp plus @p extra constraints. Both
+     * must outlive the engine.
+     */
+    PropagationEngine(const Csp &csp,
+                      const std::vector<Constraint> &extra);
+
+    /** Engine over just the base problem. */
+    explicit PropagationEngine(const Csp &csp);
+
+    /** Current domain of a variable. */
+    const Domain &domain(VarId id) const
+    {
+        return domains_[static_cast<size_t>(id)];
+    }
+
+    /** Mutable domain access; callers must requeue via touch(). */
+    Domain &domain_mut(VarId id)
+    {
+        return domains_[static_cast<size_t>(id)];
+    }
+
+    /** All current domains (for snapshot/restore by the solver). */
+    const std::vector<Domain> &domains() const { return domains_; }
+
+    /** Restore a previously captured domain snapshot. */
+    void restore(std::vector<Domain> snapshot);
+
+    /**
+     * Mark a variable changed so its constraints are reconsidered by
+     * the next propagate() call.
+     */
+    void touch(VarId id);
+
+    /**
+     * Run propagation to a fixpoint.
+     * @return false if some domain became empty (conflict).
+     */
+    bool propagate();
+
+    /**
+     * Assign a value and propagate.
+     * @return false on conflict.
+     */
+    bool assign_and_propagate(VarId id, int64_t value);
+
+    /** True when all variables are singletons. */
+    bool all_assigned() const;
+
+    /** Extract the assignment; requires all_assigned(). */
+    Assignment extract() const;
+
+    /** Number of constraints (base + extra). */
+    size_t num_constraints() const { return all_constraints_.size(); }
+
+  private:
+    const Csp &csp_;
+    std::vector<const Constraint *> all_constraints_;
+    std::vector<Domain> domains_;
+    // var -> constraint indices mentioning it
+    std::vector<std::vector<int>> watchers_;
+    std::vector<bool> queued_;
+    std::vector<int> queue_;
+
+    void build(const std::vector<Constraint> &extra);
+    void enqueue_watchers(VarId id);
+    /**
+     * Apply one constraint's filtering. Returns false on wipeout;
+     * touched variables are re-queued internally.
+     */
+    bool revise(const Constraint &c);
+
+    bool revise_prod(const Constraint &c);
+    bool revise_sum(const Constraint &c);
+    bool revise_eq(const Constraint &c);
+    bool revise_le(const Constraint &c);
+    bool revise_in(const Constraint &c);
+    bool revise_select(const Constraint &c);
+
+    /** Shrink a domain to [lo, hi]; enqueue on change. */
+    bool clamp(VarId id, int64_t lo, int64_t hi);
+};
+
+} // namespace heron::csp
+
+#endif // HERON_CSP_PROPAGATE_H

@@ -1,0 +1,206 @@
+#include "csp/solver.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::csp {
+
+namespace {
+
+/** Hash for assignment dedup in solve_n. */
+uint64_t
+hash_assignment(const Assignment &a)
+{
+    uint64_t h = 0x12345678;
+    for (int64_t v : a)
+        h = hash_combine(h, static_cast<uint64_t>(v));
+    return h;
+}
+
+/**
+ * One restart's depth-first search. Kept as a small class so the
+ * recursion can share state without long parameter lists.
+ */
+class Dfs
+{
+  public:
+    Dfs(const Csp &csp, PropagationEngine &engine, Rng &rng,
+        const SolverConfig &config, SolverStats &stats)
+        : csp_(csp), engine_(engine), rng_(rng), config_(config),
+          stats_(stats)
+    {
+    }
+
+    std::optional<Assignment>
+    run()
+    {
+        backtracks_left_ = config_.max_backtracks_per_restart;
+        if (!engine_.propagate())
+            return std::nullopt;
+        if (recurse())
+            return engine_.extract();
+        return std::nullopt;
+    }
+
+  private:
+    const Csp &csp_;
+    PropagationEngine &engine_;
+    Rng &rng_;
+    const SolverConfig &config_;
+    SolverStats &stats_;
+    int backtracks_left_ = 0;
+
+    VarId
+    pick_branch_var()
+    {
+        // Most-constrained unassigned tunable first (smallest
+        // domain, ties broken randomly). Value choice stays fully
+        // random, which provides the sample diversity RandSAT
+        // needs; ordering by domain size surfaces conflicts early.
+        std::vector<VarId> open;
+        if (config_.branch_tunables_first) {
+            int64_t best = std::numeric_limits<int64_t>::max();
+            for (VarId v : csp_.tunable_vars()) {
+                const Domain &d = engine_.domain(v);
+                if (d.is_singleton())
+                    continue;
+                if (d.size() < best) {
+                    best = d.size();
+                    open.clear();
+                }
+                if (d.size() == best)
+                    open.push_back(v);
+            }
+            if (!open.empty())
+                return open[rng_.index(open.size())];
+        }
+        VarId best = -1;
+        int64_t best_size = 0;
+        for (size_t i = 0; i < csp_.num_vars(); ++i) {
+            const Domain &d = engine_.domain(static_cast<VarId>(i));
+            if (d.is_singleton())
+                continue;
+            if (best < 0 || d.size() < best_size) {
+                best = static_cast<VarId>(i);
+                best_size = d.size();
+            }
+        }
+        return best;
+    }
+
+    std::vector<int64_t>
+    candidate_values(const Domain &d)
+    {
+        std::vector<int64_t> vals;
+        if (d.is_explicit() || d.size() <= 256) {
+            vals = d.values();
+            rng_.shuffle(vals);
+        } else {
+            // Huge interval: sample a handful of representative
+            // values. Such variables are normally fixed by
+            // propagation; this is a safety net.
+            vals.push_back(d.min());
+            vals.push_back(d.max());
+            for (int i = 0; i < 6; ++i)
+                vals.push_back(rng_.uniform_int(d.min(), d.max()));
+            std::sort(vals.begin(), vals.end());
+            vals.erase(std::unique(vals.begin(), vals.end()),
+                       vals.end());
+            rng_.shuffle(vals);
+        }
+        return vals;
+    }
+
+    bool
+    recurse()
+    {
+        VarId var = pick_branch_var();
+        if (var < 0)
+            return engine_.all_assigned();
+
+        for (int64_t value : candidate_values(engine_.domain(var))) {
+            std::vector<Domain> snapshot = engine_.domains();
+            if (engine_.assign_and_propagate(var, value)) {
+                if (recurse())
+                    return true;
+            }
+            engine_.restore(std::move(snapshot));
+            ++stats_.backtracks;
+            if (--backtracks_left_ <= 0)
+                return false;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+RandSatSolver::RandSatSolver(const Csp &csp, SolverConfig config)
+    : csp_(csp), config_(config)
+{
+}
+
+std::optional<Assignment>
+RandSatSolver::search(Rng &rng, const std::vector<Constraint> &extra)
+{
+    ++stats_.solve_calls;
+    for (int restart = 0; restart < config_.max_restarts; ++restart) {
+        if (restart > 0)
+            ++stats_.restarts;
+        PropagationEngine engine(csp_, extra);
+        Dfs dfs(csp_, engine, rng, config_, stats_);
+        auto result = dfs.run();
+        if (result) {
+            ++stats_.solutions;
+            return result;
+        }
+    }
+    ++stats_.failures;
+    return std::nullopt;
+}
+
+std::optional<Assignment>
+RandSatSolver::solve_one(Rng &rng, const std::vector<Constraint> &extra)
+{
+    auto result = search(rng, extra);
+    if (result) {
+        HERON_CHECK(csp_.valid(*result))
+            << "solver produced an invalid assignment";
+        for (const auto &c : extra)
+            HERON_CHECK(csp_.satisfies(c, *result))
+                << "solver violated an extra constraint";
+    }
+    return result;
+}
+
+std::vector<Assignment>
+RandSatSolver::solve_n(Rng &rng, int n,
+                       const std::vector<Constraint> &extra)
+{
+    std::vector<Assignment> results;
+    std::unordered_set<uint64_t> seen;
+    // A few extra attempts absorb duplicate draws in tight spaces.
+    int attempts = n + std::max(4, n / 2);
+    for (int i = 0; i < attempts && static_cast<int>(results.size()) < n;
+         ++i) {
+        auto a = solve_one(rng, extra);
+        if (!a)
+            break; // budget exhausted; subproblem likely too tight
+        uint64_t h = hash_assignment(*a);
+        if (seen.insert(h).second)
+            results.push_back(std::move(*a));
+    }
+    return results;
+}
+
+bool
+RandSatSolver::feasible(Rng &rng, const std::vector<Constraint> &extra)
+{
+    return search(rng, extra).has_value();
+}
+
+} // namespace heron::csp

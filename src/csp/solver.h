@@ -1,0 +1,92 @@
+/**
+ * @file
+ * RandSAT: randomized constraint-satisfaction solving.
+ *
+ * Heron uses a constraint solver only to draw *random valid
+ * assignments* from a CSP (paper §5.1, "random constraint
+ * satisfaction"). This solver performs randomized backtracking
+ * search with propagation after every decision, restarting after a
+ * backtrack budget is exhausted.
+ */
+#ifndef HERON_CSP_SOLVER_H
+#define HERON_CSP_SOLVER_H
+
+#include <optional>
+#include <vector>
+
+#include "csp/csp.h"
+#include "csp/propagate.h"
+#include "support/rng.h"
+
+namespace heron::csp {
+
+/** Knobs for the randomized solver. */
+struct SolverConfig {
+    /** Backtracks before a random restart. */
+    int max_backtracks_per_restart = 512;
+    /** Restarts before giving up on one solve call. */
+    int max_restarts = 16;
+    /**
+     * Prefer branching on tunable variables before auxiliary ones
+     * (auxiliaries are usually fixed by propagation anyway).
+     */
+    bool branch_tunables_first = true;
+};
+
+/** Statistics accumulated across solve calls. */
+struct SolverStats {
+    int64_t solve_calls = 0;
+    int64_t solutions = 0;
+    int64_t backtracks = 0;
+    int64_t restarts = 0;
+    int64_t failures = 0;
+};
+
+/**
+ * Randomized finite-domain solver over a Csp plus optional extra
+ * constraints.
+ */
+class RandSatSolver
+{
+  public:
+    /** Solver over the base problem only. */
+    explicit RandSatSolver(const Csp &csp, SolverConfig config = {});
+
+    /**
+     * Draw one random valid assignment of all variables.
+     * @param extra additional constraints (e.g. CGA crossover IN
+     *        constraints); not stored.
+     * @return nullopt when no solution was found within the budget
+     *         (the subproblem may be unsatisfiable).
+     */
+    std::optional<Assignment>
+    solve_one(Rng &rng, const std::vector<Constraint> &extra = {});
+
+    /**
+     * Draw up to @p n random valid assignments (duplicates are
+     * removed). Fewer may be returned for tight subproblems.
+     */
+    std::vector<Assignment>
+    solve_n(Rng &rng, int n, const std::vector<Constraint> &extra = {});
+
+    /**
+     * Check satisfiability of the problem plus @p extra within the
+     * configured budget (sound "sat", incomplete "unsat").
+     */
+    bool feasible(Rng &rng, const std::vector<Constraint> &extra = {});
+
+    /** Accumulated statistics. */
+    const SolverStats &stats() const { return stats_; }
+
+  private:
+    const Csp &csp_;
+    SolverConfig config_;
+    SolverStats stats_;
+
+    std::optional<Assignment>
+    search(Rng &rng, const std::vector<Constraint> &extra);
+};
+
+} // namespace heron::csp
+
+#endif // HERON_CSP_SOLVER_H

@@ -1,0 +1,185 @@
+#include "hw/dla_spec.h"
+
+namespace heron::hw {
+
+const char *
+dla_kind_name(DlaKind kind)
+{
+    switch (kind) {
+      case DlaKind::kTensorCore: return "TensorCore";
+      case DlaKind::kDlBoost: return "DLBoost";
+      case DlaKind::kVta: return "VTA";
+      case DlaKind::kTpu: return "TPU";
+    }
+    return "?";
+}
+
+double
+DlaSpec::peak_gmacs() const
+{
+    return tensor_macs_per_cycle * num_units * clock_ghz;
+}
+
+std::vector<schedule::MemScope>
+DlaSpec::cache_scopes() const
+{
+    using schedule::MemScope;
+    switch (kind) {
+      case DlaKind::kTensorCore:
+        return {MemScope::kShared, MemScope::kFragment};
+      case DlaKind::kDlBoost:
+        return {MemScope::kL2, MemScope::kL1};
+      case DlaKind::kVta:
+      case DlaKind::kTpu:
+        return {MemScope::kInputBuffer};
+    }
+    return {};
+}
+
+DlaSpec
+DlaSpec::v100()
+{
+    DlaSpec spec;
+    spec.kind = DlaKind::kTensorCore;
+    spec.name = "V100";
+    spec.clock_ghz = 1.37;
+    spec.num_units = 80;
+    spec.intrinsic_mnk_candidates = {8, 16, 32};
+    spec.intrinsic_volume = 4096;
+    // 8 TensorCores/SM x 64 MACs/cycle = 512 MACs/cycle/SM
+    // => 80 * 512 * 1.37e9 * 2 ops ~= 112 TFLOPS.
+    spec.tensor_macs_per_cycle = 512;
+    // CUDA-core fp16x2 path: 64 fp32 lanes * 2 = 128 MACs/cycle/SM.
+    spec.scalar_macs_per_cycle = 128;
+    // 900 GB/s / 1.37 GHz ~= 657 B/cycle.
+    spec.dram_bytes_per_cycle = 657;
+    // ~128 B/cycle/SM shared bandwidth.
+    spec.staging_bytes_per_cycle = 128;
+    spec.shared_capacity = 48 * 1024;
+    spec.shared_per_unit = 96 * 1024;
+    spec.fragment_capacity = 64 * 1024;
+    spec.launch_overhead_us = 5.0;
+    return spec;
+}
+
+DlaSpec
+DlaSpec::t4()
+{
+    DlaSpec spec = v100();
+    spec.name = "T4";
+    spec.clock_ghz = 1.59;
+    spec.num_units = 40;
+    // 65 TFLOPS fp16 TC peak => 65e12/2/40/1.59e9 ~= 511.
+    spec.tensor_macs_per_cycle = 512;
+    spec.scalar_macs_per_cycle = 128;
+    // 320 GB/s.
+    spec.dram_bytes_per_cycle = 201;
+    spec.shared_capacity = 48 * 1024;
+    spec.shared_per_unit = 64 * 1024;
+    return spec;
+}
+
+DlaSpec
+DlaSpec::a100()
+{
+    DlaSpec spec = v100();
+    spec.name = "A100";
+    spec.clock_ghz = 1.41;
+    spec.num_units = 108;
+    // 312 TFLOPS fp16 => 312e12/2/108/1.41e9 ~= 1024 MACs/cycle/SM.
+    spec.tensor_macs_per_cycle = 1024;
+    spec.scalar_macs_per_cycle = 256;
+    // 1555 GB/s.
+    spec.dram_bytes_per_cycle = 1103;
+    spec.staging_bytes_per_cycle = 256;
+    spec.shared_capacity = 48 * 1024;
+    spec.shared_per_unit = 164 * 1024;
+    return spec;
+}
+
+DlaSpec
+DlaSpec::dlboost()
+{
+    DlaSpec spec;
+    spec.kind = DlaKind::kDlBoost;
+    spec.name = "DLBoost";
+    spec.clock_ghz = 2.6;
+    spec.num_units = 18;
+    // AVX512-VNNI: VPDPBUSD on 2 ports = 2 * 64 int8 MACs/cycle.
+    spec.fixed_m = 1;
+    spec.fixed_n = 16;
+    spec.fixed_k = 4;
+    spec.tensor_macs_per_cycle = 128;
+    // fp32 AVX512 FMA fallback: 2 * 16 = 32 MACs/cycle.
+    spec.scalar_macs_per_cycle = 32;
+    // ~120 GB/s six-channel DDR4 => 46 B/cycle.
+    spec.dram_bytes_per_cycle = 46;
+    // L2 bandwidth ~64 B/cycle/core.
+    spec.staging_bytes_per_cycle = 64;
+    // L2 tile working-set budget per core.
+    spec.shared_capacity = 1024 * 1024;
+    spec.shared_per_unit = 1024 * 1024;
+    spec.l1_capacity = 32 * 1024;
+    spec.fragment_capacity = 2 * 1024; // accumulation registers
+    spec.vector_lengths = {1, 2, 4, 8, 16};
+    spec.max_vector_bytes = 64;
+    spec.launch_overhead_us = 2.0;
+    return spec;
+}
+
+DlaSpec
+DlaSpec::vta()
+{
+    DlaSpec spec;
+    spec.kind = DlaKind::kVta;
+    spec.name = "VTA";
+    spec.clock_ghz = 0.1;
+    spec.num_units = 1;
+    spec.fixed_m = 1;
+    spec.fixed_n = 16;
+    spec.fixed_k = 16;
+    // 256 PEs = one 1x16x16 GEMM per cycle.
+    spec.tensor_macs_per_cycle = 256;
+    spec.scalar_macs_per_cycle = 0; // no scalar fallback
+    // ~1 GB/s DDR on PYNQ => 10 B/cycle at 100 MHz.
+    spec.dram_bytes_per_cycle = 10;
+    spec.staging_bytes_per_cycle = 64;
+    spec.input_buffer_capacity = 32 * 1024;
+    spec.weight_buffer_capacity = 256 * 1024;
+    spec.acc_buffer_capacity = 128 * 1024;
+    spec.vector_lengths = {1, 2, 4, 8, 16};
+    spec.max_vector_bytes = 16;
+    spec.launch_overhead_us = 20.0;
+    return spec;
+}
+
+DlaSpec
+DlaSpec::tpu()
+{
+    DlaSpec spec;
+    spec.kind = DlaKind::kTpu;
+    spec.name = "TPU";
+    spec.clock_ghz = 0.7;
+    spec.num_units = 1;
+    // One 256x256 systolic matrix unit consuming 1x256x256 GEMM
+    // tiles per cycle once the pipeline is full.
+    spec.fixed_m = 1;
+    spec.fixed_n = 256;
+    spec.fixed_k = 256;
+    spec.tensor_macs_per_cycle = 256.0 * 256.0;
+    spec.scalar_macs_per_cycle = 0; // no scalar fallback
+    // ~34 GB/s DDR3 on TPUv1 => ~49 B/cycle.
+    spec.dram_bytes_per_cycle = 49;
+    spec.staging_bytes_per_cycle = 1024;
+    // Unified buffer for activations (paper: m*256 <= 4M) and a
+    // dedicated accumulator memory.
+    spec.input_buffer_capacity = 4 * 1024 * 1024;
+    spec.weight_buffer_capacity = 64 * 1024 * 1024; // weight FIFO+DRAM staging
+    spec.acc_buffer_capacity = 4 * 1024 * 1024;
+    spec.vector_lengths = {1, 2, 4, 8, 16};
+    spec.max_vector_bytes = 64;
+    spec.launch_overhead_us = 10.0;
+    return spec;
+}
+
+} // namespace heron::hw

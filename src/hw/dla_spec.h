@@ -1,0 +1,111 @@
+/**
+ * @file
+ * DLA specifications: the architectural parameters and constraints
+ * of the three accelerator archetypes the paper evaluates
+ * (NVIDIA TensorCore GPUs, Intel DL Boost CPUs, and the TVM VTA),
+ * with presets for V100, T4, A100, Xeon Gold 6240, and PYNQ VTA.
+ *
+ * The specs drive both (a) the generation rules, which read
+ * intrinsic shapes / memory capacities / vector widths to emit
+ * constraints, and (b) the simulators, which enforce the ground
+ * truth the constraints are supposed to capture.
+ */
+#ifndef HERON_HW_DLA_SPEC_H
+#define HERON_HW_DLA_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schedule/template.h"
+
+namespace heron::hw {
+
+/** The DLA archetypes (three from the paper evaluation + TPU). */
+enum class DlaKind : uint8_t {
+    kTensorCore,
+    kDlBoost,
+    kVta,
+    kTpu,
+};
+
+/** Archetype name. */
+const char *dla_kind_name(DlaKind kind);
+
+/** Full accelerator description. */
+struct DlaSpec {
+    DlaKind kind;
+    std::string name;
+    double clock_ghz = 1.0;
+    /** SMs (GPU), cores (CPU), or compute engines (VTA). */
+    int num_units = 1;
+
+    /**
+     * Tensor intrinsic shape constraint. When
+     * intrinsic_mnk_candidates is non-empty, each of m/n/k must be
+     * drawn from it and m*n*k must equal intrinsic_volume
+     * (TensorCore). When fixed_m/n/k are non-zero the shape is fixed
+     * (DL Boost 1x16x4, VTA 1x16x16).
+     */
+    std::vector<int64_t> intrinsic_mnk_candidates;
+    int64_t intrinsic_volume = 0;
+    int64_t fixed_m = 0, fixed_n = 0, fixed_k = 0;
+
+    /** Peak tensorized MACs per cycle per unit. */
+    double tensor_macs_per_cycle = 0;
+    /** Scalar/SIMD fallback MACs per cycle per unit (CUDA-core path). */
+    double scalar_macs_per_cycle = 0;
+
+    /** DRAM bandwidth in bytes per cycle (whole chip). */
+    double dram_bytes_per_cycle = 0;
+    /** Per-unit staging memory bandwidth, bytes/cycle (shared/L2). */
+    double staging_bytes_per_cycle = 0;
+
+    /** Shared memory (GPU block) / L2 tile (CPU) capacity, bytes. */
+    int64_t shared_capacity = 0;
+    /** Shared memory per unit (occupancy limit), bytes. */
+    int64_t shared_per_unit = 0;
+    /** Fragment/register tile capacity per warp/core, bytes. */
+    int64_t fragment_capacity = 0;
+    /** L1 tile capacity (CPU), bytes. */
+    int64_t l1_capacity = 0;
+    /** VTA explicit buffers, bytes. */
+    int64_t input_buffer_capacity = 0;
+    int64_t weight_buffer_capacity = 0;
+    int64_t acc_buffer_capacity = 0;
+
+    /** Allowed vectorized access lengths (elements). */
+    std::vector<int64_t> vector_lengths{1, 2, 4, 8};
+    /** Max transaction width, bytes (16 on NVIDIA GPUs). */
+    int64_t max_vector_bytes = 16;
+
+    /** GPU limits. */
+    int warp_size = 32;
+    int max_threads_per_block = 1024;
+    int max_warps_per_unit = 64;
+    /** Shared memory banks (conflict modeling). */
+    int num_banks = 32;
+
+    /** Kernel launch / invocation overhead, microseconds. */
+    double launch_overhead_us = 5.0;
+
+    /** Peak tensorized throughput in GMAC/s (whole chip). */
+    double peak_gmacs() const;
+
+    /** Memory scopes this DLA stages data in (multi-level rule). */
+    std::vector<schedule::MemScope> cache_scopes() const;
+
+    // Presets.
+    static DlaSpec v100();
+    static DlaSpec t4();
+    static DlaSpec a100();
+    static DlaSpec dlboost();
+    static DlaSpec vta();
+    /** TPU-v1-like systolic accelerator (paper Table 3: fixed
+     * 1x256x256 matrix unit, unified-buffer capacity m*256 <= 4M). */
+    static DlaSpec tpu();
+};
+
+} // namespace heron::hw
+
+#endif // HERON_HW_DLA_SPEC_H

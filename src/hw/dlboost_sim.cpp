@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Analytic DL Boost (AVX512-VNNI CPU) performance model.
+ *
+ * Conventions: kCore role levels count parallel chunks mapped onto
+ * cores; L2-scope cache stages model cache-blocking tiles whose
+ * fills hit DRAM, L1-scope stages model inner tiles whose fills hit
+ * L2. Tensorized programs use the fixed 1x16x4 int8 VNNI intrinsic.
+ */
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "hw/simulator.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::hw {
+
+namespace {
+
+using schedule::ConcreteProgram;
+using schedule::ConcreteStage;
+using schedule::LoopRole;
+using schedule::MemScope;
+using schedule::StageRole;
+
+class DlBoostSim : public DlaSimulator
+{
+  public:
+    explicit DlBoostSim(const DlaSpec &spec) : spec_(spec) {}
+
+    const DlaSpec &spec() const override { return spec_; }
+
+    std::string check(const ConcreteProgram &program) const override;
+    double latency_ms(const ConcreteProgram &program) const override;
+
+  private:
+    DlaSpec spec_;
+};
+
+std::string
+DlBoostSim::check(const ConcreteProgram &program) const
+{
+    const ConcreteStage &main = program.main_stage();
+    std::ostringstream err;
+
+    if (main.intrinsic_m > 0) {
+        if (main.intrinsic_m != spec_.fixed_m ||
+            main.intrinsic_n != spec_.fixed_n ||
+            main.intrinsic_k != spec_.fixed_k) {
+            err << "VNNI intrinsic requires " << spec_.fixed_m << "x"
+                << spec_.fixed_n << "x" << spec_.fixed_k << ", got "
+                << main.intrinsic_m << "x" << main.intrinsic_n << "x"
+                << main.intrinsic_k;
+            return err.str();
+        }
+        if (program.dtype != ir::DataType::kInt8)
+            return "VNNI intrinsic requires int8 inputs";
+    }
+
+    int64_t l2 = program.scope_bytes(MemScope::kL2);
+    if (l2 > spec_.shared_capacity) {
+        err << "L2 tile " << l2 << "B exceeds " << spec_.shared_capacity
+            << "B";
+        return err.str();
+    }
+    int64_t l1 = program.scope_bytes(MemScope::kL1);
+    if (l1 > spec_.l1_capacity) {
+        err << "L1 tile " << l1 << "B exceeds " << spec_.l1_capacity
+            << "B";
+        return err.str();
+    }
+    int64_t regs = program.scope_bytes(MemScope::kRegister);
+    if (regs > spec_.fragment_capacity) {
+        err << "accumulator tile " << regs << "B exceeds register file";
+        return err.str();
+    }
+
+    for (const auto &stage : program.stages) {
+        if (stage.role == StageRole::kMain)
+            continue;
+        const auto &lens = spec_.vector_lengths;
+        if (std::find(lens.begin(), lens.end(), stage.vector_len) ==
+            lens.end()) {
+            err << stage.name << ": vector length " << stage.vector_len
+                << " unsupported";
+            return err.str();
+        }
+        if (stage.row_elements > 0 &&
+            stage.row_elements % stage.vector_len != 0) {
+            err << stage.name << ": unaligned vectorized access";
+            return err.str();
+        }
+    }
+    return "";
+}
+
+double
+DlBoostSim::latency_ms(const ConcreteProgram &program) const
+{
+    const ConcreteStage &main = program.main_stage();
+    bool tensorized = main.intrinsic_m > 0;
+
+    int64_t parallel = std::max<int64_t>(
+        1, main.role_product(LoopRole::kCore));
+    int64_t cores = std::min<int64_t>(spec_.num_units, parallel);
+    // Load imbalance when the parallel chunk count barely exceeds
+    // the core count.
+    double balance =
+        static_cast<double>(parallel) /
+        (static_cast<double>(ceil_div(parallel, cores)) *
+         static_cast<double>(cores));
+
+    double macs = static_cast<double>(program.total_ops) / 2.0;
+    double per_cycle =
+        tensorized ? spec_.tensor_macs_per_cycle
+                   : spec_.scalar_macs_per_cycle;
+
+    // Inner-kernel efficiency: accumulate in registers, stay in L1.
+    int64_t l1 = program.scope_bytes(MemScope::kL1);
+    double eff_l1 =
+        l1 == 0 ? 0.7
+                : std::min(1.0, static_cast<double>(spec_.l1_capacity) /
+                                    (static_cast<double>(l1) + 1.0));
+    eff_l1 = std::clamp(eff_l1, 0.3, 1.0);
+    int64_t regs = program.scope_bytes(MemScope::kRegister);
+    // Peak needs >= 8 independent accumulators; tiny tiles stall the
+    // FMA pipeline, huge ones spill (checked above).
+    double acc_elems =
+        regs > 0 ? static_cast<double>(regs) / 4.0 : 4.0;
+    double eff_acc = std::clamp(acc_elems / 128.0, 0.35, 1.0);
+    double unroll = static_cast<double>(std::max<int64_t>(
+        1, main.unroll));
+    double eff_unroll =
+        1.0 / (1.10 - 0.10 * std::min(1.0,
+                                      std::log2(1.0 + unroll) / 4.0));
+
+    double compute_cycles =
+        macs / (per_cycle * static_cast<double>(cores) * balance *
+                eff_l1 * eff_acc * eff_unroll);
+    if (!tensorized && program.dtype == ir::DataType::kInt8) {
+        // Scalar path upconverts int8 to fp32.
+        compute_cycles *= 1.3;
+    }
+
+    double dram_bytes = 0.0;
+    double l2_bytes = 0.0;
+    for (const auto &stage : program.stages) {
+        if (stage.role == StageRole::kMain)
+            continue;
+        double traffic = static_cast<double>(stage.fill_trips) *
+                         static_cast<double>(stage.tile_elements) *
+                         static_cast<double>(stage.bytes_per_element);
+        double vec_eff =
+            0.6 + 0.4 * std::min(1.0,
+                                 static_cast<double>(
+                                     stage.vector_len *
+                                     stage.bytes_per_element) /
+                                     64.0);
+        // Packed (oneDNN-style) weight blockings stream dense,
+        // fully-used cache lines; raw strided layouts waste ~30% of
+        // each line (paper §7.1 credits ~30% to these layouts).
+        if (stage.packed_layout)
+            traffic *= 0.70;
+        switch (stage.scope) {
+          case MemScope::kL2:
+            dram_bytes += traffic / vec_eff;
+            break;
+          case MemScope::kL1:
+          case MemScope::kRegister:
+            l2_bytes += traffic / vec_eff;
+            break;
+          default:
+            dram_bytes += traffic;
+        }
+    }
+    // Unstaged inputs stream from DRAM every iteration.
+    dram_bytes +=
+        static_cast<double>(program.streamed_input_bytes);
+
+    double dram_cycles = dram_bytes / spec_.dram_bytes_per_cycle;
+    double l2_cycles = l2_bytes / (spec_.staging_bytes_per_cycle *
+                                   static_cast<double>(cores));
+
+    double bound = std::max({compute_cycles, dram_cycles, l2_cycles});
+    double total =
+        bound +
+        0.2 * (compute_cycles + dram_cycles + l2_cycles - bound);
+
+    double ms = total / (spec_.clock_ghz * 1e9) * 1e3 +
+                spec_.launch_overhead_us / 1e3;
+    ms *= 1.0 + 0.05 * detail::config_residual(program);
+    return ms;
+}
+
+} // namespace
+
+std::unique_ptr<DlaSimulator>
+make_dlboost_sim(const DlaSpec &spec)
+{
+    return std::make_unique<DlBoostSim>(spec);
+}
+
+} // namespace heron::hw

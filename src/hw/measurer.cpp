@@ -1,0 +1,44 @@
+#include "hw/measurer.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace heron::hw {
+
+Measurer::Measurer(const DlaSpec &spec, MeasureConfig config)
+    : sim_(make_simulator(spec)), config_(config), rng_(config.seed)
+{
+}
+
+MeasureResult
+Measurer::measure(const schedule::ConcreteProgram &program)
+{
+    ++count_;
+    MeasureResult result;
+    result.error = sim_->check(program);
+    // A failed build/launch still costs harness time.
+    simulated_seconds_ += config_.harness_overhead_s;
+    if (!result.error.empty()) {
+        ++invalid_count_;
+        return result;
+    }
+
+    double model_ms = sim_->latency_ms(program);
+    HERON_CHECK_GT(model_ms, 0.0);
+    double sum_ms = 0.0;
+    for (int r = 0; r < config_.repeats; ++r) {
+        double noisy =
+            model_ms * std::max(0.5, 1.0 + config_.noise_std *
+                                              rng_.normal());
+        sum_ms += noisy;
+        simulated_seconds_ += noisy / 1e3;
+    }
+    result.valid = true;
+    result.latency_ms = sum_ms / config_.repeats;
+    result.gflops = static_cast<double>(program.total_ops) /
+                    (result.latency_ms * 1e6);
+    return result;
+}
+
+} // namespace heron::hw

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The DLA Measurer (paper §3): validates and "measures" generated
+ * programs, averaging repeated runs, and accounts for the simulated
+ * wall-clock cost of measurement (which dominates compilation time
+ * in the paper's Table 10 / Fig. 14).
+ */
+#ifndef HERON_HW_MEASURER_H
+#define HERON_HW_MEASURER_H
+
+#include <memory>
+#include <string>
+
+#include "hw/simulator.h"
+#include "support/rng.h"
+
+namespace heron::hw {
+
+/** Outcome of one measurement. */
+struct MeasureResult {
+    bool valid = false;
+    std::string error;
+    /** Mean latency across repeats, milliseconds. */
+    double latency_ms = 0.0;
+    /** Achieved throughput in GFLOP/s (0 for invalid programs). */
+    double gflops = 0.0;
+};
+
+/** Measurement configuration. */
+struct MeasureConfig {
+    /** Runs averaged per measurement. */
+    int repeats = 3;
+    /** Per-measurement harness overhead (compile+upload), seconds. */
+    double harness_overhead_s = 0.15;
+    /** Multiplicative run-to-run noise (std, fraction of latency). */
+    double noise_std = 0.01;
+    uint64_t seed = 1;
+};
+
+/** Validates, times, and accounts for measurements on one DLA. */
+class Measurer
+{
+  public:
+    Measurer(const DlaSpec &spec, MeasureConfig config = {});
+
+    /** Measure one program (validity + repeated timed runs). */
+    MeasureResult measure(const schedule::ConcreteProgram &program);
+
+    /** The underlying simulator. */
+    const DlaSimulator &simulator() const { return *sim_; }
+
+    /** Measurements performed so far. */
+    int64_t count() const { return count_; }
+
+    /** Invalid programs seen so far. */
+    int64_t invalid_count() const { return invalid_count_; }
+
+    /**
+     * Total simulated wall-clock seconds spent measuring: repeats *
+     * latency + per-measurement harness overhead, the quantity
+     * Table 10 and Fig. 14 track.
+     */
+    double simulated_seconds() const { return simulated_seconds_; }
+
+  private:
+    std::unique_ptr<DlaSimulator> sim_;
+    MeasureConfig config_;
+    Rng rng_;
+    int64_t count_ = 0;
+    int64_t invalid_count_ = 0;
+    double simulated_seconds_ = 0.0;
+};
+
+} // namespace heron::hw
+
+#endif // HERON_HW_MEASURER_H

@@ -1,0 +1,78 @@
+#include "hw/simulator.h"
+
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::hw {
+
+// Defined in the per-DLA translation units.
+std::unique_ptr<DlaSimulator> make_tensorcore_sim(const DlaSpec &spec);
+std::unique_ptr<DlaSimulator> make_dlboost_sim(const DlaSpec &spec);
+std::unique_ptr<DlaSimulator> make_vta_sim(const DlaSpec &spec);
+std::unique_ptr<DlaSimulator> make_tpu_sim(const DlaSpec &spec);
+
+std::unique_ptr<DlaSimulator>
+make_simulator(const DlaSpec &spec)
+{
+    switch (spec.kind) {
+      case DlaKind::kTensorCore: return make_tensorcore_sim(spec);
+      case DlaKind::kDlBoost: return make_dlboost_sim(spec);
+      case DlaKind::kVta: return make_vta_sim(spec);
+      case DlaKind::kTpu: return make_tpu_sim(spec);
+    }
+    HERON_FATAL << "unknown DLA kind";
+    return nullptr;
+}
+
+namespace detail {
+
+uint64_t
+program_hash(const schedule::ConcreteProgram &program)
+{
+    uint64_t h = hash_u64(static_cast<uint64_t>(program.total_ops));
+    for (const auto &s : program.stages) {
+        h = hash_combine(h, std::hash<std::string>{}(s.name));
+        for (size_t a = 0; a < s.tile.size(); ++a)
+            for (size_t l = 0; l < s.tile[a].size(); ++l)
+                h = hash_combine(
+                    h, static_cast<uint64_t>(s.tile[a][l]) * 31 +
+                           static_cast<uint64_t>(s.roles[a][l]));
+        h = hash_combine(h, static_cast<uint64_t>(s.attach_depth + 7));
+        h = hash_combine(h, static_cast<uint64_t>(s.vector_len));
+        h = hash_combine(h, static_cast<uint64_t>(s.unroll));
+        h = hash_combine(h,
+                         static_cast<uint64_t>(s.storage_align_pad));
+        h = hash_combine(h, static_cast<uint64_t>(s.intrinsic_m * 37 +
+                                                  s.intrinsic_n * 5 +
+                                                  s.intrinsic_k));
+    }
+    return h;
+}
+
+double
+config_residual(const schedule::ConcreteProgram &program)
+{
+    uint64_t h = hash_u64(program_hash(program));
+    // Map to [-1, 1].
+    return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+int
+bank_conflict_ways(const DlaSpec &spec, int64_t row_elements,
+                   int64_t pad_elements, int elem_bytes)
+{
+    if (row_elements <= 0)
+        return 1;
+    // Words (4-byte bank width) per row including padding.
+    int64_t row_bytes = (row_elements + pad_elements) * elem_bytes;
+    int64_t stride_words = std::max<int64_t>(1, row_bytes / 4);
+    int64_t g = gcd64(stride_words, spec.num_banks);
+    // A warp walking down a column hits num_banks/g distinct banks;
+    // ways of conflict is g (capped by the warp size).
+    int ways = static_cast<int>(g);
+    return std::max(1, std::min(ways, spec.warp_size));
+}
+
+} // namespace detail
+
+} // namespace heron::hw

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * DLA performance simulators.
+ *
+ * The paper measures generated programs on real V100/T4/A100
+ * TensorCores, a DL Boost Xeon, and a PYNQ VTA. Offline we replace
+ * measurement with deterministic analytic models that preserve the
+ * properties the paper's comparisons rely on:
+ *
+ *  - *hard validity*: programs violating architectural constraints
+ *    (intrinsic shape, SPM capacity, vector width, thread limits)
+ *    fail with an error, exactly like a CUDA compile/launch failure;
+ *  - *large, structured performance variance*: tiling choices shift
+ *    data traffic and parallelism by orders of magnitude; and
+ *  - *irregularity*: occupancy cliffs, shared-memory bank conflicts
+ *    (sensitive to storage_align), vector-width effects, and a small
+ *    deterministic per-configuration residual make neighboring
+ *    programs differ, as in paper Fig. 11.
+ */
+#ifndef HERON_HW_SIMULATOR_H
+#define HERON_HW_SIMULATOR_H
+
+#include <memory>
+#include <string>
+
+#include "hw/dla_spec.h"
+#include "schedule/concrete.h"
+
+namespace heron::hw {
+
+/** Simulator interface shared by the three DLA archetypes. */
+class DlaSimulator
+{
+  public:
+    virtual ~DlaSimulator() = default;
+
+    /** The accelerator being modeled. */
+    virtual const DlaSpec &spec() const = 0;
+
+    /**
+     * Validate @p program against the DLA's architectural
+     * constraints. @return empty string when valid, else a
+     * diagnostic (the analogue of a compile or launch error).
+     */
+    virtual std::string check(const schedule::ConcreteProgram &program)
+        const = 0;
+
+    /**
+     * Modeled execution latency in milliseconds. Requires
+     * check(program) to be empty.
+     */
+    virtual double latency_ms(const schedule::ConcreteProgram &program)
+        const = 0;
+
+    /**
+     * Human-readable breakdown of the latency model's terms for a
+     * valid program (diagnostics; empty by default).
+     */
+    virtual std::string
+    explain(const schedule::ConcreteProgram &program) const
+    {
+        (void)program;
+        return "";
+    }
+};
+
+/** Create the simulator matching @p spec.kind. */
+std::unique_ptr<DlaSimulator> make_simulator(const DlaSpec &spec);
+
+namespace detail {
+
+/**
+ * Deterministic per-configuration residual in [-1, 1]: unmodeled
+ * microarchitectural effects that make the landscape rugged without
+ * breaking reproducibility.
+ */
+double config_residual(const schedule::ConcreteProgram &program);
+
+/** Structural hash of a program (tiles, annotations, attach points). */
+uint64_t program_hash(const schedule::ConcreteProgram &program);
+
+/**
+ * Shared-memory bank conflict ways for a staged tile: the number of
+ * serialized passes a warp access needs given the innermost row
+ * stride (elements + storage_align padding).
+ */
+int bank_conflict_ways(const DlaSpec &spec, int64_t row_elements,
+                       int64_t pad_elements, int elem_bytes);
+
+} // namespace detail
+
+} // namespace heron::hw
+
+#endif // HERON_HW_SIMULATOR_H

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Analytic TensorCore (GPU) performance model.
+ *
+ * Conventions: for tensorized programs the kThread role counts
+ * *warps*; for the scalar (CUDA-core) path it counts *threads*.
+ * DRAM traffic is derived from cache-read/write stage fill counts;
+ * shared-memory bandwidth is charged with bank-conflict
+ * serialization sensitive to storage_align padding.
+ */
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "hw/simulator.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::hw {
+
+namespace {
+
+using schedule::ConcreteProgram;
+using schedule::ConcreteStage;
+using schedule::LoopRole;
+using schedule::MemScope;
+using schedule::StageRole;
+
+class TensorCoreSim : public DlaSimulator
+{
+  public:
+    explicit TensorCoreSim(const DlaSpec &spec) : spec_(spec) {}
+
+    const DlaSpec &spec() const override { return spec_; }
+
+    std::string check(const ConcreteProgram &program) const override;
+    double latency_ms(const ConcreteProgram &program) const override;
+    std::string explain(const ConcreteProgram &program) const override;
+
+  private:
+    DlaSpec spec_;
+
+    struct Breakdown {
+        double compute_cycles = 0;
+        double dram_cycles = 0;
+        double shared_cycles = 0;
+        double overhead_cycles = 0;
+        double eff_occ = 0;
+        int64_t blocks = 0;
+        int64_t warps = 0;
+        int64_t resident = 0;
+        double ms = 0;
+    };
+    Breakdown model(const ConcreteProgram &program) const;
+
+    /** Warps (tensorized) or threads (scalar) per block. */
+    int64_t
+    thread_units(const ConcreteStage &main) const
+    {
+        return std::max<int64_t>(1, main.role_product(LoopRole::kThread));
+    }
+};
+
+std::string
+TensorCoreSim::check(const ConcreteProgram &program) const
+{
+    const ConcreteStage &main = program.main_stage();
+    std::ostringstream err;
+
+    bool tensorized = main.intrinsic_m > 0;
+    if (tensorized) {
+        auto in_candidates = [&](int64_t v) {
+            const auto &c = spec_.intrinsic_mnk_candidates;
+            return std::find(c.begin(), c.end(), v) != c.end();
+        };
+        if (!spec_.intrinsic_mnk_candidates.empty()) {
+            if (!in_candidates(main.intrinsic_m) ||
+                !in_candidates(main.intrinsic_n) ||
+                !in_candidates(main.intrinsic_k)) {
+                err << "unsupported wmma shape " << main.intrinsic_m
+                    << "x" << main.intrinsic_n << "x"
+                    << main.intrinsic_k;
+                return err.str();
+            }
+            if (main.intrinsic_m * main.intrinsic_n *
+                    main.intrinsic_k != spec_.intrinsic_volume) {
+                err << "wmma m*n*k must equal "
+                    << spec_.intrinsic_volume;
+                return err.str();
+            }
+        }
+    }
+
+    int64_t units = thread_units(main);
+    int64_t threads = tensorized ? units * spec_.warp_size : units;
+    if (threads > spec_.max_threads_per_block) {
+        err << "threads per block " << threads << " exceeds "
+            << spec_.max_threads_per_block;
+        return err.str();
+    }
+    int64_t vthreads = main.role_product(LoopRole::kVThread);
+    if (vthreads > 32)
+        return "too many virtual threads";
+
+    int64_t shared = program.scope_bytes(MemScope::kShared);
+    if (shared > spec_.shared_capacity) {
+        err << "shared memory " << shared << "B exceeds "
+            << spec_.shared_capacity << "B";
+        return err.str();
+    }
+    int64_t fragment = program.scope_bytes(MemScope::kFragment);
+    if (fragment > spec_.fragment_capacity) {
+        err << "fragment/register tile " << fragment << "B exceeds "
+            << spec_.fragment_capacity << "B";
+        return err.str();
+    }
+
+    for (const auto &stage : program.stages) {
+        if (stage.role == StageRole::kMain)
+            continue;
+        const auto &lens = spec_.vector_lengths;
+        if (std::find(lens.begin(), lens.end(), stage.vector_len) ==
+            lens.end()) {
+            err << stage.name << ": vector length "
+                << stage.vector_len << " unsupported";
+            return err.str();
+        }
+        if (stage.vector_len * stage.bytes_per_element >
+            spec_.max_vector_bytes) {
+            err << stage.name << ": vector access exceeds "
+                << spec_.max_vector_bytes << "B";
+            return err.str();
+        }
+        if (stage.row_elements > 0 &&
+            stage.row_elements % stage.vector_len != 0) {
+            err << stage.name << ": unaligned vectorized access ("
+                << stage.row_elements << " % " << stage.vector_len
+                << ")";
+            return err.str();
+        }
+    }
+    return "";
+}
+
+double
+TensorCoreSim::latency_ms(const ConcreteProgram &program) const
+{
+    return model(program).ms;
+}
+
+std::string
+TensorCoreSim::explain(const ConcreteProgram &program) const
+{
+    Breakdown b = model(program);
+    std::ostringstream out;
+    out << "blocks=" << b.blocks << " warps=" << b.warps
+        << " resident=" << b.resident << " eff_occ=" << b.eff_occ
+        << " compute_cycles=" << b.compute_cycles
+        << " dram_cycles=" << b.dram_cycles
+        << " shared_cycles=" << b.shared_cycles
+        << " overhead_cycles=" << b.overhead_cycles
+        << " ms=" << b.ms;
+    return out.str();
+}
+
+TensorCoreSim::Breakdown
+TensorCoreSim::model(const ConcreteProgram &program) const
+{
+    const ConcreteStage &main = program.main_stage();
+    bool tensorized = main.intrinsic_m > 0;
+
+    int64_t blocks = std::max<int64_t>(
+        1, main.role_product(LoopRole::kGrid));
+    int64_t units = thread_units(main);
+    int64_t warps =
+        tensorized ? units
+                   : std::max<int64_t>(1, units / spec_.warp_size);
+    int64_t active_sms = std::min<int64_t>(spec_.num_units, blocks);
+
+    // Occupancy: resident blocks per SM limited by shared memory and
+    // warp count.
+    int64_t shared = program.scope_bytes(MemScope::kShared);
+    int64_t by_mem = shared > 0 ? spec_.shared_per_unit / shared : 8;
+    int64_t by_warp = std::max<int64_t>(
+        1, spec_.max_warps_per_unit / std::max<int64_t>(1, warps));
+    int64_t resident = std::clamp<int64_t>(
+        std::min(by_mem, by_warp), 1, 8);
+    resident = std::min(resident, ceil_div(blocks, active_sms));
+    double resident_warps =
+        static_cast<double>(resident * warps);
+    double eff_occ =
+        std::min(1.0, 0.25 + 0.75 * resident_warps / 16.0);
+
+    // Compute throughput.
+    double macs = static_cast<double>(program.total_ops) / 2.0;
+    double compute_cycles;
+    if (tensorized) {
+        double eff_warp =
+            std::min(1.0, static_cast<double>(warps) / 4.0);
+        if (warps > 32)
+            eff_warp *= 0.9;
+        double shape_skew = std::fabs(
+            std::log2(static_cast<double>(main.intrinsic_m) /
+                      static_cast<double>(main.intrinsic_n)));
+        double eff_shape = 1.0 - 0.04 * shape_skew;
+        compute_cycles =
+            macs / (spec_.tensor_macs_per_cycle *
+                    static_cast<double>(active_sms) * eff_occ *
+                    eff_warp * eff_shape);
+    } else {
+        double threads = static_cast<double>(units);
+        double eff_thread = std::min(1.0, threads / 256.0);
+        compute_cycles =
+            macs / (spec_.scalar_macs_per_cycle *
+                    static_cast<double>(active_sms) * eff_occ *
+                    std::max(0.05, eff_thread));
+    }
+    // Unroll shaves loop overhead.
+    double unroll = static_cast<double>(std::max<int64_t>(
+        1, main.unroll));
+    compute_cycles *=
+        1.06 - 0.06 * std::min(1.0, std::log2(1.0 + unroll) / 4.0);
+
+    // DRAM traffic from cache stage fills.
+    double dram_bytes = 0.0;
+    double shared_bytes_moved = 0.0;
+    for (const auto &stage : program.stages) {
+        if (stage.role == StageRole::kMain)
+            continue;
+        double traffic = static_cast<double>(stage.fill_trips) *
+                         static_cast<double>(stage.tile_elements) *
+                         static_cast<double>(stage.bytes_per_element);
+        int ways = detail::bank_conflict_ways(
+            spec_, stage.row_elements, stage.storage_align_pad,
+            static_cast<int>(stage.bytes_per_element));
+        double conflict = std::min(ways, 8);
+        switch (stage.scope) {
+          case MemScope::kShared: {
+            // Global <-> shared movement: DRAM once, shared banks
+            // once (with conflicts).
+            double vec_eff =
+                0.7 + 0.3 * std::min(1.0,
+                                     static_cast<double>(
+                                         stage.vector_len *
+                                         stage.bytes_per_element) /
+                                         16.0);
+            dram_bytes += traffic / vec_eff;
+            shared_bytes_moved += traffic * conflict;
+            break;
+          }
+          case MemScope::kFragment:
+          case MemScope::kRegister:
+            // Shared <-> fragment movement.
+            shared_bytes_moved += traffic * conflict;
+            break;
+          default:
+            dram_bytes += traffic;
+        }
+        if (stage.role == StageRole::kCacheWrite &&
+            stage.scope != MemScope::kShared &&
+            stage.scope != MemScope::kFragment) {
+            // Already charged to DRAM above.
+        }
+    }
+    // Unstaged inputs stream from DRAM every iteration.
+    dram_bytes +=
+        static_cast<double>(program.streamed_input_bytes);
+
+    double dram_cycles = dram_bytes / spec_.dram_bytes_per_cycle;
+    double shared_cycles =
+        shared_bytes_moved /
+        (spec_.staging_bytes_per_cycle *
+         static_cast<double>(active_sms));
+
+    // Imperfect overlap of compute and memory pipelines.
+    double bound = std::max({compute_cycles, dram_cycles,
+                             shared_cycles});
+    double total = bound + 0.15 * (compute_cycles + dram_cycles +
+                                   shared_cycles - bound);
+
+    // Wave quantization and launch overhead.
+    int64_t waves = ceil_div(blocks, active_sms * resident);
+    double overhead = static_cast<double>(waves) * 600.0;
+    total += overhead;
+    double ms = total / (spec_.clock_ghz * 1e9) * 1e3 +
+                spec_.launch_overhead_us / 1e3;
+
+    // Deterministic unmodeled residual (+-5%).
+    ms *= 1.0 + 0.05 * detail::config_residual(program);
+
+    Breakdown b;
+    b.compute_cycles = compute_cycles;
+    b.dram_cycles = dram_cycles;
+    b.shared_cycles = shared_cycles;
+    b.overhead_cycles = overhead;
+    b.eff_occ = eff_occ;
+    b.blocks = blocks;
+    b.warps = warps;
+    b.resident = resident;
+    b.ms = ms;
+    return b;
+}
+
+} // namespace
+
+std::unique_ptr<DlaSimulator>
+make_tensorcore_sim(const DlaSpec &spec)
+{
+    return std::make_unique<TensorCoreSim>(spec);
+}
+
+} // namespace heron::hw

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Analytic TPU-v1-like systolic array model (extension beyond the
+ * paper's three evaluation platforms, built from the constraints
+ * the paper's Table 3 lists for TPU: fixed 1x256x256 matrix unit
+ * and unified-buffer capacity).
+ *
+ * The model captures the systolic peculiarities that make naive
+ * schedules slow: a pipeline-fill cost per weight tile (the 256-deep
+ * array must drain/refill when weights change), unified-buffer
+ * capacity pressure, and a thin DDR3 link.
+ */
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "hw/simulator.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::hw {
+
+namespace {
+
+using schedule::ConcreteProgram;
+using schedule::ConcreteStage;
+using schedule::LoopRole;
+using schedule::MemScope;
+using schedule::StageRole;
+
+class TpuSim : public DlaSimulator
+{
+  public:
+    explicit TpuSim(const DlaSpec &spec) : spec_(spec) {}
+
+    const DlaSpec &spec() const override { return spec_; }
+
+    std::string check(const ConcreteProgram &program) const override;
+    double latency_ms(const ConcreteProgram &program) const override;
+
+  private:
+    DlaSpec spec_;
+};
+
+std::string
+TpuSim::check(const ConcreteProgram &program) const
+{
+    const ConcreteStage &main = program.main_stage();
+    std::ostringstream err;
+
+    if (main.intrinsic_m == 0)
+        return "TPU has no scalar fallback; compute must be "
+               "tensorized";
+    if (main.intrinsic_m != spec_.fixed_m ||
+        main.intrinsic_n != spec_.fixed_n ||
+        main.intrinsic_k != spec_.fixed_k) {
+        err << "TPU matrix unit requires " << spec_.fixed_m << "x"
+            << spec_.fixed_n << "x" << spec_.fixed_k << ", got "
+            << main.intrinsic_m << "x" << main.intrinsic_n << "x"
+            << main.intrinsic_k;
+        return err.str();
+    }
+    if (program.dtype != ir::DataType::kInt8)
+        return "TPU matrix unit requires int8 inputs";
+
+    int64_t unified = program.scope_bytes(MemScope::kInputBuffer);
+    if (unified > spec_.input_buffer_capacity) {
+        err << "unified buffer " << unified << "B exceeds "
+            << spec_.input_buffer_capacity << "B (m*256 <= 4M)";
+        return err.str();
+    }
+    int64_t weights = program.scope_bytes(MemScope::kWeightBuffer);
+    if (weights > spec_.weight_buffer_capacity) {
+        err << "weight staging " << weights << "B exceeds "
+            << spec_.weight_buffer_capacity << "B";
+        return err.str();
+    }
+    int64_t acc = program.scope_bytes(MemScope::kAccBuffer);
+    if (acc > spec_.acc_buffer_capacity) {
+        err << "accumulator memory " << acc << "B exceeds "
+            << spec_.acc_buffer_capacity << "B";
+        return err.str();
+    }
+    return "";
+}
+
+double
+TpuSim::latency_ms(const ConcreteProgram &program) const
+{
+    const ConcreteStage &main = program.main_stage();
+
+    double macs = static_cast<double>(program.total_ops) / 2.0;
+    double compute_cycles = macs / spec_.tensor_macs_per_cycle;
+
+    // Weight-tile switches stall the systolic pipeline for ~2*256
+    // cycles each (drain + refill). The weight stage's fill count
+    // tells how often that happens.
+    int64_t weight_switches = 1;
+    double load_bytes = 0.0;
+    double store_bytes = 0.0;
+    for (const auto &stage : program.stages) {
+        if (stage.role == StageRole::kMain)
+            continue;
+        double traffic = static_cast<double>(stage.fill_trips) *
+                         static_cast<double>(stage.tile_elements) *
+                         static_cast<double>(stage.bytes_per_element);
+        if (stage.role == StageRole::kCacheRead) {
+            load_bytes += traffic;
+            if (stage.scope == MemScope::kWeightBuffer)
+                weight_switches =
+                    std::max(weight_switches, stage.fill_trips);
+        } else if (stage.scope == MemScope::kGlobal) {
+            store_bytes += traffic;
+        }
+    }
+    load_bytes +=
+        static_cast<double>(program.streamed_input_bytes);
+
+    double fill_cycles = static_cast<double>(weight_switches) *
+                         2.0 * static_cast<double>(spec_.fixed_n);
+    double dram_cycles =
+        (load_bytes + store_bytes) / spec_.dram_bytes_per_cycle;
+
+    // Batch (m) depth amortizes the pipeline: deeper buffer tiles
+    // along non-reduce serial loops keep the array busy.
+    int64_t m_depth = 1;
+    for (size_t a = 0; a < main.tile.size(); ++a) {
+        if (main.axis_reduce[a])
+            continue;
+        for (size_t l = 0; l < main.tile[a].size(); ++l)
+            if (main.roles[a][l] == LoopRole::kBuffer)
+                m_depth = checked_mul(m_depth, main.tile[a][l]);
+    }
+    double eff_depth = std::min(
+        1.0, static_cast<double>(m_depth) /
+                 static_cast<double>(spec_.fixed_n));
+    compute_cycles /= std::max(0.1, eff_depth);
+
+    double bound = std::max({compute_cycles + fill_cycles,
+                             dram_cycles});
+    double total = bound + 0.2 * (compute_cycles + fill_cycles +
+                                  dram_cycles - bound);
+
+    double ms = total / (spec_.clock_ghz * 1e9) * 1e3 +
+                spec_.launch_overhead_us / 1e3;
+    ms *= 1.0 + 0.05 * detail::config_residual(program);
+    return ms;
+}
+
+} // namespace
+
+std::unique_ptr<DlaSimulator>
+make_tpu_sim(const DlaSpec &spec)
+{
+    return std::make_unique<TpuSim>(spec);
+}
+
+} // namespace heron::hw

@@ -1,0 +1,109 @@
+#include "ir/dag.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace heron::ir {
+
+void
+ComputeDag::add_input(Tensor tensor)
+{
+    inputs_.push_back(std::move(tensor));
+}
+
+void
+ComputeDag::add_stage(ComputeStage stage)
+{
+    for (const auto &read : stage.reads) {
+        HERON_CHECK(is_input(read.tensor) ||
+                    producer_of(read.tensor) >= 0)
+            << "stage " << stage.name << " reads unknown tensor "
+            << read.tensor;
+    }
+    stages_.push_back(std::move(stage));
+}
+
+int
+ComputeDag::producer_of(const std::string &tensor_name) const
+{
+    for (size_t i = 0; i < stages_.size(); ++i)
+        if (stages_[i].output.name == tensor_name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::vector<int>
+ComputeDag::consumers_of(int i) const
+{
+    const std::string &out = stages_[static_cast<size_t>(i)].output.name;
+    std::vector<int> consumers;
+    for (size_t j = 0; j < stages_.size(); ++j) {
+        for (const auto &read : stages_[j].reads) {
+            if (read.tensor == out) {
+                consumers.push_back(static_cast<int>(j));
+                break;
+            }
+        }
+    }
+    return consumers;
+}
+
+bool
+ComputeDag::is_input(const std::string &tensor_name) const
+{
+    for (const auto &t : inputs_)
+        if (t.name == tensor_name)
+            return true;
+    return false;
+}
+
+const Tensor &
+ComputeDag::tensor(const std::string &name) const
+{
+    for (const auto &t : inputs_)
+        if (t.name == name)
+            return t;
+    for (const auto &s : stages_)
+        if (s.output.name == name)
+            return s.output;
+    HERON_FATAL << "unknown tensor: " << name;
+    // Unreachable; silences the compiler.
+    return inputs_.front();
+}
+
+std::vector<int>
+ComputeDag::reverse_topological() const
+{
+    // stages_ is stored producer-first, so the reverse order is a
+    // valid consumers-first traversal.
+    std::vector<int> order;
+    order.reserve(stages_.size());
+    for (int i = static_cast<int>(stages_.size()) - 1; i >= 0; --i)
+        order.push_back(i);
+    return order;
+}
+
+int64_t
+ComputeDag::total_ops() const
+{
+    int64_t total = 0;
+    for (const auto &s : stages_)
+        total += s.op_count();
+    return total;
+}
+
+std::string
+ComputeDag::to_string() const
+{
+    std::ostringstream out;
+    out << "inputs:\n";
+    for (const auto &t : inputs_)
+        out << "  " << t.to_string() << "\n";
+    out << "stages:\n";
+    for (const auto &s : stages_)
+        out << "  " << s.to_string() << "\n";
+    return out.str();
+}
+
+} // namespace heron::ir

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The compute DAG: all stages of a (possibly fused) computation plus
+ * its input tensors, with producer/consumer queries and traversal
+ * orders. The space generator walks stages in reverse topological
+ * order (paper Algorithm 1).
+ */
+#ifndef HERON_IR_DAG_H
+#define HERON_IR_DAG_H
+
+#include <string>
+#include <vector>
+
+#include "ir/stage.h"
+#include "ir/tensor.h"
+
+namespace heron::ir {
+
+/** A whole computation: input tensors plus stages in producer order. */
+class ComputeDag
+{
+  public:
+    /** Register an input (placeholder) tensor. */
+    void add_input(Tensor tensor);
+
+    /** Append a stage; producers must be appended first. */
+    void add_stage(ComputeStage stage);
+
+    /** All input tensors. */
+    const std::vector<Tensor> &inputs() const { return inputs_; }
+
+    /** All stages in topological (producer-first) order. */
+    const std::vector<ComputeStage> &stages() const { return stages_; }
+
+    /** Stage count. */
+    size_t num_stages() const { return stages_.size(); }
+
+    /** Stage by index. */
+    const ComputeStage &stage(int i) const
+    {
+        return stages_[static_cast<size_t>(i)];
+    }
+
+    /** Index of the stage producing @p tensor_name; -1 if an input. */
+    int producer_of(const std::string &tensor_name) const;
+
+    /** Indices of stages reading the output of stage @p i. */
+    std::vector<int> consumers_of(int i) const;
+
+    /** True if @p tensor_name is a DAG input. */
+    bool is_input(const std::string &tensor_name) const;
+
+    /** Tensor metadata by name (searches inputs then outputs). */
+    const Tensor &tensor(const std::string &name) const;
+
+    /**
+     * Stage indices in reverse topological order (consumers before
+     * producers), the traversal order of schedule generation.
+     */
+    std::vector<int> reverse_topological() const;
+
+    /** Total operation count across stages. */
+    int64_t total_ops() const;
+
+    /** Multi-line rendering of the whole DAG. */
+    std::string to_string() const;
+
+  private:
+    std::vector<Tensor> inputs_;
+    std::vector<ComputeStage> stages_;
+};
+
+} // namespace heron::ir
+
+#endif // HERON_IR_DAG_H

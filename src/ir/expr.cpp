@@ -1,0 +1,99 @@
+#include "ir/expr.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace heron::ir {
+
+LinearExpr
+LinearExpr::axis(int axis_index)
+{
+    return scaled(axis_index, 1, 0);
+}
+
+LinearExpr
+LinearExpr::scaled(int axis_index, int64_t coef, int64_t offset)
+{
+    LinearExpr e;
+    e.constant = offset;
+    e.terms.push_back(AxisTerm{axis_index, coef});
+    return e;
+}
+
+LinearExpr
+LinearExpr::immediate(int64_t value)
+{
+    LinearExpr e;
+    e.constant = value;
+    return e;
+}
+
+LinearExpr &
+LinearExpr::add_term(int axis_index, int64_t coef)
+{
+    terms.push_back(AxisTerm{axis_index, coef});
+    return *this;
+}
+
+int64_t
+LinearExpr::eval(const std::vector<int64_t> &axis_values) const
+{
+    int64_t value = constant;
+    for (const auto &t : terms) {
+        HERON_CHECK_GE(t.axis, 0);
+        HERON_CHECK_LT(static_cast<size_t>(t.axis), axis_values.size());
+        value += t.coef * axis_values[static_cast<size_t>(t.axis)];
+    }
+    return value;
+}
+
+int64_t
+LinearExpr::footprint(const std::vector<int64_t> &tile_lengths) const
+{
+    int64_t span = 0;
+    for (const auto &t : terms) {
+        int64_t len = 1;
+        if (t.axis >= 0 &&
+            static_cast<size_t>(t.axis) < tile_lengths.size())
+            len = tile_lengths[static_cast<size_t>(t.axis)];
+        span += std::llabs(t.coef) * (len - 1);
+    }
+    return span + 1;
+}
+
+bool
+LinearExpr::uses_axis(int axis_index) const
+{
+    for (const auto &t : terms)
+        if (t.axis == axis_index && t.coef != 0)
+            return true;
+    return false;
+}
+
+std::string
+LinearExpr::to_string(const std::vector<std::string> &axis_names) const
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto &t : terms) {
+        if (t.coef == 0)
+            continue;
+        if (!first)
+            out << " + ";
+        if (t.coef != 1)
+            out << t.coef << "*";
+        HERON_CHECK_LT(static_cast<size_t>(t.axis), axis_names.size());
+        out << axis_names[static_cast<size_t>(t.axis)];
+        first = false;
+    }
+    if (constant != 0 || first) {
+        if (!first)
+            out << (constant >= 0 ? " + " : " - ");
+        out << (first ? constant : std::llabs(constant));
+    }
+    return out.str();
+}
+
+} // namespace heron::ir

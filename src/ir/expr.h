@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Affine index expressions.
+ *
+ * Every tensor access in the supported operators indexes each tensor
+ * dimension with an affine combination of loop axes
+ * (e.g. `stride*h + dilation*rh - pad`). Affine form is all the
+ * constraint generator needs: the data footprint of a loop tile is
+ * computable per dimension as sum(|coef| * (tile_len - 1)) + 1.
+ */
+#ifndef HERON_IR_EXPR_H
+#define HERON_IR_EXPR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heron::ir {
+
+/** One `coef * axis` term; @c axis indexes the owning stage's axes. */
+struct AxisTerm {
+    int axis = -1;
+    int64_t coef = 1;
+};
+
+/** An affine expression `constant + sum(coef_i * axis_i)`. */
+struct LinearExpr {
+    int64_t constant = 0;
+    std::vector<AxisTerm> terms;
+
+    /** Expression referencing a single axis with coefficient 1. */
+    static LinearExpr axis(int axis_index);
+
+    /** Expression `coef * axis + offset`. */
+    static LinearExpr scaled(int axis_index, int64_t coef,
+                             int64_t offset = 0);
+
+    /** Constant-only expression. */
+    static LinearExpr immediate(int64_t value);
+
+    /** Add a term in place. */
+    LinearExpr &add_term(int axis_index, int64_t coef);
+
+    /** Evaluate with concrete axis values (indexed by axis id). */
+    int64_t eval(const std::vector<int64_t> &axis_values) const;
+
+    /**
+     * Number of distinct values this expression spans when each
+     * referenced axis ranges over a tile of the given length:
+     * sum(|coef| * (tile_len - 1)) + 1. Axes absent from
+     * @p tile_lengths (id out of range) count as length 1.
+     */
+    int64_t footprint(const std::vector<int64_t> &tile_lengths) const;
+
+    /** True if the expression references @p axis_index. */
+    bool uses_axis(int axis_index) const;
+
+    /** Rendering with axis names supplied by the caller. */
+    std::string to_string(const std::vector<std::string> &axis_names)
+        const;
+};
+
+} // namespace heron::ir
+
+#endif // HERON_IR_EXPR_H

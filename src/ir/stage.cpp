@@ -1,0 +1,130 @@
+#include "ir/stage.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::ir {
+
+int64_t
+ComputeStage::iteration_count() const
+{
+    int64_t count = 1;
+    for (const auto &axis : axes)
+        count = checked_mul(count, axis.extent);
+    return count;
+}
+
+int64_t
+ComputeStage::op_count() const
+{
+    int64_t iters = iteration_count();
+    return combiner == CombinerKind::kSum ? checked_mul(2, iters)
+                                          : iters;
+}
+
+std::vector<std::string>
+ComputeStage::axis_names() const
+{
+    std::vector<std::string> names;
+    names.reserve(axes.size());
+    for (const auto &axis : axes)
+        names.push_back(axis.name);
+    return names;
+}
+
+bool
+ComputeStage::has_data_reuse() const
+{
+    return combiner == CombinerKind::kSum && num_reduce() > 0;
+}
+
+std::string
+ComputeStage::to_string() const
+{
+    std::ostringstream out;
+    auto names = axis_names();
+    out << name << ": " << output.name << "[";
+    for (size_t i = 0; i < output_indices.size(); ++i)
+        out << (i ? ", " : "") << output_indices[i].to_string(names);
+    out << "]";
+    switch (combiner) {
+      case CombinerKind::kSum: out << " += "; break;
+      case CombinerKind::kScan: out << " (scan) = "; break;
+      case CombinerKind::kNone: out << " = "; break;
+    }
+    for (size_t r = 0; r < reads.size(); ++r) {
+        if (r)
+            out << " * ";
+        out << reads[r].tensor << "[";
+        for (size_t i = 0; i < reads[r].indices.size(); ++i)
+            out << (i ? ", " : "")
+                << reads[r].indices[i].to_string(names);
+        out << "]";
+    }
+    out << "   axes:";
+    for (const auto &axis : axes)
+        out << " " << axis.name << (axis.reduce ? "(r)" : "") << "="
+            << axis.extent;
+    return out.str();
+}
+
+int64_t
+ContractionRoles::extent_product(const ComputeStage &stage,
+                                 const std::vector<int> &axes)
+{
+    int64_t product = 1;
+    for (int a : axes) {
+        HERON_CHECK_GE(a, 0);
+        HERON_CHECK_LT(static_cast<size_t>(a), stage.axes.size());
+        product =
+            checked_mul(product, stage.axes[static_cast<size_t>(a)].extent);
+    }
+    return product;
+}
+
+std::optional<ContractionRoles>
+analyze_contraction(const ComputeStage &stage)
+{
+    if (stage.combiner != CombinerKind::kSum)
+        return std::nullopt;
+    if (stage.reads.size() != 2)
+        return std::nullopt;
+    if (stage.num_reduce() == 0)
+        return std::nullopt;
+
+    auto uses = [&](const TensorAccess &access, int axis) {
+        for (const auto &idx : access.indices)
+            if (idx.uses_axis(axis))
+                return true;
+        return false;
+    };
+
+    ContractionRoles roles;
+    for (int a = 0; a < static_cast<int>(stage.axes.size()); ++a) {
+        if (stage.axes[static_cast<size_t>(a)].reduce) {
+            roles.k_axes.push_back(a);
+            continue;
+        }
+        bool in_first = uses(stage.reads[0], a);
+        bool in_second = uses(stage.reads[1], a);
+        if (in_first && !in_second) {
+            roles.m_axes.push_back(a);
+        } else if (!in_first && in_second) {
+            roles.n_axes.push_back(a);
+        } else if (!in_first && !in_second) {
+            // Broadcast axis; treat as m (batch-like).
+            roles.m_axes.push_back(a);
+        } else {
+            // A spatial axis feeding both operands (and the output)
+            // selects independent matmul instances: a batch axis.
+            roles.batch_axes.push_back(a);
+        }
+    }
+    if (roles.k_axes.empty())
+        return std::nullopt;
+    return roles;
+}
+
+} // namespace heron::ir

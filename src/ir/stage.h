@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Compute stages: one tensor-producing loop nest in the tensor
+ * expression (e.g. `C[i,j] += A[i,r] * B[r,j]`), plus the analysis
+ * that classifies a stage as a tensorizable contraction.
+ */
+#ifndef HERON_IR_STAGE_H
+#define HERON_IR_STAGE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "ir/tensor.h"
+
+namespace heron::ir {
+
+/** One loop axis of a stage. */
+struct Axis {
+    std::string name;
+    int64_t extent = 1;
+    bool reduce = false;
+};
+
+/** A read of one tensor with an affine index per dimension. */
+struct TensorAccess {
+    std::string tensor;
+    std::vector<LinearExpr> indices;
+};
+
+/** How a stage combines values across reduce axes. */
+enum class CombinerKind : uint8_t {
+    kNone,  ///< pure elementwise / data movement
+    kSum,   ///< multiply-accumulate contraction
+    kScan,  ///< prefix dependency along an axis (SCAN operator)
+};
+
+/**
+ * One stage of the computation: the loop nest producing one output
+ * tensor from affine reads of input tensors.
+ */
+struct ComputeStage {
+    std::string name;
+    /** Spatial axes first, then reduce axes. */
+    std::vector<Axis> axes;
+    int num_spatial = 0;
+    Tensor output;
+    /** Affine output index per output dimension (spatial axes). */
+    std::vector<LinearExpr> output_indices;
+    std::vector<TensorAccess> reads;
+    CombinerKind combiner = CombinerKind::kNone;
+
+    /** Number of reduce axes. */
+    int num_reduce() const
+    {
+        return static_cast<int>(axes.size()) - num_spatial;
+    }
+
+    /** Product of all axis extents (loop iterations). */
+    int64_t iteration_count() const;
+
+    /**
+     * Floating-point (or int) operations: 2 * iterations for
+     * multiply-accumulate stages, 1 * iterations otherwise.
+     */
+    int64_t op_count() const;
+
+    /** Axis names in order (for printing). */
+    std::vector<std::string> axis_names() const;
+
+    /** True if the stage has a reduction with data reuse. */
+    bool has_data_reuse() const;
+
+    /** Multi-line textual rendering of the stage. */
+    std::string to_string() const;
+};
+
+/**
+ * The (m, n, k) role assignment of a contraction's axes, used by the
+ * Tensorize rule (paper Rule-S1). Spatial axes appearing only in the
+ * first operand map to m, only in the second operand to n; reduce
+ * axes map to k. For convolutions this is exactly the im2col view.
+ */
+struct ContractionRoles {
+    std::vector<int> m_axes;
+    std::vector<int> n_axes;
+    std::vector<int> k_axes;
+    /**
+     * Spatial axes indexing both operands (BMM batch): independent
+     * matmul instances; they tile like m axes but never map into
+     * the intrinsic shape.
+     */
+    std::vector<int> batch_axes;
+
+    /** Product of extents of the given axis set within @p stage. */
+    static int64_t extent_product(const ComputeStage &stage,
+                                  const std::vector<int> &axes);
+};
+
+/**
+ * Try to view @p stage as a matrix-multiply-shaped contraction
+ * (`C[..] += A[..] * B[..]`). Returns nullopt for non-contraction
+ * stages (elementwise, scan) or stages whose axes cannot be assigned
+ * m/n/k roles unambiguously.
+ */
+std::optional<ContractionRoles>
+analyze_contraction(const ComputeStage &stage);
+
+} // namespace heron::ir
+
+#endif // HERON_IR_STAGE_H

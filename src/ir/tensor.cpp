@@ -1,0 +1,58 @@
+#include "ir/tensor.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::ir {
+
+int
+dtype_bytes(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::kFloat16: return 2;
+      case DataType::kFloat32: return 4;
+      case DataType::kInt8: return 1;
+      case DataType::kInt32: return 4;
+    }
+    HERON_FATAL << "unknown dtype";
+    return 0;
+}
+
+const char *
+dtype_name(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::kFloat16: return "fp16";
+      case DataType::kFloat32: return "fp32";
+      case DataType::kInt8: return "int8";
+      case DataType::kInt32: return "int32";
+    }
+    return "?";
+}
+
+int64_t
+Tensor::num_elements() const
+{
+    return checked_product(shape);
+}
+
+int64_t
+Tensor::bytes() const
+{
+    return checked_mul(num_elements(), dtype_bytes(dtype));
+}
+
+std::string
+Tensor::to_string() const
+{
+    std::ostringstream out;
+    out << name << "[";
+    for (size_t i = 0; i < shape.size(); ++i)
+        out << (i ? ", " : "") << shape[i];
+    out << "] " << dtype_name(dtype);
+    return out.str();
+}
+
+} // namespace heron::ir

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tensors and data types for the tensor-expression IR.
+ */
+#ifndef HERON_IR_TENSOR_H
+#define HERON_IR_TENSOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heron::ir {
+
+/** Element types supported by the DLA backends. */
+enum class DataType : uint8_t {
+    kFloat16,
+    kFloat32,
+    kInt8,
+    kInt32,
+};
+
+/** Bytes per element. */
+int dtype_bytes(DataType dtype);
+
+/** Short name ("fp16", "int8", ...). */
+const char *dtype_name(DataType dtype);
+
+/** A dense multi-dimensional tensor (shape + element type). */
+struct Tensor {
+    std::string name;
+    std::vector<int64_t> shape;
+    DataType dtype = DataType::kFloat32;
+
+    /** Number of dimensions. */
+    int ndim() const { return static_cast<int>(shape.size()); }
+
+    /** Total element count. */
+    int64_t num_elements() const;
+
+    /** Total byte size. */
+    int64_t bytes() const;
+
+    /** "A[128, 64] fp16" style rendering. */
+    std::string to_string() const;
+};
+
+} // namespace heron::ir
+
+#endif // HERON_IR_TENSOR_H

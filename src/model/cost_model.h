@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Heron cost model (paper §3, Cost Model module).
+ *
+ * Features are the values of the variables defined during
+ * constraint generation (loop lengths, vector lengths, memory
+ * usage, ...), which are available without compiling anything. The
+ * model predicts a throughput score from a CSP assignment and
+ * exposes feature-importance-ranked key variables for CGA's
+ * constraint-based crossover.
+ */
+#ifndef HERON_MODEL_COST_MODEL_H
+#define HERON_MODEL_COST_MODEL_H
+
+#include <vector>
+
+#include "csp/csp.h"
+#include "model/gbdt.h"
+
+namespace heron::model {
+
+/** Cost model over one generated space's CSP variables. */
+class CostModel
+{
+  public:
+    explicit CostModel(const csp::Csp &csp, GbdtParams params = {});
+
+    /** log2-scaled feature vector of an assignment. */
+    std::vector<float> features(const csp::Assignment &a) const;
+
+    /**
+     * Record a measurement. Invalid programs score 0; valid ones
+     * score log2(1 + total_ops/latency).
+     */
+    void add_sample(const csp::Assignment &a, bool valid,
+                    double latency_ms, int64_t total_ops);
+
+    /** Record a measurement by its precomputed throughput score. */
+    void add_scored_sample(const csp::Assignment &a, double score);
+
+    /** Retrain on all recorded samples. */
+    void fit();
+
+    /** Predicted score (higher is better). */
+    double predict(const csp::Assignment &a) const;
+
+    /** True once fit() has run on at least a few samples. */
+    bool trained() const { return model_.trained(); }
+
+    /** Number of recorded samples. */
+    size_t num_samples() const { return data_.size(); }
+
+    /**
+     * The top-k variables by feature importance (CGA key-variable
+     * extraction). Falls back to tunable variables when untrained.
+     */
+    std::vector<csp::VarId> key_variables(int k) const;
+
+    /** The underlying regressor (for diagnostics). */
+    const GbdtRegressor &regressor() const { return model_; }
+
+  private:
+    const csp::Csp &csp_;
+    GbdtRegressor model_;
+    Dataset data_;
+};
+
+/** The score used as GA fitness: log2(1 + GFLOP/s); 0 if invalid. */
+double throughput_score(bool valid, double latency_ms,
+                        int64_t total_ops);
+
+} // namespace heron::model
+
+#endif // HERON_MODEL_COST_MODEL_H

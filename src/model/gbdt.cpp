@@ -1,0 +1,226 @@
+#include "model/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace heron::model {
+
+namespace {
+
+/** Mean of residuals over rows. */
+float
+mean_of(const std::vector<float> &residual,
+        const std::vector<int> &rows)
+{
+    if (rows.empty())
+        return 0.0f;
+    double sum = 0.0;
+    for (int r : rows)
+        sum += residual[static_cast<size_t>(r)];
+    return static_cast<float>(sum / static_cast<double>(rows.size()));
+}
+
+} // namespace
+
+int
+RegressionTree::build(const Dataset &data,
+                      const std::vector<float> &residual,
+                      std::vector<int> rows, int depth,
+                      const GbdtParams &params, Rng &rng,
+                      std::vector<double> &gain)
+{
+    Node node;
+    node.value = mean_of(residual, rows);
+    int index = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+
+    if (depth >= params.max_depth ||
+        static_cast<int>(rows.size()) < 2 * params.min_samples_leaf)
+        return index;
+
+    // Total sum/count for SSE gain computation.
+    double total_sum = 0.0;
+    for (int r : rows)
+        total_sum += residual[static_cast<size_t>(r)];
+    double n = static_cast<double>(rows.size());
+    double parent_score = total_sum * total_sum / n;
+
+    // Candidate features (random subset).
+    size_t num_features = data.num_features();
+    std::vector<int> features(num_features);
+    std::iota(features.begin(), features.end(), 0);
+    rng.shuffle(features);
+    size_t take = std::max<size_t>(
+        1, static_cast<size_t>(params.feature_subsample *
+                               static_cast<double>(num_features)));
+    features.resize(take);
+
+    double best_gain = 1e-9;
+    int best_feature = -1;
+    float best_threshold = 0.0f;
+
+    std::vector<int> sorted = rows;
+    for (int f : features) {
+        std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+            return data.x[static_cast<size_t>(a)]
+                         [static_cast<size_t>(f)] <
+                   data.x[static_cast<size_t>(b)]
+                         [static_cast<size_t>(f)];
+        });
+        double left_sum = 0.0;
+        for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+            left_sum += residual[static_cast<size_t>(sorted[i])];
+            float cur = data.x[static_cast<size_t>(sorted[i])]
+                              [static_cast<size_t>(f)];
+            float next = data.x[static_cast<size_t>(sorted[i + 1])]
+                               [static_cast<size_t>(f)];
+            if (cur == next)
+                continue;
+            size_t left_n = i + 1;
+            size_t right_n = sorted.size() - left_n;
+            if (static_cast<int>(left_n) < params.min_samples_leaf ||
+                static_cast<int>(right_n) < params.min_samples_leaf)
+                continue;
+            double right_sum = total_sum - left_sum;
+            double score =
+                left_sum * left_sum / static_cast<double>(left_n) +
+                right_sum * right_sum / static_cast<double>(right_n);
+            double split_gain = score - parent_score;
+            if (split_gain > best_gain) {
+                best_gain = split_gain;
+                best_feature = f;
+                best_threshold = (cur + next) * 0.5f;
+            }
+        }
+    }
+
+    if (best_feature < 0)
+        return index;
+
+    std::vector<int> left_rows, right_rows;
+    for (int r : rows) {
+        if (data.x[static_cast<size_t>(r)]
+                  [static_cast<size_t>(best_feature)] <=
+            best_threshold)
+            left_rows.push_back(r);
+        else
+            right_rows.push_back(r);
+    }
+    HERON_CHECK(!left_rows.empty() && !right_rows.empty());
+
+    gain[static_cast<size_t>(best_feature)] += best_gain;
+    nodes_[static_cast<size_t>(index)].feature = best_feature;
+    nodes_[static_cast<size_t>(index)].threshold = best_threshold;
+    int left = build(data, residual, std::move(left_rows), depth + 1,
+                     params, rng, gain);
+    int right = build(data, residual, std::move(right_rows),
+                      depth + 1, params, rng, gain);
+    nodes_[static_cast<size_t>(index)].left = left;
+    nodes_[static_cast<size_t>(index)].right = right;
+    return index;
+}
+
+void
+RegressionTree::fit(const Dataset &data,
+                    const std::vector<float> &residual,
+                    const std::vector<int> &rows,
+                    const GbdtParams &params, Rng &rng,
+                    std::vector<double> &gain)
+{
+    nodes_.clear();
+    build(data, residual, rows, 0, params, rng, gain);
+}
+
+float
+RegressionTree::predict(const std::vector<float> &row) const
+{
+    HERON_CHECK(!nodes_.empty());
+    int index = 0;
+    while (!nodes_[static_cast<size_t>(index)].is_leaf()) {
+        const Node &node = nodes_[static_cast<size_t>(index)];
+        index = row[static_cast<size_t>(node.feature)] <=
+                        node.threshold
+                    ? node.left
+                    : node.right;
+    }
+    return nodes_[static_cast<size_t>(index)].value;
+}
+
+GbdtRegressor::GbdtRegressor(GbdtParams params) : params_(params) {}
+
+void
+GbdtRegressor::fit(const Dataset &data)
+{
+    trees_.clear();
+    gain_.assign(data.num_features(), 0.0);
+    base_ = 0.0;
+    if (data.size() == 0)
+        return;
+    for (float y : data.y)
+        base_ += y;
+    base_ /= static_cast<double>(data.size());
+
+    Rng rng(params_.seed);
+    std::vector<float> prediction(data.size(),
+                                  static_cast<float>(base_));
+    std::vector<float> residual(data.size());
+    std::vector<int> all_rows(data.size());
+    std::iota(all_rows.begin(), all_rows.end(), 0);
+
+    for (int t = 0; t < params_.num_trees; ++t) {
+        for (size_t i = 0; i < data.size(); ++i)
+            residual[i] = data.y[i] - prediction[i];
+
+        std::vector<int> rows = all_rows;
+        rng.shuffle(rows);
+        size_t take = std::max<size_t>(
+            2, static_cast<size_t>(params_.row_subsample *
+                                   static_cast<double>(rows.size())));
+        rows.resize(std::min(take, rows.size()));
+
+        RegressionTree tree;
+        tree.fit(data, residual, rows, params_, rng, gain_);
+        for (size_t i = 0; i < data.size(); ++i)
+            prediction[i] += static_cast<float>(
+                params_.learning_rate * tree.predict(data.x[i]));
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+GbdtRegressor::predict(const std::vector<float> &row) const
+{
+    double value = base_;
+    for (const auto &tree : trees_)
+        value += params_.learning_rate * tree.predict(row);
+    return value;
+}
+
+std::vector<double>
+GbdtRegressor::feature_importance() const
+{
+    std::vector<double> importance = gain_;
+    double total = 0.0;
+    for (double g : importance)
+        total += g;
+    if (total > 0)
+        for (double &g : importance)
+            g /= total;
+    return importance;
+}
+
+double
+GbdtRegressor::mae(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    double err = 0.0;
+    for (size_t i = 0; i < data.size(); ++i)
+        err += std::fabs(predict(data.x[i]) - data.y[i]);
+    return err / static_cast<double>(data.size());
+}
+
+} // namespace heron::model

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Gradient-boosted regression trees, built from scratch.
+ *
+ * Heron's cost model is XGBoost in the paper; this is a compact
+ * equivalent: squared-error boosting over depth-limited regression
+ * trees with exact greedy splits, shrinkage, row/feature
+ * subsampling, and gain-based feature importance (the signal CGA's
+ * key-variable extraction consumes).
+ */
+#ifndef HERON_MODEL_GBDT_H
+#define HERON_MODEL_GBDT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace heron::model {
+
+/** Training data: row-major features plus targets. */
+struct Dataset {
+    std::vector<std::vector<float>> x;
+    std::vector<float> y;
+
+    size_t size() const { return x.size(); }
+    size_t num_features() const
+    {
+        return x.empty() ? 0 : x[0].size();
+    }
+};
+
+/** Boosting hyperparameters. */
+struct GbdtParams {
+    int num_trees = 32;
+    int max_depth = 6;
+    double learning_rate = 0.2;
+    int min_samples_leaf = 2;
+    /** Fraction of features considered per node. */
+    double feature_subsample = 0.6;
+    /** Fraction of rows bagged per tree. */
+    double row_subsample = 0.9;
+    uint64_t seed = 1;
+};
+
+/** One depth-limited regression tree (array-of-nodes layout). */
+class RegressionTree
+{
+  public:
+    /**
+     * Fit to (data.x[i], residual[i]) for i in @p rows.
+     * Accumulates per-feature split gain into @p gain.
+     */
+    void fit(const Dataset &data, const std::vector<float> &residual,
+             const std::vector<int> &rows, const GbdtParams &params,
+             Rng &rng, std::vector<double> &gain);
+
+    /** Predict one row. */
+    float predict(const std::vector<float> &row) const;
+
+    /** Node count (for tests). */
+    size_t num_nodes() const { return nodes_.size(); }
+
+  private:
+    struct Node {
+        int feature = -1;
+        float threshold = 0.0f;
+        float value = 0.0f;
+        int left = -1;
+        int right = -1;
+
+        bool is_leaf() const { return feature < 0; }
+    };
+    std::vector<Node> nodes_;
+
+    int build(const Dataset &data, const std::vector<float> &residual,
+              std::vector<int> rows, int depth,
+              const GbdtParams &params, Rng &rng,
+              std::vector<double> &gain);
+};
+
+/** The boosted ensemble. */
+class GbdtRegressor
+{
+  public:
+    explicit GbdtRegressor(GbdtParams params = {});
+
+    /** Fit from scratch on @p data. */
+    void fit(const Dataset &data);
+
+    /** Predict one row; base mean when not yet fitted. */
+    double predict(const std::vector<float> &row) const;
+
+    /** True after a successful fit. */
+    bool trained() const { return !trees_.empty(); }
+
+    /**
+     * Total split gain per feature, normalized to sum to 1
+     * (all-zero when untrained or no splits).
+     */
+    std::vector<double> feature_importance() const;
+
+    /** Mean absolute error on @p data. */
+    double mae(const Dataset &data) const;
+
+  private:
+    GbdtParams params_;
+    std::vector<RegressionTree> trees_;
+    double base_ = 0.0;
+    std::vector<double> gain_;
+};
+
+} // namespace heron::model
+
+#endif // HERON_MODEL_GBDT_H

@@ -1,0 +1,569 @@
+#include "ops/op_library.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace heron::ops {
+
+using ir::Axis;
+using ir::CombinerKind;
+using ir::ComputeDag;
+using ir::ComputeStage;
+using ir::DataType;
+using ir::LinearExpr;
+using ir::Tensor;
+using ir::TensorAccess;
+
+const char *
+op_kind_name(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kGemm: return "GEMM";
+      case OpKind::kGemv: return "GEMV";
+      case OpKind::kBmm: return "BMM";
+      case OpKind::kC1d: return "C1D";
+      case OpKind::kC2d: return "C2D";
+      case OpKind::kC3d: return "C3D";
+      case OpKind::kT2d: return "T2D";
+      case OpKind::kDil: return "DIL";
+      case OpKind::kScan: return "SCAN";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Accumulator dtype: int8 inputs accumulate into int32. */
+DataType
+acc_dtype(DataType in)
+{
+    switch (in) {
+      case DataType::kInt8: return DataType::kInt32;
+      case DataType::kFloat16: return DataType::kFloat32;
+      default: return in;
+    }
+}
+
+} // namespace
+
+ir::ComputeDag
+make_gemm(int64_t m, int64_t n, int64_t k, DataType dtype)
+{
+    ComputeDag dag;
+    dag.add_input(Tensor{"A", {m, k}, dtype});
+    dag.add_input(Tensor{"B", {k, n}, dtype});
+
+    ComputeStage stage;
+    stage.name = "C";
+    stage.axes = {Axis{"i", m, false}, Axis{"j", n, false},
+                  Axis{"r", k, true}};
+    stage.num_spatial = 2;
+    stage.output = Tensor{"C", {m, n}, acc_dtype(dtype)};
+    stage.output_indices = {LinearExpr::axis(0), LinearExpr::axis(1)};
+    stage.reads = {
+        TensorAccess{"A", {LinearExpr::axis(0), LinearExpr::axis(2)}},
+        TensorAccess{"B", {LinearExpr::axis(2), LinearExpr::axis(1)}},
+    };
+    stage.combiner = CombinerKind::kSum;
+    dag.add_stage(std::move(stage));
+    return dag;
+}
+
+ir::ComputeDag
+make_gemv(int64_t m, int64_t k, DataType dtype)
+{
+    ComputeDag dag;
+    dag.add_input(Tensor{"A", {m, k}, dtype});
+    dag.add_input(Tensor{"x", {k}, dtype});
+
+    ComputeStage stage;
+    stage.name = "y";
+    stage.axes = {Axis{"i", m, false}, Axis{"r", k, true}};
+    stage.num_spatial = 1;
+    stage.output = Tensor{"y", {m}, acc_dtype(dtype)};
+    stage.output_indices = {LinearExpr::axis(0)};
+    stage.reads = {
+        TensorAccess{"A", {LinearExpr::axis(0), LinearExpr::axis(1)}},
+        TensorAccess{"x", {LinearExpr::axis(1)}},
+    };
+    stage.combiner = CombinerKind::kSum;
+    dag.add_stage(std::move(stage));
+    return dag;
+}
+
+ir::ComputeDag
+make_bmm(int64_t b, int64_t m, int64_t n, int64_t k, DataType dtype)
+{
+    ComputeDag dag;
+    dag.add_input(Tensor{"A", {b, m, k}, dtype});
+    dag.add_input(Tensor{"B", {b, k, n}, dtype});
+
+    ComputeStage stage;
+    stage.name = "C";
+    stage.axes = {Axis{"b", b, false}, Axis{"i", m, false},
+                  Axis{"j", n, false}, Axis{"r", k, true}};
+    stage.num_spatial = 3;
+    stage.output = Tensor{"C", {b, m, n}, acc_dtype(dtype)};
+    stage.output_indices = {LinearExpr::axis(0), LinearExpr::axis(1),
+                            LinearExpr::axis(2)};
+    stage.reads = {
+        TensorAccess{"A",
+                     {LinearExpr::axis(0), LinearExpr::axis(1),
+                      LinearExpr::axis(3)}},
+        TensorAccess{"B",
+                     {LinearExpr::axis(0), LinearExpr::axis(3),
+                      LinearExpr::axis(2)}},
+    };
+    stage.combiner = CombinerKind::kSum;
+    dag.add_stage(std::move(stage));
+    return dag;
+}
+
+ir::ComputeDag
+make_conv1d(int64_t n, int64_t ci, int64_t l, int64_t co, int64_t kw,
+            int64_t stride, int64_t pad, DataType dtype)
+{
+    int64_t l_pad = l + 2 * pad;
+    int64_t l_out = (l_pad - kw) / stride + 1;
+
+    ComputeDag dag;
+    dag.add_input(Tensor{"X", {n, ci, l_pad}, dtype});
+    dag.add_input(Tensor{"W", {co, ci, kw}, dtype});
+
+    ComputeStage stage;
+    stage.name = "Y";
+    stage.axes = {Axis{"n", n, false}, Axis{"co", co, false},
+                  Axis{"lo", l_out, false}, Axis{"rc", ci, true},
+                  Axis{"rw", kw, true}};
+    stage.num_spatial = 3;
+    stage.output = Tensor{"Y", {n, co, l_out}, acc_dtype(dtype)};
+    stage.output_indices = {LinearExpr::axis(0), LinearExpr::axis(1),
+                            LinearExpr::axis(2)};
+    LinearExpr lx = LinearExpr::scaled(2, stride);
+    lx.add_term(4, 1);
+    stage.reads = {
+        TensorAccess{"X", {LinearExpr::axis(0), LinearExpr::axis(3), lx}},
+        TensorAccess{"W",
+                     {LinearExpr::axis(1), LinearExpr::axis(3),
+                      LinearExpr::axis(4)}},
+    };
+    stage.combiner = CombinerKind::kSum;
+    dag.add_stage(std::move(stage));
+    return dag;
+}
+
+ir::ComputeDag
+make_conv2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+            int64_t r, int64_t s, int64_t stride, int64_t pad,
+            int64_t dilation, DataType dtype)
+{
+    int64_t h_pad = h + 2 * pad;
+    int64_t w_pad = w + 2 * pad;
+    int64_t r_eff = dilation * (r - 1) + 1;
+    int64_t s_eff = dilation * (s - 1) + 1;
+    int64_t h_out = (h_pad - r_eff) / stride + 1;
+    int64_t w_out = (w_pad - s_eff) / stride + 1;
+    HERON_CHECK_GE(h_out, 1);
+    HERON_CHECK_GE(w_out, 1);
+
+    ComputeDag dag;
+    dag.add_input(Tensor{"X", {n, ci, h_pad, w_pad}, dtype});
+    dag.add_input(Tensor{"W", {co, ci, r, s}, dtype});
+
+    ComputeStage stage;
+    stage.name = "Y";
+    stage.axes = {Axis{"n", n, false},     Axis{"co", co, false},
+                  Axis{"ho", h_out, false}, Axis{"wo", w_out, false},
+                  Axis{"rc", ci, true},     Axis{"rh", r, true},
+                  Axis{"rw", s, true}};
+    stage.num_spatial = 4;
+    stage.output = Tensor{"Y", {n, co, h_out, w_out}, acc_dtype(dtype)};
+    stage.output_indices = {LinearExpr::axis(0), LinearExpr::axis(1),
+                            LinearExpr::axis(2), LinearExpr::axis(3)};
+    LinearExpr hx = LinearExpr::scaled(2, stride);
+    hx.add_term(5, dilation);
+    LinearExpr wx = LinearExpr::scaled(3, stride);
+    wx.add_term(6, dilation);
+    stage.reads = {
+        TensorAccess{"X",
+                     {LinearExpr::axis(0), LinearExpr::axis(4), hx, wx}},
+        TensorAccess{"W",
+                     {LinearExpr::axis(1), LinearExpr::axis(4),
+                      LinearExpr::axis(5), LinearExpr::axis(6)}},
+    };
+    stage.combiner = CombinerKind::kSum;
+    dag.add_stage(std::move(stage));
+    return dag;
+}
+
+ir::ComputeDag
+make_conv3d(int64_t n, int64_t ci, int64_t d, int64_t h, int64_t w,
+            int64_t co, int64_t kd, int64_t r, int64_t s, int64_t stride,
+            int64_t pad, DataType dtype)
+{
+    int64_t d_pad = d + 2 * pad;
+    int64_t h_pad = h + 2 * pad;
+    int64_t w_pad = w + 2 * pad;
+    int64_t d_out = (d_pad - kd) / stride + 1;
+    int64_t h_out = (h_pad - r) / stride + 1;
+    int64_t w_out = (w_pad - s) / stride + 1;
+
+    ComputeDag dag;
+    dag.add_input(Tensor{"X", {n, ci, d_pad, h_pad, w_pad}, dtype});
+    dag.add_input(Tensor{"W", {co, ci, kd, r, s}, dtype});
+
+    ComputeStage stage;
+    stage.name = "Y";
+    stage.axes = {Axis{"n", n, false},      Axis{"co", co, false},
+                  Axis{"do", d_out, false}, Axis{"ho", h_out, false},
+                  Axis{"wo", w_out, false}, Axis{"rc", ci, true},
+                  Axis{"rd", kd, true},     Axis{"rh", r, true},
+                  Axis{"rw", s, true}};
+    stage.num_spatial = 5;
+    stage.output =
+        Tensor{"Y", {n, co, d_out, h_out, w_out}, acc_dtype(dtype)};
+    stage.output_indices = {LinearExpr::axis(0), LinearExpr::axis(1),
+                            LinearExpr::axis(2), LinearExpr::axis(3),
+                            LinearExpr::axis(4)};
+    LinearExpr dx = LinearExpr::scaled(2, stride);
+    dx.add_term(6, 1);
+    LinearExpr hx = LinearExpr::scaled(3, stride);
+    hx.add_term(7, 1);
+    LinearExpr wx = LinearExpr::scaled(4, stride);
+    wx.add_term(8, 1);
+    stage.reads = {
+        TensorAccess{
+            "X", {LinearExpr::axis(0), LinearExpr::axis(5), dx, hx, wx}},
+        TensorAccess{"W",
+                     {LinearExpr::axis(1), LinearExpr::axis(5),
+                      LinearExpr::axis(6), LinearExpr::axis(7),
+                      LinearExpr::axis(8)}},
+    };
+    stage.combiner = CombinerKind::kSum;
+    dag.add_stage(std::move(stage));
+    return dag;
+}
+
+ir::ComputeDag
+make_t2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+         int64_t r, int64_t s, int64_t stride, int64_t pad,
+         DataType dtype)
+{
+    // Transposed conv == unit-stride conv over the stride-dilated
+    // input with padding (r - 1 - pad).
+    int64_t h_dil = (h - 1) * stride + 1;
+    int64_t w_dil = (w - 1) * stride + 1;
+    int64_t pad_eff = r - 1 - pad;
+    HERON_CHECK_GE(pad_eff, 0);
+    int64_t h_pad = h_dil + 2 * pad_eff;
+    int64_t w_pad = w_dil + 2 * pad_eff;
+    int64_t h_out = h_pad - r + 1;
+    int64_t w_out = w_pad - s + 1;
+
+    ComputeDag dag;
+    dag.add_input(Tensor{"Xd", {n, ci, h_pad, w_pad}, dtype});
+    dag.add_input(Tensor{"W", {ci, co, r, s}, dtype});
+
+    ComputeStage stage;
+    stage.name = "Y";
+    stage.axes = {Axis{"n", n, false},      Axis{"co", co, false},
+                  Axis{"ho", h_out, false}, Axis{"wo", w_out, false},
+                  Axis{"rc", ci, true},     Axis{"rh", r, true},
+                  Axis{"rw", s, true}};
+    stage.num_spatial = 4;
+    stage.output = Tensor{"Y", {n, co, h_out, w_out}, acc_dtype(dtype)};
+    stage.output_indices = {LinearExpr::axis(0), LinearExpr::axis(1),
+                            LinearExpr::axis(2), LinearExpr::axis(3)};
+    LinearExpr hx = LinearExpr::axis(2);
+    hx.add_term(5, 1);
+    LinearExpr wx = LinearExpr::axis(3);
+    wx.add_term(6, 1);
+    stage.reads = {
+        TensorAccess{"Xd",
+                     {LinearExpr::axis(0), LinearExpr::axis(4), hx, wx}},
+        TensorAccess{"W",
+                     {LinearExpr::axis(4), LinearExpr::axis(1),
+                      LinearExpr::axis(5), LinearExpr::axis(6)}},
+    };
+    stage.combiner = CombinerKind::kSum;
+    dag.add_stage(std::move(stage));
+    return dag;
+}
+
+ir::ComputeDag
+make_scan(int64_t n, int64_t l, DataType dtype)
+{
+    ComputeDag dag;
+    dag.add_input(Tensor{"X", {n, l}, dtype});
+
+    ComputeStage stage;
+    stage.name = "S";
+    stage.axes = {Axis{"n", n, false}, Axis{"l", l, false}};
+    stage.num_spatial = 2;
+    stage.output = Tensor{"S", {n, l}, dtype};
+    stage.output_indices = {LinearExpr::axis(0), LinearExpr::axis(1)};
+    stage.reads = {
+        TensorAccess{"X", {LinearExpr::axis(0), LinearExpr::axis(1)}}};
+    stage.combiner = CombinerKind::kScan;
+    dag.add_stage(std::move(stage));
+    return dag;
+}
+
+ir::ComputeDag
+Workload::build() const
+{
+    const auto &p = params;
+    switch (kind) {
+      case OpKind::kGemm:
+        return make_gemm(p[0], p[1], p[2], dtype);
+      case OpKind::kGemv:
+        return make_gemv(p[0], p[1], dtype);
+      case OpKind::kBmm:
+        return make_bmm(p[0], p[1], p[2], p[3], dtype);
+      case OpKind::kC1d:
+        return make_conv1d(p[0], p[1], p[2], p[3], p[4], p[5], p[6],
+                           dtype);
+      case OpKind::kC2d:
+      case OpKind::kDil:
+        return make_conv2d(p[0], p[1], p[2], p[3], p[4], p[5], p[6],
+                           p[7], p[8], p[9], dtype);
+      case OpKind::kC3d:
+        return make_conv3d(p[0], p[1], p[2], p[3], p[4], p[5], p[6],
+                           p[7], p[8], p[9], p[10], dtype);
+      case OpKind::kT2d:
+        return make_t2d(p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7],
+                        p[8], dtype);
+      case OpKind::kScan:
+        return make_scan(p[0], p[1], dtype);
+    }
+    HERON_FATAL << "unknown op kind";
+    return {};
+}
+
+int64_t
+Workload::flops() const
+{
+    return build().total_ops();
+}
+
+std::string
+Workload::label() const
+{
+    std::ostringstream out;
+    out << op_kind_name(kind) << "(";
+    for (size_t i = 0; i < params.size(); ++i)
+        out << (i ? "x" : "") << params[i];
+    out << ")";
+    return out.str();
+}
+
+namespace {
+
+Workload
+make_workload(OpKind kind, std::string name,
+              std::vector<int64_t> params, ir::DataType dtype)
+{
+    Workload w;
+    w.kind = kind;
+    w.name = std::move(name);
+    w.params = std::move(params);
+    w.dtype = dtype;
+    return w;
+}
+
+} // namespace
+
+Workload
+gemm(int64_t m, int64_t n, int64_t k, ir::DataType dtype)
+{
+    std::ostringstream name;
+    name << "GEMM-" << m << "x" << n << "x" << k;
+    return make_workload(OpKind::kGemm, name.str(), {m, n, k}, dtype);
+}
+
+Workload
+gemv(int64_t m, int64_t k, ir::DataType dtype)
+{
+    std::ostringstream name;
+    name << "GEMV-" << m << "x" << k;
+    return make_workload(OpKind::kGemv, name.str(), {m, k}, dtype);
+}
+
+Workload
+bmm(int64_t b, int64_t m, int64_t n, int64_t k, ir::DataType dtype)
+{
+    std::ostringstream name;
+    name << "BMM-" << b << "x" << m << "x" << n << "x" << k;
+    return make_workload(OpKind::kBmm, name.str(), {b, m, n, k}, dtype);
+}
+
+Workload
+c1d(int64_t n, int64_t ci, int64_t l, int64_t co, int64_t kw,
+    int64_t stride, int64_t pad, ir::DataType dtype)
+{
+    std::ostringstream name;
+    name << "C1D-n" << n << "c" << ci << "l" << l << "o" << co << "k"
+         << kw << "s" << stride;
+    return make_workload(OpKind::kC1d, name.str(),
+                         {n, ci, l, co, kw, stride, pad}, dtype);
+}
+
+Workload
+c2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co, int64_t r,
+    int64_t s, int64_t stride, int64_t pad, ir::DataType dtype)
+{
+    std::ostringstream name;
+    name << "C2D-n" << n << "c" << ci << "hw" << h << "o" << co << "k"
+         << r << "s" << stride;
+    return make_workload(OpKind::kC2d, name.str(),
+                         {n, ci, h, w, co, r, s, stride, pad, 1}, dtype);
+}
+
+Workload
+c3d(int64_t n, int64_t ci, int64_t d, int64_t h, int64_t w, int64_t co,
+    int64_t kd, int64_t r, int64_t s, int64_t stride, int64_t pad,
+    ir::DataType dtype)
+{
+    std::ostringstream name;
+    name << "C3D-n" << n << "c" << ci << "d" << d << "hw" << h << "o"
+         << co << "k" << r;
+    return make_workload(OpKind::kC3d, name.str(),
+                         {n, ci, d, h, w, co, kd, r, s, stride, pad},
+                         dtype);
+}
+
+Workload
+t2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co, int64_t r,
+    int64_t s, int64_t stride, int64_t pad, ir::DataType dtype)
+{
+    std::ostringstream name;
+    name << "T2D-n" << n << "c" << ci << "hw" << h << "o" << co << "k"
+         << r << "s" << stride;
+    return make_workload(OpKind::kT2d, name.str(),
+                         {n, ci, h, w, co, r, s, stride, pad}, dtype);
+}
+
+Workload
+dil(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co, int64_t r,
+    int64_t s, int64_t stride, int64_t pad, int64_t dilation,
+    ir::DataType dtype)
+{
+    std::ostringstream name;
+    name << "DIL-n" << n << "c" << ci << "hw" << h << "o" << co << "k"
+         << r << "d" << dilation;
+    return make_workload(OpKind::kDil, name.str(),
+                         {n, ci, h, w, co, r, s, stride, pad, dilation},
+                         dtype);
+}
+
+Workload
+scan(int64_t n, int64_t l, ir::DataType dtype)
+{
+    std::ostringstream name;
+    name << "SCAN-" << n << "x" << l;
+    return make_workload(OpKind::kScan, name.str(), {n, l}, dtype);
+}
+
+std::vector<Workload>
+tensorcore_op_suite()
+{
+    // Shapes follow the Ansor/AMOS evaluation style: batched DL
+    // workloads drawn from ResNet/VGG/BERT layers.
+    std::vector<Workload> suite;
+    // GEMM (BERT-style projections and classifier heads)
+    suite.push_back(gemm(512, 1024, 1024));
+    suite.push_back(gemm(1024, 1024, 1024));
+    suite.push_back(gemm(256, 4096, 1024));
+    suite.push_back(gemm(32, 1000, 4096));
+    // BMM (attention)
+    suite.push_back(bmm(192, 128, 128, 64));
+    suite.push_back(bmm(192, 128, 64, 128));
+    // C1D
+    suite.push_back(c1d(16, 64, 256, 128, 3, 1, 1));
+    suite.push_back(c1d(16, 128, 128, 256, 3, 2, 1));
+    // C2D (ResNet layers)
+    suite.push_back(c2d(16, 64, 56, 56, 64, 3, 3, 1, 1));
+    suite.push_back(c2d(16, 128, 28, 28, 128, 3, 3, 1, 1));
+    suite.push_back(c2d(16, 256, 14, 14, 256, 3, 3, 1, 1));
+    // C3D
+    suite.push_back(c3d(4, 16, 16, 28, 28, 32, 3, 3, 3, 1, 1));
+    // T2D (DCGAN-style)
+    suite.push_back(t2d(16, 128, 14, 14, 64, 4, 4, 2, 1));
+    // DIL
+    suite.push_back(dil(16, 64, 28, 28, 64, 3, 3, 1, 2, 2));
+    // GEMV
+    suite.push_back(gemv(4096, 4096));
+    // SCAN
+    suite.push_back(scan(512, 4096, ir::DataType::kFloat32));
+    return suite;
+}
+
+std::vector<Workload>
+dlboost_op_suite()
+{
+    std::vector<Workload> suite;
+    auto dt = ir::DataType::kInt8;
+    suite.push_back(gemm(512, 1024, 1024, dt));
+    suite.push_back(gemm(32, 1000, 2048, dt));
+    suite.push_back(bmm(96, 128, 128, 64, dt));
+    suite.push_back(c1d(16, 64, 256, 128, 3, 1, 1, dt));
+    suite.push_back(c2d(16, 64, 56, 56, 64, 3, 3, 1, 1, dt));
+    suite.push_back(c2d(16, 128, 28, 28, 128, 3, 3, 1, 1, dt));
+    suite.push_back(c3d(4, 16, 16, 28, 28, 32, 3, 3, 3, 1, 1, dt));
+    suite.push_back(t2d(16, 128, 14, 14, 64, 4, 4, 2, 1, dt));
+    suite.push_back(dil(16, 64, 28, 28, 64, 3, 3, 1, 2, 2, dt));
+    suite.push_back(gemv(4096, 4096, dt));
+    suite.push_back(scan(512, 4096, ir::DataType::kInt32));
+    return suite;
+}
+
+std::vector<Workload>
+vta_op_suite()
+{
+    std::vector<Workload> suite;
+    auto dt = ir::DataType::kInt8;
+    suite.push_back(gemm(256, 256, 256, dt));
+    suite.push_back(gemm(1024, 1024, 256, dt));
+    suite.push_back(c2d(1, 64, 56, 56, 64, 3, 3, 1, 1, dt));
+    suite.push_back(c2d(1, 128, 28, 28, 128, 3, 3, 1, 1, dt));
+    suite.push_back(bmm(16, 128, 128, 64, dt));
+    return suite;
+}
+
+std::vector<Workload>
+table9_gemm()
+{
+    std::vector<Workload> suite;
+    suite.push_back(gemm(1024, 1024, 1024));
+    suite.back().name = "G1";
+    suite.push_back(gemm(4096, 4096, 4096));
+    suite.back().name = "G2";
+    suite.push_back(gemm(32, 1000, 2048));
+    suite.back().name = "G3";
+    suite.push_back(gemm(32, 4096, 4096));
+    suite.back().name = "G4";
+    suite.push_back(gemm(32, 1000, 4096));
+    suite.back().name = "G5";
+    return suite;
+}
+
+std::vector<Workload>
+table9_conv()
+{
+    // Batch, H, W, CI, CO, R, S, padding, stride from Table 9.
+    std::vector<Workload> suite;
+    suite.push_back(c2d(1, 64, 56, 56, 64, 1, 1, 1, 0));
+    suite.back().name = "C1";
+    suite.push_back(c2d(8, 512, 28, 28, 128, 1, 1, 1, 1));
+    suite.back().name = "C2";
+    suite.push_back(c2d(16, 1024, 14, 14, 512, 1, 1, 2, 0));
+    suite.back().name = "C3";
+    suite.push_back(c2d(32, 512, 7, 7, 512, 3, 3, 1, 0));
+    suite.back().name = "C4";
+    suite.push_back(c2d(32, 256, 14, 14, 256, 3, 3, 1, 1));
+    suite.back().name = "C5";
+    return suite;
+}
+
+} // namespace heron::ops

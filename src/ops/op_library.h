@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Operator library: builders that turn (operator kind, shape) into a
+ * ComputeDag, plus the evaluation shape suites used by the paper
+ * (the 9 operators of §6.2 and the Table 9 GEMM/C2D configurations).
+ */
+#ifndef HERON_OPS_OP_LIBRARY_H
+#define HERON_OPS_OP_LIBRARY_H
+
+#include <string>
+#include <vector>
+
+#include "ir/dag.h"
+
+namespace heron::ops {
+
+/** The 9 operators evaluated in the paper (§6.2). */
+enum class OpKind : uint8_t {
+    kGemm,
+    kGemv,
+    kBmm,
+    kC1d,
+    kC2d,
+    kC3d,
+    kT2d,
+    kDil,
+    kScan,
+};
+
+/** Short operator name ("GEMM", "C2D", ...). */
+const char *op_kind_name(OpKind kind);
+
+/**
+ * One benchmark case: an operator kind plus concrete shape
+ * parameters. Parameter order per kind:
+ *   kGemm: {M, N, K}
+ *   kGemv: {M, K}
+ *   kBmm:  {B, M, N, K}
+ *   kC1d:  {N, CI, L, CO, KW, stride, pad}
+ *   kC2d:  {N, CI, H, W, CO, R, S, stride, pad, dilation}
+ *   kC3d:  {N, CI, D, H, W, CO, KD, R, S, stride, pad}
+ *   kT2d:  {N, CI, H, W, CO, R, S, stride, pad}
+ *   kDil:  same as kC2d with dilation > 1
+ *   kScan: {N, L}
+ */
+struct Workload {
+    OpKind kind;
+    std::string name;
+    std::vector<int64_t> params;
+    ir::DataType dtype = ir::DataType::kFloat16;
+
+    /** Build the compute DAG for this workload. */
+    ir::ComputeDag build() const;
+
+    /** Total operations (2*MACs for contractions). */
+    int64_t flops() const;
+
+    /** "GEMM(1024x1024x1024)" style label. */
+    std::string label() const;
+};
+
+/** GEMM C[M,N] += A[M,K] * B[K,N]. */
+ir::ComputeDag make_gemm(int64_t m, int64_t n, int64_t k,
+                         ir::DataType dtype);
+
+/** GEMV y[M] += A[M,K] * x[K]. */
+ir::ComputeDag make_gemv(int64_t m, int64_t k, ir::DataType dtype);
+
+/** Batch matmul C[B,M,N] += A[B,M,K] * B[B,K,N]. */
+ir::ComputeDag make_bmm(int64_t b, int64_t m, int64_t n, int64_t k,
+                        ir::DataType dtype);
+
+/**
+ * 1D convolution, NCW layout, over a pre-padded input
+ * (L_pad = L + 2*pad).
+ */
+ir::ComputeDag make_conv1d(int64_t n, int64_t ci, int64_t l, int64_t co,
+                           int64_t kw, int64_t stride, int64_t pad,
+                           ir::DataType dtype);
+
+/** 2D convolution, NCHW layout, pre-padded input, with dilation. */
+ir::ComputeDag make_conv2d(int64_t n, int64_t ci, int64_t h, int64_t w,
+                           int64_t co, int64_t r, int64_t s,
+                           int64_t stride, int64_t pad,
+                           int64_t dilation, ir::DataType dtype);
+
+/** 3D convolution, NCDHW layout, pre-padded input. */
+ir::ComputeDag make_conv3d(int64_t n, int64_t ci, int64_t d, int64_t h,
+                           int64_t w, int64_t co, int64_t kd, int64_t r,
+                           int64_t s, int64_t stride, int64_t pad,
+                           ir::DataType dtype);
+
+/**
+ * Transposed 2D convolution, modeled as a unit-stride convolution
+ * over the stride-dilated input (the standard equivalence), which
+ * preserves loop structure, footprints, and operation count.
+ */
+ir::ComputeDag make_t2d(int64_t n, int64_t ci, int64_t h, int64_t w,
+                        int64_t co, int64_t r, int64_t s, int64_t stride,
+                        int64_t pad, ir::DataType dtype);
+
+/** Prefix-sum scan out[n, l] = sum_{l' <= l} X[n, l']. */
+ir::ComputeDag make_scan(int64_t n, int64_t l, ir::DataType dtype);
+
+/** Factory helpers that also produce a canonical name. */
+Workload gemm(int64_t m, int64_t n, int64_t k,
+              ir::DataType dtype = ir::DataType::kFloat16);
+Workload gemv(int64_t m, int64_t k,
+              ir::DataType dtype = ir::DataType::kFloat16);
+Workload bmm(int64_t b, int64_t m, int64_t n, int64_t k,
+             ir::DataType dtype = ir::DataType::kFloat16);
+Workload c1d(int64_t n, int64_t ci, int64_t l, int64_t co, int64_t kw,
+             int64_t stride, int64_t pad,
+             ir::DataType dtype = ir::DataType::kFloat16);
+Workload c2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+             int64_t r, int64_t s, int64_t stride, int64_t pad,
+             ir::DataType dtype = ir::DataType::kFloat16);
+Workload c3d(int64_t n, int64_t ci, int64_t d, int64_t h, int64_t w,
+             int64_t co, int64_t kd, int64_t r, int64_t s,
+             int64_t stride, int64_t pad,
+             ir::DataType dtype = ir::DataType::kFloat16);
+Workload t2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+             int64_t r, int64_t s, int64_t stride, int64_t pad,
+             ir::DataType dtype = ir::DataType::kFloat16);
+Workload dil(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+             int64_t r, int64_t s, int64_t stride, int64_t pad,
+             int64_t dilation,
+             ir::DataType dtype = ir::DataType::kFloat16);
+Workload scan(int64_t n, int64_t l,
+              ir::DataType dtype = ir::DataType::kFloat32);
+
+/**
+ * The operator suite used for the TensorCore evaluation (Fig. 6):
+ * all 9 operators, several shapes each (Ansor/AMOS shape style).
+ */
+std::vector<Workload> tensorcore_op_suite();
+
+/** The DL Boost (int8) operator suite (Fig. 8). */
+std::vector<Workload> dlboost_op_suite();
+
+/** The VTA (int8) operator suite (Fig. 9): GEMM, C2D, BMM. */
+std::vector<Workload> vta_op_suite();
+
+/** Table 9 GEMM configs G1..G5. */
+std::vector<Workload> table9_gemm();
+
+/** Table 9 C2D configs C1..C5. */
+std::vector<Workload> table9_conv();
+
+} // namespace heron::ops
+
+#endif // HERON_OPS_OP_LIBRARY_H

@@ -1,0 +1,68 @@
+#include "rules/attach.h"
+
+#include "support/logging.h"
+
+namespace heron::rules {
+
+using schedule::LoopRef;
+using schedule::LoopRole;
+using schedule::MemScope;
+using schedule::StagePlan;
+using schedule::StageRole;
+
+bool
+is_cooperative_scope(MemScope scope)
+{
+    switch (scope) {
+      case MemScope::kShared:
+      case MemScope::kInputBuffer:
+      case MemScope::kWeightBuffer:
+      case MemScope::kAccBuffer:
+        return true;
+      default:
+        return false;
+    }
+}
+
+AttachInfo
+analyze_attach(const StagePlan &consumer, MemScope scope,
+               StageRole role, int depth)
+{
+    auto order = schedule::flatten_loop_order(consumer);
+    HERON_CHECK_GE(depth, -1);
+    HERON_CHECK_LT(depth, static_cast<int>(order.size()));
+
+    bool cooperative = is_cooperative_scope(scope);
+    auto is_partition = [](LoopRole r) {
+        return r == LoopRole::kThread || r == LoopRole::kVThread;
+    };
+
+    AttachInfo info;
+    info.depth = depth;
+    info.region_levels.assign(consumer.axes.size(), {});
+    for (int pos = 0; pos < static_cast<int>(order.size()); ++pos) {
+        const LoopRef &ref = order[static_cast<size_t>(pos)];
+        const auto &axis =
+            consumer.axes[static_cast<size_t>(ref.axis)];
+        LoopRole loop_role =
+            axis.roles[static_cast<size_t>(ref.level)];
+        bool inside = pos > depth;
+        bool partition = is_partition(loop_role);
+
+        if (inside || (cooperative && partition)) {
+            // Contributes to the staged region.
+            info.region_levels[static_cast<size_t>(ref.axis)]
+                .push_back(ref.level);
+            continue;
+        }
+        // Outside the attach point: multiplies trips, except
+        // cooperative partition levels (handled above) and, for
+        // write stages, reduce loops (results are stored once).
+        if (role == StageRole::kCacheWrite && axis.reduce)
+            continue;
+        info.trip_loops.push_back(ref);
+    }
+    return info;
+}
+
+} // namespace heron::rules

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Attach-point analysis shared by constraint generation and program
+ * binding.
+ *
+ * A cache stage attached at depth p of its consumer stages a data
+ * region determined by the consumer loops *inside* p, and is
+ * (re)filled once per iteration of the loops *outside* p. Two scope
+ * properties modulate this:
+ *  - cooperative scopes (GPU shared memory) are filled jointly by
+ *    all threads of a block, so thread/vthread partition levels
+ *    count toward the region, not the trip count;
+ *  - private scopes (fragments, CPU core tiles) are per-executor,
+ *    so partition levels multiply trips instead.
+ * Cache-write stages additionally do not re-store per reduce
+ * iteration.
+ */
+#ifndef HERON_RULES_ATTACH_H
+#define HERON_RULES_ATTACH_H
+
+#include <vector>
+
+#include "schedule/template.h"
+
+namespace heron::rules {
+
+/** Resolved attach info for one (cache stage, attach depth) pair. */
+struct AttachInfo {
+    /** Attach depth (index into the consumer's flattened order). */
+    int depth = -1;
+    /**
+     * Per consumer axis: the tile levels whose lengths multiply
+     * into the staged region along that axis.
+     */
+    std::vector<std::vector<int>> region_levels;
+    /** Consumer loops whose lengths multiply the fill trip count. */
+    std::vector<schedule::LoopRef> trip_loops;
+};
+
+/**
+ * Analyze an attach of a stage with @p scope and @p role at
+ * flattened depth @p depth of @p consumer.
+ */
+AttachInfo analyze_attach(const schedule::StagePlan &consumer,
+                          schedule::MemScope scope,
+                          schedule::StageRole role, int depth);
+
+/** True when @p scope is filled cooperatively by all threads. */
+bool is_cooperative_scope(schedule::MemScope scope);
+
+} // namespace heron::rules
+
+#endif // HERON_RULES_ATTACH_H

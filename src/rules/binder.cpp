@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Program binding: turn a CSP assignment into a ConcreteProgram.
+ *
+ * Tile sizes, intrinsic shapes, and annotation values are read from
+ * the assignment by the generator's naming conventions; cache stage
+ * footprints and fill counts are recomputed numerically with the
+ * same attach analysis used by constraint generation, so the bound
+ * program agrees exactly with the constraints.
+ */
+#include "rules/space_generator.h"
+
+#include "rules/attach.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::rules {
+
+using csp::Assignment;
+using csp::VarId;
+using ir::LinearExpr;
+using schedule::ConcreteProgram;
+using schedule::ConcreteStage;
+using schedule::StagePlan;
+using schedule::StageRole;
+
+namespace {
+
+int64_t
+value_or(const csp::Csp &csp, const Assignment &a,
+         const std::string &name, int64_t fallback)
+{
+    VarId v = csp.find_var(name);
+    if (v < 0)
+        return fallback;
+    return a[static_cast<size_t>(v)];
+}
+
+int64_t
+value(const csp::Csp &csp, const Assignment &a,
+      const std::string &name)
+{
+    VarId v = csp.find_var(name);
+    HERON_CHECK_GE(v, 0) << "missing variable " << name;
+    return a[static_cast<size_t>(v)];
+}
+
+} // namespace
+
+schedule::ConcreteProgram
+GeneratedSpace::bind(const Assignment &a) const
+{
+    HERON_CHECK_EQ(a.size(), csp.num_vars());
+
+    ConcreteProgram prog;
+    prog.workload = workload.name;
+    prog.dtype = workload.dtype;
+    prog.total_ops = dag.total_ops();
+    prog.stages.reserve(tmpl.stages.size());
+
+    for (const auto &plan : tmpl.stages) {
+        ConcreteStage cs;
+        cs.name = plan.name;
+        cs.role = plan.role;
+        cs.scope = plan.scope;
+        cs.tensor = plan.tensor;
+        cs.ir_stage = plan.ir_stage;
+        cs.compute_at = plan.compute_at;
+
+        if (plan.role == StageRole::kMain) {
+            for (const auto &axis : plan.axes) {
+                cs.axis_names.push_back(axis.name);
+                cs.axis_reduce.push_back(axis.reduce);
+                std::vector<int64_t> lens;
+                for (int l = 0; l < axis.num_levels(); ++l)
+                    lens.push_back(value(
+                        csp, a, axis.level_name(plan.name, l)));
+                cs.tile.push_back(std::move(lens));
+                cs.roles.push_back(axis.roles);
+            }
+            if (plan.tensorized) {
+                cs.intrinsic_m =
+                    value_or(csp, a, plan.name + ".wmma.m",
+                             plan.intrinsic_m_candidates[0]);
+                cs.intrinsic_n =
+                    value_or(csp, a, plan.name + ".wmma.n",
+                             plan.intrinsic_n_candidates[0]);
+                cs.intrinsic_k =
+                    value_or(csp, a, plan.name + ".wmma.k",
+                             plan.intrinsic_k_candidates[0]);
+            }
+            cs.unroll =
+                value_or(csp, a, "unroll." + plan.name, 1);
+            prog.stages.push_back(std::move(cs));
+            continue;
+        }
+
+        // Cache stage: resolve the attach candidate, then compute
+        // region footprint and fill count from the consumer tiles.
+        const StagePlan &consumer = tmpl.stage(plan.compute_at);
+        HERON_CHECK_EQ(static_cast<int>(consumer.role),
+                       static_cast<int>(StageRole::kMain));
+        int64_t loc = value_or(csp, a, "loc." + plan.name, 0);
+        HERON_CHECK_GE(loc, 0);
+        HERON_CHECK_LT(static_cast<size_t>(loc),
+                       plan.attach_candidates.size());
+        int depth =
+            plan.attach_candidates[static_cast<size_t>(loc)];
+        AttachInfo info =
+            analyze_attach(consumer, plan.scope, plan.role, depth);
+
+        // Consumer tile lengths (per axis, per level).
+        auto consumer_len = [&](int axis, int level) {
+            return value(
+                csp, a,
+                consumer.axes[static_cast<size_t>(axis)].level_name(
+                    consumer.name, level));
+        };
+
+        std::vector<int64_t> inside(consumer.axes.size(), 1);
+        for (size_t ax = 0; ax < consumer.axes.size(); ++ax)
+            for (int l : info.region_levels[ax])
+                inside[ax] = checked_mul(
+                    inside[ax], consumer_len(static_cast<int>(ax), l));
+
+        const ir::ComputeStage &ir_stage =
+            dag.stage(consumer.ir_stage);
+        const std::vector<LinearExpr> *access = nullptr;
+        if (plan.role == StageRole::kCacheRead) {
+            for (const auto &read : ir_stage.reads)
+                if (read.tensor == plan.tensor)
+                    access = &read.indices;
+        } else {
+            access = &ir_stage.output_indices;
+        }
+        HERON_CHECK(access != nullptr)
+            << plan.name << " stages unknown tensor " << plan.tensor;
+
+        int64_t elements = 1;
+        int64_t row = 1;
+        for (const auto &index : *access) {
+            row = index.footprint(inside);
+            elements = checked_mul(elements, row);
+        }
+
+        int64_t trips = 1;
+        for (const auto &ref : info.trip_loops)
+            trips = checked_mul(trips,
+                                consumer_len(ref.axis, ref.level));
+
+        const ir::Tensor &tensor = dag.tensor(plan.tensor);
+        cs.attach_depth = depth;
+        cs.tile_elements = elements;
+        cs.row_elements = row;
+        cs.fill_trips = trips;
+        cs.bytes_per_element = ir::dtype_bytes(tensor.dtype);
+        cs.vector_len = value_or(csp, a, "vec." + plan.name, 1);
+        cs.storage_align_pad =
+            value_or(csp, a, "pad." + plan.name, 0);
+        cs.packed_layout = plan.packed_layout;
+        prog.stages.push_back(std::move(cs));
+    }
+
+    // Inputs with no staging stream from DRAM on every iteration
+    // that reads them.
+    for (const auto &input : dag.inputs()) {
+        bool covered = false;
+        for (const auto &stage : prog.stages)
+            if (stage.role == StageRole::kCacheRead &&
+                stage.tensor == input.name)
+                covered = true;
+        if (covered)
+            continue;
+        for (const auto &stage : dag.stages()) {
+            bool reads = false;
+            for (const auto &read : stage.reads)
+                reads |= read.tensor == input.name;
+            if (reads)
+                prog.streamed_input_bytes += checked_mul(
+                    stage.iteration_count(),
+                    ir::dtype_bytes(input.dtype));
+        }
+    }
+    return prog;
+}
+
+} // namespace heron::rules

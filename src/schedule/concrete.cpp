@@ -1,0 +1,234 @@
+#include "schedule/concrete.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace heron::schedule {
+
+int64_t
+ConcreteStage::tile_bytes() const
+{
+    if (tile_elements == 0)
+        return 0;
+    // storage_align pads every innermost row by pad elements.
+    int64_t row = std::max<int64_t>(1, row_elements);
+    int64_t rows = tile_elements / row;
+    return checked_mul(
+        checked_mul(rows, row + storage_align_pad),
+        bytes_per_element);
+}
+
+int64_t
+ConcreteStage::role_product(LoopRole role) const
+{
+    int64_t product = 1;
+    for (size_t a = 0; a < tile.size(); ++a)
+        for (size_t l = 0; l < tile[a].size(); ++l)
+            if (roles[a][l] == role)
+                product = checked_mul(product, tile[a][l]);
+    return product;
+}
+
+int64_t
+ConcreteStage::axis_extent(int axis) const
+{
+    return checked_product(tile[static_cast<size_t>(axis)]);
+}
+
+int64_t
+ConcreteStage::level_length(int axis, int level) const
+{
+    return tile[static_cast<size_t>(axis)][static_cast<size_t>(level)];
+}
+
+const ConcreteStage *
+ConcreteProgram::find(const std::string &name) const
+{
+    for (const auto &s : stages)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+const ConcreteStage &
+ConcreteProgram::main_stage() const
+{
+    for (const auto &s : stages)
+        if (s.role == StageRole::kMain)
+            return s;
+    HERON_FATAL << "program has no main stage";
+    return stages.front();
+}
+
+std::vector<const ConcreteStage *>
+ConcreteProgram::stages_with_scope(MemScope scope) const
+{
+    std::vector<const ConcreteStage *> result;
+    for (const auto &s : stages)
+        if (s.scope == scope)
+            result.push_back(&s);
+    return result;
+}
+
+int64_t
+ConcreteProgram::scope_bytes(MemScope scope) const
+{
+    int64_t total = 0;
+    for (const auto *s : stages_with_scope(scope))
+        total += s->tile_bytes();
+    return total;
+}
+
+std::string
+ConcreteProgram::to_string() const
+{
+    std::ostringstream out;
+    out << "program for " << workload << "\n";
+    for (const auto &s : stages) {
+        out << "  " << s.name;
+        if (!s.tensor.empty())
+            out << " [" << s.tensor << " -> " << mem_scope_name(s.scope)
+                << "]";
+        if (!s.compute_at.empty())
+            out << " @ " << s.compute_at << ":" << s.attach_depth;
+        out << "\n";
+        for (size_t a = 0; a < s.tile.size(); ++a) {
+            out << "    " << s.axis_names[a]
+                << (s.axis_reduce[a] ? "(r)" : "") << ":";
+            for (size_t l = 0; l < s.tile[a].size(); ++l)
+                out << " " << s.tile[a][l] << "("
+                    << loop_role_name(s.roles[a][l]) << ")";
+            out << "\n";
+        }
+        if (s.intrinsic_m)
+            out << "    tensorize " << s.intrinsic_m << "x"
+                << s.intrinsic_n << "x" << s.intrinsic_k << "\n";
+        if (s.vector_len > 1)
+            out << "    vectorize " << s.vector_len << "\n";
+        if (s.unroll > 1)
+            out << "    unroll " << s.unroll << "\n";
+        if (s.tile_elements)
+            out << "    tile_elements " << s.tile_elements
+                << " fill_trips " << s.fill_trips << "\n";
+    }
+    return out.str();
+}
+
+namespace {
+
+/** Emit one loop line with role annotation. */
+void
+emit_loop(std::ostringstream &out, int indent, const std::string &name,
+          int64_t length, LoopRole role)
+{
+    for (int i = 0; i < indent; ++i)
+        out << "  ";
+    switch (role) {
+      case LoopRole::kGrid:
+        out << "for " << name << " in grid(" << length << "):";
+        break;
+      case LoopRole::kVThread:
+        out << "for " << name << " in vthread(" << length << "):";
+        break;
+      case LoopRole::kThread:
+        out << "for " << name << " in threads(" << length << "):";
+        break;
+      case LoopRole::kCore:
+        out << "parallel for " << name << " in cores(" << length
+            << "):";
+        break;
+      case LoopRole::kVector:
+        out << "vectorized for " << name << " in 0.." << length << ":";
+        break;
+      case LoopRole::kBuffer:
+        out << "for " << name << " in buffer_tiles(" << length << "):";
+        break;
+      case LoopRole::kIntrinsic:
+        out << "# " << name << " consumed by intrinsic (" << length
+            << ")";
+        break;
+      case LoopRole::kSerial:
+        out << "for " << name << " in 0.." << length << ":";
+        break;
+    }
+    out << "\n";
+}
+
+} // namespace
+
+std::string
+print_pseudo_code(const ConcreteProgram &program)
+{
+    std::ostringstream out;
+    out << "// generated pseudo-code for " << program.workload << "\n";
+    const ConcreteStage &main = program.main_stage();
+
+    auto order = [&](const ConcreteStage &s) {
+        // Reconstruct a loop order: by level, spatial before reduce.
+        std::vector<std::pair<int, int>> loops;
+        size_t max_levels = 0;
+        for (const auto &t : s.tile)
+            max_levels = std::max(max_levels, t.size());
+        for (size_t level = 0; level < max_levels; ++level)
+            for (int pass = 0; pass < 2; ++pass)
+                for (size_t a = 0; a < s.tile.size(); ++a)
+                    if (s.axis_reduce[a] == (pass == 1) &&
+                        level < s.tile[a].size())
+                        loops.emplace_back(static_cast<int>(a),
+                                           static_cast<int>(level));
+        return loops;
+    };
+
+    int indent = 0;
+    auto loops = order(main);
+    for (const auto &[axis, level] : loops) {
+        std::ostringstream name;
+        name << main.axis_names[static_cast<size_t>(axis)] << "."
+             << level;
+        emit_loop(out, indent, name.str(),
+                  main.level_length(axis, level),
+                  main.roles[static_cast<size_t>(axis)]
+                            [static_cast<size_t>(level)]);
+        ++indent;
+        // Emit cache fills attached at this depth.
+        int depth = indent - 1;
+        for (const auto &s : program.stages) {
+            if (s.role == StageRole::kCacheRead &&
+                s.attach_depth == depth) {
+                for (int i = 0; i < indent; ++i)
+                    out << "  ";
+                out << s.name << " = load " << s.tensor << " tile ("
+                    << s.tile_elements << " elem) into "
+                    << mem_scope_name(s.scope);
+                if (s.vector_len > 1)
+                    out << " vectorize=" << s.vector_len;
+                if (s.storage_align_pad > 0)
+                    out << " storage_align pad=" << s.storage_align_pad;
+                out << "\n";
+            }
+        }
+    }
+    for (int i = 0; i < indent; ++i)
+        out << "  ";
+    if (main.intrinsic_m) {
+        out << "mma_sync(" << main.intrinsic_m << "x" << main.intrinsic_n
+            << "x" << main.intrinsic_k << ")\n";
+    } else {
+        out << "scalar compute\n";
+    }
+    for (const auto &s : program.stages) {
+        if (s.role == StageRole::kCacheWrite) {
+            out << "store " << s.tensor << " via "
+                << mem_scope_name(s.scope) << " ("
+                << s.tile_elements << " elem)";
+            if (s.vector_len > 1)
+                out << " vectorize=" << s.vector_len;
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace heron::schedule

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Concrete programs: a schedule template with every tunable bound
+ * to a value. This is what the DLA measurer consumes and what the
+ * pseudo-code printer renders.
+ */
+#ifndef HERON_SCHEDULE_CONCRETE_H
+#define HERON_SCHEDULE_CONCRETE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/dag.h"
+#include "schedule/template.h"
+
+namespace heron::schedule {
+
+/** One stage with all tile sizes and annotations bound. */
+struct ConcreteStage {
+    std::string name;
+    StageRole role = StageRole::kMain;
+    MemScope scope = MemScope::kGlobal;
+    std::string tensor;
+    int ir_stage = -1;
+
+    std::vector<std::string> axis_names;
+    std::vector<bool> axis_reduce;
+    /** Per axis: per-level lengths; product equals the axis extent. */
+    std::vector<std::vector<int64_t>> tile;
+    /** Per axis: per-level roles (parallel to @c tile). */
+    std::vector<std::vector<LoopRole>> roles;
+
+    /** Cache stages: consumer name and bound attach depth. */
+    std::string compute_at;
+    int attach_depth = -1;
+
+    int64_t vector_len = 1;
+    int64_t unroll = 1;
+    int64_t storage_align_pad = 0;
+
+    /** Main stage intrinsic shape (0 when not tensorized). */
+    int64_t intrinsic_m = 0, intrinsic_n = 0, intrinsic_k = 0;
+
+    /** Derived at binding time (see rules/space_generator):
+     * elements per staged tile, times the tile is (re)filled, and
+     * element size. Zero for the main stage. */
+    int64_t tile_elements = 0;
+    int64_t fill_trips = 0;
+    int64_t bytes_per_element = 0;
+    /** Innermost tensor-dimension footprint of the staged tile
+     * (row length for bank-conflict modeling). */
+    int64_t row_elements = 0;
+    /** Staged through a packed cache-friendly layout. */
+    bool packed_layout = false;
+
+    /** Tile bytes including storage_align padding effects. */
+    int64_t tile_bytes() const;
+
+    /** Product of level lengths with the given role, all axes. */
+    int64_t role_product(LoopRole role) const;
+
+    /** Product of all level lengths of one axis (== extent). */
+    int64_t axis_extent(int axis) const;
+
+    /** Length of one (axis, level) loop. */
+    int64_t level_length(int axis, int level) const;
+};
+
+/** A fully bound program plus its workload context. */
+struct ConcreteProgram {
+    /** Workload label for reports. */
+    std::string workload;
+    ir::DataType dtype = ir::DataType::kFloat16;
+    /** Total multiply-accumulate-style op count of the workload. */
+    int64_t total_ops = 0;
+    /**
+     * DRAM bytes for input operands not covered by any cache-read
+     * stage: with no on-chip staging every access goes to memory
+     * (one read per loop iteration touching the operand).
+     */
+    int64_t streamed_input_bytes = 0;
+    std::vector<ConcreteStage> stages;
+
+    /** Stage by name; nullptr when absent. */
+    const ConcreteStage *find(const std::string &name) const;
+
+    /** The main compute stage; aborts if missing. */
+    const ConcreteStage &main_stage() const;
+
+    /** All cache stages with the given scope. */
+    std::vector<const ConcreteStage *>
+    stages_with_scope(MemScope scope) const;
+
+    /** Sum of tile bytes across stages in @p scope. */
+    int64_t scope_bytes(MemScope scope) const;
+
+    /** Multi-line structural dump. */
+    std::string to_string() const;
+};
+
+/**
+ * Render a concrete program as readable pseudo-code (nested loops
+ * with bind/vectorize/tensorize annotations), the closest analogue
+ * of TVM's lowered IR dump.
+ */
+std::string print_pseudo_code(const ConcreteProgram &program);
+
+} // namespace heron::schedule
+
+#endif // HERON_SCHEDULE_CONCRETE_H

@@ -1,0 +1,60 @@
+#include "schedule/primitive.h"
+
+#include <sstream>
+
+namespace heron::schedule {
+
+const char *
+primitive_kind_name(PrimitiveKind kind)
+{
+    switch (kind) {
+      case PrimitiveKind::kSplit: return "split";
+      case PrimitiveKind::kFuse: return "fuse";
+      case PrimitiveKind::kReorder: return "reorder";
+      case PrimitiveKind::kCacheRead: return "cache_read";
+      case PrimitiveKind::kCacheWrite: return "cache_write";
+      case PrimitiveKind::kComputeAt: return "compute_at";
+      case PrimitiveKind::kBind: return "bind";
+      case PrimitiveKind::kVectorize: return "vectorize";
+      case PrimitiveKind::kUnroll: return "unroll";
+      case PrimitiveKind::kTensorize: return "tensorize";
+      case PrimitiveKind::kStorageAlign: return "storage_align";
+      case PrimitiveKind::kParallel: return "parallel";
+    }
+    return "?";
+}
+
+std::string
+Primitive::to_string() const
+{
+    std::ostringstream out;
+    out << primitive_kind_name(kind) << "(" << stage;
+    if (!loops.empty()) {
+        out << ", [";
+        for (size_t i = 0; i < loops.size(); ++i)
+            out << (i ? ", " : "") << loops[i];
+        out << "]";
+    }
+    if (!results.empty()) {
+        out << " -> [";
+        for (size_t i = 0; i < results.size(); ++i)
+            out << (i ? ", " : "") << results[i];
+        out << "]";
+    }
+    if (!target.empty())
+        out << ", target=" << target;
+    if (!scope.empty())
+        out << ", scope=" << scope;
+    if (!param.empty())
+        out << ", param=" << param;
+    if (!candidates.empty()) {
+        out << ", candidates={";
+        for (size_t i = 0; i < candidates.size(); ++i)
+            out << (i ? "," : "") << candidates[i];
+        out << "}";
+    }
+    out << ")";
+    return out.str();
+}
+
+} // namespace heron::schedule

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Schedule primitives.
+ *
+ * A schedule template is a list of primitives (paper Table 1):
+ * split/fuse/reorder loop transforms, cache_read/cache_write stage
+ * insertion, compute_at fusion, bind/vectorize/unroll annotations,
+ * tensorize, and storage_align. The constraint generation rules
+ * (paper Table 8) pattern-match on this list.
+ */
+#ifndef HERON_SCHEDULE_PRIMITIVE_H
+#define HERON_SCHEDULE_PRIMITIVE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heron::schedule {
+
+/** The primitive kinds Heron's generator emits. */
+enum class PrimitiveKind : uint8_t {
+    kSplit,
+    kFuse,
+    kReorder,
+    kCacheRead,
+    kCacheWrite,
+    kComputeAt,
+    kBind,
+    kVectorize,
+    kUnroll,
+    kTensorize,
+    kStorageAlign,
+    kParallel,
+};
+
+/** Primitive kind name ("split", ...). */
+const char *primitive_kind_name(PrimitiveKind kind);
+
+/**
+ * One schedule primitive. Field use depends on kind:
+ *  - kSplit:        stage, loops={parent}, results={outer, inner},
+ *                   param=tile-size parameter name
+ *  - kFuse:         stage, loops={l1, l2, ...}, results={fused}
+ *  - kReorder:      stage, loops=new order
+ *  - kCacheRead:    stage=new cache stage, target=cached tensor,
+ *                   scope=memory scope name
+ *  - kCacheWrite:   stage=new cache stage, target=tensor, scope
+ *  - kComputeAt:    stage, target=consumer stage,
+ *                   param=location parameter, candidates=loop depths
+ *  - kBind:         stage, loops={loop}, target=thread tag
+ *  - kVectorize:    stage, loops={loop}, param=vector length
+ *                   parameter, candidates=allowed lengths
+ *  - kUnroll:       stage, loops={loop}, param=unroll parameter,
+ *                   candidates=allowed factors
+ *  - kTensorize:    stage, loops={m, n, k loop names},
+ *                   candidates=allowed intrinsic sizes (flattened),
+ *                   target=intrinsic name
+ *  - kStorageAlign: stage, param=padding parameter,
+ *                   candidates=allowed pads
+ *  - kParallel:     stage, loops={loop}
+ */
+struct Primitive {
+    PrimitiveKind kind;
+    std::string stage;
+    std::vector<std::string> loops;
+    std::vector<std::string> results;
+    std::string param;
+    std::string target;
+    std::string scope;
+    std::vector<int64_t> candidates;
+
+    /** One-line rendering, e.g. "split(C, i -> i.0, i.1, tile.C.i.0)". */
+    std::string to_string() const;
+};
+
+} // namespace heron::schedule
+
+#endif // HERON_SCHEDULE_PRIMITIVE_H

@@ -1,0 +1,143 @@
+#include "schedule/template.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace heron::schedule {
+
+const char *
+loop_role_name(LoopRole role)
+{
+    switch (role) {
+      case LoopRole::kGrid: return "grid";
+      case LoopRole::kVThread: return "vthread";
+      case LoopRole::kThread: return "thread";
+      case LoopRole::kSerial: return "serial";
+      case LoopRole::kIntrinsic: return "intrinsic";
+      case LoopRole::kCore: return "core";
+      case LoopRole::kVector: return "vector";
+      case LoopRole::kBuffer: return "buffer";
+    }
+    return "?";
+}
+
+const char *
+mem_scope_name(MemScope scope)
+{
+    switch (scope) {
+      case MemScope::kGlobal: return "global";
+      case MemScope::kShared: return "shared";
+      case MemScope::kFragment: return "fragment";
+      case MemScope::kRegister: return "register";
+      case MemScope::kL2: return "l2";
+      case MemScope::kL1: return "l1";
+      case MemScope::kInputBuffer: return "input_buffer";
+      case MemScope::kWeightBuffer: return "weight_buffer";
+      case MemScope::kAccBuffer: return "acc_buffer";
+    }
+    return "?";
+}
+
+std::string
+TiledAxis::level_name(const std::string &stage_name, int level) const
+{
+    std::ostringstream out;
+    out << stage_name << "." << name << "." << level;
+    return out.str();
+}
+
+int
+StagePlan::find_axis(const std::string &axis_name) const
+{
+    for (size_t i = 0; i < axes.size(); ++i)
+        if (axes[i].name == axis_name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+const StagePlan &
+ScheduleTemplate::stage(const std::string &name) const
+{
+    int i = find_stage(name);
+    HERON_CHECK_GE(i, 0) << "unknown template stage: " << name;
+    return stages[static_cast<size_t>(i)];
+}
+
+StagePlan &
+ScheduleTemplate::stage_mut(const std::string &name)
+{
+    int i = find_stage(name);
+    HERON_CHECK_GE(i, 0) << "unknown template stage: " << name;
+    return stages[static_cast<size_t>(i)];
+}
+
+int
+ScheduleTemplate::find_stage(const std::string &name) const
+{
+    for (size_t i = 0; i < stages.size(); ++i)
+        if (stages[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::string
+ScheduleTemplate::to_string() const
+{
+    std::ostringstream out;
+    out << "template with " << stages.size() << " stages, "
+        << primitives.size() << " primitives\n";
+    for (const auto &plan : stages) {
+        out << "stage " << plan.name << " (";
+        switch (plan.role) {
+          case StageRole::kMain: out << "main"; break;
+          case StageRole::kCacheRead: out << "cache_read"; break;
+          case StageRole::kCacheWrite: out << "cache_write"; break;
+        }
+        out << ", scope=" << mem_scope_name(plan.scope);
+        if (!plan.tensor.empty())
+            out << ", tensor=" << plan.tensor;
+        if (!plan.compute_at.empty())
+            out << ", compute_at=" << plan.compute_at;
+        out << ")\n";
+        for (const auto &axis : plan.axes) {
+            out << "  " << axis.name << (axis.reduce ? "(r)" : "")
+                << "=" << axis.extent << " levels:";
+            for (auto role : axis.roles)
+                out << " " << loop_role_name(role);
+            out << "\n";
+        }
+    }
+    out << "primitives:\n";
+    for (const auto &p : primitives)
+        out << "  " << p.to_string() << "\n";
+    return out.str();
+}
+
+std::vector<LoopRef>
+flatten_loop_order(const StagePlan &plan)
+{
+    if (!plan.loop_order.empty())
+        return plan.loop_order;
+
+    std::vector<LoopRef> order;
+    int max_levels = 0;
+    for (const auto &axis : plan.axes)
+        max_levels = std::max(max_levels, axis.num_levels());
+    for (int level = 0; level < max_levels; ++level) {
+        for (int pass = 0; pass < 2; ++pass) {
+            bool want_reduce = pass == 1;
+            for (int a = 0; a < static_cast<int>(plan.axes.size());
+                 ++a) {
+                const auto &axis = plan.axes[static_cast<size_t>(a)];
+                if (axis.reduce != want_reduce)
+                    continue;
+                if (level < axis.num_levels())
+                    order.push_back(LoopRef{a, level});
+            }
+        }
+    }
+    return order;
+}
+
+} // namespace heron::schedule

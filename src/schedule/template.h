@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Schedule template structures.
+ *
+ * The generator (src/rules) turns a ComputeDag into a
+ * ScheduleTemplate: a set of StagePlans (original compute stages
+ * plus generated cache stages) whose loop structure is multi-level
+ * tiled, annotated, and parameterized by tunable tile sizes. The
+ * template fixes the *structure*; the CSP fixes the *numbers*.
+ */
+#ifndef HERON_SCHEDULE_TEMPLATE_H
+#define HERON_SCHEDULE_TEMPLATE_H
+
+#include <string>
+#include <vector>
+
+#include "ir/dag.h"
+#include "schedule/primitive.h"
+
+namespace heron::schedule {
+
+/** What hardware resource a tile level maps onto. */
+enum class LoopRole : uint8_t {
+    kGrid,       ///< GPU thread block / grid dimension
+    kVThread,    ///< virtual thread (striding) level
+    kThread,     ///< GPU warp/thread dimension or CPU SIMD lane group
+    kSerial,     ///< sequential loop
+    kIntrinsic,  ///< consumed by the tensorized hardware intrinsic
+    kCore,       ///< CPU core-parallel loop
+    kVector,     ///< vectorized innermost loop
+    kBuffer,     ///< on-accelerator buffer tile loop (VTA)
+};
+
+/** Loop role name ("grid", ...). */
+const char *loop_role_name(LoopRole role);
+
+/** Memory scopes across the three DLA archetypes. */
+enum class MemScope : uint8_t {
+    kGlobal,
+    kShared,      ///< GPU shared memory
+    kFragment,    ///< TensorCore wmma fragment registers
+    kRegister,    ///< accumulation registers
+    kL2,          ///< CPU L2 cache tile
+    kL1,          ///< CPU L1 cache tile
+    kInputBuffer, ///< VTA input SPM
+    kWeightBuffer,///< VTA weight SPM
+    kAccBuffer,   ///< VTA accumulator SPM
+};
+
+/** Memory scope name ("shared", ...). */
+const char *mem_scope_name(MemScope scope);
+
+/** Role of a stage within the template. */
+enum class StageRole : uint8_t {
+    kMain,       ///< the tensorized/compute stage
+    kCacheRead,  ///< data-movement stage loading a tensor inward
+    kCacheWrite, ///< data-movement stage storing results outward
+};
+
+/**
+ * The tiling plan of one original axis: how many nested tile levels
+ * it is split into and what each level maps onto. Level 0 is the
+ * outermost. The per-level lengths are CSP variables named
+ * "<stage>.<axis>.<level>"; their product equals the axis extent.
+ */
+struct TiledAxis {
+    std::string name;
+    int64_t extent = 1;
+    bool reduce = false;
+    std::vector<LoopRole> roles;
+
+    /** Number of tile levels. */
+    int num_levels() const { return static_cast<int>(roles.size()); }
+
+    /** Loop (and CSP variable) name of one level. */
+    std::string level_name(const std::string &stage_name,
+                           int level) const;
+};
+
+/** Reference to one loop: an (axis, tile level) pair in a stage. */
+struct LoopRef {
+    int axis;
+    int level;
+};
+
+/**
+ * One stage of the template: either an original compute stage or a
+ * generated cache stage, with its tiled loop structure and
+ * annotations.
+ */
+struct StagePlan {
+    std::string name;
+    StageRole role = StageRole::kMain;
+    /** For cache stages: the tensor being staged. */
+    std::string tensor;
+    MemScope scope = MemScope::kGlobal;
+    /** Index of the ir stage this plan derives from (-1 for caches). */
+    int ir_stage = -1;
+
+    std::vector<TiledAxis> axes;
+
+    /** Main stage: tensorize annotation. */
+    bool tensorized = false;
+    /** Intrinsic (m, n, k) candidate sizes (empty = fixed). */
+    std::vector<int64_t> intrinsic_m_candidates;
+    std::vector<int64_t> intrinsic_n_candidates;
+    std::vector<int64_t> intrinsic_k_candidates;
+    /** Product constraint m*n*k == this (0 = unconstrained). */
+    int64_t intrinsic_volume = 0;
+    /** m/n/k role axis indices into @c axes. */
+    std::vector<int> m_axes, n_axes, k_axes;
+
+    /** Cache stages: consumer stage and candidate attach depths. */
+    std::string compute_at;
+    /**
+     * Candidate attach positions, as indices into the consumer's
+     * flattened loop order (see flatten_loop_order).
+     */
+    std::vector<int> attach_candidates;
+
+    /** Vectorized innermost data movement (candidates = lengths). */
+    bool has_vectorize = false;
+    std::vector<int64_t> vector_candidates;
+
+    /** Unroll pragma on the stage (candidates = max unroll steps). */
+    bool has_unroll = false;
+    std::vector<int64_t> unroll_candidates;
+
+    /** storage_align padding candidates (shared memory stages). */
+    bool has_storage_align = false;
+    std::vector<int64_t> storage_align_candidates;
+
+    /** Staged through a packed cache-friendly layout (oneDNN-style
+     * weight blocking). */
+    bool packed_layout = false;
+
+    /** Axis index by name; -1 when absent. */
+    int find_axis(const std::string &axis_name) const;
+
+    /**
+     * Explicit flattened loop order (outermost first), filled by the
+     * generator. When empty, flatten_loop_order() derives a default
+     * (by level, spatial before reduce).
+     */
+    std::vector<LoopRef> loop_order;
+};
+
+/**
+ * A full schedule template: stage plans plus the flat primitive
+ * list the constraint rules scan.
+ */
+struct ScheduleTemplate {
+    /** Stages in producer-to-consumer order (caches interleaved). */
+    std::vector<StagePlan> stages;
+    std::vector<Primitive> primitives;
+
+    /** Stage plan by name; aborts when absent. */
+    const StagePlan &stage(const std::string &name) const;
+
+    /** Mutable stage plan by name; aborts when absent. */
+    StagePlan &stage_mut(const std::string &name);
+
+    /** Index of a stage plan by name; -1 when absent. */
+    int find_stage(const std::string &name) const;
+
+    /** Multi-line dump of the whole template. */
+    std::string to_string() const;
+};
+
+/**
+ * The flattened loop order of a stage (outermost first), used for
+ * compute_at attach positions and footprint math. Returns the
+ * generator-provided order when present; otherwise derives one (by
+ * level, spatial axes before reduce axes of the same level).
+ */
+std::vector<LoopRef> flatten_loop_order(const StagePlan &plan);
+
+} // namespace heron::schedule
+
+#endif // HERON_SCHEDULE_TEMPLATE_H

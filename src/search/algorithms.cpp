@@ -1,0 +1,481 @@
+#include "search/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "search/cga.h"
+#include "support/logging.h"
+
+namespace heron::search {
+
+using csp::Assignment;
+using csp::Csp;
+using csp::RandSatSolver;
+
+SearchResult
+random_search(const rules::GeneratedSpace &space,
+              hw::Measurer &measurer, const SearchConfig &config)
+{
+    Rng rng(config.seed);
+    RandSatSolver solver(space.csp);
+    Evaluator evaluator(space, measurer);
+    while (evaluator.count() < config.trials) {
+        auto a = solver.solve_one(rng);
+        if (!a) {
+            evaluator.measure_failure();
+            continue;
+        }
+        evaluator.measure(*a);
+    }
+    return evaluator.result();
+}
+
+SearchResult
+simulated_annealing(const rules::GeneratedSpace &space,
+                    hw::Measurer &measurer,
+                    const SearchConfig &config)
+{
+    Rng rng(config.seed);
+    RandSatSolver solver(space.csp);
+    Evaluator evaluator(space, measurer);
+    TunableView view(space.csp);
+
+    // Start from a valid program (Fig. 2 setup).
+    auto seed_assignment = solver.solve_one(rng);
+    if (!seed_assignment)
+        return evaluator.result();
+    Chromosome current = view.from_assignment(*seed_assignment);
+    double current_score = evaluator.measure(*seed_assignment);
+
+    double temperature = config.sa_temperature;
+    while (evaluator.count() < config.trials) {
+        Chromosome neighbor = current;
+        size_t gene = rng.index(view.size());
+        neighbor[gene] = rng.pick(view.domain(gene));
+
+        double score;
+        auto completed =
+            complete_assignment(space.csp, view, neighbor);
+        if (completed)
+            score = evaluator.measure(*completed);
+        else
+            score = evaluator.measure_failure();
+
+        double delta = score - current_score;
+        if (delta >= 0 ||
+            rng.uniform() <
+                std::exp(delta / std::max(1e-6, temperature))) {
+            current = std::move(neighbor);
+            current_score = score;
+        }
+        temperature *= config.sa_cooling;
+    }
+    return evaluator.result();
+}
+
+SearchResult
+template_consistent_sa(const rules::GeneratedSpace &space,
+                       hw::Measurer &measurer,
+                       const SearchConfig &config)
+{
+    Rng rng(config.seed);
+    RandSatSolver solver(space.csp);
+    Evaluator evaluator(space, measurer);
+    TunableView view(space.csp);
+
+    auto seed_assignment = solver.solve_one(rng);
+    if (!seed_assignment)
+        return evaluator.result(); // space unsatisfiable
+    Chromosome current = view.from_assignment(*seed_assignment);
+    double current_score = evaluator.measure(*seed_assignment);
+
+    // One structurally consistent neighbor: change one gene and
+    // keep only changes that complete under propagation.
+    auto neighbor = [&]() -> std::optional<
+                              std::pair<Chromosome,
+                                        csp::Assignment>> {
+        std::vector<size_t> genes(view.size());
+        for (size_t i = 0; i < genes.size(); ++i)
+            genes[i] = i;
+        rng.shuffle(genes);
+        for (size_t gi = 0; gi < std::min<size_t>(genes.size(), 8);
+             ++gi) {
+            size_t g = genes[gi];
+            auto values = view.domain(g);
+            rng.shuffle(values);
+            for (int64_t v : values) {
+                if (v == current[g])
+                    continue;
+                Chromosome nb = current;
+                nb[g] = v;
+                auto completed =
+                    complete_assignment(space.csp, view, nb);
+                if (completed)
+                    return std::make_pair(std::move(nb),
+                                          std::move(*completed));
+            }
+        }
+        return std::nullopt;
+    };
+
+    double temperature = config.sa_temperature;
+    while (evaluator.count() < config.trials) {
+        auto nb = neighbor();
+        if (!nb) {
+            // Stuck: restart from a fresh random valid sample.
+            auto fresh = solver.solve_one(rng);
+            if (!fresh)
+                break;
+            current = view.from_assignment(*fresh);
+            current_score = evaluator.measure(*fresh);
+            continue;
+        }
+        double score = evaluator.measure(nb->second);
+        double delta = score - current_score;
+        if (delta >= 0 ||
+            rng.uniform() <
+                std::exp(delta / std::max(1e-6, temperature))) {
+            current = std::move(nb->first);
+            current_score = score;
+        }
+        temperature *= config.sa_cooling;
+    }
+    return evaluator.result();
+}
+
+namespace {
+
+/** Single-point crossover on gene vectors. */
+Chromosome
+single_point_crossover(const Chromosome &a, const Chromosome &b,
+                       Rng &rng)
+{
+    HERON_CHECK_EQ(a.size(), b.size());
+    if (a.empty())
+        return a;
+    size_t point = rng.index(a.size());
+    Chromosome child = a;
+    for (size_t i = point; i < b.size(); ++i)
+        child[i] = b[i];
+    return child;
+}
+
+void
+mutate(Chromosome &genes, const TunableView &view, double prob,
+       Rng &rng)
+{
+    for (size_t i = 0; i < genes.size(); ++i)
+        if (rng.bernoulli(prob))
+            genes[i] = rng.pick(view.domain(i));
+}
+
+/** A scored chromosome for the GA baselines. */
+struct Scored {
+    Chromosome genes;
+    double fitness = 0.0;
+    int penalty = 0; ///< violated constraint count (0 == feasible)
+};
+
+/** Evaluate one chromosome: complete, measure, grade violations. */
+Scored
+evaluate(const rules::GeneratedSpace &space, const TunableView &view,
+         Chromosome genes, Evaluator &evaluator)
+{
+    Scored s;
+    auto completed = complete_assignment(space.csp, view, genes);
+    if (completed) {
+        s.fitness = evaluator.measure(*completed);
+        s.penalty = 0;
+    } else {
+        s.fitness = evaluator.measure_failure();
+        auto approx = heuristic_complete(space.csp, view, genes);
+        s.penalty = std::max(1, space.csp.count_violations(approx));
+    }
+    s.genes = std::move(genes);
+    return s;
+}
+
+/** Initial population: valid seeds from the solver. */
+std::vector<Scored>
+seeded_population(const rules::GeneratedSpace &space,
+                  const TunableView &view, RandSatSolver &solver,
+                  Evaluator &evaluator, int population, Rng &rng,
+                  int trials)
+{
+    std::vector<Scored> pop;
+    auto seeds = solver.solve_n(rng, population);
+    for (auto &a : seeds) {
+        if (evaluator.count() >= trials)
+            break;
+        Scored s;
+        s.genes = view.from_assignment(a);
+        s.fitness = evaluator.measure(a);
+        s.penalty = 0;
+        pop.push_back(std::move(s));
+    }
+    while (static_cast<int>(pop.size()) < population &&
+           evaluator.count() < trials) {
+        pop.push_back(
+            evaluate(space, view, view.random(rng), evaluator));
+    }
+    return pop;
+}
+
+std::vector<double>
+fitness_of(const std::vector<Scored> &pop)
+{
+    std::vector<double> f;
+    f.reserve(pop.size());
+    for (const auto &s : pop)
+        f.push_back(s.fitness);
+    return f;
+}
+
+} // namespace
+
+SearchResult
+genetic_algorithm(const rules::GeneratedSpace &space,
+                  hw::Measurer &measurer, const SearchConfig &config)
+{
+    Rng rng(config.seed);
+    RandSatSolver solver(space.csp);
+    Evaluator evaluator(space, measurer);
+    TunableView view(space.csp);
+
+    auto pop = seeded_population(space, view, solver, evaluator,
+                                 config.population, rng,
+                                 config.trials);
+
+    while (evaluator.count() < config.trials && !pop.empty()) {
+        auto fitness = fitness_of(pop);
+        bool all_dead =
+            *std::max_element(fitness.begin(), fitness.end()) <= 0;
+        std::vector<Scored> offspring;
+        for (int i = 0;
+             i < config.population &&
+             evaluator.count() < config.trials;
+             ++i) {
+            Chromosome child;
+            if (all_dead) {
+                // Frequent random restarts: the behavior the paper
+                // observes when GA cannot produce valid offspring.
+                child = view.random(rng);
+            } else {
+                const Chromosome &p1 =
+                    pop[rng.weighted_index(fitness)].genes;
+                const Chromosome &p2 =
+                    pop[rng.weighted_index(fitness)].genes;
+                child = single_point_crossover(p1, p2, rng);
+                mutate(child, view, config.mutation_prob, rng);
+            }
+            offspring.push_back(
+                evaluate(space, view, std::move(child), evaluator));
+        }
+        // Parents + offspring, truncated by fitness.
+        for (auto &s : offspring)
+            pop.push_back(std::move(s));
+        std::stable_sort(pop.begin(), pop.end(),
+                         [](const Scored &a, const Scored &b) {
+                             return a.fitness > b.fitness;
+                         });
+        if (static_cast<int>(pop.size()) > config.population)
+            pop.resize(static_cast<size_t>(config.population));
+    }
+    return evaluator.result();
+}
+
+SearchResult
+stochastic_ranking_ga(const rules::GeneratedSpace &space,
+                      hw::Measurer &measurer,
+                      const SearchConfig &config)
+{
+    Rng rng(config.seed);
+    RandSatSolver solver(space.csp);
+    Evaluator evaluator(space, measurer);
+    TunableView view(space.csp);
+
+    auto pop = seeded_population(space, view, solver, evaluator,
+                                 config.population, rng,
+                                 config.trials);
+
+    while (evaluator.count() < config.trials && !pop.empty()) {
+        // Stochastic ranking: bubble sweeps comparing by fitness
+        // with probability pf (or when both feasible), else by
+        // violation count.
+        for (size_t sweep = 0; sweep < pop.size(); ++sweep) {
+            bool swapped = false;
+            for (size_t i = 0; i + 1 < pop.size(); ++i) {
+                const Scored &a = pop[i];
+                const Scored &b = pop[i + 1];
+                bool both_feasible =
+                    a.penalty == 0 && b.penalty == 0;
+                bool by_fitness = both_feasible ||
+                                  rng.uniform() < config.sr_pf;
+                bool out_of_order =
+                    by_fitness ? a.fitness < b.fitness
+                               : a.penalty > b.penalty;
+                if (out_of_order) {
+                    std::swap(pop[i], pop[i + 1]);
+                    swapped = true;
+                }
+            }
+            if (!swapped)
+                break;
+        }
+        size_t keep = std::max<size_t>(2, pop.size() / 2);
+        pop.resize(keep);
+
+        std::vector<Scored> offspring;
+        while (static_cast<int>(pop.size() + offspring.size()) <
+                   2 * config.population &&
+               evaluator.count() < config.trials) {
+            const Chromosome &p1 = pop[rng.index(pop.size())].genes;
+            const Chromosome &p2 = pop[rng.index(pop.size())].genes;
+            Chromosome child = single_point_crossover(p1, p2, rng);
+            mutate(child, view, config.mutation_prob, rng);
+            offspring.push_back(
+                evaluate(space, view, std::move(child), evaluator));
+        }
+        for (auto &s : offspring)
+            pop.push_back(std::move(s));
+    }
+    return evaluator.result();
+}
+
+SearchResult
+sat_decoder_ga(const rules::GeneratedSpace &space,
+               hw::Measurer &measurer, const SearchConfig &config)
+{
+    Rng rng(config.seed);
+    Evaluator evaluator(space, measurer);
+    TunableView view(space.csp);
+
+    // Genotypes are per-gene preferences, decoded into feasible
+    // phenotypes by a preference-guided solver. Decoding always
+    // yields a valid program, but genes lose their direct meaning
+    // (a preference may map to a distant feasible value).
+    auto decode = [&](const Chromosome &genes)
+        -> std::optional<Assignment> {
+        std::unordered_map<csp::VarId, int64_t> prefs;
+        for (size_t i = 0; i < view.size(); ++i)
+            prefs[view.var(i)] = genes[i];
+        return solve_with_preferences(space.csp, prefs, rng);
+    };
+
+    struct Member {
+        Chromosome genes;
+        double fitness = 0.0;
+    };
+    std::vector<Member> pop;
+    for (int i = 0; i < config.population &&
+                    evaluator.count() < config.trials;
+         ++i) {
+        Member m;
+        m.genes = view.random(rng);
+        auto phenotype = decode(m.genes);
+        m.fitness = phenotype ? evaluator.measure(*phenotype)
+                              : evaluator.measure_failure();
+        pop.push_back(std::move(m));
+    }
+
+    while (evaluator.count() < config.trials && !pop.empty()) {
+        std::vector<double> fitness;
+        for (const auto &m : pop)
+            fitness.push_back(m.fitness);
+        std::vector<Member> offspring;
+        for (int i = 0;
+             i < config.population &&
+             evaluator.count() < config.trials;
+             ++i) {
+            const Chromosome &p1 =
+                pop[rng.weighted_index(fitness)].genes;
+            const Chromosome &p2 =
+                pop[rng.weighted_index(fitness)].genes;
+            Member child;
+            child.genes = single_point_crossover(p1, p2, rng);
+            mutate(child.genes, view, config.mutation_prob, rng);
+            auto phenotype = decode(child.genes);
+            child.fitness = phenotype
+                                ? evaluator.measure(*phenotype)
+                                : evaluator.measure_failure();
+            offspring.push_back(std::move(child));
+        }
+        for (auto &m : offspring)
+            pop.push_back(std::move(m));
+        std::stable_sort(pop.begin(), pop.end(),
+                         [](const Member &a, const Member &b) {
+                             return a.fitness > b.fitness;
+                         });
+        if (static_cast<int>(pop.size()) > config.population)
+            pop.resize(static_cast<size_t>(config.population));
+    }
+    return evaluator.result();
+}
+
+SearchResult
+multi_objective_ga(const rules::GeneratedSpace &space,
+                   hw::Measurer &measurer, const SearchConfig &config)
+{
+    Rng rng(config.seed);
+    RandSatSolver solver(space.csp);
+    Evaluator evaluator(space, measurer);
+    TunableView view(space.csp);
+
+    auto pop = seeded_population(space, view, solver, evaluator,
+                                 config.population, rng,
+                                 config.trials);
+
+    while (evaluator.count() < config.trials && !pop.empty()) {
+        // Infeasibility-driven selection: keep the best feasible
+        // members by fitness plus a fixed fraction of the
+        // least-violating infeasible members.
+        std::vector<Scored> feasible, infeasible;
+        for (auto &s : pop) {
+            if (s.penalty == 0)
+                feasible.push_back(std::move(s));
+            else
+                infeasible.push_back(std::move(s));
+        }
+        std::stable_sort(feasible.begin(), feasible.end(),
+                         [](const Scored &a, const Scored &b) {
+                             return a.fitness > b.fitness;
+                         });
+        std::stable_sort(infeasible.begin(), infeasible.end(),
+                         [](const Scored &a, const Scored &b) {
+                             return a.penalty < b.penalty;
+                         });
+        size_t infeasible_keep = static_cast<size_t>(
+            config.idea_infeasible_fraction * config.population);
+        size_t feasible_keep =
+            static_cast<size_t>(config.population) -
+            std::min(infeasible_keep, infeasible.size());
+
+        pop.clear();
+        for (size_t i = 0; i < feasible.size() && i < feasible_keep;
+             ++i)
+            pop.push_back(std::move(feasible[i]));
+        for (size_t i = 0;
+             i < infeasible.size() && i < infeasible_keep; ++i)
+            pop.push_back(std::move(infeasible[i]));
+        if (pop.empty())
+            break;
+
+        std::vector<Scored> offspring;
+        for (int i = 0;
+             i < config.population &&
+             evaluator.count() < config.trials;
+             ++i) {
+            const Chromosome &p1 = pop[rng.index(pop.size())].genes;
+            const Chromosome &p2 = pop[rng.index(pop.size())].genes;
+            Chromosome child = single_point_crossover(p1, p2, rng);
+            mutate(child, view, config.mutation_prob, rng);
+            offspring.push_back(
+                evaluate(space, view, std::move(child), evaluator));
+        }
+        for (auto &s : offspring)
+            pop.push_back(std::move(s));
+    }
+    return evaluator.result();
+}
+
+} // namespace heron::search

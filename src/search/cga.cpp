@@ -1,0 +1,161 @@
+#include "search/cga.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace heron::search {
+
+using csp::Assignment;
+using csp::Constraint;
+using csp::ConstraintKind;
+using csp::Csp;
+using csp::RandSatSolver;
+using csp::VarId;
+
+std::vector<Assignment>
+roulette_select(const std::vector<Assignment> &population,
+                const std::vector<double> &fitness, int count,
+                Rng &rng)
+{
+    HERON_CHECK_EQ(population.size(), fitness.size());
+    std::vector<Assignment> selected;
+    if (population.empty())
+        return selected;
+    selected.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        selected.push_back(population[rng.weighted_index(fitness)]);
+    return selected;
+}
+
+std::vector<Assignment>
+constraint_crossover_mutation(const Csp &csp, RandSatSolver &solver,
+                              const model::CostModel &model,
+                              const std::vector<Assignment> &population,
+                              int count, int key_vars,
+                              bool random_keys, Rng &rng)
+{
+    std::vector<Assignment> offspring;
+    if (population.empty())
+        return offspring;
+
+    for (int i = 0; i < count; ++i) {
+        // Step 1: key variable extraction.
+        std::vector<VarId> keys;
+        if (random_keys) {
+            for (int j = 0; j < key_vars; ++j)
+                keys.push_back(static_cast<VarId>(
+                    rng.index(csp.num_vars())));
+        } else {
+            keys = model.key_variables(key_vars);
+        }
+
+        // Step 2: constraint-based crossover.
+        const Assignment &c1 = population[rng.index(population.size())];
+        const Assignment &c2 = population[rng.index(population.size())];
+        std::vector<Constraint> constraints;
+        for (VarId v : keys) {
+            Constraint c;
+            c.kind = ConstraintKind::kIn;
+            c.result = v;
+            c.constants = {c1[static_cast<size_t>(v)],
+                           c2[static_cast<size_t>(v)]};
+            c.note = "CGA:crossover";
+            constraints.push_back(std::move(c));
+        }
+
+        // Step 3: constraint-based mutation — drop one constraint.
+        if (!constraints.empty())
+            constraints.erase(constraints.begin() +
+                              static_cast<long>(
+                                  rng.index(constraints.size())));
+
+        // Solve the new CSP. If the key-variable combination is
+        // over-constrained, relax by removing further constraints
+        // (validity w.r.t. CSP_initial is preserved throughout).
+        std::optional<Assignment> child;
+        while (true) {
+            child = solver.solve_one(rng, constraints);
+            if (child || constraints.empty())
+                break;
+            constraints.erase(constraints.begin() +
+                              static_cast<long>(
+                                  rng.index(constraints.size())));
+        }
+        if (child)
+            offspring.push_back(std::move(*child));
+    }
+    return offspring;
+}
+
+SearchResult
+cga_search(const rules::GeneratedSpace &space, hw::Measurer &measurer,
+           const SearchConfig &config, bool random_keys)
+{
+    Rng rng(config.seed);
+    RandSatSolver solver(space.csp);
+    Evaluator evaluator(space, measurer);
+    model::CostModel model(space.csp);
+
+    // Initial population: random valid assignments.
+    std::vector<Assignment> pop;
+    std::vector<double> fitness;
+    auto initial = solver.solve_n(rng, config.population);
+    for (auto &a : initial) {
+        if (evaluator.count() >= config.trials)
+            break;
+        double score = evaluator.measure(a);
+        model.add_scored_sample(a, score);
+        pop.push_back(std::move(a));
+        fitness.push_back(score);
+    }
+    model.fit();
+
+    while (evaluator.count() < config.trials && !pop.empty()) {
+        auto parents = roulette_select(pop, fitness,
+                                       config.population, rng);
+        auto offspring = constraint_crossover_mutation(
+            space.csp, solver, model, parents, config.population,
+            config.key_vars, random_keys, rng);
+        if (offspring.empty()) {
+            // Population collapsed; refresh with random samples.
+            offspring = solver.solve_n(rng, config.population);
+            if (offspring.empty())
+                break;
+        }
+        for (auto &child : offspring) {
+            if (evaluator.count() >= config.trials)
+                break;
+            double score = evaluator.measure(child);
+            model.add_scored_sample(child, score);
+            pop.push_back(std::move(child));
+            fitness.push_back(score);
+        }
+        model.fit();
+
+        // Keep the population bounded: best 2x population by
+        // fitness (parents + offspring both survive selection).
+        if (pop.size() >
+            static_cast<size_t>(2 * config.population)) {
+            std::vector<size_t> order(pop.size());
+            for (size_t i = 0; i < order.size(); ++i)
+                order[i] = i;
+            std::stable_sort(order.begin(), order.end(),
+                             [&](size_t a, size_t b) {
+                                 return fitness[a] > fitness[b];
+                             });
+            order.resize(static_cast<size_t>(2 * config.population));
+            std::vector<Assignment> new_pop;
+            std::vector<double> new_fit;
+            for (size_t idx : order) {
+                new_pop.push_back(std::move(pop[idx]));
+                new_fit.push_back(fitness[idx]);
+            }
+            pop = std::move(new_pop);
+            fitness = std::move(new_fit);
+        }
+    }
+    return evaluator.result();
+}
+
+} // namespace heron::search

@@ -1,0 +1,295 @@
+#include "search/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "csp/propagate.h"
+#include "model/cost_model.h"
+#include "support/logging.h"
+
+namespace heron::search {
+
+using csp::Assignment;
+using csp::Constraint;
+using csp::ConstraintKind;
+using csp::Csp;
+using csp::Domain;
+using csp::PropagationEngine;
+using csp::VarId;
+
+Evaluator::Evaluator(const rules::GeneratedSpace &space,
+                     hw::Measurer &measurer)
+    : space_(space), measurer_(measurer)
+{
+}
+
+double
+Evaluator::measure(const Assignment &a)
+{
+    auto program = space_.bind(a);
+    auto r = measurer_.measure(program);
+    ++result_.total_measured;
+    double score = model::throughput_score(r.valid, r.latency_ms,
+                                           program.total_ops);
+    if (r.valid) {
+        ++result_.valid_count;
+        if (r.gflops > result_.best_gflops) {
+            result_.best_gflops = r.gflops;
+            result_.best_latency_ms = r.latency_ms;
+            result_.best = a;
+        }
+    }
+    result_.history.push_back(result_.best_gflops);
+    return score;
+}
+
+double
+Evaluator::measure_failure()
+{
+    ++result_.total_measured;
+    result_.history.push_back(result_.best_gflops);
+    return 0.0;
+}
+
+TunableView::TunableView(const Csp &csp)
+{
+    for (VarId v : csp.tunable_vars()) {
+        vars_.push_back(v);
+        domains_.push_back(csp.var(v).initial.values());
+    }
+}
+
+Chromosome
+TunableView::random(Rng &rng) const
+{
+    Chromosome genes(vars_.size());
+    for (size_t i = 0; i < vars_.size(); ++i)
+        genes[i] = rng.pick(domains_[i]);
+    return genes;
+}
+
+Chromosome
+TunableView::from_assignment(const Assignment &a) const
+{
+    Chromosome genes(vars_.size());
+    for (size_t i = 0; i < vars_.size(); ++i)
+        genes[i] = a[static_cast<size_t>(vars_[i])];
+    return genes;
+}
+
+std::optional<Assignment>
+complete_assignment(const Csp &csp, const TunableView &view,
+                    const Chromosome &genes)
+{
+    PropagationEngine engine(csp);
+    for (size_t i = 0; i < view.size(); ++i) {
+        if (!engine.assign_and_propagate(view.var(i), genes[i]))
+            return std::nullopt;
+    }
+    if (!engine.propagate())
+        return std::nullopt;
+    // Any variable still open is not functionally determined by the
+    // tunables; pin it to its smallest remaining value.
+    for (size_t i = 0; i < csp.num_vars(); ++i) {
+        VarId v = static_cast<VarId>(i);
+        if (engine.domain(v).is_singleton())
+            continue;
+        if (!engine.assign_and_propagate(v, engine.domain(v).min()))
+            return std::nullopt;
+    }
+    Assignment a = engine.extract();
+    if (!csp.valid(a))
+        return std::nullopt;
+    return a;
+}
+
+csp::Assignment
+heuristic_complete(const Csp &csp, const TunableView &view,
+                   const Chromosome &genes)
+{
+    Assignment a(csp.num_vars());
+    std::vector<bool> set(csp.num_vars(), false);
+    for (size_t i = 0; i < csp.num_vars(); ++i) {
+        const Domain &d = csp.var(static_cast<VarId>(i)).initial;
+        a[i] = d.empty() ? 0 : d.min();
+    }
+    for (size_t i = 0; i < view.size(); ++i) {
+        a[static_cast<size_t>(view.var(i))] = genes[i];
+        set[static_cast<size_t>(view.var(i))] = true;
+    }
+    // Functional evaluation sweeps: derive result variables from
+    // assigned operands where possible.
+    for (int pass = 0; pass < 4; ++pass) {
+        bool changed = false;
+        for (const auto &c : csp.constraints()) {
+            auto all_set = [&](const std::vector<VarId> &ids) {
+                for (VarId v : ids)
+                    if (!set[static_cast<size_t>(v)])
+                        return false;
+                return true;
+            };
+            size_t res = static_cast<size_t>(c.result);
+            switch (c.kind) {
+              case ConstraintKind::kProd: {
+                if (set[res] || !all_set(c.operands))
+                    break;
+                int64_t prod = 1;
+                for (VarId v : c.operands)
+                    prod *= a[static_cast<size_t>(v)];
+                a[res] = prod;
+                set[res] = true;
+                changed = true;
+                break;
+              }
+              case ConstraintKind::kSum: {
+                if (set[res] || !all_set(c.operands))
+                    break;
+                int64_t sum = 0;
+                for (VarId v : c.operands)
+                    sum += a[static_cast<size_t>(v)];
+                a[res] = sum;
+                set[res] = true;
+                changed = true;
+                break;
+              }
+              case ConstraintKind::kEq: {
+                size_t other = static_cast<size_t>(c.operands[0]);
+                if (!set[res] && set[other]) {
+                    a[res] = a[other];
+                    set[res] = true;
+                    changed = true;
+                } else if (set[res] && !set[other]) {
+                    a[other] = a[res];
+                    set[other] = true;
+                    changed = true;
+                }
+                break;
+              }
+              case ConstraintKind::kSelect: {
+                if (set[res])
+                    break;
+                size_t sel = static_cast<size_t>(c.selector);
+                if (!set[sel])
+                    break;
+                int64_t u = a[sel];
+                if (u < 0 ||
+                    u >= static_cast<int64_t>(c.operands.size()))
+                    break;
+                size_t chosen = static_cast<size_t>(
+                    c.operands[static_cast<size_t>(u)]);
+                if (!set[chosen])
+                    break;
+                a[res] = a[chosen];
+                set[res] = true;
+                changed = true;
+                break;
+              }
+              default:
+                break;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return a;
+}
+
+namespace {
+
+/** Randomized backtracking with preference-ordered values. */
+class PreferenceDfs
+{
+  public:
+    PreferenceDfs(
+        const Csp &csp, PropagationEngine &engine,
+        const std::unordered_map<VarId, int64_t> &preferences,
+        Rng &rng, int max_backtracks)
+        : csp_(csp), engine_(engine), preferences_(preferences),
+          rng_(rng), backtracks_left_(max_backtracks)
+    {
+    }
+
+    bool
+    run()
+    {
+        if (!engine_.propagate())
+            return false;
+        return recurse();
+    }
+
+  private:
+    const Csp &csp_;
+    PropagationEngine &engine_;
+    const std::unordered_map<VarId, int64_t> &preferences_;
+    Rng &rng_;
+    int backtracks_left_;
+
+    bool
+    recurse()
+    {
+        // Branch preferred variables first (in registration order),
+        // then remaining tunables, then any open variable.
+        VarId var = -1;
+        for (VarId v : csp_.tunable_vars()) {
+            if (!engine_.domain(v).is_singleton()) {
+                var = v;
+                break;
+            }
+        }
+        if (var < 0) {
+            for (size_t i = 0; i < csp_.num_vars(); ++i) {
+                if (!engine_.domain(static_cast<VarId>(i))
+                         .is_singleton()) {
+                    var = static_cast<VarId>(i);
+                    break;
+                }
+            }
+        }
+        if (var < 0)
+            return engine_.all_assigned();
+
+        auto values = engine_.domain(var).values();
+        auto it = preferences_.find(var);
+        if (it != preferences_.end()) {
+            int64_t target = it->second;
+            std::stable_sort(values.begin(), values.end(),
+                             [&](int64_t x, int64_t y) {
+                                 return std::llabs(x - target) <
+                                        std::llabs(y - target);
+                             });
+        } else {
+            rng_.shuffle(values);
+        }
+        for (int64_t value : values) {
+            std::vector<Domain> snapshot = engine_.domains();
+            if (engine_.assign_and_propagate(var, value)) {
+                if (recurse())
+                    return true;
+            }
+            engine_.restore(std::move(snapshot));
+            if (--backtracks_left_ <= 0)
+                return false;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::optional<Assignment>
+solve_with_preferences(
+    const Csp &csp,
+    const std::unordered_map<VarId, int64_t> &preferences, Rng &rng,
+    int max_backtracks)
+{
+    PropagationEngine engine(csp);
+    PreferenceDfs dfs(csp, engine, preferences, rng, max_backtracks);
+    if (!dfs.run())
+        return std::nullopt;
+    Assignment a = engine.extract();
+    if (!csp.valid(a))
+        return std::nullopt;
+    return a;
+}
+
+} // namespace heron::search

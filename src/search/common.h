@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared search infrastructure: the evaluator (measurement loop
+ * with best-so-far history), completion of tunable-only chromosomes
+ * into full assignments, and preference-guided solving (used by the
+ * SAT-decoder baseline, the AKG-like heuristic, and the vendor
+ * library).
+ */
+#ifndef HERON_SEARCH_COMMON_H
+#define HERON_SEARCH_COMMON_H
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "csp/solver.h"
+#include "hw/measurer.h"
+#include "rules/space_generator.h"
+
+namespace heron::search {
+
+/** Outcome of one search run. */
+struct SearchResult {
+    /** Best valid assignment found (empty when none). */
+    csp::Assignment best;
+    double best_latency_ms = 0.0;
+    double best_gflops = 0.0;
+    /** Best-so-far GFLOP/s after each measurement. */
+    std::vector<double> history;
+    int64_t valid_count = 0;
+    int64_t total_measured = 0;
+
+    bool found() const { return !best.empty(); }
+};
+
+/**
+ * Wraps a space + measurer: binds assignments, measures them, and
+ * tracks the best-so-far trajectory. A nullopt assignment (e.g. a
+ * chromosome that cannot be completed into a consistent program)
+ * still consumes one measurement attempt, like a failed compile.
+ */
+class Evaluator
+{
+  public:
+    Evaluator(const rules::GeneratedSpace &space,
+              hw::Measurer &measurer);
+
+    /** Measure a full assignment. Returns its throughput score. */
+    double measure(const csp::Assignment &a);
+
+    /** Record a failed-to-build candidate (counts as a trial). */
+    double measure_failure();
+
+    /** Number of measurements so far. */
+    int64_t count() const { return result_.total_measured; }
+
+    /** Snapshot of the running result. */
+    const SearchResult &result() const { return result_; }
+
+    const rules::GeneratedSpace &space() const { return space_; }
+
+  private:
+    const rules::GeneratedSpace &space_;
+    hw::Measurer &measurer_;
+    SearchResult result_;
+};
+
+/**
+ * A chromosome over tunable variables only (the representation the
+ * unconstrained baselines evolve).
+ */
+using Chromosome = std::vector<int64_t>;
+
+/** Tunable-variable view of a CSP. */
+class TunableView
+{
+  public:
+    explicit TunableView(const csp::Csp &csp);
+
+    /** Number of genes. */
+    size_t size() const { return vars_.size(); }
+
+    /** Variable id of gene @p i. */
+    csp::VarId var(size_t i) const { return vars_[i]; }
+
+    /** Candidate values of gene @p i. */
+    const std::vector<int64_t> &domain(size_t i) const
+    {
+        return domains_[i];
+    }
+
+    /** Random chromosome (uniform per gene, constraints ignored). */
+    Chromosome random(Rng &rng) const;
+
+    /** Extract the tunable genes from a full assignment. */
+    Chromosome from_assignment(const csp::Assignment &a) const;
+
+  private:
+    std::vector<csp::VarId> vars_;
+    std::vector<std::vector<int64_t>> domains_;
+};
+
+/**
+ * Complete a tunable chromosome into a full assignment via
+ * propagation. Returns nullopt when the genes are inconsistent with
+ * the constraints (the analogue of a compile failure).
+ */
+std::optional<csp::Assignment>
+complete_assignment(const csp::Csp &csp, const TunableView &view,
+                    const Chromosome &genes);
+
+/**
+ * Best-effort completion that never fails: genes are kept verbatim,
+ * derived variables are functionally evaluated where possible and
+ * defaulted otherwise. Used to grade infeasibility (violation
+ * counts) for penalty/multi-objective baselines.
+ */
+csp::Assignment
+heuristic_complete(const csp::Csp &csp, const TunableView &view,
+                   const Chromosome &genes);
+
+/**
+ * Solve the CSP with value ordering biased toward @p preferences
+ * (per-variable target values). Always returns a *valid* assignment
+ * when one exists within budget: the decoder of GA-2 and the
+ * "expert schedule" of the vendor library.
+ */
+std::optional<csp::Assignment> solve_with_preferences(
+    const csp::Csp &csp,
+    const std::unordered_map<csp::VarId, int64_t> &preferences,
+    Rng &rng, int max_backtracks = 4096);
+
+} // namespace heron::search
+
+#endif // HERON_SEARCH_COMMON_H

@@ -1,0 +1,76 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace heron {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char *
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_log_level.store(static_cast<int>(level));
+}
+
+LogLevel
+log_level()
+{
+    return static_cast<LogLevel>(g_log_level.load());
+}
+
+namespace detail {
+
+bool
+log_enabled(LogLevel level)
+{
+    return static_cast<int>(level) >= g_log_level.load();
+}
+
+LogMessage::LogMessage(LogLevel level, const char *file, int line)
+    : level_(level)
+{
+    stream_ << "[" << level_name(level) << " " << file << ":" << line
+            << "] ";
+}
+
+LogMessage::~LogMessage()
+{
+    stream_ << "\n";
+    std::cerr << stream_.str();
+}
+
+FatalMessage::FatalMessage(const char *file, int line)
+{
+    stream_ << "[FATAL " << file << ":" << line << "] ";
+}
+
+FatalMessage::~FatalMessage()
+{
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    std::cerr.flush();
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace heron

@@ -1,0 +1,70 @@
+#include "support/math_util.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace heron {
+
+int
+ilog2(int64_t x)
+{
+    HERON_CHECK_GE(x, 1);
+    int r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+int64_t
+gcd64(int64_t a, int64_t b)
+{
+    while (b != 0) {
+        int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a < 0 ? -a : a;
+}
+
+std::vector<int64_t>
+divisors(int64_t n)
+{
+    HERON_CHECK_GE(n, 1);
+    std::vector<int64_t> small, large;
+    for (int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            small.push_back(d);
+            if (d != n / d)
+                large.push_back(n / d);
+        }
+    }
+    small.insert(small.end(), large.rbegin(), large.rend());
+    return small;
+}
+
+int64_t
+checked_mul(int64_t a, int64_t b)
+{
+    HERON_CHECK_GE(a, 0);
+    HERON_CHECK_GE(b, 0);
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > std::numeric_limits<int64_t>::max() / b)
+        return std::numeric_limits<int64_t>::max();
+    return a * b;
+}
+
+int64_t
+checked_product(const std::vector<int64_t> &values)
+{
+    int64_t acc = 1;
+    for (int64_t v : values)
+        acc = checked_mul(acc, v);
+    return acc;
+}
+
+} // namespace heron

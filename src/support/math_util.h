@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small integer-math helpers shared across modules: divisor
+ * enumeration (tile-size candidates), safe products, ceil-division,
+ * power-of-two tests, and hash mixing.
+ */
+#ifndef HERON_SUPPORT_MATH_UTIL_H
+#define HERON_SUPPORT_MATH_UTIL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace heron {
+
+/** Ceiling division for positive integers. */
+constexpr int64_t
+ceil_div(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b (b > 0). */
+constexpr int64_t
+round_up(int64_t a, int64_t b)
+{
+    return ceil_div(a, b) * b;
+}
+
+/** True if @p x is a power of two (x > 0). */
+constexpr bool
+is_pow2(int64_t x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2 for x >= 1. */
+int ilog2(int64_t x);
+
+/** Greatest common divisor. */
+int64_t gcd64(int64_t a, int64_t b);
+
+/** All positive divisors of @p n in ascending order. */
+std::vector<int64_t> divisors(int64_t n);
+
+/**
+ * Product of @p values saturating at INT64_MAX instead of
+ * overflowing.
+ */
+int64_t checked_product(const std::vector<int64_t> &values);
+
+/** Saturating binary product. */
+int64_t checked_mul(int64_t a, int64_t b);
+
+/** Boost-style hash combiner. */
+inline uint64_t
+hash_combine(uint64_t seed, uint64_t value)
+{
+    value *= 0xff51afd7ed558ccdULL;
+    value ^= value >> 33;
+    seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    return seed;
+}
+
+/** 64-bit finalizer (splittable mix) used for deterministic "noise". */
+inline uint64_t
+hash_u64(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace heron
+
+#endif // HERON_SUPPORT_MATH_UTIL_H

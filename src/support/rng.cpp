@@ -1,0 +1,134 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace heron {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next_u64()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+int64_t
+Rng::uniform_int(int64_t lo, int64_t hi)
+{
+    HERON_CHECK_LE(lo, hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) // full 64-bit range
+        return static_cast<int64_t>(next_u64());
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    uint64_t x;
+    do {
+        x = next_u64();
+    } while (x >= limit);
+    return lo + static_cast<int64_t>(x % range);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; discard the second variate for simplicity.
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+size_t
+Rng::index(size_t n)
+{
+    HERON_CHECK_GT(n, 0u);
+    return static_cast<size_t>(uniform_int(0, static_cast<int64_t>(n) - 1));
+}
+
+size_t
+Rng::weighted_index(const std::vector<double> &weights)
+{
+    HERON_CHECK(!weights.empty());
+    double total = 0;
+    for (double w : weights) {
+        HERON_CHECK_GE(w, 0.0);
+        total += w;
+    }
+    if (total <= 0)
+        return index(weights.size());
+    double r = uniform() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next_u64());
+}
+
+} // namespace heron

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component in Heron (solver value choice, genetic
+ * operators, simulated annealing, measurement noise) draws from an Rng
+ * instance seeded explicitly, so whole tuning runs are reproducible.
+ */
+#ifndef HERON_SUPPORT_RNG_H
+#define HERON_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace heron {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**) with convenience
+ * sampling helpers. Not cryptographic; deterministic across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next_u64();
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t uniform_int(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool bernoulli(double p);
+
+    /** Standard normal draw (Box-Muller). */
+    double normal();
+
+    /** Normal draw with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Uniformly pick an index in [0, n). Requires n > 0. */
+    size_t index(size_t n);
+
+    /** Uniformly pick an element of @p items. Requires non-empty. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &items)
+    {
+        HERON_CHECK(!items.empty());
+        return items[index(items.size())];
+    }
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            size_t j = index(i);
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /**
+     * Sample an index according to non-negative weights
+     * (roulette-wheel). All-zero weights fall back to uniform.
+     */
+    size_t weighted_index(const std::vector<double> &weights);
+
+    /** Derive an independent child generator (for parallel phases). */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace heron
+
+#endif // HERON_SUPPORT_RNG_H

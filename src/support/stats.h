@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Summary statistics used by the benchmark harness and the cost
+ * model: running mean/variance, geometric mean, percentiles.
+ */
+#ifndef HERON_SUPPORT_STATS_H
+#define HERON_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace heron {
+
+/** Welford running mean/variance accumulator. */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void push(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return count_; }
+
+    /** Mean of observations (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sample variance (0 when fewer than two observations). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean of positive values; 0 for an empty vector. */
+double geomean(const std::vector<double> &xs);
+
+/** Sample standard deviation; 0 for fewer than two values. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Percentile via linear interpolation on the sorted copy;
+ * @p p in [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
+} // namespace heron
+
+#endif // HERON_SUPPORT_STATS_H

@@ -1,0 +1,97 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace heron {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    HERON_CHECK(!headers_.empty());
+}
+
+void
+TextTable::add_row(std::vector<std::string> cells)
+{
+    HERON_CHECK_EQ(cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::to_string() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << "== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+            out << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit_row(headers_);
+    std::string rule;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        rule.append(widths[c], '-');
+        if (c + 1 != widths.size())
+            rule.append(2, '-');
+    }
+    out << rule << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+TextTable::to_csv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                quoted += '"';
+            quoted += ch;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            out << quote(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+TextTable::fmt(double value, int digits)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(digits) << value;
+    return out.str();
+}
+
+std::string
+TextTable::fmt(int64_t value)
+{
+    return std::to_string(value);
+}
+
+} // namespace heron

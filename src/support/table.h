@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness. Each bench
+ * binary prints the rows/series of the paper table or figure it
+ * regenerates; this keeps the output aligned and diff-friendly, and
+ * can also emit CSV for plotting.
+ */
+#ifndef HERON_SUPPORT_TABLE_H
+#define HERON_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace heron {
+
+/** A column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Set a title printed above the table. */
+    void set_title(std::string title) { title_ = std::move(title); }
+
+    /** Render with aligned columns. */
+    std::string to_string() const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    std::string to_csv() const;
+
+    /** Number of data rows. */
+    size_t num_rows() const { return rows_.size(); }
+
+    /** Format a double with @p digits significant decimals. */
+    static std::string fmt(double value, int digits = 3);
+
+    /** Format an integer. */
+    static std::string fmt(int64_t value);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace heron
+
+#endif // HERON_SUPPORT_TABLE_H

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the kernel emitters, the library builder, and the
+ * tuning-record persistence/replay round trip.
+ */
+#include <gtest/gtest.h>
+
+#include "autotune/library.h"
+#include "autotune/record.h"
+#include "codegen/emitter.h"
+#include "csp/solver.h"
+#include "hw/measurer.h"
+#include "support/rng.h"
+
+namespace heron::codegen {
+namespace {
+
+rules::GeneratedSpace
+make_space(hw::DlaSpec spec, ops::Workload workload)
+{
+    rules::SpaceGenerator gen(std::move(spec),
+                              rules::Options::heron());
+    return gen.generate(workload);
+}
+
+csp::Assignment
+sample(const rules::GeneratedSpace &space, uint64_t seed)
+{
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(seed);
+    auto a = solver.solve_one(rng);
+    EXPECT_TRUE(a.has_value());
+    return *a;
+}
+
+TEST(SanitizeIdentifier, Basics)
+{
+    EXPECT_EQ(sanitize_identifier("GEMM-512x512"), "GEMM_512x512");
+    EXPECT_EQ(sanitize_identifier("3conv"), "k_3conv");
+    EXPECT_EQ(sanitize_identifier("a.b c"), "a_b_c");
+}
+
+TEST(CudaEmitter, TensorizedGemmContainsWmma)
+{
+    auto space =
+        make_space(hw::DlaSpec::v100(), ops::gemm(256, 256, 256));
+    auto program = space.bind(sample(space, 1));
+    std::string src = emit_cuda(space, program);
+    EXPECT_NE(src.find("__global__"), std::string::npos);
+    EXPECT_NE(src.find("mma_sync"), std::string::npos);
+    EXPECT_NE(src.find("__shared__"), std::string::npos);
+    EXPECT_NE(src.find("launch: <<<"), std::string::npos);
+}
+
+TEST(CudaEmitter, ScalarPathHasNoWmma)
+{
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::ansor());
+    auto space = gen.generate(ops::gemm(256, 256, 256));
+    auto program = space.bind(sample(space, 2));
+    std::string src = emit_cuda(space, program);
+    EXPECT_EQ(src.find("mma_sync"), std::string::npos);
+    EXPECT_NE(src.find("CUDA-core path"), std::string::npos);
+}
+
+TEST(CpuEmitter, VnniIntrinsicPresent)
+{
+    auto space = make_space(
+        hw::DlaSpec::dlboost(),
+        ops::gemm(256, 256, 256, ir::DataType::kInt8));
+    auto program = space.bind(sample(space, 3));
+    std::string src = emit_cpu(space, program);
+    EXPECT_NE(src.find("_mm512_dpbusd_epi32"), std::string::npos);
+    EXPECT_NE(src.find("#pragma omp parallel"), std::string::npos);
+}
+
+TEST(VtaEmitter, CommandStream)
+{
+    auto space = make_space(
+        hw::DlaSpec::vta(),
+        ops::gemm(256, 256, 256, ir::DataType::kInt8));
+    auto program = space.bind(sample(space, 4));
+    std::string src = emit_vta(space, program);
+    EXPECT_NE(src.find("vta_load"), std::string::npos);
+    EXPECT_NE(src.find("vta_gemm"), std::string::npos);
+    EXPECT_NE(src.find("vta_store"), std::string::npos);
+    EXPECT_NE(src.find("vta_sync"), std::string::npos);
+}
+
+TEST(Emitter, DispatchesBySpecKind)
+{
+    auto space =
+        make_space(hw::DlaSpec::v100(), ops::gemm(256, 256, 256));
+    auto program = space.bind(sample(space, 5));
+    EXPECT_NE(emit_source(space, program).find("__global__"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace heron::codegen
+
+namespace heron::autotune {
+namespace {
+
+TEST(Library, BuildTunesAndEmits)
+{
+    TuneConfig config;
+    config.trials = 25;
+    LibraryBuilder builder(hw::DlaSpec::v100(), config);
+    builder.add(ops::gemm(256, 256, 256));
+    builder.add(ops::scan(64, 512));
+    auto library = builder.build();
+    ASSERT_EQ(library.entries.size(), 2u);
+    EXPECT_TRUE(library.entries[0].tuned);
+    EXPECT_FALSE(library.entries[0].source.empty());
+    EXPECT_GT(library.entries[0].gflops, 0.0);
+
+    std::string header = library.emit_header("mylib");
+    EXPECT_NE(header.find("#ifndef MYLIB_H"), std::string::npos);
+    EXPECT_NE(header.find("dispatch"), std::string::npos);
+    EXPECT_NE(header.find(library.entries[0].kernel_name),
+              std::string::npos);
+    EXPECT_FALSE(library.summary().empty());
+}
+
+TEST(Record, JsonRoundTrip)
+{
+    TuningRecord record;
+    record.workload = "GEMM-256x256x256";
+    record.dla = "V100";
+    record.tuner = "Heron";
+    record.latency_ms = 0.125;
+    record.gflops = 1234.5;
+    record.assignment = {1, 2, 32, 4096};
+
+    auto parsed = TuningRecord::from_json(record.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->workload, record.workload);
+    EXPECT_EQ(parsed->dla, record.dla);
+    EXPECT_NEAR(parsed->latency_ms, record.latency_ms, 1e-9);
+    EXPECT_EQ(parsed->assignment, record.assignment);
+}
+
+TEST(Record, EscapedStringsSurvive)
+{
+    TuningRecord record;
+    record.workload = "weird\"name\\x";
+    record.dla = "V100";
+    record.tuner = "Heron";
+    auto parsed = TuningRecord::from_json(record.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->workload, record.workload);
+}
+
+TEST(Record, MalformedLinesSkipped)
+{
+    auto records = read_records(
+        "not json\n{\"workload\":\"w\",\"dla\":\"d\",\"tuner\":"
+        "\"t\",\"latency_ms\":1,\"gflops\":2,\"assignment\":[1]}\n");
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].workload, "w");
+}
+
+TEST(Record, WriteReadManyRoundTrip)
+{
+    std::vector<TuningRecord> records;
+    for (int i = 0; i < 5; ++i) {
+        TuningRecord r;
+        r.workload = "w" + std::to_string(i);
+        r.dla = "V100";
+        r.tuner = "Heron";
+        r.latency_ms = 0.1 * i;
+        r.assignment = {i, i + 1};
+        records.push_back(r);
+    }
+    auto parsed = read_records(write_records(records));
+    ASSERT_EQ(parsed.size(), records.size());
+    for (size_t i = 0; i < parsed.size(); ++i)
+        EXPECT_EQ(parsed[i].workload, records[i].workload);
+}
+
+TEST(Record, ReplayReproducesPerformance)
+{
+    auto spec = hw::DlaSpec::v100();
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space = gen.generate(ops::gemm(256, 256, 256));
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(9);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    hw::Measurer m1(spec);
+    auto direct = m1.measure(space.bind(*a));
+
+    TuningRecord record;
+    record.workload = "GEMM-256x256x256";
+    record.dla = "V100";
+    record.tuner = "Heron";
+    record.assignment = *a;
+    auto restored =
+        TuningRecord::from_json(record.to_json());
+    ASSERT_TRUE(restored.has_value());
+
+    hw::Measurer m2(spec);
+    auto replayed = replay(*restored, space, m2);
+    ASSERT_TRUE(replayed.has_value());
+    EXPECT_TRUE(replayed->valid);
+    EXPECT_NEAR(replayed->latency_ms, direct.latency_ms,
+                0.05 * direct.latency_ms);
+}
+
+TEST(Record, ReplayRejectsForeignAssignment)
+{
+    auto spec = hw::DlaSpec::v100();
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space = gen.generate(ops::gemm(256, 256, 256));
+    TuningRecord record;
+    record.assignment = {1, 2, 3}; // wrong arity
+    hw::Measurer m(spec);
+    EXPECT_FALSE(replay(record, space, m).has_value());
+}
+
+} // namespace
+} // namespace heron::autotune

@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Unit and property tests for the CSP module: domains, constraint
+ * evaluation, propagation, and the RandSAT solver.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "csp/csp.h"
+#include "csp/propagate.h"
+#include "csp/solver.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+
+namespace heron::csp {
+namespace {
+
+TEST(Domain, SingletonBasics)
+{
+    Domain d = Domain::singleton(5);
+    EXPECT_TRUE(d.is_singleton());
+    EXPECT_EQ(d.value(), 5);
+    EXPECT_TRUE(d.contains(5));
+    EXPECT_FALSE(d.contains(4));
+}
+
+TEST(Domain, ExplicitSetSortsAndDedups)
+{
+    Domain d = Domain::of({4, 1, 4, 2});
+    EXPECT_EQ(d.size(), 3);
+    EXPECT_EQ(d.min(), 1);
+    EXPECT_EQ(d.max(), 4);
+    std::vector<int64_t> expected{1, 2, 4};
+    EXPECT_EQ(d.values(), expected);
+}
+
+TEST(Domain, IntervalBounds)
+{
+    Domain d = Domain::interval(3, 10);
+    EXPECT_EQ(d.size(), 8);
+    EXPECT_TRUE(d.contains(3));
+    EXPECT_TRUE(d.contains(10));
+    EXPECT_FALSE(d.contains(11));
+}
+
+TEST(Domain, RestrictBoundsOnExplicit)
+{
+    Domain d = Domain::of({1, 2, 4, 8, 16});
+    EXPECT_TRUE(d.restrict_bounds(2, 8));
+    std::vector<int64_t> expected{2, 4, 8};
+    EXPECT_EQ(d.values(), expected);
+    EXPECT_FALSE(d.restrict_bounds(1, 100)); // no change
+}
+
+TEST(Domain, AssignOutsideWipesOut)
+{
+    Domain d = Domain::of({1, 2, 3});
+    d.assign(9);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(Domain, RemoveFromInterval)
+{
+    Domain d = Domain::interval(1, 5);
+    EXPECT_TRUE(d.remove(1));
+    EXPECT_EQ(d.min(), 2);
+    EXPECT_TRUE(d.remove(5));
+    EXPECT_EQ(d.max(), 4);
+    EXPECT_TRUE(d.remove(3)); // interior: materializes
+    std::vector<int64_t> expected{2, 4};
+    EXPECT_EQ(d.values(), expected);
+}
+
+TEST(Domain, IntersectValuesConvertsInterval)
+{
+    Domain d = Domain::interval(0, 100);
+    d.intersect_values({8, 16, 32, 256});
+    std::vector<int64_t> expected{8, 16, 32};
+    EXPECT_EQ(d.values(), expected);
+}
+
+TEST(Domain, FilterPredicate)
+{
+    Domain d = Domain::of({1, 2, 3, 4, 5, 6});
+    d.filter([](int64_t v) { return v % 2 == 0; });
+    std::vector<int64_t> expected{2, 4, 6};
+    EXPECT_EQ(d.values(), expected);
+}
+
+TEST(Csp, NamesResolve)
+{
+    Csp csp;
+    VarId x = csp.add_var("x", Domain::of({1, 2}), true);
+    EXPECT_EQ(csp.var_id("x"), x);
+    EXPECT_EQ(csp.find_var("nope"), -1);
+    EXPECT_EQ(csp.tunable_vars().size(), 1u);
+}
+
+TEST(Csp, ConstCacheReuses)
+{
+    Csp csp;
+    VarId a = csp.add_const(48 * 1024);
+    VarId b = csp.add_const(48 * 1024);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Csp, SatisfiesEachKind)
+{
+    Csp csp;
+    VarId x = csp.add_var("x", Domain::interval(0, 100), true);
+    VarId y = csp.add_var("y", Domain::interval(0, 100), true);
+    VarId z = csp.add_var("z", Domain::interval(0, 10000));
+    VarId u = csp.add_var("u", Domain::interval(0, 1), true);
+    csp.add_prod(z, {x, y});
+    csp.add_sum(z, {x, y}); // deliberately inconsistent with prod
+    csp.add_eq(x, y);
+    csp.add_le(x, y);
+    csp.add_in(x, {3, 5});
+    csp.add_select(z, u, {x, y});
+
+    Assignment a(4);
+    a[static_cast<size_t>(x)] = 3;
+    a[static_cast<size_t>(y)] = 3;
+    a[static_cast<size_t>(z)] = 9;
+    a[static_cast<size_t>(u)] = 0;
+
+    const auto &cs = csp.constraints();
+    EXPECT_TRUE(csp.satisfies(cs[0], a));  // 9 == 3*3
+    EXPECT_FALSE(csp.satisfies(cs[1], a)); // 9 != 3+3
+    EXPECT_TRUE(csp.satisfies(cs[2], a));  // 3 == 3
+    EXPECT_TRUE(csp.satisfies(cs[3], a));  // 3 <= 3
+    EXPECT_TRUE(csp.satisfies(cs[4], a));  // 3 in {3,5}
+    EXPECT_FALSE(csp.satisfies(cs[5], a)); // z != x
+    EXPECT_EQ(csp.count_violations(a), 2);
+}
+
+TEST(Propagate, ProdForwardAndBackward)
+{
+    Csp csp;
+    VarId a = csp.add_var("a", Domain::of({2, 4}), true);
+    VarId b = csp.add_var("b", Domain::of({3, 5}), true);
+    VarId p = csp.add_var("p", Domain::interval(0, 1000));
+    csp.add_prod(p, {a, b});
+
+    PropagationEngine engine(csp);
+    ASSERT_TRUE(engine.propagate());
+    EXPECT_EQ(engine.domain(p).min(), 6);
+    EXPECT_EQ(engine.domain(p).max(), 20);
+
+    ASSERT_TRUE(engine.assign_and_propagate(a, 4));
+    ASSERT_TRUE(engine.assign_and_propagate(b, 5));
+    EXPECT_TRUE(engine.domain(p).is_singleton());
+    EXPECT_EQ(engine.domain(p).value(), 20);
+}
+
+TEST(Propagate, ProdBackSolvesLastOperand)
+{
+    Csp csp;
+    VarId a = csp.add_var("a", Domain::of({2, 4, 8}), true);
+    VarId b = csp.add_var("b", Domain::of({2, 4, 8}), true);
+    VarId p = csp.add_var("p", Domain::interval(1, 64));
+    csp.add_prod(p, {a, b});
+
+    PropagationEngine engine(csp);
+    ASSERT_TRUE(engine.assign_and_propagate(p, 16));
+    ASSERT_TRUE(engine.assign_and_propagate(a, 8));
+    EXPECT_TRUE(engine.domain(b).is_singleton());
+    EXPECT_EQ(engine.domain(b).value(), 2);
+}
+
+TEST(Propagate, ProdConflictWhenIndivisible)
+{
+    Csp csp;
+    VarId a = csp.add_var("a", Domain::of({3}), true);
+    VarId b = csp.add_var("b", Domain::of({2, 4}), true);
+    VarId p = csp.add_var("p", Domain::interval(1, 64));
+    csp.add_prod(p, {a, b});
+
+    PropagationEngine engine(csp);
+    EXPECT_FALSE(engine.assign_and_propagate(p, 7));
+}
+
+TEST(Propagate, SumBounds)
+{
+    Csp csp;
+    VarId a = csp.add_var("a", Domain::interval(1, 10), true);
+    VarId b = csp.add_var("b", Domain::interval(2, 20), true);
+    VarId s = csp.add_var("s", Domain::interval(0, 12));
+    csp.add_sum(s, {a, b});
+
+    PropagationEngine engine(csp);
+    ASSERT_TRUE(engine.propagate());
+    // s <= 12 so a <= 12 - b.min = 10, b <= 12 - a.min = 11.
+    EXPECT_LE(engine.domain(b).max(), 11);
+    EXPECT_GE(engine.domain(s).min(), 3);
+}
+
+TEST(Propagate, LeTightensBothSides)
+{
+    Csp csp;
+    VarId a = csp.add_var("a", Domain::interval(5, 100), true);
+    VarId b = csp.add_var("b", Domain::interval(0, 50), true);
+    csp.add_le(a, b);
+
+    PropagationEngine engine(csp);
+    ASSERT_TRUE(engine.propagate());
+    EXPECT_LE(engine.domain(a).max(), 50);
+    EXPECT_GE(engine.domain(b).min(), 5);
+}
+
+TEST(Propagate, EqMerges)
+{
+    Csp csp;
+    VarId a = csp.add_var("a", Domain::of({1, 2, 3, 4}), true);
+    VarId b = csp.add_var("b", Domain::of({3, 4, 5}), true);
+    csp.add_eq(a, b);
+
+    PropagationEngine engine(csp);
+    ASSERT_TRUE(engine.propagate());
+    std::vector<int64_t> expected{3, 4};
+    EXPECT_EQ(engine.domain(a).values(), expected);
+    EXPECT_EQ(engine.domain(b).values(), expected);
+}
+
+TEST(Propagate, InIntersects)
+{
+    Csp csp;
+    VarId a = csp.add_var("a", Domain::interval(0, 100), true);
+    csp.add_in(a, {1, 2, 4, 8, 256});
+
+    PropagationEngine engine(csp);
+    ASSERT_TRUE(engine.propagate());
+    std::vector<int64_t> expected{1, 2, 4, 8};
+    EXPECT_EQ(engine.domain(a).values(), expected);
+}
+
+TEST(Propagate, SelectFixedSelectorActsAsEq)
+{
+    Csp csp;
+    VarId v = csp.add_var("v", Domain::interval(0, 100));
+    VarId u = csp.add_var("u", Domain::singleton(1), true);
+    VarId x = csp.add_var("x", Domain::of({7}), true);
+    VarId y = csp.add_var("y", Domain::of({9}), true);
+    csp.add_select(v, u, {x, y});
+
+    PropagationEngine engine(csp);
+    ASSERT_TRUE(engine.propagate());
+    EXPECT_TRUE(engine.domain(v).is_singleton());
+    EXPECT_EQ(engine.domain(v).value(), 9);
+}
+
+TEST(Propagate, SelectPrunesSelector)
+{
+    Csp csp;
+    VarId v = csp.add_var("v", Domain::of({7}));
+    VarId u = csp.add_var("u", Domain::interval(0, 1), true);
+    VarId x = csp.add_var("x", Domain::of({7}), true);
+    VarId y = csp.add_var("y", Domain::of({9}), true);
+    csp.add_select(v, u, {x, y});
+
+    PropagationEngine engine(csp);
+    ASSERT_TRUE(engine.propagate());
+    EXPECT_TRUE(engine.domain(u).is_singleton());
+    EXPECT_EQ(engine.domain(u).value(), 0);
+}
+
+TEST(Solver, SolvesTilingChain)
+{
+    // Classic Heron shape: extent = t0*t1*t2 with divisor domains.
+    Csp csp;
+    auto divs = divisors(64);
+    VarId t0 = csp.add_var("t0", Domain::of(divs), true);
+    VarId t1 = csp.add_var("t1", Domain::of(divs), true);
+    VarId t2 = csp.add_var("t2", Domain::of(divs), true);
+    VarId e = csp.add_var("e", Domain::singleton(64));
+    csp.add_prod(e, {t0, t1, t2});
+
+    RandSatSolver solver(csp);
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        EXPECT_EQ((*a)[static_cast<size_t>(t0)] *
+                      (*a)[static_cast<size_t>(t1)] *
+                      (*a)[static_cast<size_t>(t2)],
+                  64);
+    }
+}
+
+TEST(Solver, SolutionsAreDiverse)
+{
+    Csp csp;
+    auto divs = divisors(256);
+    VarId t0 = csp.add_var("t0", Domain::of(divs), true);
+    VarId t1 = csp.add_var("t1", Domain::of(divs), true);
+    VarId e = csp.add_var("e", Domain::singleton(256));
+    csp.add_prod(e, {t0, t1});
+
+    RandSatSolver solver(csp);
+    Rng rng(2);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 60; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        seen.insert((*a)[static_cast<size_t>(t0)]);
+    }
+    // 9 divisors of 256; random sampling should hit most of them.
+    EXPECT_GE(seen.size(), 6u);
+}
+
+TEST(Solver, RespectsMemoryStyleConstraint)
+{
+    // mem = a*b*4 <= 48, a,b in divisors(16)
+    Csp csp;
+    auto divs = divisors(16);
+    VarId a = csp.add_var("a", Domain::of(divs), true);
+    VarId b = csp.add_var("b", Domain::of(divs), true);
+    VarId four = csp.add_const(4);
+    VarId mem = csp.add_var("mem", Domain::interval(0, 1 << 20));
+    VarId cap = csp.add_const(48);
+    csp.add_prod(mem, {a, b, four});
+    csp.add_le(mem, cap);
+
+    RandSatSolver solver(csp);
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+        auto sol = solver.solve_one(rng);
+        ASSERT_TRUE(sol.has_value());
+        int64_t m = (*sol)[static_cast<size_t>(mem)];
+        EXPECT_LE(m, 48);
+        EXPECT_EQ(m, (*sol)[static_cast<size_t>(a)] *
+                         (*sol)[static_cast<size_t>(b)] * 4);
+    }
+}
+
+TEST(Solver, DetectsUnsat)
+{
+    Csp csp;
+    VarId a = csp.add_var("a", Domain::of({2, 4}), true);
+    csp.add_in(a, {3, 5});
+    RandSatSolver solver(csp);
+    Rng rng(4);
+    EXPECT_FALSE(solver.solve_one(rng).has_value());
+}
+
+TEST(Solver, ExtraConstraintsNarrowSolutions)
+{
+    Csp csp;
+    auto divs = divisors(64);
+    VarId t0 = csp.add_var("t0", Domain::of(divs), true);
+    VarId t1 = csp.add_var("t1", Domain::of(divs), true);
+    VarId e = csp.add_var("e", Domain::singleton(64));
+    csp.add_prod(e, {t0, t1});
+
+    Constraint pin;
+    pin.kind = ConstraintKind::kIn;
+    pin.result = t0;
+    pin.constants = {8};
+
+    RandSatSolver solver(csp);
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        auto a = solver.solve_one(rng, {pin});
+        ASSERT_TRUE(a.has_value());
+        EXPECT_EQ((*a)[static_cast<size_t>(t0)], 8);
+        EXPECT_EQ((*a)[static_cast<size_t>(t1)], 8);
+    }
+}
+
+TEST(Solver, SolveNDedups)
+{
+    Csp csp;
+    csp.add_var("a", Domain::of({1, 2}), true);
+    RandSatSolver solver(csp);
+    Rng rng(6);
+    auto sols = solver.solve_n(rng, 10);
+    EXPECT_LE(sols.size(), 2u);
+    EXPECT_GE(sols.size(), 1u);
+}
+
+TEST(Solver, TensorCoreStyleIntrinsicConstraint)
+{
+    // m*n*k == 4096, m,n,k in {8,16,32}: the TensorCore wmma rule.
+    Csp csp;
+    Domain shapes = Domain::of({8, 16, 32});
+    VarId m = csp.add_var("m", shapes, true);
+    VarId n = csp.add_var("n", shapes, true);
+    VarId k = csp.add_var("k", shapes, true);
+    VarId mnk = csp.add_const(4096);
+    csp.add_prod(mnk, {m, n, k});
+
+    RandSatSolver solver(csp);
+    Rng rng(7);
+    std::set<std::vector<int64_t>> seen;
+    for (int i = 0; i < 100; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        int64_t vm = (*a)[static_cast<size_t>(m)];
+        int64_t vn = (*a)[static_cast<size_t>(n)];
+        int64_t vk = (*a)[static_cast<size_t>(k)];
+        EXPECT_EQ(vm * vn * vk, 4096);
+        seen.insert({vm, vn, vk});
+    }
+    // {8,16,32} triples multiplying to 4096: permutations of
+    // (8,16,32) plus (16,16,16) = 7 total; expect good coverage.
+    EXPECT_GE(seen.size(), 5u);
+}
+
+/** Property sweep: PROD chains of varying extent solve correctly. */
+class SolverExtentSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(SolverExtentSweep, ProductDecompositionHolds)
+{
+    int64_t extent = GetParam();
+    Csp csp;
+    auto divs = divisors(extent);
+    VarId t0 = csp.add_var("t0", Domain::of(divs), true);
+    VarId t1 = csp.add_var("t1", Domain::of(divs), true);
+    VarId t2 = csp.add_var("t2", Domain::of(divs), true);
+    VarId t3 = csp.add_var("t3", Domain::of(divs), true);
+    VarId e = csp.add_var("e", Domain::singleton(extent));
+    csp.add_prod(e, {t0, t1, t2, t3});
+
+    RandSatSolver solver(csp);
+    Rng rng(static_cast<uint64_t>(extent));
+    for (int i = 0; i < 10; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        int64_t prod = 1;
+        for (VarId t : {t0, t1, t2, t3})
+            prod *= (*a)[static_cast<size_t>(t)];
+        EXPECT_EQ(prod, extent);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Extents, SolverExtentSweep,
+                         ::testing::Values(1, 2, 12, 64, 100, 128, 504,
+                                           1000, 1024, 4096));
+
+} // namespace
+} // namespace heron::csp

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Property/fuzz tests for the CSP solver: random small problems are
+ * brute-forced for ground truth and compared against RandSAT
+ * (soundness always; completeness on satisfiable instances), and
+ * propagation is validated never to prune a brute-force solution.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "csp/propagate.h"
+#include "csp/solver.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+
+namespace heron::csp {
+namespace {
+
+/** A randomly generated small CSP plus its brute-force solutions. */
+struct FuzzProblem {
+    Csp csp;
+    std::vector<Assignment> solutions; // over all vars
+};
+
+/**
+ * Build a random problem: 3-5 tunable vars with small explicit
+ * domains, 1-2 derived vars, and random constraints among them.
+ */
+FuzzProblem
+make_problem(uint64_t seed)
+{
+    Rng rng(seed);
+    FuzzProblem problem;
+    Csp &csp = problem.csp;
+
+    int num_tunables = static_cast<int>(rng.uniform_int(3, 5));
+    std::vector<VarId> tunables;
+    for (int i = 0; i < num_tunables; ++i) {
+        std::vector<int64_t> values;
+        int size = static_cast<int>(rng.uniform_int(2, 4));
+        for (int v = 0; v < size; ++v)
+            values.push_back(rng.uniform_int(1, 6));
+        tunables.push_back(csp.add_var("t" + std::to_string(i),
+                                       Domain::of(values), true));
+    }
+
+    // One PROD and one SUM derived variable over random operands.
+    auto random_operands = [&]() {
+        std::vector<VarId> ops;
+        int count = static_cast<int>(rng.uniform_int(2, 3));
+        for (int i = 0; i < count; ++i)
+            ops.push_back(rng.pick(tunables));
+        return ops;
+    };
+    VarId prod = csp.add_var("prod", Domain::interval(1, 1000));
+    csp.add_prod(prod, random_operands());
+    VarId sum = csp.add_var("sum", Domain::interval(0, 100));
+    csp.add_sum(sum, random_operands());
+
+    // Random relational constraints.
+    if (rng.bernoulli(0.5))
+        csp.add_le(rng.pick(tunables), rng.pick(tunables));
+    if (rng.bernoulli(0.5))
+        csp.add_in(rng.pick(tunables),
+                   {rng.uniform_int(1, 6), rng.uniform_int(1, 6)});
+    if (rng.bernoulli(0.4))
+        csp.add_le(prod, csp.add_const(rng.uniform_int(4, 60)));
+    if (rng.bernoulli(0.3))
+        csp.add_eq(rng.pick(tunables), rng.pick(tunables));
+
+    // Brute force over tunables; derived vars are functionally
+    // determined (prod/sum of tunables).
+    std::vector<int64_t> values(csp.num_vars(), 0);
+    std::function<void(size_t)> enumerate = [&](size_t index) {
+        if (index == tunables.size()) {
+            Assignment a = values;
+            // Constants and other fixed vars take their domain
+            // value; derived vars are overwritten below.
+            for (size_t v = 0; v < csp.num_vars(); ++v) {
+                const auto &info = csp.var(static_cast<VarId>(v));
+                if (!info.tunable && !info.initial.empty())
+                    a[v] = info.initial.min();
+            }
+            for (VarId t : tunables)
+                a[static_cast<size_t>(t)] =
+                    values[static_cast<size_t>(t)];
+            // Fill derived vars by evaluating their constraints.
+            for (const auto &c : csp.constraints()) {
+                if (c.kind == ConstraintKind::kProd) {
+                    int64_t p = 1;
+                    for (VarId op : c.operands)
+                        p *= a[static_cast<size_t>(op)];
+                    if (static_cast<size_t>(c.result) >=
+                        tunables.size())
+                        a[static_cast<size_t>(c.result)] = p;
+                }
+                if (c.kind == ConstraintKind::kSum) {
+                    int64_t s = 0;
+                    for (VarId op : c.operands)
+                        s += a[static_cast<size_t>(op)];
+                    if (static_cast<size_t>(c.result) >=
+                        tunables.size())
+                        a[static_cast<size_t>(c.result)] = s;
+                }
+            }
+            if (csp.valid(a))
+                problem.solutions.push_back(std::move(a));
+            return;
+        }
+        for (int64_t v :
+             csp.var(tunables[index]).initial.values()) {
+            values[static_cast<size_t>(tunables[index])] = v;
+            enumerate(index + 1);
+        }
+    };
+    enumerate(0);
+    return problem;
+}
+
+class SolverFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SolverFuzz, AgreesWithBruteForce)
+{
+    auto problem = make_problem(GetParam());
+    RandSatSolver solver(problem.csp);
+    Rng rng(GetParam() * 31 + 7);
+    auto result = solver.solve_one(rng);
+
+    if (problem.solutions.empty()) {
+        // Unsat: the solver must not fabricate a solution
+        // (solve_one internally asserts validity, so returning
+        // nullopt is the only sound outcome).
+        EXPECT_FALSE(result.has_value());
+    } else {
+        ASSERT_TRUE(result.has_value());
+        EXPECT_TRUE(problem.csp.valid(*result));
+        // The returned solution must be among the brute-forced set
+        // when projected onto the tunables.
+        bool found = false;
+        for (const auto &sol : problem.solutions) {
+            bool same = true;
+            for (VarId t : problem.csp.tunable_vars())
+                same &= sol[static_cast<size_t>(t)] ==
+                        (*result)[static_cast<size_t>(t)];
+            found |= same;
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST_P(SolverFuzz, PropagationNeverPrunesSolutions)
+{
+    auto problem = make_problem(GetParam() + 5000);
+    PropagationEngine engine(problem.csp);
+    bool consistent = engine.propagate();
+    if (!consistent) {
+        EXPECT_TRUE(problem.solutions.empty());
+        return;
+    }
+    for (const auto &sol : problem.solutions) {
+        for (size_t v = 0; v < problem.csp.num_vars(); ++v) {
+            EXPECT_TRUE(engine.domain(static_cast<VarId>(v))
+                            .contains(sol[v]))
+                << "propagation pruned value " << sol[v]
+                << " of var "
+                << problem.csp.var(static_cast<VarId>(v)).name;
+        }
+    }
+}
+
+TEST_P(SolverFuzz, SolveNReturnsDistinctValidSolutions)
+{
+    auto problem = make_problem(GetParam() + 9000);
+    if (problem.solutions.empty())
+        GTEST_SKIP() << "unsat instance";
+    RandSatSolver solver(problem.csp);
+    Rng rng(GetParam());
+    auto sols = solver.solve_n(rng, 4);
+    EXPECT_GE(sols.size(), 1u);
+    for (size_t i = 0; i < sols.size(); ++i) {
+        EXPECT_TRUE(problem.csp.valid(sols[i]));
+        for (size_t j = i + 1; j < sols.size(); ++j)
+            EXPECT_NE(sols[i], sols[j]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
+                         ::testing::Range<uint64_t>(1, 41));
+
+} // namespace
+} // namespace heron::csp

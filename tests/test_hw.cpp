@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Tests for the DLA simulators and the measurer: spec presets,
+ * validity checking (the ground truth the constraints approximate),
+ * monotonicity properties of the latency models, determinism, and
+ * measurement accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "csp/solver.h"
+#include "hw/measurer.h"
+#include "hw/simulator.h"
+#include "ops/op_library.h"
+#include "rules/space_generator.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace heron::hw {
+namespace {
+
+using schedule::ConcreteProgram;
+using schedule::ConcreteStage;
+using schedule::LoopRole;
+using schedule::MemScope;
+using schedule::StageRole;
+
+/** Hand-built minimal tensorized GEMM program for TensorCore. */
+ConcreteProgram
+make_tc_program(int64_t grid_i, int64_t warps_j, int64_t shared_kb)
+{
+    ConcreteProgram p;
+    p.workload = "test-gemm";
+    p.dtype = ir::DataType::kFloat16;
+    p.total_ops = 2LL * 512 * 512 * 512;
+
+    ConcreteStage main;
+    main.name = "C";
+    main.role = StageRole::kMain;
+    main.axis_names = {"i", "j", "r"};
+    main.axis_reduce = {false, false, true};
+    main.tile = {{grid_i, 1, 2, 16}, {4, warps_j, 4, 16},
+                 {32, 16}};
+    main.roles = {{LoopRole::kGrid, LoopRole::kVThread,
+                   LoopRole::kThread, LoopRole::kIntrinsic},
+                  {LoopRole::kGrid, LoopRole::kThread,
+                   LoopRole::kSerial, LoopRole::kIntrinsic},
+                  {LoopRole::kSerial, LoopRole::kIntrinsic}};
+    main.intrinsic_m = 16;
+    main.intrinsic_n = 16;
+    main.intrinsic_k = 16;
+    p.stages.push_back(main);
+
+    ConcreteStage a;
+    a.name = "A.shared";
+    a.role = StageRole::kCacheRead;
+    a.scope = MemScope::kShared;
+    a.tensor = "A";
+    a.compute_at = "C";
+    a.attach_depth = 2;
+    a.tile_elements = shared_kb * 1024 / 2;
+    a.row_elements = 64;
+    a.fill_trips = 1024;
+    a.bytes_per_element = 2;
+    a.vector_len = 8;
+    p.stages.push_back(a);
+    return p;
+}
+
+TEST(DlaSpec, Presets)
+{
+    auto v100 = DlaSpec::v100();
+    EXPECT_EQ(v100.kind, DlaKind::kTensorCore);
+    EXPECT_EQ(v100.intrinsic_volume, 4096);
+    EXPECT_EQ(v100.shared_capacity, 48 * 1024);
+    // 112 TFLOPS = 56 TMAC/s.
+    EXPECT_NEAR(v100.peak_gmacs(), 56000, 1000);
+
+    auto dlb = DlaSpec::dlboost();
+    EXPECT_EQ(dlb.fixed_n, 16);
+    EXPECT_EQ(dlb.fixed_k, 4);
+
+    auto vta = DlaSpec::vta();
+    EXPECT_EQ(vta.input_buffer_capacity, 32 * 1024);
+    EXPECT_EQ(vta.weight_buffer_capacity, 256 * 1024);
+    EXPECT_EQ(vta.acc_buffer_capacity, 128 * 1024);
+}
+
+TEST(TensorCoreSim, ValidProgramPasses)
+{
+    auto sim = make_simulator(DlaSpec::v100());
+    auto p = make_tc_program(8, 2, 16);
+    EXPECT_EQ(sim->check(p), "");
+    EXPECT_GT(sim->latency_ms(p), 0.0);
+}
+
+TEST(TensorCoreSim, RejectsBadIntrinsicShape)
+{
+    auto sim = make_simulator(DlaSpec::v100());
+    auto p = make_tc_program(8, 2, 16);
+    p.stages[0].intrinsic_m = 64; // not in {8,16,32}
+    EXPECT_NE(sim->check(p).find("wmma"), std::string::npos);
+    p.stages[0].intrinsic_m = 32; // 32*16*16 != 4096
+    EXPECT_NE(sim->check(p), "");
+}
+
+TEST(TensorCoreSim, RejectsSharedOverflow)
+{
+    auto sim = make_simulator(DlaSpec::v100());
+    auto p = make_tc_program(8, 2, 64); // 64KB > 48KB
+    EXPECT_NE(sim->check(p).find("shared"), std::string::npos);
+}
+
+TEST(TensorCoreSim, RejectsTooManyThreads)
+{
+    auto sim = make_simulator(DlaSpec::v100());
+    auto p = make_tc_program(8, 64, 16); // 2*64=128 warps
+    EXPECT_NE(sim->check(p).find("threads"), std::string::npos);
+}
+
+TEST(TensorCoreSim, RejectsBadVector)
+{
+    auto sim = make_simulator(DlaSpec::v100());
+    auto p = make_tc_program(8, 2, 16);
+    p.stages[1].vector_len = 16; // 32B > 16B transaction
+    EXPECT_NE(sim->check(p), "");
+    p.stages[1].vector_len = 3; // not in {1,2,4,8}
+    EXPECT_NE(sim->check(p), "");
+    p.stages[1].vector_len = 8;
+    p.stages[1].row_elements = 12; // 12 % 8 != 0
+    EXPECT_NE(sim->check(p).find("unaligned"), std::string::npos);
+}
+
+TEST(TensorCoreSim, Deterministic)
+{
+    auto sim = make_simulator(DlaSpec::v100());
+    auto p = make_tc_program(8, 2, 16);
+    EXPECT_DOUBLE_EQ(sim->latency_ms(p), sim->latency_ms(p));
+}
+
+TEST(TensorCoreSim, MoreParallelismIsFaster)
+{
+    auto sim = make_simulator(DlaSpec::v100());
+    auto few_blocks = make_tc_program(2, 2, 16);
+    auto many_blocks = make_tc_program(16, 2, 16);
+    EXPECT_LT(sim->latency_ms(many_blocks) * 1.5,
+              sim->latency_ms(few_blocks));
+}
+
+TEST(TensorCoreSim, A100FasterThanT4)
+{
+    auto p = make_tc_program(16, 2, 16);
+    auto t4 = make_simulator(DlaSpec::t4());
+    auto a100 = make_simulator(DlaSpec::a100());
+    EXPECT_LT(a100->latency_ms(p), t4->latency_ms(p));
+}
+
+TEST(TensorCoreSim, StorageAlignReducesConflictPenalty)
+{
+    // 64-element fp16 rows conflict badly; padding helps.
+    auto spec = DlaSpec::v100();
+    int unpadded = detail::bank_conflict_ways(spec, 64, 0, 2);
+    int padded = detail::bank_conflict_ways(spec, 64, 4, 2);
+    EXPECT_GT(unpadded, padded);
+}
+
+TEST(TensorCoreSim, ExplainMentionsTerms)
+{
+    auto sim = make_simulator(DlaSpec::v100());
+    auto p = make_tc_program(8, 2, 16);
+    std::string e = sim->explain(p);
+    EXPECT_NE(e.find("compute_cycles"), std::string::npos);
+    EXPECT_NE(e.find("dram_cycles"), std::string::npos);
+}
+
+TEST(Measurer, AccountsSimulatedTime)
+{
+    rules::SpaceGenerator gen(DlaSpec::v100(),
+                              rules::Options::heron());
+    auto space = gen.generate(ops::gemm(256, 256, 256));
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(5);
+
+    MeasureConfig mc;
+    mc.repeats = 3;
+    mc.harness_overhead_s = 0.1;
+    Measurer measurer(space.spec, mc);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto r = measurer.measure(space.bind(*a));
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(measurer.count(), 1);
+    // harness overhead + 3 runs of the measured latency.
+    EXPECT_GT(measurer.simulated_seconds(), 0.1);
+    EXPECT_NEAR(measurer.simulated_seconds(),
+                0.1 + 3 * r.latency_ms / 1e3, 0.01);
+}
+
+TEST(Measurer, NoiseIsSmallAndCentred)
+{
+    rules::SpaceGenerator gen(DlaSpec::v100(),
+                              rules::Options::heron());
+    auto space = gen.generate(ops::gemm(256, 256, 256));
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(6);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto program = space.bind(*a);
+
+    auto sim = make_simulator(space.spec);
+    double model_ms = sim->latency_ms(program);
+    Measurer measurer(space.spec);
+    heron::RunningStat s;
+    for (int i = 0; i < 20; ++i)
+        s.push(measurer.measure(program).latency_ms);
+    EXPECT_NEAR(s.mean(), model_ms, 0.05 * model_ms);
+}
+
+TEST(VtaSim, RejectsWriteHazard)
+{
+    rules::SpaceGenerator gen(DlaSpec::vta(),
+                              rules::Options::heron());
+    auto space =
+        gen.generate(ops::gemm(256, 256, 256, ir::DataType::kInt8));
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(7);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto program = space.bind(*a);
+    auto sim = make_simulator(space.spec);
+    ASSERT_EQ(sim->check(program), "");
+
+    // Force the innermost non-intrinsic reduce level to 1: hazard.
+    auto &main = program.stages[0];
+    for (int ax = static_cast<int>(main.tile.size()) - 1; ax >= 0;
+         --ax) {
+        if (!main.axis_reduce[static_cast<size_t>(ax)])
+            continue;
+        auto &levels = main.tile[static_cast<size_t>(ax)];
+        // roles: [Serial, Buffer, Intrinsic]; rebalance so the
+        // buffer level becomes 1.
+        levels[0] *= levels[1];
+        levels[1] = 1;
+        break;
+    }
+    EXPECT_NE(sim->check(program).find("access cycle"),
+              std::string::npos);
+}
+
+TEST(DlBoostSim, RejectsWrongIntrinsic)
+{
+    rules::SpaceGenerator gen(DlaSpec::dlboost(),
+                              rules::Options::heron());
+    auto space =
+        gen.generate(ops::gemm(256, 256, 256, ir::DataType::kInt8));
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(8);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto program = space.bind(*a);
+    auto sim = make_simulator(space.spec);
+    ASSERT_EQ(sim->check(program), "");
+    program.stages[0].intrinsic_k = 8; // VNNI requires k=4
+    EXPECT_NE(sim->check(program).find("VNNI"), std::string::npos);
+}
+
+TEST(DlBoostSim, PackedLayoutHelps)
+{
+    rules::SpaceGenerator gen(DlaSpec::dlboost(),
+                              rules::Options::heron());
+    auto space = gen.generate(
+        ops::gemm(512, 1024, 1024, ir::DataType::kInt8));
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(9);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto program = space.bind(*a);
+    auto sim = make_simulator(space.spec);
+    double with_packed = sim->latency_ms(program);
+    for (auto &s : program.stages)
+        s.packed_layout = false;
+    double without = sim->latency_ms(program);
+    EXPECT_LE(with_packed, without);
+}
+
+/** Property: every solver sample of every DLA binds to a program
+ * the matching simulator accepts (constraints == ground truth). */
+class ConstraintSoundness
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ConstraintSoundness, GeneratedConstraintsMatchSimulator)
+{
+    int which = GetParam();
+    DlaSpec spec = which == 0   ? DlaSpec::v100()
+                   : which == 1 ? DlaSpec::dlboost()
+                                : DlaSpec::vta();
+    ir::DataType dt = which == 0 ? ir::DataType::kFloat16
+                                 : ir::DataType::kInt8;
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space = gen.generate(ops::gemm(256, 512, 512, dt));
+    csp::RandSatSolver solver(space.csp);
+    auto sim = make_simulator(spec);
+    Rng rng(static_cast<uint64_t>(which) + 100);
+    for (int i = 0; i < 25; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        auto program = space.bind(*a);
+        EXPECT_EQ(sim->check(program), "") << "sample " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDlas, ConstraintSoundness,
+                         ::testing::Values(0, 1, 2));
+
+} // namespace
+} // namespace heron::hw

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Cross-module integration and property tests: the full
+ * generate -> solve -> bind -> measure pipeline across every
+ * operator suite and every DLA archetype, determinism guarantees,
+ * and consistency between the CSP's symbolic footprints and the
+ * binder's numeric ones.
+ */
+#include <gtest/gtest.h>
+
+#include "autotune/tuner.h"
+#include "csp/solver.h"
+#include "hw/measurer.h"
+#include "ops/op_library.h"
+#include "rules/space_generator.h"
+#include "search/cga.h"
+
+namespace heron {
+namespace {
+
+struct PipelineCase {
+    const char *dla;
+    ops::Workload workload;
+};
+
+std::vector<PipelineCase>
+pipeline_cases()
+{
+    std::vector<PipelineCase> cases;
+    for (auto &w : ops::tensorcore_op_suite())
+        cases.push_back({"v100", w});
+    for (auto &w : ops::dlboost_op_suite())
+        cases.push_back({"dlboost", w});
+    for (auto &w : ops::vta_op_suite())
+        cases.push_back({"vta", w});
+    return cases;
+}
+
+hw::DlaSpec
+spec_by_name(const std::string &name)
+{
+    if (name == "v100")
+        return hw::DlaSpec::v100();
+    if (name == "dlboost")
+        return hw::DlaSpec::dlboost();
+    return hw::DlaSpec::vta();
+}
+
+class PipelineSweep
+    : public ::testing::TestWithParam<PipelineCase>
+{
+};
+
+TEST_P(PipelineSweep, GenerateSolveBindMeasure)
+{
+    const auto &param = GetParam();
+    auto spec = spec_by_name(param.dla);
+    if (spec.kind == hw::DlaKind::kVta &&
+        !rules::workload_tensorizable(spec, param.workload))
+        GTEST_SKIP() << "not tensorizable on VTA";
+
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space = gen.generate(param.workload);
+    EXPECT_GT(space.csp.num_constraints(), 10u);
+
+    csp::RandSatSolver solver(space.csp);
+    hw::Measurer measurer(spec);
+    Rng rng(11);
+    for (int i = 0; i < 3; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value()) << param.workload.name;
+        EXPECT_TRUE(space.csp.valid(*a));
+        auto program = space.bind(*a);
+        auto r = measurer.measure(program);
+        EXPECT_TRUE(r.valid)
+            << param.workload.name << ": " << r.error;
+        EXPECT_GT(r.gflops, 0.0);
+        // Throughput can never exceed peak.
+        EXPECT_LE(r.gflops, spec.peak_gmacs() * 2.0 * 1.01);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, PipelineSweep, ::testing::ValuesIn(pipeline_cases()),
+    [](const ::testing::TestParamInfo<PipelineCase> &info) {
+        std::string name = std::string(info.param.dla) + "_" +
+                           info.param.workload.name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Determinism, SameSeedSameTuningResult)
+{
+    auto spec = hw::DlaSpec::v100();
+    autotune::TuneConfig config;
+    config.trials = 40;
+    config.seed = 99;
+    auto w = ops::gemm(256, 512, 512);
+
+    auto t1 = autotune::make_heron_tuner(spec, config);
+    auto t2 = autotune::make_heron_tuner(spec, config);
+    auto o1 = t1->tune(w);
+    auto o2 = t2->tune(w);
+    EXPECT_DOUBLE_EQ(o1.result.best_gflops, o2.result.best_gflops);
+    EXPECT_EQ(o1.result.best, o2.result.best);
+}
+
+TEST(Determinism, DifferentSeedsExploreDifferently)
+{
+    auto spec = hw::DlaSpec::v100();
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space = gen.generate(ops::gemm(512, 512, 512));
+    search::SearchConfig sc;
+    sc.trials = 30;
+    sc.seed = 1;
+    hw::Measurer m1(spec);
+    auto r1 = search::cga_search(space, m1, sc);
+    sc.seed = 2;
+    hw::Measurer m2(spec);
+    auto r2 = search::cga_search(space, m2, sc);
+    EXPECT_NE(r1.history, r2.history);
+}
+
+TEST(FootprintConsistency, CspMemEqualsBoundTileBytes)
+{
+    // The symbolic memory variables (C5) must equal the binder's
+    // numeric tile bytes for the same assignment.
+    auto spec = hw::DlaSpec::v100();
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space =
+        gen.generate(ops::c2d(16, 64, 28, 28, 64, 3, 3, 1, 1));
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(13);
+    for (int i = 0; i < 10; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        auto program = space.bind(*a);
+        for (const auto &stage : program.stages) {
+            csp::VarId mem =
+                space.csp.find_var("mem." + stage.name);
+            if (mem < 0)
+                continue;
+            EXPECT_EQ((*a)[static_cast<size_t>(mem)],
+                      stage.tile_bytes())
+                << stage.name;
+        }
+    }
+}
+
+TEST(FootprintConsistency, SharedSumRespectsCapacity)
+{
+    auto spec = hw::DlaSpec::v100();
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space = gen.generate(ops::gemm(2048, 2048, 2048));
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(17);
+    for (int i = 0; i < 10; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        auto program = space.bind(*a);
+        EXPECT_LE(program.scope_bytes(schedule::MemScope::kShared),
+                  spec.shared_capacity);
+        EXPECT_LE(
+            program.scope_bytes(schedule::MemScope::kFragment),
+            spec.fragment_capacity);
+    }
+}
+
+TEST(Generators, AllFlavorsProduceMeasurablePrograms)
+{
+    auto spec = hw::DlaSpec::v100();
+    auto workload = ops::gemm(512, 512, 512);
+    for (auto options :
+         {rules::Options::heron(), rules::Options::autotvm(),
+          rules::Options::amos(), rules::Options::ansor()}) {
+        rules::SpaceGenerator gen(spec, options);
+        auto space = gen.generate(workload);
+        csp::RandSatSolver solver(space.csp);
+        hw::Measurer measurer(spec);
+        Rng rng(19);
+        int valid = 0;
+        for (int i = 0; i < 15; ++i) {
+            auto a = solver.solve_one(rng);
+            if (!a)
+                continue;
+            auto r = measurer.measure(space.bind(*a));
+            valid += r.valid;
+        }
+        EXPECT_GT(valid, 0) << rules::template_flavor_name(
+            options.flavor);
+    }
+}
+
+} // namespace
+} // namespace heron

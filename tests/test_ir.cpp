@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the tensor-expression IR and the operator library:
+ * tensors, affine expressions and footprints, contraction-role
+ * analysis, DAG queries, operator builders, and network configs.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/dag.h"
+#include "ops/networks.h"
+#include "ops/op_library.h"
+
+namespace heron::ir {
+namespace {
+
+TEST(Tensor, SizeAndBytes)
+{
+    Tensor t{"A", {128, 64}, DataType::kFloat16};
+    EXPECT_EQ(t.num_elements(), 128 * 64);
+    EXPECT_EQ(t.bytes(), 128 * 64 * 2);
+    EXPECT_EQ(t.ndim(), 2);
+}
+
+TEST(Tensor, DtypeBytes)
+{
+    EXPECT_EQ(dtype_bytes(DataType::kFloat16), 2);
+    EXPECT_EQ(dtype_bytes(DataType::kFloat32), 4);
+    EXPECT_EQ(dtype_bytes(DataType::kInt8), 1);
+    EXPECT_EQ(dtype_bytes(DataType::kInt32), 4);
+}
+
+TEST(LinearExpr, EvalAffine)
+{
+    // 2*a1 + a2 - 3
+    LinearExpr e = LinearExpr::scaled(1, 2, -3);
+    e.add_term(2, 1);
+    EXPECT_EQ(e.eval({0, 5, 7}), 2 * 5 + 7 - 3);
+}
+
+TEST(LinearExpr, FootprintSingleAxis)
+{
+    LinearExpr e = LinearExpr::axis(0);
+    EXPECT_EQ(e.footprint({8}), 8);
+    EXPECT_EQ(e.footprint({1}), 1);
+}
+
+TEST(LinearExpr, FootprintConvWindow)
+{
+    // stride-2 output index plus dilation-1 window: 2*ho + rh
+    LinearExpr e = LinearExpr::scaled(0, 2);
+    e.add_term(1, 1);
+    // ho tile 4, rh tile 3 => span 2*3 + 1*2 + 1 = 9
+    EXPECT_EQ(e.footprint({4, 3}), 9);
+}
+
+TEST(LinearExpr, UsesAxis)
+{
+    LinearExpr e = LinearExpr::scaled(2, 4);
+    EXPECT_TRUE(e.uses_axis(2));
+    EXPECT_FALSE(e.uses_axis(0));
+}
+
+TEST(ContractionAnalysis, GemmRoles)
+{
+    auto dag = ops::make_gemm(64, 32, 16, DataType::kFloat16);
+    auto roles = analyze_contraction(dag.stage(0));
+    ASSERT_TRUE(roles.has_value());
+    EXPECT_EQ(roles->m_axes, std::vector<int>{0});
+    EXPECT_EQ(roles->n_axes, std::vector<int>{1});
+    EXPECT_EQ(roles->k_axes, std::vector<int>{2});
+    EXPECT_TRUE(roles->batch_axes.empty());
+}
+
+TEST(ContractionAnalysis, BmmBatchAxis)
+{
+    auto dag = ops::make_bmm(4, 64, 32, 16, DataType::kFloat16);
+    auto roles = analyze_contraction(dag.stage(0));
+    ASSERT_TRUE(roles.has_value());
+    EXPECT_EQ(roles->batch_axes, std::vector<int>{0});
+    EXPECT_EQ(roles->m_axes, std::vector<int>{1});
+    EXPECT_EQ(roles->n_axes, std::vector<int>{2});
+}
+
+TEST(ContractionAnalysis, ConvImColView)
+{
+    auto dag =
+        ops::make_conv2d(2, 16, 14, 14, 32, 3, 3, 1, 1, 1,
+                         DataType::kFloat16);
+    auto roles = analyze_contraction(dag.stage(0));
+    ASSERT_TRUE(roles.has_value());
+    // m = {n, ho, wo}, n = {co}, k = {rc, rh, rw}
+    EXPECT_EQ(roles->m_axes, (std::vector<int>{0, 2, 3}));
+    EXPECT_EQ(roles->n_axes, std::vector<int>{1});
+    EXPECT_EQ(roles->k_axes, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(ContractionAnalysis, ScanIsNotContraction)
+{
+    auto dag = ops::make_scan(4, 128, DataType::kFloat32);
+    EXPECT_FALSE(analyze_contraction(dag.stage(0)).has_value());
+}
+
+TEST(ContractionAnalysis, GemvHasEmptyNRole)
+{
+    auto dag = ops::make_gemv(64, 32, DataType::kFloat16);
+    auto roles = analyze_contraction(dag.stage(0));
+    ASSERT_TRUE(roles.has_value());
+    EXPECT_TRUE(roles->n_axes.empty());
+    EXPECT_EQ(roles->m_axes, std::vector<int>{0});
+}
+
+TEST(Dag, ProducerConsumerQueries)
+{
+    auto dag = ops::make_gemm(8, 8, 8, DataType::kFloat16);
+    EXPECT_TRUE(dag.is_input("A"));
+    EXPECT_TRUE(dag.is_input("B"));
+    EXPECT_FALSE(dag.is_input("C"));
+    EXPECT_EQ(dag.producer_of("C"), 0);
+    EXPECT_EQ(dag.producer_of("A"), -1);
+    EXPECT_EQ(dag.tensor("A").shape, (std::vector<int64_t>{8, 8}));
+}
+
+TEST(Dag, OpCounts)
+{
+    auto dag = ops::make_gemm(4, 5, 6, DataType::kFloat16);
+    // 2 * M*N*K multiply-accumulate ops.
+    EXPECT_EQ(dag.total_ops(), 2 * 4 * 5 * 6);
+}
+
+TEST(Ops, Conv2dOutputShape)
+{
+    auto dag =
+        ops::make_conv2d(1, 3, 224, 224, 64, 7, 7, 2, 3, 1,
+                         DataType::kFloat16);
+    const auto &out = dag.stage(0).output;
+    // (224 + 6 - 7)/2 + 1 = 112
+    EXPECT_EQ(out.shape, (std::vector<int64_t>{1, 64, 112, 112}));
+}
+
+TEST(Ops, Conv2dStridedDilated)
+{
+    auto dag = ops::make_conv2d(1, 8, 28, 28, 8, 3, 3, 1, 2, 2,
+                                DataType::kFloat16);
+    const auto &out = dag.stage(0).output;
+    // pad 2: 32; effective kernel 5 => 28 outputs
+    EXPECT_EQ(out.shape[2], 28);
+}
+
+TEST(Ops, T2dPreservesMacCount)
+{
+    // Transposed conv op count equals N*CO*HO*WO*CI*R*S * 2.
+    auto w = ops::t2d(2, 16, 7, 7, 8, 4, 4, 2, 1);
+    auto dag = w.build();
+    const auto &out = dag.stage(0).output;
+    EXPECT_EQ(out.shape[0], 2);
+    EXPECT_EQ(out.shape[1], 8);
+    // h_out = (7-1)*2+1 + 2*(4-1-1) - 4 + 1 = 14
+    EXPECT_EQ(out.shape[2], 14);
+    EXPECT_GT(w.flops(), 0);
+}
+
+TEST(Ops, WorkloadLabelsAndBuilders)
+{
+    for (const auto &w : ops::tensorcore_op_suite()) {
+        auto dag = w.build();
+        EXPECT_GE(dag.num_stages(), 1u) << w.name;
+        EXPECT_GT(w.flops(), 0) << w.name;
+        EXPECT_FALSE(w.label().empty());
+    }
+}
+
+TEST(Ops, DlboostSuiteIsInt8)
+{
+    for (const auto &w : ops::dlboost_op_suite()) {
+        if (w.kind == ops::OpKind::kScan)
+            continue;
+        EXPECT_EQ(static_cast<int>(w.dtype),
+                  static_cast<int>(DataType::kInt8))
+            << w.name;
+    }
+}
+
+TEST(Ops, Table9MatchesPaperShapes)
+{
+    auto gemms = ops::table9_gemm();
+    ASSERT_EQ(gemms.size(), 5u);
+    EXPECT_EQ(gemms[0].params, (std::vector<int64_t>{1024, 1024,
+                                                     1024}));
+    EXPECT_EQ(gemms[4].params, (std::vector<int64_t>{32, 1000,
+                                                     4096}));
+    auto convs = ops::table9_conv();
+    ASSERT_EQ(convs.size(), 5u);
+    EXPECT_EQ(convs[0].name, "C1");
+    // C3: stride 2, 14x14 -> 7x7.
+    auto dag = convs[2].build();
+    EXPECT_EQ(dag.stage(0).output.shape[2], 7);
+}
+
+TEST(Networks, AllNetworksNonEmpty)
+{
+    for (const auto &net : ops::all_networks(16)) {
+        EXPECT_FALSE(net.layers.empty()) << net.name;
+        EXPECT_GT(net.total_flops(), int64_t{1} << 30) << net.name;
+        for (const auto &layer : net.layers)
+            EXPECT_GE(layer.count, 1);
+    }
+}
+
+TEST(Networks, Vgg16IsConvHeavy)
+{
+    auto net = ops::vgg16(16);
+    int convs = 0;
+    for (const auto &layer : net.layers)
+        convs += layer.workload.kind == ops::OpKind::kC2d;
+    EXPECT_GE(convs, 9);
+}
+
+TEST(Networks, BertIsGemmAndBmm)
+{
+    auto net = ops::bert(16, 128);
+    for (const auto &layer : net.layers) {
+        EXPECT_TRUE(layer.workload.kind == ops::OpKind::kGemm ||
+                    layer.workload.kind == ops::OpKind::kBmm);
+    }
+}
+
+} // namespace
+} // namespace heron::ir

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the GBDT regressor and the cost model wrapper.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csp/csp.h"
+#include "model/cost_model.h"
+#include "model/gbdt.h"
+#include "support/rng.h"
+
+namespace heron::model {
+namespace {
+
+Dataset
+make_linear_dataset(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset data;
+    for (int i = 0; i < n; ++i) {
+        float a = static_cast<float>(rng.uniform(0, 10));
+        float b = static_cast<float>(rng.uniform(0, 10));
+        float noise = static_cast<float>(rng.normal(0, 0.1));
+        data.x.push_back({a, b});
+        data.y.push_back(3.0f * a + noise);
+    }
+    return data;
+}
+
+TEST(Gbdt, FitsLinearFunction)
+{
+    auto train = make_linear_dataset(400, 1);
+    auto test = make_linear_dataset(100, 2);
+    GbdtRegressor model;
+    model.fit(train);
+    EXPECT_TRUE(model.trained());
+    // Target range is [0, 30]; a fitted model should do far better
+    // than predicting the mean (~7.5 MAE).
+    EXPECT_LT(model.mae(test), 2.5);
+}
+
+TEST(Gbdt, ImportanceIdentifiesPredictiveFeature)
+{
+    auto train = make_linear_dataset(400, 3);
+    GbdtRegressor model;
+    model.fit(train);
+    auto importance = model.feature_importance();
+    ASSERT_EQ(importance.size(), 2u);
+    // y depends only on feature 0.
+    EXPECT_GT(importance[0], 0.8);
+    EXPECT_LT(importance[1], 0.2);
+    EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(Gbdt, UntrainedPredictsZero)
+{
+    GbdtRegressor model;
+    EXPECT_FALSE(model.trained());
+    EXPECT_DOUBLE_EQ(model.predict({1.0f, 2.0f}), 0.0);
+}
+
+TEST(Gbdt, ConstantTargetYieldsConstantPrediction)
+{
+    Dataset data;
+    for (int i = 0; i < 50; ++i) {
+        data.x.push_back({static_cast<float>(i)});
+        data.y.push_back(5.0f);
+    }
+    GbdtRegressor model;
+    model.fit(data);
+    EXPECT_NEAR(model.predict({7.0f}), 5.0, 1e-3);
+    EXPECT_NEAR(model.predict({100.0f}), 5.0, 1e-3);
+}
+
+TEST(Gbdt, NonlinearInteraction)
+{
+    Rng rng(5);
+    Dataset train;
+    for (int i = 0; i < 600; ++i) {
+        float a = static_cast<float>(rng.uniform(0, 1));
+        float b = static_cast<float>(rng.uniform(0, 1));
+        train.x.push_back({a, b});
+        train.y.push_back(a > 0.5f && b > 0.5f ? 10.0f : 0.0f);
+    }
+    GbdtParams params;
+    params.num_trees = 50;
+    GbdtRegressor model(params);
+    model.fit(train);
+    EXPECT_GT(model.predict({0.9f, 0.9f}), 6.0);
+    EXPECT_LT(model.predict({0.1f, 0.1f}), 3.0);
+}
+
+TEST(ThroughputScore, Basics)
+{
+    EXPECT_DOUBLE_EQ(throughput_score(false, 1.0, 1000), 0.0);
+    EXPECT_DOUBLE_EQ(throughput_score(true, 0.0, 1000), 0.0);
+    double s1 = throughput_score(true, 1.0, 1'000'000'000);
+    double s2 = throughput_score(true, 0.5, 1'000'000'000);
+    EXPECT_GT(s2, s1); // faster is better
+    EXPECT_GT(s1, 0.0);
+}
+
+TEST(CostModel, KeyVariablesFallBackToTunables)
+{
+    csp::Csp problem;
+    problem.add_var("a", csp::Domain::of({1, 2}), true);
+    problem.add_var("b", csp::Domain::of({1, 2}), false);
+    problem.add_var("c", csp::Domain::of({1, 2}), true);
+    CostModel model(problem);
+    auto keys = model.key_variables(2);
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], problem.var_id("a"));
+    EXPECT_EQ(keys[1], problem.var_id("c"));
+}
+
+TEST(CostModel, LearnsFromSamples)
+{
+    csp::Csp problem;
+    auto x = problem.add_var(
+        "x", csp::Domain::of({1, 2, 4, 8, 16, 32, 64}), true);
+    auto y = problem.add_var(
+        "y", csp::Domain::of({1, 2, 4, 8, 16, 32, 64}), true);
+    CostModel model(problem);
+
+    // Performance depends on x only.
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        csp::Assignment a(2);
+        a[static_cast<size_t>(x)] = int64_t{1}
+                                    << rng.uniform_int(0, 6);
+        a[static_cast<size_t>(y)] = int64_t{1}
+                                    << rng.uniform_int(0, 6);
+        double score =
+            std::log2(1.0 + static_cast<double>(
+                                a[static_cast<size_t>(x)]));
+        model.add_scored_sample(a, score);
+    }
+    model.fit();
+    ASSERT_TRUE(model.trained());
+
+    csp::Assignment hi(2), lo(2);
+    hi[static_cast<size_t>(x)] = 64;
+    hi[static_cast<size_t>(y)] = 1;
+    lo[static_cast<size_t>(x)] = 1;
+    lo[static_cast<size_t>(y)] = 64;
+    EXPECT_GT(model.predict(hi), model.predict(lo));
+
+    auto keys = model.key_variables(1);
+    ASSERT_EQ(keys.size(), 1u);
+    EXPECT_EQ(keys[0], x);
+}
+
+} // namespace
+} // namespace heron::model

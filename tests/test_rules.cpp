@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for constrained space generation: template structure,
+ * constraint counts, solver round trips, binding, and validity of
+ * bound programs on the simulators.
+ */
+#include <gtest/gtest.h>
+
+#include "csp/solver.h"
+#include "hw/measurer.h"
+#include "ops/op_library.h"
+#include "rules/space_generator.h"
+#include "support/rng.h"
+
+namespace heron::rules {
+namespace {
+
+using csp::RandSatSolver;
+
+TEST(CanPartition, Basics)
+{
+    EXPECT_TRUE(can_partition(16, {32}));
+    EXPECT_TRUE(can_partition(16, {4, 8}));
+    EXPECT_TRUE(can_partition(8, {2, 2, 16}));
+    EXPECT_FALSE(can_partition(16, {5, 5}));
+    EXPECT_TRUE(can_partition(1, {}));
+    EXPECT_FALSE(can_partition(3, {8}));
+}
+
+TEST(SpaceGenerator, GemmTensorCoreTemplateShape)
+{
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::heron());
+    auto space = gen.generate(ops::gemm(512, 512, 512));
+
+    // Main stage + acc + store + (shared+frag) x 2 inputs = 7.
+    EXPECT_EQ(space.tmpl.stages.size(), 7u);
+    const auto &main = space.tmpl.stage("C");
+    EXPECT_TRUE(main.tensorized);
+    EXPECT_EQ(main.axes.size(), 3u);
+    EXPECT_EQ(main.axes[0].num_levels(), 5);
+    EXPECT_EQ(main.axes[2].num_levels(), 3); // reduce
+    EXPECT_GT(space.csp.num_constraints(), 50u);
+    EXPECT_GT(space.csp.tunable_vars().size(), 10u);
+}
+
+TEST(SpaceGenerator, StatsInPaperBallpark)
+{
+    // Paper Table 4/5: GEMM on TensorCore has ~173 vars and ~372
+    // constraints. Our encoding differs in detail; require the same
+    // order of magnitude.
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::heron());
+    auto space = gen.generate(ops::gemm(512, 1024, 1024));
+    EXPECT_GT(space.stats.total_vars(), 80);
+    EXPECT_LT(space.stats.total_vars(), 600);
+    EXPECT_GT(space.stats.constraints, 60);
+    EXPECT_GT(space.stats.tunable_vars, 10);
+    EXPECT_GT(space.stats.loop_vars, space.stats.tunable_vars);
+}
+
+TEST(SpaceGenerator, SolveBindMeasureRoundTrip)
+{
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::heron());
+    auto space = gen.generate(ops::gemm(512, 512, 512));
+
+    RandSatSolver solver(space.csp);
+    Rng rng(7);
+    hw::Measurer measurer(space.spec);
+    int measured = 0;
+    for (int i = 0; i < 20; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value()) << "solver failed at " << i;
+        auto program = space.bind(*a);
+        auto result = measurer.measure(program);
+        EXPECT_TRUE(result.valid) << result.error;
+        if (result.valid) {
+            EXPECT_GT(result.latency_ms, 0.0);
+            EXPECT_GT(result.gflops, 0.0);
+            ++measured;
+        }
+    }
+    EXPECT_EQ(measured, 20);
+}
+
+TEST(SpaceGenerator, ConvTensorCoreRoundTrip)
+{
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::heron());
+    auto space =
+        gen.generate(ops::c2d(16, 64, 28, 28, 64, 3, 3, 1, 1));
+
+    RandSatSolver solver(space.csp);
+    Rng rng(11);
+    hw::Measurer measurer(space.spec);
+    for (int i = 0; i < 10; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        auto program = space.bind(*a);
+        auto result = measurer.measure(program);
+        EXPECT_TRUE(result.valid) << result.error;
+    }
+}
+
+TEST(SpaceGenerator, BmmBatchAxisStaysOutOfIntrinsic)
+{
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::heron());
+    auto space = gen.generate(ops::bmm(16, 128, 128, 64));
+    const auto &main = space.tmpl.stage("C");
+    ASSERT_TRUE(main.tensorized);
+    // Batch axis (index 0) lost its intrinsic level.
+    EXPECT_EQ(main.axes[0].num_levels(), 4);
+    EXPECT_EQ(main.axes[1].num_levels(), 5);
+
+    RandSatSolver solver(space.csp);
+    Rng rng(13);
+    hw::Measurer measurer(space.spec);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto result = measurer.measure(space.bind(*a));
+    EXPECT_TRUE(result.valid) << result.error;
+}
+
+TEST(SpaceGenerator, GemvFallsBackToScalarPath)
+{
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::heron());
+    auto space = gen.generate(ops::gemv(4096, 4096));
+    const auto &main = space.tmpl.stage("y");
+    EXPECT_FALSE(main.tensorized);
+
+    RandSatSolver solver(space.csp);
+    Rng rng(17);
+    hw::Measurer measurer(space.spec);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto result = measurer.measure(space.bind(*a));
+    EXPECT_TRUE(result.valid) << result.error;
+}
+
+TEST(SpaceGenerator, ScanUsesStreamingTemplate)
+{
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::heron());
+    auto space =
+        gen.generate(ops::scan(512, 4096, ir::DataType::kFloat32));
+    const auto &main = space.tmpl.stage("S");
+    EXPECT_FALSE(main.tensorized);
+    // Sequential scan axis keeps a single serial level.
+    EXPECT_EQ(main.axes[1].num_levels(), 1);
+
+    RandSatSolver solver(space.csp);
+    Rng rng(19);
+    hw::Measurer measurer(space.spec);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto result = measurer.measure(space.bind(*a));
+    EXPECT_TRUE(result.valid) << result.error;
+}
+
+TEST(SpaceGenerator, DlBoostRoundTrip)
+{
+    SpaceGenerator gen(hw::DlaSpec::dlboost(), Options::heron());
+    auto space = gen.generate(
+        ops::gemm(512, 1024, 1024, ir::DataType::kInt8));
+    const auto &main = space.tmpl.stage("C");
+    EXPECT_TRUE(main.tensorized);
+
+    RandSatSolver solver(space.csp);
+    Rng rng(23);
+    hw::Measurer measurer(space.spec);
+    for (int i = 0; i < 10; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        auto result = measurer.measure(space.bind(*a));
+        EXPECT_TRUE(result.valid) << result.error;
+    }
+}
+
+TEST(SpaceGenerator, VtaRoundTrip)
+{
+    SpaceGenerator gen(hw::DlaSpec::vta(), Options::heron());
+    auto space = gen.generate(
+        ops::gemm(256, 256, 256, ir::DataType::kInt8));
+
+    RandSatSolver solver(space.csp);
+    Rng rng(29);
+    hw::Measurer measurer(space.spec);
+    for (int i = 0; i < 10; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        auto result = measurer.measure(space.bind(*a));
+        EXPECT_TRUE(result.valid) << result.error;
+    }
+}
+
+TEST(SpaceGenerator, SharedMemoryConstraintHolds)
+{
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::heron());
+    auto space = gen.generate(ops::gemm(1024, 1024, 1024));
+
+    RandSatSolver solver(space.csp);
+    Rng rng(31);
+    for (int i = 0; i < 15; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        auto program = space.bind(*a);
+        EXPECT_LE(program.scope_bytes(schedule::MemScope::kShared),
+                  space.spec.shared_capacity);
+    }
+}
+
+TEST(SpaceGenerator, AutoTvmFlavorHasNoMemoryConstraints)
+{
+    SpaceGenerator heron_gen(hw::DlaSpec::v100(), Options::heron());
+    SpaceGenerator autotvm_gen(hw::DlaSpec::v100(),
+                               Options::autotvm());
+    auto heron_space = heron_gen.generate(ops::gemm(512, 512, 512));
+    auto autotvm_space =
+        autotvm_gen.generate(ops::gemm(512, 512, 512));
+    EXPECT_LT(autotvm_space.csp.num_constraints(),
+              heron_space.csp.num_constraints());
+    EXPECT_LT(autotvm_space.tmpl.stage("C").axes[0].num_levels(),
+              heron_space.tmpl.stage("C").axes[0].num_levels());
+}
+
+TEST(SpaceGenerator, AnsorFlavorNotTensorized)
+{
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::ansor());
+    auto space = gen.generate(ops::gemm(512, 512, 512));
+    EXPECT_FALSE(space.tmpl.stage("C").tensorized);
+
+    RandSatSolver solver(space.csp);
+    Rng rng(37);
+    hw::Measurer measurer(space.spec);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto result = measurer.measure(space.bind(*a));
+    EXPECT_TRUE(result.valid) << result.error;
+}
+
+TEST(SpaceGenerator, Table5OperatorsAllGenerate)
+{
+    // Paper Table 5 lists GEMM, BMM, C1D, C2D, C3D.
+    SpaceGenerator gen(hw::DlaSpec::v100(), Options::heron());
+    std::vector<ops::Workload> workloads = {
+        ops::gemm(512, 512, 512),
+        ops::bmm(16, 128, 128, 64),
+        ops::c1d(16, 64, 256, 128, 3, 1, 1),
+        ops::c2d(16, 64, 28, 28, 64, 3, 3, 1, 1),
+        ops::c3d(4, 16, 16, 28, 28, 32, 3, 3, 3, 1, 1),
+    };
+    int prev_vars = 0;
+    for (const auto &w : workloads) {
+        auto space = gen.generate(w);
+        EXPECT_GT(space.stats.total_vars(), 50) << w.name;
+        EXPECT_GT(space.stats.constraints, 40) << w.name;
+        prev_vars = space.stats.total_vars();
+    }
+    (void)prev_vars;
+}
+
+} // namespace
+} // namespace heron::rules

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the schedule layer: primitives, templates, loop
+ * flattening, attach analysis, concrete-program helpers, and the
+ * pseudo-code printer.
+ */
+#include <gtest/gtest.h>
+
+#include "csp/solver.h"
+#include "ops/op_library.h"
+#include "rules/attach.h"
+#include "rules/space_generator.h"
+#include "schedule/concrete.h"
+#include "schedule/primitive.h"
+#include "support/rng.h"
+
+namespace heron::schedule {
+namespace {
+
+TEST(Primitive, ToStringSplit)
+{
+    Primitive p;
+    p.kind = PrimitiveKind::kSplit;
+    p.stage = "C";
+    p.loops = {"i"};
+    p.results = {"C.i.0", "C.i.1"};
+    p.param = "tile.C.i.1";
+    std::string s = p.to_string();
+    EXPECT_NE(s.find("split"), std::string::npos);
+    EXPECT_NE(s.find("tile.C.i.1"), std::string::npos);
+}
+
+TEST(Template, LevelNames)
+{
+    TiledAxis axis;
+    axis.name = "i";
+    axis.extent = 64;
+    axis.roles = {LoopRole::kGrid, LoopRole::kSerial};
+    EXPECT_EQ(axis.level_name("C", 1), "C.i.1");
+    EXPECT_EQ(axis.num_levels(), 2);
+}
+
+TEST(Template, DefaultFlattenOrder)
+{
+    StagePlan plan;
+    plan.name = "C";
+    TiledAxis i{"i", 8, false, {LoopRole::kGrid, LoopRole::kSerial}};
+    TiledAxis r{"r", 4, true, {LoopRole::kSerial}};
+    plan.axes = {i, r};
+    auto order = flatten_loop_order(plan);
+    ASSERT_EQ(order.size(), 3u);
+    // Level 0: spatial i, then reduce r; level 1: i.
+    EXPECT_EQ(order[0].axis, 0);
+    EXPECT_EQ(order[0].level, 0);
+    EXPECT_EQ(order[1].axis, 1);
+    EXPECT_EQ(order[2].axis, 0);
+    EXPECT_EQ(order[2].level, 1);
+}
+
+TEST(Template, ExplicitOrderWins)
+{
+    StagePlan plan;
+    plan.name = "C";
+    TiledAxis i{"i", 8, false, {LoopRole::kGrid}};
+    plan.axes = {i};
+    plan.loop_order = {LoopRef{0, 0}};
+    auto order = flatten_loop_order(plan);
+    EXPECT_EQ(order.size(), 1u);
+}
+
+TEST(Attach, CooperativeSharedRegionIncludesThreadLevels)
+{
+    // Two-level spatial + one reduce axis consumer.
+    StagePlan consumer;
+    consumer.name = "C";
+    TiledAxis i{"i",
+                64,
+                false,
+                {LoopRole::kGrid, LoopRole::kThread,
+                 LoopRole::kSerial}};
+    TiledAxis r{"r", 16, true,
+                {LoopRole::kSerial, LoopRole::kSerial}};
+    consumer.axes = {i, r};
+    consumer.loop_order = {LoopRef{0, 0}, LoopRef{0, 1},
+                           LoopRef{1, 0}, LoopRef{1, 1},
+                           LoopRef{0, 2}};
+    // Attach after r.0 (position 2).
+    auto info = rules::analyze_attach(consumer, MemScope::kShared,
+                                      StageRole::kCacheRead, 2);
+    // Region along i: thread level (cooperative) + serial level.
+    EXPECT_EQ(info.region_levels[0], (std::vector<int>{1, 2}));
+    // Region along r: inner reduce level only.
+    EXPECT_EQ(info.region_levels[1], std::vector<int>{1});
+    // Trips: grid level and r.0 (thread excluded: cooperative).
+    ASSERT_EQ(info.trip_loops.size(), 2u);
+    EXPECT_EQ(info.trip_loops[0].axis, 0);
+    EXPECT_EQ(info.trip_loops[0].level, 0);
+    EXPECT_EQ(info.trip_loops[1].axis, 1);
+    EXPECT_EQ(info.trip_loops[1].level, 0);
+}
+
+TEST(Attach, PrivateFragmentCountsThreadTrips)
+{
+    StagePlan consumer;
+    consumer.name = "C";
+    TiledAxis i{"i",
+                64,
+                false,
+                {LoopRole::kGrid, LoopRole::kThread,
+                 LoopRole::kSerial}};
+    consumer.axes = {i};
+    consumer.loop_order = {LoopRef{0, 0}, LoopRef{0, 1},
+                           LoopRef{0, 2}};
+    auto info = rules::analyze_attach(consumer, MemScope::kFragment,
+                                      StageRole::kCacheRead, 1);
+    // Region: only the serial level inside the attach point.
+    EXPECT_EQ(info.region_levels[0], std::vector<int>{2});
+    // Trips: grid and thread levels.
+    EXPECT_EQ(info.trip_loops.size(), 2u);
+}
+
+TEST(Attach, WriteStageSkipsReduceTrips)
+{
+    StagePlan consumer;
+    consumer.name = "C";
+    TiledAxis i{"i", 64, false,
+                {LoopRole::kGrid, LoopRole::kSerial}};
+    TiledAxis r{"r", 16, true, {LoopRole::kSerial}};
+    consumer.axes = {i, r};
+    consumer.loop_order = {LoopRef{0, 0}, LoopRef{1, 0},
+                           LoopRef{0, 1}};
+    auto info = rules::analyze_attach(consumer, MemScope::kGlobal,
+                                      StageRole::kCacheWrite, 1);
+    // Only the grid loop multiplies stores; the reduce loop does
+    // not re-store.
+    ASSERT_EQ(info.trip_loops.size(), 1u);
+    EXPECT_EQ(info.trip_loops[0].axis, 0);
+}
+
+TEST(Concrete, RoleProductAndExtent)
+{
+    ConcreteStage s;
+    s.axis_names = {"i", "j"};
+    s.axis_reduce = {false, false};
+    s.tile = {{4, 8}, {2, 16}};
+    s.roles = {{LoopRole::kGrid, LoopRole::kSerial},
+               {LoopRole::kGrid, LoopRole::kSerial}};
+    EXPECT_EQ(s.role_product(LoopRole::kGrid), 8);
+    EXPECT_EQ(s.role_product(LoopRole::kSerial), 128);
+    EXPECT_EQ(s.axis_extent(0), 32);
+    EXPECT_EQ(s.level_length(1, 1), 16);
+}
+
+TEST(Concrete, TileBytesWithPadding)
+{
+    ConcreteStage s;
+    s.tile_elements = 64 * 8; // 8 rows of 64
+    s.row_elements = 64;
+    s.bytes_per_element = 2;
+    s.storage_align_pad = 0;
+    EXPECT_EQ(s.tile_bytes(), 64 * 8 * 2);
+    s.storage_align_pad = 8;
+    EXPECT_EQ(s.tile_bytes(), (64 + 8) * 8 * 2);
+}
+
+TEST(Concrete, ScopeBytesSums)
+{
+    ConcreteProgram p;
+    ConcreteStage main;
+    main.name = "C";
+    main.role = StageRole::kMain;
+    p.stages.push_back(main);
+    ConcreteStage a;
+    a.name = "A.shared";
+    a.role = StageRole::kCacheRead;
+    a.scope = MemScope::kShared;
+    a.tile_elements = 100;
+    a.row_elements = 100;
+    a.bytes_per_element = 2;
+    p.stages.push_back(a);
+    ConcreteStage b = a;
+    b.name = "B.shared";
+    b.tile_elements = 50;
+    b.row_elements = 50;
+    p.stages.push_back(b);
+    EXPECT_EQ(p.scope_bytes(MemScope::kShared), 300);
+    EXPECT_EQ(p.scope_bytes(MemScope::kFragment), 0);
+    EXPECT_EQ(&p.main_stage(), &p.stages[0]);
+}
+
+TEST(Printer, EmitsLoopsAndIntrinsic)
+{
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    auto space = gen.generate(ops::gemm(256, 256, 256));
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(3);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto program = space.bind(*a);
+    std::string code = print_pseudo_code(program);
+    EXPECT_NE(code.find("grid("), std::string::npos);
+    EXPECT_NE(code.find("mma_sync"), std::string::npos);
+    EXPECT_NE(code.find("shared"), std::string::npos);
+    // Structural dump also works.
+    EXPECT_NE(program.to_string().find("tensorize"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace heron::schedule

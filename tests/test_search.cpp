@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the search algorithms: each finds valid programs,
+ * respects the trial budget, improves monotonically, and CGA
+ * explores the constrained space more effectively than the
+ * unconstrained baselines.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/measurer.h"
+#include "ops/op_library.h"
+#include "rules/space_generator.h"
+#include "search/algorithms.h"
+#include "search/cga.h"
+
+namespace heron::search {
+namespace {
+
+rules::GeneratedSpace
+gemm_space()
+{
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    return gen.generate(ops::gemm(512, 512, 512));
+}
+
+SearchConfig
+small_config(uint64_t seed)
+{
+    SearchConfig config;
+    config.trials = 60;
+    config.population = 10;
+    config.seed = seed;
+    return config;
+}
+
+void
+check_result(const SearchResult &result, int trials)
+{
+    EXPECT_EQ(result.total_measured, trials);
+    EXPECT_EQ(result.history.size(), static_cast<size_t>(trials));
+    // History is the best-so-far curve: non-decreasing.
+    for (size_t i = 1; i < result.history.size(); ++i)
+        EXPECT_GE(result.history[i], result.history[i - 1]);
+}
+
+TEST(Search, RandomSearchFindsValidPrograms)
+{
+    auto space = gemm_space();
+    hw::Measurer measurer(space.spec);
+    auto result = random_search(space, measurer, small_config(1));
+    check_result(result, 60);
+    EXPECT_TRUE(result.found());
+    EXPECT_GT(result.best_gflops, 0.0);
+    // RAND samples only valid programs.
+    EXPECT_EQ(result.valid_count, result.total_measured);
+}
+
+TEST(Search, SimulatedAnnealingRuns)
+{
+    auto space = gemm_space();
+    hw::Measurer measurer(space.spec);
+    auto result =
+        simulated_annealing(space, measurer, small_config(2));
+    check_result(result, 60);
+    EXPECT_TRUE(result.found());
+}
+
+TEST(Search, GeneticAlgorithmRuns)
+{
+    auto space = gemm_space();
+    hw::Measurer measurer(space.spec);
+    auto result =
+        genetic_algorithm(space, measurer, small_config(3));
+    check_result(result, 60);
+    EXPECT_TRUE(result.found());
+}
+
+TEST(Search, UnconstrainedNeighborsOftenInvalid)
+{
+    // The key observation behind CGA: random gene changes in a
+    // heavily constrained space usually break constraints.
+    auto space = gemm_space();
+    hw::Measurer measurer(space.spec);
+    auto result =
+        simulated_annealing(space, measurer, small_config(4));
+    EXPECT_LT(result.valid_count, result.total_measured);
+}
+
+TEST(Search, CgaAllOffspringValid)
+{
+    auto space = gemm_space();
+    hw::Measurer measurer(space.spec);
+    auto result = cga_search(space, measurer, small_config(5));
+    check_result(result, 60);
+    EXPECT_TRUE(result.found());
+    // Constraint-based crossover/mutation preserves validity.
+    EXPECT_EQ(result.valid_count, result.total_measured);
+}
+
+TEST(Search, Cga1RunsWithRandomKeys)
+{
+    auto space = gemm_space();
+    hw::Measurer measurer(space.spec);
+    auto result = cga_search(space, measurer, small_config(6), true);
+    check_result(result, 60);
+    EXPECT_TRUE(result.found());
+    EXPECT_EQ(result.valid_count, result.total_measured);
+}
+
+TEST(Search, StochasticRankingGaRuns)
+{
+    auto space = gemm_space();
+    hw::Measurer measurer(space.spec);
+    auto result =
+        stochastic_ranking_ga(space, measurer, small_config(7));
+    check_result(result, 60);
+    EXPECT_TRUE(result.found());
+}
+
+TEST(Search, SatDecoderGaAlwaysValid)
+{
+    auto space = gemm_space();
+    hw::Measurer measurer(space.spec);
+    auto result = sat_decoder_ga(space, measurer, small_config(8));
+    check_result(result, 60);
+    EXPECT_TRUE(result.found());
+    // The decoder repairs every genotype into a feasible phenotype.
+    EXPECT_EQ(result.valid_count, result.total_measured);
+}
+
+TEST(Search, MultiObjectiveGaRuns)
+{
+    auto space = gemm_space();
+    hw::Measurer measurer(space.spec);
+    auto result =
+        multi_objective_ga(space, measurer, small_config(9));
+    check_result(result, 60);
+    EXPECT_TRUE(result.found());
+}
+
+TEST(Search, CgaBeatsUnconstrainedBaselinesOnAverage)
+{
+    auto space = gemm_space();
+    SearchConfig config;
+    config.trials = 150;
+    config.population = 16;
+
+    double cga_sum = 0, ga_sum = 0, sa_sum = 0;
+    const int repeats = 3;
+    for (int r = 0; r < repeats; ++r) {
+        config.seed = 100 + static_cast<uint64_t>(r);
+        hw::Measurer m1(space.spec), m2(space.spec), m3(space.spec);
+        cga_sum += cga_search(space, m1, config).best_gflops;
+        ga_sum += genetic_algorithm(space, m2, config).best_gflops;
+        sa_sum += simulated_annealing(space, m3, config).best_gflops;
+    }
+    EXPECT_GT(cga_sum, ga_sum);
+    EXPECT_GT(cga_sum, sa_sum);
+}
+
+TEST(Search, RouletteSelectRespectsFitness)
+{
+    Rng rng(11);
+    std::vector<csp::Assignment> pop = {{1}, {2}, {3}};
+    std::vector<double> fitness = {0.0, 10.0, 0.0};
+    auto selected = roulette_select(pop, fitness, 50, rng);
+    ASSERT_EQ(selected.size(), 50u);
+    for (const auto &s : selected)
+        EXPECT_EQ(s[0], 2);
+}
+
+TEST(Search, CompleteAssignmentRejectsInconsistentGenes)
+{
+    auto space = gemm_space();
+    TunableView view(space.csp);
+    // All-max genes violate the extent products almost surely.
+    Chromosome genes;
+    for (size_t i = 0; i < view.size(); ++i)
+        genes.push_back(view.domain(i).back());
+    auto completed = complete_assignment(space.csp, view, genes);
+    EXPECT_FALSE(completed.has_value());
+}
+
+TEST(Search, CompleteAssignmentRoundTripsValidGenes)
+{
+    auto space = gemm_space();
+    TunableView view(space.csp);
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(13);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto genes = view.from_assignment(*a);
+    auto completed = complete_assignment(space.csp, view, genes);
+    ASSERT_TRUE(completed.has_value());
+    EXPECT_TRUE(space.csp.valid(*completed));
+    // Tunable genes survive the round trip.
+    for (size_t i = 0; i < view.size(); ++i)
+        EXPECT_EQ((*completed)[static_cast<size_t>(view.var(i))],
+                  genes[i]);
+}
+
+TEST(Search, SolveWithPreferencesHitsFeasibleTargets)
+{
+    auto space = gemm_space();
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(17);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    // Prefer exactly a known-feasible solution: decode must
+    // reproduce it.
+    std::unordered_map<csp::VarId, int64_t> prefs;
+    for (csp::VarId v : space.csp.tunable_vars())
+        prefs[v] = (*a)[static_cast<size_t>(v)];
+    auto decoded = solve_with_preferences(space.csp, prefs, rng);
+    ASSERT_TRUE(decoded.has_value());
+    for (csp::VarId v : space.csp.tunable_vars())
+        EXPECT_EQ((*decoded)[static_cast<size_t>(v)],
+                  (*a)[static_cast<size_t>(v)]);
+}
+
+} // namespace
+} // namespace heron::search

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the support library: RNG determinism and sampling,
+ * math helpers, statistics, and table rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/math_util.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace heron {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniform_int(-3, 9);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(7);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.uniform_int(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i)
+        s.push(rng.normal(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ShufflePermutes)
+{
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng rng(19);
+    std::vector<double> w{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        counts[rng.weighted_index(w)]++;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.05);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform)
+{
+    Rng rng(23);
+    std::vector<double> w{0.0, 0.0};
+    std::set<size_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(rng.weighted_index(w));
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceil_div(10, 3), 4);
+    EXPECT_EQ(ceil_div(9, 3), 3);
+    EXPECT_EQ(ceil_div(1, 5), 1);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(round_up(10, 4), 12);
+    EXPECT_EQ(round_up(8, 4), 8);
+}
+
+TEST(MathUtil, IsPow2)
+{
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(64));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(MathUtil, Ilog2)
+{
+    EXPECT_EQ(ilog2(1), 0);
+    EXPECT_EQ(ilog2(2), 1);
+    EXPECT_EQ(ilog2(1023), 9);
+    EXPECT_EQ(ilog2(1024), 10);
+}
+
+TEST(MathUtil, Gcd)
+{
+    EXPECT_EQ(gcd64(12, 18), 6);
+    EXPECT_EQ(gcd64(7, 13), 1);
+    EXPECT_EQ(gcd64(0, 5), 5);
+}
+
+TEST(MathUtil, DivisorsOfTwelve)
+{
+    std::vector<int64_t> expected{1, 2, 3, 4, 6, 12};
+    EXPECT_EQ(divisors(12), expected);
+}
+
+TEST(MathUtil, DivisorsOfPrime)
+{
+    std::vector<int64_t> expected{1, 13};
+    EXPECT_EQ(divisors(13), expected);
+}
+
+TEST(MathUtil, DivisorsOfOne)
+{
+    std::vector<int64_t> expected{1};
+    EXPECT_EQ(divisors(1), expected);
+}
+
+TEST(MathUtil, CheckedProductSaturates)
+{
+    std::vector<int64_t> big{int64_t{1} << 40, int64_t{1} << 40};
+    EXPECT_EQ(checked_product(big),
+              std::numeric_limits<int64_t>::max());
+    std::vector<int64_t> small{3, 4, 5};
+    EXPECT_EQ(checked_product(small), 60);
+}
+
+TEST(Stats, RunningStatBasics)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    std::string s = t.to_string();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    TextTable t({"a", "b"});
+    t.add_row({"x,y", "plain"});
+    std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, FmtHelpers)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(int64_t{42}), "42");
+}
+
+} // namespace
+} // namespace heron

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the TPU archetype extension: spec, generation, the
+ * unified-buffer constraint from paper Table 3, simulator validity,
+ * and end-to-end tuning.
+ */
+#include <gtest/gtest.h>
+
+#include "autotune/tuner.h"
+#include "csp/solver.h"
+#include "hw/measurer.h"
+#include "rules/space_generator.h"
+
+namespace heron {
+namespace {
+
+ops::Workload
+tpu_gemm(int64_t m = 1024, int64_t n = 1024, int64_t k = 1024)
+{
+    return ops::gemm(m, n, k, ir::DataType::kInt8);
+}
+
+TEST(Tpu, SpecMatchesTable3)
+{
+    auto spec = hw::DlaSpec::tpu();
+    EXPECT_EQ(spec.kind, hw::DlaKind::kTpu);
+    EXPECT_EQ(spec.fixed_m, 1);
+    EXPECT_EQ(spec.fixed_n, 256);
+    EXPECT_EQ(spec.fixed_k, 256);
+    EXPECT_EQ(spec.input_buffer_capacity, 4 * 1024 * 1024);
+}
+
+TEST(Tpu, TensorizabilityRequires256Carving)
+{
+    auto spec = hw::DlaSpec::tpu();
+    EXPECT_TRUE(rules::workload_tensorizable(spec, tpu_gemm()));
+    // n = 100 cannot carve out 256.
+    EXPECT_FALSE(rules::workload_tensorizable(
+        spec, tpu_gemm(1024, 100, 1024)));
+}
+
+TEST(Tpu, GenerateSolveBindMeasure)
+{
+    auto spec = hw::DlaSpec::tpu();
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space = gen.generate(tpu_gemm());
+    EXPECT_GT(space.csp.num_constraints(), 20u);
+
+    csp::RandSatSolver solver(space.csp);
+    hw::Measurer measurer(spec);
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        auto program = space.bind(*a);
+        auto r = measurer.measure(program);
+        EXPECT_TRUE(r.valid) << r.error;
+        // The Table 3 capacity constraint holds by construction.
+        EXPECT_LE(
+            program.scope_bytes(schedule::MemScope::kInputBuffer),
+            spec.input_buffer_capacity);
+    }
+}
+
+TEST(Tpu, SimulatorRejectsWrongIntrinsic)
+{
+    auto spec = hw::DlaSpec::tpu();
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space = gen.generate(tpu_gemm());
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(5);
+    auto a = solver.solve_one(rng);
+    ASSERT_TRUE(a.has_value());
+    auto program = space.bind(*a);
+    auto sim = hw::make_simulator(spec);
+    ASSERT_EQ(sim->check(program), "");
+    program.stages[0].intrinsic_n = 16;
+    EXPECT_NE(sim->check(program).find("matrix unit"),
+              std::string::npos);
+}
+
+TEST(Tpu, HeronTunesEndToEnd)
+{
+    autotune::TuneConfig config;
+    config.trials = 40;
+    auto tuner = autotune::make_heron_tuner(hw::DlaSpec::tpu(),
+                                            config);
+    ASSERT_TRUE(tuner->supports(tpu_gemm()));
+    EXPECT_FALSE(tuner->supports(tpu_gemm(1024, 100, 1024)));
+    auto outcome = tuner->tune(tpu_gemm());
+    EXPECT_TRUE(outcome.result.found());
+    EXPECT_EQ(outcome.result.valid_count,
+              outcome.result.total_measured);
+    EXPECT_GT(outcome.result.best_gflops, 0.0);
+}
+
+TEST(Tpu, DeeperBufferTilesAmortizePipeline)
+{
+    // The systolic model rewards batch depth: compare two bound
+    // programs differing in buffer-level m depth.
+    auto spec = hw::DlaSpec::tpu();
+    rules::SpaceGenerator gen(spec, rules::Options::heron());
+    auto space = gen.generate(tpu_gemm());
+    csp::RandSatSolver solver(space.csp);
+    auto sim = hw::make_simulator(spec);
+    Rng rng(7);
+    double shallow_best = 1e18, deep_best = 1e18;
+    for (int i = 0; i < 60; ++i) {
+        auto a = solver.solve_one(rng);
+        ASSERT_TRUE(a.has_value());
+        auto program = space.bind(*a);
+        if (!sim->check(program).empty())
+            continue;
+        const auto &main = program.main_stage();
+        int64_t depth = 1;
+        for (size_t ax = 0; ax < main.tile.size(); ++ax)
+            if (!main.axis_reduce[ax])
+                for (size_t l = 0; l < main.tile[ax].size(); ++l)
+                    if (main.roles[ax][l] ==
+                        schedule::LoopRole::kBuffer)
+                        depth *= main.tile[ax][l];
+        double ms = sim->latency_ms(program);
+        if (depth >= 64)
+            deep_best = std::min(deep_best, ms);
+        if (depth <= 2)
+            shallow_best = std::min(shallow_best, ms);
+    }
+    if (shallow_best < 1e18 && deep_best < 1e18) {
+        EXPECT_LT(deep_best, shallow_best);
+    }
+}
+
+} // namespace
+} // namespace heron
