@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_model_guidance.dir/abl_model_guidance.cpp.o"
+  "CMakeFiles/abl_model_guidance.dir/abl_model_guidance.cpp.o.d"
+  "abl_model_guidance"
+  "abl_model_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rule_ablation.dir/abl_rule_ablation.cpp.o"
+  "CMakeFiles/abl_rule_ablation.dir/abl_rule_ablation.cpp.o.d"
+  "abl_rule_ablation"
+  "abl_rule_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rule_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

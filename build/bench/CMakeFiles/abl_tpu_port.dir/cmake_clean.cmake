@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tpu_port.dir/abl_tpu_port.cpp.o"
+  "CMakeFiles/abl_tpu_port.dir/abl_tpu_port.cpp.o.d"
+  "abl_tpu_port"
+  "abl_tpu_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tpu_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

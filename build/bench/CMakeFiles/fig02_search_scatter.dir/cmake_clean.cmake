@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_search_scatter.dir/fig02_search_scatter.cpp.o"
+  "CMakeFiles/fig02_search_scatter.dir/fig02_search_scatter.cpp.o.d"
+  "fig02_search_scatter"
+  "fig02_search_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_search_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_tensorcore_ops.dir/fig06_tensorcore_ops.cpp.o"
+  "CMakeFiles/fig06_tensorcore_ops.dir/fig06_tensorcore_ops.cpp.o.d"
+  "fig06_tensorcore_ops"
+  "fig06_tensorcore_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_tensorcore_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

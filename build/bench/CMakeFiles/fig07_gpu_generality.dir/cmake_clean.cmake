@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_gpu_generality.dir/fig07_gpu_generality.cpp.o"
+  "CMakeFiles/fig07_gpu_generality.dir/fig07_gpu_generality.cpp.o.d"
+  "fig07_gpu_generality"
+  "fig07_gpu_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_gpu_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dlboost_ops.dir/fig08_dlboost_ops.cpp.o"
+  "CMakeFiles/fig08_dlboost_ops.dir/fig08_dlboost_ops.cpp.o.d"
+  "fig08_dlboost_ops"
+  "fig08_dlboost_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dlboost_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vta_ops.dir/fig09_vta_ops.cpp.o"
+  "CMakeFiles/fig09_vta_ops.dir/fig09_vta_ops.cpp.o.d"
+  "fig09_vta_ops"
+  "fig09_vta_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vta_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_networks.dir/fig10_networks.cpp.o"
+  "CMakeFiles/fig10_networks.dir/fig10_networks.cpp.o.d"
+  "fig10_networks"
+  "fig10_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

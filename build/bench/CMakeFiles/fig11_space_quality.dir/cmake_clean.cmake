@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_space_quality.dir/fig11_space_quality.cpp.o"
+  "CMakeFiles/fig11_space_quality.dir/fig11_space_quality.cpp.o.d"
+  "fig11_space_quality"
+  "fig11_space_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_space_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

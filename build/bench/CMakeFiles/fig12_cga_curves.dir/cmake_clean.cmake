@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cga_curves.dir/fig12_cga_curves.cpp.o"
+  "CMakeFiles/fig12_cga_curves.dir/fig12_cga_curves.cpp.o.d"
+  "fig12_cga_curves"
+  "fig12_cga_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cga_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_constraint_handling.dir/fig13_constraint_handling.cpp.o"
+  "CMakeFiles/fig13_constraint_handling.dir/fig13_constraint_handling.cpp.o.d"
+  "fig13_constraint_handling"
+  "fig13_constraint_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_constraint_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_05_space_stats.dir/tab04_05_space_stats.cpp.o"
+  "CMakeFiles/tab04_05_space_stats.dir/tab04_05_space_stats.cpp.o.d"
+  "tab04_05_space_stats"
+  "tab04_05_space_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_05_space_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab10_fig14_compile_time.dir/tab10_fig14_compile_time.cpp.o"
+  "CMakeFiles/tab10_fig14_compile_time.dir/tab10_fig14_compile_time.cpp.o.d"
+  "tab10_fig14_compile_time"
+  "tab10_fig14_compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab10_fig14_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

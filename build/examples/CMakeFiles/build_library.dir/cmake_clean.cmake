@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_library.dir/build_library.cpp.o"
+  "CMakeFiles/build_library.dir/build_library.cpp.o.d"
+  "build_library"
+  "build_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

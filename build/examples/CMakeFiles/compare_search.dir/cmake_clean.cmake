@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_search.dir/compare_search.cpp.o"
+  "CMakeFiles/compare_search.dir/compare_search.cpp.o.d"
+  "compare_search"
+  "compare_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

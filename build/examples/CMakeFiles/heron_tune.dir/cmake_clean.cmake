@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_tune.dir/heron_tune.cpp.o"
+  "CMakeFiles/heron_tune.dir/heron_tune.cpp.o.d"
+  "heron_tune"
+  "heron_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_new_dla.dir/port_new_dla.cpp.o"
+  "CMakeFiles/port_new_dla.dir/port_new_dla.cpp.o.d"
+  "port_new_dla"
+  "port_new_dla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_new_dla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for port_new_dla.
+# This may be replaced when dependencies are built.

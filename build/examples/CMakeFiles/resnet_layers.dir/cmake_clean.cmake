@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_layers.dir/resnet_layers.cpp.o"
+  "CMakeFiles/resnet_layers.dir/resnet_layers.cpp.o.d"
+  "resnet_layers"
+  "resnet_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

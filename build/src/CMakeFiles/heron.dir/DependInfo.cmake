@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autotune/library.cpp" "src/CMakeFiles/heron.dir/autotune/library.cpp.o" "gcc" "src/CMakeFiles/heron.dir/autotune/library.cpp.o.d"
+  "/root/repo/src/autotune/network.cpp" "src/CMakeFiles/heron.dir/autotune/network.cpp.o" "gcc" "src/CMakeFiles/heron.dir/autotune/network.cpp.o.d"
+  "/root/repo/src/autotune/record.cpp" "src/CMakeFiles/heron.dir/autotune/record.cpp.o" "gcc" "src/CMakeFiles/heron.dir/autotune/record.cpp.o.d"
+  "/root/repo/src/autotune/tuner.cpp" "src/CMakeFiles/heron.dir/autotune/tuner.cpp.o" "gcc" "src/CMakeFiles/heron.dir/autotune/tuner.cpp.o.d"
+  "/root/repo/src/codegen/emitter.cpp" "src/CMakeFiles/heron.dir/codegen/emitter.cpp.o" "gcc" "src/CMakeFiles/heron.dir/codegen/emitter.cpp.o.d"
+  "/root/repo/src/csp/csp.cpp" "src/CMakeFiles/heron.dir/csp/csp.cpp.o" "gcc" "src/CMakeFiles/heron.dir/csp/csp.cpp.o.d"
+  "/root/repo/src/csp/domain.cpp" "src/CMakeFiles/heron.dir/csp/domain.cpp.o" "gcc" "src/CMakeFiles/heron.dir/csp/domain.cpp.o.d"
+  "/root/repo/src/csp/propagate.cpp" "src/CMakeFiles/heron.dir/csp/propagate.cpp.o" "gcc" "src/CMakeFiles/heron.dir/csp/propagate.cpp.o.d"
+  "/root/repo/src/csp/solver.cpp" "src/CMakeFiles/heron.dir/csp/solver.cpp.o" "gcc" "src/CMakeFiles/heron.dir/csp/solver.cpp.o.d"
+  "/root/repo/src/hw/dla_spec.cpp" "src/CMakeFiles/heron.dir/hw/dla_spec.cpp.o" "gcc" "src/CMakeFiles/heron.dir/hw/dla_spec.cpp.o.d"
+  "/root/repo/src/hw/dlboost_sim.cpp" "src/CMakeFiles/heron.dir/hw/dlboost_sim.cpp.o" "gcc" "src/CMakeFiles/heron.dir/hw/dlboost_sim.cpp.o.d"
+  "/root/repo/src/hw/measurer.cpp" "src/CMakeFiles/heron.dir/hw/measurer.cpp.o" "gcc" "src/CMakeFiles/heron.dir/hw/measurer.cpp.o.d"
+  "/root/repo/src/hw/simulator.cpp" "src/CMakeFiles/heron.dir/hw/simulator.cpp.o" "gcc" "src/CMakeFiles/heron.dir/hw/simulator.cpp.o.d"
+  "/root/repo/src/hw/tensorcore_sim.cpp" "src/CMakeFiles/heron.dir/hw/tensorcore_sim.cpp.o" "gcc" "src/CMakeFiles/heron.dir/hw/tensorcore_sim.cpp.o.d"
+  "/root/repo/src/hw/tpu_sim.cpp" "src/CMakeFiles/heron.dir/hw/tpu_sim.cpp.o" "gcc" "src/CMakeFiles/heron.dir/hw/tpu_sim.cpp.o.d"
+  "/root/repo/src/hw/vta_sim.cpp" "src/CMakeFiles/heron.dir/hw/vta_sim.cpp.o" "gcc" "src/CMakeFiles/heron.dir/hw/vta_sim.cpp.o.d"
+  "/root/repo/src/ir/dag.cpp" "src/CMakeFiles/heron.dir/ir/dag.cpp.o" "gcc" "src/CMakeFiles/heron.dir/ir/dag.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/heron.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/heron.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/stage.cpp" "src/CMakeFiles/heron.dir/ir/stage.cpp.o" "gcc" "src/CMakeFiles/heron.dir/ir/stage.cpp.o.d"
+  "/root/repo/src/ir/tensor.cpp" "src/CMakeFiles/heron.dir/ir/tensor.cpp.o" "gcc" "src/CMakeFiles/heron.dir/ir/tensor.cpp.o.d"
+  "/root/repo/src/model/cost_model.cpp" "src/CMakeFiles/heron.dir/model/cost_model.cpp.o" "gcc" "src/CMakeFiles/heron.dir/model/cost_model.cpp.o.d"
+  "/root/repo/src/model/gbdt.cpp" "src/CMakeFiles/heron.dir/model/gbdt.cpp.o" "gcc" "src/CMakeFiles/heron.dir/model/gbdt.cpp.o.d"
+  "/root/repo/src/ops/networks.cpp" "src/CMakeFiles/heron.dir/ops/networks.cpp.o" "gcc" "src/CMakeFiles/heron.dir/ops/networks.cpp.o.d"
+  "/root/repo/src/ops/op_library.cpp" "src/CMakeFiles/heron.dir/ops/op_library.cpp.o" "gcc" "src/CMakeFiles/heron.dir/ops/op_library.cpp.o.d"
+  "/root/repo/src/rules/attach.cpp" "src/CMakeFiles/heron.dir/rules/attach.cpp.o" "gcc" "src/CMakeFiles/heron.dir/rules/attach.cpp.o.d"
+  "/root/repo/src/rules/binder.cpp" "src/CMakeFiles/heron.dir/rules/binder.cpp.o" "gcc" "src/CMakeFiles/heron.dir/rules/binder.cpp.o.d"
+  "/root/repo/src/rules/space_generator.cpp" "src/CMakeFiles/heron.dir/rules/space_generator.cpp.o" "gcc" "src/CMakeFiles/heron.dir/rules/space_generator.cpp.o.d"
+  "/root/repo/src/schedule/concrete.cpp" "src/CMakeFiles/heron.dir/schedule/concrete.cpp.o" "gcc" "src/CMakeFiles/heron.dir/schedule/concrete.cpp.o.d"
+  "/root/repo/src/schedule/primitive.cpp" "src/CMakeFiles/heron.dir/schedule/primitive.cpp.o" "gcc" "src/CMakeFiles/heron.dir/schedule/primitive.cpp.o.d"
+  "/root/repo/src/schedule/template.cpp" "src/CMakeFiles/heron.dir/schedule/template.cpp.o" "gcc" "src/CMakeFiles/heron.dir/schedule/template.cpp.o.d"
+  "/root/repo/src/search/algorithms.cpp" "src/CMakeFiles/heron.dir/search/algorithms.cpp.o" "gcc" "src/CMakeFiles/heron.dir/search/algorithms.cpp.o.d"
+  "/root/repo/src/search/cga.cpp" "src/CMakeFiles/heron.dir/search/cga.cpp.o" "gcc" "src/CMakeFiles/heron.dir/search/cga.cpp.o.d"
+  "/root/repo/src/search/common.cpp" "src/CMakeFiles/heron.dir/search/common.cpp.o" "gcc" "src/CMakeFiles/heron.dir/search/common.cpp.o.d"
+  "/root/repo/src/support/logging.cpp" "src/CMakeFiles/heron.dir/support/logging.cpp.o" "gcc" "src/CMakeFiles/heron.dir/support/logging.cpp.o.d"
+  "/root/repo/src/support/math_util.cpp" "src/CMakeFiles/heron.dir/support/math_util.cpp.o" "gcc" "src/CMakeFiles/heron.dir/support/math_util.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/heron.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/heron.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/heron.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/heron.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/heron.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/heron.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

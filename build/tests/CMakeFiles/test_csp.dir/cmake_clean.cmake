@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csp.dir/test_csp.cpp.o"
+  "CMakeFiles/test_csp.dir/test_csp.cpp.o.d"
+  "test_csp"
+  "test_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csp_property.dir/test_csp_property.cpp.o"
+  "CMakeFiles/test_csp_property.dir/test_csp_property.cpp.o.d"
+  "test_csp_property"
+  "test_csp_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csp_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpu.dir/test_tpu.cpp.o"
+  "CMakeFiles/test_tpu.dir/test_tpu.cpp.o.d"
+  "test_tpu"
+  "test_tpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_autotune "/root/repo/build/tests/test_autotune")
+set_tests_properties(test_autotune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_codegen "/root/repo/build/tests/test_codegen")
+set_tests_properties(test_codegen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_csp "/root/repo/build/tests/test_csp")
+set_tests_properties(test_csp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_csp_property "/root/repo/build/tests/test_csp_property")
+set_tests_properties(test_csp_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hw "/root/repo/build/tests/test_hw")
+set_tests_properties(test_hw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ir "/root/repo/build/tests/test_ir")
+set_tests_properties(test_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_model "/root/repo/build/tests/test_model")
+set_tests_properties(test_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rules "/root/repo/build/tests/test_rules")
+set_tests_properties(test_rules PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_schedule "/root/repo/build/tests/test_schedule")
+set_tests_properties(test_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_search "/root/repo/build/tests/test_search")
+set_tests_properties(test_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tpu "/root/repo/build/tests/test_tpu")
+set_tests_properties(test_tpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;0;")
