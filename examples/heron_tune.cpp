@@ -12,6 +12,13 @@
  *              --shape M,N,K (operator-specific parameter list)
  *              [--trials N] [--seed S] [--tuner heron|autotvm|
  *               ansor|amos|akg|vendor] [--log FILE] [--emit]
+ *              [--journal FILE] [--fault-transient RATE]
+ *              [--fault-timeout RATE]
+ *
+ * --journal keeps a flushed JSONL record of every measurement;
+ * re-running the same command after a crash resumes from it
+ * bit-identically. The --fault-* flags inject seeded measurement
+ * faults to exercise the retry/timeout machinery.
  *
  * Examples:
  *   heron_tune --dla v100 --op gemm --shape 512,1024,1024
@@ -42,6 +49,9 @@ struct CliArgs {
     int trials = 200;
     uint64_t seed = 1;
     std::string log_path;
+    std::string journal_path;
+    double fault_transient = 0.0;
+    double fault_timeout = 0.0;
     bool emit = false;
 };
 
@@ -55,7 +65,9 @@ usage(const char *msg)
                  " --shape <comma-separated>"
                  " [--trials N] [--seed S]"
                  " [--tuner heron|autotvm|ansor|amos|akg|vendor]"
-                 " [--log FILE] [--emit]\n");
+                 " [--log FILE] [--journal FILE]"
+                 " [--fault-transient RATE] [--fault-timeout RATE]"
+                 " [--emit]\n");
     std::exit(2);
 }
 
@@ -87,6 +99,13 @@ parse(int argc, char **argv)
                 std::atoll(need("--seed")));
         } else if (!std::strcmp(argv[i], "--log")) {
             args.log_path = need("--log");
+        } else if (!std::strcmp(argv[i], "--journal")) {
+            args.journal_path = need("--journal");
+        } else if (!std::strcmp(argv[i], "--fault-transient")) {
+            args.fault_transient =
+                std::atof(need("--fault-transient"));
+        } else if (!std::strcmp(argv[i], "--fault-timeout")) {
+            args.fault_timeout = std::atof(need("--fault-timeout"));
         } else if (!std::strcmp(argv[i], "--emit")) {
             args.emit = true;
         } else {
@@ -175,6 +194,9 @@ tuner_for(const CliArgs &args, const hw::DlaSpec &spec)
     autotune::TuneConfig config;
     config.trials = args.trials;
     config.seed = args.seed;
+    config.journal_path = args.journal_path;
+    config.faults.transient_rate = args.fault_transient;
+    config.faults.timeout_rate = args.fault_timeout;
     if (args.tuner == "heron")
         return autotune::make_heron_tuner(spec, config);
     if (args.tuner == "autotvm")
@@ -226,6 +248,20 @@ main(int argc, char **argv)
                 static_cast<long long>(
                     outcome.result.total_measured),
                 outcome.compile_seconds(), outcome.measure_seconds);
+    const hw::MeasureStats &ms = outcome.measure_stats;
+    if (ms.transient_faults || ms.timeouts || ms.invalid ||
+        ms.retries || outcome.replayed)
+        std::printf("Failures: %lld transient, %lld timeout, %lld "
+                    "invalid; %lld retries (%lld exhausted), %lld "
+                    "outliers rejected; %lld replayed from "
+                    "journal\n",
+                    static_cast<long long>(ms.transient_faults),
+                    static_cast<long long>(ms.timeouts),
+                    static_cast<long long>(ms.invalid),
+                    static_cast<long long>(ms.retries),
+                    static_cast<long long>(ms.exhausted_retries),
+                    static_cast<long long>(ms.outliers_rejected),
+                    static_cast<long long>(outcome.replayed));
 
     rules::SpaceGenerator generator(spec, rules::Options::heron());
     auto space = generator.generate(workload);

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: plain build + tests, then the same suite
+# under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/verify.sh [--no-asan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_asan=1
+if [[ "${1:-}" == "--no-asan" ]]; then
+    run_asan=0
+fi
+
+echo "== tier-1: plain build =="
+cmake --preset default
+cmake --build --preset default -j
+ctest --preset default -j
+
+if [[ "$run_asan" == 1 ]]; then
+    echo "== tier-1: ASan+UBSan build =="
+    cmake --preset asan
+    cmake --build --preset asan -j
+    UBSAN_OPTIONS=halt_on_error=1 \
+        ASAN_OPTIONS=detect_leaks=0 \
+        ctest --preset asan -j
+fi
+
+echo "verify: OK"

@@ -1,0 +1,77 @@
+#include "autotune/checkpoint.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace heron::autotune {
+
+bool
+TuningJournal::open(const std::string &path)
+{
+    out_.open(path, std::ios::app);
+    if (!out_.is_open()) {
+        HERON_WARN << "cannot open tuning journal " << path
+                   << " for appending; continuing without "
+                      "durability";
+        return false;
+    }
+    path_ = path;
+    return true;
+}
+
+void
+TuningJournal::append(const TuningRecord &record)
+{
+    if (!out_.is_open())
+        return;
+    out_ << record.to_json() << "\n";
+    // Flush per record: a killed run loses at most the measurement
+    // in flight.
+    out_.flush();
+}
+
+std::vector<TuningRecord>
+TuningJournal::load(const std::string &path, RecordReadStats *stats)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return {};
+    std::ostringstream text;
+    text << in.rdbuf();
+    return read_records(text.str(), stats);
+}
+
+ReplayCursor::ReplayCursor(std::vector<TuningRecord> journal,
+                           const std::string &workload,
+                           const std::string &dla,
+                           const std::string &tuner)
+{
+    for (auto &record : journal) {
+        if (record.workload != workload || record.dla != dla ||
+            record.tuner != tuner)
+            continue;
+        records_.push_back(std::move(record));
+    }
+}
+
+const TuningRecord *
+ReplayCursor::match(const csp::Assignment &a)
+{
+    if (next_ >= records_.size())
+        return nullptr;
+    const TuningRecord &record = records_[next_];
+    if (record.assignment != a) {
+        HERON_WARN << "tuning journal diverged at record " << next_
+                   << " (seed or configuration changed?); "
+                      "dropping "
+                   << records_.size() - next_
+                   << " remaining record(s) and measuring live";
+        records_.resize(next_);
+        return nullptr;
+    }
+    ++next_;
+    return &record;
+}
+
+} // namespace heron::autotune

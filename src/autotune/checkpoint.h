@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Checkpoint/resume for tuning runs.
+ *
+ * A tuning run journals every measurement as one JSONL TuningRecord
+ * line, flushed incrementally, so a crashed or killed run loses at
+ * most the measurement in flight. On resume the tuner replays the
+ * journal: already-measured assignments are restored (best-so-far,
+ * cost-model warm start, measurement counters) without touching the
+ * hardware, and because every random stream is derived rather than
+ * sequential, the resumed run continues bit-identically to an
+ * uninterrupted one.
+ */
+#ifndef HERON_AUTOTUNE_CHECKPOINT_H
+#define HERON_AUTOTUNE_CHECKPOINT_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "autotune/record.h"
+
+namespace heron::autotune {
+
+/** Append-only JSONL measurement journal. */
+class TuningJournal
+{
+  public:
+    TuningJournal() = default;
+
+    /**
+     * Open @p path for appending (existing records are kept).
+     * @return false when the file cannot be opened for writing.
+     */
+    bool open(const std::string &path);
+
+    bool is_open() const { return out_.is_open(); }
+
+    /** Journaled path ("" when not open). */
+    const std::string &path() const { return path_; }
+
+    /** Append one record and flush it to disk immediately. */
+    void append(const TuningRecord &record);
+
+    /**
+     * Load all records from @p path. A missing file yields an empty
+     * journal (fresh run); malformed lines are skipped and counted
+     * via read_records.
+     */
+    static std::vector<TuningRecord>
+    load(const std::string &path,
+         RecordReadStats *stats = nullptr);
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+};
+
+/**
+ * Replay cursor over the journaled records of one tuning run
+ * (filtered to a workload/DLA/tuner triple). The tuner asks it for
+ * each assignment about to be measured: while the journal matches,
+ * measurements are restored instead of re-run; at the first
+ * divergence (changed seed or configuration) the remaining tail is
+ * dropped with a warning and measurement goes live.
+ */
+class ReplayCursor
+{
+  public:
+    ReplayCursor() = default;
+
+    /** Filter @p journal down to records of this tuning run. */
+    ReplayCursor(std::vector<TuningRecord> journal,
+                 const std::string &workload,
+                 const std::string &dla, const std::string &tuner);
+
+    /**
+     * The journaled record for the next measurement, or nullptr
+     * when the journal is exhausted or @p a diverges from it (the
+     * tail is dropped on divergence).
+     */
+    const TuningRecord *match(const csp::Assignment &a);
+
+    /** Records replayed so far. */
+    int64_t replayed() const { return static_cast<int64_t>(next_); }
+
+    /** Records remaining to replay. */
+    size_t remaining() const { return records_.size() - next_; }
+
+  private:
+    std::vector<TuningRecord> records_;
+    size_t next_ = 0;
+};
+
+} // namespace heron::autotune
+
+#endif // HERON_AUTOTUNE_CHECKPOINT_H

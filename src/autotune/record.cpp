@@ -1,6 +1,8 @@
 #include "autotune/record.h"
 
 #include <cstdlib>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "support/logging.h"
@@ -71,9 +73,13 @@ std::string
 TuningRecord::to_json() const
 {
     std::ostringstream out;
+    // max_digits10 keeps the double round trip bit-exact, which
+    // checkpoint/resume relies on.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
     out << "{\"workload\":\"" << escape(workload) << "\","
         << "\"dla\":\"" << escape(dla) << "\","
         << "\"tuner\":\"" << escape(tuner) << "\","
+        << "\"valid\":" << (valid ? 1 : 0) << ","
         << "\"latency_ms\":" << latency_ms << ","
         << "\"gflops\":" << gflops << ",\"assignment\":[";
     for (size_t i = 0; i < assignment.size(); ++i)
@@ -100,6 +106,11 @@ TuningRecord::from_json(const std::string &line)
     record.tuner = *tuner;
     record.latency_ms = std::atof(latency->c_str());
     record.gflops = std::atof(gflops->c_str());
+    // "valid" was added for measurement journaling; records written
+    // before it default to valid when a throughput was recorded.
+    auto valid = extract(line, "valid");
+    record.valid = valid ? std::atoll(valid->c_str()) != 0
+                         : record.gflops > 0.0;
 
     std::istringstream values(*assignment);
     std::string token;
@@ -121,20 +132,32 @@ write_records(const std::vector<TuningRecord> &records)
 }
 
 std::vector<TuningRecord>
-read_records(const std::string &text)
+read_records(const std::string &text, RecordReadStats *stats)
 {
     std::vector<TuningRecord> records;
+    RecordReadStats local;
     std::istringstream lines(text);
     std::string line;
+    int64_t line_number = 0;
     while (std::getline(lines, line)) {
+        ++line_number;
         if (line.empty())
             continue;
         auto record = TuningRecord::from_json(line);
-        if (record)
+        if (record) {
             records.push_back(std::move(*record));
-        else
-            HERON_WARN << "skipping malformed tuning record";
+            continue;
+        }
+        if (local.malformed == 0)
+            local.first_bad_line = line_number;
+        ++local.malformed;
     }
+    if (local.malformed > 0)
+        HERON_WARN << "skipped " << local.malformed
+                   << " malformed tuning record(s); first at line "
+                   << local.first_bad_line;
+    if (stats)
+        *stats = local;
     return records;
 }
 
@@ -142,11 +165,24 @@ std::optional<hw::MeasureResult>
 replay(const TuningRecord &record,
        const rules::GeneratedSpace &space, hw::Measurer &measurer)
 {
+    if (record.dla != measurer.spec().name) {
+        HERON_WARN << "refusing to replay a '" << record.dla
+                   << "' record on '" << measurer.spec().name
+                   << "'";
+        return std::nullopt;
+    }
     if (record.assignment.size() != space.csp.num_vars())
         return std::nullopt;
     if (!space.csp.valid(record.assignment))
         return std::nullopt;
-    return measurer.measure(space.bind(record.assignment));
+    std::string error;
+    auto program = space.try_bind(record.assignment, &error);
+    if (!program) {
+        HERON_WARN << "cannot bind tuning record for "
+                   << record.workload << ": " << error;
+        return std::nullopt;
+    }
+    return measurer.measure(*program);
 }
 
 } // namespace heron::autotune

@@ -22,11 +22,17 @@ struct TuningRecord {
     std::string workload;
     std::string dla;
     std::string tuner;
+    /** False for a journaled measurement that failed. */
+    bool valid = true;
     double latency_ms = 0.0;
     double gflops = 0.0;
     csp::Assignment assignment;
 
-    /** One-line JSON encoding. */
+    /**
+     * One-line JSON encoding. Doubles are written with full
+     * round-trip precision so a journal replay restores them
+     * bit-identically.
+     */
     std::string to_json() const;
 
     /** Parse a line produced by to_json(); nullopt on malformed
@@ -38,13 +44,28 @@ struct TuningRecord {
 /** Serialize records as JSON lines. */
 std::string write_records(const std::vector<TuningRecord> &records);
 
-/** Parse JSON-lines text; malformed lines are skipped. */
-std::vector<TuningRecord> read_records(const std::string &text);
+/** Accounting for read_records. */
+struct RecordReadStats {
+    /** Malformed lines skipped. */
+    int64_t malformed = 0;
+    /** 1-based line number of the first malformed line (0 = none). */
+    int64_t first_bad_line = 0;
+};
+
+/**
+ * Parse JSON-lines text. Malformed lines are skipped and counted
+ * (one warning summarizes them); pass @p stats to receive the count.
+ */
+std::vector<TuningRecord> read_records(const std::string &text,
+                                       RecordReadStats *stats =
+                                           nullptr);
 
 /**
  * Replay a record against a freshly generated space: bind its
- * assignment and re-measure. Returns nullopt when the assignment
- * no longer fits the space (e.g. generator options changed).
+ * assignment and re-measure. Returns nullopt (with a warning) when
+ * the record's DLA does not match the measurer's, or when the
+ * assignment no longer fits the space (e.g. generator options
+ * changed).
  */
 std::optional<hw::MeasureResult>
 replay(const TuningRecord &record,

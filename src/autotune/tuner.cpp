@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "autotune/checkpoint.h"
 #include "model/cost_model.h"
 #include "search/algorithms.h"
 #include "search/cga.h"
@@ -70,6 +71,14 @@ class TunerBase : public Tuner
         mc.seed = config_.seed * 7919 + 13;
         return mc;
     }
+
+    /** Measurer honoring the configured fault injection. */
+    std::unique_ptr<hw::Measurer>
+    make_tuner_measurer() const
+    {
+        return hw::make_measurer(spec_, measure_config(),
+                                 config_.faults);
+    }
 };
 
 /** The full Heron pipeline (Algorithm 2), with ablation knobs. */
@@ -95,16 +104,37 @@ class HeronTuner : public TunerBase
         auto search_start = Clock::now();
         rules::SpaceGenerator generator(spec_, ablation_.options);
         auto space = generator.generate(workload);
-        RandSatSolver solver(space.csp);
-        hw::Measurer measurer(spec_, measure_config());
-        Evaluator evaluator(space, measurer);
+        RandSatSolver solver(space.csp, config_.solver);
+        auto measurer = make_tuner_measurer();
+        Evaluator evaluator(space, *measurer);
         model::CostModel model(space.csp);
         Rng rng(config_.seed);
+
+        // Checkpoint/resume: replay the journal's prefix instead of
+        // re-measuring, then append every live measurement.
+        TuningJournal journal;
+        ReplayCursor replay;
+        if (!config_.journal_path.empty()) {
+            replay = ReplayCursor(
+                TuningJournal::load(config_.journal_path),
+                workload.name, spec_.name, name());
+            if (replay.remaining() > 0) {
+                HERON_INFO << "resuming " << workload.name
+                           << " from journal ("
+                           << replay.remaining()
+                           << " measurement(s) to replay)";
+            }
+            journal.open(config_.journal_path);
+        }
         outcome.search_seconds += seconds_since(search_start);
 
         std::unordered_set<uint64_t> measured;
         // (assignment, measured score) for survivor selection.
         std::vector<std::pair<Assignment, double>> archive;
+        // Rounds in a row the solver/candidate pool came up empty;
+        // a few barren rounds are survivable (randomized restarts),
+        // a streak means the space is exhausted.
+        int barren_rounds = 0;
 
         while (evaluator.count() < config_.trials) {
             auto round_start = Clock::now();
@@ -129,8 +159,22 @@ class HeronTuner : public TunerBase
                        static_cast<int>(pop.size());
             for (auto &a : solver.solve_n(rng, std::max(need, 1)))
                 pop.push_back(std::move(a));
-            if (pop.empty())
-                break;
+            if (pop.empty()) {
+                // Degrade gracefully: a randomized solver can fail
+                // a whole round (budget/deadline) and still succeed
+                // on the next attempt.
+                if (++barren_rounds >= config_.max_barren_rounds) {
+                    HERON_WARN
+                        << "solver produced no candidates for "
+                        << barren_rounds << " round(s) ("
+                        << csp::solve_failure_name(
+                               solver.last_failure())
+                        << "); stopping " << workload.name
+                        << " early";
+                    break;
+                }
+                continue;
+            }
 
             // Step 2: evolve for several generations on predicted
             // fitness.
@@ -170,9 +214,20 @@ class HeronTuner : public TunerBase
                 auto extra = solver.solve_n(rng, 4);
                 for (auto &a : extra)
                     candidates.push_back(std::move(a));
-                if (candidates.empty())
-                    break;
+                if (candidates.empty()) {
+                    if (++barren_rounds >=
+                        config_.max_barren_rounds) {
+                        HERON_WARN << "no unmeasured candidates "
+                                      "for "
+                                   << barren_rounds
+                                   << " round(s); stopping "
+                                   << workload.name << " early";
+                        break;
+                    }
+                    continue;
+                }
             }
+            barren_rounds = 0;
             int budget_left =
                 config_.trials - static_cast<int>(evaluator.count());
             int to_measure = std::min(
@@ -211,11 +266,34 @@ class HeronTuner : public TunerBase
             }
             outcome.search_seconds += seconds_since(round_start);
 
-            // Step 4: measure and update the model.
+            // Step 4: measure (or replay from the journal) and
+            // update the model. Failed measurements score 0 and the
+            // round carries on — a tuning run survives rounds where
+            // every measurement fails.
             for (int i = 0; i < to_measure; ++i) {
                 const Assignment &a =
                     candidates[pick_order[static_cast<size_t>(i)]];
-                double score = evaluator.measure(a);
+                double score;
+                if (const TuningRecord *rec = replay.match(a)) {
+                    score = evaluator.replay(a, rec->valid,
+                                             rec->latency_ms,
+                                             rec->gflops);
+                } else {
+                    score = evaluator.measure(a);
+                    if (journal.is_open()) {
+                        const hw::MeasureResult &mr =
+                            evaluator.last_result();
+                        TuningRecord rec;
+                        rec.workload = workload.name;
+                        rec.dla = spec_.name;
+                        rec.tuner = name();
+                        rec.valid = mr.valid;
+                        rec.latency_ms = mr.latency_ms;
+                        rec.gflops = mr.gflops;
+                        rec.assignment = a;
+                        journal.append(rec);
+                    }
+                }
                 measured.insert(hash_assignment(a));
                 model.add_scored_sample(a, score);
                 archive.emplace_back(a, score);
@@ -226,7 +304,9 @@ class HeronTuner : public TunerBase
         }
 
         outcome.result = evaluator.result();
-        outcome.measure_seconds = measurer.simulated_seconds();
+        outcome.measure_seconds = measurer->simulated_seconds();
+        outcome.measure_stats = measurer->stats();
+        outcome.replayed = replay.replayed();
         return outcome;
     }
 
@@ -274,15 +354,16 @@ class SearchTuner : public TunerBase
         auto start = Clock::now();
         rules::SpaceGenerator generator(spec_, options_);
         auto space = generator.generate(workload);
-        hw::Measurer measurer(spec_, measure_config());
+        auto measurer = make_tuner_measurer();
 
         SearchConfig sc;
         sc.trials = config_.trials;
         sc.population = config_.population;
         sc.seed = config_.seed;
-        outcome.result = algorithm_(space, measurer, sc);
+        outcome.result = algorithm_(space, *measurer, sc);
         outcome.search_seconds = seconds_since(start);
-        outcome.measure_seconds = measurer.simulated_seconds();
+        outcome.measure_seconds = measurer->simulated_seconds();
+        outcome.measure_stats = measurer->stats();
         return outcome;
     }
 
@@ -314,9 +395,9 @@ class AmosTuner : public TunerBase
         rules::SpaceGenerator generator(spec_,
                                         rules::Options::amos());
         auto space = generator.generate(workload);
-        RandSatSolver solver(space.csp);
-        hw::Measurer measurer(spec_, measure_config());
-        Evaluator evaluator(space, measurer);
+        RandSatSolver solver(space.csp, config_.solver);
+        auto measurer = make_tuner_measurer();
+        Evaluator evaluator(space, *measurer);
         model::CostModel model(space.csp);
         Rng rng(config_.seed);
 
@@ -360,7 +441,8 @@ class AmosTuner : public TunerBase
         outcome.result = evaluator.result();
         outcome.search_seconds =
             seconds_since(start) - outcome.model_seconds;
-        outcome.measure_seconds = measurer.simulated_seconds();
+        outcome.measure_seconds = measurer->simulated_seconds();
+        outcome.measure_stats = measurer->stats();
         return outcome;
     }
 };
@@ -419,8 +501,8 @@ class RecipeTuner : public TunerBase
         rules::SpaceGenerator generator(spec_,
                                         rules::Options::heron());
         auto space = generator.generate(workload);
-        hw::Measurer measurer(spec_, measure_config());
-        Evaluator evaluator(space, measurer);
+        auto measurer = make_tuner_measurer();
+        Evaluator evaluator(space, *measurer);
         Rng rng(config_.seed);
 
         // A library ships several kernel variants and dispatches by
@@ -436,7 +518,8 @@ class RecipeTuner : public TunerBase
         }
         outcome.result = evaluator.result();
         outcome.search_seconds = seconds_since(start);
-        outcome.measure_seconds = measurer.simulated_seconds();
+        outcome.measure_seconds = measurer->simulated_seconds();
+        outcome.measure_stats = measurer->stats();
         return outcome;
     }
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "hw/fault_injection.h"
 #include "hw/measurer.h"
 #include "ops/op_library.h"
 #include "rules/space_generator.h"
@@ -44,6 +45,22 @@ struct TuneConfig {
     int key_vars = 8;
     uint64_t seed = 1;
     hw::MeasureConfig measure;
+    /** Solver budgets and wall-clock deadline. */
+    csp::SolverConfig solver;
+    /** Fault injection on the measurement path (all-zero = off). */
+    hw::FaultConfig faults;
+    /**
+     * JSONL measurement journal for checkpoint/resume ("" = off).
+     * Every measurement is appended and flushed; an existing
+     * journal is replayed on startup so a killed run resumes
+     * bit-identically.
+     */
+    std::string journal_path;
+    /**
+     * Consecutive rounds the solver (or candidate generation) may
+     * come up empty before the tuner stops early.
+     */
+    int max_barren_rounds = 3;
 };
 
 /** What a tuning run produced, plus its cost accounting. */
@@ -57,6 +74,10 @@ struct TuneOutcome {
     double search_seconds = 0.0;
     /** Wall-clock spent training/querying the cost model. */
     double model_seconds = 0.0;
+    /** Per-category measurement failure/retry accounting. */
+    hw::MeasureStats measure_stats;
+    /** Measurements restored from the journal instead of re-run. */
+    int64_t replayed = 0;
 
     /** Total "compilation" time (Table 10 / Fig. 14). */
     double

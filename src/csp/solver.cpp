@@ -1,6 +1,7 @@
 #include "csp/solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <unordered_set>
 
@@ -10,6 +11,8 @@
 namespace heron::csp {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /** Hash for assignment dedup in solve_n. */
 uint64_t
@@ -29,9 +32,10 @@ class Dfs
 {
   public:
     Dfs(const Csp &csp, PropagationEngine &engine, Rng &rng,
-        const SolverConfig &config, SolverStats &stats)
+        const SolverConfig &config, SolverStats &stats,
+        Clock::time_point deadline)
         : csp_(csp), engine_(engine), rng_(rng), config_(config),
-          stats_(stats)
+          stats_(stats), deadline_(deadline)
     {
     }
 
@@ -39,12 +43,20 @@ class Dfs
     run()
     {
         backtracks_left_ = config_.max_backtracks_per_restart;
-        if (!engine_.propagate())
+        if (!engine_.propagate()) {
+            root_conflict_ = true;
             return std::nullopt;
+        }
         if (recurse())
             return engine_.extract();
         return std::nullopt;
     }
+
+    /** Root propagation wiped out a domain: proven unsatisfiable. */
+    bool root_conflict() const { return root_conflict_; }
+
+    /** The wall-clock deadline expired during the search. */
+    bool deadline_hit() const { return deadline_hit_; }
 
   private:
     const Csp &csp_;
@@ -52,7 +64,10 @@ class Dfs
     Rng &rng_;
     const SolverConfig &config_;
     SolverStats &stats_;
+    Clock::time_point deadline_;
     int backtracks_left_ = 0;
+    bool root_conflict_ = false;
+    bool deadline_hit_ = false;
 
     VarId
     pick_branch_var()
@@ -123,11 +138,20 @@ class Dfs
             return engine_.all_assigned();
 
         for (int64_t value : candidate_values(engine_.domain(var))) {
+            // Deadline check before every propagation step, so the
+            // solve overshoots the deadline by at most one step.
+            if (deadline_ != Clock::time_point::max() &&
+                Clock::now() >= deadline_) {
+                deadline_hit_ = true;
+                return false;
+            }
             std::vector<Domain> snapshot = engine_.domains();
             if (engine_.assign_and_propagate(var, value)) {
                 if (recurse())
                     return true;
             }
+            if (deadline_hit_)
+                return false;
             engine_.restore(std::move(snapshot));
             ++stats_.backtracks;
             if (--backtracks_left_ <= 0)
@@ -139,6 +163,18 @@ class Dfs
 
 } // namespace
 
+const char *
+solve_failure_name(SolveFailure failure)
+{
+    switch (failure) {
+      case SolveFailure::kNone: return "none";
+      case SolveFailure::kUnsat: return "unsat";
+      case SolveFailure::kBudget: return "budget";
+      case SolveFailure::kDeadline: return "deadline";
+    }
+    return "?";
+}
+
 RandSatSolver::RandSatSolver(const Csp &csp, SolverConfig config)
     : csp_(csp), config_(config)
 {
@@ -148,18 +184,39 @@ std::optional<Assignment>
 RandSatSolver::search(Rng &rng, const std::vector<Constraint> &extra)
 {
     ++stats_.solve_calls;
+    Clock::time_point deadline = Clock::time_point::max();
+    if (config_.deadline_ms > 0.0)
+        deadline = Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           config_.deadline_ms));
     for (int restart = 0; restart < config_.max_restarts; ++restart) {
         if (restart > 0)
             ++stats_.restarts;
         PropagationEngine engine(csp_, extra);
-        Dfs dfs(csp_, engine, rng, config_, stats_);
+        Dfs dfs(csp_, engine, rng, config_, stats_, deadline);
         auto result = dfs.run();
         if (result) {
             ++stats_.solutions;
+            last_failure_ = SolveFailure::kNone;
             return result;
+        }
+        if (dfs.root_conflict()) {
+            // Propagation is sound, so a root wipeout proves the
+            // problem unsatisfiable; restarting cannot help.
+            ++stats_.failures;
+            last_failure_ = SolveFailure::kUnsat;
+            return std::nullopt;
+        }
+        if (dfs.deadline_hit()) {
+            ++stats_.failures;
+            ++stats_.deadline_aborts;
+            last_failure_ = SolveFailure::kDeadline;
+            return std::nullopt;
         }
     }
     ++stats_.failures;
+    last_failure_ = SolveFailure::kBudget;
     return std::nullopt;
 }
 

@@ -31,7 +31,27 @@ struct SolverConfig {
      * (auxiliaries are usually fixed by propagation anyway).
      */
     bool branch_tunables_first = true;
+    /**
+     * Wall-clock deadline per solve call in milliseconds (0 =
+     * unbounded). Checked before every propagation step, so a solve
+     * overshoots the deadline by at most one step.
+     */
+    double deadline_ms = 0.0;
 };
+
+/** Why a solve call returned no assignment. */
+enum class SolveFailure : uint8_t {
+    kNone = 0,
+    /** Proven unsatisfiable (root propagation wiped out a domain). */
+    kUnsat,
+    /** Backtrack/restart budget exhausted (may still be sat). */
+    kBudget,
+    /** Wall-clock deadline expired (may still be sat). */
+    kDeadline,
+};
+
+/** Name of a failure reason ("none", "unsat", ...). */
+const char *solve_failure_name(SolveFailure failure);
 
 /** Statistics accumulated across solve calls. */
 struct SolverStats {
@@ -40,6 +60,8 @@ struct SolverStats {
     int64_t backtracks = 0;
     int64_t restarts = 0;
     int64_t failures = 0;
+    /** Solve calls aborted by the wall-clock deadline. */
+    int64_t deadline_aborts = 0;
 };
 
 /**
@@ -78,10 +100,19 @@ class RandSatSolver
     /** Accumulated statistics. */
     const SolverStats &stats() const { return stats_; }
 
+    /**
+     * Why the most recent solve_one/feasible call failed (kNone
+     * after a success). Lets callers distinguish a proven-UNSAT
+     * subproblem from an exhausted budget or an expired deadline
+     * and degrade accordingly.
+     */
+    SolveFailure last_failure() const { return last_failure_; }
+
   private:
     const Csp &csp_;
     SolverConfig config_;
     SolverStats stats_;
+    SolveFailure last_failure_ = SolveFailure::kNone;
 
     std::optional<Assignment>
     search(Rng &rng, const std::vector<Constraint> &extra);

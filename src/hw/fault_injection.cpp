@@ -1,0 +1,92 @@
+#include "hw/fault_injection.h"
+
+#include "support/logging.h"
+
+namespace heron::hw {
+
+FaultyMeasurer::FaultyMeasurer(const DlaSpec &spec,
+                               MeasureConfig config,
+                               FaultConfig faults)
+    : Measurer(spec, config), faults_(faults)
+{
+    HERON_CHECK_GE(faults_.transient_rate, 0.0);
+    HERON_CHECK_GE(faults_.timeout_rate, 0.0);
+    HERON_CHECK_GE(faults_.outlier_rate, 0.0);
+    HERON_CHECK_GE(faults_.spurious_invalid_rate, 0.0);
+    HERON_CHECK_GT(faults_.outlier_scale, 1.0);
+}
+
+Measurer::Attempt
+FaultyMeasurer::attempt(const schedule::ConcreteProgram &program,
+                        int attempt_index)
+{
+    Rng dice = per_attempt_rng(faults_.seed, attempt_index);
+    // Draw every category up front so the stream shape does not
+    // depend on which fault (if any) fires.
+    double u_transient = dice.uniform();
+    double u_timeout = dice.uniform();
+    double u_spurious = dice.uniform();
+
+    if (u_transient < faults_.transient_rate) {
+        ++injected_;
+        charge_seconds(config().harness_overhead_s);
+        Attempt run;
+        run.failure = MeasureFailure::kTransient;
+        run.error = "injected transient fault (board reset)";
+        return run;
+    }
+    if (u_timeout < faults_.timeout_rate) {
+        ++injected_;
+        charge_seconds(config().harness_overhead_s);
+        charge_seconds(config().timeout_ms > 0.0
+                           ? config().timeout_ms / 1e3
+                           : faults_.hang_s);
+        Attempt run;
+        run.failure = MeasureFailure::kTimeout;
+        run.error = "injected kernel hang";
+        return run;
+    }
+    if (u_spurious < faults_.spurious_invalid_rate) {
+        ++injected_;
+        charge_seconds(config().harness_overhead_s);
+        Attempt run;
+        run.failure = MeasureFailure::kInvalid;
+        run.error = "injected spurious launch failure";
+        return run;
+    }
+
+    Attempt run = Measurer::attempt(program, attempt_index);
+    if (run.failure == MeasureFailure::kNone &&
+        faults_.outlier_rate > 0.0) {
+        for (double &ms : run.repeats_ms) {
+            if (dice.uniform() >= faults_.outlier_rate)
+                continue;
+            ++injected_;
+            double scaled = ms * faults_.outlier_scale;
+            if (config().timeout_ms > 0.0 &&
+                scaled > config().timeout_ms) {
+                // A slow-enough run hits the watchdog instead.
+                charge_seconds((config().timeout_ms - ms) / 1e3);
+                run.failure = MeasureFailure::kTimeout;
+                run.error = "injected outlier exceeded timeout";
+                run.repeats_ms.clear();
+                return run;
+            }
+            charge_seconds((scaled - ms) / 1e3);
+            ms = scaled;
+        }
+    }
+    return run;
+}
+
+std::unique_ptr<Measurer>
+make_measurer(const DlaSpec &spec, MeasureConfig config,
+              FaultConfig faults)
+{
+    if (faults.any())
+        return std::make_unique<FaultyMeasurer>(spec, config,
+                                                faults);
+    return std::make_unique<Measurer>(spec, config);
+}
+
+} // namespace heron::hw

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fault injection for the measurement path.
+ *
+ * Real DLA measurement fails in characteristic ways: boards reset
+ * mid-run (transient), kernels hang until the harness kills them
+ * (timeout), runs come back an order of magnitude slow (outlier),
+ * and launches occasionally report a spurious failure for a program
+ * that is actually fine. FaultyMeasurer injects each category with a
+ * configurable rate from a seeded, deterministic stream, so every
+ * robustness behavior — retry, backoff, outlier rejection, graceful
+ * degradation, checkpoint/resume — is testable offline and
+ * reproducible bit-for-bit.
+ */
+#ifndef HERON_HW_FAULT_INJECTION_H
+#define HERON_HW_FAULT_INJECTION_H
+
+#include <memory>
+
+#include "hw/measurer.h"
+
+namespace heron::hw {
+
+/** Injection rates (per attempt / per repeat), all in [0, 1]. */
+struct FaultConfig {
+    /** Board-level transient failure per attempt (retryable). */
+    double transient_rate = 0.0;
+    /** Kernel hang per attempt (killed at the timeout; retryable). */
+    double timeout_rate = 0.0;
+    /** Latency outlier per repeat run (slow but completes). */
+    double outlier_rate = 0.0;
+    /** Spurious launch failure per attempt (not retryable). */
+    double spurious_invalid_rate = 0.0;
+
+    /** Injected outlier latency multiplier. */
+    double outlier_scale = 10.0;
+    /**
+     * Simulated seconds lost to a hang when no measurement timeout
+     * is configured (the harness blocks until a watchdog fires).
+     */
+    double hang_s = 1.0;
+    /** Seed of the fault stream (independent of measurement noise). */
+    uint64_t seed = 0x5eed;
+
+    /** True when any injection rate is non-zero. */
+    bool any() const
+    {
+        return transient_rate > 0.0 || timeout_rate > 0.0 ||
+               outlier_rate > 0.0 || spurious_invalid_rate > 0.0;
+    }
+};
+
+/**
+ * Decorator over Measurer that injects faults around the real
+ * attempt. Fault draws are a pure function of (fault seed,
+ * measurement index, attempt index), so a fixed seed yields an
+ * identical fault schedule regardless of what the search does in
+ * between — and a journal-resumed run sees the same faults as an
+ * uninterrupted one.
+ */
+class FaultyMeasurer : public Measurer
+{
+  public:
+    FaultyMeasurer(const DlaSpec &spec, MeasureConfig config,
+                   FaultConfig faults);
+
+    const FaultConfig &faults() const { return faults_; }
+
+    /** Faults injected so far (all categories). */
+    int64_t injected_count() const { return injected_; }
+
+  protected:
+    Attempt attempt(const schedule::ConcreteProgram &program,
+                    int attempt_index) override;
+
+  private:
+    FaultConfig faults_;
+    int64_t injected_ = 0;
+};
+
+/**
+ * Measurer factory: a FaultyMeasurer when any fault rate is
+ * non-zero, a plain Measurer otherwise.
+ */
+std::unique_ptr<Measurer> make_measurer(const DlaSpec &spec,
+                                        MeasureConfig config = {},
+                                        FaultConfig faults = {});
+
+} // namespace heron::hw
+
+#endif // HERON_HW_FAULT_INJECTION_H

@@ -1,44 +1,150 @@
 #include "hw/measurer.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "support/logging.h"
+#include "support/math_util.h"
 
 namespace heron::hw {
 
-Measurer::Measurer(const DlaSpec &spec, MeasureConfig config)
-    : sim_(make_simulator(spec)), config_(config), rng_(config.seed)
+const char *
+measure_failure_name(MeasureFailure failure)
 {
+    switch (failure) {
+      case MeasureFailure::kNone: return "none";
+      case MeasureFailure::kInvalid: return "invalid";
+      case MeasureFailure::kTransient: return "transient";
+      case MeasureFailure::kTimeout: return "timeout";
+    }
+    return "?";
+}
+
+Measurer::Measurer(const DlaSpec &spec, MeasureConfig config)
+    : sim_(make_simulator(spec)), config_(config)
+{
+}
+
+Rng
+Measurer::per_attempt_rng(uint64_t stream_seed,
+                          int attempt_index) const
+{
+    uint64_t h = hash_combine(stream_seed,
+                              static_cast<uint64_t>(measure_index_));
+    h = hash_combine(h, static_cast<uint64_t>(attempt_index));
+    return Rng(h);
+}
+
+Measurer::Attempt
+Measurer::attempt(const schedule::ConcreteProgram &program,
+                  int attempt_index)
+{
+    Attempt run;
+    // A failed build/launch still costs harness time.
+    charge_seconds(config_.harness_overhead_s);
+    run.error = sim_->check(program);
+    if (!run.error.empty()) {
+        run.failure = MeasureFailure::kInvalid;
+        return run;
+    }
+
+    double model_ms = sim_->latency_ms(program);
+    HERON_CHECK_GT(model_ms, 0.0);
+    Rng rng = per_attempt_rng(config_.seed, attempt_index);
+    for (int r = 0; r < config_.repeats; ++r) {
+        double noisy =
+            model_ms * std::max(0.5, 1.0 + config_.noise_std *
+                                              rng.normal());
+        if (config_.timeout_ms > 0.0 && noisy > config_.timeout_ms) {
+            // The harness kills the run at the deadline.
+            charge_seconds(config_.timeout_ms / 1e3);
+            std::ostringstream msg;
+            msg << "run exceeded timeout (" << config_.timeout_ms
+                << " ms)";
+            run.failure = MeasureFailure::kTimeout;
+            run.error = msg.str();
+            run.repeats_ms.clear();
+            return run;
+        }
+        run.repeats_ms.push_back(noisy);
+        charge_seconds(noisy / 1e3);
+    }
+    return run;
+}
+
+void
+Measurer::aggregate(const Attempt &run,
+                    const schedule::ConcreteProgram &program,
+                    MeasureResult &result)
+{
+    HERON_CHECK(!run.repeats_ms.empty());
+    std::vector<double> sorted = run.repeats_ms;
+    std::sort(sorted.begin(), sorted.end());
+    double median = sorted[sorted.size() / 2];
+
+    double sum = 0.0;
+    int kept = 0;
+    for (double ms : run.repeats_ms) {
+        if (config_.outlier_threshold > 0.0 &&
+            run.repeats_ms.size() >= 3 &&
+            ms > config_.outlier_threshold * median) {
+            ++stats_.outliers_rejected;
+            continue;
+        }
+        sum += ms;
+        ++kept;
+    }
+    if (kept == 0) { // every repeat rejected; fall back to median
+        sum = median;
+        kept = 1;
+    }
+    result.valid = true;
+    result.failure = MeasureFailure::kNone;
+    result.latency_ms = sum / kept;
+    result.gflops = static_cast<double>(program.total_ops) /
+                    (result.latency_ms * 1e6);
 }
 
 MeasureResult
 Measurer::measure(const schedule::ConcreteProgram &program)
 {
-    ++count_;
+    measure_index_ = stats_.measurements++;
     MeasureResult result;
-    result.error = sim_->check(program);
-    // A failed build/launch still costs harness time.
-    simulated_seconds_ += config_.harness_overhead_s;
-    if (!result.error.empty()) {
-        ++invalid_count_;
-        return result;
-    }
+    for (int att = 0;; ++att) {
+        Attempt run = attempt(program, att);
+        result.attempts = att + 1;
+        if (run.failure == MeasureFailure::kNone) {
+            aggregate(run, program, result);
+            return result;
+        }
+        if (run.failure == MeasureFailure::kTransient)
+            ++stats_.transient_faults;
+        if (run.failure == MeasureFailure::kTimeout)
+            ++stats_.timeouts;
 
-    double model_ms = sim_->latency_ms(program);
-    HERON_CHECK_GT(model_ms, 0.0);
-    double sum_ms = 0.0;
-    for (int r = 0; r < config_.repeats; ++r) {
-        double noisy =
-            model_ms * std::max(0.5, 1.0 + config_.noise_std *
-                                              rng_.normal());
-        sum_ms += noisy;
-        simulated_seconds_ += noisy / 1e3;
+        bool retryable = run.failure != MeasureFailure::kInvalid;
+        if (!retryable || att >= config_.max_retries) {
+            if (run.failure == MeasureFailure::kInvalid)
+                ++stats_.invalid;
+            else
+                ++stats_.exhausted_retries;
+            result.valid = false;
+            result.failure = run.failure;
+            result.error = std::move(run.error);
+            return result;
+        }
+        ++stats_.retries;
+        // Exponential backoff before re-arming the board.
+        charge_seconds(config_.retry_backoff_s *
+                       static_cast<double>(int64_t{1} << att));
     }
-    result.valid = true;
-    result.latency_ms = sum_ms / config_.repeats;
-    result.gflops = static_cast<double>(program.total_ops) /
-                    (result.latency_ms * 1e6);
-    return result;
+}
+
+void
+Measurer::note_replayed()
+{
+    ++stats_.measurements;
+    ++stats_.replayed;
 }
 
 } // namespace heron::hw

@@ -4,23 +4,52 @@
  * programs, averaging repeated runs, and accounts for the simulated
  * wall-clock cost of measurement (which dominates compilation time
  * in the paper's Table 10 / Fig. 14).
+ *
+ * Real measurement is flaky — boards reset, kernels hang, runs come
+ * back as outliers — so the measurer owns the failure-handling hot
+ * path: transient failures and timeouts are retried with exponential
+ * backoff (accounted into simulated time), and repeated runs go
+ * through median-based outlier rejection before averaging. The
+ * per-measurement randomness is derived from (seed, measurement
+ * index, attempt) rather than a sequential stream, so a tuning run
+ * resumed from a journal reproduces the exact noise draws of an
+ * uninterrupted run.
  */
 #ifndef HERON_HW_MEASURER_H
 #define HERON_HW_MEASURER_H
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "hw/simulator.h"
 #include "support/rng.h"
 
 namespace heron::hw {
 
+/** Why a measurement (or one attempt of it) failed. */
+enum class MeasureFailure : uint8_t {
+    kNone = 0,
+    /** Program rejected by the DLA (compile/launch error). Final. */
+    kInvalid,
+    /** Board-level transient fault (reset, flaky link). Retryable. */
+    kTransient,
+    /** Run exceeded the configured timeout (hang). Retryable. */
+    kTimeout,
+};
+
+/** Name of a failure category ("none", "invalid", ...). */
+const char *measure_failure_name(MeasureFailure failure);
+
 /** Outcome of one measurement. */
 struct MeasureResult {
     bool valid = false;
     std::string error;
-    /** Mean latency across repeats, milliseconds. */
+    /** Failure category of the final attempt (kNone on success). */
+    MeasureFailure failure = MeasureFailure::kNone;
+    /** Attempts spent (1 unless transient faults forced retries). */
+    int attempts = 1;
+    /** Mean latency across kept repeats, milliseconds. */
     double latency_ms = 0.0;
     /** Achieved throughput in GFLOP/s (0 for invalid programs). */
     double gflops = 0.0;
@@ -35,6 +64,38 @@ struct MeasureConfig {
     /** Multiplicative run-to-run noise (std, fraction of latency). */
     double noise_std = 0.01;
     uint64_t seed = 1;
+
+    /** Extra attempts after a transient failure or timeout. */
+    int max_retries = 2;
+    /** First retry backoff in simulated seconds; doubles per retry. */
+    double retry_backoff_s = 0.05;
+    /** Per-run timeout in milliseconds (0 disables hang detection). */
+    double timeout_ms = 0.0;
+    /**
+     * Repeats slower than this multiple of the median repeat are
+     * discarded before averaging (<= 0 disables rejection).
+     */
+    double outlier_threshold = 3.0;
+};
+
+/** Per-category measurement accounting. */
+struct MeasureStats {
+    /** Measurements performed (including journal replays). */
+    int64_t measurements = 0;
+    /** Programs rejected by the DLA (not retryable). */
+    int64_t invalid = 0;
+    /** Transient-fault attempts observed. */
+    int64_t transient_faults = 0;
+    /** Timed-out attempts observed. */
+    int64_t timeouts = 0;
+    /** Re-attempts performed after a retryable failure. */
+    int64_t retries = 0;
+    /** Measurements that stayed failed after all retries. */
+    int64_t exhausted_retries = 0;
+    /** Repeat runs discarded as outliers. */
+    int64_t outliers_rejected = 0;
+    /** Measurements restored from a journal instead of re-run. */
+    int64_t replayed = 0;
 };
 
 /** Validates, times, and accounts for measurements on one DLA. */
@@ -42,33 +103,87 @@ class Measurer
 {
   public:
     Measurer(const DlaSpec &spec, MeasureConfig config = {});
+    virtual ~Measurer() = default;
 
-    /** Measure one program (validity + repeated timed runs). */
+    /**
+     * Measure one program: validity + repeated timed runs, with
+     * retry/backoff on transient failures and timeouts, and outlier
+     * rejection across repeats.
+     */
     MeasureResult measure(const schedule::ConcreteProgram &program);
 
     /** The underlying simulator. */
     const DlaSimulator &simulator() const { return *sim_; }
 
+    /** The accelerator being measured. */
+    const DlaSpec &spec() const { return sim_->spec(); }
+
     /** Measurements performed so far. */
-    int64_t count() const { return count_; }
+    int64_t count() const { return stats_.measurements; }
 
     /** Invalid programs seen so far. */
-    int64_t invalid_count() const { return invalid_count_; }
+    int64_t invalid_count() const { return stats_.invalid; }
+
+    /** Per-category failure accounting. */
+    const MeasureStats &stats() const { return stats_; }
+
+    /**
+     * Advance the measurement counter for a journal-replayed
+     * measurement without running anything, keeping the derived
+     * per-measurement noise streams aligned with an uninterrupted
+     * run (checkpoint/resume determinism).
+     */
+    void note_replayed();
 
     /**
      * Total simulated wall-clock seconds spent measuring: repeats *
-     * latency + per-measurement harness overhead, the quantity
-     * Table 10 and Fig. 14 track.
+     * latency + per-measurement harness overhead + retry backoff,
+     * the quantity Table 10 and Fig. 14 track.
      */
     double simulated_seconds() const { return simulated_seconds_; }
+
+  protected:
+    /** One measurement attempt before retry/aggregation policy. */
+    struct Attempt {
+        MeasureFailure failure = MeasureFailure::kNone;
+        std::string error;
+        /** Raw per-repeat latencies (valid attempts only). */
+        std::vector<double> repeats_ms;
+    };
+
+    /**
+     * Run one attempt, charging its simulated time. Overridden by
+     * FaultyMeasurer to inject failures around the real attempt.
+     */
+    virtual Attempt attempt(const schedule::ConcreteProgram &program,
+                            int attempt_index);
+
+    /**
+     * Deterministic RNG for the current measurement: a pure function
+     * of (@p stream_seed, measurement index, @p attempt_index).
+     */
+    Rng per_attempt_rng(uint64_t stream_seed, int attempt_index) const;
+
+    const MeasureConfig &config() const { return config_; }
+
+    /** Account simulated measurement wall-clock time. */
+    void charge_seconds(double seconds)
+    {
+        simulated_seconds_ += seconds;
+    }
 
   private:
     std::unique_ptr<DlaSimulator> sim_;
     MeasureConfig config_;
-    Rng rng_;
-    int64_t count_ = 0;
-    int64_t invalid_count_ = 0;
+    MeasureStats stats_;
+    /** Index of the measurement currently in flight. */
+    int64_t measure_index_ = 0;
     double simulated_seconds_ = 0.0;
+
+    /** Aggregate a successful attempt's repeats into a result. */
+    void aggregate(const Attempt &run,
+                   const schedule::ConcreteProgram &program,
+                   MeasureResult &result);
 };
 
 } // namespace heron::hw

@@ -7,8 +7,16 @@
  * footprints and fill counts are recomputed numerically with the
  * same attach analysis used by constraint generation, so the bound
  * program agrees exactly with the constraints.
+ *
+ * try_bind() is the validating entry point for untrusted
+ * assignments (tuning logs, journals): it reports malformed input
+ * as a recoverable error instead of aborting the process. bind()
+ * wraps it for internal, solver-produced assignments where a
+ * failure is an invariant violation.
  */
 #include "rules/space_generator.h"
+
+#include <sstream>
 
 #include "rules/attach.h"
 #include "support/logging.h"
@@ -26,32 +34,87 @@ using schedule::StageRole;
 
 namespace {
 
-int64_t
-value_or(const csp::Csp &csp, const Assignment &a,
-         const std::string &name, int64_t fallback)
+/**
+ * Assignment accessor that records the first lookup failure instead
+ * of aborting, so binding untrusted input degrades to an error.
+ */
+class BindReader
 {
-    VarId v = csp.find_var(name);
-    if (v < 0)
-        return fallback;
-    return a[static_cast<size_t>(v)];
-}
+  public:
+    BindReader(const csp::Csp &csp, const Assignment &a)
+        : csp_(csp), a_(a)
+    {
+    }
 
-int64_t
-value(const csp::Csp &csp, const Assignment &a,
-      const std::string &name)
-{
-    VarId v = csp.find_var(name);
-    HERON_CHECK_GE(v, 0) << "missing variable " << name;
-    return a[static_cast<size_t>(v)];
-}
+    int64_t
+    value_or(const std::string &name, int64_t fallback)
+    {
+        VarId v = csp_.find_var(name);
+        if (v < 0)
+            return fallback;
+        return a_[static_cast<size_t>(v)];
+    }
+
+    int64_t
+    value(const std::string &name)
+    {
+        VarId v = csp_.find_var(name);
+        if (v < 0) {
+            fail("missing variable " + name);
+            return 1;
+        }
+        return a_[static_cast<size_t>(v)];
+    }
+
+    void
+    fail(const std::string &message)
+    {
+        if (error_.empty())
+            error_ = message;
+    }
+
+    bool failed() const { return !error_.empty(); }
+    const std::string &error() const { return error_; }
+
+  private:
+    const csp::Csp &csp_;
+    const Assignment &a_;
+    std::string error_;
+};
 
 } // namespace
 
-schedule::ConcreteProgram
-GeneratedSpace::bind(const Assignment &a) const
+std::optional<ConcreteProgram>
+GeneratedSpace::try_bind(const Assignment &a,
+                         std::string *error) const
 {
-    HERON_CHECK_EQ(a.size(), csp.num_vars());
+    auto bail = [&](const std::string &message)
+        -> std::optional<ConcreteProgram> {
+        if (error)
+            *error = message;
+        return std::nullopt;
+    };
 
+    if (a.size() != csp.num_vars()) {
+        std::ostringstream msg;
+        msg << "assignment has " << a.size() << " values, space has "
+            << csp.num_vars() << " variables";
+        return bail(msg.str());
+    }
+    // Every value must lie in its variable's initial domain. This
+    // rejects corrupted logs up front and bounds every quantity the
+    // arithmetic below touches (checked_mul aborts on negatives).
+    for (size_t i = 0; i < csp.num_vars(); ++i) {
+        if (csp.var(static_cast<VarId>(i))
+                .initial.contains(a[i]))
+            continue;
+        std::ostringstream msg;
+        msg << "value " << a[i] << " outside the domain of "
+            << csp.var(static_cast<VarId>(i)).name;
+        return bail(msg.str());
+    }
+
+    BindReader read(csp, a);
     ConcreteProgram prog;
     prog.workload = workload.name;
     prog.dtype = workload.dtype;
@@ -73,24 +136,25 @@ GeneratedSpace::bind(const Assignment &a) const
                 cs.axis_reduce.push_back(axis.reduce);
                 std::vector<int64_t> lens;
                 for (int l = 0; l < axis.num_levels(); ++l)
-                    lens.push_back(value(
-                        csp, a, axis.level_name(plan.name, l)));
+                    lens.push_back(read.value(
+                        axis.level_name(plan.name, l)));
                 cs.tile.push_back(std::move(lens));
                 cs.roles.push_back(axis.roles);
             }
             if (plan.tensorized) {
                 cs.intrinsic_m =
-                    value_or(csp, a, plan.name + ".wmma.m",
-                             plan.intrinsic_m_candidates[0]);
+                    read.value_or(plan.name + ".wmma.m",
+                                  plan.intrinsic_m_candidates[0]);
                 cs.intrinsic_n =
-                    value_or(csp, a, plan.name + ".wmma.n",
-                             plan.intrinsic_n_candidates[0]);
+                    read.value_or(plan.name + ".wmma.n",
+                                  plan.intrinsic_n_candidates[0]);
                 cs.intrinsic_k =
-                    value_or(csp, a, plan.name + ".wmma.k",
-                             plan.intrinsic_k_candidates[0]);
+                    read.value_or(plan.name + ".wmma.k",
+                                  plan.intrinsic_k_candidates[0]);
             }
-            cs.unroll =
-                value_or(csp, a, "unroll." + plan.name, 1);
+            cs.unroll = read.value_or("unroll." + plan.name, 1);
+            if (read.failed())
+                return bail(read.error());
             prog.stages.push_back(std::move(cs));
             continue;
         }
@@ -98,12 +162,20 @@ GeneratedSpace::bind(const Assignment &a) const
         // Cache stage: resolve the attach candidate, then compute
         // region footprint and fill count from the consumer tiles.
         const StagePlan &consumer = tmpl.stage(plan.compute_at);
-        HERON_CHECK_EQ(static_cast<int>(consumer.role),
-                       static_cast<int>(StageRole::kMain));
-        int64_t loc = value_or(csp, a, "loc." + plan.name, 0);
-        HERON_CHECK_GE(loc, 0);
-        HERON_CHECK_LT(static_cast<size_t>(loc),
-                       plan.attach_candidates.size());
+        if (consumer.role != StageRole::kMain)
+            return bail("cache stage " + plan.name +
+                        " attaches to non-main stage " +
+                        consumer.name);
+        int64_t loc = read.value_or("loc." + plan.name, 0);
+        if (loc < 0 ||
+            static_cast<size_t>(loc) >=
+                plan.attach_candidates.size()) {
+            std::ostringstream msg;
+            msg << "attach candidate " << loc << " of " << plan.name
+                << " out of range (have "
+                << plan.attach_candidates.size() << ")";
+            return bail(msg.str());
+        }
         int depth =
             plan.attach_candidates[static_cast<size_t>(loc)];
         AttachInfo info =
@@ -111,8 +183,7 @@ GeneratedSpace::bind(const Assignment &a) const
 
         // Consumer tile lengths (per axis, per level).
         auto consumer_len = [&](int axis, int level) {
-            return value(
-                csp, a,
+            return read.value(
                 consumer.axes[static_cast<size_t>(axis)].level_name(
                     consumer.name, level));
         };
@@ -127,14 +198,15 @@ GeneratedSpace::bind(const Assignment &a) const
             dag.stage(consumer.ir_stage);
         const std::vector<LinearExpr> *access = nullptr;
         if (plan.role == StageRole::kCacheRead) {
-            for (const auto &read : ir_stage.reads)
-                if (read.tensor == plan.tensor)
-                    access = &read.indices;
+            for (const auto &read_access : ir_stage.reads)
+                if (read_access.tensor == plan.tensor)
+                    access = &read_access.indices;
         } else {
             access = &ir_stage.output_indices;
         }
-        HERON_CHECK(access != nullptr)
-            << plan.name << " stages unknown tensor " << plan.tensor;
+        if (access == nullptr)
+            return bail(plan.name + " stages unknown tensor " +
+                        plan.tensor);
 
         int64_t elements = 1;
         int64_t row = 1;
@@ -148,15 +220,18 @@ GeneratedSpace::bind(const Assignment &a) const
             trips = checked_mul(trips,
                                 consumer_len(ref.axis, ref.level));
 
+        if (read.failed())
+            return bail(read.error());
+
         const ir::Tensor &tensor = dag.tensor(plan.tensor);
         cs.attach_depth = depth;
         cs.tile_elements = elements;
         cs.row_elements = row;
         cs.fill_trips = trips;
         cs.bytes_per_element = ir::dtype_bytes(tensor.dtype);
-        cs.vector_len = value_or(csp, a, "vec." + plan.name, 1);
+        cs.vector_len = read.value_or("vec." + plan.name, 1);
         cs.storage_align_pad =
-            value_or(csp, a, "pad." + plan.name, 0);
+            read.value_or("pad." + plan.name, 0);
         cs.packed_layout = plan.packed_layout;
         prog.stages.push_back(std::move(cs));
     }
@@ -173,8 +248,8 @@ GeneratedSpace::bind(const Assignment &a) const
             continue;
         for (const auto &stage : dag.stages()) {
             bool reads = false;
-            for (const auto &read : stage.reads)
-                reads |= read.tensor == input.name;
+            for (const auto &read_access : stage.reads)
+                reads |= read_access.tensor == input.name;
             if (reads)
                 prog.streamed_input_bytes += checked_mul(
                     stage.iteration_count(),
@@ -182,6 +257,16 @@ GeneratedSpace::bind(const Assignment &a) const
         }
     }
     return prog;
+}
+
+schedule::ConcreteProgram
+GeneratedSpace::bind(const Assignment &a) const
+{
+    std::string error;
+    auto program = try_bind(a, &error);
+    HERON_CHECK(program.has_value())
+        << "bind failed for " << workload.name << ": " << error;
+    return std::move(*program);
 }
 
 } // namespace heron::rules

@@ -105,8 +105,22 @@ struct GeneratedSpace {
     csp::Csp csp;
     SpaceStats stats;
 
-    /** Bind a complete valid assignment to a concrete program. */
+    /**
+     * Bind a complete valid assignment to a concrete program.
+     * Aborts on malformed input; only for assignments produced by
+     * the solver against this space.
+     */
     schedule::ConcreteProgram bind(const csp::Assignment &a) const;
+
+    /**
+     * Validating bind for untrusted assignments (tuning logs,
+     * journals, user input): returns nullopt and fills @p error
+     * instead of aborting when the assignment does not fit this
+     * space.
+     */
+    std::optional<schedule::ConcreteProgram>
+    try_bind(const csp::Assignment &a,
+             std::string *error = nullptr) const;
 };
 
 /** Generates constrained search spaces for one DLA. */

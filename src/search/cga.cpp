@@ -71,13 +71,23 @@ constraint_crossover_mutation(const Csp &csp, RandSatSolver &solver,
                                   rng.index(constraints.size())));
 
         // Solve the new CSP. If the key-variable combination is
-        // over-constrained, relax by removing further constraints
-        // (validity w.r.t. CSP_initial is preserved throughout).
+        // over-constrained — the subproblem is UNSAT, or it
+        // exhausts the solver's budget or deadline — degrade
+        // gracefully instead of discarding the offspring: walk a
+        // relaxation ladder that drops the added IN constraints one
+        // at a time (validity w.r.t. CSP_initial is preserved
+        // throughout; with every constraint dropped the subproblem
+        // is CSP_initial itself).
         std::optional<Assignment> child;
         while (true) {
             child = solver.solve_one(rng, constraints);
             if (child || constraints.empty())
                 break;
+            HERON_DEBUG << "CGA crossover subproblem failed ("
+                        << csp::solve_failure_name(
+                               solver.last_failure())
+                        << "); relaxing " << constraints.size()
+                        << " remaining constraint(s)";
             constraints.erase(constraints.begin() +
                               static_cast<long>(
                                   rng.index(constraints.size())));

@@ -24,13 +24,12 @@ Evaluator::Evaluator(const rules::GeneratedSpace &space,
 }
 
 double
-Evaluator::measure(const Assignment &a)
+Evaluator::apply(const Assignment &a, const hw::MeasureResult &r)
 {
-    auto program = space_.bind(a);
-    auto r = measurer_.measure(program);
+    last_ = r;
     ++result_.total_measured;
-    double score = model::throughput_score(r.valid, r.latency_ms,
-                                           program.total_ops);
+    double score = model::throughput_score(
+        r.valid, r.latency_ms, space_.dag.total_ops());
     if (r.valid) {
         ++result_.valid_count;
         if (r.gflops > result_.best_gflops) {
@@ -41,6 +40,29 @@ Evaluator::measure(const Assignment &a)
     }
     result_.history.push_back(result_.best_gflops);
     return score;
+}
+
+double
+Evaluator::measure(const Assignment &a)
+{
+    auto program = space_.bind(a);
+    return apply(a, measurer_.measure(program));
+}
+
+double
+Evaluator::replay(const Assignment &a, bool valid,
+                  double latency_ms, double gflops)
+{
+    measurer_.note_replayed();
+    hw::MeasureResult r;
+    r.valid = valid;
+    r.latency_ms = latency_ms;
+    r.gflops = gflops;
+    if (!valid) {
+        r.failure = hw::MeasureFailure::kInvalid;
+        r.error = "journal: measurement failed in the original run";
+    }
+    return apply(a, r);
 }
 
 double

@@ -51,6 +51,19 @@ class Evaluator
     /** Record a failed-to-build candidate (counts as a trial). */
     double measure_failure();
 
+    /**
+     * Apply a measurement restored from a journal without running
+     * the hardware: updates the best-so-far trajectory and counters
+     * exactly as measure() would and advances the measurer's
+     * replay counter, so a resumed run stays bit-identical to an
+     * uninterrupted one. Returns the throughput score.
+     */
+    double replay(const csp::Assignment &a, bool valid,
+                  double latency_ms, double gflops);
+
+    /** Full result of the most recent measure()/replay() call. */
+    const hw::MeasureResult &last_result() const { return last_; }
+
     /** Number of measurements so far. */
     int64_t count() const { return result_.total_measured; }
 
@@ -63,6 +76,11 @@ class Evaluator
     const rules::GeneratedSpace &space_;
     hw::Measurer &measurer_;
     SearchResult result_;
+    hw::MeasureResult last_;
+
+    /** Shared bookkeeping for measure() and replay(). */
+    double apply(const csp::Assignment &a,
+                 const hw::MeasureResult &r);
 };
 
 /**
