@@ -13,12 +13,19 @@
  *              [--trials N] [--seed S] [--tuner heron|autotvm|
  *               ansor|amos|akg|vendor] [--log FILE] [--emit]
  *              [--journal FILE] [--fault-transient RATE]
- *              [--fault-timeout RATE]
+ *              [--fault-timeout RATE] [--trace FILE]
+ *              [--metrics FILE] [--telemetry FILE]
  *
  * --journal keeps a flushed JSONL record of every measurement;
  * re-running the same command after a crash resumes from it
  * bit-identically. The --fault-* flags inject seeded measurement
  * faults to exercise the retry/timeout machinery.
+ *
+ * Observability: --trace writes a Chrome trace-event JSON (load in
+ * chrome://tracing or Perfetto), --metrics writes the process
+ * metrics snapshot as JSON, --telemetry streams one JSONL record
+ * per measurement round. Any of the three also arms the profiler
+ * and prints an end-of-run summary table.
  *
  * Examples:
  *   heron_tune --dla v100 --op gemm --shape 512,1024,1024
@@ -36,6 +43,7 @@
 #include "autotune/tuner.h"
 #include "codegen/emitter.h"
 #include "schedule/concrete.h"
+#include "support/profiler.h"
 
 using namespace heron;
 
@@ -50,9 +58,19 @@ struct CliArgs {
     uint64_t seed = 1;
     std::string log_path;
     std::string journal_path;
+    std::string trace_path;
+    std::string metrics_path;
+    std::string telemetry_path;
     double fault_transient = 0.0;
     double fault_timeout = 0.0;
     bool emit = false;
+
+    bool
+    profiled() const
+    {
+        return !trace_path.empty() || !metrics_path.empty() ||
+               !telemetry_path.empty();
+    }
 };
 
 [[noreturn]] void
@@ -67,7 +85,8 @@ usage(const char *msg)
                  " [--tuner heron|autotvm|ansor|amos|akg|vendor]"
                  " [--log FILE] [--journal FILE]"
                  " [--fault-transient RATE] [--fault-timeout RATE]"
-                 " [--emit]\n");
+                 " [--trace FILE] [--metrics FILE]"
+                 " [--telemetry FILE] [--emit]\n");
     std::exit(2);
 }
 
@@ -101,6 +120,12 @@ parse(int argc, char **argv)
             args.log_path = need("--log");
         } else if (!std::strcmp(argv[i], "--journal")) {
             args.journal_path = need("--journal");
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            args.trace_path = need("--trace");
+        } else if (!std::strcmp(argv[i], "--metrics")) {
+            args.metrics_path = need("--metrics");
+        } else if (!std::strcmp(argv[i], "--telemetry")) {
+            args.telemetry_path = need("--telemetry");
         } else if (!std::strcmp(argv[i], "--fault-transient")) {
             args.fault_transient =
                 std::atof(need("--fault-transient"));
@@ -195,6 +220,7 @@ tuner_for(const CliArgs &args, const hw::DlaSpec &spec)
     config.trials = args.trials;
     config.seed = args.seed;
     config.journal_path = args.journal_path;
+    config.telemetry_path = args.telemetry_path;
     config.faults.transient_rate = args.fault_transient;
     config.faults.timeout_rate = args.fault_timeout;
     if (args.tuner == "heron")
@@ -231,10 +257,42 @@ main(int argc, char **argv)
         return 1;
     }
 
+    prof::Profiler &profiler = prof::Profiler::global();
+    if (args.profiled())
+        profiler.enable();
+
     std::printf("Tuning %s on %s with %s (%d trials)...\n",
                 workload.label().c_str(), spec.name.c_str(),
                 tuner->name().c_str(), args.trials);
     auto outcome = tuner->tune(workload);
+
+    if (args.profiled()) {
+        if (!args.trace_path.empty()) {
+            if (profiler.write_chrome_trace(args.trace_path))
+                std::printf("Wrote Chrome trace to %s\n",
+                            args.trace_path.c_str());
+            else
+                std::fprintf(stderr,
+                             "heron_tune: cannot write trace %s\n",
+                             args.trace_path.c_str());
+        }
+        if (!args.metrics_path.empty()) {
+            if (profiler.write_metrics(args.metrics_path))
+                std::printf("Wrote metrics snapshot to %s\n",
+                            args.metrics_path.c_str());
+            else
+                std::fprintf(stderr,
+                             "heron_tune: cannot write metrics %s\n",
+                             args.metrics_path.c_str());
+        }
+        std::printf("%s",
+                    profiler.summary_table().to_string().c_str());
+        if (outcome.profiled)
+            std::printf("Phase decomposition drift: %.4f s "
+                        "(search+model wall minus profiler spans)\n",
+                        outcome.profile_delta_seconds);
+    }
+
     if (!outcome.result.found()) {
         std::printf("No valid program found.\n");
         return 1;

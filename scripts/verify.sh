@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: plain build + tests, then the same suite
-# under AddressSanitizer + UndefinedBehaviorSanitizer.
+# under AddressSanitizer + UndefinedBehaviorSanitizer. Each preset
+# also smoke-tests the observability path: a tiny heron_tune run
+# with --trace/--metrics whose outputs must parse as JSON.
 #
 # Usage: scripts/verify.sh [--no-asan]
 set -euo pipefail
@@ -12,10 +14,42 @@ if [[ "${1:-}" == "--no-asan" ]]; then
     run_asan=0
 fi
 
+# Run a tiny profiled tuning job out of $1 (a preset's build dir)
+# and validate the trace/metrics/telemetry files it writes.
+smoke_observability() {
+    local build_dir="$1"
+    echo "== observability smoke test ($build_dir) =="
+    local out="$build_dir/observability-smoke"
+    rm -rf "$out"
+    mkdir -p "$out"
+    "$build_dir/examples/heron_tune" \
+        --dla v100 --op c2d --shape 1,16,14,14,16,3,3,1,1 \
+        --trials 8 \
+        --trace "$out/trace.json" \
+        --metrics "$out/metrics.json" \
+        --telemetry "$out/telemetry.jsonl" \
+        > "$out/stdout.txt"
+    grep -q "Observability summary" "$out/stdout.txt"
+    python3 - "$out" <<'EOF'
+import json, sys, os
+out = sys.argv[1]
+trace = json.load(open(os.path.join(out, "trace.json")))
+assert trace["traceEvents"], "empty trace"
+metrics = json.load(open(os.path.join(out, "metrics.json")))
+assert metrics["counters"].get("csp.propagations", 0) > 0, metrics
+rounds = [json.loads(line)
+          for line in open(os.path.join(out, "telemetry.jsonl"))]
+assert rounds and all("round" in r for r in rounds), rounds
+print("observability smoke: OK "
+      f"({len(trace['traceEvents'])} events, {len(rounds)} rounds)")
+EOF
+}
+
 echo "== tier-1: plain build =="
 cmake --preset default
 cmake --build --preset default -j
 ctest --preset default -j
+smoke_observability build
 
 if [[ "$run_asan" == 1 ]]; then
     echo "== tier-1: ASan+UBSan build =="
@@ -24,6 +58,7 @@ if [[ "$run_asan" == 1 ]]; then
     UBSAN_OPTIONS=halt_on_error=1 \
         ASAN_OPTIONS=detect_leaks=0 \
         ctest --preset asan -j
+    ASAN_OPTIONS=detect_leaks=0 smoke_observability build-asan
 fi
 
 echo "verify: OK"

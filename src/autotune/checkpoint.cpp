@@ -7,7 +7,7 @@
 namespace heron::autotune {
 
 bool
-TuningJournal::open(const std::string &path)
+TuningJournal::open(const std::string &path, int64_t next_seq)
 {
     out_.open(path, std::ios::app);
     if (!out_.is_open()) {
@@ -17,6 +17,7 @@ TuningJournal::open(const std::string &path)
         return false;
     }
     path_ = path;
+    next_seq_ = next_seq > 0 ? next_seq : 1;
     return true;
 }
 
@@ -25,7 +26,13 @@ TuningJournal::append(const TuningRecord &record)
 {
     if (!out_.is_open())
         return;
-    out_ << record.to_json() << "\n";
+    TuningRecord stamped = record;
+    if (stamped.seq == 0)
+        stamped.seq = next_seq_;
+    next_seq_ = stamped.seq + 1;
+    if (stamped.category.empty())
+        stamped.category = "measure";
+    out_ << stamped.to_json() << "\n";
     // Flush per record: a killed run loses at most the measurement
     // in flight.
     out_.flush();

@@ -30,17 +30,27 @@ class TuningJournal
 
     /**
      * Open @p path for appending (existing records are kept).
+     * @param next_seq sequence number for the next appended record;
+     *        pass max(seq)+1 of the already-loaded records when
+     *        resuming so numbering stays monotonic across the crash.
      * @return false when the file cannot be opened for writing.
      */
-    bool open(const std::string &path);
+    bool open(const std::string &path, int64_t next_seq = 1);
 
     bool is_open() const { return out_.is_open(); }
 
     /** Journaled path ("" when not open). */
     const std::string &path() const { return path_; }
 
-    /** Append one record and flush it to disk immediately. */
+    /**
+     * Append one record and flush it to disk immediately. Records
+     * with seq 0 are stamped with the journal's monotonic sequence
+     * number; pre-stamped records advance it.
+     */
     void append(const TuningRecord &record);
+
+    /** Sequence number the next appended record will receive. */
+    int64_t next_seq() const { return next_seq_; }
 
     /**
      * Load all records from @p path. A missing file yields an empty
@@ -54,6 +64,7 @@ class TuningJournal
   private:
     std::ofstream out_;
     std::string path_;
+    int64_t next_seq_ = 1;
 };
 
 /**

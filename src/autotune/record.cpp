@@ -5,69 +5,15 @@
 #include <limits>
 #include <sstream>
 
+#include "support/json_util.h"
 #include "support/logging.h"
 
 namespace heron::autotune {
 
-namespace {
-
-/** Escape a string for our JSON subset. */
-std::string
-escape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
-/**
- * Extract the value of "key": from a one-line JSON object. Returns
- * the raw token (string contents without quotes, or the number /
- * array text). nullopt when absent.
- */
-std::optional<std::string>
-extract(const std::string &line, const std::string &key)
-{
-    std::string needle = "\"" + key + "\":";
-    size_t pos = line.find(needle);
-    if (pos == std::string::npos)
-        return std::nullopt;
-    pos += needle.size();
-    while (pos < line.size() && line[pos] == ' ')
-        ++pos;
-    if (pos >= line.size())
-        return std::nullopt;
-    if (line[pos] == '"') {
-        std::string value;
-        for (size_t i = pos + 1; i < line.size(); ++i) {
-            if (line[i] == '\\' && i + 1 < line.size()) {
-                value += line[++i];
-                continue;
-            }
-            if (line[i] == '"')
-                return value;
-            value += line[i];
-        }
-        return std::nullopt;
-    }
-    if (line[pos] == '[') {
-        size_t end = line.find(']', pos);
-        if (end == std::string::npos)
-            return std::nullopt;
-        return line.substr(pos + 1, end - pos - 1);
-    }
-    size_t end = pos;
-    while (end < line.size() && line[end] != ',' &&
-           line[end] != '}')
-        ++end;
-    return line.substr(pos, end - pos);
-}
-
-} // namespace
+// String escaping and key extraction live in support/json_util so
+// every JSONL stream (records, journal, telemetry) shares one
+// implementation; they resolve here via the enclosing heron
+// namespace as json_escape / json_extract.
 
 std::string
 TuningRecord::to_json() const
@@ -76,9 +22,11 @@ TuningRecord::to_json() const
     // max_digits10 keeps the double round trip bit-exact, which
     // checkpoint/resume relies on.
     out << std::setprecision(std::numeric_limits<double>::max_digits10);
-    out << "{\"workload\":\"" << escape(workload) << "\","
-        << "\"dla\":\"" << escape(dla) << "\","
-        << "\"tuner\":\"" << escape(tuner) << "\","
+    out << "{\"workload\":\"" << json_escape(workload) << "\","
+        << "\"dla\":\"" << json_escape(dla) << "\","
+        << "\"tuner\":\"" << json_escape(tuner) << "\","
+        << "\"seq\":" << seq << ","
+        << "\"cat\":\"" << json_escape(category) << "\","
         << "\"valid\":" << (valid ? 1 : 0) << ","
         << "\"latency_ms\":" << latency_ms << ","
         << "\"gflops\":" << gflops << ",\"assignment\":[";
@@ -92,12 +40,12 @@ std::optional<TuningRecord>
 TuningRecord::from_json(const std::string &line)
 {
     TuningRecord record;
-    auto workload = extract(line, "workload");
-    auto dla = extract(line, "dla");
-    auto tuner = extract(line, "tuner");
-    auto latency = extract(line, "latency_ms");
-    auto gflops = extract(line, "gflops");
-    auto assignment = extract(line, "assignment");
+    auto workload = json_extract(line, "workload");
+    auto dla = json_extract(line, "dla");
+    auto tuner = json_extract(line, "tuner");
+    auto latency = json_extract(line, "latency_ms");
+    auto gflops = json_extract(line, "gflops");
+    auto assignment = json_extract(line, "assignment");
     if (!workload || !dla || !tuner || !latency || !gflops ||
         !assignment)
         return std::nullopt;
@@ -108,9 +56,15 @@ TuningRecord::from_json(const std::string &line)
     record.gflops = std::atof(gflops->c_str());
     // "valid" was added for measurement journaling; records written
     // before it default to valid when a throughput was recorded.
-    auto valid = extract(line, "valid");
+    auto valid = json_extract(line, "valid");
     record.valid = valid ? std::atoll(valid->c_str()) != 0
                          : record.gflops > 0.0;
+    // "seq"/"cat" were added for stream correlation; older records
+    // keep seq 0 (unstamped) and the default category.
+    if (auto seq = json_extract(line, "seq"))
+        record.seq = std::atoll(seq->c_str());
+    if (auto cat = json_extract(line, "cat"))
+        record.category = *cat;
 
     std::istringstream values(*assignment);
     std::string token;

@@ -22,6 +22,15 @@ struct TuningRecord {
     std::string workload;
     std::string dla;
     std::string tuner;
+    /**
+     * Monotonic sequence number within one journal (1-based;
+     * stamped by TuningJournal::append when left at 0). Lets the
+     * journal be correlated with trace/metrics/telemetry streams
+     * after a crash-resume.
+     */
+    int64_t seq = 0;
+    /** Record category tag ("measure" for journaled measurements). */
+    std::string category = "measure";
     /** False for a journaled measurement that failed. */
     bool valid = true;
     double latency_ms = 0.0;

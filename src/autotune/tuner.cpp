@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <unordered_set>
 
 #include "autotune/checkpoint.h"
@@ -10,6 +11,9 @@
 #include "search/cga.h"
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/metrics.h"
+#include "support/profiler.h"
+#include "support/trace.h"
 
 namespace heron::autotune {
 
@@ -38,6 +42,57 @@ hash_assignment(const Assignment &a)
     for (int64_t v : a)
         h = hash_combine(h, static_cast<uint64_t>(v));
     return h;
+}
+
+/** Span labels for the wall-clock phase decomposition. */
+constexpr const char *kSearchPhase = "phase/search";
+constexpr const char *kModelPhase = "phase/model";
+
+/**
+ * Times one contiguous region into both accountings at once: the
+ * TuneOutcome seconds accumulator and the profiler (same start/end
+ * timestamps, so the two decompositions reconcile by construction
+ * and the debug assert catches a region added to only one of them).
+ */
+class PhaseSpan
+{
+  public:
+    PhaseSpan(const char *label, double &acc)
+        : label_(label), acc_(&acc), start_(Clock::now())
+    {
+    }
+
+    ~PhaseSpan() { stop(); }
+
+    PhaseSpan(const PhaseSpan &) = delete;
+    PhaseSpan &operator=(const PhaseSpan &) = delete;
+
+    /** End the region early (idempotent). */
+    void
+    stop()
+    {
+        if (!acc_)
+            return;
+        auto end = Clock::now();
+        *acc_ +=
+            std::chrono::duration<double>(end - start_).count();
+        trace::Tracer::global().record_span(label_, start_, end);
+        acc_ = nullptr;
+    }
+
+  private:
+    const char *label_;
+    double *acc_;
+    Clock::time_point start_;
+};
+
+/** Crossover relaxation-ladder steps taken so far, process-wide. */
+int64_t
+relaxation_count()
+{
+    return metrics::Registry::global()
+        .counter("cga.relaxations")
+        .value();
 }
 
 /** Common base: holds the DLA spec and config. */
@@ -97,13 +152,30 @@ class HeronTuner : public TunerBase
     TuneOutcome
     tune(const ops::Workload &workload) override
     {
+        HERON_TRACE_SCOPE("tuner/tune");
+        trace::Tracer &tracer = trace::Tracer::global();
+        // Phase totals before this run, so the reconciliation below
+        // works on this run's delta even after several tune calls.
+        const double search_span0 =
+            tracer.total_seconds(kSearchPhase);
+        const double model_span0 = tracer.total_seconds(kModelPhase);
+        auto tune_start = Clock::now();
+
         TuneOutcome outcome;
         outcome.tuner = name();
         outcome.workload = workload.name;
 
-        auto search_start = Clock::now();
+        if (!config_.telemetry_path.empty() &&
+            !telemetry_.is_open())
+            telemetry_.open(config_.telemetry_path);
+
+        PhaseSpan setup_span(kSearchPhase, outcome.search_seconds);
         rules::SpaceGenerator generator(spec_, ablation_.options);
-        auto space = generator.generate(workload);
+        auto space = [&] {
+            HERON_TRACE_SCOPE("space/generate");
+            HERON_COUNTER_INC("space.generated");
+            return generator.generate(workload);
+        }();
         RandSatSolver solver(space.csp, config_.solver);
         auto measurer = make_tuner_measurer();
         Evaluator evaluator(space, *measurer);
@@ -115,18 +187,22 @@ class HeronTuner : public TunerBase
         TuningJournal journal;
         ReplayCursor replay;
         if (!config_.journal_path.empty()) {
-            replay = ReplayCursor(
-                TuningJournal::load(config_.journal_path),
-                workload.name, spec_.name, name());
+            auto loaded = TuningJournal::load(config_.journal_path);
+            // Keep sequence numbers monotonic across the resume.
+            int64_t next_seq = 1;
+            for (const auto &rec : loaded)
+                next_seq = std::max(next_seq, rec.seq + 1);
+            replay = ReplayCursor(std::move(loaded), workload.name,
+                                  spec_.name, name());
             if (replay.remaining() > 0) {
                 HERON_INFO << "resuming " << workload.name
                            << " from journal ("
                            << replay.remaining()
                            << " measurement(s) to replay)";
             }
-            journal.open(config_.journal_path);
+            journal.open(config_.journal_path, next_seq);
         }
-        outcome.search_seconds += seconds_since(search_start);
+        setup_span.stop();
 
         std::unordered_set<uint64_t> measured;
         // (assignment, measured score) for survivor selection.
@@ -135,12 +211,19 @@ class HeronTuner : public TunerBase
         // a few barren rounds are survivable (randomized restarts),
         // a streak means the space is exhausted.
         int barren_rounds = 0;
+        int64_t round_index = -1;
 
         while (evaluator.count() < config_.trials) {
-            auto round_start = Clock::now();
+            ++round_index;
+            HERON_COUNTER_INC("tuner.rounds");
+            const csp::SolverStats solver_before = solver.stats();
+            const int64_t relax_before = relaxation_count();
+
             // Step 1: first generation = survivors + random valid.
             std::vector<Assignment> pop;
             {
+                PhaseSpan search_span(kSearchPhase,
+                                      outcome.search_seconds);
                 std::vector<size_t> order(archive.size());
                 for (size_t i = 0; i < order.size(); ++i)
                     order[i] = i;
@@ -154,15 +237,17 @@ class HeronTuner : public TunerBase
                     static_cast<size_t>(config_.population / 2));
                 for (size_t i = 0; i < survivors; ++i)
                     pop.push_back(archive[order[i]].first);
+                int need = config_.population -
+                           static_cast<int>(pop.size());
+                for (auto &a :
+                     solver.solve_n(rng, std::max(need, 1)))
+                    pop.push_back(std::move(a));
             }
-            int need = config_.population -
-                       static_cast<int>(pop.size());
-            for (auto &a : solver.solve_n(rng, std::max(need, 1)))
-                pop.push_back(std::move(a));
             if (pop.empty()) {
                 // Degrade gracefully: a randomized solver can fail
                 // a whole round (budget/deadline) and still succeed
                 // on the next attempt.
+                HERON_COUNTER_INC("tuner.barren_rounds");
                 if (++barren_rounds >= config_.max_barren_rounds) {
                     HERON_WARN
                         << "solver produced no candidates for "
@@ -177,18 +262,25 @@ class HeronTuner : public TunerBase
             }
 
             // Step 2: evolve for several generations on predicted
-            // fitness.
+            // fitness. Model queries and genetic operators are
+            // timed into disjoint phases — the predict loops must
+            // not also count as search time (that double-counting
+            // was the old compile_seconds decomposition drift).
             if (model.trained()) {
                 for (int g = 0; g < config_.generations; ++g) {
-                    auto model_start = Clock::now();
+                    HERON_COUNTER_INC("tuner.generations");
                     std::vector<double> fitness;
-                    fitness.reserve(pop.size());
-                    for (const auto &a : pop)
-                        fitness.push_back(
-                            std::max(0.0, model.predict(a)));
-                    outcome.model_seconds +=
-                        seconds_since(model_start);
+                    {
+                        PhaseSpan model_span(kModelPhase,
+                                             outcome.model_seconds);
+                        fitness.reserve(pop.size());
+                        for (const auto &a : pop)
+                            fitness.push_back(
+                                std::max(0.0, model.predict(a)));
+                    }
 
+                    PhaseSpan search_span(kSearchPhase,
+                                          outcome.search_seconds);
                     auto parents = search::roulette_select(
                         pop, fitness, config_.population, rng);
                     auto offspring =
@@ -204,28 +296,29 @@ class HeronTuner : public TunerBase
 
             // Step 3: epsilon-greedy measurement selection.
             std::vector<Assignment> candidates;
-            for (auto &a : pop) {
-                uint64_t h = hash_assignment(a);
-                if (measured.count(h))
-                    continue;
-                candidates.push_back(std::move(a));
+            {
+                PhaseSpan search_span(kSearchPhase,
+                                      outcome.search_seconds);
+                for (auto &a : pop) {
+                    uint64_t h = hash_assignment(a);
+                    if (measured.count(h))
+                        continue;
+                    candidates.push_back(std::move(a));
+                }
+                if (candidates.empty())
+                    for (auto &a : solver.solve_n(rng, 4))
+                        candidates.push_back(std::move(a));
             }
             if (candidates.empty()) {
-                auto extra = solver.solve_n(rng, 4);
-                for (auto &a : extra)
-                    candidates.push_back(std::move(a));
-                if (candidates.empty()) {
-                    if (++barren_rounds >=
-                        config_.max_barren_rounds) {
-                        HERON_WARN << "no unmeasured candidates "
-                                      "for "
-                                   << barren_rounds
-                                   << " round(s); stopping "
-                                   << workload.name << " early";
-                        break;
-                    }
-                    continue;
+                HERON_COUNTER_INC("tuner.barren_rounds");
+                if (++barren_rounds >= config_.max_barren_rounds) {
+                    HERON_WARN << "no unmeasured candidates for "
+                               << barren_rounds
+                               << " round(s); stopping "
+                               << workload.name << " early";
+                    break;
                 }
+                continue;
             }
             barren_rounds = 0;
             int budget_left =
@@ -237,19 +330,24 @@ class HeronTuner : public TunerBase
             std::vector<size_t> pick_order(candidates.size());
             for (size_t i = 0; i < pick_order.size(); ++i)
                 pick_order[i] = i;
+            std::vector<double> predicted;
             if (model.trained() &&
                 !ablation_.random_measure_selection) {
-                auto model_start = Clock::now();
-                std::vector<double> predicted(candidates.size());
-                for (size_t i = 0; i < candidates.size(); ++i)
-                    predicted[i] = model.predict(candidates[i]);
+                {
+                    PhaseSpan model_span(kModelPhase,
+                                         outcome.model_seconds);
+                    predicted.resize(candidates.size());
+                    for (size_t i = 0; i < candidates.size(); ++i)
+                        predicted[i] = model.predict(candidates[i]);
+                }
+                PhaseSpan search_span(kSearchPhase,
+                                      outcome.search_seconds);
                 std::stable_sort(pick_order.begin(),
                                  pick_order.end(),
                                  [&](size_t a, size_t b) {
                                      return predicted[a] >
                                             predicted[b];
                                  });
-                outcome.model_seconds += seconds_since(model_start);
                 // epsilon fraction replaced by random picks.
                 int random_picks = static_cast<int>(
                     config_.epsilon * to_measure);
@@ -262,14 +360,17 @@ class HeronTuner : public TunerBase
                               pick_order[j]);
                 }
             } else {
+                PhaseSpan search_span(kSearchPhase,
+                                      outcome.search_seconds);
                 rng.shuffle(pick_order);
             }
-            outcome.search_seconds += seconds_since(round_start);
 
             // Step 4: measure (or replay from the journal) and
             // update the model. Failed measurements score 0 and the
             // round carries on — a tuning run survives rounds where
             // every measurement fails.
+            int round_valid = 0;
+            double round_gflops_sum = 0.0;
             for (int i = 0; i < to_measure; ++i) {
                 const Assignment &a =
                     candidates[pick_order[static_cast<size_t>(i)]];
@@ -294,24 +395,109 @@ class HeronTuner : public TunerBase
                         journal.append(rec);
                     }
                 }
+                if (evaluator.last_result().valid) {
+                    ++round_valid;
+                    round_gflops_sum +=
+                        evaluator.last_result().gflops;
+                }
                 measured.insert(hash_assignment(a));
                 model.add_scored_sample(a, score);
                 archive.emplace_back(a, score);
             }
-            auto fit_start = Clock::now();
-            model.fit();
-            outcome.model_seconds += seconds_since(fit_start);
+            {
+                PhaseSpan model_span(kModelPhase,
+                                     outcome.model_seconds);
+                model.fit();
+            }
+
+            if (telemetry_.is_open()) {
+                emit_generation_stats(
+                    workload, outcome, evaluator, round_index,
+                    to_measure, round_valid, round_gflops_sum,
+                    predicted, pick_order, solver_before,
+                    solver.stats(),
+                    relaxation_count() - relax_before,
+                    seconds_since(tune_start));
+            }
         }
 
         outcome.result = evaluator.result();
         outcome.measure_seconds = measurer->simulated_seconds();
         outcome.measure_stats = measurer->stats();
         outcome.replayed = replay.replayed();
+
+        // Decomposition reconciliation: the profiler timed exactly
+        // the regions the TuneOutcome accounting timed, so the two
+        // must agree; a drift means someone added a timed region to
+        // one bookkeeper but not the other.
+        outcome.profiled = tracer.enabled();
+        if (outcome.profiled) {
+            double tracked = (tracer.total_seconds(kSearchPhase) -
+                              search_span0) +
+                             (tracer.total_seconds(kModelPhase) -
+                              model_span0);
+            double wall =
+                outcome.search_seconds + outcome.model_seconds;
+            outcome.profile_delta_seconds = wall - tracked;
+#ifndef NDEBUG
+            HERON_CHECK_LE(std::abs(outcome.profile_delta_seconds),
+                           0.05 * wall + 0.01)
+                << "TuneOutcome phase decomposition drifted from "
+                   "profiler span totals (tracked "
+                << tracked << " s, accounted " << wall << " s)";
+#endif
+        }
         return outcome;
     }
 
   private:
     HeronAblation ablation_;
+    prof::TelemetryStream telemetry_;
+
+    /** Build and append one per-round telemetry record. */
+    void
+    emit_generation_stats(
+        const ops::Workload &workload, const TuneOutcome &outcome,
+        const Evaluator &evaluator, int64_t round_index,
+        int to_measure, int round_valid, double round_gflops_sum,
+        const std::vector<double> &predicted,
+        const std::vector<size_t> &pick_order,
+        const csp::SolverStats &solver_before,
+        const csp::SolverStats &solver_after, int64_t relaxations,
+        double elapsed_seconds)
+    {
+        prof::GenerationStats gs;
+        gs.round = round_index;
+        gs.workload = workload.name;
+        gs.tuner = outcome.tuner;
+        gs.measured = evaluator.count();
+        gs.best_latency_ms = evaluator.result().best_latency_ms;
+        gs.best_gflops = evaluator.result().best_gflops;
+        gs.round_measured = to_measure;
+        gs.round_valid = round_valid;
+        if (round_valid > 0)
+            gs.round_mean_gflops = round_gflops_sum / round_valid;
+        if (!predicted.empty() && to_measure > 0) {
+            double best = 0.0, sum = 0.0;
+            for (int i = 0; i < to_measure; ++i) {
+                double p =
+                    predicted[pick_order[static_cast<size_t>(i)]];
+                best = std::max(best, p);
+                sum += p;
+            }
+            gs.best_predicted = best;
+            gs.mean_predicted = sum / to_measure;
+        }
+        gs.solver_unsat =
+            solver_after.unsat - solver_before.unsat;
+        gs.solver_budget = solver_after.budget_exhausted -
+                           solver_before.budget_exhausted;
+        gs.solver_deadline = solver_after.deadline_aborts -
+                             solver_before.deadline_aborts;
+        gs.relaxations = relaxations;
+        gs.elapsed_seconds = elapsed_seconds;
+        telemetry_.append(gs);
+    }
 };
 
 /** Wraps one of the search-module algorithms over a fixed flavor. */
@@ -347,6 +533,7 @@ class SearchTuner : public TunerBase
     TuneOutcome
     tune(const ops::Workload &workload) override
     {
+        HERON_TRACE_SCOPE("tuner/tune");
         TuneOutcome outcome;
         outcome.tuner = name_;
         outcome.workload = workload.name;
@@ -387,6 +574,7 @@ class AmosTuner : public TunerBase
     TuneOutcome
     tune(const ops::Workload &workload) override
     {
+        HERON_TRACE_SCOPE("tuner/tune");
         TuneOutcome outcome;
         outcome.tuner = name();
         outcome.workload = workload.name;
@@ -493,6 +681,7 @@ class RecipeTuner : public TunerBase
     TuneOutcome
     tune(const ops::Workload &workload) override
     {
+        HERON_TRACE_SCOPE("tuner/tune");
         TuneOutcome outcome;
         outcome.tuner = name_;
         outcome.workload = workload.name;

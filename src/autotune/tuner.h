@@ -61,6 +61,13 @@ struct TuneConfig {
      * come up empty before the tuner stops early.
      */
     int max_barren_rounds = 3;
+    /**
+     * Per-generation telemetry stream ("" = off): the Heron tuner
+     * appends one GenerationStats JSONL record per measurement
+     * round, alongside the measurement journal (see
+     * support/profiler.h).
+     */
+    std::string telemetry_path;
 };
 
 /** What a tuning run produced, plus its cost accounting. */
@@ -78,6 +85,17 @@ struct TuneOutcome {
     hw::MeasureStats measure_stats;
     /** Measurements restored from the journal instead of re-run. */
     int64_t replayed = 0;
+    /** True when span recording was on during this run. */
+    bool profiled = false;
+    /**
+     * Decomposition drift: (search_seconds + model_seconds) minus
+     * the profiler's "phase/search" + "phase/model" span totals for
+     * this run. Asserted near-zero in debug builds when profiling
+     * is enabled; reported in the end-of-run summary. Only the
+     * wall-clock components participate — measure_seconds is
+     * simulated time and reconciles against the measurer directly.
+     */
+    double profile_delta_seconds = 0.0;
 
     /** Total "compilation" time (Table 10 / Fig. 14). */
     double

@@ -5,12 +5,37 @@
 
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/metrics.h"
 
 namespace heron::csp {
 
 namespace {
 
 constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+
+#if !defined(HERON_DISABLE_TRACING)
+/** Count a domain wipeout against the failing constraint's kind. */
+void
+count_constraint_failure(ConstraintKind kind)
+{
+    // One counter per kind, resolved once; the failure path only
+    // pays an atomic increment.
+    static metrics::Counter *by_kind[] = {
+        &metrics::Registry::global().counter("csp.fail.prod"),
+        &metrics::Registry::global().counter("csp.fail.sum"),
+        &metrics::Registry::global().counter("csp.fail.eq"),
+        &metrics::Registry::global().counter("csp.fail.le"),
+        &metrics::Registry::global().counter("csp.fail.in"),
+        &metrics::Registry::global().counter("csp.fail.select"),
+    };
+    by_kind[static_cast<size_t>(kind)]->add(1);
+}
+#else
+void
+count_constraint_failure(ConstraintKind)
+{
+}
+#endif
 
 } // namespace
 
@@ -88,12 +113,18 @@ PropagationEngine::enqueue_watchers(VarId id)
 bool
 PropagationEngine::propagate()
 {
+    HERON_COUNTER_INC("csp.propagations");
     while (!queue_.empty()) {
         int ci = queue_.back();
         queue_.pop_back();
         queued_[static_cast<size_t>(ci)] = false;
-        if (!revise(*all_constraints_[static_cast<size_t>(ci)]))
+        const Constraint &c =
+            *all_constraints_[static_cast<size_t>(ci)];
+        if (!revise(c)) {
+            HERON_COUNTER_INC("csp.domain_wipeouts");
+            count_constraint_failure(c.kind);
             return false;
+        }
     }
     return true;
 }

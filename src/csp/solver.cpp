@@ -7,6 +7,8 @@
 
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace heron::csp {
 
@@ -183,7 +185,34 @@ RandSatSolver::RandSatSolver(const Csp &csp, SolverConfig config)
 std::optional<Assignment>
 RandSatSolver::search(Rng &rng, const std::vector<Constraint> &extra)
 {
+    HERON_TRACE_SCOPE("csp/solve");
     ++stats_.solve_calls;
+    int64_t backtracks_before = stats_.backtracks;
+    int64_t restarts_before = stats_.restarts;
+    // Publish the outcome to the process-wide metrics registry as
+    // one batch per solve call so the DFS inner loop stays free of
+    // atomic traffic.
+    auto publish = [&]() {
+        HERON_COUNTER_INC("csp.solve_calls");
+        HERON_COUNTER_ADD("csp.backtracks",
+                          stats_.backtracks - backtracks_before);
+        HERON_COUNTER_ADD("csp.restarts",
+                          stats_.restarts - restarts_before);
+        switch (last_failure_) {
+          case SolveFailure::kNone:
+            HERON_COUNTER_INC("csp.solutions");
+            break;
+          case SolveFailure::kUnsat:
+            HERON_COUNTER_INC("csp.unsat");
+            break;
+          case SolveFailure::kBudget:
+            HERON_COUNTER_INC("csp.budget_exhausted");
+            break;
+          case SolveFailure::kDeadline:
+            HERON_COUNTER_INC("csp.deadline_aborts");
+            break;
+        }
+    };
     Clock::time_point deadline = Clock::time_point::max();
     if (config_.deadline_ms > 0.0)
         deadline = Clock::now() +
@@ -199,24 +228,30 @@ RandSatSolver::search(Rng &rng, const std::vector<Constraint> &extra)
         if (result) {
             ++stats_.solutions;
             last_failure_ = SolveFailure::kNone;
+            publish();
             return result;
         }
         if (dfs.root_conflict()) {
             // Propagation is sound, so a root wipeout proves the
             // problem unsatisfiable; restarting cannot help.
             ++stats_.failures;
+            ++stats_.unsat;
             last_failure_ = SolveFailure::kUnsat;
+            publish();
             return std::nullopt;
         }
         if (dfs.deadline_hit()) {
             ++stats_.failures;
             ++stats_.deadline_aborts;
             last_failure_ = SolveFailure::kDeadline;
+            publish();
             return std::nullopt;
         }
     }
     ++stats_.failures;
+    ++stats_.budget_exhausted;
     last_failure_ = SolveFailure::kBudget;
+    publish();
     return std::nullopt;
 }
 

@@ -60,6 +60,10 @@ struct SolverStats {
     int64_t backtracks = 0;
     int64_t restarts = 0;
     int64_t failures = 0;
+    /** Solve calls that proved the subproblem unsatisfiable. */
+    int64_t unsat = 0;
+    /** Solve calls that exhausted the backtrack/restart budget. */
+    int64_t budget_exhausted = 0;
     /** Solve calls aborted by the wall-clock deadline. */
     int64_t deadline_aborts = 0;
 };

@@ -1,6 +1,7 @@
 #include "hw/fault_injection.h"
 
 #include "support/logging.h"
+#include "support/metrics.h"
 
 namespace heron::hw {
 
@@ -29,6 +30,7 @@ FaultyMeasurer::attempt(const schedule::ConcreteProgram &program,
 
     if (u_transient < faults_.transient_rate) {
         ++injected_;
+        HERON_COUNTER_INC("fault.injected_transient");
         charge_seconds(config().harness_overhead_s);
         Attempt run;
         run.failure = MeasureFailure::kTransient;
@@ -37,6 +39,7 @@ FaultyMeasurer::attempt(const schedule::ConcreteProgram &program,
     }
     if (u_timeout < faults_.timeout_rate) {
         ++injected_;
+        HERON_COUNTER_INC("fault.injected_timeout");
         charge_seconds(config().harness_overhead_s);
         charge_seconds(config().timeout_ms > 0.0
                            ? config().timeout_ms / 1e3
@@ -48,6 +51,7 @@ FaultyMeasurer::attempt(const schedule::ConcreteProgram &program,
     }
     if (u_spurious < faults_.spurious_invalid_rate) {
         ++injected_;
+        HERON_COUNTER_INC("fault.injected_spurious_invalid");
         charge_seconds(config().harness_overhead_s);
         Attempt run;
         run.failure = MeasureFailure::kInvalid;
@@ -62,6 +66,7 @@ FaultyMeasurer::attempt(const schedule::ConcreteProgram &program,
             if (dice.uniform() >= faults_.outlier_rate)
                 continue;
             ++injected_;
+            HERON_COUNTER_INC("fault.injected_outlier");
             double scaled = ms * faults_.outlier_scale;
             if (config().timeout_ms > 0.0 &&
                 scaled > config().timeout_ms) {

@@ -5,6 +5,8 @@
 
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace heron::hw {
 
@@ -89,6 +91,7 @@ Measurer::aggregate(const Attempt &run,
             run.repeats_ms.size() >= 3 &&
             ms > config_.outlier_threshold * median) {
             ++stats_.outliers_rejected;
+            HERON_COUNTER_INC("measure.outliers_rejected");
             continue;
         }
         sum += ms;
@@ -108,32 +111,49 @@ Measurer::aggregate(const Attempt &run,
 MeasureResult
 Measurer::measure(const schedule::ConcreteProgram &program)
 {
+    HERON_TRACE_SCOPE("hw/measure");
+    double simulated_before = simulated_seconds_;
     measure_index_ = stats_.measurements++;
+    HERON_COUNTER_INC("measure.measurements");
     MeasureResult result;
     for (int att = 0;; ++att) {
         Attempt run = attempt(program, att);
         result.attempts = att + 1;
         if (run.failure == MeasureFailure::kNone) {
             aggregate(run, program, result);
+            HERON_HISTOGRAM_OBSERVE("measure.latency_ms",
+                                    result.latency_ms);
+            HERON_GAUGE_ADD("measure.simulated_seconds",
+                            simulated_seconds_ - simulated_before);
             return result;
         }
-        if (run.failure == MeasureFailure::kTransient)
+        if (run.failure == MeasureFailure::kTransient) {
             ++stats_.transient_faults;
-        if (run.failure == MeasureFailure::kTimeout)
+            HERON_COUNTER_INC("measure.transient_faults");
+        }
+        if (run.failure == MeasureFailure::kTimeout) {
             ++stats_.timeouts;
+            HERON_COUNTER_INC("measure.timeouts");
+        }
 
         bool retryable = run.failure != MeasureFailure::kInvalid;
         if (!retryable || att >= config_.max_retries) {
-            if (run.failure == MeasureFailure::kInvalid)
+            if (run.failure == MeasureFailure::kInvalid) {
                 ++stats_.invalid;
-            else
+                HERON_COUNTER_INC("measure.invalid");
+            } else {
                 ++stats_.exhausted_retries;
+                HERON_COUNTER_INC("measure.exhausted_retries");
+            }
             result.valid = false;
             result.failure = run.failure;
             result.error = std::move(run.error);
+            HERON_GAUGE_ADD("measure.simulated_seconds",
+                            simulated_seconds_ - simulated_before);
             return result;
         }
         ++stats_.retries;
+        HERON_COUNTER_INC("measure.retries");
         // Exponential backoff before re-arming the board.
         charge_seconds(config_.retry_backoff_s *
                        static_cast<double>(int64_t{1} << att));
@@ -145,6 +165,7 @@ Measurer::note_replayed()
 {
     ++stats_.measurements;
     ++stats_.replayed;
+    HERON_COUNTER_INC("measure.replayed");
 }
 
 } // namespace heron::hw

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace heron::model {
 
@@ -56,6 +58,8 @@ CostModel::fit()
 {
     if (data_.size() < 8)
         return;
+    HERON_TRACE_SCOPE("model/fit");
+    HERON_COUNTER_INC("model.fit_calls");
     model_.fit(data_);
 }
 
@@ -64,6 +68,7 @@ CostModel::predict(const csp::Assignment &a) const
 {
     if (!model_.trained())
         return 0.0;
+    HERON_COUNTER_INC("model.predict_calls");
     return model_.predict(features(a));
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace heron::search {
 
@@ -35,11 +37,13 @@ constraint_crossover_mutation(const Csp &csp, RandSatSolver &solver,
                               int count, int key_vars,
                               bool random_keys, Rng &rng)
 {
+    HERON_TRACE_SCOPE("cga/crossover");
     std::vector<Assignment> offspring;
     if (population.empty())
         return offspring;
 
     for (int i = 0; i < count; ++i) {
+        HERON_COUNTER_INC("cga.crossover_subproblems");
         // Step 1: key variable extraction.
         std::vector<VarId> keys;
         if (random_keys) {
@@ -79,6 +83,7 @@ constraint_crossover_mutation(const Csp &csp, RandSatSolver &solver,
         // throughout; with every constraint dropped the subproblem
         // is CSP_initial itself).
         std::optional<Assignment> child;
+        int relax_depth = 0;
         while (true) {
             child = solver.solve_one(rng, constraints);
             if (child || constraints.empty())
@@ -88,12 +93,21 @@ constraint_crossover_mutation(const Csp &csp, RandSatSolver &solver,
                                solver.last_failure())
                         << "); relaxing " << constraints.size()
                         << " remaining constraint(s)";
+            HERON_COUNTER_INC("cga.relaxations");
+            ++relax_depth;
             constraints.erase(constraints.begin() +
                               static_cast<long>(
                                   rng.index(constraints.size())));
         }
-        if (child)
+        if (relax_depth > 0)
+            HERON_HISTOGRAM_OBSERVE("cga.relaxation_depth",
+                                    relax_depth);
+        if (child) {
+            HERON_COUNTER_INC("cga.offspring");
             offspring.push_back(std::move(*child));
+        } else {
+            HERON_COUNTER_INC("cga.offspring_failed");
+        }
     }
     return offspring;
 }
@@ -122,6 +136,7 @@ cga_search(const rules::GeneratedSpace &space, hw::Measurer &measurer,
     model.fit();
 
     while (evaluator.count() < config.trials && !pop.empty()) {
+        HERON_COUNTER_INC("cga.generations");
         auto parents = roulette_select(pop, fitness,
                                        config.population, rng);
         auto offspring = constraint_crossover_mutation(

@@ -1,0 +1,55 @@
+#include "support/json_util.h"
+
+namespace heron {
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::optional<std::string>
+json_extract(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    pos += needle.size();
+    while (pos < line.size() && line[pos] == ' ')
+        ++pos;
+    if (pos >= line.size())
+        return std::nullopt;
+    if (line[pos] == '"') {
+        std::string value;
+        for (size_t i = pos + 1; i < line.size(); ++i) {
+            if (line[i] == '\\' && i + 1 < line.size()) {
+                value += line[++i];
+                continue;
+            }
+            if (line[i] == '"')
+                return value;
+            value += line[i];
+        }
+        return std::nullopt;
+    }
+    if (line[pos] == '[') {
+        size_t end = line.find(']', pos);
+        if (end == std::string::npos)
+            return std::nullopt;
+        return line.substr(pos + 1, end - pos - 1);
+    }
+    size_t end = pos;
+    while (end < line.size() && line[end] != ',' &&
+           line[end] != '}')
+        ++end;
+    return line.substr(pos, end - pos);
+}
+
+} // namespace heron

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal helpers for the one-line JSON-object subset Heron uses in
+ * its JSONL streams (tuning records, journal, telemetry). Shared by
+ * autotune/record and support/profiler so both sides of a round trip
+ * agree on escaping and extraction.
+ */
+#ifndef HERON_SUPPORT_JSON_UTIL_H
+#define HERON_SUPPORT_JSON_UTIL_H
+
+#include <optional>
+#include <string>
+
+namespace heron {
+
+/** Escape '"' and '\\' for embedding in a JSON string. */
+std::string json_escape(const std::string &s);
+
+/**
+ * Extract the value of "key": from a one-line JSON object. Returns
+ * the raw token (string contents without quotes, or the number /
+ * array body text without brackets). nullopt when absent.
+ */
+std::optional<std::string> json_extract(const std::string &line,
+                                        const std::string &key);
+
+} // namespace heron
+
+#endif // HERON_SUPPORT_JSON_UTIL_H

@@ -1,26 +1,57 @@
 #include "support/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace heron {
 
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+/** Sentinel meaning "not set yet; consult the environment". */
+constexpr int kLevelUnset = 1000;
+
+std::atomic<int> g_log_level{kLevelUnset};
+std::atomic<std::ostream *> g_log_sink{nullptr};
+std::mutex g_sink_mutex;
 
 const char *
 level_name(LogLevel level)
 {
     switch (level) {
+      case LogLevel::kTrace: return "TRACE";
       case LogLevel::kDebug: return "DEBUG";
       case LogLevel::kInfo: return "INFO";
       case LogLevel::kWarn: return "WARN";
       case LogLevel::kError: return "ERROR";
     }
     return "?";
+}
+
+/** Resolve the level, applying HERON_LOG_LEVEL on first use. */
+int
+current_level()
+{
+    int level = g_log_level.load();
+    if (level != kLevelUnset)
+        return level;
+    int resolved = static_cast<int>(LogLevel::kInfo);
+    if (const char *env = std::getenv("HERON_LOG_LEVEL")) {
+        if (auto parsed = parse_log_level(env))
+            resolved = static_cast<int>(*parsed);
+        else
+            std::fprintf(stderr,
+                         "[WARN] unrecognized HERON_LOG_LEVEL "
+                         "'%s'; using info\n",
+                         env);
+    }
+    // First caller wins; set_log_level() can still override later.
+    int expected = kLevelUnset;
+    g_log_level.compare_exchange_strong(expected, resolved);
+    return g_log_level.load();
 }
 
 } // namespace
@@ -34,15 +65,69 @@ set_log_level(LogLevel level)
 LogLevel
 log_level()
 {
-    return static_cast<LogLevel>(g_log_level.load());
+    return static_cast<LogLevel>(current_level());
+}
+
+std::optional<LogLevel>
+parse_log_level(const std::string &text)
+{
+    std::string lower;
+    for (char c : text)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "trace")
+        return LogLevel::kTrace;
+    if (lower == "debug")
+        return LogLevel::kDebug;
+    if (lower == "info")
+        return LogLevel::kInfo;
+    if (lower == "warn" || lower == "warning")
+        return LogLevel::kWarn;
+    if (lower == "error")
+        return LogLevel::kError;
+    if (!lower.empty() &&
+        (std::isdigit(static_cast<unsigned char>(lower[0])) ||
+         lower[0] == '-')) {
+        char *end = nullptr;
+        long value = std::strtol(lower.c_str(), &end, 10);
+        if (end && *end == '\0' &&
+            value >= static_cast<long>(LogLevel::kTrace) &&
+            value <= static_cast<long>(LogLevel::kError))
+            return static_cast<LogLevel>(value);
+    }
+    return std::nullopt;
+}
+
+void
+set_log_sink(std::ostream *sink)
+{
+    g_log_sink.store(sink);
 }
 
 namespace detail {
 
+namespace {
+
+/** Every log line funnels through this single sink. */
+void
+emit(const std::string &text)
+{
+    std::ostream *sink = g_log_sink.load();
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (sink) {
+        *sink << text;
+        sink->flush();
+    } else {
+        std::cerr << text;
+    }
+}
+
+} // namespace
+
 bool
 log_enabled(LogLevel level)
 {
-    return static_cast<int>(level) >= g_log_level.load();
+    return static_cast<int>(level) >= current_level();
 }
 
 LogMessage::LogMessage(LogLevel level, const char *file, int line)
@@ -55,7 +140,7 @@ LogMessage::LogMessage(LogLevel level, const char *file, int line)
 LogMessage::~LogMessage()
 {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    emit(stream_.str());
 }
 
 FatalMessage::FatalMessage(const char *file, int line)
@@ -66,7 +151,7 @@ FatalMessage::FatalMessage(const char *file, int line)
 FatalMessage::~FatalMessage()
 {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    emit(stream_.str());
     std::cerr.flush();
     std::abort();
 }

@@ -9,6 +9,8 @@
 #define HERON_SUPPORT_LOGGING_H
 
 #include <cstdint>
+#include <optional>
+#include <ostream>
 #include <sstream>
 #include <string>
 
@@ -16,17 +18,38 @@ namespace heron {
 
 /** Severity of a log message. */
 enum class LogLevel : int {
+    /** Very chatty per-iteration detail (off even in debug runs). */
+    kTrace = -1,
     kDebug = 0,
     kInfo = 1,
     kWarn = 2,
     kError = 3,
 };
 
-/** Set the minimum severity that is printed (default: kInfo). */
+/**
+ * Set the minimum severity that is printed. The default is kInfo,
+ * overridable without recompiling via the HERON_LOG_LEVEL
+ * environment variable ("trace", "debug", "info", "warn", "error",
+ * or a numeric level), which is read once at first use; an explicit
+ * set_log_level() call wins over the environment.
+ */
 void set_log_level(LogLevel level);
 
 /** Current minimum printed severity. */
 LogLevel log_level();
+
+/**
+ * Parse a HERON_LOG_LEVEL value ("trace".."error", case-insensitive,
+ * or a number). nullopt on unrecognized input.
+ */
+std::optional<LogLevel> parse_log_level(const std::string &text);
+
+/**
+ * Redirect all log output (every level, one sink) to @p sink;
+ * nullptr restores stderr. The sink must outlive logging activity.
+ * Used by tests to capture output.
+ */
+void set_log_sink(std::ostream *sink);
 
 namespace detail {
 
@@ -83,6 +106,7 @@ bool log_enabled(LogLevel level);
                                     __LINE__)                               \
             .stream()
 
+#define HERON_TRACE_MSG HERON_LOG(kTrace)
 #define HERON_DEBUG HERON_LOG(kDebug)
 #define HERON_INFO HERON_LOG(kInfo)
 #define HERON_WARN HERON_LOG(kWarn)

@@ -1,0 +1,191 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace heron::metrics {
+
+void
+Gauge::add(double delta)
+{
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    if (bounds_.empty())
+        for (double b = 1.0; b <= 4096.0; b *= 2.0)
+            bounds_.push_back(b);
+    std::sort(bounds_.begin(), bounds_.end());
+    buckets_ = std::vector<std::atomic<int64_t>>(bounds_.size() + 1);
+}
+
+void
+Histogram::observe(double value)
+{
+    size_t b = static_cast<size_t>(
+        std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.add(value);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.bounds = bounds_;
+    snap.counts.reserve(buckets_.size());
+    for (const auto &b : buckets_)
+        snap.counts.push_back(b.load(std::memory_order_relaxed));
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.value();
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.reset();
+}
+
+namespace {
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::to_json() const
+{
+    std::ostringstream out;
+    out << std::setprecision(
+        std::numeric_limits<double>::max_digits10);
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        out << (first ? "" : ",") << "\"" << json_escape(name)
+            << "\":" << value;
+        first = false;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        out << (first ? "" : ",") << "\"" << json_escape(name)
+            << "\":" << value;
+        first = false;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        out << (first ? "" : ",") << "\"" << json_escape(name)
+            << "\":{\"bounds\":[";
+        for (size_t i = 0; i < h.bounds.size(); ++i)
+            out << (i ? "," : "") << h.bounds[i];
+        out << "],\"counts\":[";
+        for (size_t i = 0; i < h.counts.size(); ++i)
+            out << (i ? "," : "") << h.counts[i];
+        out << "],\"count\":" << h.count << ",\"sum\":" << h.sum
+            << "}";
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name,
+                    std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap;
+    for (const auto &[name, c] : counters_)
+        snap.counters[name] = c->value();
+    for (const auto &[name, g] : gauges_)
+        snap.gauges[name] = g->value();
+    for (const auto &[name, h] : histograms_)
+        snap.histograms[name] = h->snapshot();
+    return snap;
+}
+
+bool
+Registry::write_json(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open())
+        return false;
+    out << snapshot().to_json() << "\n";
+    return static_cast<bool>(out);
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace heron::metrics

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * histograms with cheap thread-safe updates and a snapshot API.
+ *
+ * Hot paths use the HERON_COUNTER_* / HERON_HISTOGRAM_OBSERVE
+ * macros, which cache the metric reference in a function-local
+ * static so the steady-state cost is one relaxed atomic add. The
+ * HERON_DISABLE_TRACING compile-time macro removes the
+ * instrumentation entirely.
+ */
+#ifndef HERON_SUPPORT_METRICS_H
+#define HERON_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace heron::metrics {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void add(int64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** A settable/accumulable double (e.g. simulated seconds). */
+class Gauge
+{
+  public:
+    void set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Atomic accumulate (CAS loop; gauges are not hot). */
+    void add(double delta);
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Snapshot of one histogram. */
+struct HistogramSnapshot {
+    /** Upper bounds of each finite bucket (last bucket = overflow). */
+    std::vector<double> bounds;
+    /** Per-bucket observation counts (bounds.size() + 1 entries). */
+    std::vector<int64_t> counts;
+    int64_t count = 0;
+    double sum = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram. Observations are bucketed by upper bound;
+ * values past the last bound land in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** Default bounds: exponential 1,2,4,...,4096. */
+    explicit Histogram(std::vector<double> bounds = {});
+
+    void observe(double value);
+
+    HistogramSnapshot snapshot() const;
+
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<int64_t>> buckets_;
+    std::atomic<int64_t> count_{0};
+    Gauge sum_;
+};
+
+/** Full registry snapshot, convertible to JSON. */
+struct MetricsSnapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /** One JSON object: {"counters":{...},"gauges":{...},...}. */
+    std::string to_json() const;
+};
+
+/**
+ * Name -> metric registry. Lookup takes a lock; returned references
+ * stay valid for the life of the process (reset() zeroes values but
+ * never removes a metric), so call sites may cache them.
+ */
+class Registry
+{
+  public:
+    /** The process-wide registry used by the HERON_* macros. */
+    static Registry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** @p bounds is honored only by the call that creates @p name. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds = {});
+
+    MetricsSnapshot snapshot() const;
+
+    /** Write snapshot().to_json() to @p path. False on I/O error. */
+    bool write_json(const std::string &path) const;
+
+    /** Zero every metric (registrations survive). */
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace heron::metrics
+
+#if !defined(HERON_DISABLE_TRACING)
+
+/** Add @p delta to the named process-wide counter. */
+#define HERON_COUNTER_ADD(name, delta)                              \
+    do {                                                            \
+        static ::heron::metrics::Counter &heron_metric_counter =    \
+            ::heron::metrics::Registry::global().counter(name);     \
+        heron_metric_counter.add(delta);                            \
+    } while (0)
+
+/** Increment the named process-wide counter by one. */
+#define HERON_COUNTER_INC(name) HERON_COUNTER_ADD(name, 1)
+
+/** Accumulate @p delta into the named process-wide gauge. */
+#define HERON_GAUGE_ADD(name, delta)                                \
+    do {                                                            \
+        static ::heron::metrics::Gauge &heron_metric_gauge =        \
+            ::heron::metrics::Registry::global().gauge(name);       \
+        heron_metric_gauge.add(delta);                              \
+    } while (0)
+
+/** Record @p value into the named process-wide histogram. */
+#define HERON_HISTOGRAM_OBSERVE(name, value)                        \
+    do {                                                            \
+        static ::heron::metrics::Histogram &heron_metric_histo =    \
+            ::heron::metrics::Registry::global().histogram(name);   \
+        heron_metric_histo.observe(value);                          \
+    } while (0)
+
+#else
+
+#define HERON_COUNTER_ADD(name, delta)                              \
+    do {                                                            \
+    } while (0)
+#define HERON_COUNTER_INC(name)                                     \
+    do {                                                            \
+    } while (0)
+#define HERON_GAUGE_ADD(name, delta)                                \
+    do {                                                            \
+    } while (0)
+#define HERON_HISTOGRAM_OBSERVE(name, value)                        \
+    do {                                                            \
+    } while (0)
+
+#endif // HERON_DISABLE_TRACING
+
+#endif // HERON_SUPPORT_METRICS_H

@@ -1,0 +1,188 @@
+#include "support/profiler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "support/json_util.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace heron::prof {
+
+std::string
+GenerationStats::to_json() const
+{
+    std::ostringstream out;
+    // max_digits10 keeps doubles bit-exact across a round trip,
+    // matching the journal's convention.
+    out << std::setprecision(
+        std::numeric_limits<double>::max_digits10);
+    out << "{\"round\":" << round << ","
+        << "\"workload\":\"" << json_escape(workload) << "\","
+        << "\"tuner\":\"" << json_escape(tuner) << "\","
+        << "\"measured\":" << measured << ","
+        << "\"best_latency_ms\":" << best_latency_ms << ","
+        << "\"best_gflops\":" << best_gflops << ","
+        << "\"round_mean_gflops\":" << round_mean_gflops << ","
+        << "\"best_predicted\":" << best_predicted << ","
+        << "\"mean_predicted\":" << mean_predicted << ","
+        << "\"round_measured\":" << round_measured << ","
+        << "\"round_valid\":" << round_valid << ","
+        << "\"solver_unsat\":" << solver_unsat << ","
+        << "\"solver_budget\":" << solver_budget << ","
+        << "\"solver_deadline\":" << solver_deadline << ","
+        << "\"relaxations\":" << relaxations << ","
+        << "\"elapsed_seconds\":" << elapsed_seconds << "}";
+    return out.str();
+}
+
+std::optional<GenerationStats>
+GenerationStats::from_json(const std::string &line)
+{
+    auto round = json_extract(line, "round");
+    auto workload = json_extract(line, "workload");
+    auto tuner = json_extract(line, "tuner");
+    if (!round || !workload || !tuner)
+        return std::nullopt;
+    GenerationStats stats;
+    stats.round = std::atoll(round->c_str());
+    stats.workload = *workload;
+    stats.tuner = *tuner;
+    auto num = [&](const char *key, double &field) {
+        if (auto v = json_extract(line, key))
+            field = std::atof(v->c_str());
+    };
+    auto integer = [&](const char *key, int64_t &field) {
+        if (auto v = json_extract(line, key))
+            field = std::atoll(v->c_str());
+    };
+    integer("measured", stats.measured);
+    num("best_latency_ms", stats.best_latency_ms);
+    num("best_gflops", stats.best_gflops);
+    num("round_mean_gflops", stats.round_mean_gflops);
+    num("best_predicted", stats.best_predicted);
+    num("mean_predicted", stats.mean_predicted);
+    if (auto v = json_extract(line, "round_measured"))
+        stats.round_measured = std::atoi(v->c_str());
+    if (auto v = json_extract(line, "round_valid"))
+        stats.round_valid = std::atoi(v->c_str());
+    integer("solver_unsat", stats.solver_unsat);
+    integer("solver_budget", stats.solver_budget);
+    integer("solver_deadline", stats.solver_deadline);
+    integer("relaxations", stats.relaxations);
+    num("elapsed_seconds", stats.elapsed_seconds);
+    return stats;
+}
+
+bool
+TelemetryStream::open(const std::string &path)
+{
+    out_.open(path, std::ios::app);
+    if (!out_.is_open()) {
+        HERON_WARN << "cannot open telemetry stream " << path
+                   << " for appending; continuing without "
+                      "telemetry";
+        return false;
+    }
+    path_ = path;
+    return true;
+}
+
+void
+TelemetryStream::append(const GenerationStats &stats)
+{
+    if (!out_.is_open())
+        return;
+    out_ << stats.to_json() << "\n";
+    // Flushed per record so a killed run keeps its telemetry tail.
+    out_.flush();
+}
+
+Profiler &
+Profiler::global()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::enable()
+{
+    trace::Tracer::global().set_enabled(true);
+}
+
+void
+Profiler::disable()
+{
+    trace::Tracer::global().set_enabled(false);
+}
+
+bool
+Profiler::enabled() const
+{
+    return trace::Tracer::global().enabled();
+}
+
+bool
+Profiler::write_chrome_trace(const std::string &path) const
+{
+    return trace::Tracer::global().write_chrome_trace(path);
+}
+
+bool
+Profiler::write_metrics(const std::string &path) const
+{
+    return metrics::Registry::global().write_json(path);
+}
+
+TextTable
+Profiler::summary_table(size_t top_spans) const
+{
+    TextTable table({"kind", "name", "count", "value"});
+    table.set_title("Observability summary");
+
+    auto totals = trace::Tracer::global().totals();
+    std::vector<std::pair<std::string, trace::SpanStats>> spans(
+        totals.begin(), totals.end());
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.total_seconds >
+                                b.second.total_seconds;
+                     });
+    if (spans.size() > top_spans)
+        spans.resize(top_spans);
+    for (const auto &[label, agg] : spans)
+        table.add_row({"span", label, TextTable::fmt(agg.count),
+                       TextTable::fmt(agg.total_seconds, 4) + " s"});
+
+    auto snap = metrics::Registry::global().snapshot();
+    for (const auto &[name, value] : snap.counters) {
+        if (value == 0)
+            continue;
+        table.add_row(
+            {"counter", name, "", TextTable::fmt(value)});
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        if (value == 0.0)
+            continue;
+        table.add_row({"gauge", name, "", TextTable::fmt(value, 4)});
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        if (h.count == 0)
+            continue;
+        table.add_row({"histogram", name, TextTable::fmt(h.count),
+                       "mean " +
+                           TextTable::fmt(
+                               h.sum /
+                                   static_cast<double>(h.count),
+                               3)});
+    }
+    return table;
+}
+
+} // namespace heron::prof

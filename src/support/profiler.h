@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tuning-pipeline profiling: per-generation telemetry records
+ * (GenerationStats, streamed as JSONL next to the measurement
+ * journal) and the Profiler facade that ties the tracer and the
+ * metrics registry together for drivers like heron_tune
+ * (enable/disable, trace + metrics file export, end-of-run summary
+ * table).
+ */
+#ifndef HERON_SUPPORT_PROFILER_H
+#define HERON_SUPPORT_PROFILER_H
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "support/table.h"
+
+namespace heron::prof {
+
+/**
+ * One tuning round's telemetry, emitted by the CGA tuner after each
+ * measurement round (the per-iteration data behind the paper's
+ * Fig. 12 convergence curves and Table 10 cost breakdown).
+ */
+struct GenerationStats {
+    /** Round index within this tuning run (0-based, monotonic). */
+    int64_t round = 0;
+    std::string workload;
+    std::string tuner;
+    /** Cumulative measurements after this round. */
+    int64_t measured = 0;
+    /** Best-so-far measured performance. */
+    double best_latency_ms = 0.0;
+    double best_gflops = 0.0;
+    /** Mean measured GFLOP/s of this round's valid candidates. */
+    double round_mean_gflops = 0.0;
+    /** Best/mean predicted score of this round's candidates. */
+    double best_predicted = 0.0;
+    double mean_predicted = 0.0;
+    /** Population validity this round. */
+    int round_measured = 0;
+    int round_valid = 0;
+    /** Solver failure breakdown during this round. */
+    int64_t solver_unsat = 0;
+    int64_t solver_budget = 0;
+    int64_t solver_deadline = 0;
+    /** CGA crossover relaxation-ladder steps taken this round. */
+    int64_t relaxations = 0;
+    /** Wall-clock seconds since the tuning run started. */
+    double elapsed_seconds = 0.0;
+
+    /** One-line JSON encoding (JSONL-friendly). */
+    std::string to_json() const;
+
+    /** Parse a to_json() line; nullopt on malformed input. */
+    static std::optional<GenerationStats>
+    from_json(const std::string &line);
+};
+
+/** Append-only JSONL stream of GenerationStats records. */
+class TelemetryStream
+{
+  public:
+    TelemetryStream() = default;
+
+    /** Open @p path for appending. False when it cannot be opened. */
+    bool open(const std::string &path);
+
+    bool is_open() const { return out_.is_open(); }
+
+    const std::string &path() const { return path_; }
+
+    /** Append one record and flush it to disk immediately. */
+    void append(const GenerationStats &stats);
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+};
+
+/**
+ * Facade over the tracer + metrics registry for tuning drivers:
+ * one switch to arm both, file export, and a human-readable
+ * end-of-run summary.
+ */
+class Profiler
+{
+  public:
+    static Profiler &global();
+
+    /** Arm span recording (metrics counters are always armed). */
+    void enable();
+    void disable();
+    bool enabled() const;
+
+    /** Export the Chrome trace. False on I/O error. */
+    bool write_chrome_trace(const std::string &path) const;
+
+    /** Export the metrics snapshot as JSON. False on I/O error. */
+    bool write_metrics(const std::string &path) const;
+
+    /**
+     * Summary table: the top @p top_spans span labels by inclusive
+     * time plus every non-zero counter, for end-of-run printing.
+     */
+    TextTable summary_table(size_t top_spans = 12) const;
+};
+
+} // namespace heron::prof
+
+#endif // HERON_SUPPORT_PROFILER_H

@@ -1,0 +1,184 @@
+#include "support/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+namespace heron::trace {
+
+namespace {
+
+/** Nesting depth of open spans on this thread. */
+thread_local int t_depth = 0;
+
+/** Cached small tid for this thread (-1 until assigned). */
+thread_local int t_tid = -1;
+
+double
+us_between(Tracer::Clock::time_point a, Tracer::Clock::time_point b)
+{
+    return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/** Escape a span label for JSON output. */
+std::string
+json_escape_label(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+int
+Tracer::tid_for_this_thread()
+{
+    // Callers hold mu_.
+    if (t_tid < 0)
+        t_tid = next_tid_++;
+    return t_tid;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    totals_.clear();
+    dropped_ = 0;
+    epoch_ = Clock::now();
+}
+
+void
+Tracer::record_span(const char *label, Clock::time_point start,
+                    Clock::time_point end)
+{
+    if (!enabled())
+        return;
+    double dur_us = us_between(start, end);
+    std::lock_guard<std::mutex> lock(mu_);
+    SpanStats &agg = totals_[label];
+    ++agg.count;
+    agg.total_seconds += dur_us / 1e6;
+    if (events_.size() >= max_events_) {
+        ++dropped_;
+        return;
+    }
+    TraceEvent ev;
+    ev.name = label;
+    ev.ts_us = us_between(epoch_, start);
+    ev.dur_us = dur_us;
+    ev.tid = tid_for_this_thread();
+    ev.depth = t_depth;
+    events_.push_back(std::move(ev));
+}
+
+std::map<std::string, SpanStats>
+Tracer::totals() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totals_;
+}
+
+double
+Tracer::total_seconds(const std::string &label) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = totals_.find(label);
+    return it == totals_.end() ? 0.0 : it->second.total_seconds;
+}
+
+int64_t
+Tracer::event_count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(events_.size());
+}
+
+int64_t
+Tracer::dropped_events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+void
+Tracer::set_max_events(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    max_events_ = cap;
+}
+
+std::string
+Tracer::chrome_trace_json() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &ev : events_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"name\":\"" << json_escape_label(ev.name)
+            << "\",\"ph\":\"X\",\"cat\":\"heron\",\"pid\":0,"
+            << "\"tid\":" << ev.tid << ",\"ts\":" << ev.ts_us
+            << ",\"dur\":" << ev.dur_us << ",\"args\":{\"depth\":"
+            << ev.depth << "}}";
+    }
+    if (dropped_ > 0) {
+        // A metadata event makes truncation visible in the viewer
+        // instead of silently shortening the timeline.
+        if (!first)
+            out << ",";
+        out << "{\"name\":\"heron: dropped " << dropped_
+            << " span(s) past the event cap\",\"ph\":\"i\","
+            << "\"cat\":\"heron\",\"pid\":0,\"tid\":0,\"ts\":0,"
+            << "\"s\":\"g\"}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+bool
+Tracer::write_chrome_trace(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open())
+        return false;
+    out << chrome_trace_json() << "\n";
+    return static_cast<bool>(out);
+}
+
+TraceScope::TraceScope(const char *label)
+    : label_(label), active_(Tracer::global().enabled())
+{
+    if (!active_)
+        return;
+    ++t_depth;
+    start_ = Tracer::Clock::now();
+}
+
+TraceScope::~TraceScope()
+{
+    if (!active_)
+        return;
+    auto end = Tracer::Clock::now();
+    --t_depth;
+    Tracer::global().record_span(label_, start_, end);
+}
+
+} // namespace heron::trace

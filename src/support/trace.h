@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Hierarchical timing spans for the tuning pipeline.
+ *
+ * HERON_TRACE_SCOPE("csp/propagate") opens an RAII span: spans nest
+ * per thread, aggregate per-label wall time and call counts, and are
+ * exported as Chrome trace-event JSON (loadable in chrome://tracing
+ * or Perfetto). Tracing is near-zero-cost when off: with the
+ * HERON_DISABLE_TRACING compile-time macro the scope macro expands
+ * to nothing, and at runtime a disabled tracer costs one relaxed
+ * atomic load per scope.
+ */
+#ifndef HERON_SUPPORT_TRACE_H
+#define HERON_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace heron::trace {
+
+/** Aggregated wall time of one span label. */
+struct SpanStats {
+    /** Completed spans with this label. */
+    int64_t count = 0;
+    /** Inclusive wall time (children included), seconds. */
+    double total_seconds = 0.0;
+};
+
+/** One completed span, for Chrome trace-event export. */
+struct TraceEvent {
+    std::string name;
+    /** Microseconds since the tracer epoch. */
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    /** Small per-thread id (0 for the first thread seen). */
+    int tid = 0;
+    /** Nesting depth at the time the span opened. */
+    int depth = 0;
+};
+
+/**
+ * Process-wide span collector. Thread-safe; spans on different
+ * threads get distinct Chrome-trace tids so they render on separate
+ * tracks.
+ */
+class Tracer
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** The process-wide tracer used by HERON_TRACE_SCOPE. */
+    static Tracer &global();
+
+    /** Turn span recording on or off (off by default). */
+    void set_enabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Drop all recorded spans and aggregates. */
+    void clear();
+
+    /**
+     * Record one completed span. Used by TraceScope; also callable
+     * directly when an RAII scope does not fit the control flow.
+     * No-op while the tracer is disabled.
+     */
+    void record_span(const char *label, Clock::time_point start,
+                     Clock::time_point end);
+
+    /** Per-label aggregates (copy; safe to use while tracing). */
+    std::map<std::string, SpanStats> totals() const;
+
+    /** Inclusive seconds aggregated under @p label (0 if unseen). */
+    double total_seconds(const std::string &label) const;
+
+    /** Completed spans recorded (dropped ones excluded). */
+    int64_t event_count() const;
+
+    /**
+     * Spans dropped after the event buffer filled up. Aggregation
+     * keeps counting dropped spans; only the per-event timeline is
+     * capped.
+     */
+    int64_t dropped_events() const;
+
+    /** Cap on buffered timeline events (default 262144). */
+    void set_max_events(size_t cap);
+
+    /**
+     * Chrome trace-event JSON: {"traceEvents":[...]} with complete
+     * ("ph":"X") events, timestamps in microseconds.
+     */
+    std::string chrome_trace_json() const;
+
+    /** Write chrome_trace_json() to @p path. False on I/O error. */
+    bool write_chrome_trace(const std::string &path) const;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    Clock::time_point epoch_ = Clock::now();
+    std::vector<TraceEvent> events_;
+    std::map<std::string, SpanStats> totals_;
+    size_t max_events_ = 262144;
+    int64_t dropped_ = 0;
+    int next_tid_ = 0;
+
+    int tid_for_this_thread();
+};
+
+/**
+ * RAII span: records [construction, destruction) under @p label.
+ * Use via HERON_TRACE_SCOPE so the instrumentation can be compiled
+ * out.
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *label);
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    const char *label_;
+    bool active_;
+    Tracer::Clock::time_point start_;
+};
+
+} // namespace heron::trace
+
+#define HERON_TRACE_CONCAT_IMPL(a, b) a##b
+#define HERON_TRACE_CONCAT(a, b) HERON_TRACE_CONCAT_IMPL(a, b)
+
+#if !defined(HERON_DISABLE_TRACING)
+/** Open a named RAII timing span for the rest of this block. */
+#define HERON_TRACE_SCOPE(label)                                    \
+    ::heron::trace::TraceScope HERON_TRACE_CONCAT(                  \
+        heron_trace_scope_, __LINE__)(label)
+#else
+#define HERON_TRACE_SCOPE(label)                                    \
+    do {                                                            \
+    } while (0)
+#endif
+
+#endif // HERON_SUPPORT_TRACE_H

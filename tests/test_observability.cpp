@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Tests for the observability layer: trace spans and Chrome export,
+ * the metrics registry under concurrency, GenerationStats telemetry,
+ * log-level plumbing, and journal sequence stamping.
+ */
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "autotune/checkpoint.h"
+#include "autotune/tuner.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/profiler.h"
+#include "support/trace.h"
+
+namespace heron {
+namespace {
+
+using trace::TraceScope;
+using trace::Tracer;
+
+/** Arm a clean tracer for one test, restore the old state after. */
+class ScopedTracing
+{
+  public:
+    ScopedTracing() : was_enabled_(Tracer::global().enabled())
+    {
+        Tracer::global().clear();
+        Tracer::global().set_enabled(true);
+    }
+
+    ~ScopedTracing()
+    {
+        Tracer::global().set_enabled(was_enabled_);
+    }
+
+  private:
+    bool was_enabled_;
+};
+
+TEST(Trace, SpansNestAndAggregate)
+{
+    ScopedTracing tracing;
+    for (int i = 0; i < 3; ++i) {
+        HERON_TRACE_SCOPE("test/outer");
+        {
+            HERON_TRACE_SCOPE("test/inner");
+        }
+        {
+            HERON_TRACE_SCOPE("test/inner");
+        }
+    }
+    auto totals = Tracer::global().totals();
+    ASSERT_EQ(totals.count("test/outer"), 1u);
+    ASSERT_EQ(totals.count("test/inner"), 1u);
+    EXPECT_EQ(totals["test/outer"].count, 3);
+    EXPECT_EQ(totals["test/inner"].count, 6);
+    // Inclusive time: the outer span contains both inner spans.
+    EXPECT_GE(totals["test/outer"].total_seconds,
+              totals["test/inner"].total_seconds);
+    EXPECT_EQ(Tracer::global().event_count(), 9);
+}
+
+TEST(Trace, ChromeTraceJsonIsWellFormed)
+{
+    ScopedTracing tracing;
+    {
+        HERON_TRACE_SCOPE("test/a");
+        HERON_TRACE_SCOPE("test/\"quoted\"");
+    }
+    std::string json = Tracer::global().chrome_trace_json();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("test/a"), std::string::npos);
+    // The quote inside a label must be escaped.
+    EXPECT_NE(json.find("test/\\\"quoted\\\""), std::string::npos);
+    EXPECT_EQ(json.find("test/\"quoted\""), std::string::npos);
+    // Balanced braces/brackets — cheap structural sanity check.
+    int braces = 0, brackets = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < json.size(); ++i) {
+        char c = json[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{')
+            ++braces;
+        else if (c == '}')
+            --braces;
+        else if (c == '[')
+            ++brackets;
+        else if (c == ']')
+            --brackets;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(Trace, WriteChromeTraceCreatesFile)
+{
+    ScopedTracing tracing;
+    {
+        HERON_TRACE_SCOPE("test/file");
+    }
+    std::string path = ::testing::TempDir() + "trace_test.json";
+    ASSERT_TRUE(Tracer::global().write_chrome_trace(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream text;
+    text << in.rdbuf();
+    EXPECT_NE(text.str().find("test/file"), std::string::npos);
+}
+
+TEST(Trace, DisabledTracerRecordsNothing)
+{
+    Tracer &tracer = Tracer::global();
+    bool was_enabled = tracer.enabled();
+    tracer.clear();
+    tracer.set_enabled(false);
+    {
+        HERON_TRACE_SCOPE("test/disabled");
+    }
+    EXPECT_EQ(tracer.event_count(), 0);
+    EXPECT_TRUE(tracer.totals().empty());
+    tracer.set_enabled(was_enabled);
+}
+
+TEST(Trace, EventBufferCapCountsDrops)
+{
+    ScopedTracing tracing;
+    Tracer &tracer = Tracer::global();
+    tracer.set_max_events(4);
+    for (int i = 0; i < 10; ++i) {
+        HERON_TRACE_SCOPE("test/capped");
+    }
+    EXPECT_EQ(tracer.event_count(), 4);
+    EXPECT_EQ(tracer.dropped_events(), 6);
+    // Aggregation keeps counting past the cap.
+    EXPECT_EQ(tracer.totals()["test/capped"].count, 10);
+    // The export reports the drop.
+    EXPECT_NE(tracer.chrome_trace_json().find("dropped"),
+              std::string::npos);
+    tracer.set_max_events(262144);
+}
+
+TEST(Metrics, ConcurrentCounterAndHistogramUpdates)
+{
+    auto &registry = metrics::Registry::global();
+    auto &counter = registry.counter("test.concurrent");
+    auto &histo = registry.histogram("test.concurrent_histo");
+    counter.reset();
+    histo.reset();
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                counter.add(1);
+                histo.observe(static_cast<double>(t));
+            }
+        });
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_EQ(counter.value(), kThreads * kPerThread);
+    auto snap = histo.snapshot();
+    EXPECT_EQ(snap.count, kThreads * kPerThread);
+    int64_t bucket_sum = 0;
+    for (int64_t c : snap.counts)
+        bucket_sum += c;
+    EXPECT_EQ(bucket_sum, snap.count);
+    // sum = 10000 * (0 + 1 + 2 + 3).
+    EXPECT_DOUBLE_EQ(snap.sum, 60000.0);
+}
+
+TEST(Metrics, GaugeAccumulatesDoubles)
+{
+    auto &gauge = metrics::Registry::global().gauge("test.gauge");
+    gauge.reset();
+    gauge.add(1.5);
+    gauge.add(2.25);
+    EXPECT_DOUBLE_EQ(gauge.value(), 3.75);
+    gauge.set(-1.0);
+    EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+    gauge.reset();
+}
+
+TEST(Metrics, SnapshotJsonContainsRegisteredMetrics)
+{
+    auto &registry = metrics::Registry::global();
+    registry.counter("test.json_counter").reset();
+    registry.counter("test.json_counter").add(7);
+    registry.gauge("test.json_gauge").set(1.5);
+    registry.histogram("test.json_histo").observe(3.0);
+    std::string json = registry.snapshot().to_json();
+    EXPECT_NE(json.find("\"test.json_counter\":7"),
+              std::string::npos);
+    EXPECT_NE(json.find("test.json_gauge"), std::string::npos);
+    EXPECT_NE(json.find("test.json_histo"), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Metrics, MacrosUpdateGlobalRegistry)
+{
+    auto &registry = metrics::Registry::global();
+    registry.counter("test.macro_counter").reset();
+    for (int i = 0; i < 5; ++i)
+        HERON_COUNTER_INC("test.macro_counter");
+    HERON_COUNTER_ADD("test.macro_counter", 10);
+    EXPECT_EQ(registry.counter("test.macro_counter").value(), 15);
+}
+
+TEST(Profiler, GenerationStatsJsonRoundTrip)
+{
+    prof::GenerationStats gs;
+    gs.round = 12;
+    gs.workload = "gemm_512x512x512";
+    gs.tuner = "Heron";
+    gs.measured = 144;
+    gs.best_latency_ms = 0.3125;
+    gs.best_gflops = 8123.456789012345;
+    gs.round_mean_gflops = 4000.25;
+    gs.best_predicted = 0.875;
+    gs.mean_predicted = 0.5;
+    gs.round_measured = 12;
+    gs.round_valid = 11;
+    gs.solver_unsat = 2;
+    gs.solver_budget = 1;
+    gs.solver_deadline = 0;
+    gs.relaxations = 5;
+    gs.elapsed_seconds = 1.5;
+
+    auto parsed = prof::GenerationStats::from_json(gs.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->round, gs.round);
+    EXPECT_EQ(parsed->workload, gs.workload);
+    EXPECT_EQ(parsed->tuner, gs.tuner);
+    EXPECT_EQ(parsed->measured, gs.measured);
+    EXPECT_DOUBLE_EQ(parsed->best_latency_ms, gs.best_latency_ms);
+    EXPECT_DOUBLE_EQ(parsed->best_gflops, gs.best_gflops);
+    EXPECT_DOUBLE_EQ(parsed->round_mean_gflops,
+                     gs.round_mean_gflops);
+    EXPECT_DOUBLE_EQ(parsed->best_predicted, gs.best_predicted);
+    EXPECT_DOUBLE_EQ(parsed->mean_predicted, gs.mean_predicted);
+    EXPECT_EQ(parsed->round_measured, gs.round_measured);
+    EXPECT_EQ(parsed->round_valid, gs.round_valid);
+    EXPECT_EQ(parsed->solver_unsat, gs.solver_unsat);
+    EXPECT_EQ(parsed->solver_budget, gs.solver_budget);
+    EXPECT_EQ(parsed->solver_deadline, gs.solver_deadline);
+    EXPECT_EQ(parsed->relaxations, gs.relaxations);
+    EXPECT_DOUBLE_EQ(parsed->elapsed_seconds, gs.elapsed_seconds);
+
+    EXPECT_FALSE(
+        prof::GenerationStats::from_json("not json").has_value());
+}
+
+TEST(Profiler, TelemetryStreamAppendsJsonl)
+{
+    std::string path = ::testing::TempDir() + "telemetry_test.jsonl";
+    std::remove(path.c_str());
+    {
+        prof::TelemetryStream stream;
+        ASSERT_TRUE(stream.open(path));
+        for (int r = 0; r < 3; ++r) {
+            prof::GenerationStats gs;
+            gs.round = r;
+            gs.workload = "w";
+            gs.tuner = "Heron";
+            stream.append(gs);
+        }
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    int64_t expected_round = 0;
+    while (std::getline(in, line)) {
+        auto parsed = prof::GenerationStats::from_json(line);
+        ASSERT_TRUE(parsed.has_value()) << line;
+        EXPECT_EQ(parsed->round, expected_round++);
+    }
+    EXPECT_EQ(expected_round, 3);
+}
+
+TEST(Profiler, SummaryTableListsSpansAndCounters)
+{
+    ScopedTracing tracing;
+    metrics::Registry::global().counter("test.summary").reset();
+    HERON_COUNTER_ADD("test.summary", 3);
+    {
+        HERON_TRACE_SCOPE("test/summary_span");
+    }
+    std::string table =
+        prof::Profiler::global().summary_table().to_string();
+    EXPECT_NE(table.find("test/summary_span"), std::string::npos);
+    EXPECT_NE(table.find("test.summary"), std::string::npos);
+}
+
+TEST(Logging, ParseLogLevel)
+{
+    EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+    EXPECT_EQ(parse_log_level("TRACE"), LogLevel::kTrace);
+    EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+    EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+    EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+    EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+    EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+    EXPECT_EQ(parse_log_level("-1"), LogLevel::kTrace);
+    EXPECT_EQ(parse_log_level("2"), LogLevel::kWarn);
+    EXPECT_FALSE(parse_log_level("loud").has_value());
+    EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST(Logging, SinkCapturesAndTraceLevelFilters)
+{
+    std::ostringstream captured;
+    set_log_sink(&captured);
+    LogLevel old_level = log_level();
+
+    set_log_level(LogLevel::kInfo);
+    HERON_TRACE_MSG << "invisible trace detail";
+    HERON_INFO << "visible info line";
+    EXPECT_EQ(captured.str().find("invisible trace detail"),
+              std::string::npos);
+    EXPECT_NE(captured.str().find("visible info line"),
+              std::string::npos);
+
+    set_log_level(LogLevel::kTrace);
+    HERON_TRACE_MSG << "now visible trace detail";
+    EXPECT_NE(captured.str().find("now visible trace detail"),
+              std::string::npos);
+
+    set_log_level(old_level);
+    set_log_sink(nullptr);
+}
+
+TEST(Journal, RecordSeqAndCategoryRoundTrip)
+{
+    autotune::TuningRecord record;
+    record.workload = "w";
+    record.dla = "v100";
+    record.tuner = "Heron";
+    record.seq = 42;
+    record.category = "replay";
+    record.valid = true;
+    record.latency_ms = 0.5;
+    record.gflops = 100.0;
+    record.assignment = {1, 2, 3};
+
+    auto parsed =
+        autotune::TuningRecord::from_json(record.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->seq, 42);
+    EXPECT_EQ(parsed->category, "replay");
+
+    // Pre-seq records parse with the compatibility defaults.
+    auto legacy = autotune::TuningRecord::from_json(
+        "{\"workload\":\"w\",\"dla\":\"v100\",\"tuner\":\"Heron\","
+        "\"valid\":1,\"latency_ms\":0.5,\"gflops\":100,"
+        "\"assignment\":[1,2]}");
+    ASSERT_TRUE(legacy.has_value());
+    EXPECT_EQ(legacy->seq, 0);
+    EXPECT_EQ(legacy->category, "measure");
+}
+
+TEST(Journal, AppendStampsMonotonicSequence)
+{
+    std::string path = ::testing::TempDir() + "journal_seq.jsonl";
+    std::remove(path.c_str());
+
+    autotune::TuningRecord record;
+    record.workload = "w";
+    record.dla = "v100";
+    record.tuner = "Heron";
+    record.gflops = 1.0;
+    record.assignment = {1};
+
+    {
+        autotune::TuningJournal journal;
+        ASSERT_TRUE(journal.open(path));
+        journal.append(record);
+        journal.append(record);
+        EXPECT_EQ(journal.next_seq(), 3);
+    }
+    auto loaded = autotune::TuningJournal::load(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].seq, 1);
+    EXPECT_EQ(loaded[1].seq, 2);
+    EXPECT_EQ(loaded[0].category, "measure");
+
+    // Resume: numbering continues past the loaded maximum.
+    {
+        int64_t next_seq = 1;
+        for (const auto &r : loaded)
+            next_seq = std::max(next_seq, r.seq + 1);
+        autotune::TuningJournal journal;
+        ASSERT_TRUE(journal.open(path, next_seq));
+        journal.append(record);
+    }
+    loaded = autotune::TuningJournal::load(path);
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded[2].seq, 3);
+}
+
+TEST(Profiler, ProfiledTuneReconcilesAndEmitsTelemetry)
+{
+    ScopedTracing tracing;
+    std::string telemetry_path =
+        ::testing::TempDir() + "tune_telemetry.jsonl";
+    std::remove(telemetry_path.c_str());
+
+    autotune::TuneConfig config;
+    config.trials = 24;
+    config.population = 8;
+    config.measure_per_round = 8;
+    config.generations = 2;
+    config.telemetry_path = telemetry_path;
+    auto tuner =
+        autotune::make_heron_tuner(hw::DlaSpec::v100(), config);
+    auto outcome = tuner->tune(ops::gemm(256, 256, 256));
+    ASSERT_TRUE(outcome.result.found());
+
+    // The dual-accounted phase spans must reconcile with the
+    // TuneOutcome decomposition (satellite: compile_seconds drift).
+    EXPECT_TRUE(outcome.profiled);
+    double wall = outcome.search_seconds + outcome.model_seconds;
+    EXPECT_LE(std::abs(outcome.profile_delta_seconds),
+              0.05 * wall + 0.02);
+
+    auto &tracer = Tracer::global();
+    EXPECT_GT(tracer.total_seconds("tuner/tune"), 0.0);
+    EXPECT_GT(tracer.total_seconds("phase/search"), 0.0);
+    EXPECT_GT(tracer.total_seconds("csp/solve"), 0.0);
+    EXPECT_GT(tracer.total_seconds("hw/measure"), 0.0);
+    EXPECT_GT(tracer.total_seconds("space/generate"), 0.0);
+
+    auto snapshot = metrics::Registry::global().snapshot();
+    EXPECT_GT(snapshot.counters["csp.propagations"], 0);
+    EXPECT_GT(snapshot.counters["csp.solve_calls"], 0);
+    EXPECT_GT(snapshot.counters["measure.measurements"], 0);
+    EXPECT_GT(snapshot.counters["tuner.rounds"], 0);
+    EXPECT_GT(snapshot.counters["model.predict_calls"], 0);
+
+    // One telemetry record per measurement round, rounds monotonic.
+    std::ifstream in(telemetry_path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    int64_t records = 0;
+    int64_t last_round = -1;
+    int64_t last_measured = 0;
+    while (std::getline(in, line)) {
+        auto gs = prof::GenerationStats::from_json(line);
+        ASSERT_TRUE(gs.has_value()) << line;
+        EXPECT_GT(gs->round, last_round);
+        last_round = gs->round;
+        EXPECT_GE(gs->measured, last_measured);
+        last_measured = gs->measured;
+        EXPECT_EQ(gs->tuner, "Heron");
+        ++records;
+    }
+    EXPECT_GT(records, 0);
+    EXPECT_EQ(last_measured, outcome.result.total_measured);
+}
+
+} // namespace
+} // namespace heron

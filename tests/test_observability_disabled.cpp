@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compile-time kill switch: with HERON_DISABLE_TRACING defined
+ * before the headers, the instrumentation macros must compile to
+ * no-ops — no Tracer or Registry traffic at all. This TU is the
+ * "macro off" build the headers promise; it defines the macro
+ * itself so the rest of the build stays instrumented.
+ */
+#define HERON_DISABLE_TRACING 1
+
+#include <gtest/gtest.h>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace heron {
+namespace {
+
+TEST(TracingDisabled, ScopeMacroIsNoOp)
+{
+    auto &tracer = trace::Tracer::global();
+    tracer.clear();
+    tracer.set_enabled(true);
+    {
+        HERON_TRACE_SCOPE("disabled/scope");
+        HERON_TRACE_SCOPE("disabled/scope");
+    }
+    EXPECT_EQ(tracer.event_count(), 0);
+    EXPECT_TRUE(tracer.totals().empty());
+    tracer.set_enabled(false);
+}
+
+TEST(TracingDisabled, MetricMacrosAreNoOps)
+{
+    auto &registry = metrics::Registry::global();
+    registry.counter("disabled.counter").reset();
+    registry.gauge("disabled.gauge").reset();
+    registry.histogram("disabled.histo").reset();
+
+    HERON_COUNTER_INC("disabled.counter");
+    HERON_COUNTER_ADD("disabled.counter", 100);
+    HERON_GAUGE_ADD("disabled.gauge", 2.5);
+    HERON_HISTOGRAM_OBSERVE("disabled.histo", 42.0);
+
+    EXPECT_EQ(registry.counter("disabled.counter").value(), 0);
+    EXPECT_DOUBLE_EQ(registry.gauge("disabled.gauge").value(), 0.0);
+    EXPECT_EQ(registry.histogram("disabled.histo").snapshot().count,
+              0);
+}
+
+// The macros must also not evaluate their arguments (a disabled
+// build must not pay for label construction or value computation).
+TEST(TracingDisabled, MacroArgumentsNotEvaluated)
+{
+    int evaluations = 0;
+    auto expensive = [&]() {
+        ++evaluations;
+        return 1.0;
+    };
+    HERON_COUNTER_ADD("disabled.arg", static_cast<int64_t>(
+                                          expensive()));
+    HERON_GAUGE_ADD("disabled.arg", expensive());
+    HERON_HISTOGRAM_OBSERVE("disabled.arg", expensive());
+    EXPECT_EQ(evaluations, 0);
+}
+
+} // namespace
+} // namespace heron
