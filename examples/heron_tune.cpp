@@ -39,6 +39,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "autotune/checkpoint.h"
 #include "autotune/record.h"
 #include "autotune/tuner.h"
 #include "codegen/emitter.h"
@@ -63,6 +64,10 @@ struct CliArgs {
     std::string telemetry_path;
     double fault_transient = 0.0;
     double fault_timeout = 0.0;
+    double fault_hung = 0.0;
+    int measure_workers = 1;
+    int quarantine_threshold = 3;
+    double watchdog_ms = 2000.0;
     bool emit = false;
 
     bool
@@ -73,21 +78,70 @@ struct CliArgs {
     }
 };
 
+/** Exit codes (also printed by --help). */
+enum ExitCode {
+    kExitSuccess = 0,
+    /** No valid program found / workload unsupported. */
+    kExitNoProgram = 1,
+    /** Bad command line. */
+    kExitUsage = 2,
+    /** Tuning stopped with every candidate quarantined. */
+    kExitAllQuarantined = 3,
+    /** Journal corrupt beyond the recoverable torn tail. */
+    kExitJournalCorrupt = 4,
+    /** Search deadline exhausted before a program was found. */
+    kExitDeadlineExhausted = 5,
+};
+
+void
+print_usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: heron_tune --dla <v100|t4|a100|dlboost|vta>"
+        " --op <gemm|gemv|bmm|c1d|c2d|c3d|t2d|dil|scan>"
+        " --shape <comma-separated>"
+        " [--trials N] [--seed S]"
+        " [--tuner heron|autotvm|ansor|amos|akg|vendor]"
+        " [--log FILE] [--journal FILE]"
+        " [--measure-workers N] [--watchdog-ms MS]"
+        " [--quarantine-threshold N]"
+        " [--fault-transient RATE] [--fault-timeout RATE]"
+        " [--fault-hung RATE]"
+        " [--trace FILE] [--metrics FILE]"
+        " [--telemetry FILE] [--emit] [--help]\n"
+        "\n"
+        "robustness:\n"
+        "  --measure-workers N       parallel measurement workers "
+        "(default 1;\n"
+        "                            results are bit-identical for "
+        "any N)\n"
+        "  --watchdog-ms MS          per-candidate measurement "
+        "deadline (2000)\n"
+        "  --quarantine-threshold N  invalid/hung strikes before a "
+        "schedule\n"
+        "                            signature is quarantined (3; 0 "
+        "disables)\n"
+        "  --fault-hung RATE         inject wedged-kernel faults at "
+        "RATE\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  1  no valid program found / workload unsupported\n"
+        "  2  bad command line\n"
+        "  3  tuning stopped with every candidate quarantined\n"
+        "  4  journal corrupt beyond recovery (a torn tail is\n"
+        "     recoverable; CRC mismatches, malformed lines, or\n"
+        "     sequence regressions are not)\n"
+        "  5  search deadline exhausted before a valid program\n");
+}
+
 [[noreturn]] void
 usage(const char *msg)
 {
     std::fprintf(stderr, "heron_tune: %s\n", msg);
-    std::fprintf(stderr,
-                 "usage: heron_tune --dla <v100|t4|a100|dlboost|vta>"
-                 " --op <gemm|gemv|bmm|c1d|c2d|c3d|t2d|dil|scan>"
-                 " --shape <comma-separated>"
-                 " [--trials N] [--seed S]"
-                 " [--tuner heron|autotvm|ansor|amos|akg|vendor]"
-                 " [--log FILE] [--journal FILE]"
-                 " [--fault-transient RATE] [--fault-timeout RATE]"
-                 " [--trace FILE] [--metrics FILE]"
-                 " [--telemetry FILE] [--emit]\n");
-    std::exit(2);
+    print_usage(stderr);
+    std::exit(kExitUsage);
 }
 
 CliArgs
@@ -131,6 +185,21 @@ parse(int argc, char **argv)
                 std::atof(need("--fault-transient"));
         } else if (!std::strcmp(argv[i], "--fault-timeout")) {
             args.fault_timeout = std::atof(need("--fault-timeout"));
+        } else if (!std::strcmp(argv[i], "--fault-hung")) {
+            args.fault_hung = std::atof(need("--fault-hung"));
+        } else if (!std::strcmp(argv[i], "--measure-workers")) {
+            args.measure_workers =
+                std::atoi(need("--measure-workers"));
+        } else if (!std::strcmp(argv[i],
+                                "--quarantine-threshold")) {
+            args.quarantine_threshold =
+                std::atoi(need("--quarantine-threshold"));
+        } else if (!std::strcmp(argv[i], "--watchdog-ms")) {
+            args.watchdog_ms = std::atof(need("--watchdog-ms"));
+        } else if (!std::strcmp(argv[i], "--help") ||
+                   !std::strcmp(argv[i], "-h")) {
+            print_usage(stdout);
+            std::exit(kExitSuccess);
         } else if (!std::strcmp(argv[i], "--emit")) {
             args.emit = true;
         } else {
@@ -223,6 +292,10 @@ tuner_for(const CliArgs &args, const hw::DlaSpec &spec)
     config.telemetry_path = args.telemetry_path;
     config.faults.transient_rate = args.fault_transient;
     config.faults.timeout_rate = args.fault_timeout;
+    config.faults.hung_rate = args.fault_hung;
+    config.measure_workers = args.measure_workers;
+    config.quarantine_threshold = args.quarantine_threshold;
+    config.watchdog_deadline_ms = args.watchdog_ms;
     if (args.tuner == "heron")
         return autotune::make_heron_tuner(spec, config);
     if (args.tuner == "autotvm")
@@ -254,7 +327,34 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s does not support %s on %s\n",
                      tuner->name().c_str(), workload.name.c_str(),
                      spec.name.c_str());
-        return 1;
+        return kExitNoProgram;
+    }
+
+    // Refuse to resume from a journal showing real corruption. A
+    // torn tail (crash mid-append) is recoverable and fine; CRC
+    // mismatches, malformed lines, or sequence regressions mean the
+    // journal was damaged or spliced and silently resuming from it
+    // could replay wrong measurements.
+    if (!args.journal_path.empty()) {
+        autotune::RecordReadStats jstats;
+        autotune::TuningJournal::load(args.journal_path, &jstats);
+        if (jstats.corrupt()) {
+            std::fprintf(
+                stderr,
+                "heron_tune: journal %s is corrupt beyond recovery "
+                "(%lld malformed, %lld CRC mismatch(es), %lld "
+                "sequence regression(s)); move it aside to start "
+                "fresh\n",
+                args.journal_path.c_str(),
+                static_cast<long long>(jstats.malformed),
+                static_cast<long long>(jstats.crc_mismatches),
+                static_cast<long long>(jstats.seq_regressions));
+            return kExitJournalCorrupt;
+        }
+        if (jstats.recovered_truncations > 0)
+            std::printf("Recovered a torn journal tail in %s "
+                        "(crash mid-append); resuming.\n",
+                        args.journal_path.c_str());
     }
 
     prof::Profiler &profiler = prof::Profiler::global();
@@ -294,8 +394,17 @@ main(int argc, char **argv)
     }
 
     if (!outcome.result.found()) {
-        std::printf("No valid program found.\n");
-        return 1;
+        std::printf("No valid program found (%s).\n",
+                    autotune::stop_reason_name(
+                        outcome.stop_reason));
+        switch (outcome.stop_reason) {
+          case autotune::StopReason::kAllQuarantined:
+            return kExitAllQuarantined;
+          case autotune::StopReason::kDeadline:
+            return kExitDeadlineExhausted;
+          default:
+            return kExitNoProgram;
+        }
     }
     std::printf("Best: %.4f ms, %.0f GFLOP/s (peak %.0f); %lld/%lld "
                 "measurements valid; compile %.1f s (%.1f s "
@@ -320,6 +429,23 @@ main(int argc, char **argv)
                     static_cast<long long>(ms.exhausted_retries),
                     static_cast<long long>(ms.outliers_rejected),
                     static_cast<long long>(outcome.replayed));
+    if (ms.hung || outcome.watchdog_fires ||
+        outcome.abandoned_workers || outcome.pool_degraded ||
+        outcome.quarantined_signatures || outcome.quarantine_skips)
+        std::printf("Pool: %lld hung, %lld watchdog fire(s), %lld "
+                    "worker(s) abandoned%s; %lld signature(s) "
+                    "quarantined, %lld candidate(s) skipped\n",
+                    static_cast<long long>(ms.hung),
+                    static_cast<long long>(outcome.watchdog_fires),
+                    static_cast<long long>(
+                        outcome.abandoned_workers),
+                    outcome.pool_degraded
+                        ? " (degraded to serial)"
+                        : "",
+                    static_cast<long long>(
+                        outcome.quarantined_signatures),
+                    static_cast<long long>(
+                        outcome.quarantine_skips));
 
     rules::SpaceGenerator generator(spec, rules::Options::heron());
     auto space = generator.generate(workload);

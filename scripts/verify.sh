@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
 # Tier-1 verification: plain build + tests, then the same suite
-# under AddressSanitizer + UndefinedBehaviorSanitizer. Each preset
+# under AddressSanitizer + UndefinedBehaviorSanitizer, then the
+# measurement-pool tests under ThreadSanitizer. Each non-tsan preset
 # also smoke-tests the observability path: a tiny heron_tune run
 # with --trace/--metrics whose outputs must parse as JSON.
 #
-# Usage: scripts/verify.sh [--no-asan]
+# Usage: scripts/verify.sh [--no-asan] [--no-tsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_asan=1
-if [[ "${1:-}" == "--no-asan" ]]; then
-    run_asan=0
-fi
+run_tsan=1
+for arg in "$@"; do
+    case "$arg" in
+    --no-asan) run_asan=0 ;;
+    --no-tsan) run_tsan=0 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
 
 # Run a tiny profiled tuning job out of $1 (a preset's build dir)
 # and validate the trace/metrics/telemetry files it writes.
@@ -59,6 +68,15 @@ if [[ "$run_asan" == 1 ]]; then
         ASAN_OPTIONS=detect_leaks=0 \
         ctest --preset asan -j
     ASAN_OPTIONS=detect_leaks=0 smoke_observability build-asan
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+    echo "== tier-1: ThreadSanitizer measurement-pool tests =="
+    cmake --preset tsan
+    cmake --build --preset tsan -j
+    TSAN_OPTIONS=halt_on_error=1 \
+        ctest --preset tsan -R 'test_measure_pool' \
+        --no-tests=error
 fi
 
 echo "verify: OK"

@@ -1,14 +1,58 @@
 #include "autotune/checkpoint.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <sstream>
 
+#include "support/fs_util.h"
 #include "support/logging.h"
 
 namespace heron::autotune {
 
+namespace {
+
+/**
+ * Truncate @p path back to its last complete line when it ends
+ * mid-record (torn tail of a crashed append). Returns the number of
+ * bytes dropped (0 when the file was clean or absent).
+ */
+size_t
+repair_torn_tail(const std::string &path)
+{
+    std::error_code ec;
+    auto size = std::filesystem::file_size(path, ec);
+    if (ec || size == 0)
+        return 0;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return 0;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    in.close();
+    if (text.empty() || text.back() == '\n')
+        return 0;
+    size_t keep = text.rfind('\n');
+    keep = keep == std::string::npos ? 0 : keep + 1;
+    std::filesystem::resize_file(path, keep, ec);
+    if (ec) {
+        HERON_WARN << "cannot truncate torn journal tail of "
+                   << path << ": " << ec.message();
+        return 0;
+    }
+    return text.size() - keep;
+}
+
+} // namespace
+
 bool
 TuningJournal::open(const std::string &path, int64_t next_seq)
 {
+    size_t dropped = repair_torn_tail(path);
+    if (dropped > 0)
+        HERON_WARN << "tuning journal " << path
+                   << " ended mid-record; dropped " << dropped
+                   << " torn byte(s) before appending";
     out_.open(path, std::ios::app);
     if (!out_.is_open()) {
         HERON_WARN << "cannot open tuning journal " << path
@@ -24,7 +68,7 @@ TuningJournal::open(const std::string &path, int64_t next_seq)
 void
 TuningJournal::append(const TuningRecord &record)
 {
-    if (!out_.is_open())
+    if (!out_.is_open() || crashed_)
         return;
     TuningRecord stamped = record;
     if (stamped.seq == 0)
@@ -32,10 +76,24 @@ TuningJournal::append(const TuningRecord &record)
     next_seq_ = stamped.seq + 1;
     if (stamped.category.empty())
         stamped.category = "measure";
-    out_ << stamped.to_json() << "\n";
+    std::string line = crc_frame(stamped.to_json());
+    if (crash_.after_records >= 0 &&
+        appended_ >= crash_.after_records) {
+        // Injected kill mid-write: part of the line reaches the
+        // file, the newline and CRC tail do not, and the journal is
+        // dead from here on.
+        out_ << line.substr(0,
+                            std::min(crash_.partial_bytes,
+                                     line.size()));
+        out_.flush();
+        crashed_ = true;
+        return;
+    }
+    out_ << line << "\n";
     // Flush per record: a killed run loses at most the measurement
     // in flight.
     out_.flush();
+    ++appended_;
 }
 
 std::vector<TuningRecord>
@@ -49,6 +107,14 @@ TuningJournal::load(const std::string &path, RecordReadStats *stats)
     return read_records(text.str(), stats);
 }
 
+bool
+TuningJournal::write_snapshot(const std::string &path,
+                              const std::vector<TuningRecord>
+                                  &records)
+{
+    return atomic_write_file(path, write_records(records));
+}
+
 ReplayCursor::ReplayCursor(std::vector<TuningRecord> journal,
                            const std::string &workload,
                            const std::string &dla,
@@ -57,6 +123,11 @@ ReplayCursor::ReplayCursor(std::vector<TuningRecord> journal,
     for (auto &record : journal) {
         if (record.workload != workload || record.dla != dla ||
             record.tuner != tuner)
+            continue;
+        // Only measurements replay; event records (e.g. quarantine
+        // decisions) are derived state the tuner rebuilds from the
+        // measurements themselves.
+        if (record.category != "measure")
             continue;
         records_.push_back(std::move(record));
     }

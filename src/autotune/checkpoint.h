@@ -22,14 +22,31 @@
 
 namespace heron::autotune {
 
-/** Append-only JSONL measurement journal. */
+/**
+ * Crash-injection plan for the journal (testing only): after
+ * @p after_records successful appends, the next append writes only
+ * the first @p partial_bytes of its line — no newline, no CRC tail —
+ * and the journal goes dead, simulating a kill mid-write. The torn
+ * tail must then be recovered on the next open/load.
+ */
+struct CrashPlan {
+    /** Appends to complete before crashing (< 0 disables). */
+    int64_t after_records = -1;
+    /** Bytes of the fatal record actually reaching the file. */
+    size_t partial_bytes = 8;
+};
+
+/** Append-only JSONL measurement journal with CRC-framed lines. */
 class TuningJournal
 {
   public:
     TuningJournal() = default;
 
     /**
-     * Open @p path for appending (existing records are kept).
+     * Open @p path for appending (existing records are kept). When
+     * the file ends mid-line — the torn tail of a crashed append —
+     * it is truncated back to the last complete line first, so new
+     * records never concatenate onto a fragment.
      * @param next_seq sequence number for the next appended record;
      *        pass max(seq)+1 of the already-loaded records when
      *        resuming so numbering stays monotonic across the crash.
@@ -43,14 +60,21 @@ class TuningJournal
     const std::string &path() const { return path_; }
 
     /**
-     * Append one record and flush it to disk immediately. Records
-     * with seq 0 are stamped with the journal's monotonic sequence
-     * number; pre-stamped records advance it.
+     * Append one record — CRC-framed via crc_frame — and flush it
+     * to disk immediately. Records with seq 0 are stamped with the
+     * journal's monotonic sequence number; pre-stamped records
+     * advance it.
      */
     void append(const TuningRecord &record);
 
     /** Sequence number the next appended record will receive. */
     int64_t next_seq() const { return next_seq_; }
+
+    /** Arm crash injection (testing; see CrashPlan). */
+    void set_crash_plan(const CrashPlan &plan) { crash_ = plan; }
+
+    /** True once an injected crash killed the journal. */
+    bool crashed() const { return crashed_; }
 
     /**
      * Load all records from @p path. A missing file yields an empty
@@ -61,10 +85,23 @@ class TuningJournal
     load(const std::string &path,
          RecordReadStats *stats = nullptr);
 
+    /**
+     * Write a point-in-time snapshot of @p records to @p path via
+     * atomic replace (temp file + fsync + rename): the snapshot is
+     * either the previous complete one or the new complete one,
+     * never a torn intermediate.
+     */
+    static bool write_snapshot(const std::string &path,
+                               const std::vector<TuningRecord>
+                                   &records);
+
   private:
     std::ofstream out_;
     std::string path_;
     int64_t next_seq_ = 1;
+    CrashPlan crash_;
+    int64_t appended_ = 0;
+    bool crashed_ = false;
 };
 
 /**

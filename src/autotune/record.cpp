@@ -7,6 +7,7 @@
 
 #include "support/json_util.h"
 #include "support/logging.h"
+#include "support/math_util.h"
 
 namespace heron::autotune {
 
@@ -27,8 +28,10 @@ TuningRecord::to_json() const
         << "\"tuner\":\"" << json_escape(tuner) << "\","
         << "\"seq\":" << seq << ","
         << "\"cat\":\"" << json_escape(category) << "\","
-        << "\"valid\":" << (valid ? 1 : 0) << ","
-        << "\"latency_ms\":" << latency_ms << ","
+        << "\"valid\":" << (valid ? 1 : 0) << ",";
+    if (!valid && !failure.empty())
+        out << "\"fail\":\"" << json_escape(failure) << "\",";
+    out << "\"latency_ms\":" << latency_ms << ","
         << "\"gflops\":" << gflops << ",\"assignment\":[";
     for (size_t i = 0; i < assignment.size(); ++i)
         out << (i ? "," : "") << assignment[i];
@@ -59,6 +62,12 @@ TuningRecord::from_json(const std::string &line)
     auto valid = json_extract(line, "valid");
     record.valid = valid ? std::atoll(valid->c_str()) != 0
                          : record.gflops > 0.0;
+    if (!record.valid) {
+        // "fail" was added with the quarantine machinery; failed
+        // records written before it carry the generic category.
+        auto fail = json_extract(line, "fail");
+        record.failure = fail ? *fail : "invalid";
+    }
     // "seq"/"cat" were added for stream correlation; older records
     // keep seq 0 (unstamped) and the default category.
     if (auto seq = json_extract(line, "seq"))
@@ -77,39 +86,132 @@ TuningRecord::from_json(const std::string &line)
 }
 
 std::string
+crc_frame(const std::string &payload)
+{
+    std::ostringstream out;
+    out << payload << "#crc32=" << std::hex << std::setw(8)
+        << std::setfill('0') << crc32_str(payload);
+    return out.str();
+}
+
+std::string
 write_records(const std::vector<TuningRecord> &records)
 {
     std::ostringstream out;
     for (const auto &record : records)
-        out << record.to_json() << "\n";
+        out << crc_frame(record.to_json()) << "\n";
     return out.str();
 }
+
+namespace {
+
+/** CRC trailer marker appended by crc_frame. */
+constexpr const char kCrcMarker[] = "#crc32=";
+constexpr size_t kCrcMarkerLen = sizeof(kCrcMarker) - 1;
+constexpr size_t kCrcHexLen = 8;
+
+/**
+ * Verify and strip a line's CRC trailer. Returns the payload, or
+ * nullopt on a mismatched trailer. Lines without a trailer are
+ * legacy records and pass through unchanged.
+ */
+std::optional<std::string>
+strip_crc(const std::string &line)
+{
+    size_t marker = line.rfind(kCrcMarker);
+    if (marker == std::string::npos)
+        return line;
+    std::string payload = line.substr(0, marker);
+    std::string hex = line.substr(marker + kCrcMarkerLen);
+    if (hex.size() != kCrcHexLen)
+        return std::nullopt;
+    uint32_t stored = 0;
+    for (char c : hex) {
+        uint32_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<uint32_t>(c - 'a') + 10;
+        else
+            return std::nullopt;
+        stored = stored << 4 | digit;
+    }
+    if (crc32_str(payload) != stored)
+        return std::nullopt;
+    return payload;
+}
+
+} // namespace
 
 std::vector<TuningRecord>
 read_records(const std::string &text, RecordReadStats *stats)
 {
     std::vector<TuningRecord> records;
     RecordReadStats local;
-    std::istringstream lines(text);
-    std::string line;
-    int64_t line_number = 0;
-    while (std::getline(lines, line)) {
-        ++line_number;
+
+    // A stream that ends without a newline was torn mid-append (a
+    // crash between write and flush). The fragment is dropped even
+    // when it happens to parse: a truncated number would replay a
+    // silently different measurement.
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < text.size()) {
+                lines.push_back(text.substr(start));
+                local.recovered_truncations = 1;
+            }
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    size_t parse_count =
+        lines.size() - (local.recovered_truncations ? 1 : 0);
+
+    int64_t prev_seq = 0;
+    for (size_t i = 0; i < parse_count; ++i) {
+        const std::string &line = lines[i];
+        int64_t line_number = static_cast<int64_t>(i) + 1;
         if (line.empty())
             continue;
-        auto record = TuningRecord::from_json(line);
-        if (record) {
-            records.push_back(std::move(*record));
+        auto payload = strip_crc(line);
+        if (!payload) {
+            ++local.crc_mismatches;
+            if (local.first_bad_line == 0)
+                local.first_bad_line = line_number;
             continue;
         }
-        if (local.malformed == 0)
-            local.first_bad_line = line_number;
-        ++local.malformed;
+        auto record = TuningRecord::from_json(*payload);
+        if (!record) {
+            if (local.malformed == 0 && local.first_bad_line == 0)
+                local.first_bad_line = line_number;
+            ++local.malformed;
+            continue;
+        }
+        if (record->seq > 0) {
+            if (prev_seq > 0 && record->seq <= prev_seq)
+                ++local.seq_regressions;
+            prev_seq = record->seq;
+        }
+        records.push_back(std::move(*record));
     }
+
     if (local.malformed > 0)
         HERON_WARN << "skipped " << local.malformed
                    << " malformed tuning record(s); first at line "
                    << local.first_bad_line;
+    if (local.crc_mismatches > 0)
+        HERON_WARN << "skipped " << local.crc_mismatches
+                   << " tuning record(s) failing their CRC trailer";
+    if (local.recovered_truncations > 0)
+        HERON_WARN << "recovered a torn journal tail (dropped one "
+                      "unterminated trailing record)";
+    if (local.seq_regressions > 0)
+        HERON_WARN << "journal sequence numbers regressed "
+                   << local.seq_regressions
+                   << " time(s): spliced or rewound journal";
     if (stats)
         *stats = local;
     return records;

@@ -33,6 +33,12 @@ struct TuningRecord {
     std::string category = "measure";
     /** False for a journaled measurement that failed. */
     bool valid = true;
+    /**
+     * Failure category name ("invalid", "hung", ...) of a !valid
+     * record; empty for valid records. Distinguishes quarantining
+     * failures from ordinary invalid programs on resume.
+     */
+    std::string failure;
     double latency_ms = 0.0;
     double gflops = 0.0;
     csp::Assignment assignment;
@@ -50,8 +56,17 @@ struct TuningRecord {
     from_json(const std::string &line);
 };
 
-/** Serialize records as JSON lines. */
+/** Serialize records as JSON lines (CRC-framed; see crc_frame). */
 std::string write_records(const std::vector<TuningRecord> &records);
+
+/**
+ * Frame one journal payload with its integrity trailer:
+ * `<payload>#crc32=xxxxxxxx` (8 lowercase hex digits over the
+ * payload bytes). read_records verifies the trailer and treats a
+ * mismatch as corruption; lines without a trailer parse as legacy
+ * records.
+ */
+std::string crc_frame(const std::string &payload);
 
 /** Accounting for read_records. */
 struct RecordReadStats {
@@ -59,11 +74,34 @@ struct RecordReadStats {
     int64_t malformed = 0;
     /** 1-based line number of the first malformed line (0 = none). */
     int64_t first_bad_line = 0;
+    /** Lines whose CRC trailer did not match their payload. */
+    int64_t crc_mismatches = 0;
+    /**
+     * Torn tails recovered: 1 when the text ended mid-record (no
+     * trailing newline) and the fragment was dropped, else 0. A torn
+     * tail is the expected signature of a crash mid-append and is
+     * recoverable; it is *not* counted as malformed.
+     */
+    int64_t recovered_truncations = 0;
+    /**
+     * Stamped sequence numbers that failed to increase over their
+     * predecessor — the signature of a spliced or rewound journal.
+     */
+    int64_t seq_regressions = 0;
+
+    /** True when the stream shows real corruption (not a torn tail). */
+    bool corrupt() const
+    {
+        return malformed > 0 || crc_mismatches > 0 ||
+               seq_regressions > 0;
+    }
 };
 
 /**
- * Parse JSON-lines text. Malformed lines are skipped and counted
- * (one warning summarizes them); pass @p stats to receive the count.
+ * Parse JSON-lines text. Malformed or CRC-mismatched lines are
+ * skipped and counted (one warning summarizes them); an unterminated
+ * final line is dropped as a recovered torn tail. Pass @p stats to
+ * receive the accounting.
  */
 std::vector<TuningRecord> read_records(const std::string &text,
                                        RecordReadStats *stats =

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "autotune/checkpoint.h"
+#include "hw/measure_pool.h"
 #include "model/cost_model.h"
 #include "search/algorithms.h"
 #include "search/cga.h"
@@ -16,6 +18,18 @@
 #include "support/trace.h"
 
 namespace heron::autotune {
+
+const char *
+stop_reason_name(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::kBudgetComplete: return "budget-complete";
+      case StopReason::kBarren: return "barren";
+      case StopReason::kAllQuarantined: return "all-quarantined";
+      case StopReason::kDeadline: return "deadline";
+    }
+    return "?";
+}
 
 using csp::Assignment;
 using csp::RandSatSolver;
@@ -177,8 +191,18 @@ class HeronTuner : public TunerBase
             return generator.generate(workload);
         }();
         RandSatSolver solver(space.csp, config_.solver);
-        auto measurer = make_tuner_measurer();
-        Evaluator evaluator(space, *measurer);
+        // All measurement goes through the supervised pool: workers
+        // <= 1 runs serially on this thread; either way results and
+        // journals are bit-identical (indices are pre-assigned from
+        // the pool's master counter).
+        hw::PoolConfig pool_config;
+        pool_config.workers = config_.measure_workers;
+        pool_config.deadline_ms = config_.watchdog_deadline_ms;
+        pool_config.grace_ms = config_.watchdog_grace_ms;
+        pool_config.max_abandoned = config_.max_abandoned_workers;
+        hw::MeasurePool pool(spec_, measure_config(),
+                             config_.faults, pool_config);
+        Evaluator evaluator(space);
         model::CostModel model(space.csp);
         Rng rng(config_.seed);
 
@@ -186,8 +210,12 @@ class HeronTuner : public TunerBase
         // re-measuring, then append every live measurement.
         TuningJournal journal;
         ReplayCursor replay;
+        // Full journal contents (loaded + appended), mirrored for
+        // the per-round atomic snapshot.
+        std::vector<TuningRecord> all_records;
         if (!config_.journal_path.empty()) {
             auto loaded = TuningJournal::load(config_.journal_path);
+            all_records = loaded;
             // Keep sequence numbers monotonic across the resume.
             int64_t next_seq = 1;
             for (const auto &rec : loaded)
@@ -201,8 +229,59 @@ class HeronTuner : public TunerBase
                            << " measurement(s) to replay)";
             }
             journal.open(config_.journal_path, next_seq);
+            if (config_.journal_crash_after >= 0)
+                journal.set_crash_plan(
+                    {config_.journal_crash_after,
+                     config_.journal_crash_bytes});
         }
         setup_span.stop();
+
+        // Quarantine: schedule signatures (structural program
+        // hashes) striking out on invalid/hung measurements are
+        // excluded for the rest of the run. State is rebuilt
+        // deterministically on resume from the replayed outcomes.
+        std::unordered_map<uint64_t, int> strikes;
+        std::unordered_set<uint64_t> quarantined;
+        auto quarantine_note = [&](const Assignment &a, uint64_t sig,
+                                   bool valid,
+                                   const std::string &failure) {
+            if (config_.quarantine_threshold <= 0)
+                return;
+            if (valid) {
+                // The signature demonstrably works; wipe its record.
+                strikes.erase(sig);
+                return;
+            }
+            // Only deterministic failure categories strike; a
+            // transient or timed-out board is not the program's
+            // fault.
+            if (failure != "invalid" && failure != "hung")
+                return;
+            if (quarantined.count(sig))
+                return;
+            if (++strikes[sig] < config_.quarantine_threshold)
+                return;
+            quarantined.insert(sig);
+            ++outcome.quarantined_signatures;
+            HERON_COUNTER_INC("tuner.quarantined_signatures");
+            HERON_WARN << "quarantining schedule signature "
+                       << std::hex << sig << std::dec << " after "
+                       << config_.quarantine_threshold << " "
+                       << failure << " strike(s)";
+            if (journal.is_open()) {
+                TuningRecord event;
+                event.workload = workload.name;
+                event.dla = spec_.name;
+                event.tuner = name();
+                event.category = "quarantine";
+                event.valid = false;
+                event.failure = failure;
+                event.assignment = a;
+                event.seq = journal.next_seq();
+                journal.append(event);
+                all_records.push_back(std::move(event));
+            }
+        };
 
         std::unordered_set<uint64_t> measured;
         // (assignment, measured score) for survivor selection.
@@ -256,6 +335,11 @@ class HeronTuner : public TunerBase
                                solver.last_failure())
                         << "); stopping " << workload.name
                         << " early";
+                    outcome.stop_reason =
+                        solver.last_failure() ==
+                                csp::SolveFailure::kDeadline
+                            ? StopReason::kDeadline
+                            : StopReason::kBarren;
                     break;
                 }
                 continue;
@@ -316,11 +400,15 @@ class HeronTuner : public TunerBase
                                << barren_rounds
                                << " round(s); stopping "
                                << workload.name << " early";
+                    outcome.stop_reason =
+                        solver.last_failure() ==
+                                csp::SolveFailure::kDeadline
+                            ? StopReason::kDeadline
+                            : StopReason::kBarren;
                     break;
                 }
                 continue;
             }
-            barren_rounds = 0;
             int budget_left =
                 config_.trials - static_cast<int>(evaluator.count());
             int to_measure = std::min(
@@ -365,36 +453,117 @@ class HeronTuner : public TunerBase
                 rng.shuffle(pick_order);
             }
 
-            // Step 4: measure (or replay from the journal) and
-            // update the model. Failed measurements score 0 and the
-            // round carries on — a tuning run survives rounds where
-            // every measurement fails.
+            // Step 4a: admission, in selection order. Quarantined
+            // signatures are skipped (no budget consumed); the rest
+            // either match the journal (replay) or reserve a
+            // measurement index, so indices — and therefore every
+            // derived noise/fault stream — are assigned exactly as
+            // a serial uninterrupted run would assign them.
+            struct RoundSlot {
+                size_t cand = 0;
+                const TuningRecord *rec = nullptr;
+                int64_t index = -1;
+                size_t task_pos = 0;
+                uint64_t sig = 0;
+            };
+            std::vector<RoundSlot> slots;
+            std::vector<schedule::ConcreteProgram> programs;
+            int skipped_quarantined = 0;
+            for (int i = 0; i < to_measure; ++i) {
+                size_t cand = pick_order[static_cast<size_t>(i)];
+                const Assignment &a = candidates[cand];
+                auto program = space.bind(a);
+                uint64_t sig = hw::detail::program_hash(program);
+                if (quarantined.count(sig)) {
+                    ++skipped_quarantined;
+                    ++outcome.quarantine_skips;
+                    HERON_COUNTER_INC("tuner.quarantine_skips");
+                    continue;
+                }
+                RoundSlot slot;
+                slot.cand = cand;
+                slot.sig = sig;
+                if (const TuningRecord *rec = replay.match(a)) {
+                    slot.rec = rec;
+                    pool.note_replayed();
+                } else {
+                    slot.index = pool.reserve_index();
+                    slot.task_pos = programs.size();
+                    programs.push_back(std::move(program));
+                }
+                slots.push_back(std::move(slot));
+            }
+            if (slots.empty()) {
+                // The whole selection was quarantined: counts as a
+                // barren round (no measurements happened).
+                HERON_COUNTER_INC("tuner.barren_rounds");
+                if (++barren_rounds >= config_.max_barren_rounds) {
+                    HERON_WARN
+                        << "every candidate quarantined for "
+                        << barren_rounds << " round(s); stopping "
+                        << workload.name << " early";
+                    outcome.stop_reason =
+                        skipped_quarantined > 0
+                            ? StopReason::kAllQuarantined
+                            : StopReason::kBarren;
+                    break;
+                }
+                continue;
+            }
+            barren_rounds = 0;
+
+            // Step 4b: fan the live measurements across the pool.
+            // Program pointers stay valid: `programs` is fully built
+            // before any task references it.
+            std::vector<hw::MeasureTask> tasks;
+            tasks.reserve(programs.size());
+            for (const RoundSlot &slot : slots)
+                if (slot.index >= 0)
+                    tasks.push_back(
+                        {&programs[slot.task_pos], slot.index});
+            auto results = pool.measure_batch(tasks);
+
+            // Step 4c: apply results in selection order — journal
+            // appends, model samples, and quarantine strikes all
+            // happen in the same order for every worker count.
+            // Failed measurements score 0 and the round carries on.
             int round_valid = 0;
             double round_gflops_sum = 0.0;
-            for (int i = 0; i < to_measure; ++i) {
-                const Assignment &a =
-                    candidates[pick_order[static_cast<size_t>(i)]];
+            int to_measure_done = 0;
+            for (const RoundSlot &slot : slots) {
+                const Assignment &a = candidates[slot.cand];
                 double score;
-                if (const TuningRecord *rec = replay.match(a)) {
-                    score = evaluator.replay(a, rec->valid,
-                                             rec->latency_ms,
-                                             rec->gflops);
+                if (slot.rec != nullptr) {
+                    score = evaluator.replay(a, slot.rec->valid,
+                                             slot.rec->latency_ms,
+                                             slot.rec->gflops);
+                    quarantine_note(a, slot.sig, slot.rec->valid,
+                                    slot.rec->failure);
                 } else {
-                    score = evaluator.measure(a);
+                    const hw::MeasureResult &mr =
+                        results[slot.task_pos];
+                    score = evaluator.record(a, mr);
+                    std::string failure =
+                        mr.valid
+                            ? ""
+                            : hw::measure_failure_name(mr.failure);
                     if (journal.is_open()) {
-                        const hw::MeasureResult &mr =
-                            evaluator.last_result();
                         TuningRecord rec;
                         rec.workload = workload.name;
                         rec.dla = spec_.name;
                         rec.tuner = name();
                         rec.valid = mr.valid;
+                        rec.failure = failure;
                         rec.latency_ms = mr.latency_ms;
                         rec.gflops = mr.gflops;
                         rec.assignment = a;
+                        rec.seq = journal.next_seq();
                         journal.append(rec);
+                        all_records.push_back(std::move(rec));
                     }
+                    quarantine_note(a, slot.sig, mr.valid, failure);
                 }
+                ++to_measure_done;
                 if (evaluator.last_result().valid) {
                     ++round_valid;
                     round_gflops_sum +=
@@ -404,6 +573,15 @@ class HeronTuner : public TunerBase
                 model.add_scored_sample(a, score);
                 archive.emplace_back(a, score);
             }
+            to_measure = to_measure_done;
+
+            // Durability: refresh the atomic journal snapshot each
+            // round (either the previous or the new complete
+            // snapshot exists on disk, never a torn one).
+            if (journal.is_open())
+                TuningJournal::write_snapshot(
+                    config_.journal_path + ".snapshot",
+                    all_records);
             {
                 PhaseSpan model_span(kModelPhase,
                                      outcome.model_seconds);
@@ -422,9 +600,12 @@ class HeronTuner : public TunerBase
         }
 
         outcome.result = evaluator.result();
-        outcome.measure_seconds = measurer->simulated_seconds();
-        outcome.measure_stats = measurer->stats();
+        outcome.measure_seconds = pool.simulated_seconds();
+        outcome.measure_stats = pool.stats();
         outcome.replayed = replay.replayed();
+        outcome.watchdog_fires = pool.watchdog_fires();
+        outcome.abandoned_workers = pool.abandoned_workers();
+        outcome.pool_degraded = pool.degraded();
 
         // Decomposition reconciliation: the profiler timed exactly
         // the regions the TuneOutcome accounting timed, so the two

@@ -68,7 +68,48 @@ struct TuneConfig {
      * support/profiler.h).
      */
     std::string telemetry_path;
+
+    /**
+     * Measurement-pool worker threads for the Heron tuner (<= 1
+     * measures serially on the tuning thread). Results, journals,
+     * and accounting are bit-identical across worker counts.
+     */
+    int measure_workers = 1;
+    /** Per-candidate watchdog deadline, wall-clock milliseconds. */
+    double watchdog_deadline_ms = 2000.0;
+    /** Grace after cancellation before a worker is abandoned, ms. */
+    double watchdog_grace_ms = 100.0;
+    /** Abandoned workers tolerated before degrading to serial. */
+    int max_abandoned_workers = 2;
+    /**
+     * Invalid/hung strikes against one schedule signature before it
+     * is quarantined for the rest of the run (0 disables).
+     */
+    int quarantine_threshold = 3;
+    /**
+     * Crash injection for the journal (testing): after this many
+     * successful appends the next append is torn mid-line and the
+     * journal goes dead (< 0 disables). See autotune::CrashPlan.
+     */
+    int64_t journal_crash_after = -1;
+    /** Bytes of the fatal record reaching the file when crashing. */
+    size_t journal_crash_bytes = 8;
 };
+
+/** Why a tuning run ended. */
+enum class StopReason : uint8_t {
+    /** Ran the full measurement budget. */
+    kBudgetComplete = 0,
+    /** Solver/candidate generation came up empty too many rounds. */
+    kBarren,
+    /** Every remaining candidate was quarantined. */
+    kAllQuarantined,
+    /** The solver's wall-clock deadline expired. */
+    kDeadline,
+};
+
+/** Name of a stop reason ("budget-complete", "barren", ...). */
+const char *stop_reason_name(StopReason reason);
 
 /** What a tuning run produced, plus its cost accounting. */
 struct TuneOutcome {
@@ -85,6 +126,18 @@ struct TuneOutcome {
     hw::MeasureStats measure_stats;
     /** Measurements restored from the journal instead of re-run. */
     int64_t replayed = 0;
+    /** Why the run ended. */
+    StopReason stop_reason = StopReason::kBudgetComplete;
+    /** Measurements resolved by the watchdog (cancel or abandon). */
+    int64_t watchdog_fires = 0;
+    /** Worker threads abandoned as wedged (wall-clock domain). */
+    int64_t abandoned_workers = 0;
+    /** True when worker attrition degraded the pool to serial. */
+    bool pool_degraded = false;
+    /** Schedule signatures quarantined during this run. */
+    int64_t quarantined_signatures = 0;
+    /** Candidates skipped because their signature was quarantined. */
+    int64_t quarantine_skips = 0;
     /** True when span recording was on during this run. */
     bool profiled = false;
     /**

@@ -1,5 +1,8 @@
 #include "hw/fault_injection.h"
 
+#include <chrono>
+#include <thread>
+
 #include "support/logging.h"
 #include "support/metrics.h"
 
@@ -14,7 +17,25 @@ FaultyMeasurer::FaultyMeasurer(const DlaSpec &spec,
     HERON_CHECK_GE(faults_.timeout_rate, 0.0);
     HERON_CHECK_GE(faults_.outlier_rate, 0.0);
     HERON_CHECK_GE(faults_.spurious_invalid_rate, 0.0);
+    HERON_CHECK_GE(faults_.hung_rate, 0.0);
     HERON_CHECK_GT(faults_.outlier_scale, 1.0);
+}
+
+MeasureResult
+hung_result()
+{
+    MeasureResult result;
+    result.valid = false;
+    result.failure = MeasureFailure::kHung;
+    result.error = "injected wedged kernel";
+    result.attempts = 1;
+    return result;
+}
+
+double
+hung_charge_s(const MeasureConfig &config, const FaultConfig &faults)
+{
+    return config.harness_overhead_s + faults.hang_s;
 }
 
 Measurer::Attempt
@@ -27,6 +48,35 @@ FaultyMeasurer::attempt(const schedule::ConcreteProgram &program,
     double u_transient = dice.uniform();
     double u_timeout = dice.uniform();
     double u_spurious = dice.uniform();
+    double u_hung = dice.uniform();
+
+    // A wedge preempts everything else: the kernel never comes back,
+    // so no other fault category can be observed. Checked on the
+    // first attempt only — the measurer treats kHung as final.
+    if (attempt_index == 0 && u_hung < faults_.hung_rate) {
+        ++injected_;
+        HERON_COUNTER_INC("fault.injected_hung");
+        // Simulated cost is fixed by hung_charge_s() so the pool can
+        // fabricate an identical charge for abandoned workers.
+        charge_seconds(hung_charge_s(config(), faults_));
+        const CancelToken *token = cancel_token();
+        if (faults_.hung_ignores_cancel) {
+            // Worst case: the run ignores cancellation entirely and
+            // stalls its worker in real time until the pool abandons
+            // it (or the stall elapses in a serial run).
+            std::this_thread::sleep_for(std::chrono::duration<double,
+                                        std::milli>(
+                faults_.hung_stall_ms));
+        } else if (token != nullptr) {
+            // Cooperative wedge: block until the watchdog cancels.
+            while (!token->cancelled())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        }
+        return Attempt{MeasureFailure::kHung,
+                       "injected wedged kernel",
+                       {}};
+    }
 
     if (u_transient < faults_.transient_rate) {
         ++injected_;

@@ -31,6 +31,14 @@ struct FaultConfig {
     double outlier_rate = 0.0;
     /** Spurious launch failure per attempt (not retryable). */
     double spurious_invalid_rate = 0.0;
+    /**
+     * Kernel wedge per measurement (first attempt only; final).
+     * Unlike timeout_rate, the run does not honor the harness
+     * timeout: it blocks until a cancel token fires (cooperative) or
+     * — with hung_ignores_cancel — until the watchdog abandons the
+     * worker outright.
+     */
+    double hung_rate = 0.0;
 
     /** Injected outlier latency multiplier. */
     double outlier_scale = 10.0;
@@ -39,6 +47,14 @@ struct FaultConfig {
      * is configured (the harness blocks until a watchdog fires).
      */
     double hang_s = 1.0;
+    /**
+     * When true, an injected wedge also ignores the cancel token,
+     * stalling the worker thread for hung_stall_ms of *real* time —
+     * the worst case the pool's abandon-and-replace path exists for.
+     */
+    bool hung_ignores_cancel = false;
+    /** Real milliseconds a non-cooperative wedge stalls its worker. */
+    double hung_stall_ms = 200.0;
     /** Seed of the fault stream (independent of measurement noise). */
     uint64_t seed = 0x5eed;
 
@@ -46,7 +62,8 @@ struct FaultConfig {
     bool any() const
     {
         return transient_rate > 0.0 || timeout_rate > 0.0 ||
-               outlier_rate > 0.0 || spurious_invalid_rate > 0.0;
+               outlier_rate > 0.0 || spurious_invalid_rate > 0.0 ||
+               hung_rate > 0.0;
     }
 };
 
@@ -85,6 +102,22 @@ class FaultyMeasurer : public Measurer
 std::unique_ptr<Measurer> make_measurer(const DlaSpec &spec,
                                         MeasureConfig config = {},
                                         FaultConfig faults = {});
+
+/**
+ * The MeasureResult a wedged measurement resolves to. The pool
+ * fabricates this when it abandons a worker, and it must match the
+ * cooperative-cancel path bit-for-bit so journals are identical
+ * whichever way the wedge was detected.
+ */
+MeasureResult hung_result();
+
+/**
+ * Simulated seconds one wedged measurement charges (harness overhead
+ * plus the watchdog-bounded hang), matching FaultyMeasurer's
+ * cooperative path so abandoned-worker accounting stays identical.
+ */
+double hung_charge_s(const MeasureConfig &config,
+                     const FaultConfig &faults);
 
 } // namespace heron::hw
 

@@ -1,0 +1,414 @@
+#include "hw/measure_pool.h"
+
+#include <chrono>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace heron::hw {
+
+namespace {
+
+using Clock = CancelToken::Clock;
+
+/** Convert milliseconds to the steady clock's duration type. */
+Clock::duration
+clock_ms(double ms)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+/** Per-task stat delta: @p after minus @p before, field by field. */
+MeasureStats
+stats_diff(const MeasureStats &before, const MeasureStats &after)
+{
+    MeasureStats d;
+    d.measurements = after.measurements - before.measurements;
+    d.invalid = after.invalid - before.invalid;
+    d.transient_faults =
+        after.transient_faults - before.transient_faults;
+    d.timeouts = after.timeouts - before.timeouts;
+    d.retries = after.retries - before.retries;
+    d.exhausted_retries =
+        after.exhausted_retries - before.exhausted_retries;
+    d.outliers_rejected =
+        after.outliers_rejected - before.outliers_rejected;
+    d.replayed = after.replayed - before.replayed;
+    d.hung = after.hung - before.hung;
+    return d;
+}
+
+} // namespace
+
+/** Resolution state of one batch slot. */
+enum class SlotState : uint8_t {
+    kPending,
+    kRunning,
+    kDone,
+    kAbandoned,
+};
+
+/**
+ * Shared state of one in-flight batch. Held by shared_ptr so an
+ * abandoned (zombie) worker can still publish-and-retire safely
+ * after the batch that spawned it has returned.
+ */
+struct MeasurePool::BatchState {
+    struct Slot {
+        const schedule::ConcreteProgram *program = nullptr;
+        int64_t index = 0;
+        SlotState state = SlotState::kPending;
+        /** Watchdog already cancelled this slot. */
+        bool cancel_sent = false;
+        CancelToken token;
+        Clock::time_point started{};
+        MeasureResult result;
+        MeasureStats delta;
+        double seconds_delta = 0.0;
+    };
+
+    explicit BatchState(size_t n) : slots(n) {}
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Slot> slots;
+    /** Next unclaimed slot (claims are in slot order). */
+    size_t next = 0;
+};
+
+/** A spawned worker thread plus its retirement flag. */
+struct MeasurePool::WorkerHandle {
+    std::thread thread;
+    /** Set by the worker just before it exits (join won't block). */
+    std::shared_ptr<std::atomic<bool>> done;
+};
+
+MeasurePool::MeasurePool(const DlaSpec &spec, MeasureConfig config,
+                         FaultConfig faults, PoolConfig pool)
+    : spec_(spec), config_(config), faults_(faults), pool_(pool)
+{
+    HERON_CHECK_GE(pool_.workers, 0);
+    HERON_CHECK_GT(pool_.deadline_ms, 0.0);
+    HERON_CHECK_GE(pool_.grace_ms, 0.0);
+    HERON_CHECK_GE(pool_.max_abandoned, 0);
+}
+
+MeasurePool::~MeasurePool()
+{
+    reap_workers(/*final_join=*/true);
+}
+
+int64_t
+MeasurePool::reserve_index()
+{
+    return stats_.measurements++;
+}
+
+void
+MeasurePool::note_replayed()
+{
+    ++stats_.measurements;
+    ++stats_.replayed;
+    HERON_COUNTER_INC("measure.replayed");
+}
+
+void
+MeasurePool::merge_slot_delta(const MeasureStats &delta,
+                              double seconds,
+                              const MeasureResult &result)
+{
+    // measurements/replayed are mastered by reserve_index() and
+    // note_replayed(); everything else folds in per task, in task
+    // order (double addition is not associative).
+    stats_.invalid += delta.invalid;
+    stats_.transient_faults += delta.transient_faults;
+    stats_.timeouts += delta.timeouts;
+    stats_.retries += delta.retries;
+    stats_.exhausted_retries += delta.exhausted_retries;
+    stats_.outliers_rejected += delta.outliers_rejected;
+    stats_.hung += delta.hung;
+    simulated_seconds_ += seconds;
+    if (result.failure == MeasureFailure::kHung) {
+        // Counted at merge (not in the watchdog sweep) so the tally
+        // is identical for cooperative cancels, abandonments, and
+        // serial runs alike.
+        ++watchdog_fires_;
+        HERON_COUNTER_INC("pool.watchdog_fires");
+    }
+}
+
+std::vector<MeasureResult>
+MeasurePool::measure_batch(const std::vector<MeasureTask> &tasks)
+{
+    HERON_TRACE_SCOPE("pool/measure_batch");
+    HERON_COUNTER_ADD("pool.tasks",
+                      static_cast<int64_t>(tasks.size()));
+    std::vector<MeasureResult> results;
+    results.reserve(tasks.size());
+    if (tasks.empty())
+        return results;
+    if (pool_.workers <= 1 || degraded_ || tasks.size() == 1)
+        run_serial(tasks, results);
+    else
+        run_parallel(tasks, results);
+    return results;
+}
+
+void
+MeasurePool::run_serial(const std::vector<MeasureTask> &tasks,
+                        std::vector<MeasureResult> &results)
+{
+    if (!serial_measurer_)
+        serial_measurer_ = make_measurer(spec_, config_, faults_);
+    HERON_GAUGE_SET("pool.active_workers", 1.0);
+    for (const MeasureTask &task : tasks) {
+        // The deadline still applies without threads: the token's
+        // own deadline releases cooperative wedges, so serial runs
+        // observe the same per-candidate budget as supervised ones.
+        CancelToken token;
+        token.set_deadline(Clock::now() + clock_ms(pool_.deadline_ms));
+        serial_measurer_->set_cancel_token(&token);
+        MeasureStats before = serial_measurer_->stats();
+        double sec_before = serial_measurer_->simulated_seconds();
+        MeasureResult result;
+        {
+            HERON_TRACE_SCOPE("pool/task");
+            result = serial_measurer_->measure_indexed(*task.program,
+                                                       task.index);
+        }
+        serial_measurer_->set_cancel_token(nullptr);
+        merge_slot_delta(
+            stats_diff(before, serial_measurer_->stats()),
+            serial_measurer_->simulated_seconds() - sec_before,
+            result);
+        results.push_back(std::move(result));
+    }
+}
+
+void
+MeasurePool::spawn_worker(std::shared_ptr<BatchState> state)
+{
+    WorkerHandle handle;
+    handle.done = std::make_shared<std::atomic<bool>>(false);
+    auto done = handle.done;
+    // Workers copy everything they touch (the zombie case must not
+    // race the pool's next batch); only the shared BatchState and
+    // the process-global metrics/trace registries are shared.
+    DlaSpec spec = spec_;
+    MeasureConfig config = config_;
+    FaultConfig faults = faults_;
+    double deadline_ms = pool_.deadline_ms;
+    handle.thread = std::thread([state, done, spec, config, faults,
+                                 deadline_ms]() {
+        auto measurer = make_measurer(spec, config, faults);
+        for (;;) {
+            size_t claimed;
+            {
+                std::lock_guard<std::mutex> lock(state->mu);
+                if (state->next >= state->slots.size())
+                    break;
+                claimed = state->next++;
+                auto &slot = state->slots[claimed];
+                slot.state = SlotState::kRunning;
+                slot.started = Clock::now();
+                slot.token.set_deadline(slot.started +
+                                        clock_ms(deadline_ms));
+            }
+            auto &slot = state->slots[claimed];
+            measurer->set_cancel_token(&slot.token);
+            MeasureStats before = measurer->stats();
+            double sec_before = measurer->simulated_seconds();
+            MeasureResult result;
+            {
+                HERON_TRACE_SCOPE("pool/task");
+                result = measurer->measure_indexed(*slot.program,
+                                                   slot.index);
+            }
+            measurer->set_cancel_token(nullptr);
+            bool retired = false;
+            {
+                std::lock_guard<std::mutex> lock(state->mu);
+                if (slot.state == SlotState::kAbandoned) {
+                    // The watchdog already resolved this slot with a
+                    // fabricated result and moved on; this thread
+                    // has been replaced. Discard and retire.
+                    retired = true;
+                } else {
+                    slot.state = SlotState::kDone;
+                    slot.result = std::move(result);
+                    slot.delta =
+                        stats_diff(before, measurer->stats());
+                    slot.seconds_delta =
+                        measurer->simulated_seconds() - sec_before;
+                }
+            }
+            state->cv.notify_all();
+            if (retired)
+                break;
+        }
+        done->store(true, std::memory_order_release);
+        state->cv.notify_all();
+    });
+    workers_.push_back(std::move(handle));
+}
+
+void
+MeasurePool::run_slot_inline(BatchState &state, size_t slot_index)
+{
+    auto &slot = state.slots[slot_index];
+    if (!serial_measurer_)
+        serial_measurer_ = make_measurer(spec_, config_, faults_);
+    serial_measurer_->set_cancel_token(&slot.token);
+    MeasureStats before = serial_measurer_->stats();
+    double sec_before = serial_measurer_->simulated_seconds();
+    MeasureResult result;
+    {
+        HERON_TRACE_SCOPE("pool/task");
+        result = serial_measurer_->measure_indexed(*slot.program,
+                                                   slot.index);
+    }
+    serial_measurer_->set_cancel_token(nullptr);
+    std::lock_guard<std::mutex> lock(state.mu);
+    slot.state = SlotState::kDone;
+    slot.result = std::move(result);
+    slot.delta = stats_diff(before, serial_measurer_->stats());
+    slot.seconds_delta =
+        serial_measurer_->simulated_seconds() - sec_before;
+}
+
+void
+MeasurePool::run_parallel(const std::vector<MeasureTask> &tasks,
+                          std::vector<MeasureResult> &results)
+{
+    auto state = std::make_shared<BatchState>(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        state->slots[i].program = tasks[i].program;
+        state->slots[i].index = tasks[i].index;
+    }
+
+    size_t target = std::min(static_cast<size_t>(pool_.workers),
+                             tasks.size());
+    for (size_t i = 0; i < target; ++i)
+        spawn_worker(state);
+    HERON_GAUGE_SET("pool.active_workers",
+                    static_cast<double>(workers_.size()));
+
+    const Clock::duration deadline = clock_ms(pool_.deadline_ms);
+    const Clock::duration grace = clock_ms(pool_.grace_ms);
+
+    std::unique_lock<std::mutex> lock(state->mu);
+    for (;;) {
+        bool all_resolved = true;
+        for (const auto &slot : state->slots) {
+            if (slot.state == SlotState::kPending ||
+                slot.state == SlotState::kRunning) {
+                all_resolved = false;
+                break;
+            }
+        }
+        if (all_resolved)
+            break;
+
+        if (degraded_ && state->next < state->slots.size()) {
+            // Attrition exhausted the worker budget: the supervisor
+            // drains the remaining slots itself, serially. Inline
+            // tasks are bounded by the token deadline (cooperative)
+            // or the injected stall (non-cooperative), so watchdog
+            // sweeps still happen regularly between them.
+            size_t claimed = state->next++;
+            auto &slot = state->slots[claimed];
+            slot.state = SlotState::kRunning;
+            slot.started = Clock::now();
+            slot.token.set_deadline(slot.started + deadline);
+            lock.unlock();
+            run_slot_inline(*state, claimed);
+            lock.lock();
+            continue;
+        }
+
+        state->cv.wait_for(lock, std::chrono::milliseconds(10));
+
+        Clock::time_point now = Clock::now();
+        for (auto &slot : state->slots) {
+            if (slot.state != SlotState::kRunning)
+                continue;
+            Clock::time_point due = slot.started + deadline;
+            if (now >= due && !slot.cancel_sent) {
+                slot.token.cancel();
+                slot.cancel_sent = true;
+                HERON_COUNTER_INC("pool.cancels_sent");
+            }
+            if (now >= due + grace) {
+                // The worker ignored cancellation past the grace
+                // period: declare it wedged, resolve the slot with
+                // the canonical hung outcome, and replace the
+                // worker (until attrition runs out).
+                slot.state = SlotState::kAbandoned;
+                slot.result = hung_result();
+                slot.delta = MeasureStats{};
+                slot.delta.hung = 1;
+                slot.seconds_delta = hung_charge_s(config_, faults_);
+                ++abandoned_;
+                HERON_COUNTER_INC("pool.workers_abandoned");
+                HERON_WARN << "measure pool: worker wedged on "
+                              "measurement #"
+                           << slot.index << "; abandoning ("
+                           << abandoned_ << "/"
+                           << pool_.max_abandoned << " tolerated)";
+                if (abandoned_ > pool_.max_abandoned) {
+                    if (!degraded_) {
+                        degraded_ = true;
+                        HERON_COUNTER_INC("pool.degraded");
+                        HERON_WARN
+                            << "measure pool: worker attrition "
+                               "limit reached; degrading to "
+                               "supervised serial execution";
+                    }
+                } else if (state->next < state->slots.size()) {
+                    spawn_worker(state);
+                }
+            }
+        }
+    }
+    lock.unlock();
+
+    for (const auto &slot : state->slots) {
+        results.push_back(slot.result);
+        merge_slot_delta(slot.delta, slot.seconds_delta,
+                         slot.result);
+    }
+    reap_workers(/*final_join=*/false);
+    HERON_GAUGE_SET("pool.active_workers", 0.0);
+}
+
+void
+MeasurePool::reap_workers(bool final_join)
+{
+    std::vector<WorkerHandle> stalled;
+    for (auto &handle : workers_) {
+        if (final_join ||
+            handle.done->load(std::memory_order_acquire))
+            handle.thread.join();
+        else
+            stalled.push_back(std::move(handle));
+    }
+    workers_.clear();
+
+    // Zombies stall for a bounded time (the injected stall length);
+    // reap the ones that have since finished, join all on shutdown.
+    std::vector<WorkerHandle> still_stalled;
+    for (auto &handle : zombies_) {
+        if (final_join ||
+            handle.done->load(std::memory_order_acquire))
+            handle.thread.join();
+        else
+            still_stalled.push_back(std::move(handle));
+    }
+    zombies_ = std::move(still_stalled);
+    for (auto &handle : stalled)
+        zombies_.push_back(std::move(handle));
+}
+
+} // namespace heron::hw

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Supervised parallel measurement pool.
+ *
+ * Real DLA tuning measures a round's candidates on a small farm of
+ * boards; a single wedged kernel must not stall the whole round. The
+ * pool fans a batch of candidates across N worker threads, each
+ * supervised by a watchdog that enforces a per-candidate wall-clock
+ * deadline through cooperative cancellation (the measurement path
+ * polls a CancelToken). A worker that ignores cancellation past a
+ * grace period is *abandoned*: its slot resolves to a fabricated
+ * kHung result and a replacement worker is spawned. When attrition
+ * exceeds a threshold the pool degrades to supervised serial
+ * execution instead of aborting the run.
+ *
+ * Determinism contract: measurement indices are pre-assigned from a
+ * master counter before dispatch, and per-task stat/time deltas are
+ * merged in task order, so results, MeasureStats, simulated seconds,
+ * and watchdog-fire counts are bit-identical regardless of worker
+ * count. Only wall-clock-domain telemetry (abandoned-worker count,
+ * degraded flag) may differ between worker counts.
+ */
+#ifndef HERON_HW_MEASURE_POOL_H
+#define HERON_HW_MEASURE_POOL_H
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hw/fault_injection.h"
+#include "hw/measurer.h"
+
+namespace heron::hw {
+
+/** Measurement-pool configuration. */
+struct PoolConfig {
+    /** Worker threads (<= 1 runs supervised-serial, no threads). */
+    int workers = 1;
+    /** Per-candidate wall-clock deadline, milliseconds. */
+    double deadline_ms = 2000.0;
+    /**
+     * Extra wall-clock grace after cancellation before the worker is
+     * declared wedged and abandoned, milliseconds.
+     */
+    double grace_ms = 100.0;
+    /**
+     * Abandoned workers tolerated before the pool stops spawning
+     * replacements and degrades to serial execution for the rest of
+     * the run.
+     */
+    int max_abandoned = 2;
+};
+
+/** One pre-indexed measurement request. */
+struct MeasureTask {
+    const schedule::ConcreteProgram *program = nullptr;
+    /** Pre-assigned measurement index (from reserve_index()). */
+    int64_t index = 0;
+};
+
+/**
+ * Fans measurement batches across supervised workers. One pool
+ * serves a whole tuning run; batches are submitted round by round.
+ */
+class MeasurePool
+{
+  public:
+    MeasurePool(const DlaSpec &spec, MeasureConfig config,
+                FaultConfig faults, PoolConfig pool);
+    ~MeasurePool();
+
+    MeasurePool(const MeasurePool &) = delete;
+    MeasurePool &operator=(const MeasurePool &) = delete;
+
+    /**
+     * Reserve the next measurement index from the master counter.
+     * Call in candidate order *before* building the batch so replays
+     * and live measurements interleave exactly as a serial run.
+     */
+    int64_t reserve_index();
+
+    /** Account a journal-replayed measurement (advances the index). */
+    void note_replayed();
+
+    /**
+     * Measure every task, returning results in task order. Blocks
+     * until each slot is resolved (measured, cancelled, or
+     * abandoned). Safe to call repeatedly.
+     */
+    std::vector<MeasureResult>
+    measure_batch(const std::vector<MeasureTask> &tasks);
+
+    /** Merged per-category accounting across all workers. */
+    const MeasureStats &stats() const { return stats_; }
+
+    /** Merged simulated measurement wall-clock seconds. */
+    double simulated_seconds() const { return simulated_seconds_; }
+
+    /**
+     * Tasks resolved by the watchdog (cooperative cancel or
+     * abandonment). Deterministic across worker counts.
+     */
+    int64_t watchdog_fires() const { return watchdog_fires_; }
+
+    /** Workers declared wedged and abandoned (wall-clock domain). */
+    int64_t abandoned_workers() const { return abandoned_; }
+
+    /** True once attrition forced supervised-serial execution. */
+    bool degraded() const { return degraded_; }
+
+    const DlaSpec &spec() const { return spec_; }
+
+  private:
+    struct BatchState;
+    struct WorkerHandle;
+
+    /** Run @p tasks on the calling thread (serial / degraded path). */
+    void run_serial(const std::vector<MeasureTask> &tasks,
+                    std::vector<MeasureResult> &results);
+
+    /** Run @p tasks across worker threads with watchdog supervision. */
+    void run_parallel(const std::vector<MeasureTask> &tasks,
+                      std::vector<MeasureResult> &results);
+
+    /** Execute one claimed slot inline on the supervisor thread. */
+    void run_slot_inline(BatchState &state, size_t slot_index);
+
+    /** Spawn one worker thread pulling slots from @p state. */
+    void spawn_worker(std::shared_ptr<BatchState> state);
+
+    /** Join finished workers; park still-stalled ones as zombies. */
+    void reap_workers(bool final_join);
+
+    /** Fold one resolved slot into the pool-level accounting. */
+    void merge_slot_delta(const MeasureStats &delta, double seconds,
+                          const MeasureResult &result);
+
+    const DlaSpec &spec_;
+    MeasureConfig config_;
+    FaultConfig faults_;
+    PoolConfig pool_;
+
+    /** Lazily-created measurer for serial/degraded execution. */
+    std::unique_ptr<Measurer> serial_measurer_;
+
+    MeasureStats stats_;
+    double simulated_seconds_ = 0.0;
+    int64_t watchdog_fires_ = 0;
+    int64_t abandoned_ = 0;
+    bool degraded_ = false;
+
+    /** Live worker threads for the current batch. */
+    std::vector<WorkerHandle> workers_;
+    /** Abandoned threads still stalling; joined on destruction. */
+    std::vector<WorkerHandle> zombies_;
+};
+
+} // namespace heron::hw
+
+#endif // HERON_HW_MEASURE_POOL_H

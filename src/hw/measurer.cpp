@@ -18,6 +18,7 @@ measure_failure_name(MeasureFailure failure)
       case MeasureFailure::kInvalid: return "invalid";
       case MeasureFailure::kTransient: return "transient";
       case MeasureFailure::kTimeout: return "timeout";
+      case MeasureFailure::kHung: return "hung";
     }
     return "?";
 }
@@ -111,9 +112,17 @@ Measurer::aggregate(const Attempt &run,
 MeasureResult
 Measurer::measure(const schedule::ConcreteProgram &program)
 {
+    return measure_indexed(program, stats_.measurements);
+}
+
+MeasureResult
+Measurer::measure_indexed(const schedule::ConcreteProgram &program,
+                          int64_t index)
+{
     HERON_TRACE_SCOPE("hw/measure");
     double simulated_before = simulated_seconds_;
-    measure_index_ = stats_.measurements++;
+    measure_index_ = index;
+    ++stats_.measurements;
     HERON_COUNTER_INC("measure.measurements");
     MeasureResult result;
     for (int att = 0;; ++att) {
@@ -135,12 +144,20 @@ Measurer::measure(const schedule::ConcreteProgram &program)
             ++stats_.timeouts;
             HERON_COUNTER_INC("measure.timeouts");
         }
+        if (run.failure == MeasureFailure::kHung) {
+            ++stats_.hung;
+            HERON_COUNTER_INC("measure.hung");
+        }
 
-        bool retryable = run.failure != MeasureFailure::kInvalid;
+        bool retryable = run.failure != MeasureFailure::kInvalid &&
+                         run.failure != MeasureFailure::kHung;
         if (!retryable || att >= config_.max_retries) {
             if (run.failure == MeasureFailure::kInvalid) {
                 ++stats_.invalid;
                 HERON_COUNTER_INC("measure.invalid");
+            } else if (run.failure == MeasureFailure::kHung) {
+                // Already counted above; a wedge is final, not an
+                // exhausted retry.
             } else {
                 ++stats_.exhausted_retries;
                 HERON_COUNTER_INC("measure.exhausted_retries");

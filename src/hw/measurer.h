@@ -36,6 +36,13 @@ enum class MeasureFailure : uint8_t {
     kTransient,
     /** Run exceeded the configured timeout (hang). Retryable. */
     kTimeout,
+    /**
+     * Kernel wedged the worker: the run neither completed nor
+     * honored the harness timeout, and the watchdog had to cancel
+     * (or abandon) it. Final — a wedge reproduces, so retrying
+     * inline would stall the whole round again.
+     */
+    kHung,
 };
 
 /** Name of a failure category ("none", "invalid", ...). */
@@ -96,6 +103,8 @@ struct MeasureStats {
     int64_t outliers_rejected = 0;
     /** Measurements restored from a journal instead of re-run. */
     int64_t replayed = 0;
+    /** Runs that wedged their worker (watchdog cancel/abandon). */
+    int64_t hung = 0;
 };
 
 /** Validates, times, and accounts for measurements on one DLA. */
@@ -111,6 +120,27 @@ class Measurer
      * rejection across repeats.
      */
     MeasureResult measure(const schedule::ConcreteProgram &program);
+
+    /**
+     * measure() with an explicit measurement index instead of this
+     * measurer's own running count. The measurement pool pre-assigns
+     * indices from a master counter so a batch fanned across N
+     * workers (each with its own Measurer) draws the exact noise
+     * streams a serial run would — the determinism contract.
+     */
+    MeasureResult
+    measure_indexed(const schedule::ConcreteProgram &program,
+                    int64_t index);
+
+    /**
+     * Attach a cancellation token observed by long-running attempt
+     * code (nullptr detaches). The token is polled, not owned; it
+     * must outlive the measurements it supervises.
+     */
+    void set_cancel_token(const CancelToken *token)
+    {
+        cancel_token_ = token;
+    }
 
     /** The underlying simulator. */
     const DlaSimulator &simulator() const { return *sim_; }
@@ -166,6 +196,9 @@ class Measurer
 
     const MeasureConfig &config() const { return config_; }
 
+    /** Active cancellation token (nullptr when unsupervised). */
+    const CancelToken *cancel_token() const { return cancel_token_; }
+
     /** Account simulated measurement wall-clock time. */
     void charge_seconds(double seconds)
     {
@@ -179,6 +212,7 @@ class Measurer
     /** Index of the measurement currently in flight. */
     int64_t measure_index_ = 0;
     double simulated_seconds_ = 0.0;
+    const CancelToken *cancel_token_ = nullptr;
 
     /** Aggregate a successful attempt's repeats into a result. */
     void aggregate(const Attempt &run,

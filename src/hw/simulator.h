@@ -20,6 +20,8 @@
 #ifndef HERON_HW_SIMULATOR_H
 #define HERON_HW_SIMULATOR_H
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -27,6 +29,65 @@
 #include "schedule/concrete.h"
 
 namespace heron::hw {
+
+/**
+ * Cooperative cancellation token for one in-flight measurement.
+ *
+ * The measurement pool's watchdog supervises each candidate with a
+ * per-task wall-clock deadline; long-running measurement code (the
+ * injected-hang path today, real device harnesses eventually) polls
+ * cancelled() and bails out instead of wedging its worker. The
+ * token carries its own deadline so serial (supervisor-less)
+ * measurement observes the same budget: cancelled() is true once
+ * either the supervisor flips the flag or the deadline passes.
+ *
+ * Thread-safe: the supervisor cancels from one thread while the
+ * worker polls from another.
+ */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Request cancellation (idempotent; visible to pollers). */
+    void cancel()
+    {
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    /** Arm the wall-clock deadline (absolute time point). */
+    void set_deadline(Clock::time_point deadline)
+    {
+        deadline_ns_.store(
+            deadline.time_since_epoch().count(),
+            std::memory_order_release);
+    }
+
+    /** True when the supervisor cancelled this task explicitly. */
+    bool cancel_requested() const
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+    /** True when a deadline is armed and has passed. */
+    bool expired() const
+    {
+        int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+        return ns != 0 &&
+               Clock::now().time_since_epoch().count() >= ns;
+    }
+
+    /** True when the task should stop: cancelled or past deadline. */
+    bool cancelled() const
+    {
+        return cancel_requested() || expired();
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    /** Deadline in Clock ticks since epoch (0 = none armed). */
+    std::atomic<int64_t> deadline_ns_{0};
+};
 
 /** Simulator interface shared by the three DLA archetypes. */
 class DlaSimulator

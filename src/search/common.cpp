@@ -19,7 +19,12 @@ using csp::VarId;
 
 Evaluator::Evaluator(const rules::GeneratedSpace &space,
                      hw::Measurer &measurer)
-    : space_(space), measurer_(measurer)
+    : space_(space), measurer_(&measurer)
+{
+}
+
+Evaluator::Evaluator(const rules::GeneratedSpace &space)
+    : space_(space)
 {
 }
 
@@ -45,15 +50,23 @@ Evaluator::apply(const Assignment &a, const hw::MeasureResult &r)
 double
 Evaluator::measure(const Assignment &a)
 {
+    HERON_CHECK(measurer_ != nullptr);
     auto program = space_.bind(a);
-    return apply(a, measurer_.measure(program));
+    return apply(a, measurer_->measure(program));
+}
+
+double
+Evaluator::record(const Assignment &a, const hw::MeasureResult &r)
+{
+    return apply(a, r);
 }
 
 double
 Evaluator::replay(const Assignment &a, bool valid,
                   double latency_ms, double gflops)
 {
-    measurer_.note_replayed();
+    if (measurer_ != nullptr)
+        measurer_->note_replayed();
     hw::MeasureResult r;
     r.valid = valid;
     r.latency_ms = latency_ms;

@@ -45,8 +45,23 @@ class Evaluator
     Evaluator(const rules::GeneratedSpace &space,
               hw::Measurer &measurer);
 
+    /**
+     * Score-keeping-only evaluator: record() and replay() work, but
+     * measure() is unavailable. Used when measurement goes through a
+     * MeasurePool instead of a single measurer.
+     */
+    explicit Evaluator(const rules::GeneratedSpace &space);
+
     /** Measure a full assignment. Returns its throughput score. */
     double measure(const csp::Assignment &a);
+
+    /**
+     * Fold an externally-obtained measurement (e.g. from a
+     * MeasurePool batch) into the best-so-far trajectory exactly as
+     * measure() would. Returns the throughput score.
+     */
+    double record(const csp::Assignment &a,
+                  const hw::MeasureResult &r);
 
     /** Record a failed-to-build candidate (counts as a trial). */
     double measure_failure();
@@ -74,7 +89,8 @@ class Evaluator
 
   private:
     const rules::GeneratedSpace &space_;
-    hw::Measurer &measurer_;
+    /** Null in score-keeping-only mode (pool-driven measurement). */
+    hw::Measurer *measurer_ = nullptr;
     SearchResult result_;
     hw::MeasureResult last_;
 

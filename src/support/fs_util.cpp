@@ -1,0 +1,108 @@
+#include "support/fs_util.h"
+
+#include <cstdio>
+#include <string>
+
+#include "support/logging.h"
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace heron {
+
+#if defined(_WIN32)
+
+// Portability fallback: plain write + rename (no directory fsync).
+bool
+atomic_write_file(const std::string &path,
+                  const std::string &content)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out.is_open())
+            return false;
+        out << content;
+        if (!out.good())
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+#else
+
+namespace {
+
+/** Directory component of @p path ("." when none). */
+std::string
+parent_dir(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+bool
+atomic_write_file(const std::string &path,
+                  const std::string &content)
+{
+    // The temp file must live in the destination directory: rename
+    // is atomic only within one filesystem.
+    std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (fd < 0) {
+        HERON_WARN << "atomic_write_file: cannot create " << tmp;
+        return false;
+    }
+    const char *data = content.data();
+    size_t left = content.size();
+    bool ok = true;
+    while (left > 0) {
+        ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            ok = false;
+            break;
+        }
+        data += n;
+        left -= static_cast<size_t>(n);
+    }
+    // Data must be durable before the rename makes it visible;
+    // otherwise a crash could expose a complete-looking empty file.
+    if (ok && ::fsync(fd) != 0)
+        ok = false;
+    ::close(fd);
+    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0)
+        ok = false;
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        HERON_WARN << "atomic_write_file: failed writing " << path;
+        return false;
+    }
+    // Persist the rename itself (directory entry).
+    int dirfd = ::open(parent_dir(path).c_str(),
+                       O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+        ::fsync(dirfd);
+        ::close(dirfd);
+    }
+    return true;
+}
+
+#endif // _WIN32
+
+} // namespace heron

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Durable filesystem helpers.
+ *
+ * Snapshot-style outputs (checkpoint snapshots, metrics dumps,
+ * Chrome traces) must stay loadable across a crash at any instant,
+ * so they are never written in place: the content goes to a
+ * temporary file in the same directory, is fsync'd, and is renamed
+ * over the destination atomically. A reader therefore sees either
+ * the complete old file or the complete new file, never a torn mix.
+ */
+#ifndef HERON_SUPPORT_FS_UTIL_H
+#define HERON_SUPPORT_FS_UTIL_H
+
+#include <string>
+
+namespace heron {
+
+/**
+ * Atomically replace @p path with @p content: write a sibling temp
+ * file, fsync it, rename it over @p path, and fsync the directory.
+ * @return false on any I/O failure (the destination is untouched;
+ * the temp file is cleaned up best-effort).
+ */
+bool atomic_write_file(const std::string &path,
+                       const std::string &content);
+
+} // namespace heron
+
+#endif // HERON_SUPPORT_FS_UTIL_H

@@ -1,6 +1,7 @@
 #include "support/math_util.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
 #include "support/logging.h"
@@ -65,6 +66,44 @@ checked_product(const std::vector<int64_t> &values)
     for (int64_t v : values)
         acc = checked_mul(acc, v);
     return acc;
+}
+
+namespace {
+
+/** Lazily built reflected CRC-32 lookup table. */
+const uint32_t *
+crc32_table()
+{
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table.data();
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t size)
+{
+    const uint32_t *table = crc32_table();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint32_t crc = 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32_str(const std::string &text)
+{
+    return crc32(text.data(), text.size());
 }
 
 } // namespace heron

@@ -7,7 +7,9 @@
 #ifndef HERON_SUPPORT_MATH_UTIL_H
 #define HERON_SUPPORT_MATH_UTIL_H
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace heron {
@@ -72,6 +74,16 @@ hash_u64(uint64_t x)
     x ^= x >> 33;
     return x;
 }
+
+/**
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of @p size
+ * bytes at @p data. Used as the integrity trailer on durable JSONL
+ * records so a torn or bit-rotted journal line is detectable.
+ */
+uint32_t crc32(const void *data, size_t size);
+
+/** crc32 over a string's bytes. */
+uint32_t crc32_str(const std::string &text);
 
 } // namespace heron
 

@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "support/fs_util.h"
+
 namespace heron::metrics {
 
 void
@@ -169,11 +171,9 @@ Registry::snapshot() const
 bool
 Registry::write_json(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out.is_open())
-        return false;
-    out << snapshot().to_json() << "\n";
-    return static_cast<bool>(out);
+    // Snapshot files are read by external tooling; replace them
+    // atomically so a crash mid-write never leaves torn JSON.
+    return atomic_write_file(path, snapshot().to_json() + "\n");
 }
 
 void

@@ -163,6 +163,14 @@ class Registry
         heron_metric_gauge.add(delta);                              \
     } while (0)
 
+/** Set the named process-wide gauge to @p value (last write wins). */
+#define HERON_GAUGE_SET(name, value)                                \
+    do {                                                            \
+        static ::heron::metrics::Gauge &heron_metric_gauge_set =    \
+            ::heron::metrics::Registry::global().gauge(name);       \
+        heron_metric_gauge_set.set(value);                          \
+    } while (0)
+
 /** Record @p value into the named process-wide histogram. */
 #define HERON_HISTOGRAM_OBSERVE(name, value)                        \
     do {                                                            \
@@ -180,6 +188,9 @@ class Registry
     do {                                                            \
     } while (0)
 #define HERON_GAUGE_ADD(name, delta)                                \
+    do {                                                            \
+    } while (0)
+#define HERON_GAUGE_SET(name, value)                                \
     do {                                                            \
     } while (0)
 #define HERON_HISTOGRAM_OBSERVE(name, value)                        \

@@ -5,6 +5,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "support/fs_util.h"
+
 namespace heron::trace {
 
 namespace {
@@ -156,11 +158,9 @@ Tracer::chrome_trace_json() const
 bool
 Tracer::write_chrome_trace(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out.is_open())
-        return false;
-    out << chrome_trace_json() << "\n";
-    return static_cast<bool>(out);
+    // Replace atomically: a crash mid-export must not leave a torn
+    // trace file that chrome://tracing refuses to load.
+    return atomic_write_file(path, chrome_trace_json() + "\n");
 }
 
 TraceScope::TraceScope(const char *label)

@@ -396,6 +396,186 @@ TEST(Records, MalformedLinesAreCountedNotFatal)
     EXPECT_DOUBLE_EQ(records[0].latency_ms, 1.25);
 }
 
+/** Four distinct, seq-stamped records for durability tests. */
+std::vector<TuningRecord>
+stamped_records()
+{
+    std::vector<TuningRecord> records(4);
+    for (size_t i = 0; i < records.size(); ++i) {
+        auto &r = records[i];
+        r.workload = "w";
+        r.dla = "d";
+        r.tuner = "t";
+        r.seq = static_cast<int64_t>(i) + 1;
+        r.latency_ms = 1.5 + static_cast<double>(i);
+        r.gflops = 10.0 * static_cast<double>(i + 1);
+        r.assignment = {static_cast<int64_t>(i), 7};
+    }
+    return records;
+}
+
+TEST(Records, TornTailRecoveredAtEveryByteOffset)
+{
+    auto records = stamped_records();
+    std::string text = autotune::write_records(records);
+    ASSERT_EQ(text.back(), '\n');
+    // Start of the final record's line.
+    size_t start = text.rfind('\n', text.size() - 2) + 1;
+
+    // Truncate at every byte offset within the final record (and at
+    // its trailing newline): the three preceding records always load
+    // intact, and a partially-present final line is exactly one
+    // recovered truncation — never malformed, never a CRC error.
+    for (size_t cut = start; cut <= text.size(); ++cut) {
+        autotune::RecordReadStats stats;
+        auto loaded =
+            autotune::read_records(text.substr(0, cut), &stats);
+        if (cut == text.size()) {
+            ASSERT_EQ(loaded.size(), 4u) << "cut " << cut;
+            EXPECT_EQ(stats.recovered_truncations, 0);
+        } else if (cut == start) {
+            ASSERT_EQ(loaded.size(), 3u) << "cut " << cut;
+            EXPECT_EQ(stats.recovered_truncations, 0);
+        } else {
+            ASSERT_EQ(loaded.size(), 3u) << "cut " << cut;
+            EXPECT_EQ(stats.recovered_truncations, 1)
+                << "cut " << cut;
+        }
+        EXPECT_EQ(stats.malformed, 0) << "cut " << cut;
+        EXPECT_EQ(stats.crc_mismatches, 0) << "cut " << cut;
+        EXPECT_FALSE(stats.corrupt()) << "cut " << cut;
+        for (size_t i = 0; i < 3; ++i) {
+            EXPECT_EQ(loaded[i].seq, records[i].seq);
+            EXPECT_EQ(loaded[i].assignment, records[i].assignment);
+            EXPECT_DOUBLE_EQ(loaded[i].latency_ms,
+                             records[i].latency_ms);
+        }
+    }
+}
+
+TEST(Records, CrcDetectsMidJournalByteFlip)
+{
+    auto records = stamped_records();
+    std::string text = autotune::write_records(records);
+    // Flip one payload byte inside the *second* line: the torn-tail
+    // rule cannot excuse it, so it must surface as real corruption.
+    size_t line2 = text.find('\n') + 1;
+    size_t victim = text.find("\"w\"", line2);
+    ASSERT_NE(victim, std::string::npos);
+    text[victim + 1] = 'W';
+
+    autotune::RecordReadStats stats;
+    auto loaded = autotune::read_records(text, &stats);
+    EXPECT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(stats.crc_mismatches, 1);
+    EXPECT_EQ(stats.first_bad_line, 2);
+    EXPECT_EQ(stats.malformed, 0);
+    EXPECT_TRUE(stats.corrupt());
+}
+
+TEST(Records, SeqRegressionFlagsSplicedJournal)
+{
+    std::string text =
+        autotune::write_records(stamped_records());
+    // A journal concatenated with itself: every line is valid and
+    // CRC-clean, but the restarting sequence betrays the splice.
+    autotune::RecordReadStats stats;
+    auto loaded = autotune::read_records(text + text, &stats);
+    EXPECT_EQ(loaded.size(), 8u);
+    EXPECT_EQ(stats.seq_regressions, 1);
+    EXPECT_EQ(stats.malformed, 0);
+    EXPECT_EQ(stats.crc_mismatches, 0);
+    EXPECT_TRUE(stats.corrupt());
+}
+
+TEST(Checkpoint, JournalOpenRepairsTornTail)
+{
+    auto records = stamped_records();
+    std::string path =
+        ::testing::TempDir() + "heron_torn_tail.jsonl";
+    std::remove(path.c_str());
+    {
+        // Two complete lines plus a torn fragment (crashed append).
+        std::string text = autotune::write_records(
+            {records[0], records[1]});
+        std::ofstream out(path, std::ios::binary);
+        out << text << records[2].to_json().substr(0, 11);
+    }
+
+    // open() truncates the fragment before appending, so the next
+    // record never concatenates onto torn bytes.
+    TuningJournal journal;
+    ASSERT_TRUE(journal.open(path, /*next_seq=*/3));
+    TuningRecord next = records[2];
+    next.seq = 0; // stamped by the journal
+    journal.append(next);
+
+    autotune::RecordReadStats stats;
+    auto loaded = TuningJournal::load(path, &stats);
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_FALSE(stats.corrupt());
+    EXPECT_EQ(stats.recovered_truncations, 0);
+    EXPECT_EQ(loaded[2].seq, 3);
+    EXPECT_EQ(loaded[2].assignment, records[2].assignment);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, InjectedCrashTearsExactlyOneLine)
+{
+    auto records = stamped_records();
+    std::string path =
+        ::testing::TempDir() + "heron_crash_plan.jsonl";
+    std::remove(path.c_str());
+    TuningJournal journal;
+    ASSERT_TRUE(journal.open(path));
+    journal.set_crash_plan({/*after_records=*/2,
+                            /*partial_bytes=*/9});
+    for (auto &r : records) {
+        TuningRecord unstamped = r;
+        unstamped.seq = 0;
+        journal.append(unstamped);
+    }
+    // The third append crashed the journal; the fourth was dropped.
+    EXPECT_TRUE(journal.crashed());
+
+    autotune::RecordReadStats stats;
+    auto loaded = TuningJournal::load(path, &stats);
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(stats.recovered_truncations, 1);
+    EXPECT_FALSE(stats.corrupt());
+    std::remove(path.c_str());
+}
+
+TEST(FaultInjection, HungFaultIsFinalAndChargedDeterministically)
+{
+    auto b = make_bound();
+    hw::MeasureConfig mc;
+    mc.max_retries = 3;
+    hw::FaultConfig fc;
+    fc.hung_rate = 1.0;
+
+    // No cancel token attached: the cooperative wedge returns
+    // immediately (nothing to wait on) but still resolves as kHung
+    // with the canonical error and charge — and is never retried,
+    // because a wedge reproduces.
+    hw::FaultyMeasurer m1(b.space.spec, mc, fc);
+    hw::FaultyMeasurer m2(b.space.spec, mc, fc);
+    auto r1 = m1.measure(b.program);
+    auto r2 = m2.measure(b.program);
+    auto canonical = hw::hung_result();
+    EXPECT_FALSE(r1.valid);
+    EXPECT_EQ(r1.failure, hw::MeasureFailure::kHung);
+    EXPECT_EQ(r1.error, canonical.error);
+    EXPECT_EQ(r1.attempts, 1);
+    EXPECT_EQ(m1.stats().hung, 1);
+    EXPECT_EQ(m1.stats().retries, 0);
+    EXPECT_DOUBLE_EQ(m1.simulated_seconds(),
+                     hw::hung_charge_s(mc, fc));
+    EXPECT_EQ(r1.failure, r2.failure);
+    EXPECT_DOUBLE_EQ(m1.simulated_seconds(),
+                     m2.simulated_seconds());
+}
+
 TEST(Records, RoundTripPreservesDoublesExactly)
 {
     TuningRecord r;

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the supervised parallel measurement pool: the
+ * bit-identical determinism contract across worker counts, watchdog
+ * cancellation of cooperative hangs, abandonment and replacement of
+ * wedged workers, degradation to serial execution under attrition,
+ * and the end-to-end acceptance path (fault-injected parallel run
+ * killed mid-journal, resumed serially to the uninterrupted serial
+ * baseline).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "autotune/checkpoint.h"
+#include "autotune/tuner.h"
+#include "csp/solver.h"
+#include "hw/fault_injection.h"
+#include "hw/measure_pool.h"
+#include "ops/op_library.h"
+#include "rules/space_generator.h"
+#include "support/rng.h"
+
+namespace heron {
+namespace {
+
+using hw::MeasurePool;
+using hw::MeasureResult;
+using hw::MeasureStats;
+using hw::MeasureTask;
+using hw::PoolConfig;
+
+/** A generated space plus a batch of bound candidate programs. */
+struct Candidates {
+    rules::GeneratedSpace space;
+    std::vector<schedule::ConcreteProgram> programs;
+};
+
+Candidates
+make_candidates(size_t count, uint64_t seed = 9)
+{
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    Candidates c{gen.generate(ops::gemm(256, 256, 256)), {}};
+    csp::RandSatSolver solver(c.space.csp);
+    Rng rng(seed);
+    c.programs.reserve(count);
+    while (c.programs.size() < count) {
+        auto a = solver.solve_one(rng);
+        HERON_CHECK(a.has_value());
+        c.programs.push_back(c.space.bind(*a));
+    }
+    return c;
+}
+
+/** Everything one pool run produced, for cross-run comparison. */
+struct PoolRun {
+    std::vector<MeasureResult> results;
+    MeasureStats stats;
+    double simulated_seconds = 0.0;
+    int64_t watchdog_fires = 0;
+    int64_t abandoned = 0;
+    bool degraded = false;
+};
+
+/**
+ * Run every candidate through a fresh pool, split across @p batches
+ * round-style submissions (the tuner submits one batch per round).
+ */
+PoolRun
+run_pool(const Candidates &c, const hw::MeasureConfig &mc,
+         const hw::FaultConfig &fc, const PoolConfig &pc,
+         size_t batches = 1)
+{
+    MeasurePool pool(c.space.spec, mc, fc, pc);
+    PoolRun run;
+    size_t per_batch = (c.programs.size() + batches - 1) / batches;
+    size_t done = 0;
+    while (done < c.programs.size()) {
+        std::vector<MeasureTask> tasks;
+        for (size_t i = done;
+             i < std::min(done + per_batch, c.programs.size()); ++i)
+            tasks.push_back(
+                {&c.programs[i], pool.reserve_index()});
+        auto results = pool.measure_batch(tasks);
+        run.results.insert(run.results.end(), results.begin(),
+                           results.end());
+        done += tasks.size();
+    }
+    run.stats = pool.stats();
+    run.simulated_seconds = pool.simulated_seconds();
+    run.watchdog_fires = pool.watchdog_fires();
+    run.abandoned = pool.abandoned_workers();
+    run.degraded = pool.degraded();
+    return run;
+}
+
+void
+expect_stats_eq(const MeasureStats &a, const MeasureStats &b)
+{
+    EXPECT_EQ(a.measurements, b.measurements);
+    EXPECT_EQ(a.invalid, b.invalid);
+    EXPECT_EQ(a.transient_faults, b.transient_faults);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.exhausted_retries, b.exhausted_retries);
+    EXPECT_EQ(a.outliers_rejected, b.outliers_rejected);
+    EXPECT_EQ(a.replayed, b.replayed);
+    EXPECT_EQ(a.hung, b.hung);
+}
+
+void
+expect_results_eq(const std::vector<MeasureResult> &a,
+                  const std::vector<MeasureResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].valid, b[i].valid) << "result " << i;
+        EXPECT_EQ(a[i].failure, b[i].failure) << "result " << i;
+        EXPECT_EQ(a[i].attempts, b[i].attempts) << "result " << i;
+        EXPECT_EQ(a[i].error, b[i].error) << "result " << i;
+        EXPECT_DOUBLE_EQ(a[i].latency_ms, b[i].latency_ms)
+            << "result " << i;
+        EXPECT_DOUBLE_EQ(a[i].gflops, b[i].gflops)
+            << "result " << i;
+    }
+}
+
+TEST(MeasurePool, SerialAndParallelAreBitIdentical)
+{
+    auto c = make_candidates(12);
+    hw::MeasureConfig mc;
+    hw::FaultConfig fc;
+    fc.transient_rate = 0.2;
+    fc.timeout_rate = 0.1;
+    fc.spurious_invalid_rate = 0.05;
+    fc.hung_rate = 0.3;
+    fc.seed = 77;
+    PoolConfig pc;
+    pc.deadline_ms = 50.0;
+    pc.grace_ms = 500.0; // cooperative hangs must never be abandoned
+    pc.max_abandoned = 100;
+
+    pc.workers = 1;
+    auto serial = run_pool(c, mc, fc, pc, /*batches=*/2);
+    pc.workers = 4;
+    auto parallel = run_pool(c, mc, fc, pc, /*batches=*/2);
+
+    // The faults actually exercised the hang path.
+    EXPECT_GT(serial.stats.hung, 0);
+    EXPECT_GT(serial.watchdog_fires, 0);
+
+    // The determinism contract: results, per-category stats,
+    // simulated seconds, and watchdog fires are all bit-identical
+    // across worker counts. Only abandoned/degraded (wall-clock
+    // domain) are exempt, and cooperative hangs abandon nobody.
+    expect_results_eq(serial.results, parallel.results);
+    expect_stats_eq(serial.stats, parallel.stats);
+    EXPECT_DOUBLE_EQ(serial.simulated_seconds,
+                     parallel.simulated_seconds);
+    EXPECT_EQ(serial.watchdog_fires, parallel.watchdog_fires);
+    EXPECT_EQ(serial.abandoned, 0);
+    EXPECT_EQ(parallel.abandoned, 0);
+    EXPECT_FALSE(parallel.degraded);
+}
+
+TEST(MeasurePool, WatchdogCancelsCooperativeHangs)
+{
+    auto c = make_candidates(4);
+    hw::MeasureConfig mc;
+    hw::FaultConfig fc;
+    fc.hung_rate = 1.0;
+    PoolConfig pc;
+    pc.workers = 2;
+    pc.deadline_ms = 40.0;
+    pc.grace_ms = 500.0;
+    pc.max_abandoned = 0;
+
+    auto run = run_pool(c, mc, fc, pc);
+    ASSERT_EQ(run.results.size(), 4u);
+    auto canonical = hw::hung_result();
+    for (const auto &r : run.results) {
+        EXPECT_FALSE(r.valid);
+        EXPECT_EQ(r.failure, hw::MeasureFailure::kHung);
+        EXPECT_EQ(r.attempts, canonical.attempts);
+        EXPECT_EQ(r.error, canonical.error);
+    }
+    EXPECT_EQ(run.stats.hung, 4);
+    EXPECT_EQ(run.watchdog_fires, 4);
+    // Cooperative wedges release at the token deadline; nobody is
+    // abandoned, so attrition (max_abandoned = 0) never triggers.
+    EXPECT_EQ(run.abandoned, 0);
+    EXPECT_FALSE(run.degraded);
+    EXPECT_DOUBLE_EQ(run.simulated_seconds,
+                     4 * hw::hung_charge_s(mc, fc));
+}
+
+TEST(MeasurePool, AbandonsWedgedWorkersAndReplacesThem)
+{
+    auto c = make_candidates(4);
+    hw::MeasureConfig mc;
+    hw::FaultConfig fc;
+    fc.hung_rate = 1.0;
+    fc.hung_ignores_cancel = true;
+    fc.hung_stall_ms = 250.0;
+    PoolConfig pc;
+    pc.workers = 2;
+    pc.deadline_ms = 30.0;
+    pc.grace_ms = 30.0;
+    pc.max_abandoned = 100;
+
+    auto run = run_pool(c, mc, fc, pc);
+    // Every slot resolves despite every worker wedging, and the
+    // fabricated result is the canonical hung outcome, so journals
+    // cannot tell an abandonment from a cooperative cancel.
+    ASSERT_EQ(run.results.size(), 4u);
+    auto canonical = hw::hung_result();
+    for (const auto &r : run.results) {
+        EXPECT_FALSE(r.valid);
+        EXPECT_EQ(r.failure, hw::MeasureFailure::kHung);
+        EXPECT_EQ(r.error, canonical.error);
+    }
+    EXPECT_EQ(run.stats.hung, 4);
+    EXPECT_EQ(run.watchdog_fires, 4);
+    // The stall (250 ms) far exceeds deadline + grace (60 ms), so
+    // the watchdog abandons workers rather than waiting them out.
+    EXPECT_GE(run.abandoned, 1);
+    EXPECT_FALSE(run.degraded);
+    EXPECT_DOUBLE_EQ(run.simulated_seconds,
+                     4 * hw::hung_charge_s(mc, fc));
+}
+
+TEST(MeasurePool, AttritionDegradesToSerialNotAbort)
+{
+    auto c = make_candidates(8);
+    hw::MeasureConfig mc;
+    hw::FaultConfig fc;
+    fc.hung_rate = 1.0;
+    fc.hung_ignores_cancel = true;
+    fc.hung_stall_ms = 150.0;
+    PoolConfig pc;
+    pc.workers = 4;
+    pc.deadline_ms = 25.0;
+    pc.grace_ms = 25.0;
+    pc.max_abandoned = 0;
+
+    MeasurePool pool(c.space.spec, mc, fc, pc);
+    std::vector<MeasureTask> first;
+    for (size_t i = 0; i < 6; ++i)
+        first.push_back({&c.programs[i], pool.reserve_index()});
+    auto results = pool.measure_batch(first);
+
+    // One abandonment exhausts the budget; the pool degrades and
+    // still resolves every slot instead of aborting the round.
+    ASSERT_EQ(results.size(), 6u);
+    for (const auto &r : results)
+        EXPECT_EQ(r.failure, hw::MeasureFailure::kHung);
+    EXPECT_TRUE(pool.degraded());
+    EXPECT_GE(pool.abandoned_workers(), 1);
+
+    // A degraded pool keeps serving batches (supervised serial).
+    std::vector<MeasureTask> second;
+    for (size_t i = 6; i < 8; ++i)
+        second.push_back({&c.programs[i], pool.reserve_index()});
+    auto more = pool.measure_batch(second);
+    ASSERT_EQ(more.size(), 2u);
+    for (const auto &r : more)
+        EXPECT_EQ(r.failure, hw::MeasureFailure::kHung);
+    EXPECT_EQ(pool.watchdog_fires(), 8);
+    EXPECT_EQ(pool.stats().hung, 8);
+}
+
+/**
+ * Acceptance: a 4-worker fault-injected run (cooperative hangs on)
+ * whose journal is torn mid-write after 15 records resumes serially
+ * to the bit-identical outcome of an uninterrupted serial run.
+ */
+TEST(MeasurePoolE2E, CrashedParallelRunResumesToSerialBaseline)
+{
+    ops::Workload workload = ops::gemm(256, 256, 256);
+    autotune::TuneConfig config;
+    config.trials = 40;
+    config.seed = 33;
+    config.faults.transient_rate = 0.1;
+    config.faults.hung_rate = 0.08;
+    config.watchdog_deadline_ms = 50.0;
+
+    // Baseline: uninterrupted serial run, no journal.
+    auto baseline =
+        autotune::make_heron_tuner(hw::DlaSpec::v100(), config)
+            ->tune(workload);
+    ASSERT_TRUE(baseline.result.found());
+
+    // Fault-injected 4-worker run; the journal is killed mid-append
+    // after 15 records (a torn, CRC-less tail reaches the file).
+    std::string journal =
+        ::testing::TempDir() + "heron_pool_crash.jsonl";
+    std::remove(journal.c_str());
+    config.journal_path = journal;
+    config.measure_workers = 4;
+    config.journal_crash_after = 15;
+    config.journal_crash_bytes = 20;
+    auto crashed =
+        autotune::make_heron_tuner(hw::DlaSpec::v100(), config)
+            ->tune(workload);
+    // Worker count must not perturb the search either.
+    EXPECT_EQ(crashed.result.best, baseline.result.best);
+    EXPECT_GT(crashed.measure_stats.hung, 0);
+
+    // The torn journal loads as 15 clean records plus one recovered
+    // truncation — recoverable, not corruption.
+    autotune::RecordReadStats jstats;
+    auto loaded = autotune::TuningJournal::load(journal, &jstats);
+    EXPECT_EQ(loaded.size(), 15u);
+    EXPECT_EQ(jstats.recovered_truncations, 1);
+    EXPECT_FALSE(jstats.corrupt());
+
+    // Resume serially from the torn journal.
+    config.measure_workers = 1;
+    config.journal_crash_after = -1;
+    auto resumed =
+        autotune::make_heron_tuner(hw::DlaSpec::v100(), config)
+            ->tune(workload);
+    EXPECT_EQ(resumed.replayed, 15);
+    EXPECT_EQ(resumed.result.total_measured, 40);
+
+    // Bit-identical convergence with the uninterrupted baseline.
+    EXPECT_EQ(resumed.result.best, baseline.result.best);
+    EXPECT_DOUBLE_EQ(resumed.result.best_latency_ms,
+                     baseline.result.best_latency_ms);
+    EXPECT_DOUBLE_EQ(resumed.result.best_gflops,
+                     baseline.result.best_gflops);
+    EXPECT_EQ(resumed.result.history, baseline.result.history);
+    std::remove(journal.c_str());
+    std::remove((journal + ".snapshot").c_str());
+}
+
+} // namespace
+} // namespace heron
