@@ -66,6 +66,7 @@ struct CliArgs {
     double fault_timeout = 0.0;
     double fault_hung = 0.0;
     int measure_workers = 1;
+    int sample_workers = 1;
     int quarantine_threshold = 3;
     double watchdog_ms = 2000.0;
     bool emit = false;
@@ -104,7 +105,8 @@ print_usage(std::FILE *to)
         " [--trials N] [--seed S]"
         " [--tuner heron|autotvm|ansor|amos|akg|vendor]"
         " [--log FILE] [--journal FILE]"
-        " [--measure-workers N] [--watchdog-ms MS]"
+        " [--measure-workers N] [--sample-workers N]"
+        " [--watchdog-ms MS]"
         " [--quarantine-threshold N]"
         " [--fault-transient RATE] [--fault-timeout RATE]"
         " [--fault-hung RATE]"
@@ -116,6 +118,10 @@ print_usage(std::FILE *to)
         "(default 1;\n"
         "                            results are bit-identical for "
         "any N)\n"
+        "  --sample-workers N        parallel CSP sampling workers "
+        "(default 1;\n"
+        "                            populations are bit-identical "
+        "for any N)\n"
         "  --watchdog-ms MS          per-candidate measurement "
         "deadline (2000)\n"
         "  --quarantine-threshold N  invalid/hung strikes before a "
@@ -190,6 +196,9 @@ parse(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--measure-workers")) {
             args.measure_workers =
                 std::atoi(need("--measure-workers"));
+        } else if (!std::strcmp(argv[i], "--sample-workers")) {
+            args.sample_workers =
+                std::atoi(need("--sample-workers"));
         } else if (!std::strcmp(argv[i],
                                 "--quarantine-threshold")) {
             args.quarantine_threshold =
@@ -294,6 +303,7 @@ tuner_for(const CliArgs &args, const hw::DlaSpec &spec)
     config.faults.timeout_rate = args.fault_timeout;
     config.faults.hung_rate = args.fault_hung;
     config.measure_workers = args.measure_workers;
+    config.sample_workers = args.sample_workers;
     config.quarantine_threshold = args.quarantine_threshold;
     config.watchdog_deadline_ms = args.watchdog_ms;
     if (args.tuner == "heron")
@@ -446,6 +456,22 @@ main(int argc, char **argv)
                         outcome.quarantined_signatures),
                     static_cast<long long>(
                         outcome.quarantine_skips));
+    const csp::SolverStats &ss = outcome.solver_stats;
+    if (ss.solve_calls > 0)
+        std::printf("Solver: %lld solve(s), %lld solution(s), %lld "
+                    "propagation(s) (%.1f/solve), %lld backtrack(s), "
+                    "%lld unsat (%lld from memo), %lld budget, %lld "
+                    "deadline\n",
+                    static_cast<long long>(ss.solve_calls),
+                    static_cast<long long>(ss.solutions),
+                    static_cast<long long>(ss.propagations),
+                    static_cast<double>(ss.propagations) /
+                        static_cast<double>(ss.solve_calls),
+                    static_cast<long long>(ss.backtracks),
+                    static_cast<long long>(ss.unsat),
+                    static_cast<long long>(ss.unsat_memo_hits),
+                    static_cast<long long>(ss.budget_exhausted),
+                    static_cast<long long>(ss.deadline_aborts));
 
     rules::SpaceGenerator generator(spec, rules::Options::heron());
     auto space = generator.generate(workload);

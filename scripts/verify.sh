@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: plain build + tests, then the same suite
 # under AddressSanitizer + UndefinedBehaviorSanitizer, then the
-# measurement-pool tests under ThreadSanitizer. Each non-tsan preset
-# also smoke-tests the observability path: a tiny heron_tune run
-# with --trace/--metrics whose outputs must parse as JSON.
+# measurement-pool and CSP sampling tests under ThreadSanitizer.
+# Each non-tsan preset also smoke-tests the observability path: a
+# tiny heron_tune run with --trace/--metrics whose outputs must
+# parse as JSON. The plain preset additionally runs the CSP solver
+# throughput bench, which writes BENCH_csp_solver.json and asserts
+# SampleBatch worker-count determinism.
 #
 # Usage: scripts/verify.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -54,11 +57,33 @@ print("observability smoke: OK "
 EOF
 }
 
+# CSP solver throughput smoke out of $1 (a preset's build dir):
+# every workload must actually solve, the SampleBatch results must
+# be worker-count invariant (the bench exits nonzero on a
+# determinism violation), and the JSON artifact must parse.
+smoke_csp_bench() {
+    local build_dir="$1"
+    echo "== csp solver bench smoke ($build_dir) =="
+    "$build_dir/bench/micro_csp_solver" --out BENCH_csp_solver.json
+    python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_csp_solver.json"))
+assert bench["workloads"], bench
+for w in bench["workloads"]:
+    assert w["plain"]["solved"] > 0, w
+    assert w["offspring"]["solved"] > 0, w
+    assert w["batch_deterministic"], w
+print("csp bench smoke: OK "
+      f"({len(bench['workloads'])} workloads)")
+EOF
+}
+
 echo "== tier-1: plain build =="
 cmake --preset default
 cmake --build --preset default -j
 ctest --preset default -j
 smoke_observability build
+smoke_csp_bench build
 
 if [[ "$run_asan" == 1 ]]; then
     echo "== tier-1: ASan+UBSan build =="
@@ -75,7 +100,8 @@ if [[ "$run_tsan" == 1 ]]; then
     cmake --preset tsan
     cmake --build --preset tsan -j
     TSAN_OPTIONS=halt_on_error=1 \
-        ctest --preset tsan -R 'test_measure_pool' \
+        ctest --preset tsan \
+        -R 'test_measure_pool|test_csp_property' \
         --no-tests=error
 fi
 

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "autotune/checkpoint.h"
+#include "csp/sample_batch.h"
 #include "hw/measure_pool.h"
 #include "model/cost_model.h"
 #include "search/algorithms.h"
@@ -191,6 +192,19 @@ class HeronTuner : public TunerBase
             return generator.generate(workload);
         }();
         RandSatSolver solver(space.csp, config_.solver);
+        // Whole-population draws go through the deterministic
+        // parallel sampler; the relaxation ladder inside CGA
+        // crossover keeps its own serial solver. Populations and
+        // aggregate stats are bit-identical across worker counts.
+        csp::SampleBatch batch(space.csp, config_.solver,
+                               config_.sample_workers);
+        // Solver counters for the whole run: the relaxation solver
+        // plus every sampling worker.
+        auto solver_totals = [&] {
+            csp::SolverStats s = solver.stats();
+            s += batch.stats();
+            return s;
+        };
         // All measurement goes through the supervised pool: workers
         // <= 1 runs serially on this thread; either way results and
         // journals are bit-identical (indices are pre-assigned from
@@ -295,7 +309,7 @@ class HeronTuner : public TunerBase
         while (evaluator.count() < config_.trials) {
             ++round_index;
             HERON_COUNTER_INC("tuner.rounds");
-            const csp::SolverStats solver_before = solver.stats();
+            const csp::SolverStats solver_before = solver_totals();
             const int64_t relax_before = relaxation_count();
 
             // Step 1: first generation = survivors + random valid.
@@ -318,8 +332,8 @@ class HeronTuner : public TunerBase
                     pop.push_back(archive[order[i]].first);
                 int need = config_.population -
                            static_cast<int>(pop.size());
-                for (auto &a :
-                     solver.solve_n(rng, std::max(need, 1)))
+                for (auto &a : batch.sample(rng.next_u64(),
+                                            std::max(need, 1)))
                     pop.push_back(std::move(a));
             }
             if (pop.empty()) {
@@ -332,11 +346,11 @@ class HeronTuner : public TunerBase
                         << "solver produced no candidates for "
                         << barren_rounds << " round(s) ("
                         << csp::solve_failure_name(
-                               solver.last_failure())
+                               batch.last_failure())
                         << "); stopping " << workload.name
                         << " early";
                     outcome.stop_reason =
-                        solver.last_failure() ==
+                        batch.last_failure() ==
                                 csp::SolveFailure::kDeadline
                             ? StopReason::kDeadline
                             : StopReason::kBarren;
@@ -390,7 +404,7 @@ class HeronTuner : public TunerBase
                     candidates.push_back(std::move(a));
                 }
                 if (candidates.empty())
-                    for (auto &a : solver.solve_n(rng, 4))
+                    for (auto &a : batch.sample(rng.next_u64(), 4))
                         candidates.push_back(std::move(a));
             }
             if (candidates.empty()) {
@@ -401,7 +415,7 @@ class HeronTuner : public TunerBase
                                << " round(s); stopping "
                                << workload.name << " early";
                     outcome.stop_reason =
-                        solver.last_failure() ==
+                        batch.last_failure() ==
                                 csp::SolveFailure::kDeadline
                             ? StopReason::kDeadline
                             : StopReason::kBarren;
@@ -593,13 +607,14 @@ class HeronTuner : public TunerBase
                     workload, outcome, evaluator, round_index,
                     to_measure, round_valid, round_gflops_sum,
                     predicted, pick_order, solver_before,
-                    solver.stats(),
+                    solver_totals(),
                     relaxation_count() - relax_before,
                     seconds_since(tune_start));
             }
         }
 
         outcome.result = evaluator.result();
+        outcome.solver_stats = solver_totals();
         outcome.measure_seconds = pool.simulated_seconds();
         outcome.measure_stats = pool.stats();
         outcome.replayed = replay.replayed();
@@ -728,6 +743,7 @@ class SearchTuner : public TunerBase
         sc.trials = config_.trials;
         sc.population = config_.population;
         sc.seed = config_.seed;
+        sc.sample_workers = config_.sample_workers;
         outcome.result = algorithm_(space, *measurer, sc);
         outcome.search_seconds = seconds_since(start);
         outcome.measure_seconds = measurer->simulated_seconds();
@@ -808,6 +824,7 @@ class AmosTuner : public TunerBase
             outcome.model_seconds += seconds_since(fit_start);
         }
         outcome.result = evaluator.result();
+        outcome.solver_stats = solver.stats();
         outcome.search_seconds =
             seconds_since(start) - outcome.model_seconds;
         outcome.measure_seconds = measurer->simulated_seconds();

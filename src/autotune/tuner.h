@@ -75,6 +75,13 @@ struct TuneConfig {
      * and accounting are bit-identical across worker counts.
      */
     int measure_workers = 1;
+    /**
+     * Worker threads for whole-population CSP sampling (<= 1
+     * samples serially on the tuning thread). The sampled
+     * populations are bit-identical across worker counts — see
+     * csp::SampleBatch.
+     */
+    int sample_workers = 1;
     /** Per-candidate watchdog deadline, wall-clock milliseconds. */
     double watchdog_deadline_ms = 2000.0;
     /** Grace after cancellation before a worker is abandoned, ms. */
@@ -138,6 +145,12 @@ struct TuneOutcome {
     int64_t quarantined_signatures = 0;
     /** Candidates skipped because their signature was quarantined. */
     int64_t quarantine_skips = 0;
+    /**
+     * Aggregated CSP solver counters for the run: the tuner's own
+     * relaxation solver plus every sampling worker's engine,
+     * summed via csp::SolverStats::operator+=.
+     */
+    csp::SolverStats solver_stats;
     /** True when span recording was on during this run. */
     bool profiled = false;
     /**

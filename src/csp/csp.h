@@ -45,6 +45,12 @@ enum class ConstraintKind : uint8_t {
 const char *constraint_kind_name(ConstraintKind kind);
 
 /**
+ * Content hash of an assignment (for dedup and memo keys). Stable
+ * across runs; not cryptographic.
+ */
+uint64_t assignment_hash(const Assignment &a);
+
+/**
  * One constraint. Fields used depend on kind:
  *  - kProd/kSum: result = f(operands)
  *  - kEq/kLe:    result (v1) vs operands[0] (v2)
@@ -62,6 +68,14 @@ struct Constraint {
 
     /** Human-readable form using the owning problem's names. */
     std::string to_string(const class Csp &csp) const;
+
+    /**
+     * Content hash of the constraint's semantics (kind, variables,
+     * constants; the provenance note is excluded). Two constraints
+     * with equal hashes filter identically with high probability;
+     * used as a building block for the solver's UNSAT memo.
+     */
+    uint64_t signature() const;
 };
 
 /** Variable metadata. */

@@ -37,50 +37,11 @@ Domain::of(std::vector<int64_t> values)
     return d;
 }
 
-bool
-Domain::empty() const
-{
-    return explicit_ ? set_.empty() : lo_ > hi_;
-}
 
-bool
-Domain::is_singleton() const
-{
-    return explicit_ ? set_.size() == 1 : lo_ == hi_;
-}
 
-int64_t
-Domain::min() const
-{
-    HERON_CHECK(!empty());
-    return explicit_ ? set_.front() : lo_;
-}
 
-int64_t
-Domain::max() const
-{
-    HERON_CHECK(!empty());
-    return explicit_ ? set_.back() : hi_;
-}
 
-int64_t
-Domain::value() const
-{
-    HERON_CHECK(is_singleton());
-    return min();
-}
 
-int64_t
-Domain::size() const
-{
-    if (explicit_)
-        return static_cast<int64_t>(set_.size());
-    if (lo_ > hi_)
-        return 0;
-    if (hi_ - lo_ == std::numeric_limits<int64_t>::max())
-        return std::numeric_limits<int64_t>::max();
-    return hi_ - lo_ + 1;
-}
 
 bool
 Domain::contains(int64_t v) const
@@ -183,11 +144,48 @@ Domain::intersect_values(const std::vector<int64_t> &values)
 }
 
 bool
+Domain::intersect_sorted(const std::vector<int64_t> &values)
+{
+    if (explicit_) {
+        // In-place two-pointer sweep over two sorted unique lists:
+        // no allocation, no re-sort. This is the EQ propagator's
+        // inner loop.
+        size_t w = 0, i = 0, j = 0;
+        const size_t n = set_.size(), m = values.size();
+        while (i < n && j < m) {
+            if (set_[i] < values[j]) {
+                ++i;
+            } else if (values[j] < set_[i]) {
+                ++j;
+            } else {
+                set_[w++] = set_[i];
+                ++i;
+                ++j;
+            }
+        }
+        bool changed = w != n;
+        set_.resize(w);
+        return changed;
+    }
+    std::vector<int64_t> kept;
+    kept.reserve(values.size());
+    for (int64_t v : values)
+        if (v >= lo_ && v <= hi_)
+            kept.push_back(v);
+    explicit_ = true;
+    set_ = std::move(kept);
+    // Representation change counts as a change, matching
+    // intersect_values.
+    return true;
+}
+
+bool
 Domain::intersect(const Domain &other)
 {
     if (!other.explicit_)
         return restrict_bounds(other.lo_, other.hi_);
-    return intersect_values(other.set_);
+    // set_ is maintained sorted and unique by every mutator.
+    return intersect_sorted(other.set_);
 }
 
 bool

@@ -14,8 +14,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
+
+#include "support/logging.h"
 
 namespace heron::csp {
 
@@ -35,29 +38,57 @@ class Domain
     /** Explicit set domain; input need not be sorted or unique. */
     static Domain of(std::vector<int64_t> values);
 
+    // The simple accessors below are defined in the header: they
+    // dominate the propagation inner loop (tens of millions of calls
+    // per tuning round) and must inline.
+
     /** True when no value remains. */
-    bool empty() const;
+    bool empty() const { return explicit_ ? set_.empty() : lo_ > hi_; }
 
     /** True when exactly one value remains. */
-    bool is_singleton() const;
+    bool is_singleton() const
+    {
+        return explicit_ ? set_.size() == 1 : lo_ == hi_;
+    }
 
     /** True when the domain stores an explicit value set. */
     bool is_explicit() const { return explicit_; }
 
     /** Smallest remaining value. Requires non-empty. */
-    int64_t min() const;
+    int64_t min() const
+    {
+        HERON_CHECK(!empty());
+        return explicit_ ? set_.front() : lo_;
+    }
 
     /** Largest remaining value. Requires non-empty. */
-    int64_t max() const;
+    int64_t max() const
+    {
+        HERON_CHECK(!empty());
+        return explicit_ ? set_.back() : hi_;
+    }
 
     /** The single value of a singleton domain. */
-    int64_t value() const;
+    int64_t value() const
+    {
+        HERON_CHECK(is_singleton());
+        return min();
+    }
 
     /**
      * Number of remaining values. For interval domains this is
      * hi - lo + 1 (saturating).
      */
-    int64_t size() const;
+    int64_t size() const
+    {
+        if (explicit_)
+            return static_cast<int64_t>(set_.size());
+        if (lo_ > hi_)
+            return 0;
+        if (hi_ - lo_ == std::numeric_limits<int64_t>::max())
+            return std::numeric_limits<int64_t>::max();
+        return hi_ - lo_ + 1;
+    }
 
     /** Membership test. */
     bool contains(int64_t v) const;
@@ -78,6 +109,12 @@ class Domain
      * domains to explicit form. @return true if changed.
      */
     bool intersect_values(const std::vector<int64_t> &values);
+
+    /**
+     * intersect_values for a list already sorted and unique:
+     * in-place, allocation-free on explicit domains.
+     */
+    bool intersect_sorted(const std::vector<int64_t> &values);
 
     /** Intersect with another domain. @return true if changed. */
     bool intersect(const Domain &other);

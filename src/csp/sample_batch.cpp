@@ -1,0 +1,137 @@
+#include "csp/sample_batch.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_set>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace heron::csp {
+
+SampleBatch::SampleBatch(const Csp &csp, SolverConfig config,
+                         int workers)
+    : csp_(csp), config_(config), workers_(std::max(1, workers))
+{
+    // A memo hit's counters depend on which slots a worker served
+    // before, which would make aggregate stats vary with the worker
+    // count; the slot-wave structure already avoids re-solving
+    // proven-UNSAT subproblems within a batch.
+    config_.unsat_memo = false;
+}
+
+void
+SampleBatch::ensure_solvers()
+{
+    if (!solvers_.empty())
+        return;
+    solvers_.reserve(static_cast<size_t>(workers_));
+    for (int w = 0; w < workers_; ++w)
+        solvers_.push_back(
+            std::make_unique<RandSatSolver>(csp_, config_));
+}
+
+void
+SampleBatch::run_wave(uint64_t seed, size_t begin, size_t end,
+                      const std::vector<Constraint> &extra,
+                      std::vector<std::optional<Assignment>> *results,
+                      std::vector<SolveFailure> *failures)
+{
+    auto solve_slots = [&](int w) {
+        RandSatSolver &solver = *solvers_[static_cast<size_t>(w)];
+        // First slot of this worker's residue class inside the wave.
+        size_t s = begin +
+                   (static_cast<size_t>(w) + static_cast<size_t>(workers_) -
+                    begin % static_cast<size_t>(workers_)) %
+                       static_cast<size_t>(workers_);
+        for (; s < end; s += static_cast<size_t>(workers_)) {
+            Rng rng = Rng::for_stream(seed, s);
+            (*results)[s] = solver.solve_one(rng, extra);
+            (*failures)[s] = solver.last_failure();
+        }
+    };
+
+    if (workers_ == 1 || end - begin == 1) {
+        // Inline fast path; single-slot waves gain nothing from
+        // threads. Slot->solver mapping must still match the
+        // parallel path so stats stay invariant.
+        if (end - begin == 1 && workers_ > 1) {
+            int w = static_cast<int>(begin %
+                                     static_cast<size_t>(workers_));
+            solve_slots(w);
+        } else {
+            solve_slots(0);
+        }
+        return;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers_));
+    for (int w = 0; w < workers_; ++w)
+        threads.emplace_back(solve_slots, w);
+    for (auto &t : threads)
+        t.join();
+}
+
+std::vector<Assignment>
+SampleBatch::sample(uint64_t seed, int n,
+                    const std::vector<Constraint> &extra)
+{
+    HERON_TRACE_SCOPE("csp/sample_batch");
+    std::vector<Assignment> out;
+    if (n <= 0)
+        return out;
+    ensure_solvers();
+    last_failure_ = SolveFailure::kNone;
+
+    // Same over-draw allowance as RandSatSolver::solve_n: a few
+    // extra attempts absorb duplicate draws in tight spaces.
+    const size_t cap = static_cast<size_t>(n) +
+                       static_cast<size_t>(std::max(4, n / 2));
+    std::vector<std::optional<Assignment>> results(cap);
+    std::vector<SolveFailure> failures(cap, SolveFailure::kNone);
+
+    std::unordered_set<uint64_t> seen;
+    out.reserve(static_cast<size_t>(n));
+    size_t solved = 0;  // slots solved so far (wave frontier)
+    size_t merged = 0;  // slots consumed by the merge
+    bool failed = false;
+    while (!failed && out.size() < static_cast<size_t>(n) &&
+           solved < cap) {
+        // Deficit-driven wave sizing: depends only on merge results,
+        // never on the worker count.
+        size_t wave = std::min(
+            cap - solved, static_cast<size_t>(n) - out.size());
+        run_wave(seed, solved, solved + wave, extra, &results,
+                 &failures);
+        solved += wave;
+        for (; merged < solved && out.size() < static_cast<size_t>(n);
+             ++merged) {
+            if (!results[merged]) {
+                // Mirror solve_n: stop at the first failed slot (the
+                // subproblem is likely too tight to keep drawing).
+                last_failure_ = failures[merged];
+                failed = true;
+                break;
+            }
+            uint64_t h = assignment_hash(*results[merged]);
+            if (seen.insert(h).second)
+                out.push_back(std::move(*results[merged]));
+        }
+    }
+    HERON_COUNTER_ADD("csp.batch_slots",
+                      static_cast<int64_t>(solved));
+    return out;
+}
+
+SolverStats
+SampleBatch::stats() const
+{
+    SolverStats total;
+    for (const auto &s : solvers_)
+        total += s->stats();
+    return total;
+}
+
+} // namespace heron::csp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic parallel population sampling.
+ *
+ * CGA and the tuner draw whole populations of random valid
+ * assignments at once. SampleBatch fans those draws out over a
+ * fixed-size worker pool while keeping the result *bit-identical
+ * for any worker count*, so turning parallelism on can never change
+ * a tuning trajectory.
+ *
+ * Determinism contract: the returned assignments (values and order)
+ * depend only on (seed, n, extra) — never on the worker count or on
+ * thread scheduling. This holds because:
+ *  - work is split into numbered slots; slot s always uses the RNG
+ *    stream Rng::for_stream(seed, s), which is independent of which
+ *    worker runs it and of every other slot;
+ *  - slots are assigned statically (slot s -> worker s % workers),
+ *    and each worker writes only its own slots' result cells;
+ *  - the merge walks slots in increasing order, deduplicates by
+ *    assignment hash, and stops at the first failed slot — exactly
+ *    the sequential solve_n semantics;
+ *  - slot waves are sized by merge results only (deficit-driven),
+ *    so the *set* of slots solved is also worker-count invariant,
+ *    which makes the aggregate solver statistics invariant too. The
+ *    per-worker solvers run with the UNSAT memo disabled for the
+ *    same reason: a memo hit changes counters depending on which
+ *    slots a worker happened to serve earlier.
+ */
+#ifndef HERON_CSP_SAMPLE_BATCH_H
+#define HERON_CSP_SAMPLE_BATCH_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "csp/solver.h"
+
+namespace heron::csp {
+
+/**
+ * Parallel front-end over per-worker RandSatSolver instances.
+ *
+ * Each worker owns a persistent solver (and thus a memoized root
+ * fixpoint), so batches are cheap after the first. The object itself
+ * is not thread-safe; it *creates* threads internally per batch.
+ */
+class SampleBatch
+{
+  public:
+    /**
+     * @param workers worker-pool size (clamped to >= 1). Workers are
+     *        created lazily on the first sample() call.
+     */
+    explicit SampleBatch(const Csp &csp, SolverConfig config = {},
+                         int workers = 1);
+
+    /**
+     * Draw up to @p n distinct random valid assignments of the base
+     * problem plus @p extra. Fewer may be returned when the
+     * subproblem is tight or a slot fails (UNSAT/budget/deadline) —
+     * mirroring RandSatSolver::solve_n, the merge stops at the first
+     * failed slot.
+     *
+     * The result is a pure function of (seed, n, extra): bit-equal
+     * across worker counts and repeat calls.
+     */
+    std::vector<Assignment>
+    sample(uint64_t seed, int n,
+           const std::vector<Constraint> &extra = {});
+
+    /**
+     * Aggregate statistics over all workers, worker-count invariant
+     * (see the determinism contract above). solve_calls counts
+     * slots, not sample() invocations.
+     */
+    SolverStats stats() const;
+
+    /**
+     * Failure reason of the first failed slot of the most recent
+     * sample() call (kNone when every merged slot succeeded). Used
+     * by callers to distinguish a barren subspace from an exhausted
+     * budget.
+     */
+    SolveFailure last_failure() const { return last_failure_; }
+
+    /** Worker-pool size. */
+    int workers() const { return workers_; }
+
+    /** The problem the batch samples from. */
+    const Csp &csp() const { return csp_; }
+
+  private:
+    const Csp &csp_;
+    SolverConfig config_;
+    int workers_;
+    /** Lazily created; index w serves slots with s % workers_ == w. */
+    std::vector<std::unique_ptr<RandSatSolver>> solvers_;
+    SolveFailure last_failure_ = SolveFailure::kNone;
+
+    void ensure_solvers();
+
+    /**
+     * Solve slots [begin, end) into @p results / @p failures (cells
+     * indexed by slot). Runs the static slot->worker partition on
+     * threads when workers_ > 1.
+     */
+    void run_wave(uint64_t seed, size_t begin, size_t end,
+                  const std::vector<Constraint> &extra,
+                  std::vector<std::optional<Assignment>> *results,
+                  std::vector<SolveFailure> *failures);
+};
+
+} // namespace heron::csp
+
+#endif // HERON_CSP_SAMPLE_BATCH_H

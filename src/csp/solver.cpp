@@ -16,19 +16,12 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/** Hash for assignment dedup in solve_n. */
-uint64_t
-hash_assignment(const Assignment &a)
-{
-    uint64_t h = 0x12345678;
-    for (int64_t v : a)
-        h = hash_combine(h, static_cast<uint64_t>(v));
-    return h;
-}
-
 /**
- * One restart's depth-first search. Kept as a small class so the
- * recursion can share state without long parameter lists.
+ * One restart's depth-first search over the solver's persistent
+ * engine. The engine arrives at the root fixpoint (base problem
+ * plus any pushed extras); every decision opens a trail level and
+ * backtracking pops it. On success the decision levels are left
+ * open so the caller can extract before popping back to the root.
  */
 class Dfs
 {
@@ -45,17 +38,10 @@ class Dfs
     run()
     {
         backtracks_left_ = config_.max_backtracks_per_restart;
-        if (!engine_.propagate()) {
-            root_conflict_ = true;
-            return std::nullopt;
-        }
         if (recurse())
             return engine_.extract();
         return std::nullopt;
     }
-
-    /** Root propagation wiped out a domain: proven unsatisfiable. */
-    bool root_conflict() const { return root_conflict_; }
 
     /** The wall-clock deadline expired during the search. */
     bool deadline_hit() const { return deadline_hit_; }
@@ -68,8 +54,11 @@ class Dfs
     SolverStats &stats_;
     Clock::time_point deadline_;
     int backtracks_left_ = 0;
-    bool root_conflict_ = false;
     bool deadline_hit_ = false;
+    // Scratch for pick_branch_var's tie-break list; consumed before
+    // the search recurses, so one buffer serves every depth and the
+    // per-decision allocation disappears.
+    std::vector<VarId> open_;
 
     VarId
     pick_branch_var()
@@ -78,7 +67,8 @@ class Dfs
         // domain, ties broken randomly). Value choice stays fully
         // random, which provides the sample diversity RandSAT
         // needs; ordering by domain size surfaces conflicts early.
-        std::vector<VarId> open;
+        std::vector<VarId> &open = open_;
+        open.clear();
         if (config_.branch_tunables_first) {
             int64_t best = std::numeric_limits<int64_t>::max();
             for (VarId v : csp_.tunable_vars()) {
@@ -147,14 +137,14 @@ class Dfs
                 deadline_hit_ = true;
                 return false;
             }
-            std::vector<Domain> snapshot = engine_.domains();
+            engine_.push_level();
             if (engine_.assign_and_propagate(var, value)) {
                 if (recurse())
-                    return true;
+                    return true; // levels stay open for extract()
             }
             if (deadline_hit_)
-                return false;
-            engine_.restore(std::move(snapshot));
+                return false; // caller pops all open levels at once
+            engine_.pop_level();
             ++stats_.backtracks;
             if (--backtracks_left_ <= 0)
                 return false;
@@ -177,9 +167,43 @@ solve_failure_name(SolveFailure failure)
     return "?";
 }
 
-RandSatSolver::RandSatSolver(const Csp &csp, SolverConfig config)
-    : csp_(csp), config_(config)
+SolverStats &
+SolverStats::operator+=(const SolverStats &other)
 {
+    solve_calls += other.solve_calls;
+    solutions += other.solutions;
+    backtracks += other.backtracks;
+    restarts += other.restarts;
+    failures += other.failures;
+    unsat += other.unsat;
+    budget_exhausted += other.budget_exhausted;
+    deadline_aborts += other.deadline_aborts;
+    propagations += other.propagations;
+    revisions += other.revisions;
+    unsat_memo_hits += other.unsat_memo_hits;
+    return *this;
+}
+
+RandSatSolver::RandSatSolver(const Csp &csp, SolverConfig config)
+    : csp_(csp), config_(config), engine_(csp)
+{
+    // Compute the base problem's root fixpoint once; every solve
+    // call starts from this state. Its engine counters are absorbed
+    // into the sync baseline rather than stats_: the fixpoint is
+    // per-problem setup, not per-solve work, and excluding it keeps
+    // aggregate stats worker-count invariant when SampleBatch
+    // creates one solver per worker.
+    root_ok_ = engine_.propagate();
+    engine_synced_ = engine_.stats();
+}
+
+void
+RandSatSolver::sync_engine_stats()
+{
+    const PropagationEngine::Stats &now = engine_.stats();
+    stats_.propagations += now.propagations - engine_synced_.propagations;
+    stats_.revisions += now.revisions - engine_synced_.revisions;
+    engine_synced_ = now;
 }
 
 std::optional<Assignment>
@@ -212,7 +236,63 @@ RandSatSolver::search(Rng &rng, const std::vector<Constraint> &extra)
             HERON_COUNTER_INC("csp.deadline_aborts");
             break;
         }
+        sync_engine_stats();
     };
+    auto fail_unsat = [&]() {
+        ++stats_.failures;
+        ++stats_.unsat;
+        last_failure_ = SolveFailure::kUnsat;
+        publish();
+        return std::nullopt;
+    };
+
+    if (!root_ok_)
+        return fail_unsat();
+
+    // UNSAT memo: answer recently-disproven extra sets without
+    // touching the engine. Memo hits consume no RNG, matching the
+    // root-conflict path they cache.
+    uint64_t memo_key = 0;
+    std::vector<uint64_t> memo_sig;
+    const bool use_memo = config_.unsat_memo && !extra.empty();
+    if (use_memo) {
+        memo_sig.reserve(extra.size());
+        for (const auto &c : extra)
+            memo_sig.push_back(c.signature());
+        std::sort(memo_sig.begin(), memo_sig.end());
+        memo_key = hash_u64(memo_sig.size());
+        for (uint64_t s : memo_sig)
+            memo_key = hash_combine(memo_key, s);
+        auto it = unsat_memo_.find(memo_key);
+        if (it != unsat_memo_.end() && it->second == memo_sig) {
+            ++stats_.unsat_memo_hits;
+            HERON_COUNTER_INC("csp.unsat_memo_hits");
+            return fail_unsat();
+        }
+    }
+
+    const bool push = !extra.empty();
+    if (push && !engine_.push_extras(extra)) {
+        // Root propagation disproved the extras: a proof, so it is
+        // safe to memoize (budget/deadline failures are not).
+        engine_.pop_extras();
+        if (use_memo) {
+            if (unsat_memo_.size() >= kUnsatMemoCap)
+                unsat_memo_.clear();
+            unsat_memo_.emplace(memo_key, std::move(memo_sig));
+        }
+        return fail_unsat();
+    }
+
+    const size_t base_depth = engine_.depth();
+    auto finish = [&](std::optional<Assignment> result) {
+        engine_.pop_to_depth(base_depth);
+        if (push)
+            engine_.pop_extras();
+        publish();
+        return result;
+    };
+
     Clock::time_point deadline = Clock::time_point::max();
     if (config_.deadline_ms > 0.0)
         deadline = Clock::now() +
@@ -222,37 +302,27 @@ RandSatSolver::search(Rng &rng, const std::vector<Constraint> &extra)
     for (int restart = 0; restart < config_.max_restarts; ++restart) {
         if (restart > 0)
             ++stats_.restarts;
-        PropagationEngine engine(csp_, extra);
-        Dfs dfs(csp_, engine, rng, config_, stats_, deadline);
+        Dfs dfs(csp_, engine_, rng, config_, stats_, deadline);
         auto result = dfs.run();
         if (result) {
             ++stats_.solutions;
             last_failure_ = SolveFailure::kNone;
-            publish();
-            return result;
+            return finish(std::move(result));
         }
-        if (dfs.root_conflict()) {
-            // Propagation is sound, so a root wipeout proves the
-            // problem unsatisfiable; restarting cannot help.
-            ++stats_.failures;
-            ++stats_.unsat;
-            last_failure_ = SolveFailure::kUnsat;
-            publish();
-            return std::nullopt;
-        }
+        // Back to the root fixpoint for the next restart (replaces
+        // the historical engine reconstruction).
+        engine_.pop_to_depth(base_depth);
         if (dfs.deadline_hit()) {
             ++stats_.failures;
             ++stats_.deadline_aborts;
             last_failure_ = SolveFailure::kDeadline;
-            publish();
-            return std::nullopt;
+            return finish(std::nullopt);
         }
     }
     ++stats_.failures;
     ++stats_.budget_exhausted;
     last_failure_ = SolveFailure::kBudget;
-    publish();
-    return std::nullopt;
+    return finish(std::nullopt);
 }
 
 std::optional<Assignment>
@@ -282,7 +352,7 @@ RandSatSolver::solve_n(Rng &rng, int n,
         auto a = solve_one(rng, extra);
         if (!a)
             break; // budget exhausted; subproblem likely too tight
-        uint64_t h = hash_assignment(*a);
+        uint64_t h = assignment_hash(*a);
         if (seen.insert(h).second)
             results.push_back(std::move(*a));
     }

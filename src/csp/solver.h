@@ -7,11 +7,24 @@
  * satisfaction"). This solver performs randomized backtracking
  * search with propagation after every decision, restarting after a
  * backtrack budget is exhausted.
+ *
+ * Throughput design: the solver owns one PropagationEngine for its
+ * whole lifetime and computes the base problem's root-propagation
+ * fixpoint once, in the constructor. Every solve call starts from
+ * that memoized fixpoint — extra constraints are layered on with
+ * push_extras()/pop_extras(), decisions backtrack over the engine's
+ * undo trail, and restarts pop back to the fixpoint instead of
+ * rebuilding the engine. A bounded signature-keyed memo
+ * short-circuits extra-constraint sets recently *proven* UNSAT by
+ * root propagation (CGA re-proposes the same invalid crossovers
+ * often); budget/deadline failures are never memoized because they
+ * are not proofs.
  */
 #ifndef HERON_CSP_SOLVER_H
 #define HERON_CSP_SOLVER_H
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "csp/csp.h"
@@ -37,6 +50,12 @@ struct SolverConfig {
      * overshoots the deadline by at most one step.
      */
     double deadline_ms = 0.0;
+    /**
+     * Memoize extra-constraint sets proven UNSAT by root
+     * propagation. SampleBatch disables this inside its workers so
+     * aggregate batch statistics are worker-count invariant.
+     */
+    bool unsat_memo = true;
 };
 
 /** Why a solve call returned no assignment. */
@@ -66,11 +85,23 @@ struct SolverStats {
     int64_t budget_exhausted = 0;
     /** Solve calls aborted by the wall-clock deadline. */
     int64_t deadline_aborts = 0;
+    /** Propagation fixpoint computations. */
+    int64_t propagations = 0;
+    /** Individual constraint revisions. */
+    int64_t revisions = 0;
+    /** UNSAT solve calls answered from the signature memo. */
+    int64_t unsat_memo_hits = 0;
+
+    /** Field-wise accumulation (merging worker/offspring solvers). */
+    SolverStats &operator+=(const SolverStats &other);
 };
 
 /**
  * Randomized finite-domain solver over a Csp plus optional extra
  * constraints.
+ *
+ * Not thread-safe: one RandSatSolver per thread (see SampleBatch
+ * for the deterministic parallel front-end).
  */
 class RandSatSolver
 {
@@ -112,14 +143,40 @@ class RandSatSolver
      */
     SolveFailure last_failure() const { return last_failure_; }
 
+    /** The problem this solver samples from. */
+    const Csp &csp() const { return csp_; }
+
+    /** The configuration the solver was built with. */
+    const SolverConfig &config() const { return config_; }
+
   private:
+    /** Entries kept in the UNSAT memo before it is reset. */
+    static constexpr size_t kUnsatMemoCap = 4096;
+
     const Csp &csp_;
     SolverConfig config_;
     SolverStats stats_;
     SolveFailure last_failure_ = SolveFailure::kNone;
 
+    /** Persistent engine holding the base root fixpoint at depth 0. */
+    PropagationEngine engine_;
+    /** False when the base problem is UNSAT at the root. */
+    bool root_ok_ = false;
+    /** Engine counters already folded into stats_. */
+    PropagationEngine::Stats engine_synced_;
+
+    /**
+     * Extra-constraint sets proven UNSAT by root propagation, keyed
+     * by an order-independent combined signature; the stored sorted
+     * per-constraint signature vector guards against collisions.
+     */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> unsat_memo_;
+
     std::optional<Assignment>
     search(Rng &rng, const std::vector<Constraint> &extra);
+
+    /** Fold new engine propagation counters into stats_. */
+    void sync_engine_stats();
 };
 
 } // namespace heron::csp

@@ -10,6 +10,13 @@
 
 namespace heron::model {
 
+namespace {
+
+/** Feature-memo entries kept before the cache is reset wholesale. */
+constexpr size_t kFeatureCacheCap = size_t{1} << 14;
+
+} // namespace
+
 double
 throughput_score(bool valid, double latency_ms, int64_t total_ops)
 {
@@ -37,11 +44,26 @@ CostModel::features(const csp::Assignment &a) const
     return x;
 }
 
+const std::vector<float> &
+CostModel::cached_features(const csp::Assignment &a) const
+{
+    uint64_t h = csp::assignment_hash(a);
+    auto it = feature_cache_.find(h);
+    if (it != feature_cache_.end()) {
+        HERON_COUNTER_INC("model.feature_cache_hits");
+        return it->second;
+    }
+    if (feature_cache_.size() >= kFeatureCacheCap)
+        feature_cache_.clear();
+    HERON_COUNTER_INC("model.feature_cache_misses");
+    return feature_cache_.emplace(h, features(a)).first->second;
+}
+
 void
 CostModel::add_sample(const csp::Assignment &a, bool valid,
                       double latency_ms, int64_t total_ops)
 {
-    data_.x.push_back(features(a));
+    data_.x.push_back(cached_features(a));
     data_.y.push_back(static_cast<float>(
         throughput_score(valid, latency_ms, total_ops)));
 }
@@ -49,7 +71,7 @@ CostModel::add_sample(const csp::Assignment &a, bool valid,
 void
 CostModel::add_scored_sample(const csp::Assignment &a, double score)
 {
-    data_.x.push_back(features(a));
+    data_.x.push_back(cached_features(a));
     data_.y.push_back(static_cast<float>(score));
 }
 
@@ -69,7 +91,7 @@ CostModel::predict(const csp::Assignment &a) const
     if (!model_.trained())
         return 0.0;
     HERON_COUNTER_INC("model.predict_calls");
-    return model_.predict(features(a));
+    return model_.predict(cached_features(a));
 }
 
 std::vector<csp::VarId>

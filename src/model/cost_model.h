@@ -12,6 +12,8 @@
 #ifndef HERON_MODEL_COST_MODEL_H
 #define HERON_MODEL_COST_MODEL_H
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "csp/csp.h"
@@ -27,6 +29,16 @@ class CostModel
 
     /** log2-scaled feature vector of an assignment. */
     std::vector<float> features(const csp::Assignment &a) const;
+
+    /**
+     * features(a) memoized by assignment hash. predict() and the
+     * sample recorders route through this cache, so a candidate
+     * predicted across several CGA generations (or recorded after
+     * being predicted) pays for feature extraction once. The cache
+     * is bounded: it is reset wholesale at a fixed cap.
+     */
+    const std::vector<float> &
+    cached_features(const csp::Assignment &a) const;
 
     /**
      * Record a measurement. Invalid programs score 0; valid ones
@@ -63,6 +75,8 @@ class CostModel
     const csp::Csp &csp_;
     GbdtRegressor model_;
     Dataset data_;
+    mutable std::unordered_map<uint64_t, std::vector<float>>
+        feature_cache_;
 };
 
 /** The score used as GA fitness: log2(1 + GFLOP/s); 0 if invalid. */

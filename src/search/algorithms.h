@@ -41,6 +41,12 @@ struct SearchConfig {
     double sr_pf = 0.45;
     /** Infeasible fraction kept by GA-3. */
     double idea_infeasible_fraction = 0.2;
+    /**
+     * Worker threads for whole-population CSP sampling (CGA initial
+     * population and collapse refreshes). Results are bit-identical
+     * for any value >= 1 — see csp::SampleBatch.
+     */
+    int sample_workers = 1;
 };
 
 /** RAND: uniform valid sampling through the solver. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "csp/sample_batch.h"
 #include "support/logging.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -118,13 +119,17 @@ cga_search(const rules::GeneratedSpace &space, hw::Measurer &measurer,
 {
     Rng rng(config.seed);
     RandSatSolver solver(space.csp);
+    // Whole-population draws go through the deterministic parallel
+    // sampler: each batch consumes one seed from the search RNG, and
+    // the returned population is bit-identical for any worker count.
+    csp::SampleBatch batch(space.csp, {}, config.sample_workers);
     Evaluator evaluator(space, measurer);
     model::CostModel model(space.csp);
 
     // Initial population: random valid assignments.
     std::vector<Assignment> pop;
     std::vector<double> fitness;
-    auto initial = solver.solve_n(rng, config.population);
+    auto initial = batch.sample(rng.next_u64(), config.population);
     for (auto &a : initial) {
         if (evaluator.count() >= config.trials)
             break;
@@ -144,7 +149,8 @@ cga_search(const rules::GeneratedSpace &space, hw::Measurer &measurer,
             config.key_vars, random_keys, rng);
         if (offspring.empty()) {
             // Population collapsed; refresh with random samples.
-            offspring = solver.solve_n(rng, config.population);
+            offspring = batch.sample(rng.next_u64(),
+                                     config.population);
             if (offspring.empty())
                 break;
         }

@@ -296,12 +296,15 @@ class PreferenceDfs
             rng_.shuffle(values);
         }
         for (int64_t value : values) {
-            std::vector<Domain> snapshot = engine_.domains();
+            // Trail-based undo: a level per decision beats copying
+            // every domain per candidate value. Levels stay open on
+            // success so the caller can extract().
+            engine_.push_level();
             if (engine_.assign_and_propagate(var, value)) {
                 if (recurse())
                     return true;
             }
-            engine_.restore(std::move(snapshot));
+            engine_.pop_level();
             if (--backtracks_left_ <= 0)
                 return false;
         }

@@ -47,17 +47,6 @@ divisors(int64_t n)
     return small;
 }
 
-int64_t
-checked_mul(int64_t a, int64_t b)
-{
-    HERON_CHECK_GE(a, 0);
-    HERON_CHECK_GE(b, 0);
-    if (a == 0 || b == 0)
-        return 0;
-    if (a > std::numeric_limits<int64_t>::max() / b)
-        return std::numeric_limits<int64_t>::max();
-    return a * b;
-}
 
 int64_t
 checked_product(const std::vector<int64_t> &values)

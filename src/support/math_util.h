@@ -9,8 +9,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
+
+#include "support/logging.h"
 
 namespace heron {
 
@@ -50,8 +53,24 @@ std::vector<int64_t> divisors(int64_t n);
  */
 int64_t checked_product(const std::vector<int64_t> &values);
 
-/** Saturating binary product. */
-int64_t checked_mul(int64_t a, int64_t b);
+/**
+ * Saturating binary product of non-negative operands. Defined in
+ * the header because it sits on the CSP propagation hot path.
+ * Zero absorbs before the saturation check, which makes the
+ * operation associative — prefix/suffix product decompositions give
+ * the same result as a sequential fold.
+ */
+inline int64_t
+checked_mul(int64_t a, int64_t b)
+{
+    HERON_CHECK_GE(a, 0);
+    HERON_CHECK_GE(b, 0);
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > std::numeric_limits<int64_t>::max() / b)
+        return std::numeric_limits<int64_t>::max();
+    return a * b;
+}
 
 /** Boost-style hash combiner. */
 inline uint64_t

@@ -131,4 +131,15 @@ Rng::fork()
     return Rng(next_u64());
 }
 
+Rng
+Rng::for_stream(uint64_t seed, uint64_t stream)
+{
+    // Mix the stream index through SplitMix64 so neighbouring
+    // streams land far apart in seed space.
+    uint64_t sm = seed;
+    uint64_t base = splitmix64(sm);
+    sm = base ^ (stream * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(sm));
+}
+
 } // namespace heron

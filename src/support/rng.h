@@ -79,6 +79,15 @@ class Rng
     /** Derive an independent child generator (for parallel phases). */
     Rng fork();
 
+    /**
+     * Deterministic generator for stream @p stream of base seed
+     * @p seed. Unlike fork(), this does not advance any generator:
+     * stream k of a given seed is the same no matter how many other
+     * streams are derived or in what order, which is what parallel
+     * fan-out needs for worker-count-independent results.
+     */
+    static Rng for_stream(uint64_t seed, uint64_t stream);
+
   private:
     uint64_t s_[4];
 };

@@ -440,5 +440,91 @@ INSTANTIATE_TEST_SUITE_P(Extents, SolverExtentSweep,
                          ::testing::Values(1, 2, 12, 64, 100, 128, 504,
                                            1000, 1024, 4096));
 
+TEST(SolverStats, AccumulatesFieldWise)
+{
+    SolverStats a;
+    a.solve_calls = 3;
+    a.solutions = 2;
+    a.backtracks = 10;
+    a.restarts = 1;
+    a.failures = 1;
+    a.unsat = 1;
+    a.propagations = 40;
+    a.revisions = 200;
+    SolverStats b;
+    b.solve_calls = 4;
+    b.solutions = 4;
+    b.budget_exhausted = 2;
+    b.deadline_aborts = 1;
+    b.propagations = 60;
+    b.revisions = 300;
+    b.unsat_memo_hits = 5;
+    a += b;
+    EXPECT_EQ(a.solve_calls, 7);
+    EXPECT_EQ(a.solutions, 6);
+    EXPECT_EQ(a.backtracks, 10);
+    EXPECT_EQ(a.restarts, 1);
+    EXPECT_EQ(a.failures, 1);
+    EXPECT_EQ(a.unsat, 1);
+    EXPECT_EQ(a.budget_exhausted, 2);
+    EXPECT_EQ(a.deadline_aborts, 1);
+    EXPECT_EQ(a.propagations, 100);
+    EXPECT_EQ(a.revisions, 500);
+    EXPECT_EQ(a.unsat_memo_hits, 5);
+}
+
+TEST(Solver, UnsatMemoShortCircuitsRepeatedProofs)
+{
+    Csp csp;
+    VarId t = csp.add_var("t", Domain::of({1, 2, 3, 4}), true);
+    RandSatSolver solver(csp);
+    Rng rng(1);
+
+    // An extra set disproved by root propagation: t pinned to a
+    // value outside its domain.
+    Constraint pin;
+    pin.kind = ConstraintKind::kIn;
+    pin.result = t;
+    pin.constants = {9};
+    std::vector<Constraint> extra = {pin};
+
+    EXPECT_FALSE(solver.solve_one(rng, extra).has_value());
+    EXPECT_EQ(solver.last_failure(), SolveFailure::kUnsat);
+    EXPECT_EQ(solver.stats().unsat_memo_hits, 0);
+
+    // The same (proven-UNSAT) set again: answered from the memo.
+    EXPECT_FALSE(solver.solve_one(rng, extra).has_value());
+    EXPECT_EQ(solver.last_failure(), SolveFailure::kUnsat);
+    EXPECT_EQ(solver.stats().unsat_memo_hits, 1);
+    EXPECT_EQ(solver.stats().unsat, 2);
+
+    // A satisfiable set is unaffected, and the base problem still
+    // solves — the engine popped cleanly back to the root fixpoint.
+    pin.constants = {2, 3};
+    EXPECT_TRUE(solver.solve_one(rng, {pin}).has_value());
+    auto base = solver.solve_one(rng);
+    ASSERT_TRUE(base.has_value());
+    EXPECT_TRUE(csp.valid(*base));
+    EXPECT_EQ(solver.stats().unsat_memo_hits, 1);
+}
+
+TEST(Solver, UnsatMemoCanBeDisabled)
+{
+    Csp csp;
+    VarId t = csp.add_var("t", Domain::of({1, 2}), true);
+    SolverConfig config;
+    config.unsat_memo = false;
+    RandSatSolver solver(csp, config);
+    Rng rng(1);
+    Constraint pin;
+    pin.kind = ConstraintKind::kIn;
+    pin.result = t;
+    pin.constants = {7};
+    EXPECT_FALSE(solver.solve_one(rng, {pin}).has_value());
+    EXPECT_FALSE(solver.solve_one(rng, {pin}).has_value());
+    EXPECT_EQ(solver.stats().unsat_memo_hits, 0);
+    EXPECT_EQ(solver.stats().unsat, 2);
+}
+
 } // namespace
 } // namespace heron::csp

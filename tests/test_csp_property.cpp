@@ -7,10 +7,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
+#include <limits>
 
 #include "csp/propagate.h"
+#include "csp/sample_batch.h"
 #include "csp/solver.h"
+#include "ops/op_library.h"
+#include "rules/space_generator.h"
 #include "support/math_util.h"
 #include "support/rng.h"
 
@@ -189,6 +194,279 @@ TEST_P(SolverFuzz, SolveNReturnsDistinctValidSolutions)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
                          ::testing::Range<uint64_t>(1, 41));
+
+/**
+ * Reference solver: snapshot-per-decision backtracking, the way the
+ * solver worked before the undo trail was introduced. It replicates
+ * RandSatSolver's branching heuristics and RNG consumption exactly
+ * but undoes every decision by restoring a full copy of all
+ * domains, so agreement with RandSatSolver on the same seed proves
+ * the trail rewrite is search-order preserving.
+ */
+class SnapshotReferenceSolver
+{
+  public:
+    explicit SnapshotReferenceSolver(const Csp &csp,
+                                     SolverConfig config = {})
+        : csp_(csp), config_(config), engine_(csp)
+    {
+        root_ok_ = engine_.propagate();
+    }
+
+    std::optional<Assignment>
+    solve_one(Rng &rng)
+    {
+        if (!root_ok_)
+            return std::nullopt;
+        rng_ = &rng;
+        const std::vector<Domain> root = engine_.domains();
+        for (int restart = 0; restart < config_.max_restarts;
+             ++restart) {
+            backtracks_left_ = config_.max_backtracks_per_restart;
+            if (recurse()) {
+                Assignment a = engine_.extract();
+                engine_.restore(root);
+                return a;
+            }
+            engine_.restore(root);
+        }
+        return std::nullopt;
+    }
+
+  private:
+    const Csp &csp_;
+    SolverConfig config_;
+    PropagationEngine engine_;
+    bool root_ok_ = false;
+    Rng *rng_ = nullptr;
+    int backtracks_left_ = 0;
+
+    VarId
+    pick_branch_var()
+    {
+        std::vector<VarId> open;
+        if (config_.branch_tunables_first) {
+            int64_t best = std::numeric_limits<int64_t>::max();
+            for (VarId v : csp_.tunable_vars()) {
+                const Domain &d = engine_.domain(v);
+                if (d.is_singleton())
+                    continue;
+                if (d.size() < best) {
+                    best = d.size();
+                    open.clear();
+                }
+                if (d.size() == best)
+                    open.push_back(v);
+            }
+            if (!open.empty())
+                return open[rng_->index(open.size())];
+        }
+        VarId best = -1;
+        int64_t best_size = 0;
+        for (size_t i = 0; i < csp_.num_vars(); ++i) {
+            const Domain &d = engine_.domain(static_cast<VarId>(i));
+            if (d.is_singleton())
+                continue;
+            if (best < 0 || d.size() < best_size) {
+                best = static_cast<VarId>(i);
+                best_size = d.size();
+            }
+        }
+        return best;
+    }
+
+    std::vector<int64_t>
+    candidate_values(const Domain &d)
+    {
+        std::vector<int64_t> vals;
+        if (d.is_explicit() || d.size() <= 256) {
+            vals = d.values();
+            rng_->shuffle(vals);
+        } else {
+            vals.push_back(d.min());
+            vals.push_back(d.max());
+            for (int i = 0; i < 6; ++i)
+                vals.push_back(rng_->uniform_int(d.min(), d.max()));
+            std::sort(vals.begin(), vals.end());
+            vals.erase(std::unique(vals.begin(), vals.end()),
+                       vals.end());
+            rng_->shuffle(vals);
+        }
+        return vals;
+    }
+
+    bool
+    recurse()
+    {
+        VarId var = pick_branch_var();
+        if (var < 0)
+            return engine_.all_assigned();
+        for (int64_t value : candidate_values(engine_.domain(var))) {
+            std::vector<Domain> snapshot = engine_.domains();
+            if (engine_.assign_and_propagate(var, value)) {
+                if (recurse())
+                    return true;
+            }
+            engine_.restore(std::move(snapshot));
+            if (--backtracks_left_ <= 0)
+                return false;
+        }
+        return false;
+    }
+};
+
+/** Solve the same problem with both solvers on the same seed. */
+void
+expect_trail_matches_snapshot(const Csp &csp, uint64_t seed)
+{
+    SolverConfig config;
+    config.unsat_memo = false;
+    RandSatSolver trail_solver(csp, config);
+    SnapshotReferenceSolver snapshot_solver(csp, config);
+    Rng trail_rng(seed);
+    Rng snapshot_rng(seed);
+    auto trail = trail_solver.solve_one(trail_rng);
+    auto snapshot = snapshot_solver.solve_one(snapshot_rng);
+    ASSERT_EQ(trail.has_value(), snapshot.has_value());
+    if (trail)
+        EXPECT_EQ(*trail, *snapshot);
+    // Both searches consumed identical RNG streams.
+    EXPECT_EQ(trail_rng.next_u64(), snapshot_rng.next_u64());
+}
+
+TEST_P(SolverFuzz, TrailSolverMatchesSnapshotReference)
+{
+    auto problem = make_problem(GetParam() + 13000);
+    for (uint64_t round = 0; round < 3; ++round)
+        expect_trail_matches_snapshot(problem.csp,
+                                      GetParam() * 97 + round);
+}
+
+TEST(TrailEquivalence, MatchesSnapshotReferenceOnRealSpaces)
+{
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    auto gemm = gen.generate(ops::gemm(512, 512, 512));
+    auto c2d =
+        gen.generate(ops::c2d(16, 64, 28, 28, 64, 3, 3, 1, 1,
+                              ir::DataType::kFloat16));
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        expect_trail_matches_snapshot(gemm.csp, seed);
+        expect_trail_matches_snapshot(c2d.csp, seed);
+    }
+}
+
+TEST_P(SolverFuzz, TrailUndoRestoresExactRootDomains)
+{
+    auto problem = make_problem(GetParam() + 17000);
+    PropagationEngine engine(problem.csp);
+    if (!engine.propagate())
+        return;
+    const std::vector<Domain> root = engine.domains();
+    Rng rng(GetParam());
+    for (int round = 0; round < 8; ++round) {
+        VarId var = static_cast<VarId>(
+            rng.index(problem.csp.num_vars()));
+        const Domain &d = engine.domain(var);
+        if (d.empty())
+            continue;
+        int64_t value = rng.bernoulli(0.5) ? d.min() : d.max();
+        engine.push_level();
+        engine.assign_and_propagate(var, value);
+        engine.pop_level();
+        for (size_t v = 0; v < problem.csp.num_vars(); ++v)
+            EXPECT_EQ(engine.domain(static_cast<VarId>(v)).values(),
+                      root[v].values())
+                << "trail undo corrupted var "
+                << problem.csp.var(static_cast<VarId>(v)).name;
+    }
+}
+
+/** Field-wise SolverStats equality (no operator== on purpose). */
+void
+expect_stats_equal(const SolverStats &a, const SolverStats &b)
+{
+    EXPECT_EQ(a.solve_calls, b.solve_calls);
+    EXPECT_EQ(a.solutions, b.solutions);
+    EXPECT_EQ(a.backtracks, b.backtracks);
+    EXPECT_EQ(a.restarts, b.restarts);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.unsat, b.unsat);
+    EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+    EXPECT_EQ(a.deadline_aborts, b.deadline_aborts);
+    EXPECT_EQ(a.propagations, b.propagations);
+    EXPECT_EQ(a.revisions, b.revisions);
+    EXPECT_EQ(a.unsat_memo_hits, b.unsat_memo_hits);
+}
+
+TEST(SampleBatchDeterminism, WorkerCountInvariantOnRealSpace)
+{
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    auto space = gen.generate(ops::gemm(512, 512, 512));
+    SampleBatch serial(space.csp, {}, 1);
+    SampleBatch two(space.csp, {}, 2);
+    SampleBatch four(space.csp, {}, 4);
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        auto a = serial.sample(seed, 12);
+        auto b = two.sample(seed, 12);
+        auto c = four.sample(seed, 12);
+        EXPECT_GE(a.size(), 1u);
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(a, c);
+        for (const auto &sol : a)
+            EXPECT_TRUE(space.csp.valid(sol));
+    }
+    expect_stats_equal(serial.stats(), two.stats());
+    expect_stats_equal(serial.stats(), four.stats());
+}
+
+TEST(SampleBatchDeterminism, RepeatCallsArePureFunctionsOfSeed)
+{
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    auto space = gen.generate(ops::gemm(512, 512, 512));
+    SampleBatch batch(space.csp, {}, 3);
+    auto first = batch.sample(7, 8);
+    auto second = batch.sample(7, 8);
+    EXPECT_EQ(first, second);
+    EXPECT_NE(batch.sample(8, 8), first);
+}
+
+TEST(SampleBatchDeterminism, ExtraConstraintsWorkerInvariant)
+{
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    auto space = gen.generate(ops::gemm(512, 512, 512));
+    // Pin a tunable to two of its values, CGA-crossover style.
+    VarId key = space.csp.tunable_vars().front();
+    const Domain &d = space.csp.var(key).initial;
+    Constraint pin;
+    pin.kind = ConstraintKind::kIn;
+    pin.result = key;
+    pin.constants = {d.min(), d.max()};
+    std::vector<Constraint> extra = {pin};
+    SampleBatch serial(space.csp, {}, 1);
+    SampleBatch four(space.csp, {}, 4);
+    auto a = serial.sample(11, 6, extra);
+    auto b = four.sample(11, 6, extra);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(serial.last_failure(), four.last_failure());
+    for (const auto &sol : a)
+        EXPECT_TRUE(space.csp.satisfies(pin, sol));
+}
+
+TEST_P(SolverFuzz, SampleBatchWorkerInvariantOnFuzzProblems)
+{
+    auto problem = make_problem(GetParam() + 21000);
+    SampleBatch serial(problem.csp, {}, 1);
+    SampleBatch four(problem.csp, {}, 4);
+    auto a = serial.sample(GetParam(), 6);
+    auto b = four.sample(GetParam(), 6);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(serial.last_failure(), four.last_failure());
+    expect_stats_equal(serial.stats(), four.stats());
+}
 
 } // namespace
 } // namespace heron::csp
