@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Serving-layer throughput microbench. Populates a KernelRegistry
+ * with solver-produced records, then reports exact-hit lookup
+ * throughput (single- and multi-threaded), per-lookup latency
+ * percentiles, and the tier breakdown of a mixed exact/near/far
+ * query stream, into a JSON artifact.
+ *
+ * Usage:
+ *   micro_serve [--lookups N] [--seed S] [--quick] [--out FILE]
+ *               (default BENCH_serve.json)
+ *
+ * Exit code is nonzero when the registry misserves (an exact-hit
+ * query answered from any other tier).
+ */
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "csp/solver.h"
+#include "ops/op_library.h"
+#include "rules/space_generator.h"
+#include "serve/registry.h"
+#include "support/stats.h"
+
+using namespace heron;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+struct LookupSeries {
+    int threads = 1;
+    int64_t lookups = 0;
+    double lookups_per_sec = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+};
+
+/** Timed exact-hit loop over @p workloads on one thread. */
+LookupSeries
+run_exact(serve::KernelRegistry &registry,
+          const std::vector<ops::Workload> &workloads, int64_t n,
+          std::atomic<bool> *misserved)
+{
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<size_t>(n));
+    auto start = Clock::now();
+    for (int64_t i = 0; i < n; ++i) {
+        auto t0 = Clock::now();
+        auto result = registry.lookup(
+            workloads[static_cast<size_t>(i) % workloads.size()]);
+        latencies.push_back(seconds_since(t0) * 1e6);
+        if (result.tier != serve::LookupTier::kExact)
+            misserved->store(true);
+    }
+    double elapsed = seconds_since(start);
+
+    LookupSeries series;
+    series.lookups = n;
+    series.lookups_per_sec = elapsed > 0 ? n / elapsed : 0.0;
+    series.p50_us = percentile(latencies, 50.0);
+    series.p95_us = percentile(latencies, 95.0);
+    return series;
+}
+
+/** Aggregate exact-hit throughput across @p threads threads. */
+LookupSeries
+run_exact_parallel(serve::KernelRegistry &registry,
+                   const std::vector<ops::Workload> &workloads,
+                   int64_t n, int threads, std::atomic<bool> *misserved)
+{
+    int64_t per_thread = n / threads;
+    std::vector<std::thread> pool;
+    auto start = Clock::now();
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&, t] {
+            for (int64_t i = 0; i < per_thread; ++i) {
+                auto result = registry.lookup(
+                    workloads[static_cast<size_t>(i + t) %
+                              workloads.size()]);
+                if (result.tier != serve::LookupTier::kExact)
+                    misserved->store(true);
+            }
+        });
+    for (auto &thread : pool)
+        thread.join();
+    double elapsed = seconds_since(start);
+
+    LookupSeries series;
+    series.threads = threads;
+    series.lookups = per_thread * threads;
+    series.lookups_per_sec =
+        elapsed > 0 ? series.lookups / elapsed : 0.0;
+    return series;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int64_t lookups = 200000;
+    uint64_t seed = 1;
+    std::string out_path = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--lookups") && i + 1 < argc)
+            lookups = std::atoll(argv[++i]);
+        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+            seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--quick"))
+            lookups = 50000;
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+    }
+
+    auto spec = hw::DlaSpec::v100();
+    serve::KernelRegistry registry(spec);
+
+    // Populate with solver-produced records across a grid of GEMM
+    // shapes (no measurements needed: lookup cost is independent of
+    // how a record was obtained).
+    std::vector<ops::Workload> present;
+    rules::SpaceGenerator generator(spec, rules::Options::heron());
+    auto setup_start = Clock::now();
+    for (int64_t m = 128; m <= 1024; m *= 2)
+        for (int64_t n = 128; n <= 1024; n *= 2) {
+            auto workload = ops::gemm(m, n, 512);
+            auto space = generator.generate(workload);
+            csp::RandSatSolver solver(space.csp);
+            Rng rng(seed + static_cast<uint64_t>(m * 31 + n));
+            auto assignment = solver.solve_one(rng);
+            if (!assignment) {
+                std::fprintf(stderr, "micro_serve: no solution for "
+                                     "%s\n",
+                             workload.name.c_str());
+                return 1;
+            }
+            autotune::TuningRecord record;
+            record.tuner = "bench";
+            record.latency_ms = 1.0;
+            record.gflops = static_cast<double>(m + n);
+            record.assignment = *assignment;
+            registry.put(workload, std::move(record));
+            present.push_back(std::move(workload));
+        }
+    std::printf("indexed %zu records in %.2f s\n", registry.size(),
+                seconds_since(setup_start));
+
+    std::atomic<bool> misserved{false};
+    auto single = run_exact(registry, present, lookups, &misserved);
+    std::printf("exact x1    %9.0f lookups/sec  p50 %.2f us  "
+                "p95 %.2f us\n",
+                single.lookups_per_sec, single.p50_us,
+                single.p95_us);
+
+    std::vector<LookupSeries> parallel;
+    for (int threads : {2, 4}) {
+        auto series = run_exact_parallel(registry, present, lookups,
+                                         threads, &misserved);
+        std::printf("exact x%-3d %9.0f lookups/sec\n", threads,
+                    series.lookups_per_sec);
+        parallel.push_back(series);
+    }
+
+    // Mixed stream: exact hits, near shapes (one octave off, served
+    // by gene transfer), and far/incompatible shapes (miss, then
+    // negative once the cache saturates). Small count: the nearest
+    // tier pays solver work per first-touch query shape.
+    serve::RegistryStats before = registry.stats();
+    auto mixed_start = Clock::now();
+    int64_t mixed = 0;
+    for (int round = 0; round < 8; ++round) {
+        registry.lookup(present[static_cast<size_t>(round) %
+                                present.size()]);
+        registry.lookup(ops::gemm(192 + round, 256, 512));
+        registry.lookup(ops::gemv(4096 + round % 2, 4096));
+        mixed += 3;
+    }
+    double mixed_elapsed = seconds_since(mixed_start);
+    serve::RegistryStats after = registry.stats();
+    std::printf("mixed       %9.0f lookups/sec  (%lld exact, %lld "
+                "nearest, %lld negative, %lld miss, %lld "
+                "transferred)\n",
+                mixed_elapsed > 0 ? mixed / mixed_elapsed : 0.0,
+                static_cast<long long>(after.exact_hits -
+                                       before.exact_hits),
+                static_cast<long long>(after.nearest_hits -
+                                       before.nearest_hits),
+                static_cast<long long>(after.negative_hits -
+                                       before.negative_hits),
+                static_cast<long long>(after.misses -
+                                       before.misses),
+                static_cast<long long>(after.fallback_transferred -
+                                       before.fallback_transferred));
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "micro_serve: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"micro_serve\",\n"
+                 "  \"entries\": %zu,\n  \"lookups\": %lld,\n"
+                 "  \"hardware_concurrency\": %u,\n",
+                 registry.size(),
+                 static_cast<long long>(lookups),
+                 std::thread::hardware_concurrency());
+    std::fprintf(out,
+                 "  \"exact_single\": {\"lookups_per_sec\": %.1f, "
+                 "\"p50_us\": %.3f, \"p95_us\": %.3f},\n",
+                 single.lookups_per_sec, single.p50_us,
+                 single.p95_us);
+    std::fprintf(out, "  \"exact_parallel\": [");
+    for (size_t i = 0; i < parallel.size(); ++i)
+        std::fprintf(out,
+                     "{\"threads\": %d, \"lookups_per_sec\": "
+                     "%.1f}%s",
+                     parallel[i].threads,
+                     parallel[i].lookups_per_sec,
+                     i + 1 < parallel.size() ? ", " : "");
+    std::fprintf(out, "],\n");
+    std::fprintf(
+        out,
+        "  \"mixed\": {\"lookups\": %lld, \"tiers\": "
+        "{\"exact\": %lld, \"nearest\": %lld, \"negative\": %lld, "
+        "\"miss\": %lld}, \"transferred\": %lld},\n",
+        static_cast<long long>(mixed),
+        static_cast<long long>(after.exact_hits - before.exact_hits),
+        static_cast<long long>(after.nearest_hits -
+                               before.nearest_hits),
+        static_cast<long long>(after.negative_hits -
+                               before.negative_hits),
+        static_cast<long long>(after.misses - before.misses),
+        static_cast<long long>(after.fallback_transferred -
+                               before.fallback_transferred));
+    std::fprintf(out, "  \"misserved\": %s\n}\n",
+                 misserved.load() ? "true" : "false");
+    std::fclose(out);
+    std::printf("Wrote %s\n", out_path.c_str());
+    return misserved.load() ? 2 : 0;
+}

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * heron_serve: the kernel-library server.
+ *
+ * Loads a tuned-schedule store for one DLA and answers workload
+ * lookups over a newline-delimited JSON protocol on stdin/stdout
+ * (see serve/protocol.h), so it can be scripted from a shell
+ * pipeline or driven by a test harness:
+ *
+ *   printf '%s\n' \
+ *     '{"id":1,"op":"gemm","shape":[512,512,512]}' \
+ *     '{"id":2,"cmd":"stats"}' \
+ *   | heron_serve --dla v100 --store tuned.jsonl
+ *
+ * Lookups answer in three tiers: exact (the shape is in the store),
+ * nearest (a close shape whose schedule still binds against the
+ * query's constraint space), and miss. With --tune-on-miss, missed
+ * workloads are tuned by a background worker and hot-swapped into
+ * the registry, so repeated traffic converges to exact hits; the
+ * store is re-persisted (atomically) after every completed tune.
+ *
+ * Usage:
+ *   heron_serve --dla <v100|t4|a100|dlboost|vta>
+ *               [--store FILE] [--tune-on-miss] [--trials N]
+ *               [--seed S] [--queue-capacity N] [--shards N]
+ *               [--no-fallback] [--max-distance D]
+ *               [--negative-threshold N] [--measure-workers N]
+ *               [--metrics FILE] [--trace FILE]
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/protocol.h"
+#include "support/json_util.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+using namespace heron;
+
+namespace {
+
+struct CliArgs {
+    std::string dla = "v100";
+    std::string store_path;
+    std::string metrics_path;
+    std::string trace_path;
+    bool tune_on_miss = false;
+    bool fallback = true;
+    int trials = 60;
+    uint64_t seed = 1;
+    int queue_capacity = 64;
+    int shards = 8;
+    int measure_workers = 1;
+    int negative_threshold = 3;
+    double max_distance = 6.0;
+};
+
+enum ExitCode {
+    kExitSuccess = 0,
+    /** Bad command line. */
+    kExitUsage = 2,
+};
+
+void
+print_usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: heron_serve --dla <v100|t4|a100|dlboost|vta>\n"
+        "                   [--store FILE] [--tune-on-miss]\n"
+        "                   [--trials N] [--seed S]\n"
+        "                   [--queue-capacity N] [--shards N]\n"
+        "                   [--no-fallback] [--max-distance D]\n"
+        "                   [--negative-threshold N]\n"
+        "                   [--measure-workers N]\n"
+        "                   [--metrics FILE] [--trace FILE]\n"
+        "\n"
+        "Reads one JSON request per stdin line, writes one JSON\n"
+        "response per stdout line; EOF or {\"cmd\":\"quit\"} stops\n"
+        "the server (persisting the store when --store is set).\n"
+        "Requests:\n"
+        "  {\"id\":1,\"op\":\"gemm\",\"shape\":[512,512,512]}\n"
+        "  {\"id\":2,\"cmd\":\"stats\"|\"drain\"|\"save\"|"
+        "\"quit\"}\n");
+}
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "heron_serve: %s\n", msg);
+    print_usage(stderr);
+    std::exit(kExitUsage);
+}
+
+CliArgs
+parse(int argc, char **argv)
+{
+    CliArgs args;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) {
+            if (i + 1 >= argc)
+                usage(
+                    (std::string(flag) + " needs a value").c_str());
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--dla")) {
+            args.dla = need("--dla");
+        } else if (!std::strcmp(argv[i], "--store")) {
+            args.store_path = need("--store");
+        } else if (!std::strcmp(argv[i], "--metrics")) {
+            args.metrics_path = need("--metrics");
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            args.trace_path = need("--trace");
+        } else if (!std::strcmp(argv[i], "--tune-on-miss")) {
+            args.tune_on_miss = true;
+        } else if (!std::strcmp(argv[i], "--no-fallback")) {
+            args.fallback = false;
+        } else if (!std::strcmp(argv[i], "--trials")) {
+            args.trials = std::atoi(need("--trials"));
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            args.seed =
+                static_cast<uint64_t>(std::atoll(need("--seed")));
+        } else if (!std::strcmp(argv[i], "--queue-capacity")) {
+            args.queue_capacity =
+                std::atoi(need("--queue-capacity"));
+        } else if (!std::strcmp(argv[i], "--shards")) {
+            args.shards = std::atoi(need("--shards"));
+        } else if (!std::strcmp(argv[i], "--measure-workers")) {
+            args.measure_workers =
+                std::atoi(need("--measure-workers"));
+        } else if (!std::strcmp(argv[i], "--negative-threshold")) {
+            args.negative_threshold =
+                std::atoi(need("--negative-threshold"));
+        } else if (!std::strcmp(argv[i], "--max-distance")) {
+            args.max_distance = std::atof(need("--max-distance"));
+        } else if (!std::strcmp(argv[i], "--help") ||
+                   !std::strcmp(argv[i], "-h")) {
+            print_usage(stdout);
+            std::exit(kExitSuccess);
+        } else {
+            usage(
+                (std::string("unknown flag ") + argv[i]).c_str());
+        }
+    }
+    return args;
+}
+
+hw::DlaSpec
+spec_for(const std::string &name)
+{
+    if (name == "v100")
+        return hw::DlaSpec::v100();
+    if (name == "t4")
+        return hw::DlaSpec::t4();
+    if (name == "a100")
+        return hw::DlaSpec::a100();
+    if (name == "dlboost")
+        return hw::DlaSpec::dlboost();
+    if (name == "vta")
+        return hw::DlaSpec::vta();
+    usage("unknown --dla");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args = parse(argc, argv);
+    hw::DlaSpec spec = spec_for(args.dla);
+    if (!args.trace_path.empty())
+        trace::Tracer::global().set_enabled(true);
+
+    serve::RegistryConfig registry_config;
+    registry_config.shards = args.shards;
+    registry_config.enable_fallback = args.fallback;
+    registry_config.max_fallback_distance = args.max_distance;
+    registry_config.negative_threshold = args.negative_threshold;
+    serve::KernelRegistry registry(spec, registry_config);
+
+    if (!args.store_path.empty()) {
+        serve::StoreLoadStats load_stats;
+        registry.load_store_file(args.store_path, &load_stats);
+        std::fprintf(stderr,
+                     "heron_serve: %s on %s: loaded %lld record(s) "
+                     "from %s (%lld skipped)\n",
+                     args.tune_on_miss ? "serving+tuning"
+                                       : "serving",
+                     spec.name.c_str(),
+                     static_cast<long long>(load_stats.loaded),
+                     args.store_path.c_str(),
+                     static_cast<long long>(
+                         load_stats.unparsable +
+                         load_stats.foreign_dla +
+                         load_stats.invalid +
+                         load_stats.read.malformed +
+                         load_stats.read.crc_mismatches +
+                         load_stats.read.version_skipped));
+    }
+
+    serve::TuneQueueConfig queue_config;
+    queue_config.capacity =
+        static_cast<size_t>(std::max(1, args.queue_capacity));
+    queue_config.tune.trials = args.trials;
+    queue_config.tune.seed = args.seed;
+    queue_config.tune.measure_workers = args.measure_workers;
+    queue_config.store_path = args.store_path;
+    serve::TuneQueue queue(registry, queue_config);
+    if (args.tune_on_miss) {
+        queue.start();
+        registry.set_miss_handler(
+            [&queue](const ops::Workload &workload,
+                     const serve::WorkloadKey &) {
+                return queue.enqueue(workload) ==
+                       serve::EnqueueOutcome::kAccepted;
+            });
+    }
+
+    std::string line;
+    bool quit = false;
+    while (!quit && std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        std::string error;
+        auto request = serve::parse_request(line, spec, &error);
+        if (!request) {
+            int64_t id = 0;
+            if (auto token = json_extract(line, "id"))
+                id = std::atoll(token->c_str());
+            std::printf(
+                "%s\n",
+                serve::format_error_response(id, error).c_str());
+            std::fflush(stdout);
+            continue;
+        }
+        std::string response;
+        switch (request->kind) {
+          case serve::Request::Kind::kLookup:
+            response = serve::format_lookup_response(
+                request->id, registry.lookup(request->workload));
+            break;
+          case serve::Request::Kind::kStats:
+            response = serve::format_stats_response(
+                request->id, registry,
+                args.tune_on_miss ? &queue : nullptr);
+            break;
+          case serve::Request::Kind::kDrain:
+            queue.drain();
+            response = serve::format_ack_response(request->id,
+                                                  "drained", true);
+            break;
+          case serve::Request::Kind::kSave:
+            response = serve::format_ack_response(
+                request->id, "saved",
+                !args.store_path.empty() &&
+                    registry.save_store_file(args.store_path));
+            break;
+          case serve::Request::Kind::kQuit:
+            response = serve::format_ack_response(request->id,
+                                                  "quitting", true);
+            quit = true;
+            break;
+        }
+        std::printf("%s\n", response.c_str());
+        std::fflush(stdout);
+    }
+
+    queue.stop();
+    if (!args.store_path.empty() &&
+        !registry.save_store_file(args.store_path))
+        std::fprintf(stderr,
+                     "heron_serve: cannot persist store to %s\n",
+                     args.store_path.c_str());
+    if (!args.metrics_path.empty() &&
+        !metrics::Registry::global().write_json(args.metrics_path))
+        std::fprintf(stderr,
+                     "heron_serve: cannot write metrics to %s\n",
+                     args.metrics_path.c_str());
+    if (!args.trace_path.empty() &&
+        !trace::Tracer::global().write_chrome_trace(
+            args.trace_path))
+        std::fprintf(stderr,
+                     "heron_serve: cannot write trace to %s\n",
+                     args.trace_path.c_str());
+
+    serve::RegistryStats stats = registry.stats();
+    std::fprintf(stderr,
+                 "heron_serve: served %lld exact, %lld nearest, "
+                 "%lld negative, %lld miss; %zu record(s) indexed\n",
+                 static_cast<long long>(stats.exact_hits),
+                 static_cast<long long>(stats.nearest_hits),
+                 static_cast<long long>(stats.negative_hits),
+                 static_cast<long long>(stats.misses),
+                 registry.size());
+    return kExitSuccess;
+}

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: plain build + tests, then the same suite
 # under AddressSanitizer + UndefinedBehaviorSanitizer, then the
-# measurement-pool and CSP sampling tests under ThreadSanitizer.
-# Each non-tsan preset also smoke-tests the observability path: a
-# tiny heron_tune run with --trace/--metrics whose outputs must
-# parse as JSON. The plain preset additionally runs the CSP solver
-# throughput bench, which writes BENCH_csp_solver.json and asserts
-# SampleBatch worker-count determinism.
+# measurement-pool, CSP sampling, and serving tests under
+# ThreadSanitizer. Each non-tsan preset also smoke-tests the
+# observability path (a tiny heron_tune run with --trace/--metrics
+# whose outputs must parse as JSON) and the serving loop (heron_serve
+# driven over its NDJSON protocol). The plain preset additionally
+# runs the CSP solver and serving benches, which write
+# BENCH_csp_solver.json / BENCH_serve.json and assert SampleBatch
+# determinism and the 100k-lookups/sec exact-hit floor.
 #
 # Usage: scripts/verify.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -78,12 +80,86 @@ print("csp bench smoke: OK "
 EOF
 }
 
+# Serving smoke out of $1 (a preset's build dir): drive heron_serve
+# over the NDJSON protocol through a miss -> tune -> exact-hit ->
+# nearest-fallback flow, assert the tier counters, then restart on
+# the persisted store and confirm it answers exactly without
+# retuning.
+smoke_serve() {
+    local build_dir="$1"
+    echo "== serving smoke test ($build_dir) =="
+    local out="$build_dir/serve-smoke"
+    rm -rf "$out"
+    mkdir -p "$out"
+    printf '%s\n' \
+        '{"id":1,"op":"gemm","shape":[512,512,512]}' \
+        '{"id":2,"cmd":"drain"}' \
+        '{"id":3,"op":"gemm","shape":[512,512,512]}' \
+        '{"id":4,"op":"gemm","shape":[256,512,512]}' \
+        '{"id":5,"cmd":"stats"}' \
+        '{"id":6,"cmd":"quit"}' \
+        | "$build_dir/examples/heron_serve" \
+            --dla v100 --store "$out/store.jsonl" \
+            --tune-on-miss --trials 24 --seed 3 \
+            > "$out/pass1.txt" 2> "$out/pass1.err"
+    printf '%s\n' \
+        '{"id":1,"op":"gemm","shape":[512,512,512]}' \
+        '{"id":2,"cmd":"stats"}' \
+        | "$build_dir/examples/heron_serve" \
+            --dla v100 --store "$out/store.jsonl" \
+            > "$out/pass2.txt" 2> "$out/pass2.err"
+    python3 - "$out" <<'EOF'
+import json, sys, os
+out = sys.argv[1]
+p1 = [json.loads(line) for line in open(os.path.join(out, "pass1.txt"))]
+by_id = {r["id"]: r for r in p1}
+assert by_id[1]["tier"] == "miss" and by_id[1]["enqueued"], by_id[1]
+assert by_id[3]["tier"] == "exact", by_id[3]
+assert by_id[3]["assignment"], by_id[3]
+assert by_id[4]["tier"] == "nearest", by_id[4]
+assert by_id[4]["served_from"] == by_id[3]["key"], by_id[4]
+tiers = by_id[5]["tiers"]
+assert tiers["exact"] == 1 and tiers["nearest"] == 1, tiers
+assert tiers["miss"] == 1, tiers
+# The nearest hit re-enqueues its workload; depending on timing it
+# may already have tuned by the time stats is answered.
+assert by_id[5]["queue"]["completed"] >= 1, by_id[5]
+p2 = [json.loads(line) for line in open(os.path.join(out, "pass2.txt"))]
+by_id2 = {r["id"]: r for r in p2}
+assert by_id2[1]["tier"] == "exact", by_id2[1]
+assert by_id2[2]["tiers"]["miss"] == 0, by_id2[2]
+print("serving smoke: OK (miss->tune->exact, nearest fallback, "
+      "store reload)")
+EOF
+}
+
+# Serving throughput smoke out of $1: the exact-hit path must
+# sustain at least 100k lookups/sec single-threaded and never
+# misserve (the bench exits nonzero when an exact-hit query is
+# answered from another tier).
+smoke_serve_bench() {
+    local build_dir="$1"
+    echo "== serve bench smoke ($build_dir) =="
+    "$build_dir/bench/micro_serve" --quick --out BENCH_serve.json
+    python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_serve.json"))
+rate = bench["exact_single"]["lookups_per_sec"]
+assert rate >= 100000, f"exact-hit rate {rate} below 100k/sec"
+assert not bench["misserved"], bench
+assert bench["mixed"]["tiers"]["nearest"] > 0, bench["mixed"]
+print(f"serve bench smoke: OK ({rate:.0f} exact lookups/sec)")
+EOF
+}
+
 echo "== tier-1: plain build =="
 cmake --preset default
 cmake --build --preset default -j
 ctest --preset default -j
 smoke_observability build
 smoke_csp_bench build
+smoke_serve build
+smoke_serve_bench build
 
 if [[ "$run_asan" == 1 ]]; then
     echo "== tier-1: ASan+UBSan build =="
@@ -93,6 +169,7 @@ if [[ "$run_asan" == 1 ]]; then
         ASAN_OPTIONS=detect_leaks=0 \
         ctest --preset asan -j
     ASAN_OPTIONS=detect_leaks=0 smoke_observability build-asan
+    ASAN_OPTIONS=detect_leaks=0 smoke_serve build-asan
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -101,7 +178,7 @@ if [[ "$run_tsan" == 1 ]]; then
     cmake --build --preset tsan -j
     TSAN_OPTIONS=halt_on_error=1 \
         ctest --preset tsan \
-        -R 'test_measure_pool|test_csp_property' \
+        -R 'test_measure_pool|test_csp_property|test_serve' \
         --no-tests=error
 fi
 

@@ -9,6 +9,7 @@
 #define HERON_AUTOTUNE_LIBRARY_H
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "autotune/tuner.h"
@@ -36,6 +37,14 @@ struct Library {
      * The public header of the generated library: one entry point
      * per kernel plus a by-shape dispatch helper, the artifact a
      * downstream user links against.
+     *
+     * When two tuned entries share a dispatch shape (same op kind
+     * and parameters), dispatch() resolves the collision
+     * deterministically: entries are emitted in their order in
+     * `entries` and the *first* matching entry wins. LibraryBuilder
+     * never produces such duplicates (add() dedupes by canonical
+     * workload signature), but a hand-assembled Library keeps this
+     * first-entry-wins guarantee.
      */
     std::string emit_header(const std::string &library_name) const;
 
@@ -49,10 +58,15 @@ class LibraryBuilder
   public:
     LibraryBuilder(hw::DlaSpec spec, TuneConfig config);
 
-    /** Queue a workload. */
+    /**
+     * Queue a workload. Workloads that duplicate an already-queued
+     * canonical signature (same op kind, normalized shape, dtype,
+     * and DLA — the display name does not matter) are dropped with
+     * a warning instead of being tuned twice.
+     */
     void add(ops::Workload workload);
 
-    /** Number of queued workloads. */
+    /** Number of queued workloads (after dedup). */
     size_t size() const { return workloads_.size(); }
 
     /** Tune everything and package the results. */
@@ -62,6 +76,8 @@ class LibraryBuilder
     hw::DlaSpec spec_;
     TuneConfig config_;
     std::vector<ops::Workload> workloads_;
+    /** Canonical signatures of queued workloads (the dedup set). */
+    std::unordered_set<std::string> signatures_;
 };
 
 } // namespace heron::autotune

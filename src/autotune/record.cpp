@@ -23,7 +23,8 @@ TuningRecord::to_json() const
     // max_digits10 keeps the double round trip bit-exact, which
     // checkpoint/resume relies on.
     out << std::setprecision(std::numeric_limits<double>::max_digits10);
-    out << "{\"workload\":\"" << json_escape(workload) << "\","
+    out << "{\"v\":" << version << ","
+        << "\"workload\":\"" << json_escape(workload) << "\","
         << "\"dla\":\"" << json_escape(dla) << "\","
         << "\"tuner\":\"" << json_escape(tuner) << "\","
         << "\"seq\":" << seq << ","
@@ -68,6 +69,10 @@ TuningRecord::from_json(const std::string &line)
         auto fail = json_extract(line, "fail");
         record.failure = fail ? *fail : "invalid";
     }
+    // "v" was added with the serving store; records written before
+    // versioning parse as version 0 (always readable).
+    auto version = json_extract(line, "v");
+    record.version = version ? std::atoll(version->c_str()) : 0;
     // "seq"/"cat" were added for stream correlation; older records
     // keep seq 0 (unstamped) and the default category.
     if (auto seq = json_extract(line, "seq"))
@@ -190,6 +195,12 @@ read_records(const std::string &text, RecordReadStats *stats)
             ++local.malformed;
             continue;
         }
+        if (record->version > kTuningRecordVersion) {
+            // A newer build may have changed field meanings; the
+            // unknown-key tolerance above only covers additions.
+            ++local.version_skipped;
+            continue;
+        }
         if (record->seq > 0) {
             if (prev_seq > 0 && record->seq <= prev_seq)
                 ++local.seq_regressions;
@@ -208,6 +219,11 @@ read_records(const std::string &text, RecordReadStats *stats)
     if (local.recovered_truncations > 0)
         HERON_WARN << "recovered a torn journal tail (dropped one "
                       "unterminated trailing record)";
+    if (local.version_skipped > 0)
+        HERON_WARN << "skipped " << local.version_skipped
+                   << " tuning record(s) from a newer format "
+                      "version (reader understands v"
+                   << kTuningRecordVersion << ")";
     if (local.seq_regressions > 0)
         HERON_WARN << "journal sequence numbers regressed "
                    << local.seq_regressions

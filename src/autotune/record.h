@@ -17,8 +17,24 @@
 
 namespace heron::autotune {
 
+/**
+ * Newest record format this reader understands. Bump when a format
+ * change is *incompatible* (a field is redefined or re-keyed), not
+ * when fields are merely added: parsing extracts by key and ignores
+ * unknown keys, so additive evolution needs no version bump and old
+ * readers keep working. read_records skips records from a newer
+ * version (counting them in RecordReadStats::version_skipped)
+ * instead of misreading them.
+ */
+inline constexpr int64_t kTuningRecordVersion = 1;
+
 /** One persisted tuning result. */
 struct TuningRecord {
+    /**
+     * Format version stamped into the JSON ("v"). Records written
+     * before versioning parse as version 0, which is readable.
+     */
+    int64_t version = kTuningRecordVersion;
     std::string workload;
     std::string dla;
     std::string tuner;
@@ -88,6 +104,12 @@ struct RecordReadStats {
      * predecessor — the signature of a spliced or rewound journal.
      */
     int64_t seq_regressions = 0;
+    /**
+     * Well-formed records skipped because their version is newer
+     * than kTuningRecordVersion (a store written by a newer build).
+     * Not corruption: the rest of the stream stays loadable.
+     */
+    int64_t version_skipped = 0;
 
     /** True when the stream shows real corruption (not a torn tail). */
     bool corrupt() const

@@ -1,5 +1,7 @@
 #include "hw/dla_spec.h"
 
+#include "support/math_util.h"
+
 namespace heron::hw {
 
 const char *
@@ -18,6 +20,57 @@ double
 DlaSpec::peak_gmacs() const
 {
     return tensor_macs_per_cycle * num_units * clock_ghz;
+}
+
+uint64_t
+DlaSpec::config_hash() const
+{
+    uint64_t h = hash_u64(static_cast<uint64_t>(kind));
+    for (char c : name)
+        h = hash_combine(h, static_cast<uint64_t>(
+                                static_cast<unsigned char>(c)));
+    auto mix_i64 = [&](int64_t v) {
+        h = hash_combine(h, static_cast<uint64_t>(v));
+    };
+    auto mix_f64 = [&](double v) {
+        // Bit pattern, not value: a spec edit that flips -0.0/0.0 or
+        // nudges a bandwidth must change the hash.
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        h = hash_combine(h, bits);
+    };
+    auto mix_vec = [&](const std::vector<int64_t> &values) {
+        mix_i64(static_cast<int64_t>(values.size()));
+        for (int64_t v : values)
+            mix_i64(v);
+    };
+    mix_f64(clock_ghz);
+    mix_i64(num_units);
+    mix_vec(intrinsic_mnk_candidates);
+    mix_i64(intrinsic_volume);
+    mix_i64(fixed_m);
+    mix_i64(fixed_n);
+    mix_i64(fixed_k);
+    mix_f64(tensor_macs_per_cycle);
+    mix_f64(scalar_macs_per_cycle);
+    mix_f64(dram_bytes_per_cycle);
+    mix_f64(staging_bytes_per_cycle);
+    mix_i64(shared_capacity);
+    mix_i64(shared_per_unit);
+    mix_i64(fragment_capacity);
+    mix_i64(l1_capacity);
+    mix_i64(input_buffer_capacity);
+    mix_i64(weight_buffer_capacity);
+    mix_i64(acc_buffer_capacity);
+    mix_vec(vector_lengths);
+    mix_i64(max_vector_bytes);
+    mix_i64(warp_size);
+    mix_i64(max_threads_per_block);
+    mix_i64(max_warps_per_unit);
+    mix_i64(num_banks);
+    mix_f64(launch_overhead_us);
+    return h;
 }
 
 std::vector<schedule::MemScope>

@@ -92,6 +92,16 @@ struct DlaSpec {
     /** Peak tensorized throughput in GMAC/s (whole chip). */
     double peak_gmacs() const;
 
+    /**
+     * Content hash of every architectural parameter (name and
+     * display fields included). Two specs hash equal exactly when a
+     * schedule tuned for one is interchangeable with the other, so
+     * the hash keys tuned-record stores: a record served for the
+     * wrong spec revision would silently mis-tune, and the hash
+     * makes such records miss instead.
+     */
+    uint64_t config_hash() const;
+
     /** Memory scopes this DLA stages data in (multi-level rule). */
     std::vector<schedule::MemScope> cache_scopes() const;
 

@@ -1,0 +1,240 @@
+#include "serve/protocol.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "ir/tensor.h"
+#include "support/json_util.h"
+
+namespace heron::serve {
+
+namespace {
+
+/** Parse "256,256,256" (json_extract's array body) into ints. */
+std::vector<int64_t>
+parse_params(const std::string &body)
+{
+    std::vector<int64_t> params;
+    std::istringstream in(body);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+        if (token.empty())
+            continue;
+        params.push_back(std::atoll(token.c_str()));
+    }
+    return params;
+}
+
+/**
+ * Build the workload for (op, params, dtype), enforcing the same
+ * operator-specific parameter arity as heron_tune --shape. nullopt
+ * with @p error set on a bad op or arity.
+ */
+std::optional<ops::Workload>
+build_workload(const std::string &op,
+               const std::vector<int64_t> &p, ir::DataType dtype,
+               std::string *error)
+{
+    auto want = [&](size_t n, const char *fmt) {
+        if (p.size() == n)
+            return true;
+        *error = "op " + op + " needs shape " + fmt;
+        return false;
+    };
+    if (op == "gemm")
+        return want(3, "M,N,K")
+                   ? std::optional(
+                         ops::gemm(p[0], p[1], p[2], dtype))
+                   : std::nullopt;
+    if (op == "gemv")
+        return want(2, "M,K")
+                   ? std::optional(ops::gemv(p[0], p[1], dtype))
+                   : std::nullopt;
+    if (op == "bmm")
+        return want(4, "B,M,N,K")
+                   ? std::optional(
+                         ops::bmm(p[0], p[1], p[2], p[3], dtype))
+                   : std::nullopt;
+    if (op == "c1d")
+        return want(7, "N,CI,L,CO,KW,stride,pad")
+                   ? std::optional(ops::c1d(p[0], p[1], p[2], p[3],
+                                            p[4], p[5], p[6],
+                                            dtype))
+                   : std::nullopt;
+    if (op == "c2d")
+        return want(9, "N,CI,H,W,CO,R,S,stride,pad")
+                   ? std::optional(ops::c2d(p[0], p[1], p[2], p[3],
+                                            p[4], p[5], p[6], p[7],
+                                            p[8], dtype))
+                   : std::nullopt;
+    if (op == "c3d")
+        return want(11, "N,CI,D,H,W,CO,KD,R,S,stride,pad")
+                   ? std::optional(ops::c3d(p[0], p[1], p[2], p[3],
+                                            p[4], p[5], p[6], p[7],
+                                            p[8], p[9], p[10],
+                                            dtype))
+                   : std::nullopt;
+    if (op == "t2d")
+        return want(9, "N,CI,H,W,CO,R,S,stride,pad")
+                   ? std::optional(ops::t2d(p[0], p[1], p[2], p[3],
+                                            p[4], p[5], p[6], p[7],
+                                            p[8], dtype))
+                   : std::nullopt;
+    if (op == "dil")
+        return want(10, "N,CI,H,W,CO,R,S,stride,pad,dilation")
+                   ? std::optional(ops::dil(p[0], p[1], p[2], p[3],
+                                            p[4], p[5], p[6], p[7],
+                                            p[8], p[9], dtype))
+                   : std::nullopt;
+    if (op == "scan")
+        return want(2, "N,L")
+                   ? std::optional(ops::scan(p[0], p[1]))
+                   : std::nullopt;
+    *error = "unknown op '" + op + "'";
+    return std::nullopt;
+}
+
+std::optional<ir::DataType>
+parse_dtype(const std::string &name)
+{
+    for (int d = 0; d <= static_cast<int>(ir::DataType::kInt32);
+         ++d) {
+        auto candidate = static_cast<ir::DataType>(d);
+        if (name == ir::dtype_name(candidate))
+            return candidate;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Request>
+parse_request(const std::string &line, const hw::DlaSpec &spec,
+              std::string *error)
+{
+    Request request;
+    if (auto id = json_extract(line, "id"))
+        request.id = std::atoll(id->c_str());
+
+    if (auto cmd = json_extract(line, "cmd")) {
+        if (*cmd == "stats")
+            request.kind = Request::Kind::kStats;
+        else if (*cmd == "drain")
+            request.kind = Request::Kind::kDrain;
+        else if (*cmd == "save")
+            request.kind = Request::Kind::kSave;
+        else if (*cmd == "quit")
+            request.kind = Request::Kind::kQuit;
+        else {
+            *error = "unknown cmd '" + *cmd + "'";
+            return std::nullopt;
+        }
+        return request;
+    }
+
+    auto op = json_extract(line, "op");
+    auto shape = json_extract(line, "shape");
+    if (!op || !shape) {
+        *error = "lookup needs \"op\" and \"shape\"";
+        return std::nullopt;
+    }
+    ir::DataType dtype = spec.kind == hw::DlaKind::kTensorCore
+                             ? ir::DataType::kFloat16
+                             : ir::DataType::kInt8;
+    if (auto name = json_extract(line, "dtype")) {
+        auto parsed = parse_dtype(*name);
+        if (!parsed) {
+            *error = "unknown dtype '" + *name + "'";
+            return std::nullopt;
+        }
+        dtype = *parsed;
+    }
+    auto workload =
+        build_workload(*op, parse_params(*shape), dtype, error);
+    if (!workload)
+        return std::nullopt;
+    request.kind = Request::Kind::kLookup;
+    request.workload = std::move(*workload);
+    return request;
+}
+
+std::string
+format_lookup_response(int64_t id, const LookupResult &result)
+{
+    std::ostringstream out;
+    out << std::setprecision(
+        std::numeric_limits<double>::max_digits10);
+    out << "{\"id\":" << id << ",\"tier\":\""
+        << lookup_tier_name(result.tier) << "\",\"key\":\""
+        << json_escape(result.key.canonical()) << "\"";
+    if (result.record) {
+        out << ",\"latency_ms\":" << result.record->latency_ms
+            << ",\"gflops\":" << result.record->gflops
+            << ",\"tuner\":\"" << json_escape(result.record->tuner)
+            << "\",\"assignment\":[";
+        for (size_t i = 0; i < result.record->assignment.size();
+             ++i)
+            out << (i ? "," : "") << result.record->assignment[i];
+        out << "]";
+    }
+    if (result.tier == LookupTier::kNearest)
+        out << ",\"served_from\":\""
+            << json_escape(result.served_from)
+            << "\",\"distance\":" << result.distance;
+    if (result.tier == LookupTier::kMiss ||
+        result.tier == LookupTier::kNearest)
+        out << ",\"enqueued\":" << (result.enqueued ? 1 : 0);
+    out << "}";
+    return out.str();
+}
+
+std::string
+format_stats_response(int64_t id, const KernelRegistry &registry,
+                      const TuneQueue *queue)
+{
+    RegistryStats stats = registry.stats();
+    std::ostringstream out;
+    out << "{\"id\":" << id << ",\"tiers\":{\"exact\":"
+        << stats.exact_hits << ",\"nearest\":" << stats.nearest_hits
+        << ",\"negative\":" << stats.negative_hits
+        << ",\"miss\":" << stats.misses << "}"
+        << ",\"fallback_rejected\":" << stats.fallback_rejected
+        << ",\"fallback_transferred\":"
+        << stats.fallback_transferred
+        << ",\"entries\":" << registry.size()
+        << ",\"inserts\":" << stats.inserts
+        << ",\"hot_swaps\":" << stats.hot_swaps;
+    if (queue) {
+        TuneQueueStats qs = queue->stats();
+        out << ",\"queue\":{\"depth\":" << queue->depth()
+            << ",\"accepted\":" << qs.accepted
+            << ",\"deduplicated\":" << qs.deduplicated
+            << ",\"rejected_full\":" << qs.rejected_full
+            << ",\"completed\":" << qs.completed
+            << ",\"failed\":" << qs.failed << "}";
+    }
+    out << "}";
+    return out.str();
+}
+
+std::string
+format_error_response(int64_t id, const std::string &error)
+{
+    std::ostringstream out;
+    out << "{\"id\":" << id << ",\"error\":\"" << json_escape(error)
+        << "\"}";
+    return out.str();
+}
+
+std::string
+format_ack_response(int64_t id, const std::string &key, bool value)
+{
+    std::ostringstream out;
+    out << "{\"id\":" << id << ",\"" << json_escape(key)
+        << "\":" << (value ? "true" : "false") << "}";
+    return out.str();
+}
+
+} // namespace heron::serve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The newline-delimited JSON request/response protocol heron_serve
+ * speaks on stdin/stdout. One request per line, one response line
+ * per request, so the server is scriptable from a shell pipeline
+ * and deterministic to test.
+ *
+ * Lookup request:
+ *   {"id":1,"op":"gemm","shape":[512,512,512]}
+ *   {"id":2,"op":"c2d","shape":[1,16,14,14,16,3,3,1,1],
+ *    "dtype":"fp16"}
+ * "dtype" is optional and defaults by DLA kind (fp16 on TensorCore,
+ * int8 elsewhere), matching heron_tune. "shape" uses the same
+ * operator-specific parameter lists as heron_tune --shape.
+ *
+ * Control requests:
+ *   {"id":9,"cmd":"stats"}   tier counters + registry/queue sizes
+ *   {"id":9,"cmd":"drain"}   block until the tune queue is idle
+ *   {"id":9,"cmd":"save"}    persist the store now
+ *   {"id":9,"cmd":"quit"}    stop serving (EOF does the same)
+ *
+ * Responses always echo "id". Lookup hits carry tier, canonical
+ * key, latency/gflops of the served record, and its assignment;
+ * nearest-tier hits add the donor signature and shape distance;
+ * misses report whether the workload was enqueued for background
+ * tuning. Malformed requests get {"id":...,"error":"..."}.
+ */
+#ifndef HERON_SERVE_PROTOCOL_H
+#define HERON_SERVE_PROTOCOL_H
+
+#include <optional>
+#include <string>
+
+#include "serve/registry.h"
+#include "serve/tune_queue.h"
+
+namespace heron::serve {
+
+/** One parsed request line. */
+struct Request {
+    enum class Kind : uint8_t {
+        kLookup = 0,
+        kStats,
+        kDrain,
+        kSave,
+        kQuit,
+    };
+    Kind kind = Kind::kLookup;
+    /** Echoed back in the response (0 when absent). */
+    int64_t id = 0;
+    /** Lookup payload (kLookup only). */
+    ops::Workload workload;
+};
+
+/**
+ * Parse one request line against @p spec (which fixes the default
+ * dtype and validates shape arity). On failure returns nullopt and
+ * fills @p error.
+ */
+std::optional<Request> parse_request(const std::string &line,
+                                     const hw::DlaSpec &spec,
+                                     std::string *error);
+
+/** Response line (no trailing newline) for a lookup result. */
+std::string format_lookup_response(int64_t id,
+                                   const LookupResult &result);
+
+/**
+ * Response line for {"cmd":"stats"}: per-tier counters, registry
+ * size/inserts, and queue accounting.
+ */
+std::string format_stats_response(int64_t id,
+                                  const KernelRegistry &registry,
+                                  const TuneQueue *queue);
+
+/** Response line for an unparsable request. */
+std::string format_error_response(int64_t id,
+                                  const std::string &error);
+
+/** Generic {"id":N,...} acknowledgement, e.g. "drained":true. */
+std::string format_ack_response(int64_t id, const std::string &key,
+                                bool value);
+
+} // namespace heron::serve
+
+#endif // HERON_SERVE_PROTOCOL_H

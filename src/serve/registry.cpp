@@ -1,0 +1,521 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "csp/solver.h"
+#include "support/fs_util.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/metrics.h"
+#include "support/rng.h"
+#include "support/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace heron::serve {
+
+const char *
+lookup_tier_name(LookupTier tier)
+{
+    switch (tier) {
+      case LookupTier::kExact: return "exact";
+      case LookupTier::kNearest: return "nearest";
+      case LookupTier::kNegative: return "negative";
+      case LookupTier::kMiss: return "miss";
+    }
+    return "?";
+}
+
+KernelRegistry::KernelRegistry(hw::DlaSpec spec,
+                               RegistryConfig config)
+    : spec_(std::move(spec)), config_(config)
+{
+    spec_hash_ = spec_.config_hash();
+    int shards = std::max(1, config_.shards);
+    shards_.reserve(static_cast<size_t>(shards));
+    for (int i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+KernelRegistry::Shard &
+KernelRegistry::shard_for(const WorkloadKey &key)
+{
+    return *shards_[key.hash() % shards_.size()];
+}
+
+const KernelRegistry::Shard &
+KernelRegistry::shard_for(const WorkloadKey &key) const
+{
+    return *shards_[key.hash() % shards_.size()];
+}
+
+void
+KernelRegistry::set_miss_handler(MissHandler handler)
+{
+    std::lock_guard<std::mutex> lock(miss_handler_mu_);
+    miss_handler_ = std::move(handler);
+}
+
+bool
+KernelRegistry::dispatch_miss(const ops::Workload &workload,
+                              const WorkloadKey &key)
+{
+    MissHandler handler;
+    {
+        std::lock_guard<std::mutex> lock(miss_handler_mu_);
+        handler = miss_handler_;
+    }
+    return handler ? handler(workload, key) : false;
+}
+
+bool
+KernelRegistry::negative_saturated(const WorkloadKey &key) const
+{
+    if (config_.negative_threshold <= 0)
+        return false;
+    std::lock_guard<std::mutex> lock(negative_mu_);
+    auto it = negative_.find(key);
+    return it != negative_.end() &&
+           it->second >= config_.negative_threshold;
+}
+
+void
+KernelRegistry::note_miss(const WorkloadKey &key)
+{
+    if (config_.negative_threshold <= 0)
+        return;
+    std::lock_guard<std::mutex> lock(negative_mu_);
+    int &count = negative_[key];
+    if (count < config_.negative_threshold)
+        ++count;
+}
+
+void
+KernelRegistry::clear_negative(const WorkloadKey &key)
+{
+    std::lock_guard<std::mutex> lock(negative_mu_);
+    negative_.erase(key);
+}
+
+void
+KernelRegistry::mark_untunable(const WorkloadKey &key)
+{
+    if (config_.negative_threshold <= 0)
+        return;
+    std::lock_guard<std::mutex> lock(negative_mu_);
+    negative_[key] = config_.negative_threshold;
+}
+
+std::shared_ptr<const rules::GeneratedSpace>
+KernelRegistry::space_for(const ops::Workload &workload,
+                          const WorkloadKey &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(spaces_mu_);
+        auto it = spaces_.find(key);
+        if (it != spaces_.end())
+            return it->second;
+    }
+    // Generate outside the lock: generation is milliseconds and
+    // must not stall other queries' cache hits. On a race the first
+    // insert wins and the duplicate work is discarded.
+    HERON_TRACE_SCOPE("serve/generate_space");
+    rules::SpaceGenerator generator(spec_, config_.space_options);
+    auto space = std::make_shared<const rules::GeneratedSpace>(
+        generator.generate(workload));
+    std::lock_guard<std::mutex> lock(spaces_mu_);
+    return spaces_.emplace(key, std::move(space)).first->second;
+}
+
+std::optional<csp::Assignment>
+KernelRegistry::transfer_assignment(
+    const rules::GeneratedSpace &space,
+    const rules::GeneratedSpace &donor_space, const WorkloadKey &key,
+    const WorkloadKey &donor_key, const csp::Assignment &donor) const
+{
+    // The stored assignment must describe the donor's own space
+    // (generator options may have changed since it was recorded).
+    if (donor.size() != donor_space.csp.num_vars())
+        return std::nullopt;
+    HERON_TRACE_SCOPE("serve/transfer");
+
+    // Pin every query tunable to the donor's value for the
+    // *same-named* variable. Ids do not line up across shapes (the
+    // template is shape-dependent), but rule-generated names are
+    // stable. Architecture variables are left free: they encode the
+    // query's actual extents and must be re-derived by propagation,
+    // not copied from the donor's shape. Genes absent from the
+    // donor or outside the query var's initial domain are skipped.
+    std::vector<csp::Constraint> pins;
+    for (csp::VarId v : space.csp.tunable_vars()) {
+        csp::VarId dv =
+            donor_space.csp.find_var(space.csp.var(v).name);
+        if (dv < 0)
+            continue;
+        int64_t value = donor[static_cast<size_t>(dv)];
+        if (!space.csp.var(v).initial.contains(value))
+            continue;
+        csp::Constraint c;
+        c.kind = csp::ConstraintKind::kIn;
+        c.result = v;
+        c.constants = {value};
+        c.note = "serve:transfer";
+        pins.push_back(std::move(c));
+    }
+    if (pins.empty())
+        return std::nullopt;
+
+    csp::SolverConfig solver_config;
+    solver_config.deadline_ms = config_.transfer_deadline_ms;
+    csp::RandSatSolver solver(space.csp, solver_config);
+    // Deterministic per (query, donor) pair so a repeated lookup
+    // serves the same transplanted schedule.
+    Rng rng(hash_combine(key.hash(), donor_key.hash()));
+
+    // Relaxation ladder (the CGA crossover shape): pinning every
+    // transferable gene may be UNSAT under the query's extents, so
+    // drop pins one at a time — but keep at least half, or the
+    // "transfer" degenerates into an unrelated random schedule.
+    const size_t min_pins = (pins.size() + 1) / 2;
+    while (true) {
+        if (auto solved = solver.solve_one(rng, pins))
+            return solved;
+        if (pins.size() <= min_pins)
+            return std::nullopt;
+        pins.erase(pins.begin() +
+                   static_cast<long>(rng.index(pins.size())));
+    }
+}
+
+std::optional<LookupResult>
+KernelRegistry::try_fallback(const ops::Workload &workload,
+                             const WorkloadKey &key)
+{
+    HERON_TRACE_SCOPE("serve/fallback");
+
+    // Collect compatible donors under shared locks, then rank and
+    // re-validate with every lock released: try_bind walks the
+    // whole template and must not hold up writers.
+    struct Candidate {
+        double distance;
+        Entry entry;
+    };
+    std::vector<Candidate> candidates;
+    for (const auto &shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard->mu);
+        for (const auto &[donor_key, entry] : shard->map) {
+            double distance = shape_distance(key, donor_key);
+            if (distance <= config_.max_fallback_distance)
+                candidates.push_back({distance, entry});
+        }
+    }
+    if (candidates.empty())
+        return std::nullopt;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.distance != b.distance)
+                      return a.distance < b.distance;
+                  // Equidistant donors tie-break on throughput,
+                  // then canonical key, so lookups are
+                  // deterministic across shard iteration orders.
+                  if (a.entry.record.gflops != b.entry.record.gflops)
+                      return a.entry.record.gflops >
+                             b.entry.record.gflops;
+                  return a.entry.key.canonical() <
+                         b.entry.key.canonical();
+              });
+    if (candidates.size() >
+        static_cast<size_t>(
+            std::max(1, config_.max_fallback_candidates)))
+        candidates.resize(static_cast<size_t>(
+            std::max(1, config_.max_fallback_candidates)));
+
+    auto space = space_for(workload, key);
+    for (const auto &candidate : candidates) {
+        std::string error;
+        auto program =
+            space->try_bind(candidate.entry.record.assignment,
+                            &error);
+        csp::Assignment serve_assignment;
+        bool transferred = false;
+        if (program) {
+            serve_assignment = candidate.entry.record.assignment;
+        } else if (config_.enable_transfer) {
+            // A raw assignment rarely survives a shape change (the
+            // architecture variables pin the donor's extents), so
+            // transplant the donor's tunable genes and let the
+            // solver complete them for this shape. The completion
+            // must still pass try_bind: the nearest tier never
+            // serves an assignment on faith.
+            const WorkloadKey &donor_key = candidate.entry.key;
+            ops::Workload donor_workload{donor_key.kind,
+                                         donor_key.canonical(),
+                                         donor_key.params,
+                                         donor_key.dtype};
+            auto donor_space =
+                space_for(donor_workload, donor_key);
+            auto completed = transfer_assignment(
+                *space, *donor_space, key, donor_key,
+                candidate.entry.record.assignment);
+            if (completed && space->try_bind(*completed, &error)) {
+                serve_assignment = std::move(*completed);
+                transferred = true;
+            }
+        }
+        if (serve_assignment.empty()) {
+            fallback_rejected_.fetch_add(
+                1, std::memory_order_relaxed);
+            HERON_COUNTER_INC("serve.fallback.rejected_bind");
+            continue;
+        }
+        if (transferred) {
+            fallback_transferred_.fetch_add(
+                1, std::memory_order_relaxed);
+            HERON_COUNTER_INC("serve.fallback.transferred");
+        }
+        LookupResult result;
+        result.tier = LookupTier::kNearest;
+        result.key = key;
+        result.record = candidate.entry.record;
+        // The donor's measured latency/GFLOP/s stay on the record
+        // as the best available estimate; the assignment is the one
+        // that actually binds for the query shape.
+        result.record->assignment = std::move(serve_assignment);
+        result.served_from = candidate.entry.key.canonical();
+        result.distance = candidate.distance;
+        return result;
+    }
+    return std::nullopt;
+}
+
+LookupResult
+KernelRegistry::lookup(const ops::Workload &workload)
+{
+#if !defined(HERON_DISABLE_TRACING)
+    // The exact-hit path stays on the order of a hash probe, so the
+    // latency histogram spends only two clock reads.
+    auto start = std::chrono::steady_clock::now();
+    auto observe = [&] {
+        double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        HERON_HISTOGRAM_OBSERVE("serve.lookup.latency_us", us);
+    };
+#else
+    auto observe = [] {};
+#endif
+    HERON_TRACE_SCOPE("serve/lookup");
+    WorkloadKey key = make_key(workload, spec_);
+
+    {
+        const Shard &shard = shard_for(key);
+        std::shared_lock<std::shared_mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            LookupResult result;
+            result.tier = LookupTier::kExact;
+            result.key = std::move(key);
+            result.record = it->second.record;
+            lock.unlock();
+            exact_hits_.fetch_add(1, std::memory_order_relaxed);
+            HERON_COUNTER_INC("serve.lookup.exact");
+            observe();
+            return result;
+        }
+    }
+
+    // Saturated negative cache: this workload has missed (or failed
+    // to tune) repeatedly — answer immediately without paying the
+    // fallback scan or re-enqueueing.
+    if (negative_saturated(key)) {
+        negative_hits_.fetch_add(1, std::memory_order_relaxed);
+        HERON_COUNTER_INC("serve.lookup.negative");
+        LookupResult result;
+        result.tier = LookupTier::kNegative;
+        result.key = std::move(key);
+        observe();
+        return result;
+    }
+
+    if (config_.enable_fallback) {
+        if (auto fallback = try_fallback(workload, key)) {
+            nearest_hits_.fetch_add(1, std::memory_order_relaxed);
+            HERON_COUNTER_INC("serve.lookup.nearest");
+            // A fallback answer is approximate; keep the background
+            // tuner converging this shape to an exact record.
+            fallback->enqueued = dispatch_miss(workload, key);
+            observe();
+            return *fallback;
+        }
+    }
+
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    HERON_COUNTER_INC("serve.lookup.miss");
+    note_miss(key);
+    LookupResult result;
+    result.tier = LookupTier::kMiss;
+    result.enqueued = dispatch_miss(workload, key);
+    result.key = std::move(key);
+    observe();
+    return result;
+}
+
+bool
+KernelRegistry::put(const ops::Workload &workload,
+                    autotune::TuningRecord record)
+{
+    WorkloadKey key = make_key(workload, spec_);
+    if (!record.valid || record.assignment.empty()) {
+        stale_inserts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    record.workload = key.canonical();
+    record.dla = spec_.name;
+    record.category = "serve";
+
+    bool serving = false;
+    bool swapped = false;
+    {
+        Shard &shard = shard_for(key);
+        std::unique_lock<std::shared_mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        if (it == shard.map.end()) {
+            shard.map.emplace(key, Entry{key, std::move(record)});
+            serving = true;
+        } else if (record.gflops > it->second.record.gflops) {
+            it->second.record = std::move(record);
+            serving = true;
+            swapped = true;
+        }
+    }
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    HERON_COUNTER_INC("serve.registry.inserts");
+    if (swapped) {
+        hot_swaps_.fetch_add(1, std::memory_order_relaxed);
+        HERON_COUNTER_INC("serve.registry.hot_swaps");
+    }
+    if (!serving)
+        stale_inserts_.fetch_add(1, std::memory_order_relaxed);
+    // Even a stale insert proves the workload tunes; stop treating
+    // it as a repeated miss.
+    clear_negative(key);
+    return serving;
+}
+
+size_t
+KernelRegistry::size() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard->mu);
+        total += shard->map.size();
+    }
+    return total;
+}
+
+RegistryStats
+KernelRegistry::stats() const
+{
+    RegistryStats stats;
+    stats.exact_hits = exact_hits_.load(std::memory_order_relaxed);
+    stats.nearest_hits =
+        nearest_hits_.load(std::memory_order_relaxed);
+    stats.negative_hits =
+        negative_hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.fallback_rejected =
+        fallback_rejected_.load(std::memory_order_relaxed);
+    stats.fallback_transferred =
+        fallback_transferred_.load(std::memory_order_relaxed);
+    stats.inserts = inserts_.load(std::memory_order_relaxed);
+    stats.hot_swaps = hot_swaps_.load(std::memory_order_relaxed);
+    stats.stale_inserts =
+        stale_inserts_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+int64_t
+KernelRegistry::load_store(const std::string &text,
+                           StoreLoadStats *stats)
+{
+    StoreLoadStats local;
+    auto records = autotune::read_records(text, &local.read);
+    for (auto &record : records) {
+        auto key = parse_canonical(record.workload);
+        if (!key) {
+            ++local.unparsable;
+            continue;
+        }
+        if (key->dla_hash != spec_hash_) {
+            ++local.foreign_dla;
+            continue;
+        }
+        if (!record.valid || record.assignment.empty()) {
+            ++local.invalid;
+            continue;
+        }
+        Shard &shard = shard_for(*key);
+        std::unique_lock<std::shared_mutex> lock(shard.mu);
+        auto it = shard.map.find(*key);
+        if (it == shard.map.end()) {
+            shard.map.emplace(*key,
+                              Entry{*key, std::move(record)});
+            ++local.loaded;
+        } else if (record.gflops > it->second.record.gflops) {
+            it->second.record = std::move(record);
+            ++local.loaded;
+        }
+    }
+    if (local.unparsable > 0) {
+        HERON_WARN << "serving store: skipped " << local.unparsable
+                   << " record(s) without a canonical signature";
+    }
+    if (local.foreign_dla > 0) {
+        HERON_WARN << "serving store: skipped " << local.foreign_dla
+                   << " record(s) tuned for a different DLA config";
+    }
+    if (stats)
+        *stats = local;
+    return local.loaded;
+}
+
+int64_t
+KernelRegistry::load_store_file(const std::string &path,
+                                StoreLoadStats *stats)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (stats)
+            *stats = {};
+        return 0;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return load_store(text.str(), stats);
+}
+
+bool
+KernelRegistry::save_store_file(const std::string &path) const
+{
+    std::vector<autotune::TuningRecord> records;
+    for (const auto &shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard->mu);
+        for (const auto &[key, entry] : shard->map)
+            records.push_back(entry.record);
+    }
+    std::sort(records.begin(), records.end(),
+              [](const autotune::TuningRecord &a,
+                 const autotune::TuningRecord &b) {
+                  return a.workload < b.workload;
+              });
+    // Re-stamp sequence numbers in sorted order so the store never
+    // trips read_records' regression detector.
+    for (size_t i = 0; i < records.size(); ++i)
+        records[i].seq = static_cast<int64_t>(i) + 1;
+    return atomic_write_file(path,
+                             autotune::write_records(records));
+}
+
+} // namespace heron::serve

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * KernelRegistry: the serving-side database of tuned schedules.
+ *
+ * An in-memory index over autotune::TuningRecords keyed by canonical
+ * WorkloadKey, sharded under reader-writer locks so concurrent
+ * lookups never serialize against each other and an insert only
+ * stalls its own shard. Lookups answer in three tiers:
+ *
+ *   exact     the query's key is in the index
+ *   nearest   a compatible key (same op/dtype/DLA) is close in
+ *             shape-distance AND yields an assignment that binds
+ *             against the query's freshly generated constraint
+ *             space (GeneratedSpace::try_bind) — either the donor's
+ *             raw assignment, or a schedule *transfer*: the donor's
+ *             tunable genes are pinned as extra IN constraints on
+ *             the query's CSP and the solver completes them into a
+ *             valid assignment for the query shape. A fallback is
+ *             never served on faith; every served assignment passes
+ *             try_bind re-validation.
+ *   miss      nothing usable; the query is handed to the registered
+ *             miss handler (normally a TuneQueue) and a saturating
+ *             negative-cache counter is bumped so a workload that
+ *             keeps missing stops paying the fallback scan
+ *
+ * The registry loads from and persists to the CRC-framed JSONL
+ * record store (category "serve", workload field = canonical
+ * signature) via atomic_write_file, so a serving store survives a
+ * crash at any instant.
+ */
+#ifndef HERON_SERVE_REGISTRY_H
+#define HERON_SERVE_REGISTRY_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "autotune/record.h"
+#include "rules/space_generator.h"
+#include "serve/workload_key.h"
+
+namespace heron::serve {
+
+/** Which tier answered a lookup. */
+enum class LookupTier : uint8_t {
+    kExact = 0,
+    kNearest,
+    /** Short-circuited by the saturated negative cache. */
+    kNegative,
+    kMiss,
+};
+
+/** Tier name ("exact", "nearest", "negative", "miss"). */
+const char *lookup_tier_name(LookupTier tier);
+
+/** Outcome of one registry lookup. */
+struct LookupResult {
+    LookupTier tier = LookupTier::kMiss;
+    /** The query's canonical key. */
+    WorkloadKey key;
+    /** Served record (exact and nearest tiers only). */
+    std::optional<autotune::TuningRecord> record;
+    /** Donor's canonical signature (nearest tier only). */
+    std::string served_from;
+    /** Shape distance to the donor (nearest tier only). */
+    double distance = 0.0;
+    /** True when the miss handler accepted the workload. */
+    bool enqueued = false;
+
+    bool hit() const
+    {
+        return tier == LookupTier::kExact ||
+               tier == LookupTier::kNearest;
+    }
+};
+
+/** Registry tuning knobs. */
+struct RegistryConfig {
+    /** Lock shards (clamped to >= 1; power of two not required). */
+    int shards = 8;
+    /** Serve nearest-workload fallbacks at all. */
+    bool enable_fallback = true;
+    /**
+     * Max shape distance (see shape_distance) a fallback donor may
+     * be from the query; beyond it a near-miss is a plain miss.
+     */
+    double max_fallback_distance = 6.0;
+    /** Donors try_bind-checked per lookup, nearest first. */
+    int max_fallback_candidates = 4;
+    /**
+     * When a donor's raw assignment fails try_bind, transplant its
+     * tunable genes into the query's CSP and solve for a valid
+     * completion (see file header). Disabling limits the nearest
+     * tier to raw-bindable donors (effectively same-shape aliases).
+     */
+    bool enable_transfer = true;
+    /**
+     * Solver deadline for one transfer attempt; past it the donor
+     * is rejected rather than stalling the lookup.
+     */
+    int64_t transfer_deadline_ms = 25;
+    /**
+     * Misses of one key before its negative-cache entry saturates
+     * and lookups short-circuit (0 disables the negative cache).
+     */
+    int negative_threshold = 3;
+    /** Space generation options for fallback re-validation. */
+    rules::Options space_options = rules::Options::heron();
+};
+
+/** Monotonic registry counters (also mirrored to support/metrics). */
+struct RegistryStats {
+    int64_t exact_hits = 0;
+    int64_t nearest_hits = 0;
+    int64_t negative_hits = 0;
+    int64_t misses = 0;
+    /** Fallback donors rejected by try_bind re-validation. */
+    int64_t fallback_rejected = 0;
+    /**
+     * Nearest-tier hits served through gene transfer (donor's raw
+     * assignment did not bind; a solver-completed one did).
+     */
+    int64_t fallback_transferred = 0;
+    /** Records accepted by put(). */
+    int64_t inserts = 0;
+    /** Inserts that replaced a slower served record (hot swap). */
+    int64_t hot_swaps = 0;
+    /** Inserts dropped for not beating the served record. */
+    int64_t stale_inserts = 0;
+};
+
+/** Accounting for KernelRegistry::load_store. */
+struct StoreLoadStats {
+    /** Records indexed. */
+    int64_t loaded = 0;
+    /** Records whose workload field is not a canonical signature. */
+    int64_t unparsable = 0;
+    /** Records for a different DLA config hash. */
+    int64_t foreign_dla = 0;
+    /** Invalid (failed-measurement) records skipped. */
+    int64_t invalid = 0;
+    /** Underlying JSONL accounting (CRC, version skips, ...). */
+    autotune::RecordReadStats read;
+};
+
+/**
+ * Sharded, reader-writer-locked tuned-schedule database for one
+ * DLA. All public methods are thread-safe.
+ */
+class KernelRegistry
+{
+  public:
+    explicit KernelRegistry(hw::DlaSpec spec,
+                            RegistryConfig config = {});
+
+    /**
+     * Called on a miss (and on a nearest-tier hit, so a fallback
+     * still converges to an exact record): return true when the
+     * workload was accepted for background tuning.
+     */
+    using MissHandler =
+        std::function<bool(const ops::Workload &workload,
+                           const WorkloadKey &key)>;
+
+    /** Install the miss handler (pass {} to clear). */
+    void set_miss_handler(MissHandler handler);
+
+    /** Three-tier lookup for @p workload (see file header). */
+    LookupResult lookup(const ops::Workload &workload);
+
+    /**
+     * Insert @p record as the tuned result for @p workload,
+     * hot-swapping the served record when it is faster (higher
+     * GFLOP/s) than the incumbent. Clears the key's negative-cache
+     * entry. Returns true when the record is now the served one.
+     * Invalid or assignment-less records are rejected.
+     */
+    bool put(const ops::Workload &workload,
+             autotune::TuningRecord record);
+
+    /**
+     * Saturate @p key's negative-cache entry immediately (used when
+     * a background tune concludes the workload cannot be tuned, so
+     * further lookups stop re-enqueueing it).
+     */
+    void mark_untunable(const WorkloadKey &key);
+
+    /** Indexed records across all shards. */
+    size_t size() const;
+
+    /** Snapshot of the registry counters. */
+    RegistryStats stats() const;
+
+    /**
+     * Merge a CRC-framed JSONL store into the index (keeping the
+     * faster record on key collisions). Unparsable, foreign-DLA,
+     * and invalid records are skipped and counted. Returns the
+     * number of records indexed.
+     */
+    int64_t load_store(const std::string &text,
+                       StoreLoadStats *stats = nullptr);
+
+    /** load_store from a file; missing file = empty store (0). */
+    int64_t load_store_file(const std::string &path,
+                            StoreLoadStats *stats = nullptr);
+
+    /**
+     * Persist every served record, sorted by canonical signature
+     * for run-to-run determinism, via atomic_write_file. False on
+     * I/O failure.
+     */
+    bool save_store_file(const std::string &path) const;
+
+    /** The accelerator this registry serves. */
+    const hw::DlaSpec &spec() const { return spec_; }
+
+  private:
+    struct Entry {
+        WorkloadKey key;
+        autotune::TuningRecord record;
+    };
+
+    struct Shard {
+        mutable std::shared_mutex mu;
+        std::unordered_map<WorkloadKey, Entry, WorkloadKeyHash> map;
+    };
+
+    hw::DlaSpec spec_;
+    uint64_t spec_hash_ = 0;
+    RegistryConfig config_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Saturating per-key miss counters (the negative cache). */
+    mutable std::mutex negative_mu_;
+    std::unordered_map<WorkloadKey, int, WorkloadKeyHash> negative_;
+
+    /**
+     * Generated-space cache for fallback re-validation: generating
+     * a space is milliseconds while a lookup is microseconds, so
+     * each query shape pays generation once.
+     */
+    mutable std::mutex spaces_mu_;
+    std::unordered_map<WorkloadKey,
+                       std::shared_ptr<const rules::GeneratedSpace>,
+                       WorkloadKeyHash>
+        spaces_;
+
+    mutable std::mutex miss_handler_mu_;
+    MissHandler miss_handler_;
+
+    /** Counters (relaxed atomics; snapshot via stats()). */
+    mutable std::atomic<int64_t> exact_hits_{0};
+    mutable std::atomic<int64_t> nearest_hits_{0};
+    mutable std::atomic<int64_t> negative_hits_{0};
+    mutable std::atomic<int64_t> misses_{0};
+    mutable std::atomic<int64_t> fallback_rejected_{0};
+    mutable std::atomic<int64_t> fallback_transferred_{0};
+    std::atomic<int64_t> inserts_{0};
+    std::atomic<int64_t> hot_swaps_{0};
+    std::atomic<int64_t> stale_inserts_{0};
+
+    Shard &shard_for(const WorkloadKey &key);
+    const Shard &shard_for(const WorkloadKey &key) const;
+
+    /** True when the key's negative entry is saturated. */
+    bool negative_saturated(const WorkloadKey &key) const;
+    /** Bump the key's miss counter (saturating). */
+    void note_miss(const WorkloadKey &key);
+    /** Forget the key's miss counter (a record arrived). */
+    void clear_negative(const WorkloadKey &key);
+
+    /** Generate (or fetch cached) space for a query workload. */
+    std::shared_ptr<const rules::GeneratedSpace>
+    space_for(const ops::Workload &workload, const WorkloadKey &key);
+
+    /**
+     * Nearest-tier attempt: returns a result only when a compatible
+     * donor within distance yields a try_bind-valid assignment for
+     * the query's space (raw or transferred).
+     */
+    std::optional<LookupResult>
+    try_fallback(const ops::Workload &workload,
+                 const WorkloadKey &key);
+
+    /**
+     * Complete the donor's tunable genes into a valid assignment
+     * for the query's space. Genes are matched by variable *name*
+     * (templates are shape-dependent, so ids do not line up across
+     * shapes), then over-constraining pins are dropped — never
+     * below half of the transferable genes, past which the result
+     * would be a fresh random schedule, not a transfer.
+     * Deterministic per (query, donor) pair.
+     */
+    std::optional<csp::Assignment>
+    transfer_assignment(const rules::GeneratedSpace &space,
+                        const rules::GeneratedSpace &donor_space,
+                        const WorkloadKey &key,
+                        const WorkloadKey &donor_key,
+                        const csp::Assignment &donor) const;
+
+    /** Invoke the miss handler (false when none installed). */
+    bool dispatch_miss(const ops::Workload &workload,
+                       const WorkloadKey &key);
+};
+
+} // namespace heron::serve
+
+#endif // HERON_SERVE_REGISTRY_H

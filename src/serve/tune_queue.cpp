@@ -1,0 +1,165 @@
+#include "serve/tune_queue.h"
+
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace heron::serve {
+
+TuneQueue::TuneQueue(KernelRegistry &registry,
+                     TuneQueueConfig config)
+    : registry_(registry), config_(std::move(config))
+{
+    if (config_.capacity < 1)
+        config_.capacity = 1;
+}
+
+TuneQueue::~TuneQueue() { stop(); }
+
+void
+TuneQueue::start()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_)
+        return;
+    running_ = true;
+    worker_ = std::thread([this] { worker_loop(); });
+}
+
+void
+TuneQueue::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!running_)
+            return;
+        running_ = false;
+        queue_.clear();
+    }
+    work_cv_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+}
+
+EnqueueOutcome
+TuneQueue::enqueue(const ops::Workload &workload)
+{
+    WorkloadKey key = make_key(workload, registry_.spec());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!running_)
+            return EnqueueOutcome::kStopped;
+        if (pending_.count(key)) {
+            ++stats_.deduplicated;
+            return EnqueueOutcome::kDuplicate;
+        }
+        if (queue_.size() >= config_.capacity) {
+            ++stats_.rejected_full;
+            HERON_COUNTER_INC("serve.queue.rejected_full");
+            return EnqueueOutcome::kFull;
+        }
+        queue_.push_back(workload);
+        pending_.insert(std::move(key));
+        ++stats_.accepted;
+        HERON_COUNTER_INC("serve.queue.accepted");
+    }
+    work_cv_.notify_one();
+    return EnqueueOutcome::kAccepted;
+}
+
+void
+TuneQueue::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] {
+        return (queue_.empty() && !in_flight_) || !running_;
+    });
+}
+
+size_t
+TuneQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+TuneQueueStats
+TuneQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+TuneQueue::worker_loop()
+{
+    for (;;) {
+        ops::Workload workload;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] {
+                return !queue_.empty() || !running_;
+            });
+            if (!running_)
+                return;
+            workload = std::move(queue_.front());
+            queue_.pop_front();
+            in_flight_ = true;
+        }
+        tune_one(workload);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            in_flight_ = false;
+            pending_.erase(make_key(workload, registry_.spec()));
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+void
+TuneQueue::tune_one(const ops::Workload &workload)
+{
+    HERON_TRACE_SCOPE("serve/tune");
+    WorkloadKey key = make_key(workload, registry_.spec());
+    auto tuner =
+        autotune::make_heron_tuner(registry_.spec(), config_.tune);
+    if (!tuner->supports(workload)) {
+        registry_.mark_untunable(key);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.failed;
+        return;
+    }
+    HERON_INFO << "serve: tuning " << key.canonical() << " ("
+               << config_.tune.trials << " trials)";
+    auto outcome = tuner->tune(workload);
+    if (!outcome.result.found()) {
+        HERON_WARN << "serve: background tune of "
+                   << key.canonical() << " found no valid program ("
+                   << autotune::stop_reason_name(
+                          outcome.stop_reason)
+                   << ")";
+        registry_.mark_untunable(key);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.failed;
+        return;
+    }
+
+    autotune::TuningRecord record;
+    record.tuner = tuner->name();
+    record.latency_ms = outcome.result.best_latency_ms;
+    record.gflops = outcome.result.best_gflops;
+    record.assignment = outcome.result.best;
+    registry_.put(workload, std::move(record));
+    HERON_COUNTER_INC("serve.queue.completed");
+    if (!config_.store_path.empty() &&
+        !registry_.save_store_file(config_.store_path)) {
+        HERON_WARN << "serve: cannot persist store to "
+                   << config_.store_path;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+}
+
+} // namespace heron::serve

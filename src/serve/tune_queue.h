@@ -1,0 +1,126 @@
+/**
+ * @file
+ * TuneQueue: the on-miss background tuner of the serving layer.
+ *
+ * A bounded FIFO of missed workloads drained by a worker thread
+ * that runs the full Heron tuner (autotune::make_heron_tuner, which
+ * itself fans measurements across hw::MeasurePool workers) and
+ * hot-swaps the winner into the KernelRegistry, so a workload that
+ * missed once starts answering exact-hit lookups as soon as its
+ * tune completes. Workloads already queued or in flight are
+ * deduplicated; a full queue rejects (serving never blocks on
+ * tuning); a workload that tunes to nothing is marked untunable so
+ * the registry's negative cache stops re-enqueueing it.
+ */
+#ifndef HERON_SERVE_TUNE_QUEUE_H
+#define HERON_SERVE_TUNE_QUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "autotune/tuner.h"
+#include "serve/registry.h"
+
+namespace heron::serve {
+
+/** Queue sizing and per-workload tuning budget. */
+struct TuneQueueConfig {
+    /** Max workloads waiting (in-flight excluded; >= 1). */
+    size_t capacity = 64;
+    /** Budget for each background tune. */
+    autotune::TuneConfig tune;
+    /**
+     * Persist the registry here after every completed tune ("" =
+     * off). Written atomically, so a crash mid-tune loses at most
+     * the record being tuned.
+     */
+    std::string store_path;
+};
+
+/** Why enqueue() accepted or rejected a workload. */
+enum class EnqueueOutcome : uint8_t {
+    kAccepted = 0,
+    /** Already queued or being tuned. */
+    kDuplicate,
+    /** Queue at capacity. */
+    kFull,
+    /** Queue not running (before start() / after stop()). */
+    kStopped,
+};
+
+/** Monotonic queue counters. */
+struct TuneQueueStats {
+    int64_t accepted = 0;
+    int64_t deduplicated = 0;
+    int64_t rejected_full = 0;
+    /** Tunes that produced a record (registry insert attempted). */
+    int64_t completed = 0;
+    /** Tunes that found no valid program (marked untunable). */
+    int64_t failed = 0;
+};
+
+/** Bounded background tuning worker over one KernelRegistry. */
+class TuneQueue
+{
+  public:
+    /** @p registry must outlive the queue. */
+    TuneQueue(KernelRegistry &registry, TuneQueueConfig config = {});
+
+    /** Stops and joins the worker. */
+    ~TuneQueue();
+
+    TuneQueue(const TuneQueue &) = delete;
+    TuneQueue &operator=(const TuneQueue &) = delete;
+
+    /** Spawn the worker thread (idempotent). */
+    void start();
+
+    /**
+     * Stop accepting work, finish the in-flight tune (if any), and
+     * join. Queued-but-unstarted workloads are dropped.
+     */
+    void stop();
+
+    /** Offer a missed workload (thread-safe, non-blocking). */
+    EnqueueOutcome enqueue(const ops::Workload &workload);
+
+    /**
+     * Block until the queue is empty and the worker idle. Only for
+     * tests and scripted drivers — a serving loop never waits on
+     * tuning.
+     */
+    void drain();
+
+    /** Workloads waiting (in-flight excluded). */
+    size_t depth() const;
+
+    /** Snapshot of the queue counters. */
+    TuneQueueStats stats() const;
+
+  private:
+    KernelRegistry &registry_;
+    TuneQueueConfig config_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<ops::Workload> queue_;
+    /** Keys queued or in flight (the dedup set). */
+    std::unordered_set<WorkloadKey, WorkloadKeyHash> pending_;
+    bool running_ = false;
+    bool in_flight_ = false;
+    std::thread worker_;
+    TuneQueueStats stats_;
+
+    void worker_loop();
+    /** Tune one workload and publish the result. */
+    void tune_one(const ops::Workload &workload);
+};
+
+} // namespace heron::serve
+
+#endif // HERON_SERVE_TUNE_QUEUE_H

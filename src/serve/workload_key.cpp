@@ -1,0 +1,161 @@
+#include "serve/workload_key.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "ir/tensor.h"
+#include "support/math_util.h"
+
+namespace heron::serve {
+
+namespace {
+
+/**
+ * Normalize (kind, params) to the canonical representative of the
+ * equivalence class: kDil and kC2d share one parameter layout and
+ * build identical DAGs, so every dilated convolution is keyed as
+ * kC2d and the dilation rides in the parameter vector.
+ */
+ops::OpKind
+normalize_kind(ops::OpKind kind)
+{
+    return kind == ops::OpKind::kDil ? ops::OpKind::kC2d : kind;
+}
+
+} // namespace
+
+std::string
+WorkloadKey::canonical() const
+{
+    std::ostringstream out;
+    out << ops::op_kind_name(kind) << "/";
+    for (size_t i = 0; i < params.size(); ++i)
+        out << (i ? "x" : "") << params[i];
+    out << "/" << ir::dtype_name(dtype) << "@" << std::hex
+        << std::setw(16) << std::setfill('0') << dla_hash;
+    return out.str();
+}
+
+uint64_t
+WorkloadKey::hash() const
+{
+    uint64_t h = hash_u64(static_cast<uint64_t>(kind));
+    h = hash_combine(h, static_cast<uint64_t>(dtype));
+    h = hash_combine(h, dla_hash);
+    for (int64_t p : params)
+        h = hash_combine(h, static_cast<uint64_t>(p));
+    return h;
+}
+
+WorkloadKey
+make_key(const ops::Workload &workload, const hw::DlaSpec &spec)
+{
+    WorkloadKey key;
+    key.kind = normalize_kind(workload.kind);
+    key.params = workload.params;
+    key.dtype = workload.dtype;
+    key.dla_hash = spec.config_hash();
+    return key;
+}
+
+std::string
+canonical_signature(const ops::Workload &workload,
+                    const hw::DlaSpec &spec)
+{
+    return make_key(workload, spec).canonical();
+}
+
+std::optional<WorkloadKey>
+parse_canonical(const std::string &text)
+{
+    // KIND/p0xp1x.../dtype@0123456789abcdef
+    size_t slash1 = text.find('/');
+    size_t slash2 = text.find('/', slash1 + 1);
+    size_t at = text.find('@', slash2 + 1);
+    if (slash1 == std::string::npos ||
+        slash2 == std::string::npos || at == std::string::npos)
+        return std::nullopt;
+
+    WorkloadKey key;
+    std::string kind = text.substr(0, slash1);
+    bool found_kind = false;
+    for (int k = 0; k <= static_cast<int>(ops::OpKind::kScan);
+         ++k) {
+        auto candidate = static_cast<ops::OpKind>(k);
+        if (kind == ops::op_kind_name(candidate)) {
+            key.kind = candidate;
+            found_kind = true;
+            break;
+        }
+    }
+    if (!found_kind)
+        return std::nullopt;
+
+    std::istringstream shapes(
+        text.substr(slash1 + 1, slash2 - slash1 - 1));
+    std::string token;
+    while (std::getline(shapes, token, 'x')) {
+        if (token.empty() ||
+            token.find_first_not_of("0123456789-") !=
+                std::string::npos)
+            return std::nullopt;
+        key.params.push_back(std::atoll(token.c_str()));
+    }
+    if (key.params.empty())
+        return std::nullopt;
+
+    std::string dtype = text.substr(slash2 + 1, at - slash2 - 1);
+    bool found_dtype = false;
+    for (int d = 0; d <= static_cast<int>(ir::DataType::kInt32);
+         ++d) {
+        auto candidate = static_cast<ir::DataType>(d);
+        if (dtype == ir::dtype_name(candidate)) {
+            key.dtype = candidate;
+            found_dtype = true;
+            break;
+        }
+    }
+    if (!found_dtype)
+        return std::nullopt;
+
+    std::string hex = text.substr(at + 1);
+    if (hex.size() != 16)
+        return std::nullopt;
+    uint64_t hash = 0;
+    for (char c : hex) {
+        uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<uint64_t>(c - 'a') + 10;
+        else
+            return std::nullopt;
+        hash = hash << 4 | digit;
+    }
+    key.dla_hash = hash;
+    return key;
+}
+
+double
+shape_distance(const WorkloadKey &a, const WorkloadKey &b)
+{
+    if (!a.compatible(b))
+        return std::numeric_limits<double>::infinity();
+    double distance = 0.0;
+    for (size_t i = 0; i < a.params.size(); ++i) {
+        double pa = static_cast<double>(a.params[i]);
+        double pb = static_cast<double>(b.params[i]);
+        if (pa <= 0 || pb <= 0) {
+            if (pa != pb)
+                return std::numeric_limits<double>::infinity();
+            continue;
+        }
+        distance += std::fabs(std::log2(pa / pb));
+    }
+    return distance;
+}
+
+} // namespace heron::serve

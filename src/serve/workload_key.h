@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Canonical workload signatures for the serving layer.
+ *
+ * A WorkloadKey identifies "the kernel you would want" for a
+ * request: operator kind + normalized shape parameters + dtype +
+ * the target DLA's config hash. Two workloads with the same key are
+ * interchangeable — same compute DAG, same constraint space, same
+ * hardware — so one tuned record serves both. Notably the
+ * user-chosen workload *name* is excluded (GEMM-512x512x512 and
+ * my_gemm with the same shape share a key), and kDil with
+ * dilation 1 folds into kC2d (they build identical DAGs).
+ */
+#ifndef HERON_SERVE_WORKLOAD_KEY_H
+#define HERON_SERVE_WORKLOAD_KEY_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/dla_spec.h"
+#include "ops/op_library.h"
+
+namespace heron::serve {
+
+/** Canonical identity of one servable kernel. */
+struct WorkloadKey {
+    ops::OpKind kind = ops::OpKind::kGemm;
+    std::vector<int64_t> params;
+    ir::DataType dtype = ir::DataType::kFloat16;
+    /** hw::DlaSpec::config_hash() of the target accelerator. */
+    uint64_t dla_hash = 0;
+
+    /**
+     * Canonical string form, e.g.
+     * "GEMM/512x512x512/float16@a1b2c3d4e5f60718". Stable across
+     * sessions and field orderings; used for logging, store keys,
+     * and LibraryBuilder dedup.
+     */
+    std::string canonical() const;
+
+    /** Content hash (for the registry's hash maps and sharding). */
+    uint64_t hash() const;
+
+    bool operator==(const WorkloadKey &other) const
+    {
+        return kind == other.kind && dtype == other.dtype &&
+               dla_hash == other.dla_hash && params == other.params;
+    }
+
+    bool operator!=(const WorkloadKey &other) const
+    {
+        return !(*this == other);
+    }
+
+    /**
+     * True when @p other could stand in for this key: same operator
+     * family, dtype, and DLA — only the shape differs. The
+     * nearest-workload fallback only considers compatible keys.
+     */
+    bool compatible(const WorkloadKey &other) const
+    {
+        return kind == other.kind && dtype == other.dtype &&
+               dla_hash == other.dla_hash &&
+               params.size() == other.params.size();
+    }
+};
+
+/** std::unordered_map hasher. */
+struct WorkloadKeyHash {
+    size_t operator()(const WorkloadKey &key) const
+    {
+        return static_cast<size_t>(key.hash());
+    }
+};
+
+/** Build the canonical key of @p workload on @p spec. */
+WorkloadKey make_key(const ops::Workload &workload,
+                     const hw::DlaSpec &spec);
+
+/**
+ * Canonical signature string of @p workload on @p spec
+ * (make_key(...).canonical()). The dedup identity used by
+ * autotune::LibraryBuilder and the serving store.
+ */
+std::string canonical_signature(const ops::Workload &workload,
+                                const hw::DlaSpec &spec);
+
+/**
+ * Parse a canonical() string back into a key. This is how the
+ * serving store rehydrates: persisted records carry the canonical
+ * signature in their workload field. nullopt on anything that is
+ * not a well-formed signature (e.g. a record written by heron_tune
+ * --log, whose workload field is the display name).
+ */
+std::optional<WorkloadKey> parse_canonical(const std::string &text);
+
+/**
+ * Shape distance between two *compatible* keys: the sum over
+ * parameters of |log2(a_i / b_i)|, so a 2x difference in one
+ * dimension costs 1 regardless of the dimension's magnitude
+ * (the log-space metric Ansor-style transfer uses). Returns +inf
+ * for incompatible keys, 0 for equal shapes.
+ */
+double shape_distance(const WorkloadKey &a, const WorkloadKey &b);
+
+} // namespace heron::serve
+
+#endif // HERON_SERVE_WORKLOAD_KEY_H
