@@ -45,6 +45,15 @@ struct LookupSeries {
     double lookups_per_sec = 0.0;
     double p50_us = 0.0;
     double p95_us = 0.0;
+    /** Aggregate throughput over the single-thread baseline. */
+    double speedup = 0.0;
+    /**
+     * speedup / threads: 1.0 is perfect scaling; well under 1.0
+     * means the threads contended (or the box has fewer cores than
+     * the series has threads — see hardware_concurrency in the
+     * artifact before reading anything into these numbers).
+     */
+    double effective_parallelism = 0.0;
 };
 
 /** Timed exact-hit loop over @p workloads on one thread. */
@@ -164,12 +173,23 @@ main(int argc, char **argv)
                 single.lookups_per_sec, single.p50_us,
                 single.p95_us);
 
+    unsigned cores = std::thread::hardware_concurrency();
     std::vector<LookupSeries> parallel;
     for (int threads : {2, 4}) {
         auto series = run_exact_parallel(registry, present, lookups,
                                          threads, &misserved);
-        std::printf("exact x%-3d %9.0f lookups/sec\n", threads,
-                    series.lookups_per_sec);
+        if (single.lookups_per_sec > 0.0)
+            series.speedup =
+                series.lookups_per_sec / single.lookups_per_sec;
+        series.effective_parallelism = series.speedup / threads;
+        std::printf("exact x%-3d %9.0f lookups/sec  speedup "
+                    "%.2fx  eff. parallelism %.2f%s\n",
+                    threads, series.lookups_per_sec, series.speedup,
+                    series.effective_parallelism,
+                    cores < static_cast<unsigned>(threads)
+                        ? "  (oversubscribed: fewer cores than "
+                          "threads)"
+                        : "");
         parallel.push_back(series);
     }
 
@@ -226,9 +246,12 @@ main(int argc, char **argv)
     for (size_t i = 0; i < parallel.size(); ++i)
         std::fprintf(out,
                      "{\"threads\": %d, \"lookups_per_sec\": "
-                     "%.1f}%s",
+                     "%.1f, \"speedup\": %.3f, "
+                     "\"effective_parallelism\": %.3f}%s",
                      parallel[i].threads,
                      parallel[i].lookups_per_sec,
+                     parallel[i].speedup,
+                     parallel[i].effective_parallelism,
                      i + 1 < parallel.size() ? ", " : "");
     std::fprintf(out, "],\n");
     std::fprintf(

@@ -3,14 +3,24 @@
  * heron_serve: the kernel-library server.
  *
  * Loads a tuned-schedule store for one DLA and answers workload
- * lookups over a newline-delimited JSON protocol on stdin/stdout
- * (see serve/protocol.h), so it can be scripted from a shell
- * pipeline or driven by a test harness:
+ * lookups over a newline-delimited JSON protocol (see
+ * serve/protocol.h). By default it fronts a TCP server
+ * (serve/server.h) with admission control, per-request deadlines,
+ * slow-client defenses, and SIGTERM-triggered graceful drain:
  *
+ *   heron_serve --dla v100 --store tuned.jsonl --port 7717 &
  *   printf '%s\n' \
  *     '{"id":1,"op":"gemm","shape":[512,512,512]}' \
  *     '{"id":2,"cmd":"stats"}' \
- *   | heron_serve --dla v100 --store tuned.jsonl
+ *   | nc 127.0.0.1 7717
+ *
+ * With --stdio it reads requests from stdin and answers on stdout,
+ * one process per pipeline, same protocol and the same bounded
+ * line framing (a request line over --max-line-bytes is answered
+ * with an error instead of buffered without limit):
+ *
+ *   printf '%s\n' '{"id":1,"op":"gemm","shape":[512,512,512]}' \
+ *   | heron_serve --stdio --dla v100 --store tuned.jsonl
  *
  * Lookups answer in three tiers: exact (the shape is in the store),
  * nearest (a close shape whose schedule still binds against the
@@ -21,20 +31,31 @@
  *
  * Usage:
  *   heron_serve --dla <v100|t4|a100|dlboost|vta>
+ *               [--stdio | --host H --port P [--port-file FILE]]
  *               [--store FILE] [--tune-on-miss] [--trials N]
  *               [--seed S] [--queue-capacity N] [--shards N]
  *               [--no-fallback] [--max-distance D]
  *               [--negative-threshold N] [--measure-workers N]
+ *               [--max-connections N] [--max-conns-per-ip N]
+ *               [--server-workers N] [--max-pending N]
+ *               [--max-line-bytes N] [--max-output-bytes N]
+ *               [--idle-timeout-ms D] [--drain-grace-ms D]
  *               [--metrics FILE] [--trace FILE]
  */
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
 #include <string>
 
+#include <unistd.h>
+
+#include "serve/conn.h"
 #include "serve/protocol.h"
+#include "serve/server.h"
 #include "support/json_util.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -57,12 +78,21 @@ struct CliArgs {
     int measure_workers = 1;
     int negative_threshold = 3;
     double max_distance = 6.0;
+
+    /** Transport: TCP server by default, --stdio for pipelines. */
+    bool stdio = false;
+    std::string port_file;
+    serve::ServerConfig server;
 };
 
 enum ExitCode {
     kExitSuccess = 0,
+    /** The drain hard-kill fallback fired (TCP mode). */
+    kExitHardKill = 1,
     /** Bad command line. */
     kExitUsage = 2,
+    /** The listen socket could not be bound. */
+    kExitBind = 3,
 };
 
 void
@@ -71,21 +101,37 @@ print_usage(std::FILE *to)
     std::fprintf(
         to,
         "usage: heron_serve --dla <v100|t4|a100|dlboost|vta>\n"
+        "                   [--stdio | --host H --port P\n"
+        "                    [--port-file FILE]]\n"
         "                   [--store FILE] [--tune-on-miss]\n"
         "                   [--trials N] [--seed S]\n"
         "                   [--queue-capacity N] [--shards N]\n"
         "                   [--no-fallback] [--max-distance D]\n"
         "                   [--negative-threshold N]\n"
         "                   [--measure-workers N]\n"
+        "                   [--max-connections N]\n"
+        "                   [--max-conns-per-ip N]\n"
+        "                   [--server-workers N] [--max-pending N]\n"
+        "                   [--max-line-bytes N]\n"
+        "                   [--max-output-bytes N]\n"
+        "                   [--idle-timeout-ms D]\n"
+        "                   [--drain-grace-ms D]\n"
         "                   [--metrics FILE] [--trace FILE]\n"
         "\n"
-        "Reads one JSON request per stdin line, writes one JSON\n"
+        "TCP mode (default): serves the NDJSON protocol on\n"
+        "--host:--port (port 0 picks an ephemeral port, written to\n"
+        "--port-file when set). SIGTERM/SIGINT drain gracefully:\n"
+        "in-flight requests finish, the store is persisted, and\n"
+        "the process exits 0.\n"
+        "\n"
+        "--stdio: one JSON request per stdin line, one JSON\n"
         "response per stdout line; EOF or {\"cmd\":\"quit\"} stops\n"
         "the server (persisting the store when --store is set).\n"
         "Requests:\n"
-        "  {\"id\":1,\"op\":\"gemm\",\"shape\":[512,512,512]}\n"
-        "  {\"id\":2,\"cmd\":\"stats\"|\"drain\"|\"save\"|"
-        "\"quit\"}\n");
+        "  {\"id\":1,\"op\":\"gemm\",\"shape\":[512,512,512],\n"
+        "   \"deadline_ms\":50}\n"
+        "  {\"id\":2,\"cmd\":\"stats\"|\"drain\"|\"save\"|\"quit\"|"
+        "\"shutdown\"}\n");
 }
 
 [[noreturn]] void
@@ -137,6 +183,40 @@ parse(int argc, char **argv)
                 std::atoi(need("--negative-threshold"));
         } else if (!std::strcmp(argv[i], "--max-distance")) {
             args.max_distance = std::atof(need("--max-distance"));
+        } else if (!std::strcmp(argv[i], "--stdio")) {
+            args.stdio = true;
+        } else if (!std::strcmp(argv[i], "--host")) {
+            args.server.host = need("--host");
+        } else if (!std::strcmp(argv[i], "--port")) {
+            args.server.port = static_cast<uint16_t>(
+                std::atoi(need("--port")));
+        } else if (!std::strcmp(argv[i], "--port-file")) {
+            args.port_file = need("--port-file");
+        } else if (!std::strcmp(argv[i], "--max-connections")) {
+            args.server.max_connections =
+                std::atoi(need("--max-connections"));
+        } else if (!std::strcmp(argv[i], "--max-conns-per-ip")) {
+            args.server.max_connections_per_ip =
+                std::atoi(need("--max-conns-per-ip"));
+        } else if (!std::strcmp(argv[i], "--server-workers")) {
+            args.server.workers =
+                std::atoi(need("--server-workers"));
+        } else if (!std::strcmp(argv[i], "--max-pending")) {
+            args.server.max_pending_requests = static_cast<size_t>(
+                std::max(1, std::atoi(need("--max-pending"))));
+        } else if (!std::strcmp(argv[i], "--max-line-bytes")) {
+            args.server.max_line_bytes = static_cast<size_t>(
+                std::max(1, std::atoi(need("--max-line-bytes"))));
+        } else if (!std::strcmp(argv[i], "--max-output-bytes")) {
+            args.server.max_output_bytes = static_cast<size_t>(
+                std::max(1,
+                         std::atoi(need("--max-output-bytes"))));
+        } else if (!std::strcmp(argv[i], "--idle-timeout-ms")) {
+            args.server.idle_timeout_ms =
+                std::atof(need("--idle-timeout-ms"));
+        } else if (!std::strcmp(argv[i], "--drain-grace-ms")) {
+            args.server.drain_grace_ms =
+                std::atof(need("--drain-grace-ms"));
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             print_usage(stdout);
@@ -163,6 +243,146 @@ spec_for(const std::string &name)
     if (name == "vta")
         return hw::DlaSpec::vta();
     usage("unknown --dla");
+}
+
+serve::Server *g_server = nullptr;
+
+/** SIGTERM/SIGINT: begin a graceful drain (async-signal-safe). */
+void
+on_terminate_signal(int)
+{
+    if (g_server)
+        g_server->request_drain();
+}
+
+/**
+ * --stdio: serve the protocol over stdin/stdout with the same
+ * bounded line framing as TCP connections — a request line over
+ * max_line_bytes is answered with an error once its newline
+ * arrives, never accumulated.
+ */
+int
+run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
+          serve::TuneQueue &queue)
+{
+    serve::TuneQueue *stats_queue =
+        args.tune_on_miss ? &queue : nullptr;
+    serve::LineScanner scanner(args.server.max_line_bytes);
+    bool quit = false;
+    char buf[16384];
+    while (!quit) {
+        ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+        if (n == 0)
+            break;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        scanner.feed(
+            buf, static_cast<size_t>(n),
+            [&](const std::string &line, bool overflow) {
+                if (quit)
+                    return;
+                if (overflow) {
+                    std::printf(
+                        "%s\n",
+                        serve::format_error_response(
+                            0, "request line exceeds " +
+                                   std::to_string(
+                                       args.server.max_line_bytes) +
+                                   " bytes")
+                            .c_str());
+                    std::fflush(stdout);
+                    return;
+                }
+                if (line.find_first_not_of(" \t\r") ==
+                    std::string::npos)
+                    return;
+                std::string error;
+                auto request = serve::parse_request(
+                    line, registry.spec(), &error);
+                if (!request) {
+                    int64_t id = 0;
+                    if (auto token = json_extract(line, "id"))
+                        id = std::atoll(token->c_str());
+                    std::printf("%s\n",
+                                serve::format_error_response(id,
+                                                             error)
+                                    .c_str());
+                    std::fflush(stdout);
+                    return;
+                }
+                serve::ExecutedRequest executed =
+                    serve::execute_request(
+                        *request,
+                        std::chrono::steady_clock::now(), registry,
+                        stats_queue, args.store_path);
+                std::printf("%s\n", executed.response.c_str());
+                std::fflush(stdout);
+                // quit and shutdown both end a stdio session.
+                if (executed.action != serve::RequestAction::kNone)
+                    quit = true;
+            });
+    }
+
+    queue.stop();
+    if (!args.store_path.empty() &&
+        !registry.save_store_file(args.store_path))
+        std::fprintf(stderr,
+                     "heron_serve: cannot persist store to %s\n",
+                     args.store_path.c_str());
+    return kExitSuccess;
+}
+
+/** Default mode: front the epoll TCP server until it drains. */
+int
+run_tcp(const CliArgs &args, serve::KernelRegistry &registry,
+        serve::TuneQueue &queue)
+{
+    serve::ServerConfig config = args.server;
+    config.store_path = args.store_path;
+    serve::Server server(registry, args.tune_on_miss ? &queue
+                                                     : nullptr,
+                         config);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "heron_serve: %s\n", error.c_str());
+        return kExitBind;
+    }
+    if (!args.port_file.empty()) {
+        std::FILE *f = std::fopen(args.port_file.c_str(), "w");
+        if (f) {
+            std::fprintf(f, "%u\n", server.port());
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr,
+                         "heron_serve: cannot write port file %s\n",
+                         args.port_file.c_str());
+        }
+    }
+
+    g_server = &server;
+    struct sigaction action{};
+    action.sa_handler = on_terminate_signal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
+    int rc = server.wait();
+    g_server = nullptr;
+    queue.stop();
+
+    serve::ServerStats server_stats = server.stats();
+    std::fprintf(
+        stderr,
+        "heron_serve: %s; %lld conn(s), %lld request(s), "
+        "%lld shed, %lld deadline-exceeded\n",
+        rc == 0 ? "drained gracefully" : "drain hard-killed",
+        static_cast<long long>(server_stats.accepted_conns),
+        static_cast<long long>(server_stats.requests),
+        static_cast<long long>(server_stats.shed_overloaded),
+        static_cast<long long>(server_stats.deadline_exceeded));
+    return rc == 0 ? kExitSuccess : kExitHardKill;
 }
 
 } // namespace
@@ -220,61 +440,9 @@ main(int argc, char **argv)
             });
     }
 
-    std::string line;
-    bool quit = false;
-    while (!quit && std::getline(std::cin, line)) {
-        if (line.empty())
-            continue;
-        std::string error;
-        auto request = serve::parse_request(line, spec, &error);
-        if (!request) {
-            int64_t id = 0;
-            if (auto token = json_extract(line, "id"))
-                id = std::atoll(token->c_str());
-            std::printf(
-                "%s\n",
-                serve::format_error_response(id, error).c_str());
-            std::fflush(stdout);
-            continue;
-        }
-        std::string response;
-        switch (request->kind) {
-          case serve::Request::Kind::kLookup:
-            response = serve::format_lookup_response(
-                request->id, registry.lookup(request->workload));
-            break;
-          case serve::Request::Kind::kStats:
-            response = serve::format_stats_response(
-                request->id, registry,
-                args.tune_on_miss ? &queue : nullptr);
-            break;
-          case serve::Request::Kind::kDrain:
-            queue.drain();
-            response = serve::format_ack_response(request->id,
-                                                  "drained", true);
-            break;
-          case serve::Request::Kind::kSave:
-            response = serve::format_ack_response(
-                request->id, "saved",
-                !args.store_path.empty() &&
-                    registry.save_store_file(args.store_path));
-            break;
-          case serve::Request::Kind::kQuit:
-            response = serve::format_ack_response(request->id,
-                                                  "quitting", true);
-            quit = true;
-            break;
-        }
-        std::printf("%s\n", response.c_str());
-        std::fflush(stdout);
-    }
+    int rc = args.stdio ? run_stdio(args, registry, queue)
+                        : run_tcp(args, registry, queue);
 
-    queue.stop();
-    if (!args.store_path.empty() &&
-        !registry.save_store_file(args.store_path))
-        std::fprintf(stderr,
-                     "heron_serve: cannot persist store to %s\n",
-                     args.store_path.c_str());
     if (!args.metrics_path.empty() &&
         !metrics::Registry::global().write_json(args.metrics_path))
         std::fprintf(stderr,
@@ -296,5 +464,5 @@ main(int argc, char **argv)
                  static_cast<long long>(stats.negative_hits),
                  static_cast<long long>(stats.misses),
                  registry.size());
-    return kExitSuccess;
+    return rc;
 }

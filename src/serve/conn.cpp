@@ -1,0 +1,102 @@
+#include "serve/conn.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace heron::serve {
+
+LineScanner::LineScanner(size_t max_line_bytes)
+    : max_line_bytes_(std::max<size_t>(1, max_line_bytes))
+{
+}
+
+void
+LineScanner::feed(const char *data, size_t n,
+                  const LineHandler &on_line)
+{
+    size_t pos = 0;
+    while (pos < n) {
+        const char *nl = static_cast<const char *>(
+            std::memchr(data + pos, '\n', n - pos));
+        size_t segment_end = nl ? static_cast<size_t>(nl - data) : n;
+        size_t segment = segment_end - pos;
+
+        if (!discarding_) {
+            if (buffer_.size() + segment > max_line_bytes_) {
+                // The line just blew the cap: drop what we have and
+                // stream the rest of it to nowhere. Memory use stays
+                // at most max_line_bytes_ per connection no matter
+                // how long the client withholds the newline.
+                buffer_.clear();
+                buffer_.shrink_to_fit();
+                discarding_ = true;
+            } else {
+                buffer_.append(data + pos, segment);
+            }
+        }
+
+        if (!nl)
+            return; // incomplete line; wait for more bytes
+        if (discarding_) {
+            discarding_ = false;
+            on_line(std::string(), true);
+        } else {
+            std::string line;
+            line.swap(buffer_);
+            on_line(line, false);
+        }
+        pos = segment_end + 1; // skip the newline
+    }
+}
+
+Conn::Conn(int fd, uint64_t id, std::string peer_ip,
+           size_t max_line_bytes, size_t max_output_bytes)
+    : fd_(fd), id_(id), peer_ip_(std::move(peer_ip)),
+      scanner_(max_line_bytes),
+      max_output_bytes_(std::max<size_t>(1, max_output_bytes))
+{
+}
+
+bool
+Conn::queue_line(const std::string &line)
+{
+    // +1 for the newline appended on the wire.
+    if (output_bytes_ + line.size() + 1 > max_output_bytes_)
+        return false;
+    output_.push_back(line + "\n");
+    output_bytes_ += line.size() + 1;
+    return true;
+}
+
+bool
+Conn::flush()
+{
+    while (!output_.empty()) {
+        const std::string &front = output_.front();
+        // MSG_NOSIGNAL: a client that vanished mid-write must cost
+        // us an EPIPE errno, not a process-killing SIGPIPE.
+        ssize_t wrote = ::send(fd_, front.data() + front_sent_,
+                               front.size() - front_sent_,
+                               MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true; // socket full; resume on EPOLLOUT
+            if (errno == EINTR)
+                continue;
+            return false; // EPIPE, ECONNRESET, ...
+        }
+        front_sent_ += static_cast<size_t>(wrote);
+        output_bytes_ -= static_cast<size_t>(wrote);
+        if (front_sent_ == front.size()) {
+            output_.pop_front();
+            front_sent_ = 0;
+        }
+    }
+    return true;
+}
+
+} // namespace heron::serve

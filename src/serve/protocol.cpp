@@ -127,6 +127,8 @@ parse_request(const std::string &line, const hw::DlaSpec &spec,
             request.kind = Request::Kind::kSave;
         else if (*cmd == "quit")
             request.kind = Request::Kind::kQuit;
+        else if (*cmd == "shutdown")
+            request.kind = Request::Kind::kShutdown;
         else {
             *error = "unknown cmd '" + *cmd + "'";
             return std::nullopt;
@@ -155,6 +157,14 @@ parse_request(const std::string &line, const hw::DlaSpec &spec,
         build_workload(*op, parse_params(*shape), dtype, error);
     if (!workload)
         return std::nullopt;
+    if (auto deadline = json_extract(line, "deadline_ms")) {
+        double ms = std::atof(deadline->c_str());
+        if (ms < 0.0) {
+            *error = "deadline_ms must be >= 0";
+            return std::nullopt;
+        }
+        request.deadline_ms = ms;
+    }
     request.kind = Request::Kind::kLookup;
     request.workload = std::move(*workload);
     return request;
@@ -208,11 +218,15 @@ format_stats_response(int64_t id, const KernelRegistry &registry,
         << ",\"hot_swaps\":" << stats.hot_swaps;
     if (queue) {
         TuneQueueStats qs = queue->stats();
-        out << ",\"queue\":{\"depth\":" << queue->depth()
+        TuneQueueLoad load = queue->load();
+        out << ",\"queue\":{\"depth\":" << load.depth
+            << ",\"capacity\":" << load.capacity
+            << ",\"in_flight\":" << (load.in_flight ? 1 : 0)
             << ",\"accepted\":" << qs.accepted
             << ",\"deduplicated\":" << qs.deduplicated
             << ",\"rejected_full\":" << qs.rejected_full
             << ",\"completed\":" << qs.completed
+            << ",\"untunable\":" << qs.failed
             << ",\"failed\":" << qs.failed << "}";
     }
     out << "}";

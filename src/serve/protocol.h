@@ -9,21 +9,32 @@
  *   {"id":1,"op":"gemm","shape":[512,512,512]}
  *   {"id":2,"op":"c2d","shape":[1,16,14,14,16,3,3,1,1],
  *    "dtype":"fp16"}
+ *   {"id":3,"op":"gemm","shape":[512,512,512],"deadline_ms":5}
  * "dtype" is optional and defaults by DLA kind (fp16 on TensorCore,
  * int8 elsewhere), matching heron_tune. "shape" uses the same
  * operator-specific parameter lists as heron_tune --shape.
+ * "deadline_ms" (optional, relative to request arrival) caps how
+ * long the server may spend answering: nearest-tier solver budgets
+ * shrink to the remaining time and an expired request answers
+ * {"id":...,"error":"deadline_exceeded"} instead of burning solver
+ * time (see serve/registry.h LookupOptions).
  *
  * Control requests:
- *   {"id":9,"cmd":"stats"}   tier counters + registry/queue sizes
- *   {"id":9,"cmd":"drain"}   block until the tune queue is idle
- *   {"id":9,"cmd":"save"}    persist the store now
- *   {"id":9,"cmd":"quit"}    stop serving (EOF does the same)
+ *   {"id":9,"cmd":"stats"}     tier counters + registry/queue sizes
+ *   {"id":9,"cmd":"drain"}     block until the tune queue is idle
+ *   {"id":9,"cmd":"save"}      persist the store now
+ *   {"id":9,"cmd":"quit"}      stop serving this client (EOF does
+ *                              the same; in --stdio mode this stops
+ *                              the server)
+ *   {"id":9,"cmd":"shutdown"}  gracefully drain the whole server
  *
  * Responses always echo "id". Lookup hits carry tier, canonical
  * key, latency/gflops of the served record, and its assignment;
  * nearest-tier hits add the donor signature and shape distance;
  * misses report whether the workload was enqueued for background
- * tuning. Malformed requests get {"id":...,"error":"..."}.
+ * tuning. Malformed requests get {"id":...,"error":"..."}. An
+ * overloaded server sheds load with {"id":...,"error":"overloaded"}
+ * (see serve/server.h for the admission-control rules).
  */
 #ifndef HERON_SERVE_PROTOCOL_H
 #define HERON_SERVE_PROTOCOL_H
@@ -44,12 +55,18 @@ struct Request {
         kDrain,
         kSave,
         kQuit,
+        kShutdown,
     };
     Kind kind = Kind::kLookup;
     /** Echoed back in the response (0 when absent). */
     int64_t id = 0;
     /** Lookup payload (kLookup only). */
     ops::Workload workload;
+    /**
+     * Per-request latency budget in milliseconds, relative to
+     * arrival (0 = none). Propagated into the registry lookup.
+     */
+    double deadline_ms = 0.0;
 };
 
 /**

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 
 #include "csp/solver.h"
 #include "support/fs_util.h"
@@ -133,7 +135,8 @@ std::optional<csp::Assignment>
 KernelRegistry::transfer_assignment(
     const rules::GeneratedSpace &space,
     const rules::GeneratedSpace &donor_space, const WorkloadKey &key,
-    const WorkloadKey &donor_key, const csp::Assignment &donor) const
+    const WorkloadKey &donor_key, const csp::Assignment &donor,
+    double budget_ms) const
 {
     // The stored assignment must describe the donor's own space
     // (generator options may have changed since it was recorded).
@@ -168,7 +171,13 @@ KernelRegistry::transfer_assignment(
         return std::nullopt;
 
     csp::SolverConfig solver_config;
-    solver_config.deadline_ms = config_.transfer_deadline_ms;
+    solver_config.deadline_ms =
+        static_cast<double>(config_.transfer_deadline_ms);
+    // Deadline propagation: never spend more solver time than the
+    // caller has left.
+    if (budget_ms > 0.0)
+        solver_config.deadline_ms =
+            std::min(solver_config.deadline_ms, budget_ms);
     csp::RandSatSolver solver(space.csp, solver_config);
     // Deterministic per (query, donor) pair so a repeated lookup
     // serves the same transplanted schedule.
@@ -189,9 +198,27 @@ KernelRegistry::transfer_assignment(
     }
 }
 
+namespace {
+
+/** Remaining ms until @p options's deadline (<= 0 = expired). */
+double
+remaining_ms(const LookupOptions &options)
+{
+    if (!options.deadline)
+        return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(
+               *options.deadline -
+               std::chrono::steady_clock::now())
+        .count();
+}
+
+} // namespace
+
 std::optional<LookupResult>
 KernelRegistry::try_fallback(const ops::Workload &workload,
-                             const WorkloadKey &key)
+                             const WorkloadKey &key,
+                             const LookupOptions &options,
+                             bool *deadline_expired)
 {
     HERON_TRACE_SCOPE("serve/fallback");
 
@@ -234,6 +261,15 @@ KernelRegistry::try_fallback(const ops::Workload &workload,
 
     auto space = space_for(workload, key);
     for (const auto &candidate : candidates) {
+        // Deadline propagation: each donor costs a try_bind walk
+        // and possibly a solver call; stop scanning the moment the
+        // budget is gone rather than overshooting per donor.
+        double budget = remaining_ms(options);
+        if (budget <= 0.0) {
+            *deadline_expired = true;
+            HERON_COUNTER_INC("serve.fallback.deadline_expired");
+            return std::nullopt;
+        }
         std::string error;
         auto program =
             space->try_bind(candidate.entry.record.assignment,
@@ -258,7 +294,8 @@ KernelRegistry::try_fallback(const ops::Workload &workload,
                 space_for(donor_workload, donor_key);
             auto completed = transfer_assignment(
                 *space, *donor_space, key, donor_key,
-                candidate.entry.record.assignment);
+                candidate.entry.record.assignment,
+                std::isfinite(budget) ? budget : 0.0);
             if (completed && space->try_bind(*completed, &error)) {
                 serve_assignment = std::move(*completed);
                 transferred = true;
@@ -291,7 +328,8 @@ KernelRegistry::try_fallback(const ops::Workload &workload,
 }
 
 LookupResult
-KernelRegistry::lookup(const ops::Workload &workload)
+KernelRegistry::lookup(const ops::Workload &workload,
+                       const LookupOptions &options)
 {
 #if !defined(HERON_DISABLE_TRACING)
     // The exact-hit path stays on the order of a hash probe, so the
@@ -339,8 +377,10 @@ KernelRegistry::lookup(const ops::Workload &workload)
         return result;
     }
 
-    if (config_.enable_fallback) {
-        if (auto fallback = try_fallback(workload, key)) {
+    bool deadline_expired = remaining_ms(options) <= 0.0;
+    if (config_.enable_fallback && !deadline_expired) {
+        if (auto fallback = try_fallback(workload, key, options,
+                                         &deadline_expired)) {
             nearest_hits_.fetch_add(1, std::memory_order_relaxed);
             HERON_COUNTER_INC("serve.lookup.nearest");
             // A fallback answer is approximate; keep the background
@@ -353,9 +393,16 @@ KernelRegistry::lookup(const ops::Workload &workload)
 
     misses_.fetch_add(1, std::memory_order_relaxed);
     HERON_COUNTER_INC("serve.lookup.miss");
-    note_miss(key);
+    // A deadline-shortened miss says nothing about servability:
+    // don't let it push the key toward negative-cache saturation,
+    // but do keep feeding the background tuner.
+    if (!deadline_expired)
+        note_miss(key);
+    else
+        HERON_COUNTER_INC("serve.lookup.deadline_expired");
     LookupResult result;
     result.tier = LookupTier::kMiss;
+    result.deadline_expired = deadline_expired;
     result.enqueued = dispatch_miss(workload, key);
     result.key = std::move(key);
     observe();

@@ -32,6 +32,7 @@
 #define HERON_SERVE_REGISTRY_H
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -59,6 +60,20 @@ enum class LookupTier : uint8_t {
 /** Tier name ("exact", "nearest", "negative", "miss"). */
 const char *lookup_tier_name(LookupTier tier);
 
+/**
+ * Per-lookup options. A deadline caps how long the lookup may
+ * spend: the exact tier (a hash probe) always runs, but an expired
+ * deadline skips the nearest-tier fallback scan entirely, an
+ * in-progress scan aborts between donors, and the transfer solver's
+ * budget shrinks to the remaining time. Requests that arrive
+ * already expired therefore answer in microseconds instead of
+ * burning solver milliseconds.
+ */
+struct LookupOptions {
+    /** Absolute wall-clock budget (unset = unlimited). */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
 /** Outcome of one registry lookup. */
 struct LookupResult {
     LookupTier tier = LookupTier::kMiss;
@@ -72,6 +87,13 @@ struct LookupResult {
     double distance = 0.0;
     /** True when the miss handler accepted the workload. */
     bool enqueued = false;
+    /**
+     * True when LookupOptions::deadline cut the lookup short (the
+     * fallback scan was skipped or aborted). Such a miss is not
+     * counted against the negative cache: the workload might have
+     * been servable with more time.
+     */
+    bool deadline_expired = false;
 
     bool hit() const
     {
@@ -172,7 +194,8 @@ class KernelRegistry
     void set_miss_handler(MissHandler handler);
 
     /** Three-tier lookup for @p workload (see file header). */
-    LookupResult lookup(const ops::Workload &workload);
+    LookupResult lookup(const ops::Workload &workload,
+                        const LookupOptions &options = {});
 
     /**
      * Insert @p record as the tuned result for @p workload,
@@ -282,11 +305,15 @@ class KernelRegistry
     /**
      * Nearest-tier attempt: returns a result only when a compatible
      * donor within distance yields a try_bind-valid assignment for
-     * the query's space (raw or transferred).
+     * the query's space (raw or transferred). Sets
+     * @p deadline_expired and stops early when @p options's
+     * deadline runs out between donors.
      */
     std::optional<LookupResult>
     try_fallback(const ops::Workload &workload,
-                 const WorkloadKey &key);
+                 const WorkloadKey &key,
+                 const LookupOptions &options,
+                 bool *deadline_expired);
 
     /**
      * Complete the donor's tunable genes into a valid assignment
@@ -295,14 +322,17 @@ class KernelRegistry
      * shapes), then over-constraining pins are dropped — never
      * below half of the transferable genes, past which the result
      * would be a fresh random schedule, not a transfer.
-     * Deterministic per (query, donor) pair.
+     * Deterministic per (query, donor) pair. @p budget_ms > 0 caps
+     * the solver deadline below the configured transfer deadline
+     * (deadline propagation from the serving front-end).
      */
     std::optional<csp::Assignment>
     transfer_assignment(const rules::GeneratedSpace &space,
                         const rules::GeneratedSpace &donor_space,
                         const WorkloadKey &key,
                         const WorkloadKey &donor_key,
-                        const csp::Assignment &donor) const;
+                        const csp::Assignment &donor,
+                        double budget_ms) const;
 
     /** Invoke the miss handler (false when none installed). */
     bool dispatch_miss(const ops::Workload &workload,

@@ -53,6 +53,7 @@ TuneQueue::enqueue(const ops::Workload &workload)
             return EnqueueOutcome::kStopped;
         if (pending_.count(key)) {
             ++stats_.deduplicated;
+            HERON_COUNTER_INC("serve.queue.deduplicated");
             return EnqueueOutcome::kDuplicate;
         }
         if (queue_.size() >= config_.capacity) {
@@ -64,6 +65,8 @@ TuneQueue::enqueue(const ops::Workload &workload)
         pending_.insert(std::move(key));
         ++stats_.accepted;
         HERON_COUNTER_INC("serve.queue.accepted");
+        HERON_GAUGE_SET("serve.queue.depth",
+                        static_cast<double>(queue_.size()));
     }
     work_cv_.notify_one();
     return EnqueueOutcome::kAccepted;
@@ -83,6 +86,24 @@ TuneQueue::depth() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return queue_.size();
+}
+
+bool
+TuneQueue::in_flight() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_;
+}
+
+TuneQueueLoad
+TuneQueue::load() const
+{
+    TuneQueueLoad load;
+    load.capacity = config_.capacity;
+    std::lock_guard<std::mutex> lock(mu_);
+    load.depth = queue_.size();
+    load.in_flight = in_flight_;
+    return load;
 }
 
 TuneQueueStats
@@ -107,11 +128,15 @@ TuneQueue::worker_loop()
             workload = std::move(queue_.front());
             queue_.pop_front();
             in_flight_ = true;
+            HERON_GAUGE_SET("serve.queue.depth",
+                            static_cast<double>(queue_.size()));
+            HERON_GAUGE_SET("serve.queue.in_flight", 1.0);
         }
         tune_one(workload);
         {
             std::lock_guard<std::mutex> lock(mu_);
             in_flight_ = false;
+            HERON_GAUGE_SET("serve.queue.in_flight", 0.0);
             pending_.erase(make_key(workload, registry_.spec()));
         }
         idle_cv_.notify_all();
@@ -127,6 +152,7 @@ TuneQueue::tune_one(const ops::Workload &workload)
         autotune::make_heron_tuner(registry_.spec(), config_.tune);
     if (!tuner->supports(workload)) {
         registry_.mark_untunable(key);
+        HERON_COUNTER_INC("serve.queue.untunable");
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.failed;
         return;
@@ -141,6 +167,7 @@ TuneQueue::tune_one(const ops::Workload &workload)
                           outcome.stop_reason)
                    << ")";
         registry_.mark_untunable(key);
+        HERON_COUNTER_INC("serve.queue.untunable");
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.failed;
         return;

@@ -63,6 +63,19 @@ struct TuneQueueStats {
     int64_t failed = 0;
 };
 
+/**
+ * Point-in-time queue load, for load-shedding decisions and the
+ * "stats" protocol response: how full the queue is and whether a
+ * tune is executing right now.
+ */
+struct TuneQueueLoad {
+    size_t depth = 0;
+    size_t capacity = 0;
+    bool in_flight = false;
+    /** depth == capacity (enqueue would reject). */
+    bool saturated() const { return depth >= capacity; }
+};
+
 /** Bounded background tuning worker over one KernelRegistry. */
 class TuneQueue
 {
@@ -97,6 +110,15 @@ class TuneQueue
 
     /** Workloads waiting (in-flight excluded). */
     size_t depth() const;
+
+    /** True while the worker is tuning a workload. */
+    bool in_flight() const;
+
+    /** Configured waiting-slot capacity. */
+    size_t capacity() const { return config_.capacity; }
+
+    /** Consistent depth/capacity/in-flight snapshot. */
+    TuneQueueLoad load() const;
 
     /** Snapshot of the queue counters. */
     TuneQueueStats stats() const;

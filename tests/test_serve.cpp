@@ -333,6 +333,44 @@ TEST(Registry, NearestTierTransfersAndRevalidates)
     EXPECT_GE(registry.stats().fallback_transferred, 1);
 }
 
+TEST(Registry, ExpiredDeadlineCutsFallbackNotExactTier)
+{
+    auto spec = hw::DlaSpec::v100();
+    KernelRegistry registry(spec);
+    auto donor = ops::gemm(512, 512, 512);
+    EXPECT_TRUE(
+        registry.put(donor, solved_record(spec, donor, 100.0)));
+
+    LookupOptions expired;
+    expired.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(5);
+
+    // The exact tier is a hash probe: it answers even with no
+    // budget left.
+    auto exact = registry.lookup(donor, expired);
+    EXPECT_EQ(exact.tier, LookupTier::kExact);
+
+    // The nearest tier runs the transfer solver, which an expired
+    // budget must skip...
+    auto query = ops::gemm(256, 512, 512);
+    auto cut = registry.lookup(query, expired);
+    EXPECT_EQ(cut.tier, LookupTier::kMiss);
+    EXPECT_TRUE(cut.deadline_expired);
+
+    // ...without poisoning the negative cache: an unlimited retry
+    // still transfers.
+    auto retry = registry.lookup(query);
+    EXPECT_EQ(retry.tier, LookupTier::kNearest);
+    EXPECT_FALSE(retry.deadline_expired);
+
+    // A generous budget behaves like no budget at all.
+    LookupOptions generous;
+    generous.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(60);
+    auto relaxed = registry.lookup(query, generous);
+    EXPECT_EQ(relaxed.tier, LookupTier::kNearest);
+}
+
 TEST(Registry, DistanceCapMakesFarShapesMiss)
 {
     auto spec = hw::DlaSpec::v100();
@@ -611,6 +649,39 @@ TEST(TuneQueueTest, DeduplicatesAndRejectsWhenFullOrStopped)
     EXPECT_EQ(stats.rejected_full, 1);
 }
 
+TEST(ServeConcurrency, HotSwapPutRacesDrainWithoutLoss)
+{
+    // A client thread hot-swaps records for the same workload the
+    // background tuner is completing: neither side may deadlock,
+    // and the hot-swap invariant (fastest record wins) must hold
+    // whichever insert lands last.
+    auto spec = hw::DlaSpec::v100();
+    KernelRegistry registry(spec);
+    TuneQueueConfig config;
+    config.tune = tiny_tune_config();
+    TuneQueue queue(registry, config);
+    queue.start();
+
+    auto workload = ops::gemm(256, 256, 256);
+    ASSERT_EQ(queue.enqueue(workload), EnqueueOutcome::kAccepted);
+
+    std::thread putter([&] {
+        // Implausibly fast records, so the tuner's measured insert
+        // can never legitimately replace them.
+        for (int i = 0; i < 50; ++i)
+            registry.put(workload, solved_record(spec, workload,
+                                                 1e9 + i, 13 + i));
+    });
+    queue.drain();
+    putter.join();
+
+    auto result = registry.lookup(workload);
+    EXPECT_EQ(result.tier, LookupTier::kExact);
+    ASSERT_TRUE(result.record.has_value());
+    EXPECT_GE(result.record->gflops, 1e9);
+    EXPECT_EQ(queue.stats().completed, 1);
+}
+
 // ---------------------------------------------------------------
 // Protocol
 // ---------------------------------------------------------------
@@ -635,6 +706,36 @@ TEST(Protocol, ParsesLookupAndControlRequests)
         parse_request(R"({"id":9,"cmd":"stats"})", spec, &error);
     ASSERT_TRUE(stats.has_value());
     EXPECT_EQ(stats->kind, Request::Kind::kStats);
+
+    auto shutdown = parse_request(R"({"id":2,"cmd":"shutdown"})",
+                                  spec, &error);
+    ASSERT_TRUE(shutdown.has_value());
+    EXPECT_EQ(shutdown->kind, Request::Kind::kShutdown);
+}
+
+TEST(Protocol, ParsesAndValidatesDeadline)
+{
+    auto spec = hw::DlaSpec::v100();
+    std::string error;
+    auto request = parse_request(
+        R"({"id":1,"op":"gemm","shape":[64,64,64],)"
+        R"("deadline_ms":12.5})",
+        spec, &error);
+    ASSERT_TRUE(request.has_value()) << error;
+    EXPECT_DOUBLE_EQ(request->deadline_ms, 12.5);
+
+    // Absent = unlimited.
+    auto unlimited = parse_request(
+        R"({"id":1,"op":"gemm","shape":[64,64,64]})", spec,
+        &error);
+    ASSERT_TRUE(unlimited.has_value());
+    EXPECT_EQ(unlimited->deadline_ms, 0.0);
+
+    EXPECT_FALSE(parse_request(
+        R"({"id":1,"op":"gemm","shape":[64,64,64],)"
+        R"("deadline_ms":-3})",
+        spec, &error));
+    EXPECT_NE(error.find("deadline_ms"), std::string::npos);
 }
 
 TEST(Protocol, RejectsMalformedRequests)
