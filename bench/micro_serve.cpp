@@ -3,7 +3,8 @@
  * Serving-layer throughput microbench. Populates a KernelRegistry
  * with solver-produced records, then reports exact-hit lookup
  * throughput (single- and multi-threaded), per-lookup latency
- * percentiles, and the tier breakdown of a mixed exact/near/far
+ * percentiles, the overhead of windowed request metrics on the
+ * exact-hit path, and the tier breakdown of a mixed exact/near/far
  * query stream, into a JSON artifact.
  *
  * Usage:
@@ -24,6 +25,7 @@
 #include "csp/solver.h"
 #include "ops/op_library.h"
 #include "rules/space_generator.h"
+#include "serve/observe.h"
 #include "serve/registry.h"
 #include "support/stats.h"
 
@@ -45,6 +47,12 @@ struct LookupSeries {
     double lookups_per_sec = 0.0;
     double p50_us = 0.0;
     double p95_us = 0.0;
+    /**
+     * Throughput of the fastest ~1/16th chunk of the run: a
+     * scheduler preemption poisons the chunks it lands in, not this
+     * one, so chunk-best rates compare cleanly on timeshared boxes.
+     */
+    double best_chunk_lps = 0.0;
     /** Aggregate throughput over the single-thread baseline. */
     double speedup = 0.0;
     /**
@@ -56,6 +64,13 @@ struct LookupSeries {
     double effective_parallelism = 0.0;
 };
 
+/** Chunk length for LookupSeries::best_chunk_lps. */
+int64_t
+chunk_len(int64_t n)
+{
+    return std::max<int64_t>(1, n / 16);
+}
+
 /** Timed exact-hit loop over @p workloads on one thread. */
 LookupSeries
 run_exact(serve::KernelRegistry &registry,
@@ -64,7 +79,10 @@ run_exact(serve::KernelRegistry &registry,
 {
     std::vector<double> latencies;
     latencies.reserve(static_cast<size_t>(n));
+    int64_t chunk = chunk_len(n);
+    double best_chunk = 0.0;
     auto start = Clock::now();
+    auto chunk_start = start;
     for (int64_t i = 0; i < n; ++i) {
         auto t0 = Clock::now();
         auto result = registry.lookup(
@@ -72,12 +90,74 @@ run_exact(serve::KernelRegistry &registry,
         latencies.push_back(seconds_since(t0) * 1e6);
         if (result.tier != serve::LookupTier::kExact)
             misserved->store(true);
+        if ((i + 1) % chunk == 0) {
+            auto now = Clock::now();
+            double secs =
+                std::chrono::duration<double>(now - chunk_start)
+                    .count();
+            if (secs > 0)
+                best_chunk = std::max(best_chunk, chunk / secs);
+            chunk_start = now;
+        }
     }
     double elapsed = seconds_since(start);
 
     LookupSeries series;
     series.lookups = n;
     series.lookups_per_sec = elapsed > 0 ? n / elapsed : 0.0;
+    series.best_chunk_lps = best_chunk;
+    series.p50_us = percentile(latencies, 50.0);
+    series.p95_us = percentile(latencies, 95.0);
+    return series;
+}
+
+/**
+ * run_exact with the serving layer's per-lookup windowed metrics
+ * enabled: identical loop and clock reads, plus one
+ * RequestMetrics::observe_lookup per lookup (the cost the TCP
+ * server pays with observability on). Comparing against run_exact
+ * isolates the instrumentation overhead.
+ */
+LookupSeries
+run_exact_instrumented(serve::KernelRegistry &registry,
+                       const std::vector<ops::Workload> &workloads,
+                       int64_t n, std::atomic<bool> *misserved,
+                       serve::RequestMetrics &metrics)
+{
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<size_t>(n));
+    int64_t chunk = chunk_len(n);
+    double best_chunk = 0.0;
+    auto start = Clock::now();
+    auto chunk_start = start;
+    for (int64_t i = 0; i < n; ++i) {
+        auto t0 = Clock::now();
+        auto result = registry.lookup(
+            workloads[static_cast<size_t>(i) % workloads.size()]);
+        auto t1 = Clock::now();
+        double us =
+            std::chrono::duration<double, std::micro>(t1 - t0)
+                .count();
+        latencies.push_back(us);
+        metrics.observe_lookup(us, result.tier, t1);
+        if (result.tier != serve::LookupTier::kExact)
+            misserved->store(true);
+        if ((i + 1) % chunk == 0) {
+            auto now = Clock::now();
+            double secs =
+                std::chrono::duration<double>(now - chunk_start)
+                    .count();
+            if (secs > 0)
+                best_chunk = std::max(best_chunk, chunk / secs);
+            chunk_start = now;
+        }
+    }
+    double elapsed = seconds_since(start);
+
+    LookupSeries series;
+    series.lookups = n;
+    series.lookups_per_sec = elapsed > 0 ? n / elapsed : 0.0;
+    series.best_chunk_lps = best_chunk;
     series.p50_us = percentile(latencies, 50.0);
     series.p95_us = percentile(latencies, 95.0);
     return series;
@@ -167,11 +247,45 @@ main(int argc, char **argv)
                 seconds_since(setup_start));
 
     std::atomic<bool> misserved{false};
-    auto single = run_exact(registry, present, lookups, &misserved);
+    serve::RequestMetrics request_metrics;
+    // A single back-to-back A/B pair is noisy on a timeshared box
+    // (one scheduler preemption inside either loop swings the ratio
+    // by double digits): alternate the series and compare the best
+    // pass of each — the least-preempted run is the honest
+    // throughput.
+    constexpr int kOverheadReps = 5;
+    LookupSeries single, instrumented;
+    std::vector<double> rep_overheads;
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+        auto plain = run_exact(registry, present, lookups,
+                               &misserved);
+        if (rep == 0 ||
+            plain.best_chunk_lps > single.best_chunk_lps)
+            single = plain;
+        auto inst = run_exact_instrumented(registry, present,
+                                           lookups, &misserved,
+                                           request_metrics);
+        if (rep == 0 ||
+            inst.best_chunk_lps > instrumented.best_chunk_lps)
+            instrumented = inst;
+        // Pair each rep's A/B runs (adjacent in time, so the same
+        // frequency/load state) and aggregate by median: slow
+        // drift across reps cancels per pair, and an outlier rep
+        // cannot move the median.
+        if (plain.best_chunk_lps > 0.0)
+            rep_overheads.push_back(
+                (plain.best_chunk_lps - inst.best_chunk_lps) /
+                plain.best_chunk_lps * 100.0);
+    }
     std::printf("exact x1    %9.0f lookups/sec  p50 %.2f us  "
                 "p95 %.2f us\n",
                 single.lookups_per_sec, single.p50_us,
                 single.p95_us);
+    double overhead_pct = percentile(rep_overheads, 50.0);
+    std::printf("exact x1 +m %9.0f lookups/sec  p50 %.2f us  "
+                "p95 %.2f us  (metrics overhead %.2f%%)\n",
+                instrumented.lookups_per_sec, instrumented.p50_us,
+                instrumented.p95_us, overhead_pct);
 
     unsigned cores = std::thread::hardware_concurrency();
     std::vector<LookupSeries> parallel;
@@ -242,6 +356,13 @@ main(int argc, char **argv)
                  "\"p50_us\": %.3f, \"p95_us\": %.3f},\n",
                  single.lookups_per_sec, single.p50_us,
                  single.p95_us);
+    std::fprintf(
+        out,
+        "  \"exact_instrumented\": {\"lookups_per_sec\": %.1f, "
+        "\"p50_us\": %.3f, \"p95_us\": %.3f, "
+        "\"overhead_pct\": %.3f},\n",
+        instrumented.lookups_per_sec, instrumented.p50_us,
+        instrumented.p95_us, overhead_pct);
     std::fprintf(out, "  \"exact_parallel\": [");
     for (size_t i = 0; i < parallel.size(); ++i)
         std::fprintf(out,

@@ -41,6 +41,13 @@
  *               [--max-line-bytes N] [--max-output-bytes N]
  *               [--idle-timeout-ms D] [--drain-grace-ms D]
  *               [--metrics FILE] [--trace FILE]
+ *               [--metrics-port P [--metrics-port-file FILE]]
+ *               [--access-log FILE] [--access-log-sample N]
+ *               [--slow-request-ms D]
+ *               [--slo-p95-us D] [--slo-error-rate R]
+ *               [--slo-eval-s D] [--slo-burn-evals N]
+ *               [--slo-ok-evals N]
+ *               [--window-slot-s D] [--window-slots N]
  */
 #include <algorithm>
 #include <cerrno>
@@ -49,13 +56,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include <unistd.h>
 
+#include "serve/access_log.h"
 #include "serve/conn.h"
+#include "serve/observe.h"
+#include "serve/prometheus.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/slo.h"
 #include "support/json_util.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -83,6 +95,11 @@ struct CliArgs {
     bool stdio = false;
     std::string port_file;
     serve::ServerConfig server;
+
+    /** Prometheus endpoint (--metrics-port; off unless given). */
+    bool metrics_port_set = false;
+    uint16_t metrics_port = 0;
+    std::string metrics_port_file;
 };
 
 enum ExitCode {
@@ -117,6 +134,28 @@ print_usage(std::FILE *to)
         "                   [--idle-timeout-ms D]\n"
         "                   [--drain-grace-ms D]\n"
         "                   [--metrics FILE] [--trace FILE]\n"
+        "                   [--metrics-port P\n"
+        "                    [--metrics-port-file FILE]]\n"
+        "                   [--access-log FILE]\n"
+        "                   [--access-log-sample N]\n"
+        "                   [--slow-request-ms D]\n"
+        "                   [--slo-p95-us X] [--slo-error-rate F]\n"
+        "                   [--slo-eval-s D] [--slo-burn-evals N]\n"
+        "                   [--slo-ok-evals N]\n"
+        "                   [--window-slot-s D] [--window-slots N]\n"
+        "\n"
+        "Observability: --metrics-port exposes Prometheus text\n"
+        "exposition on http://host:P/metrics (0 = ephemeral,\n"
+        "written to --metrics-port-file); {\"cmd\":\"metrics\"}\n"
+        "answers the same data as NDJSON. --access-log appends one\n"
+        "JSON line per request (errors/sheds/slow always; healthy\n"
+        "requests sampled every Nth with --access-log-sample).\n"
+        "--slo-p95-us / --slo-error-rate declare serving\n"
+        "objectives over the last-window quantiles: when they burn\n"
+        "for --slo-burn-evals consecutive evaluations the soft\n"
+        "pending-request watermark shrinks (shedding lookups\n"
+        "earlier), and it restores after --slo-ok-evals healthy\n"
+        "evaluations.\n"
         "\n"
         "TCP mode (default): serves the NDJSON protocol on\n"
         "--host:--port (port 0 picks an ephemeral port, written to\n"
@@ -217,6 +256,41 @@ parse(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--drain-grace-ms")) {
             args.server.drain_grace_ms =
                 std::atof(need("--drain-grace-ms"));
+        } else if (!std::strcmp(argv[i], "--metrics-port")) {
+            args.metrics_port_set = true;
+            args.metrics_port = static_cast<uint16_t>(
+                std::atoi(need("--metrics-port")));
+        } else if (!std::strcmp(argv[i], "--metrics-port-file")) {
+            args.metrics_port_file = need("--metrics-port-file");
+        } else if (!std::strcmp(argv[i], "--access-log")) {
+            args.server.access_log.path = need("--access-log");
+        } else if (!std::strcmp(argv[i], "--access-log-sample")) {
+            args.server.access_log.sample_every = std::max(
+                1, std::atoi(need("--access-log-sample")));
+        } else if (!std::strcmp(argv[i], "--slow-request-ms")) {
+            args.server.slow_request_ms =
+                std::atof(need("--slow-request-ms"));
+        } else if (!std::strcmp(argv[i], "--slo-p95-us")) {
+            args.server.slo.lookup_p95_us =
+                std::atof(need("--slo-p95-us"));
+        } else if (!std::strcmp(argv[i], "--slo-error-rate")) {
+            args.server.slo.max_error_rate =
+                std::atof(need("--slo-error-rate"));
+        } else if (!std::strcmp(argv[i], "--slo-eval-s")) {
+            args.server.slo.eval_interval_s =
+                std::atof(need("--slo-eval-s"));
+        } else if (!std::strcmp(argv[i], "--slo-burn-evals")) {
+            args.server.slo.burn_evals_to_shrink =
+                std::atoi(need("--slo-burn-evals"));
+        } else if (!std::strcmp(argv[i], "--slo-ok-evals")) {
+            args.server.slo.ok_evals_to_restore =
+                std::atoi(need("--slo-ok-evals"));
+        } else if (!std::strcmp(argv[i], "--window-slot-s")) {
+            args.server.request_metrics.slot_seconds =
+                std::atof(need("--window-slot-s"));
+        } else if (!std::strcmp(argv[i], "--window-slots")) {
+            args.server.request_metrics.slots =
+                std::max(1, std::atoi(need("--window-slots")));
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             print_usage(stdout);
@@ -245,6 +319,23 @@ spec_for(const std::string &name)
     usage("unknown --dla");
 }
 
+void
+write_port_file(const std::string &path, uint16_t port,
+                const char *what)
+{
+    if (path.empty())
+        return;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f) {
+        std::fprintf(f, "%u\n", port);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr,
+                     "heron_serve: cannot write %s file %s\n", what,
+                     path.c_str());
+    }
+}
+
 serve::Server *g_server = nullptr;
 
 /** SIGTERM/SIGINT: begin a graceful drain (async-signal-safe). */
@@ -265,8 +356,52 @@ int
 run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
           serve::TuneQueue &queue)
 {
+    using Clock = std::chrono::steady_clock;
     serve::TuneQueue *stats_queue =
         args.tune_on_miss ? &queue : nullptr;
+
+    // The same observability surfaces as TCP mode, minus the
+    // queue/write phases a pipeline doesn't have.
+    serve::RequestMetrics request_metrics(
+        args.server.request_metrics);
+    serve::AccessLog access_log(args.server.access_log);
+    if (!args.server.access_log.path.empty()) {
+        std::string log_error;
+        if (!access_log.open(&log_error))
+            std::fprintf(stderr, "heron_serve: %s\n",
+                         log_error.c_str());
+    }
+    serve::ServeRuntime runtime = serve::ServeRuntime::current();
+    serve::ObserveConfig observe_config;
+    observe_config.slow_request_ms = args.server.slow_request_ms;
+
+    serve::ServeContext ctx;
+    ctx.registry = &registry;
+    ctx.queue = stats_queue;
+    ctx.store_path = args.store_path;
+    ctx.request_metrics = &request_metrics;
+    ctx.runtime = &runtime;
+
+    std::unique_ptr<serve::PromExporter> exporter;
+    if (args.metrics_port_set) {
+        exporter = std::make_unique<serve::PromExporter>(
+            "127.0.0.1", args.metrics_port, [&] {
+                return serve::render_prometheus(
+                    metrics::Registry::global().snapshot(),
+                    request_metrics.snapshot_all(Clock::now()),
+                    nullptr);
+            });
+        std::string exporter_error;
+        if (!exporter->start(&exporter_error)) {
+            std::fprintf(stderr, "heron_serve: %s\n",
+                         exporter_error.c_str());
+            exporter.reset();
+        } else {
+            write_port_file(args.metrics_port_file,
+                            exporter->port(), "metrics-port");
+        }
+    }
+
     serve::LineScanner scanner(args.server.max_line_bytes);
     bool quit = false;
     char buf[16384];
@@ -299,13 +434,31 @@ run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
                 if (line.find_first_not_of(" \t\r") ==
                     std::string::npos)
                     return;
+                Clock::time_point parse_start = Clock::now();
                 std::string error;
                 auto request = serve::parse_request(
                     line, registry.spec(), &error);
+                Clock::time_point arrival = Clock::now();
+                double parse_us =
+                    std::chrono::duration<double, std::micro>(
+                        arrival - parse_start)
+                        .count();
                 if (!request) {
                     int64_t id = 0;
                     if (auto token = json_extract(line, "id"))
                         id = std::atoll(token->c_str());
+                    serve::RequestObservation obs;
+                    obs.id = id;
+                    obs.endpoint = "invalid";
+                    obs.ok = false;
+                    obs.parse_us = parse_us;
+                    obs.total_us = parse_us;
+                    obs.arrival = parse_start;
+                    serve::observe_request(
+                        obs, &request_metrics,
+                        access_log.enabled() ? &access_log
+                                             : nullptr,
+                        observe_config, arrival);
                     std::printf("%s\n",
                                 serve::format_error_response(id,
                                                              error)
@@ -314,18 +467,47 @@ run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
                     return;
                 }
                 serve::ExecutedRequest executed =
-                    serve::execute_request(
-                        *request,
-                        std::chrono::steady_clock::now(), registry,
-                        stats_queue, args.store_path);
+                    serve::execute_request(*request, arrival, ctx);
+                Clock::time_point done = Clock::now();
                 std::printf("%s\n", executed.response.c_str());
                 std::fflush(stdout);
+                serve::RequestObservation obs;
+                obs.id = request->id;
+                obs.endpoint =
+                    serve::request_kind_name(request->kind);
+                if (request->kind ==
+                    serve::Request::Kind::kLookup)
+                    obs.tier =
+                        serve::lookup_tier_name(executed.tier);
+                obs.ok = executed.ok;
+                obs.deadline_exceeded = executed.deadline_exceeded;
+                obs.parse_us = parse_us;
+                obs.handle_us = executed.handle_us;
+                obs.serialize_us = executed.serialize_us;
+                obs.has_deadline = request->deadline_ms > 0.0;
+                obs.deadline_ms = request->deadline_ms;
+                obs.arrival = arrival;
+                obs.total_us =
+                    parse_us +
+                    std::chrono::duration<double, std::micro>(
+                        done - arrival)
+                        .count();
+                if (obs.has_deadline)
+                    obs.deadline_slack_ms =
+                        obs.deadline_ms - obs.total_us / 1e3;
+                serve::observe_request(
+                    obs, &request_metrics,
+                    access_log.enabled() ? &access_log : nullptr,
+                    observe_config, done);
                 // quit and shutdown both end a stdio session.
                 if (executed.action != serve::RequestAction::kNone)
                     quit = true;
             });
     }
 
+    if (exporter)
+        exporter->stop();
+    access_log.flush();
     queue.stop();
     if (!args.store_path.empty() &&
         !registry.save_store_file(args.store_path))
@@ -350,15 +532,27 @@ run_tcp(const CliArgs &args, serve::KernelRegistry &registry,
         std::fprintf(stderr, "heron_serve: %s\n", error.c_str());
         return kExitBind;
     }
-    if (!args.port_file.empty()) {
-        std::FILE *f = std::fopen(args.port_file.c_str(), "w");
-        if (f) {
-            std::fprintf(f, "%u\n", server.port());
-            std::fclose(f);
+    write_port_file(args.port_file, server.port(), "port");
+
+    std::unique_ptr<serve::PromExporter> exporter;
+    if (args.metrics_port_set) {
+        exporter = std::make_unique<serve::PromExporter>(
+            "127.0.0.1", args.metrics_port, [&server] {
+                auto now = std::chrono::steady_clock::now();
+                serve::SloStatus slo = server.slo_status();
+                return serve::render_prometheus(
+                    metrics::Registry::global().snapshot(),
+                    server.request_metrics().snapshot_all(now),
+                    slo.enabled ? &slo : nullptr);
+            });
+        std::string exporter_error;
+        if (!exporter->start(&exporter_error)) {
+            std::fprintf(stderr, "heron_serve: %s\n",
+                         exporter_error.c_str());
+            exporter.reset();
         } else {
-            std::fprintf(stderr,
-                         "heron_serve: cannot write port file %s\n",
-                         args.port_file.c_str());
+            write_port_file(args.metrics_port_file,
+                            exporter->port(), "metrics-port");
         }
     }
 
@@ -370,18 +564,26 @@ run_tcp(const CliArgs &args, serve::KernelRegistry &registry,
 
     int rc = server.wait();
     g_server = nullptr;
+    if (exporter)
+        exporter->stop();
     queue.stop();
 
     serve::ServerStats server_stats = server.stats();
+    serve::AccessLogStats log_stats = server.access_log_stats();
     std::fprintf(
         stderr,
         "heron_serve: %s; %lld conn(s), %lld request(s), "
-        "%lld shed, %lld deadline-exceeded\n",
+        "%lld shed, %lld deadline-exceeded, slo %lld/%lld "
+        "shrink/restore, access-log %lld written %lld dropped\n",
         rc == 0 ? "drained gracefully" : "drain hard-killed",
         static_cast<long long>(server_stats.accepted_conns),
         static_cast<long long>(server_stats.requests),
         static_cast<long long>(server_stats.shed_overloaded),
-        static_cast<long long>(server_stats.deadline_exceeded));
+        static_cast<long long>(server_stats.deadline_exceeded),
+        static_cast<long long>(server_stats.slo_shrinks),
+        static_cast<long long>(server_stats.slo_restores),
+        static_cast<long long>(log_stats.written),
+        static_cast<long long>(log_stats.dropped));
     return rc == 0 ? kExitSuccess : kExitHardKill;
 }
 

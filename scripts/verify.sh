@@ -5,13 +5,17 @@
 # under ThreadSanitizer. Each non-tsan preset also smoke-tests the
 # observability path (a tiny heron_tune run with --trace/--metrics
 # whose outputs must parse as JSON), the serving loop (heron_serve
-# --stdio driven over its NDJSON protocol), and the TCP front-end
-# (concurrent socket clients through a miss -> tune -> exact flow,
-# then a SIGTERM graceful drain that must exit 0 and persist the
-# store). The plain preset additionally runs the CSP solver and
-# serving benches, which write BENCH_csp_solver.json /
-# BENCH_serve.json and assert SampleBatch determinism and the
-# 100k-lookups/sec exact-hit floor.
+# --stdio driven over its NDJSON protocol, including the metrics
+# command's windowed quantiles), and the TCP front-end (concurrent
+# socket clients through a miss -> tune -> exact flow, a live
+# Prometheus scrape validated for HELP/TYPE pairs and
+# cumulative-monotone le buckets, then a SIGTERM graceful drain
+# that must exit 0, persist the store, and flush a line-valid JSONL
+# access log). The plain preset additionally runs the CSP solver
+# and serving benches, which write BENCH_csp_solver.json /
+# BENCH_serve.json and assert SampleBatch determinism, the
+# 100k-lookups/sec exact-hit floor, and the <5% windowed-metrics
+# overhead budget.
 #
 # Usage: scripts/verify.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -108,6 +112,7 @@ smoke_serve() {
     printf '%s\n' \
         '{"id":1,"op":"gemm","shape":[512,512,512]}' \
         '{"id":2,"cmd":"stats"}' \
+        '{"id":3,"cmd":"metrics"}' \
         | "$build_dir/examples/heron_serve" \
             --stdio --dla v100 --store "$out/store.jsonl" \
             > "$out/pass2.txt" 2> "$out/pass2.err"
@@ -131,8 +136,19 @@ p2 = [json.loads(line) for line in open(os.path.join(out, "pass2.txt"))]
 by_id2 = {r["id"]: r for r in p2}
 assert by_id2[1]["tier"] == "exact", by_id2[1]
 assert by_id2[2]["tiers"]["miss"] == 0, by_id2[2]
+stats2 = by_id2[2]
+assert stats2["uptime_s"] >= 0 and stats2["pid"] > 0, stats2
+assert stats2["build"]["compiler"], stats2
+m = by_id2[3]
+windows = m["windows"]
+lookup = windows["serve.window.lookup_us"]
+# The exact lookup from request 1 must land in the last-60s window.
+assert lookup["count"] >= 1, lookup
+assert lookup["p95"] > 0, lookup
+assert windows["serve.window.tier.exact_us"]["count"] >= 1, windows
+assert m["counters"], m
 print("serving smoke: OK (miss->tune->exact, nearest fallback, "
-      "store reload)")
+      "store reload, metrics command)")
 EOF
 }
 
@@ -164,9 +180,14 @@ smoke_serve_tcp() {
         --dla v100 --store "$out/store.jsonl" \
         --tune-on-miss --trials 24 --seed 3 \
         --port 0 --port-file "$out/port.txt" \
+        --metrics-port 0 \
+        --metrics-port-file "$out/metrics-port.txt" \
+        --access-log "$out/access.jsonl" \
+        --slo-p95-us 60000000 \
         > /dev/null 2> "$out/server1.err" &
     local server_pid=$!
     wait_for_port "$out/port.txt" "$server_pid"
+    wait_for_port "$out/metrics-port.txt" "$server_pid"
 
     python3 - "$out/port.txt" <<'EOF'
 import json, socket, sys, threading
@@ -224,6 +245,61 @@ print("tcp smoke: miss->tune->exact over sockets, "
       f"{len(results)} concurrent exact hits")
 EOF
 
+    # Scrape the Prometheus endpoint while the server is live and
+    # validate the exposition format: every family has HELP/TYPE,
+    # histogram le buckets are cumulative-monotone and end at +Inf,
+    # and the SLO gauges are present.
+    curl -sf "http://127.0.0.1:$(cat "$out/metrics-port.txt")/metrics" \
+        > "$out/prom.txt"
+    python3 - "$out/prom.txt" <<'EOF'
+import re, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+helps, types, samples = set(), {}, {}
+for line in lines:
+    if line.startswith("# HELP "):
+        helps.add(line.split()[2])
+    elif line.startswith("# TYPE "):
+        _, _, name, kind = line.split()
+        types[name] = kind
+    elif line and not line.startswith("#"):
+        m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+                     r'(\{[^}]*\})? (\S+)$', line)
+        assert m, f"malformed sample line: {line!r}"
+        samples.setdefault(m.group(1), []).append(
+            (m.group(2) or "", float(m.group(3))))
+
+assert types, "no TYPE lines scraped"
+for name in types:
+    assert name in helps, f"{name} has TYPE but no HELP"
+
+histograms = [n for n, k in types.items() if k == "histogram"]
+assert histograms, "no histogram families scraped"
+for name in histograms:
+    buckets = samples.get(name + "_bucket", [])
+    assert buckets, f"{name} has no buckets"
+    les, counts = [], []
+    for labels, value in buckets:
+        m = re.search(r'le="([^"]+)"', labels)
+        assert m, f"{name} bucket without le: {labels}"
+        les.append(m.group(1))
+        counts.append(value)
+    assert les[-1] == "+Inf", f"{name} buckets do not end at +Inf"
+    bounds = [float(le) for le in les[:-1]]
+    assert bounds == sorted(bounds), f"{name} le bounds not sorted"
+    assert counts == sorted(counts), \
+        f"{name} cumulative counts not monotone: {counts}"
+    assert counts[-1] == samples[name + "_count"][0][1], name
+
+for gauge in ("heron_serve_slo_soft_watermark",
+              "heron_serve_slo_burning"):
+    assert gauge in samples, f"missing {gauge}"
+windows = [n for n, k in types.items() if k == "summary"]
+assert any("lookup" in n for n in windows), windows
+print(f"tcp smoke: prometheus scrape OK ({len(types)} families, "
+      f"{len(histograms)} histograms, {len(windows)} windows)")
+EOF
+
     kill -TERM "$server_pid"
     local rc=0
     wait "$server_pid" || rc=$?
@@ -236,6 +312,31 @@ EOF
         echo "drain did not persist the store" >&2
         return 1
     fi
+
+    # The drain must have flushed the access log; every line is one
+    # strict JSON object (python3 -m json.tool rejects anything
+    # torn) and the request ids we sent appear in it.
+    if [[ ! -s "$out/access.jsonl" ]]; then
+        echo "drain did not flush the access log" >&2
+        return 1
+    fi
+    while IFS= read -r line; do
+        printf '%s' "$line" | python3 -m json.tool > /dev/null || {
+            echo "access log line is not valid JSON: $line" >&2
+            return 1
+        }
+    done < "$out/access.jsonl"
+    python3 - "$out/access.jsonl" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert lines, "access log empty"
+requests = [l for l in lines if "endpoint" in l]
+assert requests, lines
+for r in requests:
+    assert "total_us" in r and "ok" in r, r
+print(f"tcp smoke: access log OK ({len(lines)} lines, "
+      f"{len(requests)} requests)")
+EOF
 
     # Pass 2: a fresh server on the persisted store answers exact
     # over TCP without any tuning.
@@ -286,6 +387,9 @@ bench = json.load(open("BENCH_serve.json"))
 rate = bench["exact_single"]["lookups_per_sec"]
 assert rate >= 100000, f"exact-hit rate {rate} below 100k/sec"
 assert not bench["misserved"], bench
+over = bench["exact_instrumented"]["overhead_pct"]
+assert over < 5.0, \
+    f"windowed-metrics overhead {over:.2f}% exceeds the 5% budget"
 assert bench["mixed"]["tiers"]["nearest"] > 0, bench["mixed"]
 cores = bench["hardware_concurrency"]
 two = next(s for s in bench["exact_parallel"] if s["threads"] == 2)
@@ -298,7 +402,7 @@ if cores >= 2:
 else:
     scaling = "single core: scaling not asserted"
 print(f"serve bench smoke: OK ({rate:.0f} exact lookups/sec, "
-      f"{scaling})")
+      f"metrics overhead {over:.2f}%, {scaling})")
 EOF
 }
 

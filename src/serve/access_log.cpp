@@ -1,0 +1,144 @@
+#include "serve/access_log.h"
+
+#include <vector>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+
+namespace heron::serve {
+
+AccessLog::AccessLog(AccessLogConfig config)
+    : config_(std::move(config))
+{
+    if (config_.max_queue < 1)
+        config_.max_queue = 1;
+    if (config_.sample_every < 1)
+        config_.sample_every = 1;
+}
+
+AccessLog::~AccessLog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+        paused_ = false;
+    }
+    cv_.notify_all();
+    if (writer_.joinable())
+        writer_.join();
+}
+
+bool
+AccessLog::open(std::string *error)
+{
+    if (config_.path.empty()) {
+        if (error)
+            *error = "access log path is empty";
+        return false;
+    }
+    out_.open(config_.path, std::ios::app);
+    if (!out_.is_open()) {
+        if (error)
+            *error = "cannot open access log " + config_.path;
+        return false;
+    }
+    running_ = true;
+    writer_ = std::thread([this] { writer_loop(); });
+    return true;
+}
+
+void
+AccessLog::append(std::string line, bool always)
+{
+    if (!running_)
+        return;
+    bool notify = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!always) {
+            if (++sample_counter_ % config_.sample_every != 0) {
+                ++sampled_out_;
+                return;
+            }
+        }
+        if (queue_.size() >= config_.max_queue) {
+            ++dropped_;
+            HERON_COUNTER_INC("serve.access_log.dropped");
+            return;
+        }
+        queue_.push_back(std::move(line));
+        notify = true;
+    }
+    if (notify)
+        cv_.notify_one();
+}
+
+void
+AccessLog::flush()
+{
+    if (!running_)
+        return;
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [&] {
+        return (queue_.empty() && !writing_) || stopping_;
+    });
+}
+
+AccessLogStats
+AccessLog::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    AccessLogStats stats;
+    stats.written = written_;
+    stats.dropped = dropped_;
+    stats.sampled_out = sampled_out_;
+    return stats;
+}
+
+void
+AccessLog::set_paused(bool paused)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        paused_ = paused;
+    }
+    cv_.notify_all();
+}
+
+void
+AccessLog::writer_loop()
+{
+    for (;;) {
+        std::vector<std::string> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [&] {
+                return stopping_ ||
+                       (!paused_ && !queue_.empty());
+            });
+            if (queue_.empty() && stopping_)
+                break;
+            while (!queue_.empty()) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            writing_ = true;
+        }
+        for (const auto &line : batch)
+            out_ << line << "\n";
+        // One flush per batch keeps the tail durable without a
+        // write(2) per request.
+        out_.flush();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            written_ += static_cast<int64_t>(batch.size());
+            writing_ = false;
+        }
+        drained_cv_.notify_all();
+        HERON_COUNTER_ADD("serve.access_log.written",
+                          static_cast<int64_t>(batch.size()));
+    }
+    out_.flush();
+}
+
+} // namespace heron::serve

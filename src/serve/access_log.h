@@ -1,0 +1,99 @@
+/**
+ * @file
+ * AccessLog: a bounded asynchronous JSONL request log. Producers
+ * (the event loop, workers) enqueue one-line JSON records without
+ * blocking; a writer thread appends them to the file. When the
+ * queue is full the record is dropped and counted — a slow disk can
+ * never stall the serving path. Healthy requests can be sampled
+ * (every Nth); errors, sheds, and slow requests bypass sampling.
+ */
+#ifndef HERON_SERVE_ACCESS_LOG_H
+#define HERON_SERVE_ACCESS_LOG_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace heron::serve {
+
+struct AccessLogConfig {
+    /** Log file path ("" = disabled). */
+    std::string path;
+    /** Max queued lines before drops begin. */
+    size_t max_queue = 4096;
+    /**
+     * Log every Nth non-error request (1 = all). Records appended
+     * with always=true skip the sampler.
+     */
+    int sample_every = 1;
+};
+
+/** Counters for the stats/metrics surfaces. */
+struct AccessLogStats {
+    int64_t written = 0;
+    /** Dropped because the queue was full. */
+    int64_t dropped = 0;
+    /** Skipped by the sampler (not an error; by design). */
+    int64_t sampled_out = 0;
+};
+
+class AccessLog
+{
+  public:
+    explicit AccessLog(AccessLogConfig config = {});
+    ~AccessLog();
+
+    AccessLog(const AccessLog &) = delete;
+    AccessLog &operator=(const AccessLog &) = delete;
+
+    /**
+     * Open the file (append mode) and start the writer. False with
+     * @p error set when the file cannot be opened; the log then
+     * stays disabled and append() is a cheap no-op.
+     */
+    bool open(std::string *error);
+
+    bool enabled() const { return running_; }
+
+    /**
+     * Enqueue one line (no trailing newline). Never blocks: a full
+     * queue drops the line and bumps the drop counter. @p always
+     * bypasses sampling (errors, sheds, slow requests).
+     */
+    void append(std::string line, bool always = false);
+
+    /** Block until every queued line is on disk (tests/drain). */
+    void flush();
+
+    AccessLogStats stats() const;
+
+    /** Test hook: a paused writer lets tests fill the queue. */
+    void set_paused(bool paused);
+
+  private:
+    AccessLogConfig config_;
+    std::ofstream out_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable drained_cv_;
+    std::deque<std::string> queue_;
+    std::thread writer_;
+    bool running_ = false;
+    bool stopping_ = false;
+    bool paused_ = false;
+    bool writing_ = false;
+    int64_t sample_counter_ = 0;
+    int64_t written_ = 0;
+    int64_t dropped_ = 0;
+    int64_t sampled_out_ = 0;
+
+    void writer_loop();
+};
+
+} // namespace heron::serve
+
+#endif // HERON_SERVE_ACCESS_LOG_H

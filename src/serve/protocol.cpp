@@ -6,7 +6,9 @@
 #include <sstream>
 
 #include "ir/tensor.h"
+#include "support/build_info.h"
 #include "support/json_util.h"
+#include "support/metrics.h"
 
 namespace heron::serve {
 
@@ -110,6 +112,28 @@ parse_dtype(const std::string &name)
 
 } // namespace
 
+const char *
+request_kind_name(Request::Kind kind)
+{
+    switch (kind) {
+      case Request::Kind::kLookup:
+        return "lookup";
+      case Request::Kind::kStats:
+        return "stats";
+      case Request::Kind::kMetrics:
+        return "metrics";
+      case Request::Kind::kDrain:
+        return "drain";
+      case Request::Kind::kSave:
+        return "save";
+      case Request::Kind::kQuit:
+        return "quit";
+      case Request::Kind::kShutdown:
+        return "shutdown";
+    }
+    return "unknown";
+}
+
 std::optional<Request>
 parse_request(const std::string &line, const hw::DlaSpec &spec,
               std::string *error)
@@ -121,6 +145,8 @@ parse_request(const std::string &line, const hw::DlaSpec &spec,
     if (auto cmd = json_extract(line, "cmd")) {
         if (*cmd == "stats")
             request.kind = Request::Kind::kStats;
+        else if (*cmd == "metrics")
+            request.kind = Request::Kind::kMetrics;
         else if (*cmd == "drain")
             request.kind = Request::Kind::kDrain;
         else if (*cmd == "save")
@@ -202,7 +228,9 @@ format_lookup_response(int64_t id, const LookupResult &result)
 
 std::string
 format_stats_response(int64_t id, const KernelRegistry &registry,
-                      const TuneQueue *queue)
+                      const TuneQueue *queue,
+                      const ServeRuntime *runtime,
+                      const SloStatus *slo)
 {
     RegistryStats stats = registry.stats();
     std::ostringstream out;
@@ -229,6 +257,53 @@ format_stats_response(int64_t id, const KernelRegistry &registry,
             << ",\"untunable\":" << qs.failed
             << ",\"failed\":" << qs.failed << "}";
     }
+    if (runtime) {
+        out << std::setprecision(6) << ",\"uptime_s\":"
+            << runtime->uptime_s(
+                   std::chrono::steady_clock::now())
+            << ",\"pid\":" << runtime->pid
+            << ",\"build\":" << build_info().to_json();
+    }
+    if (slo)
+        out << ",\"slo\":" << slo->to_json();
+    out << "}";
+    return out.str();
+}
+
+std::string
+format_metrics_response(int64_t id, const RequestMetrics *windows,
+                        const SloStatus *slo)
+{
+    std::ostringstream out;
+    out << std::setprecision(
+        std::numeric_limits<double>::max_digits10);
+    auto snapshot = metrics::Registry::global().snapshot();
+    // Reuse the registry's own JSON (already escaped through
+    // json_util) and splice windows/slo alongside it.
+    std::string body = snapshot.to_json();
+    // body = {"counters":{...}} — drop the braces to embed.
+    out << "{\"id\":" << id << ","
+        << body.substr(1, body.size() - 2);
+    if (windows) {
+        out << ",\"windows\":{";
+        bool first = true;
+        auto now = std::chrono::steady_clock::now();
+        for (const auto &named : windows->snapshot_all(now)) {
+            const auto &w = named.window;
+            out << (first ? "" : ",") << "\""
+                << json_escape(named.name)
+                << "\":{\"count\":" << w.count
+                << ",\"sum\":" << w.sum
+                << ",\"window_s\":" << w.window_seconds
+                << ",\"p50\":" << w.percentile(50)
+                << ",\"p95\":" << w.percentile(95)
+                << ",\"p99\":" << w.percentile(99) << "}";
+            first = false;
+        }
+        out << "}";
+    }
+    if (slo)
+        out << ",\"slo\":" << slo->to_json();
     out << "}";
     return out.str();
 }

@@ -21,6 +21,10 @@
  *
  * Control requests:
  *   {"id":9,"cmd":"stats"}     tier counters + registry/queue sizes
+ *                              + uptime/pid/build + SLO status
+ *   {"id":9,"cmd":"metrics"}   full metrics dump: process-wide
+ *                              counters/gauges/histograms plus the
+ *                              sliding-window latency quantiles
  *   {"id":9,"cmd":"drain"}     block until the tune queue is idle
  *   {"id":9,"cmd":"save"}      persist the store now
  *   {"id":9,"cmd":"quit"}      stop serving this client (EOF does
@@ -42,7 +46,9 @@
 #include <optional>
 #include <string>
 
+#include "serve/observe.h"
 #include "serve/registry.h"
+#include "serve/slo.h"
 #include "serve/tune_queue.h"
 
 namespace heron::serve {
@@ -52,6 +58,7 @@ struct Request {
     enum class Kind : uint8_t {
         kLookup = 0,
         kStats,
+        kMetrics,
         kDrain,
         kSave,
         kQuit,
@@ -69,6 +76,9 @@ struct Request {
     double deadline_ms = 0.0;
 };
 
+/** Endpoint name for a request kind ("lookup", "stats", ...). */
+const char *request_kind_name(Request::Kind kind);
+
 /**
  * Parse one request line against @p spec (which fixes the default
  * dtype and validates shape arity). On failure returns nullopt and
@@ -84,11 +94,25 @@ std::string format_lookup_response(int64_t id,
 
 /**
  * Response line for {"cmd":"stats"}: per-tier counters, registry
- * size/inserts, and queue accounting.
+ * size/inserts, and queue accounting. With @p runtime, adds
+ * uptime_s/pid and the baked-in build identity (compiler, sanitizer
+ * preset, git describe); with @p slo, the SLO controller status.
  */
 std::string format_stats_response(int64_t id,
                                   const KernelRegistry &registry,
-                                  const TuneQueue *queue);
+                                  const TuneQueue *queue,
+                                  const ServeRuntime *runtime =
+                                      nullptr,
+                                  const SloStatus *slo = nullptr);
+
+/**
+ * Response line for {"cmd":"metrics"}: the process-wide metrics
+ * snapshot plus per-window quantiles (p50/p95/p99, count, sum over
+ * the window) and the SLO status. All pointers nullable.
+ */
+std::string format_metrics_response(int64_t id,
+                                    const RequestMetrics *windows,
+                                    const SloStatus *slo);
 
 /** Response line for an unparsable request. */
 std::string format_error_response(int64_t id,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 #include <utility>
 
 #include <arpa/inet.h>
@@ -63,12 +64,17 @@ send_reject_and_close(int fd, const std::string &line)
 
 ExecutedRequest
 execute_request(const Request &request, Clock::time_point arrival,
-                KernelRegistry &registry, TuneQueue *queue,
-                const std::string &store_path,
-                const std::atomic<bool> *cancel)
+                const ServeContext &ctx)
 {
     HERON_TRACE_SCOPE("serve/request");
+    KernelRegistry &registry = *ctx.registry;
+    TuneQueue *queue = ctx.queue;
     ExecutedRequest out;
+    Clock::time_point handle_start = Clock::now();
+    // Serialize time is whatever happens after the handler body
+    // stamps this (response formatting); handlers that never stamp
+    // it report the whole cost as handle time.
+    Clock::time_point serialize_start = handle_start;
     switch (request.kind) {
       case Request::Kind::kLookup: {
         LookupOptions options;
@@ -79,21 +85,27 @@ execute_request(const Request &request, Clock::time_point arrival,
                     std::chrono::duration<double, std::milli>(
                         request.deadline_ms));
         if (options.deadline &&
-            Clock::now() >= *options.deadline) {
+            handle_start >= *options.deadline) {
             // Expired while queued: answering "late but right"
             // helps nobody and burns solver time the next request
             // needs. Answer the failure explicitly and move on.
             HERON_COUNTER_INC("serve.request.deadline_exceeded");
             out.response = format_error_response(
                 request.id, "deadline_exceeded");
+            out.ok = false;
+            out.deadline_exceeded = true;
             break;
         }
         LookupResult result =
             registry.lookup(request.workload, options);
+        serialize_start = Clock::now();
+        out.tier = result.tier;
         if (!result.hit() && result.deadline_expired) {
             HERON_COUNTER_INC("serve.request.deadline_exceeded");
             out.response = format_error_response(
                 request.id, "deadline_exceeded");
+            out.ok = false;
+            out.deadline_exceeded = true;
         } else {
             out.response =
                 format_lookup_response(request.id, result);
@@ -102,20 +114,39 @@ execute_request(const Request &request, Clock::time_point arrival,
                                 ms_since(arrival) * 1e3);
         break;
       }
-      case Request::Kind::kStats:
-        out.response =
-            format_stats_response(request.id, registry, queue);
+      case Request::Kind::kStats: {
+        SloStatus slo_status;
+        if (ctx.slo)
+            slo_status = ctx.slo->status();
+        serialize_start = Clock::now();
+        out.response = format_stats_response(
+            request.id, registry, queue, ctx.runtime,
+            ctx.slo ? &slo_status : nullptr);
         HERON_HISTOGRAM_OBSERVE("serve.request.stats_us",
                                 ms_since(arrival) * 1e3);
         break;
+      }
+      case Request::Kind::kMetrics: {
+        SloStatus slo_status;
+        if (ctx.slo)
+            slo_status = ctx.slo->status();
+        serialize_start = Clock::now();
+        out.response = format_metrics_response(
+            request.id, ctx.request_metrics,
+            ctx.slo ? &slo_status : nullptr);
+        HERON_HISTOGRAM_OBSERVE("serve.request.metrics_us",
+                                ms_since(arrival) * 1e3);
+        break;
+      }
       case Request::Kind::kDrain: {
         bool drained = true;
         if (queue) {
-            if (cancel) {
+            if (ctx.cancel) {
                 // Poll instead of blocking in TuneQueue::drain so a
                 // server hard-kill can cancel the wait.
                 for (;;) {
-                    if (cancel->load(std::memory_order_relaxed)) {
+                    if (ctx.cancel->load(
+                            std::memory_order_relaxed)) {
                         drained = false;
                         break;
                     }
@@ -129,20 +160,23 @@ execute_request(const Request &request, Clock::time_point arrival,
                 queue->drain();
             }
         }
+        serialize_start = Clock::now();
         out.response =
             format_ack_response(request.id, "drained", drained);
         HERON_HISTOGRAM_OBSERVE("serve.request.drain_us",
                                 ms_since(arrival) * 1e3);
         break;
       }
-      case Request::Kind::kSave:
-        out.response = format_ack_response(
-            request.id, "saved",
-            !store_path.empty() &&
-                registry.save_store_file(store_path));
+      case Request::Kind::kSave: {
+        bool saved = !ctx.store_path.empty() &&
+                     registry.save_store_file(ctx.store_path);
+        serialize_start = Clock::now();
+        out.response =
+            format_ack_response(request.id, "saved", saved);
         HERON_HISTOGRAM_OBSERVE("serve.request.save_us",
                                 ms_since(arrival) * 1e3);
         break;
+      }
       case Request::Kind::kQuit:
         out.response =
             format_ack_response(request.id, "quitting", true);
@@ -154,12 +188,24 @@ execute_request(const Request &request, Clock::time_point arrival,
         out.action = RequestAction::kDrainServer;
         break;
     }
+    Clock::time_point done = Clock::now();
+    out.handle_us =
+        std::chrono::duration<double, std::micro>(
+            serialize_start - handle_start)
+            .count();
+    out.serialize_us = std::chrono::duration<double, std::micro>(
+                           done - serialize_start)
+                           .count();
     return out;
 }
 
 Server::Server(KernelRegistry &registry, TuneQueue *queue,
                ServerConfig config)
-    : registry_(registry), queue_(queue), config_(std::move(config))
+    : registry_(registry), queue_(queue),
+      config_(std::move(config)),
+      request_metrics_(config_.request_metrics),
+      access_log_(config_.access_log),
+      runtime_(ServeRuntime::current())
 {
     config_.max_connections = std::max(1, config_.max_connections);
     config_.max_connections_per_ip =
@@ -168,6 +214,17 @@ Server::Server(KernelRegistry &registry, TuneQueue *queue,
     config_.max_pending_requests =
         std::max<size_t>(1, config_.max_pending_requests);
     config_.tick_ms = std::max(1.0, config_.tick_ms);
+    if (config_.slo.enabled())
+        slo_ = std::make_unique<SloController>(
+            config_.slo, (config_.max_pending_requests + 1) / 2);
+    observe_config_.slow_request_ms = config_.slow_request_ms;
+    exec_ctx_.registry = &registry_;
+    exec_ctx_.queue = queue_;
+    exec_ctx_.store_path = config_.store_path;
+    exec_ctx_.cancel = &drain_cancel_;
+    exec_ctx_.request_metrics = &request_metrics_;
+    exec_ctx_.runtime = &runtime_;
+    exec_ctx_.slo = slo_.get();
 }
 
 Server::~Server()
@@ -243,6 +300,14 @@ Server::start(std::string *error)
     ev.data.u64 = kWakeId;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0)
         return fail("epoll_ctl wake");
+
+    if (!config_.access_log.path.empty()) {
+        std::string log_error;
+        if (!access_log_.open(&log_error)) {
+            HERON_WARN << "serve: " << log_error
+                       << "; continuing without an access log";
+        }
+    }
 
     workers_running_.store(true);
     for (int i = 0; i < config_.workers; ++i) {
@@ -338,7 +403,22 @@ Server::stats() const
         overflow_disconnects_.load(std::memory_order_relaxed);
     stats.drains = drains_.load(std::memory_order_relaxed);
     stats.hard_kills = hard_kills_.load(std::memory_order_relaxed);
+    if (slo_) {
+        SloStatus slo = slo_->status();
+        stats.slo_shrinks = slo.shrinks;
+        stats.slo_restores = slo.restores;
+        stats.soft_watermark = slo.soft_watermark;
+    } else {
+        stats.soft_watermark =
+            (config_.max_pending_requests + 1) / 2;
+    }
     return stats;
+}
+
+SloStatus
+Server::slo_status() const
+{
+    return slo_ ? slo_->status() : SloStatus{};
 }
 
 int64_t
@@ -403,9 +483,10 @@ Server::accept_ready()
                 continue;
             // EAGAIN = drained the backlog; EMFILE/ENFILE etc. are
             // transient — log and retry on the next readable event.
-            if (errno != EAGAIN && errno != EWOULDBLOCK)
+            if (errno != EAGAIN && errno != EWOULDBLOCK) {
                 HERON_WARN << "serve: accept failed: "
                            << std::strerror(errno);
+            }
             return;
         }
         if (drain_active_) {
@@ -462,19 +543,26 @@ Server::accept_ready()
     }
 }
 
-bool
-Server::overloaded(bool is_lookup) const
+const char *
+Server::shed_reason(bool is_lookup) const
 {
     if (pending_requests_ >= config_.max_pending_requests)
-        return true;
+        return "hard_watermark";
+    size_t soft = slo_ ? slo_->soft_watermark()
+                       : (config_.max_pending_requests + 1) / 2;
     // Soft watermark: when the tune queue is saturated the system
     // is already behind on its misses — start shedding lookups at
-    // half the pending budget so control requests (stats, drain)
-    // still get through.
+    // the soft pending budget so control requests (stats, drain)
+    // still get through. The SLO controller can pull the soft
+    // watermark below its base when objectives burn; while shrunk,
+    // lookups shed at the lowered mark even with a healthy queue.
     if (is_lookup && queue_ && queue_->load().saturated() &&
-        pending_requests_ >= (config_.max_pending_requests + 1) / 2)
-        return true;
-    return false;
+        pending_requests_ >= soft)
+        return "queue_saturated";
+    if (is_lookup && slo_ && slo_->shrunk() &&
+        pending_requests_ >= soft)
+        return "slo_shrunk";
+    return "";
 }
 
 void
@@ -508,21 +596,45 @@ Server::on_line(Conn &conn, const std::string &line, bool overflow,
 
     requests_.fetch_add(1, std::memory_order_relaxed);
     HERON_COUNTER_INC("serve.server.requests");
+    Clock::time_point parse_start = Clock::now();
     std::string error;
     auto request = parse_request(line, registry_.spec(), &error);
+    Clock::time_point parsed = Clock::now();
+    double parse_us = std::chrono::duration<double, std::micro>(
+                          parsed - parse_start)
+                          .count();
     if (!request) {
         parse_errors_.fetch_add(1, std::memory_order_relaxed);
         HERON_COUNTER_INC("serve.server.parse_errors");
         int64_t id = 0;
         if (auto token = json_extract(line, "id"))
             id = std::atoll(token->c_str());
+        RequestObservation obs;
+        obs.id = id;
+        obs.endpoint = "invalid";
+        obs.ok = false;
+        obs.parse_us = parse_us;
+        obs.total_us = parse_us;
+        obs.arrival = parse_start;
+        observe(obs, parsed);
         queue_or_kill(format_error_response(id, error));
         return;
     }
 
-    if (overloaded(request->kind == Request::Kind::kLookup)) {
+    const char *shed =
+        shed_reason(request->kind == Request::Kind::kLookup);
+    if (*shed) {
         shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
         HERON_COUNTER_INC("serve.server.shed_overloaded");
+        RequestObservation obs;
+        obs.id = request->id;
+        obs.endpoint = request_kind_name(request->kind);
+        obs.ok = false;
+        obs.shed_reason = shed;
+        obs.parse_us = parse_us;
+        obs.total_us = parse_us;
+        obs.arrival = parse_start;
+        observe(obs, parsed);
         queue_or_kill(
             format_error_response(request->id, "overloaded"));
         return;
@@ -531,7 +643,8 @@ Server::on_line(Conn &conn, const std::string &line, bool overflow,
     WorkItem item;
     item.conn_id = conn.id();
     item.request = std::move(*request);
-    item.arrival = Clock::now();
+    item.arrival = parsed;
+    item.parse_us = parse_us;
     ++pending_requests_;
     ++conn.in_flight;
     // Per-connection worker affinity keeps pipelined responses in
@@ -634,14 +747,21 @@ Server::process_completions()
             drain_requested_.store(true,
                                    std::memory_order_release);
         Conn *conn = find_conn(completion.conn_id);
-        if (!conn)
-            continue; // client died before its answer was ready
+        RequestObservation &obs = completion.obs;
+        if (!conn) {
+            // Client died before its answer was ready; still a
+            // finished request for the latency windows.
+            finish_observation(obs, Clock::now());
+            continue;
+        }
         if (conn->in_flight > 0)
             --conn->in_flight;
+        Clock::time_point write_start = Clock::now();
         if (!conn->queue_line(completion.response)) {
             overflow_disconnects_.fetch_add(
                 1, std::memory_order_relaxed);
             HERON_COUNTER_INC("serve.server.overflow_disconnects");
+            finish_observation(obs, write_start);
             close_conn(*conn);
             continue;
         }
@@ -649,7 +769,26 @@ Server::process_completions()
         if (completion.action == RequestAction::kCloseConn)
             conn->set_close_after_flush();
         flush_and_update(*conn);
+        Clock::time_point written = Clock::now();
+        obs.write_us = std::chrono::duration<double, std::micro>(
+                           written - write_start)
+                           .count();
+        finish_observation(obs, written);
     }
+}
+
+void
+Server::finish_observation(RequestObservation &obs,
+                           Clock::time_point now)
+{
+    obs.total_us = std::chrono::duration<double, std::micro>(
+                       now - obs.arrival)
+                       .count() +
+                   obs.parse_us;
+    if (obs.has_deadline)
+        obs.deadline_slack_ms =
+            obs.deadline_ms - obs.total_us / 1e3;
+    observe(obs, now);
 }
 
 void
@@ -694,16 +833,62 @@ Server::finish_drain(bool graceful)
         close_conn(conn);
     }
     if (!config_.store_path.empty() &&
-        !registry_.save_store_file(config_.store_path))
+        !registry_.save_store_file(config_.store_path)) {
         HERON_WARN << "serve: cannot persist store to "
                    << config_.store_path;
+    }
+    // The access-log tail is part of the drain contract: whatever
+    // was observed before the drain finishes must be on disk.
+    access_log_.flush();
     graceful_exit_ = graceful;
     loop_running_ = false;
 }
 
 void
+Server::observe(RequestObservation &obs, Clock::time_point now)
+{
+    observe_request(obs, &request_metrics_,
+                    access_log_.enabled() ? &access_log_ : nullptr,
+                    observe_config_, now);
+}
+
+void
+Server::maybe_evaluate_slo(Clock::time_point now)
+{
+    if (!slo_ || !slo_->due(now))
+        return;
+    SloController::Signals signals;
+    metrics::WindowSnapshot window =
+        request_metrics_.lookup_window(now);
+    signals.lookup_p95_us = window.percentile(95);
+    signals.window_lookups = window.count;
+    signals.total_lookups =
+        lookup_requests_.load(std::memory_order_relaxed);
+    signals.total_errors =
+        deadline_exceeded_.load(std::memory_order_relaxed);
+    SloController::Adjustment adjustment =
+        slo_->evaluate(signals, now);
+    if (adjustment == SloController::Adjustment::kNone)
+        return;
+    // Every watermark move lands in the access log unsampled, so an
+    // operator can line adjustments up against the requests that
+    // caused them.
+    if (access_log_.enabled()) {
+        SloStatus status = slo_->status();
+        std::ostringstream line;
+        line << "{\"event\":\"slo_adjustment\",\"direction\":\""
+             << (adjustment == SloController::Adjustment::kShrink
+                     ? "shrink"
+                     : "restore")
+             << "\",\"slo\":" << status.to_json() << "}";
+        access_log_.append(line.str(), /*always=*/true);
+    }
+}
+
+void
 Server::tick(Clock::time_point now)
 {
+    maybe_evaluate_slo(now);
     if (drain_active_) {
         bool workers_idle = true;
         // pending_requests_ counts admitted-but-unanswered work;
@@ -826,24 +1011,45 @@ Server::worker_loop(Worker &worker)
             item = std::move(worker.items.front());
             worker.items.pop_front();
         }
+        Clock::time_point dispatched = Clock::now();
         if (config_.debug_stall_ms > 0.0)
             std::this_thread::sleep_for(
                 std::chrono::duration<double, std::milli>(
                     config_.debug_stall_ms));
-        ExecutedRequest executed = execute_request(
-            item.request, item.arrival, registry_, queue_,
-            config_.store_path, &drain_cancel_);
-        if (item.request.deadline_ms > 0.0 &&
-            executed.response.find("deadline_exceeded") !=
-                std::string::npos)
+        ExecutedRequest executed =
+            execute_request(item.request, item.arrival, exec_ctx_);
+        if (item.request.kind == Request::Kind::kLookup)
+            lookup_requests_.fetch_add(1,
+                                       std::memory_order_relaxed);
+        if (executed.deadline_exceeded)
             deadline_exceeded_.fetch_add(
                 1, std::memory_order_relaxed);
+        Completion completion;
+        completion.conn_id = item.conn_id;
+        completion.response = std::move(executed.response);
+        completion.action = executed.action;
+        RequestObservation &obs = completion.obs;
+        obs.id = item.request.id;
+        obs.endpoint = request_kind_name(item.request.kind);
+        if (item.request.kind == Request::Kind::kLookup)
+            obs.tier = lookup_tier_name(executed.tier);
+        obs.ok = executed.ok;
+        obs.deadline_exceeded = executed.deadline_exceeded;
+        obs.parse_us = item.parse_us;
+        // debug_stall_ms burns inside the "queue" phase on purpose:
+        // it models a starved executor, which is queueing delay.
+        obs.queue_us = std::chrono::duration<double, std::micro>(
+                           dispatched - item.arrival)
+                           .count() +
+                       config_.debug_stall_ms * 1e3;
+        obs.handle_us = executed.handle_us;
+        obs.serialize_us = executed.serialize_us;
+        obs.has_deadline = item.request.deadline_ms > 0.0;
+        obs.deadline_ms = item.request.deadline_ms;
+        obs.arrival = item.arrival;
         {
             std::lock_guard<std::mutex> lock(completions_mu_);
-            completions_.push_back(
-                Completion{item.conn_id,
-                           std::move(executed.response),
-                           executed.action});
+            completions_.push_back(std::move(completion));
         }
         uint64_t one = 1;
         ssize_t ignored [[maybe_unused]] =

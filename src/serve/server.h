@@ -55,9 +55,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/access_log.h"
 #include "serve/conn.h"
+#include "serve/observe.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
+#include "serve/slo.h"
 #include "serve/tune_queue.h"
 
 namespace heron::serve {
@@ -98,6 +101,14 @@ struct ServerConfig {
      * tests can saturate the pending watermark deterministically.
      */
     double debug_stall_ms = 0.0;
+    /** Declarative serving objectives (disabled by default). */
+    SloConfig slo;
+    /** Sliding-window sizing for the per-server quantiles. */
+    RequestMetricsConfig request_metrics;
+    /** JSONL access log (path empty = disabled). */
+    AccessLogConfig access_log;
+    /** Requests slower than this dump a span breakdown (0=off). */
+    double slow_request_ms = 0.0;
 };
 
 /** Monotonic server counters (mirrored to support/metrics). */
@@ -124,6 +135,11 @@ struct ServerStats {
     int64_t drains = 0;
     /** Drains finished by the hard-kill fallback. */
     int64_t hard_kills = 0;
+    /** SLO-driven soft-watermark shrinks / restores. */
+    int64_t slo_shrinks = 0;
+    int64_t slo_restores = 0;
+    /** Current soft pending-request watermark. */
+    size_t soft_watermark = 0;
 };
 
 /** What the transport should do after delivering a response. */
@@ -139,23 +155,64 @@ enum class RequestAction : uint8_t {
 struct ExecutedRequest {
     std::string response;
     RequestAction action = RequestAction::kNone;
+    /** Observability: which tier answered (lookups only). */
+    LookupTier tier = LookupTier::kMiss;
+    /** False when the response is an error line. */
+    bool ok = true;
+    bool deadline_exceeded = false;
+    /** Registry/command execution time, microseconds. */
+    double handle_us = 0.0;
+    /** Response formatting time, microseconds. */
+    double serialize_us = 0.0;
 };
 
 /**
- * Execute one parsed request against @p registry / @p queue: the
- * shared request handler behind both the TCP workers and
- * heron_serve's --stdio loop. @p arrival anchors the request's
- * deadline_ms budget; expired requests answer "deadline_exceeded"
- * without burning solver time. @p cancel (optional) aborts a
- * blocking "drain" wait — the server sets it on hard-kill so a
- * wedged tune queue cannot stall shutdown.
+ * Everything execute_request needs, bundled so the TCP workers, the
+ * stdio loop, and tests share one handler signature. Only
+ * `registry` is required; the observability members are nullable
+ * and simply enrich the stats/metrics responses when present.
+ */
+struct ServeContext {
+    KernelRegistry *registry = nullptr;
+    TuneQueue *queue = nullptr;
+    std::string store_path;
+    /** Aborts a blocking "drain" wait (server hard-kill). */
+    const std::atomic<bool> *cancel = nullptr;
+    /** Windowed quantiles for the metrics response (nullable). */
+    const RequestMetrics *request_metrics = nullptr;
+    /** Uptime/pid/build for the stats response (nullable). */
+    const ServeRuntime *runtime = nullptr;
+    /** SLO status for the stats/metrics responses (nullable). */
+    const SloController *slo = nullptr;
+};
+
+/**
+ * Execute one parsed request against @p ctx: the shared request
+ * handler behind both the TCP workers and heron_serve's --stdio
+ * loop. @p arrival anchors the request's deadline_ms budget;
+ * expired requests answer "deadline_exceeded" without burning
+ * solver time.
  */
 ExecutedRequest
 execute_request(const Request &request,
                 std::chrono::steady_clock::time_point arrival,
+                const ServeContext &ctx);
+
+/** Legacy convenience overload (tests, simple callers). */
+inline ExecutedRequest
+execute_request(const Request &request,
+                std::chrono::steady_clock::time_point arrival,
                 KernelRegistry &registry, TuneQueue *queue,
                 const std::string &store_path,
-                const std::atomic<bool> *cancel = nullptr);
+                const std::atomic<bool> *cancel = nullptr)
+{
+    ServeContext ctx;
+    ctx.registry = &registry;
+    ctx.queue = queue;
+    ctx.store_path = store_path;
+    ctx.cancel = cancel;
+    return execute_request(request, arrival, ctx);
+}
 
 /** The epoll TCP serving front-end (see file header). */
 class Server
@@ -204,17 +261,36 @@ class Server
 
     ServerStats stats() const;
 
+    /** Windowed per-endpoint/per-tier quantiles (thread-safe). */
+    const RequestMetrics &request_metrics() const
+    {
+        return request_metrics_;
+    }
+
+    /** SLO controller state (zero-value status when disabled). */
+    SloStatus slo_status() const;
+
+    /** Access-log accounting (zeros when disabled). */
+    AccessLogStats access_log_stats() const
+    {
+        return access_log_.stats();
+    }
+
   private:
     struct WorkItem {
         uint64_t conn_id = 0;
         Request request;
         std::chrono::steady_clock::time_point arrival;
+        /** parse_request() cost, stamped by the loop thread. */
+        double parse_us = 0.0;
     };
 
     struct Completion {
         uint64_t conn_id = 0;
         std::string response;
         RequestAction action = RequestAction::kNone;
+        /** Lifecycle record; write_us/total filled at delivery. */
+        RequestObservation obs;
     };
 
     /** One executor thread's queue (per-connection affinity). */
@@ -228,6 +304,15 @@ class Server
     KernelRegistry &registry_;
     TuneQueue *queue_;
     ServerConfig config_;
+
+    /** Observability state (see serve/observe.h). */
+    RequestMetrics request_metrics_;
+    AccessLog access_log_;
+    std::unique_ptr<SloController> slo_;
+    ServeRuntime runtime_;
+    ObserveConfig observe_config_;
+    /** The context workers execute requests against. */
+    ServeContext exec_ctx_;
 
     int listen_fd_ = -1;
     int epoll_fd_ = -1;
@@ -263,6 +348,8 @@ class Server
     std::atomic<int64_t> rejected_conn_limit_{0};
     std::atomic<int64_t> rejected_ip_limit_{0};
     std::atomic<int64_t> requests_{0};
+    /** Lookups executed (the SLO error-rate denominator). */
+    std::atomic<int64_t> lookup_requests_{0};
     std::atomic<int64_t> responses_{0};
     std::atomic<int64_t> shed_overloaded_{0};
     std::atomic<int64_t> deadline_exceeded_{0};
@@ -282,13 +369,26 @@ class Server
     /** Handle one complete request line from @p conn. */
     void on_line(Conn &conn, const std::string &line, bool overflow,
                  bool *kill_conn);
-    /** True when admission control should shed a new request. */
-    bool overloaded(bool is_lookup) const;
+    /**
+     * Admission control: "" admits the request, otherwise the shed
+     * reason ("hard_watermark", "queue_saturated", "slo_shrunk").
+     */
+    const char *shed_reason(bool is_lookup) const;
+    /** Record a finished/shed request everywhere it should land. */
+    void observe(RequestObservation &obs,
+                 std::chrono::steady_clock::time_point now);
+    /** Stamp total/deadline-slack, then observe(). */
+    void finish_observation(
+        RequestObservation &obs,
+        std::chrono::steady_clock::time_point now);
     void process_completions();
     void begin_drain();
     /** Close everything, persist, and stop the loop. */
     void finish_drain(bool graceful);
     void tick(std::chrono::steady_clock::time_point now);
+    /** SLO evaluation at eval_interval_s cadence (loop thread). */
+    void maybe_evaluate_slo(
+        std::chrono::steady_clock::time_point now);
 
     /** Flush + refresh epoll interest; closes on fatal error. */
     void flush_and_update(Conn &conn);

@@ -1,0 +1,172 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+
+namespace heron::serve {
+
+std::string
+SloStatus::to_json() const
+{
+    std::ostringstream out;
+    out << std::setprecision(
+        std::numeric_limits<double>::max_digits10);
+    out << "{\"enabled\":" << (enabled ? "true" : "false")
+        << ",\"burning\":" << (burning ? "true" : "false")
+        << ",\"shrunk\":" << (shrunk ? "true" : "false")
+        << ",\"soft_watermark\":" << soft_watermark
+        << ",\"base_soft_watermark\":" << base_soft_watermark
+        << ",\"evals\":" << evals << ",\"shrinks\":" << shrinks
+        << ",\"restores\":" << restores
+        << ",\"last_p95_us\":" << last_p95_us
+        << ",\"last_error_rate\":" << last_error_rate << "}";
+    return out.str();
+}
+
+SloController::SloController(SloConfig config,
+                             size_t base_soft_watermark)
+    : config_(std::move(config)),
+      base_(std::max<size_t>(1, base_soft_watermark))
+{
+    config_.eval_interval_s =
+        std::max(1e-3, config_.eval_interval_s);
+    config_.burn_evals_to_shrink =
+        std::max(1, config_.burn_evals_to_shrink);
+    config_.ok_evals_to_restore =
+        std::max(1, config_.ok_evals_to_restore);
+    config_.shrink_factor =
+        std::min(0.95, std::max(0.05, config_.shrink_factor));
+    config_.min_soft_fraction =
+        std::min(1.0, std::max(0.0, config_.min_soft_fraction));
+    floor_ = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(
+               static_cast<double>(base_) *
+               config_.min_soft_fraction)));
+    soft_watermark_.store(base_, std::memory_order_relaxed);
+}
+
+bool
+SloController::due(Clock::time_point now) const
+{
+    if (!ever_evaluated_)
+        return true;
+    return std::chrono::duration<double>(now - last_eval_).count() >=
+           config_.eval_interval_s;
+}
+
+SloController::Adjustment
+SloController::evaluate(const Signals &signals,
+                        Clock::time_point now)
+{
+    last_eval_ = now;
+    ever_evaluated_ = true;
+    evals_.fetch_add(1, std::memory_order_relaxed);
+
+    // Error rate over this evaluation interval, from cumulative
+    // counter deltas.
+    int64_t lookups_delta =
+        std::max<int64_t>(0, signals.total_lookups - last_lookups_);
+    int64_t errors_delta =
+        std::max<int64_t>(0, signals.total_errors - last_errors_);
+    last_lookups_ = signals.total_lookups;
+    last_errors_ = signals.total_errors;
+    double error_rate =
+        lookups_delta > 0 ? static_cast<double>(errors_delta) /
+                                static_cast<double>(lookups_delta)
+                          : 0.0;
+
+    last_p95_us_.store(signals.lookup_p95_us,
+                       std::memory_order_relaxed);
+    last_error_rate_.store(error_rate, std::memory_order_relaxed);
+
+    // An idle window cannot burn: no traffic means no evidence of
+    // violation, and holding a shrunk watermark on a quiet server
+    // would punish the first requests after the lull.
+    bool p95_burn = config_.lookup_p95_us > 0.0 &&
+                    signals.window_lookups > 0 &&
+                    signals.lookup_p95_us > config_.lookup_p95_us;
+    bool error_burn = config_.max_error_rate > 0.0 &&
+                      lookups_delta > 0 &&
+                      error_rate > config_.max_error_rate;
+    bool burn = p95_burn || error_burn;
+    burning_.store(burn, std::memory_order_relaxed);
+
+    size_t soft = soft_watermark_.load(std::memory_order_relaxed);
+    Adjustment adjustment = Adjustment::kNone;
+    if (burn) {
+        ok_streak_ = 0;
+        if (++burn_streak_ >= config_.burn_evals_to_shrink) {
+            burn_streak_ = 0;
+            size_t next = std::max(
+                floor_, static_cast<size_t>(std::floor(
+                            static_cast<double>(soft) *
+                            config_.shrink_factor)));
+            if (next < soft) {
+                soft_watermark_.store(next,
+                                      std::memory_order_relaxed);
+                shrinks_.fetch_add(1, std::memory_order_relaxed);
+                HERON_COUNTER_INC("serve.slo.shrinks");
+                HERON_WARN << "serve: SLO burning (p95="
+                           << signals.lookup_p95_us
+                           << "us, err_rate=" << error_rate
+                           << "); soft watermark " << soft
+                           << " -> " << next;
+                adjustment = Adjustment::kShrink;
+            }
+        }
+    } else {
+        burn_streak_ = 0;
+        if (soft < base_ &&
+            ++ok_streak_ >= config_.ok_evals_to_restore) {
+            ok_streak_ = 0;
+            // One shrink-step back toward base per full ok streak:
+            // recovery is deliberately slower than the shrink so a
+            // barely-recovered server is not immediately reloaded.
+            size_t next = std::min(
+                base_, static_cast<size_t>(std::ceil(
+                           static_cast<double>(soft) /
+                           config_.shrink_factor)));
+            if (next > soft) {
+                soft_watermark_.store(next,
+                                      std::memory_order_relaxed);
+                restores_.fetch_add(1, std::memory_order_relaxed);
+                HERON_COUNTER_INC("serve.slo.restores");
+                HERON_INFO << "serve: SLO recovered; soft "
+                              "watermark "
+                           << soft << " -> " << next;
+                adjustment = Adjustment::kRestore;
+            }
+        } else if (soft >= base_) {
+            ok_streak_ = 0;
+        }
+    }
+    return adjustment;
+}
+
+SloStatus
+SloController::status() const
+{
+    SloStatus status;
+    status.enabled = config_.enabled();
+    status.burning = burning_.load(std::memory_order_relaxed);
+    status.soft_watermark =
+        soft_watermark_.load(std::memory_order_relaxed);
+    status.base_soft_watermark = base_;
+    status.shrunk = status.soft_watermark < base_;
+    status.evals = evals_.load(std::memory_order_relaxed);
+    status.shrinks = shrinks_.load(std::memory_order_relaxed);
+    status.restores = restores_.load(std::memory_order_relaxed);
+    status.last_p95_us =
+        last_p95_us_.load(std::memory_order_relaxed);
+    status.last_error_rate =
+        last_error_rate_.load(std::memory_order_relaxed);
+    return status;
+}
+
+} // namespace heron::serve

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * SloController: declarative serving objectives evaluated over the
+ * sliding-window histograms, fed back into admission control.
+ *
+ * Objectives (any subset may be set):
+ *   lookup_p95_us    the last-window p95 of lookup latency must
+ *                    stay at or under this many microseconds
+ *   max_error_rate   deadline_exceeded responses per lookup over
+ *                    the evaluation interval must stay at or under
+ *                    this fraction (sheds are deliberately NOT an
+ *                    error signal: shedding is the controller's own
+ *                    action, and counting it would lock the loop
+ *                    into a shed-forever feedback spiral)
+ *
+ * Control law (burn-rate hysteresis): each evaluation is either
+ * "burning" (some objective violated) or "ok". Only
+ * burn_evals_to_shrink consecutive burning evaluations shrink the
+ * soft pending-request watermark (by shrink_factor, floored at
+ * min_soft_fraction of the base); only ok_evals_to_restore
+ * consecutive ok evaluations grow it back one shrink-step toward
+ * the base. A single noisy window therefore never moves the
+ * watermark, and an oscillating signal keeps resetting both streaks
+ * instead of flapping the watermark up and down.
+ */
+#ifndef HERON_SERVE_SLO_H
+#define HERON_SERVE_SLO_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace heron::serve {
+
+struct SloConfig {
+    /** Lookup p95 objective in microseconds (0 = not set). */
+    double lookup_p95_us = 0.0;
+    /** deadline_exceeded-per-lookup ceiling (0 = not set). */
+    double max_error_rate = 0.0;
+    /** Evaluation cadence. */
+    double eval_interval_s = 5.0;
+    /** Consecutive burning evaluations before a shrink. */
+    int burn_evals_to_shrink = 3;
+    /** Consecutive ok evaluations before a restore step. */
+    int ok_evals_to_restore = 5;
+    /** Watermark multiplier per shrink (0 < f < 1). */
+    double shrink_factor = 0.5;
+    /** Shrink floor as a fraction of the base watermark. */
+    double min_soft_fraction = 0.125;
+
+    bool enabled() const
+    {
+        return lookup_p95_us > 0.0 || max_error_rate > 0.0;
+    }
+};
+
+/** Point-in-time controller state for stats/metrics surfaces. */
+struct SloStatus {
+    bool enabled = false;
+    bool burning = false;
+    /** Watermark currently below base? */
+    bool shrunk = false;
+    size_t soft_watermark = 0;
+    size_t base_soft_watermark = 0;
+    int64_t evals = 0;
+    int64_t shrinks = 0;
+    int64_t restores = 0;
+    double last_p95_us = 0.0;
+    double last_error_rate = 0.0;
+
+    /** JSON object for the stats/metrics responses. */
+    std::string to_json() const;
+};
+
+class SloController
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * @p base_soft_watermark is the healthy-state soft watermark
+     * (the server's (max_pending+1)/2); the controller only ever
+     * moves below it and back.
+     */
+    SloController(SloConfig config, size_t base_soft_watermark);
+
+    bool enabled() const { return config_.enabled(); }
+
+    /** True when eval_interval_s has elapsed since the last eval. */
+    bool due(Clock::time_point now) const;
+
+    /** Inputs to one evaluation. */
+    struct Signals {
+        /** Windowed lookup p95 (us); 0 when the window is empty. */
+        double lookup_p95_us = 0.0;
+        /** Lookups in the window (0 = idle: always healthy). */
+        int64_t window_lookups = 0;
+        /** Cumulative lookup count (for the error-rate delta). */
+        int64_t total_lookups = 0;
+        /** Cumulative deadline_exceeded count. */
+        int64_t total_errors = 0;
+    };
+
+    /** What evaluate() decided, for logging. */
+    enum class Adjustment : uint8_t {
+        kNone = 0,
+        kShrink,
+        kRestore,
+    };
+
+    /**
+     * Run one evaluation. Call from one thread (the server loop);
+     * soft_watermark()/status() are safe from any thread.
+     */
+    Adjustment evaluate(const Signals &signals,
+                        Clock::time_point now);
+
+    /** Current soft watermark (base when never shrunk). */
+    size_t soft_watermark() const
+    {
+        return soft_watermark_.load(std::memory_order_relaxed);
+    }
+
+    /** True while the watermark sits below base. */
+    bool shrunk() const
+    {
+        return soft_watermark() < base_;
+    }
+
+    SloStatus status() const;
+
+  private:
+    SloConfig config_;
+    size_t base_;
+    size_t floor_;
+    std::atomic<size_t> soft_watermark_;
+    Clock::time_point last_eval_{};
+    bool ever_evaluated_ = false;
+    int burn_streak_ = 0;
+    int ok_streak_ = 0;
+    int64_t last_lookups_ = 0;
+    int64_t last_errors_ = 0;
+    std::atomic<bool> burning_{false};
+    std::atomic<int64_t> evals_{0};
+    std::atomic<int64_t> shrinks_{0};
+    std::atomic<int64_t> restores_{0};
+    std::atomic<double> last_p95_us_{0.0};
+    std::atomic<double> last_error_rate_{0.0};
+};
+
+} // namespace heron::serve
+
+#endif // HERON_SERVE_SLO_H

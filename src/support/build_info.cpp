@@ -1,0 +1,41 @@
+#include "support/build_info.h"
+
+#include "support/json_util.h"
+
+#ifndef HERON_BUILD_SANITIZER
+#define HERON_BUILD_SANITIZER "none"
+#endif
+#ifndef HERON_GIT_DESCRIBE
+#define HERON_GIT_DESCRIBE "unknown"
+#endif
+
+namespace heron {
+
+std::string
+BuildInfo::to_json() const
+{
+    return "{\"compiler\":\"" + json_escape(compiler) +
+           "\",\"sanitizer\":\"" + json_escape(sanitizer) +
+           "\",\"git\":\"" + json_escape(git_describe) + "\"}";
+}
+
+const BuildInfo &
+build_info()
+{
+    static const BuildInfo info = [] {
+        BuildInfo b;
+#if defined(__clang_version__)
+        b.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__VERSION__)
+        b.compiler = std::string("gcc ") + __VERSION__;
+#else
+        b.compiler = "unknown";
+#endif
+        b.sanitizer = HERON_BUILD_SANITIZER;
+        b.git_describe = HERON_GIT_DESCRIBE;
+        return b;
+    }();
+    return info;
+}
+
+} // namespace heron

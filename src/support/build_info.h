@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Build identity for fleet debugging: compiler, sanitizer preset,
+ * and git describe, baked in at compile time so a serving binary can
+ * report exactly what it was built from.
+ */
+#ifndef HERON_SUPPORT_BUILD_INFO_H
+#define HERON_SUPPORT_BUILD_INFO_H
+
+#include <string>
+
+namespace heron {
+
+struct BuildInfo {
+    /** Compiler version string (from __VERSION__). */
+    std::string compiler;
+    /** Sanitizer preset: "none", "asan+ubsan", or "tsan". */
+    std::string sanitizer;
+    /** `git describe --always --dirty` at configure time. */
+    std::string git_describe;
+
+    /** JSON object (all fields escaped). */
+    std::string to_json() const;
+};
+
+/** The build identity of this binary. */
+const BuildInfo &build_info();
+
+} // namespace heron
+
+#endif // HERON_SUPPORT_BUILD_INFO_H

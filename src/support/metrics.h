@@ -13,6 +13,7 @@
 #define HERON_SUPPORT_METRICS_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -65,6 +66,17 @@ class Gauge
     std::atomic<double> value_{0.0};
 };
 
+/**
+ * Estimate the @p p-th percentile (p in [0, 100]) of a bucketed
+ * distribution by linear interpolation inside the bucket holding
+ * that rank (the first bucket interpolates from 0; ranks landing in
+ * the overflow bucket clamp to the last finite bound, the best
+ * honest answer bucket counts can give). Returns 0 when empty.
+ */
+double bucket_percentile(const std::vector<double> &bounds,
+                         const std::vector<int64_t> &counts,
+                         double p);
+
 /** Snapshot of one histogram. */
 struct HistogramSnapshot {
     /** Upper bounds of each finite bucket (last bucket = overflow). */
@@ -73,6 +85,12 @@ struct HistogramSnapshot {
     std::vector<int64_t> counts;
     int64_t count = 0;
     double sum = 0.0;
+
+    /** bucket_percentile over this snapshot (p in [0, 100]). */
+    double percentile(double p) const
+    {
+        return bucket_percentile(bounds, counts, p);
+    }
 };
 
 /**
@@ -96,6 +114,131 @@ class Histogram
     std::vector<std::atomic<int64_t>> buckets_;
     std::atomic<int64_t> count_{0};
     Gauge sum_;
+};
+
+/**
+ * Merged view of the live slots of a WindowedHistogram: the same
+ * shape as HistogramSnapshot plus how much wall time the window
+ * actually spans, so quantiles computed from it are honestly scoped
+ * ("p95 over the last ~60 s", never a process-lifetime average).
+ */
+struct WindowSnapshot {
+    std::vector<double> bounds;
+    /** Merged per-bucket counts (bounds.size() + 1 entries). */
+    std::vector<int64_t> counts;
+    int64_t count = 0;
+    double sum = 0.0;
+    /** Configured window span (slots * slot_seconds). */
+    double window_seconds = 0.0;
+    /** Live (non-expired) slots merged into this snapshot. */
+    int live_slots = 0;
+
+    /** bucket_percentile over the window (p in [0, 100]). */
+    double percentile(double p) const
+    {
+        return bucket_percentile(bounds, counts, p);
+    }
+};
+
+/**
+ * Sliding-window histogram: a ring of fixed-bucket histograms, one
+ * per time slot, rotated as the clock crosses slot boundaries. A
+ * snapshot merges only the slots younger than the window, so
+ * quantiles reflect recent traffic instead of process lifetime.
+ *
+ * The hot path is lock-free: each slot carries the absolute slot
+ * index it belongs to; an observation into a fresh slot takes a
+ * mutex once per rotation to zero the expired slot, every other
+ * observation is a tag load plus relaxed atomic adds. A packed
+ * (slot index, ring position) cache keeps the steady state free of
+ * integer divisions: locating the current slot is one relaxed load,
+ * one multiply, and two compares. Observations racing a rotation
+ * may land in (or be zeroed out of) a boundary slot — an accepted,
+ * bounded error for monitoring data.
+ *
+ * Callers pass the timestamp in (they already have one from the
+ * latency measurement being recorded), so the window costs no extra
+ * clock reads and tests can drive rotation deterministically.
+ */
+class WindowedHistogram
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * @p bounds defaults to the exponential 1,2,4,...,4096 set;
+     * @p slots ring slots (>= 1); @p slot_seconds per-slot span.
+     */
+    explicit WindowedHistogram(std::vector<double> bounds = {},
+                               int slots = 6,
+                               double slot_seconds = 10.0);
+
+    void observe(double value) { observe(value, Clock::now()); }
+    void observe(double value, Clock::time_point now)
+    {
+        observe_in_bucket(bucket_index(value), value, now);
+    }
+
+    /**
+     * Bucket index @p value falls into. Callers recording the same
+     * value into several windows with identical bounds can search
+     * once and reuse the index via observe_in_bucket.
+     */
+    size_t bucket_index(double value) const;
+
+    /** observe() with the bucket search already done. */
+    void observe_in_bucket(size_t bucket, double value,
+                           Clock::time_point now);
+
+    WindowSnapshot snapshot() const
+    {
+        return snapshot(Clock::now());
+    }
+    WindowSnapshot snapshot(Clock::time_point now) const;
+
+    /** Zero every slot (the configuration survives). */
+    void reset();
+
+    double slot_seconds() const { return slot_ns_ / 1e9; }
+    int slots() const { return static_cast<int>(ring_.size()); }
+    double window_seconds() const
+    {
+        return slots() * slot_seconds();
+    }
+
+  private:
+    struct Slot {
+        /** Absolute slot index this slot's data belongs to. */
+        std::atomic<int64_t> abs{-1};
+        /** Per-bucket counts (the slot total is their sum). */
+        std::vector<std::atomic<int64_t>> buckets;
+        /** Sum scaled by kSumScale (integer adds beat CAS loops). */
+        std::atomic<int64_t> scaled_sum{0};
+    };
+
+    static constexpr double kSumScale = 1024.0;
+    /** Ring positions packed into the cache's low bits. */
+    static constexpr int kRingBits = 6;
+    static constexpr int64_t kNoCache = -1;
+
+    std::vector<double> bounds_;
+    /** Bounds are exactly 1,2,4,...: bucket search by exponent. */
+    bool pow2_bounds_ = false;
+    int64_t slot_ns_;
+    Clock::time_point epoch_;
+    std::vector<std::unique_ptr<Slot>> ring_;
+    /**
+     * (abs_slot << kRingBits) | ring_index of the slot most
+     * recently observed into, or kNoCache. Lets the hot path skip
+     * both the abs division and the ring modulo.
+     */
+    mutable std::atomic<int64_t> cached_slot_{kNoCache};
+    /** Serializes slot zeroing on rotation (not observations). */
+    mutable std::mutex rotate_mu_;
+
+    int64_t abs_slot(Clock::time_point now) const;
+    /** Claim @p slot for @p abs, zeroing stale contents. */
+    void rotate(Slot &slot, int64_t abs);
 };
 
 /** Full registry snapshot, convertible to JSON. */

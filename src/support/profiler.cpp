@@ -175,12 +175,16 @@ Profiler::summary_table(size_t top_spans) const
     for (const auto &[name, h] : snap.histograms) {
         if (h.count == 0)
             continue;
-        table.add_row({"histogram", name, TextTable::fmt(h.count),
-                       "mean " +
-                           TextTable::fmt(
-                               h.sum /
-                                   static_cast<double>(h.count),
-                               3)});
+        // Mean from the exact sum; p50/p95 estimated from the
+        // bucket counts so the end-of-run summary is actionable
+        // without a separate metrics dump.
+        table.add_row(
+            {"histogram", name, TextTable::fmt(h.count),
+             "mean " +
+                 TextTable::fmt(
+                     h.sum / static_cast<double>(h.count), 3) +
+                 "  p50 " + TextTable::fmt(h.percentile(50), 3) +
+                 "  p95 " + TextTable::fmt(h.percentile(95), 3)});
     }
     return table;
 }

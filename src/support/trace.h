@@ -78,6 +78,17 @@ class Tracer
     void record_span(const char *label, Clock::time_point start,
                      Clock::time_point end);
 
+    /**
+     * Overload for dynamically built labels (e.g. per-request phase
+     * names). Copies the string; prefer the const char * form on
+     * hot paths.
+     */
+    void record_span(const std::string &label,
+                     Clock::time_point start, Clock::time_point end)
+    {
+        record_span(label.c_str(), start, end);
+    }
+
     /** Per-label aggregates (copy; safe to use while tracing). */
     std::map<std::string, SpanStats> totals() const;
 

@@ -688,5 +688,129 @@ TEST(ServerTest, ChaosSixtyFourMixedClients)
     EXPECT_EQ(server->stats().hard_kills, 0);
 }
 
+TEST(ServerTest, SloChaosShrinksWatermarkAndRecovers)
+{
+    std::string log_path =
+        ::testing::TempDir() + "server_slo_chaos.jsonl";
+    std::remove(log_path.c_str());
+
+    ServedRegistry served;
+    ServerConfig config;
+    config.workers = 1;
+    // Every served lookup takes ~25 ms: against a 1 ms p95
+    // objective the window is burning whenever traffic flows.
+    config.debug_stall_ms = 25.0;
+    config.max_pending_requests = 8; // base soft watermark 4
+    config.slo.lookup_p95_us = 1000.0;
+    config.slo.eval_interval_s = 0.05;
+    config.slo.burn_evals_to_shrink = 2;
+    config.slo.ok_evals_to_restore = 2;
+    config.slo.shrink_factor = 0.5;
+    config.slo.min_soft_fraction = 0.25; // floor 1
+    // A short window so recovery starts soon after the burst ends.
+    config.request_metrics.slots = 3;
+    config.request_metrics.slot_seconds = 0.2;
+    config.access_log.path = log_path;
+    auto server = served.start(config);
+
+    EXPECT_EQ(server->stats().soft_watermark, 4u);
+
+    // Phase 1: sustained overload until the controller shrinks.
+    TestClient client(server->port());
+    ASSERT_TRUE(client.ok());
+    auto burn_deadline = Clock::now() + std::chrono::seconds(10);
+    int next_id = 1;
+    bool saw_shrink = false;
+    int64_t sheds = 0;
+    // Keep bursting until the controller has shrunk AND the shrunk
+    // watermark has actually shed traffic (sheds only start on the
+    // burst after the shrink takes effect).
+    while ((!saw_shrink || sheds == 0) &&
+           Clock::now() < burn_deadline) {
+        std::string burst;
+        for (int i = 0; i < 6; ++i)
+            burst += lookup_line(next_id++);
+        ASSERT_TRUE(client.send_all(burst));
+        for (int i = 0; i < 6; ++i)
+            ASSERT_TRUE(client.read_line().has_value());
+        ServerStats stats = server->stats();
+        saw_shrink = stats.slo_shrinks > 0;
+        sheds = stats.shed_overloaded;
+    }
+    ASSERT_TRUE(saw_shrink) << "controller never shrank";
+    EXPECT_GT(sheds, 0);
+    EXPECT_LT(server->stats().soft_watermark, 4u);
+
+    // Phase 2: the burst stops; once the window drains the
+    // controller must walk the watermark back to base.
+    auto recover_deadline =
+        Clock::now() + std::chrono::seconds(10);
+    while (Clock::now() < recover_deadline) {
+        ServerStats stats = server->stats();
+        if (stats.slo_restores > 0 && stats.soft_watermark == 4u)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    }
+    ServerStats recovered = server->stats();
+    EXPECT_GT(recovered.slo_restores, 0);
+    EXPECT_EQ(recovered.soft_watermark, 4u);
+
+    // The adjustments are queryable over the protocol too.
+    ASSERT_TRUE(
+        client.send_all("{\"id\":77,\"cmd\":\"stats\"}\n"));
+    auto stats_line = client.read_line();
+    ASSERT_TRUE(stats_line.has_value());
+    EXPECT_NE(stats_line->find("\"slo\""), std::string::npos)
+        << *stats_line;
+    EXPECT_NE(stats_line->find("\"shrinks\""), std::string::npos);
+
+    EXPECT_EQ(server->stop(), 0);
+
+    // The access log captured the controller's moves (flushed by
+    // the drain): both directions, as parseable JSON lines.
+    std::ifstream log(log_path);
+    ASSERT_TRUE(log.good());
+    bool logged_shrink = false, logged_restore = false;
+    std::string line;
+    while (std::getline(log, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{') << line;
+        EXPECT_EQ(line.back(), '}') << line;
+        if (line.find("\"event\":\"slo_adjustment\"") ==
+            std::string::npos)
+            continue;
+        if (line.find("\"direction\":\"shrink\"") !=
+            std::string::npos)
+            logged_shrink = true;
+        if (line.find("\"direction\":\"restore\"") !=
+            std::string::npos)
+            logged_restore = true;
+    }
+    EXPECT_TRUE(logged_shrink);
+    EXPECT_TRUE(logged_restore);
+    std::remove(log_path.c_str());
+}
+
+TEST(ServerTest, MetricsCommandReportsWindowsOverProtocol)
+{
+    ServedRegistry served;
+    auto server = served.start();
+    TestClient client(server->port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.send_all(lookup_line(1)));
+    ASSERT_TRUE(client.read_line().has_value());
+    ASSERT_TRUE(
+        client.send_all("{\"id\":2,\"cmd\":\"metrics\"}\n"));
+    auto line = client.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_NE(line->find("\"id\":2"), std::string::npos);
+    EXPECT_NE(line->find("\"windows\""), std::string::npos);
+    EXPECT_NE(line->find("\"serve.window.lookup_us\""),
+              std::string::npos)
+        << *line;
+    EXPECT_EQ(server->stop(), 0);
+}
+
 } // namespace
 } // namespace heron::serve
