@@ -17,16 +17,21 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
 
 #include "csp/solver.h"
 #include "ops/op_library.h"
 #include "rules/space_generator.h"
 #include "serve/observe.h"
 #include "serve/registry.h"
+#include "serve/store_wal.h"
 #include "support/stats.h"
 
 using namespace heron;
@@ -194,6 +199,132 @@ run_exact_parallel(serve::KernelRegistry &registry,
     return series;
 }
 
+/** WAL persist series: per-append cost across a growing store. */
+struct WalSeries {
+    int64_t appends = 0;
+    double appends_per_sec = 0.0;
+    double first_half_p50_us = 0.0;
+    double second_half_p50_us = 0.0;
+    /**
+     * second_half / first_half append medians. The legacy persist
+     * path rewrote the whole store per record (cost ~ store size,
+     * so this ratio would approach 3 as the store triples between
+     * half-midpoints); a write-ahead log appends one framed record
+     * regardless of store size, so the ratio must stay ~1.
+     */
+    double growth_ratio = 0.0;
+    double p95_us = 0.0;
+    double compact_ms = 0.0;
+    double replay_ms = 0.0;
+    int64_t records = 0;
+};
+
+void
+remove_tree(const std::string &dir)
+{
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (dirent *ent = ::readdir(d)) {
+            if (std::strcmp(ent->d_name, ".") &&
+                std::strcmp(ent->d_name, ".."))
+                ::unlink((dir + "/" + ent->d_name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir.c_str());
+}
+
+/**
+ * Sustained appends into a fresh store, then a timed compaction and
+ * a timed reopen replay. fsync is disabled so the series measures
+ * the algorithmic per-record cost (frame + write) rather than the
+ * device's constant fsync latency, which would mask any
+ * store-size-dependent term.
+ */
+bool
+run_wal(int64_t appends, WalSeries *series)
+{
+    std::string dir = "/tmp/heron_bench_wal_XXXXXX";
+    if (::mkdtemp(dir.data()) == nullptr) {
+        std::fprintf(stderr, "micro_serve: mkdtemp failed\n");
+        return false;
+    }
+    serve::DurableStoreConfig config;
+    config.dir = dir;
+    config.segment_max_bytes = 4u << 20;
+    config.compact_min_segments = 0; // keep compaction out of the series
+    config.fsync_data = false;
+    bool ok = false;
+    {
+        serve::DurableStore store(config);
+        if (!store.open()) {
+            remove_tree(dir);
+            return false;
+        }
+        std::vector<double> latencies;
+        latencies.reserve(static_cast<size_t>(appends));
+        auto start = Clock::now();
+        for (int64_t i = 0; i < appends; ++i) {
+            autotune::TuningRecord record;
+            record.workload =
+                "bench_wal_" + std::to_string(i);
+            record.dla = "bench";
+            record.tuner = "bench";
+            record.category = "serve";
+            record.latency_ms = 1.0;
+            record.gflops = static_cast<double>(i);
+            auto t0 = Clock::now();
+            ok = store.append(record);
+            latencies.push_back(seconds_since(t0) * 1e6);
+            if (!ok) {
+                std::fprintf(stderr,
+                             "micro_serve: WAL append failed\n");
+                remove_tree(dir);
+                return false;
+            }
+        }
+        double elapsed = seconds_since(start);
+        std::vector<double> first(
+            latencies.begin(),
+            latencies.begin() + latencies.size() / 2);
+        std::vector<double> second(
+            latencies.begin() + latencies.size() / 2,
+            latencies.end());
+        series->appends = appends;
+        series->appends_per_sec =
+            elapsed > 0 ? appends / elapsed : 0.0;
+        series->first_half_p50_us = percentile(first, 50.0);
+        series->second_half_p50_us = percentile(second, 50.0);
+        series->growth_ratio =
+            series->first_half_p50_us > 0
+                ? series->second_half_p50_us /
+                      series->first_half_p50_us
+                : 0.0;
+        series->p95_us = percentile(latencies, 95.0);
+
+        auto compact_start = Clock::now();
+        if (!store.compact_now()) {
+            std::fprintf(stderr,
+                         "micro_serve: WAL compaction failed\n");
+            remove_tree(dir);
+            return false;
+        }
+        series->compact_ms =
+            seconds_since(compact_start) * 1e3;
+        store.close();
+    }
+    serve::DurableStore reopened(config);
+    if (!reopened.open()) {
+        remove_tree(dir);
+        return false;
+    }
+    auto stats = reopened.stats();
+    series->replay_ms = stats.last_replay_ms;
+    series->records = stats.records;
+    reopened.close();
+    remove_tree(dir);
+    return series->records == appends;
+}
+
 } // namespace
 
 int
@@ -338,6 +469,23 @@ main(int argc, char **argv)
                 static_cast<long long>(after.fallback_transferred -
                                        before.fallback_transferred));
 
+    // WAL persist path: per-append cost must not grow with store
+    // size (the whole point of replacing the rewrite-the-world
+    // path). 3x headroom on the half-over-half median ratio: a
+    // size-dependent persist would blow far past it, while cache
+    // and allocator noise stay well inside.
+    WalSeries wal;
+    int64_t wal_appends = std::max<int64_t>(2000, lookups / 10);
+    bool wal_ok = run_wal(wal_appends, &wal);
+    bool wal_o1 = wal_ok && wal.growth_ratio < 3.0;
+    std::printf("wal append  %9.0f appends/sec  p50 %.2f -> %.2f "
+                "us (ratio %.2f)  p95 %.2f us  compact %.1f ms  "
+                "replay %.1f ms%s\n",
+                wal.appends_per_sec, wal.first_half_p50_us,
+                wal.second_half_p50_us, wal.growth_ratio,
+                wal.p95_us, wal.compact_ms, wal.replay_ms,
+                wal_o1 ? "" : "  (NOT O(1)!)");
+
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out) {
         std::fprintf(stderr, "micro_serve: cannot write %s\n",
@@ -389,9 +537,23 @@ main(int argc, char **argv)
         static_cast<long long>(after.misses - before.misses),
         static_cast<long long>(after.fallback_transferred -
                                before.fallback_transferred));
+    std::fprintf(
+        out,
+        "  \"wal\": {\"appends\": %lld, \"appends_per_sec\": %.1f, "
+        "\"first_half_p50_us\": %.3f, \"second_half_p50_us\": "
+        "%.3f, \"growth_ratio\": %.3f, \"p95_us\": %.3f, "
+        "\"compact_ms\": %.3f, \"replay_ms\": %.3f, "
+        "\"records\": %lld, \"o1_persist\": %s},\n",
+        static_cast<long long>(wal.appends), wal.appends_per_sec,
+        wal.first_half_p50_us, wal.second_half_p50_us,
+        wal.growth_ratio, wal.p95_us, wal.compact_ms,
+        wal.replay_ms, static_cast<long long>(wal.records),
+        wal_o1 ? "true" : "false");
     std::fprintf(out, "  \"misserved\": %s\n}\n",
                  misserved.load() ? "true" : "false");
     std::fclose(out);
     std::printf("Wrote %s\n", out_path.c_str());
-    return misserved.load() ? 2 : 0;
+    if (misserved.load())
+        return 2;
+    return wal_o1 ? 0 : 3;
 }

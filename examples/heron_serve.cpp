@@ -68,6 +68,8 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/slo.h"
+#include "serve/store_wal.h"
+#include "support/fs_util.h"
 #include "support/json_util.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -79,6 +81,11 @@ namespace {
 struct CliArgs {
     std::string dla = "v100";
     std::string store_path;
+    /** WAL-backed store directory (preferred over --store). */
+    std::string store_dir;
+    size_t segment_bytes = 1u << 20;
+    int compact_segments = 4;
+    double store_retry_ms = 1000.0;
     std::string metrics_path;
     std::string trace_path;
     bool tune_on_miss = false;
@@ -110,6 +117,8 @@ enum ExitCode {
     kExitUsage = 2,
     /** The listen socket could not be bound. */
     kExitBind = 3,
+    /** The durable store directory could not be opened. */
+    kExitStore = 4,
 };
 
 void
@@ -120,7 +129,11 @@ print_usage(std::FILE *to)
         "usage: heron_serve --dla <v100|t4|a100|dlboost|vta>\n"
         "                   [--stdio | --host H --port P\n"
         "                    [--port-file FILE]]\n"
-        "                   [--store FILE] [--tune-on-miss]\n"
+        "                   [--store FILE | --store-dir DIR\n"
+        "                    [--segment-bytes N]\n"
+        "                    [--compact-segments N]\n"
+        "                    [--store-retry-ms D]]\n"
+        "                   [--tune-on-miss]\n"
         "                   [--trials N] [--seed S]\n"
         "                   [--queue-capacity N] [--shards N]\n"
         "                   [--no-fallback] [--max-distance D]\n"
@@ -156,6 +169,16 @@ print_usage(std::FILE *to)
         "pending-request watermark shrinks (shedding lookups\n"
         "earlier), and it restores after --slo-ok-evals healthy\n"
         "evaluations.\n"
+        "\n"
+        "Durability: --store-dir serves from a write-ahead-logged\n"
+        "store (crash-safe O(1) appends, background compaction,\n"
+        "corrupted files quarantined at startup). On persist\n"
+        "failure the server degrades to read-only — lookups keep\n"
+        "answering, tunes are rejected \"degraded\" — and probes\n"
+        "the log every --store-retry-ms until writes succeed\n"
+        "again. {\"cmd\":\"health\"} and GET /healthz on the\n"
+        "metrics port report ok/degraded. --store keeps the legacy\n"
+        "single-file rewrite path.\n"
         "\n"
         "TCP mode (default): serves the NDJSON protocol on\n"
         "--host:--port (port 0 picks an ephemeral port, written to\n"
@@ -196,6 +219,17 @@ parse(int argc, char **argv)
             args.dla = need("--dla");
         } else if (!std::strcmp(argv[i], "--store")) {
             args.store_path = need("--store");
+        } else if (!std::strcmp(argv[i], "--store-dir")) {
+            args.store_dir = need("--store-dir");
+        } else if (!std::strcmp(argv[i], "--segment-bytes")) {
+            args.segment_bytes = static_cast<size_t>(std::max(
+                1, std::atoi(need("--segment-bytes"))));
+        } else if (!std::strcmp(argv[i], "--compact-segments")) {
+            args.compact_segments =
+                std::atoi(need("--compact-segments"));
+        } else if (!std::strcmp(argv[i], "--store-retry-ms")) {
+            args.store_retry_ms =
+                std::atof(need("--store-retry-ms"));
         } else if (!std::strcmp(argv[i], "--metrics")) {
             args.metrics_path = need("--metrics");
         } else if (!std::strcmp(argv[i], "--trace")) {
@@ -300,6 +334,8 @@ parse(int argc, char **argv)
                 (std::string("unknown flag ") + argv[i]).c_str());
         }
     }
+    if (!args.store_path.empty() && !args.store_dir.empty())
+        usage("--store and --store-dir are mutually exclusive");
     return args;
 }
 
@@ -336,6 +372,23 @@ write_port_file(const std::string &path, uint16_t port,
     }
 }
 
+/** /healthz callback: 200 "ok" / 503 "degraded" + store stats. */
+serve::PromExporter::HealthFn
+health_probe(serve::DurableStore *store)
+{
+    return [store]() -> std::pair<bool, std::string> {
+        if (store == nullptr)
+            return {true, "{\"status\":\"ok\",\"store\":null}"};
+        serve::DurableStoreStats stats = store->stats();
+        bool healthy =
+            stats.state == serve::StoreState::kHealthy;
+        return {healthy,
+                std::string("{\"status\":\"") +
+                    (healthy ? "ok" : "degraded") +
+                    "\",\"store\":" + stats.to_json() + "}"};
+    };
+}
+
 serve::Server *g_server = nullptr;
 
 /** SIGTERM/SIGINT: begin a graceful drain (async-signal-safe). */
@@ -354,7 +407,7 @@ on_terminate_signal(int)
  */
 int
 run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
-          serve::TuneQueue &queue)
+          serve::TuneQueue &queue, serve::DurableStore *store)
 {
     using Clock = std::chrono::steady_clock;
     serve::TuneQueue *stats_queue =
@@ -379,6 +432,7 @@ run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
     ctx.registry = &registry;
     ctx.queue = stats_queue;
     ctx.store_path = args.store_path;
+    ctx.store = store;
     ctx.request_metrics = &request_metrics;
     ctx.runtime = &runtime;
 
@@ -391,6 +445,7 @@ run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
                     request_metrics.snapshot_all(Clock::now()),
                     nullptr);
             });
+        exporter->set_health(health_probe(store));
         std::string exporter_error;
         if (!exporter->start(&exporter_error)) {
             std::fprintf(stderr, "heron_serve: %s\n",
@@ -509,21 +564,28 @@ run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
         exporter->stop();
     access_log.flush();
     queue.stop();
-    if (!args.store_path.empty() &&
-        !registry.save_store_file(args.store_path))
+    if (store != nullptr) {
+        if (!store->compact_now())
+            std::fprintf(stderr,
+                         "heron_serve: exit compaction failed "
+                         "(WAL segments remain authoritative)\n");
+    } else if (!args.store_path.empty() &&
+               !registry.save_store_file(args.store_path)) {
         std::fprintf(stderr,
                      "heron_serve: cannot persist store to %s\n",
                      args.store_path.c_str());
+    }
     return kExitSuccess;
 }
 
 /** Default mode: front the epoll TCP server until it drains. */
 int
 run_tcp(const CliArgs &args, serve::KernelRegistry &registry,
-        serve::TuneQueue &queue)
+        serve::TuneQueue &queue, serve::DurableStore *store)
 {
     serve::ServerConfig config = args.server;
     config.store_path = args.store_path;
+    config.store = store;
     serve::Server server(registry, args.tune_on_miss ? &queue
                                                      : nullptr,
                          config);
@@ -545,6 +607,7 @@ run_tcp(const CliArgs &args, serve::KernelRegistry &registry,
                     server.request_metrics().snapshot_all(now),
                     slo.enabled ? &slo : nullptr);
             });
+        exporter->set_health(health_probe(store));
         std::string exporter_error;
         if (!exporter->start(&exporter_error)) {
             std::fprintf(stderr, "heron_serve: %s\n",
@@ -596,6 +659,7 @@ main(int argc, char **argv)
     hw::DlaSpec spec = spec_for(args.dla);
     if (!args.trace_path.empty())
         trace::Tracer::global().set_enabled(true);
+    fsfault::arm_from_env();
 
     serve::RegistryConfig registry_config;
     registry_config.shards = args.shards;
@@ -604,7 +668,43 @@ main(int argc, char **argv)
     registry_config.negative_threshold = args.negative_threshold;
     serve::KernelRegistry registry(spec, registry_config);
 
-    if (!args.store_path.empty()) {
+    std::unique_ptr<serve::DurableStore> store;
+    if (!args.store_dir.empty()) {
+        serve::DurableStoreConfig store_config;
+        store_config.dir = args.store_dir;
+        store_config.segment_max_bytes = args.segment_bytes;
+        store_config.compact_min_segments = args.compact_segments;
+        store_config.retry_backoff_ms = args.store_retry_ms;
+        store =
+            std::make_unique<serve::DurableStore>(store_config);
+        std::string store_error;
+        if (!store->open(&store_error)) {
+            std::fprintf(stderr,
+                         "heron_serve: cannot open store dir %s: "
+                         "%s\n",
+                         args.store_dir.c_str(),
+                         store_error.c_str());
+            return kExitStore;
+        }
+        serve::StoreLoadStats load_stats;
+        registry.load_records(store->records(), &load_stats);
+        serve::DurableStoreStats store_stats = store->stats();
+        std::fprintf(stderr,
+                     "heron_serve: %s on %s: loaded %lld record(s) "
+                     "from %s (%lld skipped, %lld quarantined "
+                     "file(s), replay %.1f ms)\n",
+                     args.tune_on_miss ? "serving+tuning"
+                                       : "serving",
+                     spec.name.c_str(),
+                     static_cast<long long>(load_stats.loaded),
+                     args.store_dir.c_str(),
+                     static_cast<long long>(load_stats.unparsable +
+                                            load_stats.foreign_dla +
+                                            load_stats.invalid),
+                     static_cast<long long>(
+                         store_stats.quarantined),
+                     store_stats.last_replay_ms);
+    } else if (!args.store_path.empty()) {
         serve::StoreLoadStats load_stats;
         registry.load_store_file(args.store_path, &load_stats);
         std::fprintf(stderr,
@@ -631,6 +731,7 @@ main(int argc, char **argv)
     queue_config.tune.seed = args.seed;
     queue_config.tune.measure_workers = args.measure_workers;
     queue_config.store_path = args.store_path;
+    queue_config.store = store.get();
     serve::TuneQueue queue(registry, queue_config);
     if (args.tune_on_miss) {
         queue.start();
@@ -642,8 +743,12 @@ main(int argc, char **argv)
             });
     }
 
-    int rc = args.stdio ? run_stdio(args, registry, queue)
-                        : run_tcp(args, registry, queue);
+    int rc =
+        args.stdio
+            ? run_stdio(args, registry, queue, store.get())
+            : run_tcp(args, registry, queue, store.get());
+    if (store)
+        store->close();
 
     if (!args.metrics_path.empty() &&
         !metrics::Registry::global().write_json(args.metrics_path))

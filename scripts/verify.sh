@@ -11,11 +11,15 @@
 # Prometheus scrape validated for HELP/TYPE pairs and
 # cumulative-monotone le buckets, then a SIGTERM graceful drain
 # that must exit 0, persist the store, and flush a line-valid JSONL
-# access log). The plain preset additionally runs the CSP solver
-# and serving benches, which write BENCH_csp_solver.json /
-# BENCH_serve.json and assert SampleBatch determinism, the
-# 100k-lookups/sec exact-hit floor, and the <5% windowed-metrics
-# overhead budget.
+# access log), plus the WAL-store crash harness (20 SIGKILLs at
+# random points with zero acknowledged-record loss and corruption
+# quarantine) and the ENOSPC degraded-mode smoke (fault-injected
+# appends -> 503 /healthz -> auto-recovery). The plain preset
+# additionally runs the CSP solver and serving benches, which write
+# BENCH_csp_solver.json / BENCH_serve.json and assert SampleBatch
+# determinism, the 100k-lookups/sec exact-hit floor, the <5%
+# windowed-metrics overhead budget, and the O(1) WAL persist
+# (store-size-independent append latency).
 #
 # Usage: scripts/verify.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -370,6 +374,272 @@ EOF
     echo "tcp smoke: OK (clean SIGTERM drains, store persisted)"
 }
 
+# Crash-recovery chaos harness out of $1: run heron_serve on a WAL
+# store dir, tune shapes to exact-tier acknowledgment, SIGKILL the
+# server at random points (mid-tune, mid-append, mid-compaction),
+# restart on the same dir, and assert that every acknowledged
+# record is still served exact — 20 iterations, zero startup
+# failures. One iteration also corrupts the newest segment's tail,
+# which the next startup must quarantine (renamed aside + counted)
+# without losing acknowledged records.
+smoke_store_crash() {
+    local build_dir="$1"
+    echo "== store crash-recovery smoke ($build_dir) =="
+    local out="$build_dir/store-crash-smoke"
+    rm -rf "$out"
+    mkdir -p "$out"
+    python3 - "$build_dir/examples/heron_serve" "$out" <<'EOF'
+import json, os, random, signal, socket, subprocess, sys, time
+
+binary, out = sys.argv[1], sys.argv[2]
+store_dir = os.path.join(out, "store")
+random.seed(7)
+
+def start():
+    port_file = os.path.join(out, "port.txt")
+    try:
+        os.remove(port_file)
+    except FileNotFoundError:
+        pass
+    proc = subprocess.Popen(
+        [binary, "--dla", "v100", "--store-dir", store_dir,
+         "--segment-bytes", "2048", "--compact-segments", "2",
+         "--tune-on-miss", "--trials", "16", "--seed", "5",
+         "--no-fallback",
+         "--port", "0", "--port-file", port_file],
+        stdout=subprocess.DEVNULL,
+        stderr=open(os.path.join(out, "server.err"), "ab"))
+    for _ in range(600):
+        if os.path.exists(port_file) and os.path.getsize(port_file):
+            break
+        assert proc.poll() is None, \
+            f"server failed to start: rc={proc.returncode}"
+        time.sleep(0.05)
+    else:
+        raise AssertionError("server never published its port")
+    port = int(open(port_file).read().strip())
+    sock = socket.create_connection(("127.0.0.1", port), 30)
+    sock.settimeout(120)
+    return proc, sock, sock.makefile("r")
+
+def rpc(sock, reader, obj):
+    sock.sendall((json.dumps(obj) + "\n").encode())
+    line = reader.readline()
+    assert line, "connection closed"
+    return json.loads(line)
+
+acked = []
+quarantined_seen = False
+shape_id = 0
+for iteration in range(20):
+    proc, sock, reader = start()
+    health = rpc(sock, reader, {"id": 1, "cmd": "health"})
+    assert health["status"] == "ok", health
+    if iteration == 10:
+        # Startup right after the corruption injection: the damaged
+        # segment must be quarantined, not fatal.
+        assert health["store"]["quarantined"] >= 1, health
+        assert any(f.endswith(".quarantined")
+                   for f in os.listdir(store_dir)), \
+            os.listdir(store_dir)
+        quarantined_seen = True
+    # Zero acknowledged-record loss across every prior kill.
+    for i, m in enumerate(acked):
+        r = rpc(sock, reader, {"id": 100 + i, "op": "gemm",
+                               "shape": [m, 64, 64]})
+        assert r["tier"] == "exact", \
+            f"iteration {iteration}: acked m={m} lost: {r}"
+    # Tune one new shape to exact-tier acknowledgment (an exact
+    # answer implies the record hit the WAL before publish).
+    m = 64 + 8 * shape_id
+    shape_id += 1
+    r = rpc(sock, reader,
+            {"id": 2, "op": "gemm", "shape": [m, 64, 64]})
+    assert r["tier"] == "miss" and r["enqueued"], r
+    rpc(sock, reader, {"id": 3, "cmd": "drain"})
+    r = rpc(sock, reader,
+            {"id": 4, "op": "gemm", "shape": [m, 64, 64]})
+    assert r["tier"] == "exact", r
+    acked.append(m)
+    # Enqueue one more tune and SIGKILL at a random point inside
+    # it, so kills land at varied WAL positions. That tune was
+    # never acknowledged, so it is allowed to vanish.
+    m2 = 64 + 8 * shape_id
+    shape_id += 1
+    rpc(sock, reader,
+        {"id": 5, "op": "gemm", "shape": [m2, 64, 64]})
+    time.sleep(random.uniform(0.0, 0.2))
+    proc.send_signal(signal.SIGKILL)
+    proc.wait()
+    sock.close()
+    if iteration == 9:
+        segs = sorted(f for f in os.listdir(store_dir)
+                      if f.startswith("seg-") and
+                      f.endswith(".wal"))
+        assert segs, os.listdir(store_dir)
+        with open(os.path.join(store_dir, segs[-1]), "ab") as f:
+            f.write(b"garbage line, not a framed record\n")
+
+assert len(acked) == 20 and quarantined_seen
+print(f"store crash smoke: OK (20 SIGKILL iterations, "
+      f"{len(acked)} acknowledged records all recovered, "
+      f"corruption quarantined)")
+EOF
+}
+
+# Degraded-mode smoke out of $1: inject ENOSPC into the WAL append
+# path via HERON_FS_FAULT. The server must keep serving lookups,
+# reject tune intake with explicit degraded responses, answer 503
+# on /healthz, log store_degraded/store_recovered access-log
+# events, auto-recover once the fault budget is exhausted, and
+# serve every tuned record after a restart.
+smoke_store_degraded() {
+    local build_dir="$1"
+    echo "== store degraded-mode smoke ($build_dir) =="
+    local out="$build_dir/store-degraded-smoke"
+    rm -rf "$out"
+    mkdir -p "$out"
+    python3 - "$build_dir/examples/heron_serve" "$out" <<'EOF'
+import json, os, signal, socket, subprocess, sys, time
+import urllib.error, urllib.request
+
+binary, out = sys.argv[1], sys.argv[2]
+store_dir = os.path.join(out, "store")
+
+def start(env_fault=None):
+    env = dict(os.environ)
+    env.pop("HERON_FS_FAULT", None)
+    if env_fault:
+        env["HERON_FS_FAULT"] = env_fault
+    for f in ("port.txt", "metrics-port.txt"):
+        try:
+            os.remove(os.path.join(out, f))
+        except FileNotFoundError:
+            pass
+    proc = subprocess.Popen(
+        [binary, "--dla", "v100", "--store-dir", store_dir,
+         "--tune-on-miss", "--trials", "16", "--seed", "5",
+         "--no-fallback", "--store-retry-ms", "200",
+         "--port", "0",
+         "--port-file", os.path.join(out, "port.txt"),
+         "--metrics-port", "0",
+         "--metrics-port-file", os.path.join(out,
+                                             "metrics-port.txt"),
+         "--access-log", os.path.join(out, "access.jsonl")],
+        env=env, stdout=subprocess.DEVNULL,
+        stderr=open(os.path.join(out, "server.err"), "ab"))
+    for _ in range(600):
+        ready = all(
+            os.path.exists(os.path.join(out, f)) and
+            os.path.getsize(os.path.join(out, f))
+            for f in ("port.txt", "metrics-port.txt"))
+        if ready:
+            break
+        assert proc.poll() is None, \
+            f"server failed to start: rc={proc.returncode}"
+        time.sleep(0.05)
+    else:
+        raise AssertionError("server never published its ports")
+    port = int(open(os.path.join(out, "port.txt")).read())
+    mport = int(open(os.path.join(out,
+                                  "metrics-port.txt")).read())
+    sock = socket.create_connection(("127.0.0.1", port), 30)
+    sock.settimeout(120)
+    return proc, sock, sock.makefile("r"), mport
+
+def rpc(sock, reader, obj):
+    sock.sendall((json.dumps(obj) + "\n").encode())
+    line = reader.readline()
+    assert line, "connection closed"
+    return json.loads(line)
+
+def healthz(mport):
+    url = f"http://127.0.0.1:{mport}/healthz"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode()
+
+# The first WAL append and the next three probe retries fail with
+# ENOSPC, then the path heals: a real out-of-space episode in
+# miniature.
+proc, sock, reader, mport = start("store.append:fail=4")
+
+r = rpc(sock, reader,
+        {"id": 1, "op": "gemm", "shape": [64, 64, 64]})
+assert r["tier"] == "miss" and r["enqueued"], r
+rpc(sock, reader, {"id": 2, "cmd": "drain"})
+# The tuned record is served from memory even though its persist
+# failed — degraded is read-mostly, not down.
+r = rpc(sock, reader,
+        {"id": 3, "op": "gemm", "shape": [64, 64, 64]})
+assert r["tier"] == "exact", r
+
+health = rpc(sock, reader, {"id": 4, "cmd": "health"})
+assert health["status"] == "degraded", health
+assert health["store"]["append_failures"] >= 1, health
+assert health["store"]["unflushed"] >= 1, health
+code, body = healthz(mport)
+assert code == 503 and "degraded" in body, (code, body)
+
+# Tune intake is paused with an explicit rejection while degraded.
+r = rpc(sock, reader,
+        {"id": 5, "op": "gemm", "shape": [96, 64, 64]})
+assert r["tier"] == "miss", r
+assert not r["enqueued"], r
+assert r.get("degraded") == 1, r
+stats = rpc(sock, reader, {"id": 6, "cmd": "stats"})
+assert stats["queue"]["rejected_degraded"] >= 1, stats
+assert stats["store"]["state"] == "degraded", stats
+
+# Backoff probes burn through the fault budget: auto-recovery.
+deadline = time.time() + 30
+while time.time() < deadline:
+    health = rpc(sock, reader, {"id": 7, "cmd": "health"})
+    if health["status"] == "ok":
+        break
+    time.sleep(0.2)
+assert health["status"] == "ok", health
+assert health["store"]["recoveries"] >= 1, health
+assert health["store"]["unflushed"] == 0, health
+code, body = healthz(mport)
+assert code == 200 and '"status":"ok"' in body, (code, body)
+
+# Intake resumes after recovery.
+r = rpc(sock, reader,
+        {"id": 8, "op": "gemm", "shape": [96, 64, 64]})
+assert r["tier"] == "miss" and r["enqueued"], r
+rpc(sock, reader, {"id": 9, "cmd": "drain"})
+r = rpc(sock, reader,
+        {"id": 10, "op": "gemm", "shape": [96, 64, 64]})
+assert r["tier"] == "exact", r
+sock.close()
+
+proc.send_signal(signal.SIGTERM)
+assert proc.wait(120) == 0, proc.returncode
+
+# The outage and the recovery are both visible to operators.
+events = [json.loads(l)
+          for l in open(os.path.join(out, "access.jsonl"))]
+kinds = {e.get("event") for e in events}
+assert "store_degraded" in kinds, kinds
+assert "store_recovered" in kinds, kinds
+
+# Everything tuned before, during, and after the outage survives
+# a restart (the degraded-spell record via the recovery flush).
+proc, sock, reader, mport = start()
+for rid, m in ((11, 64), (12, 96)):
+    r = rpc(sock, reader,
+            {"id": rid, "op": "gemm", "shape": [m, 64, 64]})
+    assert r["tier"] == "exact", (m, r)
+proc.send_signal(signal.SIGTERM)
+assert proc.wait(120) == 0, proc.returncode
+print("store degraded smoke: OK (ENOSPC -> degraded read-only, "
+      "503 /healthz, intake rejected, auto-recovery, durable)")
+EOF
+}
+
 # Serving throughput smoke out of $1: the exact-hit path must
 # sustain at least 100k lookups/sec single-threaded and never
 # misserve (the bench exits nonzero when an exact-hit query is
@@ -401,8 +671,16 @@ if cores >= 2:
     scaling = f"2-thread speedup {two['speedup']:.2f}x"
 else:
     scaling = "single core: scaling not asserted"
+wal = bench["wal"]
+assert wal["records"] == wal["appends"], wal
+assert wal["o1_persist"], wal
+assert wal["growth_ratio"] < 3.0, \
+    f"WAL append cost grew with store size: {wal}"
+assert wal["replay_ms"] > 0, wal
 print(f"serve bench smoke: OK ({rate:.0f} exact lookups/sec, "
-      f"metrics overhead {over:.2f}%, {scaling})")
+      f"metrics overhead {over:.2f}%, {scaling}, "
+      f"WAL {wal['appends_per_sec']:.0f} appends/sec "
+      f"ratio {wal['growth_ratio']:.2f})")
 EOF
 }
 
@@ -414,6 +692,8 @@ smoke_observability build
 smoke_csp_bench build
 smoke_serve build
 smoke_serve_tcp build
+smoke_store_crash build
+smoke_store_degraded build
 smoke_serve_bench build
 
 if [[ "$run_asan" == 1 ]]; then
@@ -426,6 +706,8 @@ if [[ "$run_asan" == 1 ]]; then
     ASAN_OPTIONS=detect_leaks=0 smoke_observability build-asan
     ASAN_OPTIONS=detect_leaks=0 smoke_serve build-asan
     ASAN_OPTIONS=detect_leaks=0 smoke_serve_tcp build-asan
+    ASAN_OPTIONS=detect_leaks=0 smoke_store_crash build-asan
+    ASAN_OPTIONS=detect_leaks=0 smoke_store_degraded build-asan
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -434,7 +716,7 @@ if [[ "$run_tsan" == 1 ]]; then
     cmake --build --preset tsan -j
     TSAN_OPTIONS=halt_on_error=1 \
         ctest --preset tsan \
-        -R 'test_measure_pool|test_csp_property|test_serve|test_server' \
+        -R 'test_measure_pool|test_csp_property|test_serve|test_server|test_store_wal' \
         --no-tests=error
 fi
 

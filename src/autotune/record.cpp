@@ -1,6 +1,7 @@
 #include "autotune/record.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
@@ -231,6 +232,25 @@ read_records(const std::string &text, RecordReadStats *stats)
     if (stats)
         *stats = local;
     return records;
+}
+
+std::vector<TuningRecord>
+read_records_file(const std::string &path, RecordReadStats *stats,
+                  bool *found)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (found)
+            *found = false;
+        if (stats)
+            *stats = {};
+        return {};
+    }
+    if (found)
+        *found = true;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return read_records(text.str(), stats);
 }
 
 std::optional<hw::MeasureResult>

@@ -130,6 +130,18 @@ std::vector<TuningRecord> read_records(const std::string &text,
                                            nullptr);
 
 /**
+ * Read a CRC-framed JSONL file through read_records. @p found
+ * (optional) reports whether the file could be opened at all —
+ * distinguishing "missing store" from "empty store" — and @p stats
+ * receives the read accounting. Shared by the serving registry and
+ * the durable store's replay path so both agree on torn-tail and
+ * corruption semantics.
+ */
+std::vector<TuningRecord> read_records_file(
+    const std::string &path, RecordReadStats *stats = nullptr,
+    bool *found = nullptr);
+
+/**
  * Replay a record against a freshly generated space: bind its
  * assignment and re-measure. Returns nullopt (with a warning) when
  * the record's DLA does not match the measurer's, or when the

@@ -240,17 +240,46 @@ PromExporter::serve_loop()
                            SOCK_CLOEXEC);
         if (fd < 0)
             continue;
-        // Read (and discard) the request head; a scrape is always
-        // small and we answer every path with the metrics page.
+        // Read the request head; a scrape is always small. The
+        // request-line path routes /healthz, everything else
+        // answers the metrics page.
         char buf[4096];
         struct timeval tv{1, 0};
         ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-        (void)::recv(fd, buf, sizeof(buf), 0);
-        std::string body = render_ ? render_() : std::string();
+        ssize_t got = ::recv(fd, buf, sizeof(buf) - 1, 0);
+        std::string path;
+        if (got > 0) {
+            buf[got] = '\0';
+            // "GET <path> HTTP/1.x" — take the second token.
+            std::string head(buf);
+            size_t sp1 = head.find(' ');
+            if (sp1 != std::string::npos) {
+                size_t sp2 = head.find(' ', sp1 + 1);
+                if (sp2 != std::string::npos)
+                    path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+            }
+        }
+        std::string body;
+        const char *status = "200 OK";
+        const char *content_type =
+            "text/plain; version=0.0.4; charset=utf-8";
+        if (health_ && path == "/healthz") {
+            auto [healthy, detail] = health_();
+            status = healthy ? "200 OK"
+                             : "503 Service Unavailable";
+            content_type = "application/json";
+            body = detail.empty()
+                       ? std::string(healthy ? "{\"status\":\"ok\"}"
+                                             : "{\"status\":"
+                                               "\"degraded\"}")
+                       : detail;
+            body += "\n";
+        } else {
+            body = render_ ? render_() : std::string();
+        }
         std::ostringstream response;
-        response << "HTTP/1.0 200 OK\r\n"
-                 << "Content-Type: text/plain; version=0.0.4; "
-                    "charset=utf-8\r\n"
+        response << "HTTP/1.0 " << status << "\r\n"
+                 << "Content-Type: " << content_type << "\r\n"
                  << "Content-Length: " << body.size() << "\r\n"
                  << "Connection: close\r\n\r\n"
                  << body;

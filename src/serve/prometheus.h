@@ -14,9 +14,12 @@
  * error in Prometheus).
  *
  * PromExporter is a deliberately tiny HTTP/1.0 server: one thread,
- * one request per connection, any request path answers the metrics
- * page. It exists so `curl host:port/metrics` works against a
- * serving binary without an HTTP framework dependency.
+ * one request per connection. GET /healthz answers the liveness/
+ * readiness probe (200 "ok" when healthy, 503 "degraded" while the
+ * durable store's persist path is failing) when a health callback
+ * is installed; every other path answers the metrics page. It
+ * exists so `curl host:port/metrics` works against a serving binary
+ * without an HTTP framework dependency.
  */
 #ifndef HERON_SERVE_PROMETHEUS_H
 #define HERON_SERVE_PROMETHEUS_H
@@ -26,6 +29,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/observe.h"
@@ -45,10 +49,18 @@ class PromExporter
 {
   public:
     using RenderFn = std::function<std::string()>;
+    /**
+     * Health probe: healthy flag + body text (e.g. the store stats
+     * JSON). Drives /healthz's 200-vs-503 status.
+     */
+    using HealthFn = std::function<std::pair<bool, std::string>()>;
 
     /** @p render is called per scrape, on the exporter thread. */
     PromExporter(std::string host, uint16_t port, RenderFn render);
     ~PromExporter();
+
+    /** Install the /healthz callback (before start()). */
+    void set_health(HealthFn health) { health_ = std::move(health); }
 
     PromExporter(const PromExporter &) = delete;
     PromExporter &operator=(const PromExporter &) = delete;
@@ -65,6 +77,7 @@ class PromExporter
     std::string host_;
     uint16_t port_;
     RenderFn render_;
+    HealthFn health_;
     int listen_fd_ = -1;
     uint16_t bound_port_ = 0;
     std::atomic<bool> running_{false};

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ir/tensor.h"
+#include "serve/store_wal.h"
 #include "support/build_info.h"
 #include "support/json_util.h"
 #include "support/metrics.h"
@@ -126,6 +127,8 @@ request_kind_name(Request::Kind kind)
         return "drain";
       case Request::Kind::kSave:
         return "save";
+      case Request::Kind::kHealth:
+        return "health";
       case Request::Kind::kQuit:
         return "quit";
       case Request::Kind::kShutdown:
@@ -151,6 +154,8 @@ parse_request(const std::string &line, const hw::DlaSpec &spec,
             request.kind = Request::Kind::kDrain;
         else if (*cmd == "save")
             request.kind = Request::Kind::kSave;
+        else if (*cmd == "health")
+            request.kind = Request::Kind::kHealth;
         else if (*cmd == "quit")
             request.kind = Request::Kind::kQuit;
         else if (*cmd == "shutdown")
@@ -197,7 +202,8 @@ parse_request(const std::string &line, const hw::DlaSpec &spec,
 }
 
 std::string
-format_lookup_response(int64_t id, const LookupResult &result)
+format_lookup_response(int64_t id, const LookupResult &result,
+                       bool degraded)
 {
     std::ostringstream out;
     out << std::setprecision(
@@ -220,8 +226,11 @@ format_lookup_response(int64_t id, const LookupResult &result)
             << json_escape(result.served_from)
             << "\",\"distance\":" << result.distance;
     if (result.tier == LookupTier::kMiss ||
-        result.tier == LookupTier::kNearest)
+        result.tier == LookupTier::kNearest) {
         out << ",\"enqueued\":" << (result.enqueued ? 1 : 0);
+        if (degraded)
+            out << ",\"degraded\":1";
+    }
     out << "}";
     return out.str();
 }
@@ -230,7 +239,8 @@ std::string
 format_stats_response(int64_t id, const KernelRegistry &registry,
                       const TuneQueue *queue,
                       const ServeRuntime *runtime,
-                      const SloStatus *slo)
+                      const SloStatus *slo,
+                      const DurableStore *store)
 {
     RegistryStats stats = registry.stats();
     std::ostringstream out;
@@ -255,8 +265,14 @@ format_stats_response(int64_t id, const KernelRegistry &registry,
             << ",\"rejected_full\":" << qs.rejected_full
             << ",\"completed\":" << qs.completed
             << ",\"untunable\":" << qs.failed
-            << ",\"failed\":" << qs.failed << "}";
+            << ",\"failed\":" << qs.failed
+            << ",\"persist_failures\":" << qs.persist_failures
+            << ",\"persist_retries\":" << qs.persist_retries
+            << ",\"rejected_degraded\":" << qs.rejected_degraded
+            << "}";
     }
+    if (store)
+        out << ",\"store\":" << store->stats().to_json();
     if (runtime) {
         out << std::setprecision(6) << ",\"uptime_s\":"
             << runtime->uptime_s(
@@ -305,6 +321,22 @@ format_metrics_response(int64_t id, const RequestMetrics *windows,
     if (slo)
         out << ",\"slo\":" << slo->to_json();
     out << "}";
+    return out.str();
+}
+
+std::string
+format_health_response(int64_t id, const DurableStore *store)
+{
+    std::ostringstream out;
+    out << "{\"id\":" << id << ",\"status\":\"";
+    if (store == nullptr) {
+        out << "ok\",\"store\":null}";
+        return out.str();
+    }
+    DurableStoreStats stats = store->stats();
+    out << (stats.state == StoreState::kHealthy ? "ok"
+                                                : "degraded")
+        << "\",\"store\":" << stats.to_json() << "}";
     return out.str();
 }
 

@@ -27,6 +27,9 @@
  *                              sliding-window latency quantiles
  *   {"id":9,"cmd":"drain"}     block until the tune queue is idle
  *   {"id":9,"cmd":"save"}      persist the store now
+ *   {"id":9,"cmd":"health"}    liveness + durable-store state
+ *                              ("ok" or "degraded" with the
+ *                              serve.store.* accounting)
  *   {"id":9,"cmd":"quit"}      stop serving this client (EOF does
  *                              the same; in --stdio mode this stops
  *                              the server)
@@ -53,6 +56,8 @@
 
 namespace heron::serve {
 
+class DurableStore;
+
 /** One parsed request line. */
 struct Request {
     enum class Kind : uint8_t {
@@ -61,6 +66,7 @@ struct Request {
         kMetrics,
         kDrain,
         kSave,
+        kHealth,
         kQuit,
         kShutdown,
     };
@@ -88,22 +94,38 @@ std::optional<Request> parse_request(const std::string &line,
                                      const hw::DlaSpec &spec,
                                      std::string *error);
 
-/** Response line (no trailing newline) for a lookup result. */
+/**
+ * Response line (no trailing newline) for a lookup result. With
+ * @p degraded, a miss/nearest response carries "degraded":1 so the
+ * client can tell an intake pause from an ordinary full queue.
+ */
 std::string format_lookup_response(int64_t id,
-                                   const LookupResult &result);
+                                   const LookupResult &result,
+                                   bool degraded = false);
 
 /**
  * Response line for {"cmd":"stats"}: per-tier counters, registry
  * size/inserts, and queue accounting. With @p runtime, adds
  * uptime_s/pid and the baked-in build identity (compiler, sanitizer
- * preset, git describe); with @p slo, the SLO controller status.
+ * preset, git describe); with @p slo, the SLO controller status;
+ * with @p store, the durable-store accounting ("store":{...}).
  */
 std::string format_stats_response(int64_t id,
                                   const KernelRegistry &registry,
                                   const TuneQueue *queue,
                                   const ServeRuntime *runtime =
                                       nullptr,
-                                  const SloStatus *slo = nullptr);
+                                  const SloStatus *slo = nullptr,
+                                  const DurableStore *store =
+                                      nullptr);
+
+/**
+ * Response line for {"cmd":"health"}: "ok" or "degraded" plus the
+ * durable-store stats object (null without a store — a store-less
+ * server is always "ok").
+ */
+std::string format_health_response(int64_t id,
+                                   const DurableStore *store);
 
 /**
  * Response line for {"cmd":"metrics"}: the process-wide metrics

@@ -489,6 +489,20 @@ KernelRegistry::load_store(const std::string &text,
 {
     StoreLoadStats local;
     auto records = autotune::read_records(text, &local.read);
+    int64_t loaded = load_records(std::move(records), &local);
+    if (stats)
+        *stats = local;
+    return loaded;
+}
+
+int64_t
+KernelRegistry::load_records(
+    std::vector<autotune::TuningRecord> records,
+    StoreLoadStats *stats)
+{
+    StoreLoadStats local;
+    if (stats)
+        local.read = stats->read;
     for (auto &record : records) {
         auto key = parse_canonical(record.workload);
         if (!key) {

@@ -229,6 +229,15 @@ class KernelRegistry
     int64_t load_store(const std::string &text,
                        StoreLoadStats *stats = nullptr);
 
+    /**
+     * Merge already-parsed records (same screening and collision
+     * policy as load_store). Feeds the index from sources that do
+     * their own framing, e.g. DurableStore::records() after a WAL
+     * replay.
+     */
+    int64_t load_records(std::vector<autotune::TuningRecord> records,
+                         StoreLoadStats *stats = nullptr);
+
     /** load_store from a file; missing file = empty store (0). */
     int64_t load_store_file(const std::string &path,
                             StoreLoadStats *stats = nullptr);

@@ -107,8 +107,12 @@ execute_request(const Request &request, Clock::time_point arrival,
             out.ok = false;
             out.deadline_exceeded = true;
         } else {
-            out.response =
-                format_lookup_response(request.id, result);
+            // A degraded store pauses tune intake; flag the miss so
+            // clients can tell the pause from a full queue.
+            bool degraded = ctx.store != nullptr &&
+                            !ctx.store->healthy();
+            out.response = format_lookup_response(request.id,
+                                                  result, degraded);
         }
         HERON_HISTOGRAM_OBSERVE("serve.request.lookup_us",
                                 ms_since(arrival) * 1e3);
@@ -121,7 +125,7 @@ execute_request(const Request &request, Clock::time_point arrival,
         serialize_start = Clock::now();
         out.response = format_stats_response(
             request.id, registry, queue, ctx.runtime,
-            ctx.slo ? &slo_status : nullptr);
+            ctx.slo ? &slo_status : nullptr, ctx.store);
         HERON_HISTOGRAM_OBSERVE("serve.request.stats_us",
                                 ms_since(arrival) * 1e3);
         break;
@@ -168,12 +172,24 @@ execute_request(const Request &request, Clock::time_point arrival,
         break;
       }
       case Request::Kind::kSave: {
-        bool saved = !ctx.store_path.empty() &&
-                     registry.save_store_file(ctx.store_path);
+        bool saved;
+        if (ctx.store != nullptr)
+            saved = ctx.store->compact_now();
+        else
+            saved = !ctx.store_path.empty() &&
+                    registry.save_store_file(ctx.store_path);
         serialize_start = Clock::now();
         out.response =
             format_ack_response(request.id, "saved", saved);
         HERON_HISTOGRAM_OBSERVE("serve.request.save_us",
+                                ms_since(arrival) * 1e3);
+        break;
+      }
+      case Request::Kind::kHealth: {
+        serialize_start = Clock::now();
+        out.response =
+            format_health_response(request.id, ctx.store);
+        HERON_HISTOGRAM_OBSERVE("serve.request.health_us",
                                 ms_since(arrival) * 1e3);
         break;
       }
@@ -225,6 +241,7 @@ Server::Server(KernelRegistry &registry, TuneQueue *queue,
     exec_ctx_.request_metrics = &request_metrics_;
     exec_ctx_.runtime = &runtime_;
     exec_ctx_.slo = slo_.get();
+    exec_ctx_.store = config_.store;
 }
 
 Server::~Server()
@@ -832,8 +849,14 @@ Server::finish_drain(bool graceful)
         conn.flush(); // best effort
         close_conn(conn);
     }
-    if (!config_.store_path.empty() &&
-        !registry_.save_store_file(config_.store_path)) {
+    if (config_.store != nullptr) {
+        // The WAL already holds every acknowledged record; the
+        // compaction just leaves a tidy snapshot behind.
+        if (!config_.store->compact_now())
+            HERON_WARN << "serve: drain compaction failed (WAL "
+                          "segments remain authoritative)";
+    } else if (!config_.store_path.empty() &&
+               !registry_.save_store_file(config_.store_path)) {
         HERON_WARN << "serve: cannot persist store to "
                    << config_.store_path;
     }
@@ -889,6 +912,29 @@ void
 Server::tick(Clock::time_point now)
 {
     maybe_evaluate_slo(now);
+    if (config_.store != nullptr) {
+        // Drive degraded-mode recovery probes even when no tune
+        // completes, and log state transitions unsampled so an
+        // operator can line them up against the failed requests.
+        config_.store->tick(now);
+        StoreState state = config_.store->state();
+        if (state != last_store_state_) {
+            last_store_state_ = state;
+            HERON_GAUGE_SET("serve.store.degraded",
+                            state == StoreState::kDegraded ? 1.0
+                                                           : 0.0);
+            if (access_log_.enabled()) {
+                std::ostringstream line;
+                line << "{\"event\":\""
+                     << (state == StoreState::kDegraded
+                             ? "store_degraded"
+                             : "store_recovered")
+                     << "\",\"store\":"
+                     << config_.store->stats().to_json() << "}";
+                access_log_.append(line.str(), /*always=*/true);
+            }
+        }
+    }
     if (drain_active_) {
         bool workers_idle = true;
         // pending_requests_ counts admitted-but-unanswered work;

@@ -61,6 +61,7 @@
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/slo.h"
+#include "serve/store_wal.h"
 #include "serve/tune_queue.h"
 
 namespace heron::serve {
@@ -96,6 +97,12 @@ struct ServerConfig {
     double tick_ms = 50.0;
     /** Persist the registry here when draining ("" = off). */
     std::string store_path;
+    /**
+     * WAL-backed durable store (nullable; preferred over
+     * store_path). The tick loop drives its degraded-mode recovery
+     * probes and logs state transitions; drain compacts it.
+     */
+    DurableStore *store = nullptr;
     /**
      * Test hook: stall each worker this long per request, so chaos
      * tests can saturate the pending watermark deterministically.
@@ -184,6 +191,9 @@ struct ServeContext {
     const ServeRuntime *runtime = nullptr;
     /** SLO status for the stats/metrics responses (nullable). */
     const SloController *slo = nullptr;
+    /** Durable store for health/stats/save and the degraded flag
+     * on miss responses (nullable). */
+    DurableStore *store = nullptr;
 };
 
 /**
@@ -337,6 +347,8 @@ class Server
 
     std::atomic<bool> drain_requested_{false};
     bool drain_active_ = false;
+    /** Last store state seen by tick(), for transition events. */
+    StoreState last_store_state_ = StoreState::kHealthy;
     std::chrono::steady_clock::time_point drain_deadline_{};
     bool loop_running_ = false;
     bool graceful_exit_ = true;

@@ -1,0 +1,768 @@
+#include "serve/store_wal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/fs_util.h"
+#include "support/json_util.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+
+namespace heron::serve {
+
+namespace {
+
+constexpr const char *kManifestName = "MANIFEST";
+constexpr const char *kSnapshotPrefix = "snapshot-";
+constexpr const char *kSnapshotSuffix = ".jsonl";
+constexpr const char *kSegmentPrefix = "seg-";
+constexpr const char *kSegmentSuffix = ".wal";
+constexpr const char *kQuarantineSuffix = ".quarantined";
+
+/**
+ * Parse "<prefix>NNNNNN<suffix>" into its id; -1 when @p name does
+ * not match the pattern (quarantined files and temp files fall out
+ * here, which is what keeps them from being replayed).
+ */
+int64_t
+parse_file_id(const std::string &name, const char *prefix,
+              const char *suffix)
+{
+    size_t plen = std::strlen(prefix);
+    size_t slen = std::strlen(suffix);
+    if (name.size() <= plen + slen)
+        return -1;
+    if (name.compare(0, plen, prefix) != 0)
+        return -1;
+    if (name.compare(name.size() - slen, slen, suffix) != 0)
+        return -1;
+    int64_t id = 0;
+    for (size_t i = plen; i < name.size() - slen; ++i) {
+        char c = name[i];
+        if (c < '0' || c > '9')
+            return -1;
+        id = id * 10 + (c - '0');
+    }
+    return id;
+}
+
+/** mkdir -p: create every missing component of @p dir. */
+bool
+make_dirs(const std::string &dir)
+{
+    if (dir.empty())
+        return false;
+    std::string partial;
+    size_t pos = 0;
+    while (pos <= dir.size()) {
+        size_t slash = dir.find('/', pos);
+        if (slash == std::string::npos)
+            slash = dir.size();
+        partial = dir.substr(0, slash);
+        pos = slash + 1;
+        if (partial.empty() || partial == ".")
+            continue;
+        if (::mkdir(partial.c_str(), 0755) != 0 &&
+            errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+/** fsync the directory so a new entry survives power loss. */
+void
+sync_dir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+std::string
+read_text_file(const std::string &path, bool *found)
+{
+    *found = false;
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return {};
+    *found = true;
+    std::string text;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+        text.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    return text;
+}
+
+} // namespace
+
+const char *
+store_state_name(StoreState state)
+{
+    switch (state) {
+    case StoreState::kHealthy:
+        return "healthy";
+    case StoreState::kDegraded:
+        return "degraded";
+    }
+    return "unknown";
+}
+
+std::string
+DurableStoreStats::to_json() const
+{
+    std::ostringstream out;
+    out << "{\"state\":\"" << store_state_name(state) << "\""
+        << ",\"appends\":" << appends
+        << ",\"append_failures\":" << append_failures
+        << ",\"rotations\":" << rotations
+        << ",\"compactions\":" << compactions
+        << ",\"compaction_failures\":" << compaction_failures
+        << ",\"quarantined\":" << quarantined
+        << ",\"torn_tails\":" << torn_tails
+        << ",\"replayed\":" << replayed
+        << ",\"salvaged\":" << salvaged
+        << ",\"degraded_entries\":" << degraded_entries
+        << ",\"recoveries\":" << recoveries
+        << ",\"probes\":" << probes
+        << ",\"unflushed\":" << unflushed
+        << ",\"live_segments\":" << live_segments
+        << ",\"records\":" << records
+        << ",\"last_replay_ms\":" << last_replay_ms << "}";
+    return out.str();
+}
+
+DurableStore::DurableStore(DurableStoreConfig config)
+    : config_(std::move(config))
+{
+}
+
+DurableStore::~DurableStore()
+{
+    close();
+}
+
+std::string
+DurableStore::file_path(const char *prefix, int64_t id,
+                        const char *suffix) const
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s%06lld%s", prefix,
+                  static_cast<long long>(id), suffix);
+    return config_.dir + "/" + name;
+}
+
+std::string
+DurableStore::manifest_path() const
+{
+    return config_.dir + "/" + kManifestName;
+}
+
+bool
+DurableStore::quarantine(const std::string &path)
+{
+    std::string aside = path + kQuarantineSuffix;
+    if (std::rename(path.c_str(), aside.c_str()) != 0) {
+        HERON_WARN << "store: cannot quarantine " << path << ": "
+                   << std::strerror(errno);
+        return false;
+    }
+    HERON_WARN << "store: quarantined corrupted file " << path
+               << " -> " << aside;
+    ++stats_.quarantined;
+    HERON_COUNTER_INC("serve.store.quarantined");
+    return true;
+}
+
+void
+DurableStore::ingest_locked(autotune::TuningRecord record)
+{
+    if (record.seq >= next_seq_)
+        next_seq_ = record.seq + 1;
+    auto it = records_.find(record.workload);
+    if (it == records_.end()) {
+        std::string key = record.workload;
+        records_.emplace(std::move(key), std::move(record));
+    } else if (record.gflops > it->second.gflops) {
+        it->second = std::move(record);
+    }
+}
+
+bool
+DurableStore::write_manifest_locked()
+{
+    std::ostringstream out;
+    out << "{\"v\":1,\"snapshot\":\""
+        << json_escape(snapshot_file_) << "\",\"segments_from\":"
+        << segments_from_ << "}\n";
+    return atomic_write_file(manifest_path(), out.str());
+}
+
+bool
+DurableStore::open_active_locked(std::string *error)
+{
+    int64_t id = next_file_id_++;
+    std::string path =
+        file_path(kSegmentPrefix, id, kSegmentSuffix);
+    int fd = -1;
+    if (fsfault::injected("store.open")) {
+        errno = ENOSPC;
+    } else {
+        fd = ::open(path.c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                    0644);
+    }
+    if (fd < 0) {
+        if (error)
+            *error = "cannot create segment " + path + ": " +
+                     std::strerror(errno);
+        return false;
+    }
+    // The directory entry must be durable before any append into
+    // this segment is acknowledged, or a crash could drop the whole
+    // segment while its records were already served as durable.
+    sync_dir(config_.dir);
+    if (active_fd_ >= 0)
+        ::close(active_fd_);
+    active_fd_ = fd;
+    active_id_ = id;
+    active_bytes_ = 0;
+    return true;
+}
+
+bool
+DurableStore::open(std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        HERON_WARN << "store: open failed: " << what;
+        return false;
+    };
+    if (!make_dirs(config_.dir))
+        return fail("cannot create store directory " +
+                    config_.dir + ": " + std::strerror(errno));
+    fs_capabilities();
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+
+    // Manifest: which snapshot is current and where live segments
+    // start. Absent or corrupt -> conservative full scan.
+    int64_t manifest_snapshot_id = -1;
+    bool have_manifest = false;
+    {
+        bool found = false;
+        std::string text =
+            read_text_file(manifest_path(), &found);
+        if (found) {
+            auto snap = json_extract(text, "snapshot");
+            auto from = json_extract(text, "segments_from");
+            if (snap && from) {
+                have_manifest = true;
+                snapshot_file_ = *snap;
+                segments_from_ = std::atoll(from->c_str());
+                if (!snapshot_file_.empty())
+                    manifest_snapshot_id = parse_file_id(
+                        snapshot_file_, kSnapshotPrefix,
+                        kSnapshotSuffix);
+            } else {
+                quarantine(manifest_path());
+                snapshot_file_.clear();
+                segments_from_ = 0;
+            }
+        }
+    }
+
+    // Scan the directory for snapshots and segments.
+    std::vector<int64_t> snapshot_ids;
+    std::vector<int64_t> segment_ids;
+    DIR *dir = ::opendir(config_.dir.c_str());
+    if (dir == nullptr)
+        return fail("cannot scan store directory " + config_.dir);
+    while (dirent *ent = ::readdir(dir)) {
+        std::string name = ent->d_name;
+        int64_t id = parse_file_id(name, kSnapshotPrefix,
+                                   kSnapshotSuffix);
+        if (id >= 0) {
+            snapshot_ids.push_back(id);
+            continue;
+        }
+        id = parse_file_id(name, kSegmentPrefix, kSegmentSuffix);
+        if (id >= 0)
+            segment_ids.push_back(id);
+    }
+    ::closedir(dir);
+    std::sort(snapshot_ids.begin(), snapshot_ids.end());
+    std::sort(segment_ids.begin(), segment_ids.end());
+
+    // Without a manifest the newest snapshot is authoritative (each
+    // snapshot folds in everything before its swap) and every
+    // segment on disk is replayed over it.
+    if (!have_manifest && !snapshot_ids.empty()) {
+        manifest_snapshot_id = snapshot_ids.back();
+        snapshot_file_ = file_path(kSnapshotPrefix,
+                                   manifest_snapshot_id,
+                                   kSnapshotSuffix);
+        snapshot_file_ =
+            snapshot_file_.substr(config_.dir.size() + 1);
+    }
+
+    int64_t quarantined_before = stats_.quarantined;
+
+    // Replay the snapshot first, then segments in id order, so a
+    // segment's newer record wins over the snapshot's.
+    auto replay_file = [&](const std::string &path,
+                           bool is_segment) {
+        autotune::RecordReadStats rs;
+        bool found = false;
+        auto recs =
+            autotune::read_records_file(path, &rs, &found);
+        if (!found)
+            return false;
+        stats_.torn_tails += rs.recovered_truncations;
+        bool damaged = rs.corrupt();
+        for (auto &rec : recs)
+            ingest_locked(std::move(rec));
+        stats_.replayed += static_cast<int64_t>(recs.size());
+        if (damaged) {
+            // Keep the CRC-valid records we just salvaged and move
+            // the damaged file aside for post-mortem; a recovery
+            // snapshot below re-persists the salvage.
+            stats_.salvaged += static_cast<int64_t>(recs.size());
+            quarantine(path);
+            return false;
+        }
+        (void)is_segment;
+        return true;
+    };
+
+    if (manifest_snapshot_id >= 0) {
+        std::string path = config_.dir + "/" + snapshot_file_;
+        if (!replay_file(path, false)) {
+            // Missing or quarantined: fall back to replaying every
+            // segment on disk.
+            snapshot_file_.clear();
+            segments_from_ = 0;
+        }
+    } else {
+        snapshot_file_.clear();
+    }
+
+    // Obsolete files: snapshots other than the loaded one, and
+    // segments already folded into it.
+    for (int64_t id : snapshot_ids) {
+        if (id == manifest_snapshot_id)
+            continue;
+        ::unlink(file_path(kSnapshotPrefix, id, kSnapshotSuffix)
+                     .c_str());
+    }
+    for (int64_t id : segment_ids) {
+        std::string path =
+            file_path(kSegmentPrefix, id, kSegmentSuffix);
+        if (id < segments_from_) {
+            ::unlink(path.c_str());
+            continue;
+        }
+        if (replay_file(path, true))
+            sealed_.push_back(Segment{id, path});
+    }
+
+    int64_t max_id = 0;
+    if (!snapshot_ids.empty())
+        max_id = std::max(max_id, snapshot_ids.back());
+    if (!segment_ids.empty())
+        max_id = std::max(max_id, segment_ids.back());
+    next_file_id_ = max_id + 1;
+
+    std::string why;
+    if (!open_active_locked(&why))
+        return fail(why);
+    segments_from_ = sealed_.empty() ? active_id_
+                                     : sealed_.front().id;
+    if (!write_manifest_locked())
+        return fail("cannot write manifest in " + config_.dir);
+
+    bool needs_recovery_snapshot =
+        stats_.quarantined > quarantined_before;
+    stats_.records = static_cast<int64_t>(records_.size());
+    stats_.live_segments = static_cast<int64_t>(sealed_.size());
+    stats_.last_replay_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    opened_ = true;
+    HERON_INFO << "store: opened " << config_.dir << " ("
+               << records_.size() << " record(s), "
+               << sealed_.size() << " live segment(s), replay "
+               << stats_.last_replay_ms << " ms)";
+    lock.unlock();
+
+    compactor_ = std::thread([this] { compactor_loop(); });
+
+    // Salvaged records live only in memory and in quarantined
+    // files; persist them now so a second crash cannot drop them.
+    if (needs_recovery_snapshot && !compact_now())
+        HERON_WARN << "store: recovery snapshot failed; salvaged "
+                      "records remain in quarantined files only";
+    return true;
+}
+
+void
+DurableStore::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closing_)
+            return;
+        closing_ = true;
+    }
+    compact_cv_.notify_all();
+    if (compactor_.joinable())
+        compactor_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_fd_ >= 0) {
+        ::close(active_fd_);
+        active_fd_ = -1;
+    }
+    opened_ = false;
+}
+
+std::vector<autotune::TuningRecord>
+DurableStore::records() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<autotune::TuningRecord> out;
+    out.reserve(records_.size());
+    for (const auto &[sig, rec] : records_)
+        out.push_back(rec);
+    return out;
+}
+
+bool
+DurableStore::raw_append_locked(
+    const autotune::TuningRecord &record)
+{
+    if (active_fd_ < 0)
+        return false;
+    std::string line = autotune::crc_frame(record.to_json());
+    line += '\n';
+    if (fsfault::injected("store.append"))
+        return false;
+    const char *data = line.data();
+    size_t left = line.size();
+    while (left > 0) {
+        ssize_t n = ::write(active_fd_, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        left -= static_cast<size_t>(n);
+    }
+    if (config_.fsync_data &&
+        (fsfault::injected("store.fsync") ||
+         ::fsync(active_fd_) != 0))
+        return false;
+    active_bytes_ += line.size();
+    ++stats_.appends;
+    HERON_COUNTER_INC("serve.store.appends");
+    return true;
+}
+
+void
+DurableStore::enter_degraded_locked(
+    const autotune::TuningRecord &record)
+{
+    ++stats_.append_failures;
+    HERON_COUNTER_INC("serve.store.append_failures");
+    auto it = unflushed_.find(record.workload);
+    if (it == unflushed_.end())
+        unflushed_.emplace(record.workload, record);
+    else if (record.gflops > it->second.gflops)
+        it->second = record;
+    stats_.unflushed = static_cast<int64_t>(unflushed_.size());
+    HERON_GAUGE_SET("serve.store.unflushed",
+                    static_cast<double>(unflushed_.size()));
+    if (state_ == StoreState::kHealthy) {
+        state_ = StoreState::kDegraded;
+        ++stats_.degraded_entries;
+        last_probe_ = std::chrono::steady_clock::now();
+        HERON_GAUGE_SET("serve.store.degraded", 1.0);
+        HERON_WARN << "store: persist failure ("
+                   << std::strerror(errno)
+                   << "); entering degraded read-only mode, "
+                      "retrying every "
+                   << config_.retry_backoff_ms << " ms";
+    }
+}
+
+void
+DurableStore::maybe_probe_locked(
+    std::chrono::steady_clock::time_point now, bool force)
+{
+    if (state_ != StoreState::kDegraded)
+        return;
+    double since_ms =
+        std::chrono::duration<double, std::milli>(now -
+                                                  last_probe_)
+            .count();
+    if (!force && since_ms < config_.retry_backoff_ms)
+        return;
+    last_probe_ = now;
+    ++stats_.probes;
+
+    // The active segment may hold a torn partial line from the
+    // failed write; appending after it would corrupt the next
+    // record's framing. Always rotate to a fresh segment first.
+    if (active_fd_ >= 0 && active_bytes_ > 0) {
+        sealed_.push_back(Segment{
+            active_id_,
+            file_path(kSegmentPrefix, active_id_,
+                      kSegmentSuffix)});
+        ++stats_.rotations;
+    }
+    if (active_fd_ >= 0) {
+        ::close(active_fd_);
+        active_fd_ = -1;
+    }
+    if (!open_active_locked(nullptr))
+        return; // still degraded; next probe retries
+    while (!unflushed_.empty()) {
+        auto it = unflushed_.begin();
+        autotune::TuningRecord rec = it->second;
+        rec.seq = next_seq_++;
+        if (!raw_append_locked(rec))
+            return; // partial recovery; keep the rest stashed
+        ingest_locked(std::move(rec));
+        unflushed_.erase(it);
+    }
+    stats_.unflushed = 0;
+    HERON_GAUGE_SET("serve.store.unflushed", 0.0);
+    state_ = StoreState::kHealthy;
+    ++stats_.recoveries;
+    stats_.records = static_cast<int64_t>(records_.size());
+    stats_.live_segments = static_cast<int64_t>(sealed_.size());
+    HERON_COUNTER_INC("serve.store.recoveries");
+    HERON_GAUGE_SET("serve.store.degraded", 0.0);
+    HERON_INFO << "store: persist path recovered; leaving "
+                  "degraded mode";
+}
+
+bool
+DurableStore::append(const autotune::TuningRecord &record)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!opened_) {
+        ++stats_.append_failures;
+        return false;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (state_ == StoreState::kDegraded) {
+        maybe_probe_locked(now);
+        if (state_ == StoreState::kDegraded) {
+            autotune::TuningRecord rec = record;
+            enter_degraded_locked(rec);
+            ingest_locked(std::move(rec));
+            stats_.records =
+                static_cast<int64_t>(records_.size());
+            return false;
+        }
+    }
+
+    autotune::TuningRecord rec = record;
+    rec.seq = next_seq_++;
+    if (!raw_append_locked(rec)) {
+        enter_degraded_locked(rec);
+        ingest_locked(std::move(rec));
+        stats_.records = static_cast<int64_t>(records_.size());
+        return false;
+    }
+    ingest_locked(std::move(rec));
+    stats_.records = static_cast<int64_t>(records_.size());
+
+    if (active_bytes_ >= config_.segment_max_bytes) {
+        sealed_.push_back(Segment{
+            active_id_,
+            file_path(kSegmentPrefix, active_id_,
+                      kSegmentSuffix)});
+        ++stats_.rotations;
+        HERON_COUNTER_INC("serve.store.rotations");
+        if (!open_active_locked(nullptr)) {
+            // Keep appending to the oversized segment; durability
+            // is intact, only the size bound slips.
+            sealed_.pop_back();
+            --stats_.rotations;
+            int fd = ::open(
+                file_path(kSegmentPrefix, active_id_,
+                          kSegmentSuffix)
+                    .c_str(),
+                O_WRONLY | O_APPEND | O_CLOEXEC);
+            active_fd_ = fd;
+            if (fd < 0)
+                HERON_WARN << "store: segment rotation failed and "
+                              "reopen failed; next append will "
+                              "degrade";
+        }
+        stats_.live_segments =
+            static_cast<int64_t>(sealed_.size());
+        if (config_.compact_min_segments > 0 &&
+            sealed_.size() >= static_cast<size_t>(
+                                  config_.compact_min_segments)) {
+            compact_requested_ = true;
+            compact_cv_.notify_all();
+        }
+    }
+    return true;
+}
+
+void
+DurableStore::tick(std::chrono::steady_clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!opened_)
+        return;
+    maybe_probe_locked(now);
+}
+
+bool
+DurableStore::do_compact()
+{
+    std::lock_guard<std::mutex> run(compact_run_mu_);
+    std::vector<autotune::TuningRecord> records;
+    std::vector<Segment> obsolete;
+    std::string old_snapshot;
+    int64_t new_id;
+    int64_t boundary;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!opened_)
+            return false;
+        records.reserve(records_.size());
+        for (const auto &[sig, rec] : records_)
+            records.push_back(rec);
+        obsolete = sealed_;
+        old_snapshot = snapshot_file_;
+        new_id = next_file_id_++;
+        boundary = active_id_;
+    }
+    std::sort(records.begin(), records.end(),
+              [](const autotune::TuningRecord &a,
+                 const autotune::TuningRecord &b) {
+                  return a.workload < b.workload;
+              });
+    for (size_t i = 0; i < records.size(); ++i)
+        records[i].seq = static_cast<int64_t>(i) + 1;
+    std::string path =
+        file_path(kSnapshotPrefix, new_id, kSnapshotSuffix);
+    if (!atomic_write_file(path,
+                           autotune::write_records(records))) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.compaction_failures;
+        HERON_WARN << "store: compaction snapshot write failed";
+        return false;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::string old_file = snapshot_file_;
+        int64_t old_from = segments_from_;
+        snapshot_file_ = path.substr(config_.dir.size() + 1);
+        segments_from_ = boundary;
+        if (!write_manifest_locked()) {
+            snapshot_file_ = old_file;
+            segments_from_ = old_from;
+            ++stats_.compaction_failures;
+            ::unlink(path.c_str());
+            HERON_WARN << "store: compaction manifest swap failed";
+            return false;
+        }
+        ++stats_.compactions;
+        HERON_COUNTER_INC("serve.store.compactions");
+        // Everything before the boundary is folded into the new
+        // snapshot; segments sealed after the copy stay live.
+        sealed_.erase(
+            std::remove_if(sealed_.begin(), sealed_.end(),
+                           [&](const Segment &seg) {
+                               if (seg.id >= boundary)
+                                   return false;
+                               ::unlink(seg.path.c_str());
+                               return true;
+                           }),
+            sealed_.end());
+        stats_.live_segments =
+            static_cast<int64_t>(sealed_.size());
+        if (!old_snapshot.empty() &&
+            old_snapshot != snapshot_file_)
+            ::unlink(
+                (config_.dir + "/" + old_snapshot).c_str());
+
+        // The swap persisted every in-memory record, including any
+        // stashed during a degraded spell — attempt recovery now
+        // rather than waiting out the backoff.
+        if (state_ == StoreState::kDegraded) {
+            unflushed_.clear();
+            stats_.unflushed = 0;
+            HERON_GAUGE_SET("serve.store.unflushed", 0.0);
+            maybe_probe_locked(std::chrono::steady_clock::now(),
+                               /*force=*/true);
+        }
+    }
+    return true;
+}
+
+bool
+DurableStore::compact_now()
+{
+    return do_compact();
+}
+
+void
+DurableStore::compactor_loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!closing_) {
+        compact_cv_.wait(lock, [this] {
+            return closing_ || compact_requested_;
+        });
+        if (closing_)
+            break;
+        compact_requested_ = false;
+        lock.unlock();
+        do_compact();
+        lock.lock();
+    }
+}
+
+StoreState
+DurableStore::state() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+}
+
+DurableStoreStats
+DurableStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    DurableStoreStats out = stats_;
+    out.state = state_;
+    out.unflushed = static_cast<int64_t>(unflushed_.size());
+    out.live_segments = static_cast<int64_t>(sealed_.size());
+    out.records = static_cast<int64_t>(records_.size());
+    return out;
+}
+
+} // namespace heron::serve

@@ -1,5 +1,8 @@
 #include "serve/tune_queue.h"
 
+#include <chrono>
+
+#include "serve/store_wal.h"
 #include "support/logging.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -47,6 +50,19 @@ EnqueueOutcome
 TuneQueue::enqueue(const ops::Workload &workload)
 {
     WorkloadKey key = make_key(workload, registry_.spec());
+    // A degraded store means a completed tune could not be made
+    // durable: pause intake (serving stays read-only) instead of
+    // accumulating acknowledged-but-volatile results. The tick gives
+    // auto-recovery a chance before rejecting.
+    if (config_.store != nullptr && !config_.store->healthy()) {
+        config_.store->tick(std::chrono::steady_clock::now());
+        if (!config_.store->healthy()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.rejected_degraded;
+            HERON_COUNTER_INC("serve.queue.rejected_degraded");
+            return EnqueueOutcome::kDegraded;
+        }
+    }
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (!running_)
@@ -178,15 +194,55 @@ TuneQueue::tune_one(const ops::Workload &workload)
     record.latency_ms = outcome.result.best_latency_ms;
     record.gflops = outcome.result.best_gflops;
     record.assignment = outcome.result.best;
-    registry_.put(workload, std::move(record));
+    // Stamp the fields put() would stamp: the WAL append happens
+    // *before* the registry publish (write-ahead discipline), so the
+    // persisted record must already carry its canonical identity.
+    record.workload = key.canonical();
+    record.dla = registry_.spec().name;
+    record.category = "serve";
+
+    bool persisted = true;
+    if (config_.store != nullptr) {
+        // WAL path: the record itself is appended, so durability
+        // must precede the publish — an exact-tier answer implies
+        // the record survives a crash.
+        persisted = config_.store->append(record);
+        registry_.put(workload, std::move(record));
+    } else {
+        // Legacy path: the whole registry is rewritten, so the
+        // record must be published first to be included.
+        registry_.put(workload, std::move(record));
+        if (!config_.store_path.empty()) {
+            persisted =
+                registry_.save_store_file(config_.store_path);
+            if (persisted) {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (store_dirty_) {
+                    // The whole-file rewrite includes every earlier
+                    // record, so a previously failed persist is now
+                    // flushed too.
+                    store_dirty_ = false;
+                    ++stats_.persist_retries;
+                }
+            }
+        }
+    }
     HERON_COUNTER_INC("serve.queue.completed");
-    if (!config_.store_path.empty() &&
-        !registry_.save_store_file(config_.store_path)) {
-        HERON_WARN << "serve: cannot persist store to "
-                   << config_.store_path;
+    if (!persisted) {
+        HERON_WARN << "serve: cannot persist tuned record for "
+                   << key.canonical()
+                   << (config_.store != nullptr
+                           ? " (store degraded; stashed for retry)"
+                           : "");
+        HERON_COUNTER_INC("serve.store.persist_failures");
     }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.completed;
+    if (!persisted) {
+        ++stats_.persist_failures;
+        if (config_.store == nullptr)
+            store_dirty_ = true;
+    }
 }
 
 } // namespace heron::serve

@@ -27,6 +27,8 @@
 
 namespace heron::serve {
 
+class DurableStore;
+
 /** Queue sizing and per-workload tuning budget. */
 struct TuneQueueConfig {
     /** Max workloads waiting (in-flight excluded; >= 1). */
@@ -36,9 +38,18 @@ struct TuneQueueConfig {
     /**
      * Persist the registry here after every completed tune ("" =
      * off). Written atomically, so a crash mid-tune loses at most
-     * the record being tuned.
+     * the record being tuned. Legacy whole-file path; prefer
+     * @c store.
      */
     std::string store_path;
+    /**
+     * WAL-backed durable store (preferred over store_path). Each
+     * completed tune appends its record *before* publishing to the
+     * registry, so an exact-tier answer implies durability. A
+     * degraded store pauses intake (enqueue returns kDegraded)
+     * while lookups keep serving.
+     */
+    DurableStore *store = nullptr;
 };
 
 /** Why enqueue() accepted or rejected a workload. */
@@ -50,6 +61,8 @@ enum class EnqueueOutcome : uint8_t {
     kFull,
     /** Queue not running (before start() / after stop()). */
     kStopped,
+    /** Durable store degraded: intake paused, serving read-only. */
+    kDegraded,
 };
 
 /** Monotonic queue counters. */
@@ -61,6 +74,12 @@ struct TuneQueueStats {
     int64_t completed = 0;
     /** Tunes that found no valid program (marked untunable). */
     int64_t failed = 0;
+    /** Completed tunes whose record could not be persisted. */
+    int64_t persist_failures = 0;
+    /** Deferred persists that a later completion flushed. */
+    int64_t persist_retries = 0;
+    /** Workloads rejected because the store was degraded. */
+    int64_t rejected_degraded = 0;
 };
 
 /**
@@ -135,6 +154,8 @@ class TuneQueue
     std::unordered_set<WorkloadKey, WorkloadKeyHash> pending_;
     bool running_ = false;
     bool in_flight_ = false;
+    /** Legacy whole-file store needs a rewrite after a failure. */
+    bool store_dirty_ = false;
     std::thread worker_;
     TuneQueueStats stats_;
 

@@ -1,7 +1,14 @@
 #include "support/fs_util.h"
 
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/logging.h"
 
@@ -14,6 +21,153 @@
 
 namespace heron {
 
+namespace fsfault {
+
+namespace {
+
+std::mutex g_mu;
+std::vector<std::pair<std::string, Plan>> g_plans;
+std::atomic<bool> g_armed{false};
+std::atomic<int64_t> g_injected{0};
+
+} // namespace
+
+void
+arm(const std::string &site_prefix, Plan plan)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_plans.emplace_back(site_prefix, plan);
+    g_armed.store(true, std::memory_order_release);
+}
+
+void
+disarm()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_plans.clear();
+    g_armed.store(false, std::memory_order_release);
+    g_injected.store(0, std::memory_order_relaxed);
+}
+
+bool
+armed()
+{
+    return g_armed.load(std::memory_order_acquire);
+}
+
+bool
+injected(const char *site)
+{
+    if (!armed())
+        return false;
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (auto &[prefix, plan] : g_plans) {
+        if (std::strncmp(site, prefix.c_str(), prefix.size()) != 0)
+            continue;
+        if (plan.skip > 0) {
+            --plan.skip;
+            return false;
+        }
+        if (plan.fail == 0)
+            return false;
+        if (plan.fail > 0)
+            --plan.fail;
+        g_injected.fetch_add(1, std::memory_order_relaxed);
+        errno = ENOSPC;
+        return true;
+    }
+    return false;
+}
+
+int64_t
+injection_count()
+{
+    return g_injected.load(std::memory_order_relaxed);
+}
+
+int
+arm_from_env()
+{
+    const char *spec = std::getenv("HERON_FS_FAULT");
+    if (spec == nullptr || *spec == '\0')
+        return 0;
+    int count = 0;
+    std::string text(spec);
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t end = text.find(';', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string entry = text.substr(pos, end - pos);
+        pos = end + 1;
+        size_t colon = entry.find(':');
+        if (colon == std::string::npos || colon == 0)
+            continue;
+        std::string site = entry.substr(0, colon);
+        Plan plan;
+        size_t at = colon + 1;
+        while (at < entry.size()) {
+            size_t comma = entry.find(',', at);
+            if (comma == std::string::npos)
+                comma = entry.size();
+            std::string kv = entry.substr(at, comma - at);
+            at = comma + 1;
+            size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                continue;
+            std::string key = kv.substr(0, eq);
+            int value = std::atoi(kv.c_str() + eq + 1);
+            if (key == "skip")
+                plan.skip = value;
+            else if (key == "fail")
+                plan.fail = value;
+        }
+        arm(site, plan);
+        HERON_WARN << "fsfault: armed " << site << " skip="
+                   << plan.skip << " fail=" << plan.fail
+                   << " (HERON_FS_FAULT)";
+        ++count;
+    }
+    return count;
+}
+
+} // namespace fsfault
+
+namespace {
+
+const FsCapabilities &
+compute_capabilities()
+{
+#if defined(_WIN32)
+    static const FsCapabilities caps{"portable", false, false};
+#else
+    static const FsCapabilities caps{"posix", true, true};
+#endif
+    return caps;
+}
+
+} // namespace
+
+const FsCapabilities &
+fs_capabilities()
+{
+    static std::once_flag reported;
+    const FsCapabilities &caps = compute_capabilities();
+    std::call_once(reported, [&caps] {
+        if (caps.directory_fsync) {
+            HERON_INFO << "fs: durable-write backend "
+                       << caps.backend
+                       << " (atomic rename + directory fsync)";
+        } else {
+            HERON_WARN
+                << "fs: durable-write backend " << caps.backend
+                << " cannot fsync directories; a rename may not "
+                   "survive power loss";
+        }
+    });
+    return caps;
+}
+
 #if defined(_WIN32)
 
 // Portability fallback: plain write + rename (no directory fsync).
@@ -21,6 +175,7 @@ bool
 atomic_write_file(const std::string &path,
                   const std::string &content)
 {
+    fs_capabilities();
     std::string tmp = path + ".tmp";
     {
         std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
@@ -59,6 +214,7 @@ bool
 atomic_write_file(const std::string &path,
                   const std::string &content)
 {
+    fs_capabilities();
     // The temp file must live in the destination directory: rename
     // is atomic only within one filesystem.
     std::string tmp =
@@ -71,8 +227,8 @@ atomic_write_file(const std::string &path,
     }
     const char *data = content.data();
     size_t left = content.size();
-    bool ok = true;
-    while (left > 0) {
+    bool ok = !fsfault::injected("atomic.write");
+    while (ok && left > 0) {
         ssize_t n = ::write(fd, data, left);
         if (n < 0) {
             ok = false;
@@ -83,14 +239,17 @@ atomic_write_file(const std::string &path,
     }
     // Data must be durable before the rename makes it visible;
     // otherwise a crash could expose a complete-looking empty file.
-    if (ok && ::fsync(fd) != 0)
+    if (ok &&
+        (fsfault::injected("atomic.fsync") || ::fsync(fd) != 0))
         ok = false;
     ::close(fd);
-    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0)
+    if (ok && (fsfault::injected("atomic.rename") ||
+               std::rename(tmp.c_str(), path.c_str()) != 0))
         ok = false;
     if (!ok) {
         ::unlink(tmp.c_str());
-        HERON_WARN << "atomic_write_file: failed writing " << path;
+        HERON_WARN << "atomic_write_file: failed writing " << path
+                   << ": " << std::strerror(errno);
         return false;
     }
     // Persist the rename itself (directory entry).

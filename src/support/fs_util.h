@@ -8,13 +8,40 @@
  * temporary file in the same directory, is fsync'd, and is renamed
  * over the destination atomically. A reader therefore sees either
  * the complete old file or the complete new file, never a torn mix.
+ *
+ * The fsfault namespace provides a site-labeled IO fault-injection
+ * shim so crash/degraded-mode paths can be exercised in tests and
+ * smokes: each durability-critical syscall site asks
+ * fsfault::injected("site.name") before doing real IO, and an armed
+ * plan can make the Nth call at a site fail with ENOSPC.
  */
 #ifndef HERON_SUPPORT_FS_UTIL_H
 #define HERON_SUPPORT_FS_UTIL_H
 
+#include <cstdint>
 #include <string>
 
 namespace heron {
+
+/**
+ * What the atomic-write backend on this platform can actually
+ * guarantee. The portability fallback cannot fsync directories, so
+ * a rename may not survive power loss even though the file content
+ * itself is durable.
+ */
+struct FsCapabilities {
+    const char *backend;  ///< "posix" or "portable"
+    bool atomic_rename;   ///< rename() replaces atomically
+    bool directory_fsync; ///< rename durability via dir fsync
+};
+
+/**
+ * Platform capabilities of the durable-write path. The first call
+ * logs the capability report once (a WARN when directory fsync is
+ * unavailable) so operators see weakened guarantees at startup
+ * instead of discovering them after a power loss.
+ */
+const FsCapabilities &fs_capabilities();
 
 /**
  * Atomically replace @p path with @p content: write a sibling temp
@@ -24,6 +51,49 @@ namespace heron {
  */
 bool atomic_write_file(const std::string &path,
                        const std::string &content);
+
+namespace fsfault {
+
+/**
+ * Failure plan for one site prefix: let @c skip calls through, then
+ * fail the next @c fail calls with ENOSPC (@c fail < 0 fails
+ * forever). After the plan is exhausted the site succeeds again,
+ * which is what lets degraded-mode auto-recovery be tested
+ * end-to-end.
+ */
+struct Plan {
+    int skip = 0;
+    int fail = 0;
+};
+
+/** Arm @p plan for every site whose label starts with @p site_prefix. */
+void arm(const std::string &site_prefix, Plan plan);
+
+/** Remove all plans and reset injection counters. */
+void disarm();
+
+/** True when any plan is armed (fast path for instrumented sites). */
+bool armed();
+
+/**
+ * Ask whether the call at @p site should fail. Returns true (and
+ * sets errno to ENOSPC) when an armed plan elects this call;
+ * otherwise the caller proceeds with the real syscall.
+ */
+bool injected(const char *site);
+
+/** Total failures injected since the last disarm(). */
+int64_t injection_count();
+
+/**
+ * Arm plans from the HERON_FS_FAULT environment variable:
+ * "site:skip=N,fail=M[;site2:...]" (e.g.
+ * "store.append:skip=1,fail=2"). Returns the number of plans armed
+ * (0 when the variable is unset or empty).
+ */
+int arm_from_env();
+
+} // namespace fsfault
 
 } // namespace heron
 

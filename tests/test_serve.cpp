@@ -12,8 +12,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <thread>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "autotune/library.h"
 #include "autotune/record.h"
@@ -647,6 +651,50 @@ TEST(TuneQueueTest, DeduplicatesAndRejectsWhenFullOrStopped)
     auto stats = queue.stats();
     EXPECT_EQ(stats.deduplicated, 1);
     EXPECT_EQ(stats.rejected_full, 1);
+}
+
+TEST(TuneQueueTest, PersistFailureIsCountedAndRetried)
+{
+    // Legacy single-file store path: a failed save must be counted
+    // (not silently dropped) and retried on the next completion.
+    auto spec = hw::DlaSpec::v100();
+    KernelRegistry registry(spec);
+    std::string dir = ::testing::TempDir() + "heron_persist_retry";
+    std::string store = dir + "/store.jsonl";
+    ::remove(store.c_str());
+    ::rmdir(dir.c_str());
+
+    TuneQueueConfig config;
+    config.tune = tiny_tune_config();
+    config.store_path = store; // parent dir missing: save fails
+    TuneQueue queue(registry, config);
+    queue.start();
+    ASSERT_EQ(queue.enqueue(ops::gemm(256, 256, 256)),
+              EnqueueOutcome::kAccepted);
+    queue.drain();
+    auto stats = queue.stats();
+    EXPECT_EQ(stats.completed, 1);
+    EXPECT_EQ(stats.persist_failures, 1);
+    EXPECT_EQ(stats.persist_retries, 0);
+
+    // The path becomes writable: the next completion persists the
+    // whole registry, recovering the earlier record too.
+    ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+    ASSERT_EQ(queue.enqueue(ops::gemm(512, 256, 256)),
+              EnqueueOutcome::kAccepted);
+    queue.drain();
+    stats = queue.stats();
+    EXPECT_EQ(stats.completed, 2);
+    EXPECT_EQ(stats.persist_failures, 1);
+    EXPECT_EQ(stats.persist_retries, 1);
+    queue.stop();
+
+    KernelRegistry restored(spec);
+    StoreLoadStats load_stats;
+    EXPECT_TRUE(restored.load_store_file(store, &load_stats));
+    EXPECT_EQ(load_stats.loaded, 2);
+    ::remove(store.c_str());
+    ::rmdir(dir.c_str());
 }
 
 TEST(ServeConcurrency, HotSwapPutRacesDrainWithoutLoss)
