@@ -58,6 +58,10 @@ struct SolveSeries {
 struct BatchPoint {
     int workers = 0;
     double solves_per_sec = 0.0;
+    /** Throughput over the 1-worker point of the same series. */
+    double speedup = 1.0;
+    /** speedup / workers (1.0 = perfectly linear scaling). */
+    double effective_parallelism = 1.0;
 };
 
 struct WorkloadReport {
@@ -190,13 +194,23 @@ write_json(const std::string &path, int trials, uint64_t seed,
                      s.propagations_per_solve, s.solved, s.attempts,
                      suffix);
     };
+    unsigned cores = std::thread::hardware_concurrency();
     std::fprintf(out,
                  "{\n  \"bench\": \"micro_csp_solver\",\n"
                  "  \"trials\": %d,\n  \"seed\": %llu,\n"
                  "  \"hardware_concurrency\": %u,\n"
+                 // Skipped-not-passed: scaling numbers from a box
+                 // without the cores to show parallelism are not
+                 // evidence either way, and must not be asserted.
+                 "  \"batch_scaling\": {\"status\": \"%s\", "
+                 "\"reason\": \"%s\"},\n"
                  "  \"workloads\": [\n",
                  trials, static_cast<unsigned long long>(seed),
-                 std::thread::hardware_concurrency());
+                 cores, cores >= 4 ? "measured" : "skipped",
+                 cores >= 4
+                     ? "hardware_concurrency >= 4"
+                     : "fewer than 4 cores; speedup reflects "
+                       "oversubscription, not scaling");
     for (size_t i = 0; i < reports.size(); ++i) {
         const WorkloadReport &r = reports[i];
         std::fprintf(out, "  {\n    \"name\": \"%s\",\n",
@@ -219,9 +233,12 @@ write_json(const std::string &path, int trials, uint64_t seed,
         for (size_t j = 0; j < r.batch.size(); ++j)
             std::fprintf(out,
                          "{\"workers\": %d, \"solves_per_sec\": "
-                         "%.2f}%s",
+                         "%.2f, \"speedup\": %.3f, "
+                         "\"effective_parallelism\": %.3f}%s",
                          r.batch[j].workers,
                          r.batch[j].solves_per_sec,
+                         r.batch[j].speedup,
+                         r.batch[j].effective_parallelism,
                          j + 1 < r.batch.size() ? ", " : "");
         std::fprintf(out, "],\n");
         std::fprintf(out, "    \"batch_deterministic\": %s\n  }%s\n",
@@ -266,9 +283,13 @@ main(int argc, char **argv)
     cases.push_back(
         {ops::gemm(512, 1024, 1024), {3218.2, 3775.5}});
 
+    unsigned cores = std::thread::hardware_concurrency();
     std::printf("hardware concurrency: %u (batch scaling is "
                 "bounded by available cores)\n",
-                std::thread::hardware_concurrency());
+                cores);
+    if (cores < 4)
+        std::printf("note: < 4 cores — batch scaling assertions "
+                    "are SKIPPED (not passed) on this machine\n");
     rules::SpaceGenerator gen(hw::DlaSpec::v100(),
                               rules::Options::heron());
     std::vector<WorkloadReport> reports;
@@ -302,11 +323,12 @@ main(int argc, char **argv)
 
         // SampleBatch scaling: identical seed sequence per worker
         // count; results must be byte-equal and throughput should
-        // approach linear in workers.
+        // approach linear in workers (on a machine with the cores
+        // to show it — see the batch_scaling marker in the JSON).
         const int population = 24;
         const int batches = std::max(2, trials / population);
         std::vector<std::vector<csp::Assignment>> reference;
-        for (int workers : {1, 2, 4}) {
+        for (int workers : {1, 2, 4, 8}) {
             csp::SampleBatch batch(space.csp, {}, workers);
             std::vector<std::vector<csp::Assignment>> results;
             auto start = Clock::now();
@@ -323,11 +345,20 @@ main(int argc, char **argv)
             point.solves_per_sec =
                 elapsed > 0 ? static_cast<double>(total) / elapsed
                             : 0.0;
+            if (!report.batch.empty() &&
+                report.batch.front().solves_per_sec > 0) {
+                point.speedup = point.solves_per_sec /
+                                report.batch.front().solves_per_sec;
+                point.effective_parallelism =
+                    point.speedup / workers;
+            }
             report.batch.push_back(point);
-            std::printf("  batch x%d   %7.1f solves/sec "
+            std::printf("  batch x%d   %7.1f solves/sec  "
+                        "speedup %.2fx  eff-par %.2f "
                         "(%zu samples, %d batches)\n",
-                        workers, point.solves_per_sec, total,
-                        batches);
+                        workers, point.solves_per_sec,
+                        point.speedup, point.effective_parallelism,
+                        total, batches);
             if (workers == 1) {
                 reference = std::move(results);
             } else if (results != reference) {

@@ -1,8 +1,6 @@
 #include "csp/sample_batch.h"
 
 #include <algorithm>
-#include <thread>
-#include <unordered_set>
 
 #include "support/logging.h"
 #include "support/metrics.h"
@@ -21,6 +19,19 @@ SampleBatch::SampleBatch(const Csp &csp, SolverConfig config,
     config_.unsat_memo = false;
 }
 
+SampleBatch::~SampleBatch()
+{
+    if (threads_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
 void
 SampleBatch::ensure_solvers()
 {
@@ -33,45 +44,108 @@ SampleBatch::ensure_solvers()
 }
 
 void
+SampleBatch::ensure_threads()
+{
+    if (!threads_.empty() || workers_ == 1)
+        return;
+    threads_.reserve(static_cast<size_t>(workers_ - 1));
+    for (int w = 1; w < workers_; ++w)
+        threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+void
+SampleBatch::solve_slots(
+    int w, uint64_t seed, size_t begin, size_t end,
+    const std::vector<Constraint> &extra,
+    std::vector<std::optional<Assignment>> *results,
+    std::vector<SolveFailure> *failures)
+{
+    RandSatSolver &solver = *solvers_[static_cast<size_t>(w)];
+    // First slot of this worker's residue class inside the wave.
+    size_t s = begin +
+               (static_cast<size_t>(w) + static_cast<size_t>(workers_) -
+                begin % static_cast<size_t>(workers_)) %
+                   static_cast<size_t>(workers_);
+    for (; s < end; s += static_cast<size_t>(workers_)) {
+        Rng rng = Rng::for_stream(seed, s);
+        (*results)[s] = solver.solve_one(rng, extra);
+        (*failures)[s] = solver.last_failure();
+    }
+}
+
+void
+SampleBatch::worker_loop(int w)
+{
+    uint64_t seen_gen = 0;
+    for (;;) {
+        uint64_t seed;
+        size_t begin, end;
+        const std::vector<Constraint> *extra;
+        std::vector<std::optional<Assignment>> *results;
+        std::vector<SolveFailure> *failures;
+        {
+            std::unique_lock<std::mutex> lock(pool_mu_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || wave_gen_ != seen_gen;
+            });
+            if (stop_)
+                return;
+            seen_gen = wave_gen_;
+            seed = wave_seed_;
+            begin = wave_begin_;
+            end = wave_end_;
+            extra = wave_extra_;
+            results = wave_results_;
+            failures = wave_failures_;
+        }
+        solve_slots(w, seed, begin, end, *extra, results, failures);
+        {
+            std::lock_guard<std::mutex> lock(pool_mu_);
+            if (--outstanding_ == 0)
+                done_cv_.notify_one();
+        }
+    }
+}
+
+void
 SampleBatch::run_wave(uint64_t seed, size_t begin, size_t end,
                       const std::vector<Constraint> &extra,
                       std::vector<std::optional<Assignment>> *results,
                       std::vector<SolveFailure> *failures)
 {
-    auto solve_slots = [&](int w) {
-        RandSatSolver &solver = *solvers_[static_cast<size_t>(w)];
-        // First slot of this worker's residue class inside the wave.
-        size_t s = begin +
-                   (static_cast<size_t>(w) + static_cast<size_t>(workers_) -
-                    begin % static_cast<size_t>(workers_)) %
-                       static_cast<size_t>(workers_);
-        for (; s < end; s += static_cast<size_t>(workers_)) {
-            Rng rng = Rng::for_stream(seed, s);
-            (*results)[s] = solver.solve_one(rng, extra);
-            (*failures)[s] = solver.last_failure();
-        }
-    };
-
-    if (workers_ == 1 || end - begin == 1) {
-        // Inline fast path; single-slot waves gain nothing from
-        // threads. Slot->solver mapping must still match the
+    if (workers_ == 1) {
+        solve_slots(0, seed, begin, end, extra, results, failures);
+        return;
+    }
+    if (end - begin == 1) {
+        // Single-slot waves gain nothing from a pool dispatch; run
+        // inline. Slot->solver mapping must still match the
         // parallel path so stats stay invariant.
-        if (end - begin == 1 && workers_ > 1) {
-            int w = static_cast<int>(begin %
-                                     static_cast<size_t>(workers_));
-            solve_slots(w);
-        } else {
-            solve_slots(0);
-        }
+        int w = static_cast<int>(begin %
+                                 static_cast<size_t>(workers_));
+        solve_slots(w, seed, begin, end, extra, results, failures);
         return;
     }
 
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(workers_));
-    for (int w = 0; w < workers_; ++w)
-        threads.emplace_back(solve_slots, w);
-    for (auto &t : threads)
-        t.join();
+    ensure_threads();
+    {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        wave_seed_ = seed;
+        wave_begin_ = begin;
+        wave_end_ = end;
+        wave_extra_ = &extra;
+        wave_results_ = results;
+        wave_failures_ = failures;
+        outstanding_ = workers_ - 1;
+        ++wave_gen_;
+    }
+    work_cv_.notify_all();
+    // The caller is worker 0: it solves its own residue class
+    // instead of blocking, so a wave costs workers_-1 wakeups and
+    // zero thread creations.
+    solve_slots(0, seed, begin, end, extra, results, failures);
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
 }
 
 std::vector<Assignment>
@@ -89,10 +163,18 @@ SampleBatch::sample(uint64_t seed, int n,
     // extra attempts absorb duplicate draws in tight spaces.
     const size_t cap = static_cast<size_t>(n) +
                        static_cast<size_t>(std::max(4, n / 2));
-    std::vector<std::optional<Assignment>> results(cap);
-    std::vector<SolveFailure> failures(cap, SolveFailure::kNone);
+    // Reused scratch: the outer vectors keep their capacity across
+    // calls, and the dedup set's nodes and buckets come out of the
+    // arena — destroy the old set *before* the reset hands its
+    // memory back.
+    results_.assign(cap, std::nullopt);
+    failures_.assign(cap, SolveFailure::kNone);
+    seen_.reset();
+    seen_arena_.reset();
+    seen_.emplace(16, std::hash<uint64_t>(),
+                  std::equal_to<uint64_t>(),
+                  support::ArenaAllocator<uint64_t>(&seen_arena_));
 
-    std::unordered_set<uint64_t> seen;
     out.reserve(static_cast<size_t>(n));
     size_t solved = 0;  // slots solved so far (wave frontier)
     size_t merged = 0;  // slots consumed by the merge
@@ -103,21 +185,21 @@ SampleBatch::sample(uint64_t seed, int n,
         // never on the worker count.
         size_t wave = std::min(
             cap - solved, static_cast<size_t>(n) - out.size());
-        run_wave(seed, solved, solved + wave, extra, &results,
-                 &failures);
+        run_wave(seed, solved, solved + wave, extra, &results_,
+                 &failures_);
         solved += wave;
         for (; merged < solved && out.size() < static_cast<size_t>(n);
              ++merged) {
-            if (!results[merged]) {
+            if (!results_[merged]) {
                 // Mirror solve_n: stop at the first failed slot (the
                 // subproblem is likely too tight to keep drawing).
-                last_failure_ = failures[merged];
+                last_failure_ = failures_[merged];
                 failed = true;
                 break;
             }
-            uint64_t h = assignment_hash(*results[merged]);
-            if (seen.insert(h).second)
-                out.push_back(std::move(*results[merged]));
+            uint64_t h = assignment_hash(*results_[merged]);
+            if (seen_->insert(h).second)
+                out.push_back(std::move(*results_[merged]));
         }
     }
     HERON_COUNTER_ADD("csp.batch_slots",

@@ -4,7 +4,7 @@
  *
  * CGA and the tuner draw whole populations of random valid
  * assignments at once. SampleBatch fans those draws out over a
- * fixed-size worker pool while keeping the result *bit-identical
+ * persistent worker pool while keeping the result *bit-identical
  * for any worker count*, so turning parallelism on can never change
  * a tuning trajectory.
  *
@@ -25,34 +25,55 @@
  *    per-worker solvers run with the UNSAT memo disabled for the
  *    same reason: a memo hit changes counters depending on which
  *    slots a worker happened to serve earlier.
+ *
+ * Pool lifecycle: worker threads are spawned once, on the first
+ * multi-worker wave, and parked on a condition variable between
+ * waves; the calling thread always participates as worker 0. Each
+ * worker keeps its RandSatSolver — and with it the memoized root
+ * fixpoint, trail pool, and domain storage — warm on the same
+ * thread across waves, sample() calls, and CGA generations, so the
+ * steady-state per-wave cost is one wakeup instead of thread
+ * creation plus a cold solver.
  */
 #ifndef HERON_CSP_SAMPLE_BATCH_H
 #define HERON_CSP_SAMPLE_BATCH_H
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "csp/solver.h"
+#include "support/arena.h"
 
 namespace heron::csp {
 
 /**
  * Parallel front-end over per-worker RandSatSolver instances.
  *
- * Each worker owns a persistent solver (and thus a memoized root
- * fixpoint), so batches are cheap after the first. The object itself
- * is not thread-safe; it *creates* threads internally per batch.
+ * The object itself is not thread-safe (one sample() at a time);
+ * it *owns* a persistent internal thread pool used by every batch.
  */
 class SampleBatch
 {
   public:
     /**
-     * @param workers worker-pool size (clamped to >= 1). Workers are
-     *        created lazily on the first sample() call.
+     * @param workers worker-pool size (clamped to >= 1). Solvers
+     *        are created lazily on the first sample() call; pool
+     *        threads on the first multi-worker wave.
      */
     explicit SampleBatch(const Csp &csp, SolverConfig config = {},
                          int workers = 1);
+
+    /** Stops and joins the worker pool. */
+    ~SampleBatch();
+
+    SampleBatch(const SampleBatch &) = delete;
+    SampleBatch &operator=(const SampleBatch &) = delete;
 
     /**
      * Draw up to @p n distinct random valid assignments of the base
@@ -86,6 +107,9 @@ class SampleBatch
     /** Worker-pool size. */
     int workers() const { return workers_; }
 
+    /** True once pool threads have been spawned. */
+    bool pool_started() const { return !threads_.empty(); }
+
     /** The problem the batch samples from. */
     const Csp &csp() const { return csp_; }
 
@@ -97,12 +121,49 @@ class SampleBatch
     std::vector<std::unique_ptr<RandSatSolver>> solvers_;
     SolveFailure last_failure_ = SolveFailure::kNone;
 
+    // ---- Persistent pool (workers 1..workers_-1; the caller runs
+    // worker 0 inline). The wave_* task fields are written by the
+    // caller and read by workers under pool_mu_.
+    std::vector<std::thread> threads_;
+    std::mutex pool_mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    uint64_t wave_gen_ = 0;
+    int outstanding_ = 0;
+    bool stop_ = false;
+    uint64_t wave_seed_ = 0;
+    size_t wave_begin_ = 0;
+    size_t wave_end_ = 0;
+    const std::vector<Constraint> *wave_extra_ = nullptr;
+    std::vector<std::optional<Assignment>> *wave_results_ = nullptr;
+    std::vector<SolveFailure> *wave_failures_ = nullptr;
+
+    // ---- Per-call scratch, reused so a warmed-up batch allocates
+    // nothing per sample() beyond the returned assignments. The
+    // dedup set lives in an arena reset at the top of each call
+    // (destroy-then-reset: see support/arena.h ownership rules).
+    std::vector<std::optional<Assignment>> results_;
+    std::vector<SolveFailure> failures_;
+    using SeenSet =
+        std::unordered_set<uint64_t, std::hash<uint64_t>,
+                           std::equal_to<uint64_t>,
+                           support::ArenaAllocator<uint64_t>>;
+    support::Arena seen_arena_;
+    std::optional<SeenSet> seen_;
+
     void ensure_solvers();
+    void ensure_threads();
+    /** Worker w's residue-class loop over [begin, end). */
+    void solve_slots(int w, uint64_t seed, size_t begin, size_t end,
+                     const std::vector<Constraint> &extra,
+                     std::vector<std::optional<Assignment>> *results,
+                     std::vector<SolveFailure> *failures);
+    void worker_loop(int w);
 
     /**
      * Solve slots [begin, end) into @p results / @p failures (cells
-     * indexed by slot). Runs the static slot->worker partition on
-     * threads when workers_ > 1.
+     * indexed by slot). Dispatches the static slot->worker
+     * partition onto the persistent pool when workers_ > 1.
      */
     void run_wave(uint64_t seed, size_t begin, size_t end,
                   const std::vector<Constraint> &extra,

@@ -44,7 +44,7 @@ CostModel::features(const csp::Assignment &a) const
     return x;
 }
 
-const std::vector<float> &
+std::span<const float>
 CostModel::cached_features(const csp::Assignment &a) const
 {
     uint64_t h = csp::assignment_hash(a);
@@ -53,17 +53,28 @@ CostModel::cached_features(const csp::Assignment &a) const
         HERON_COUNTER_INC("model.feature_cache_hits");
         return it->second;
     }
-    if (feature_cache_.size() >= kFeatureCacheCap)
+    if (feature_cache_.size() >= kFeatureCacheCap) {
+        // Drop the views before their storage (arena ownership
+        // rule), then reclaim every cached vector at once.
         feature_cache_.clear();
+        feature_arena_.reset();
+    }
     HERON_COUNTER_INC("model.feature_cache_misses");
-    return feature_cache_.emplace(h, features(a)).first->second;
+    float *stored = feature_arena_.alloc_array<float>(a.size());
+    size_t i = 0;
+    for (float v : features(a))
+        stored[i++] = v;
+    std::span<const float> view(stored, a.size());
+    feature_cache_.emplace(h, view);
+    return view;
 }
 
 void
 CostModel::add_sample(const csp::Assignment &a, bool valid,
                       double latency_ms, int64_t total_ops)
 {
-    data_.x.push_back(cached_features(a));
+    auto view = cached_features(a);
+    data_.x.emplace_back(view.begin(), view.end());
     data_.y.push_back(static_cast<float>(
         throughput_score(valid, latency_ms, total_ops)));
 }
@@ -71,7 +82,8 @@ CostModel::add_sample(const csp::Assignment &a, bool valid,
 void
 CostModel::add_scored_sample(const csp::Assignment &a, double score)
 {
-    data_.x.push_back(cached_features(a));
+    auto view = cached_features(a);
+    data_.x.emplace_back(view.begin(), view.end());
     data_.y.push_back(static_cast<float>(score));
 }
 

@@ -135,7 +135,7 @@ RegressionTree::fit(const Dataset &data,
 }
 
 float
-RegressionTree::predict(const std::vector<float> &row) const
+RegressionTree::predict(std::span<const float> row) const
 {
     HERON_CHECK(!nodes_.empty());
     int index = 0;
@@ -191,7 +191,7 @@ GbdtRegressor::fit(const Dataset &data)
 }
 
 double
-GbdtRegressor::predict(const std::vector<float> &row) const
+GbdtRegressor::predict(std::span<const float> row) const
 {
     double value = base_;
     for (const auto &tree : trees_)

@@ -12,6 +12,7 @@
 #define HERON_MODEL_GBDT_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "support/rng.h"
@@ -55,8 +56,14 @@ class RegressionTree
              const std::vector<int> &rows, const GbdtParams &params,
              Rng &rng, std::vector<double> &gain);
 
-    /** Predict one row. */
-    float predict(const std::vector<float> &row) const;
+    /** Predict one row (any contiguous float storage). */
+    float predict(std::span<const float> row) const;
+
+    /** Convenience overload for vector rows / braced lists. */
+    float predict(const std::vector<float> &row) const
+    {
+        return predict(std::span<const float>(row));
+    }
 
     /** Node count (for tests). */
     size_t num_nodes() const { return nodes_.size(); }
@@ -89,7 +96,13 @@ class GbdtRegressor
     void fit(const Dataset &data);
 
     /** Predict one row; base mean when not yet fitted. */
-    double predict(const std::vector<float> &row) const;
+    double predict(std::span<const float> row) const;
+
+    /** Convenience overload for vector rows / braced lists. */
+    double predict(const std::vector<float> &row) const
+    {
+        return predict(std::span<const float>(row));
+    }
 
     /** True after a successful fit. */
     bool trained() const { return !trees_.empty(); }

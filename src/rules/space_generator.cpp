@@ -1417,4 +1417,57 @@ SpaceGenerator::generate(const ops::Workload &workload) const
     return generation.run();
 }
 
+std::shared_ptr<const GeneratedSpace>
+SpaceCache::get_or_generate(
+    uint64_t key, const std::function<GeneratedSpace()> &make)
+{
+    Stripe &s = stripe(key);
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto it = s.map.find(key);
+        if (it != s.map.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Generate outside the stripe lock: a slow generation for one
+    // shape must not block hits on every shape sharing its stripe.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto made =
+        std::make_shared<const GeneratedSpace>(make());
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto [it, inserted] = s.map.emplace(key, made);
+    // First insert wins so every caller sees one canonical space.
+    return it->second;
+}
+
+std::shared_ptr<const GeneratedSpace>
+SpaceCache::lookup(uint64_t key) const
+{
+    const Stripe &s = stripe(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    return it == s.map.end() ? nullptr : it->second;
+}
+
+size_t
+SpaceCache::size() const
+{
+    size_t total = 0;
+    for (const Stripe &s : stripes_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        total += s.map.size();
+    }
+    return total;
+}
+
+void
+SpaceCache::clear()
+{
+    for (Stripe &s : stripes_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.map.clear();
+    }
+}
+
 } // namespace heron::rules

@@ -37,8 +37,45 @@ KernelRegistry::KernelRegistry(hw::DlaSpec spec,
     spec_hash_ = spec_.config_hash();
     int shards = std::max(1, config_.shards);
     shards_.reserve(static_cast<size_t>(shards));
-    for (int i = 0; i < shards; ++i)
-        shards_.push_back(std::make_unique<Shard>());
+    for (int i = 0; i < shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->current.store(new Map(),
+                             std::memory_order_release);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+KernelRegistry::~KernelRegistry()
+{
+    // No readers may be live at destruction (standard object
+    // lifetime rule), so snapshots can be freed unconditionally.
+    for (auto &shard : shards_) {
+        delete shard->current.load(std::memory_order_acquire);
+        for (const Map *old : shard->retired)
+            delete old;
+    }
+}
+
+void
+KernelRegistry::publish(Shard &shard, const Map *next)
+{
+    const Map *old =
+        shard.current.exchange(next, std::memory_order_seq_cst);
+    shard.retired.push_back(old);
+    // Reclamation rule: a retired snapshot is freed only once it is
+    // unreachable (the exchange above) AND no hazard slot protects
+    // it. Deferred snapshots are retried on the next publish, so
+    // the retired list is bounded by the number of concurrently
+    // protected pointers.
+    auto it = shard.retired.begin();
+    while (it != shard.retired.end()) {
+        if (!support::HazardDomain::is_protected(*it)) {
+            delete *it;
+            it = shard.retired.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 KernelRegistry::Shard &
@@ -77,9 +114,10 @@ KernelRegistry::negative_saturated(const WorkloadKey &key) const
 {
     if (config_.negative_threshold <= 0)
         return false;
-    std::lock_guard<std::mutex> lock(negative_mu_);
-    auto it = negative_.find(key);
-    return it != negative_.end() &&
+    const Shard &shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.neg_mu);
+    auto it = shard.negative.find(key);
+    return it != shard.negative.end() &&
            it->second >= config_.negative_threshold;
 }
 
@@ -88,8 +126,9 @@ KernelRegistry::note_miss(const WorkloadKey &key)
 {
     if (config_.negative_threshold <= 0)
         return;
-    std::lock_guard<std::mutex> lock(negative_mu_);
-    int &count = negative_[key];
+    Shard &shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.neg_mu);
+    int &count = shard.negative[key];
     if (count < config_.negative_threshold)
         ++count;
 }
@@ -97,8 +136,9 @@ KernelRegistry::note_miss(const WorkloadKey &key)
 void
 KernelRegistry::clear_negative(const WorkloadKey &key)
 {
-    std::lock_guard<std::mutex> lock(negative_mu_);
-    negative_.erase(key);
+    Shard &shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.neg_mu);
+    shard.negative.erase(key);
 }
 
 void
@@ -106,29 +146,23 @@ KernelRegistry::mark_untunable(const WorkloadKey &key)
 {
     if (config_.negative_threshold <= 0)
         return;
-    std::lock_guard<std::mutex> lock(negative_mu_);
-    negative_[key] = config_.negative_threshold;
+    Shard &shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.neg_mu);
+    shard.negative[key] = config_.negative_threshold;
 }
 
 std::shared_ptr<const rules::GeneratedSpace>
 KernelRegistry::space_for(const ops::Workload &workload,
                           const WorkloadKey &key)
 {
-    {
-        std::lock_guard<std::mutex> lock(spaces_mu_);
-        auto it = spaces_.find(key);
-        if (it != spaces_.end())
-            return it->second;
-    }
-    // Generate outside the lock: generation is milliseconds and
-    // must not stall other queries' cache hits. On a race the first
-    // insert wins and the duplicate work is discarded.
-    HERON_TRACE_SCOPE("serve/generate_space");
-    rules::SpaceGenerator generator(spec_, config_.space_options);
-    auto space = std::make_shared<const rules::GeneratedSpace>(
-        generator.generate(workload));
-    std::lock_guard<std::mutex> lock(spaces_mu_);
-    return spaces_.emplace(key, std::move(space)).first->second;
+    // Memoized in the striped SpaceCache by the canonical key hash;
+    // generation runs outside the stripe lock (see SpaceCache).
+    return spaces_.get_or_generate(key.hash(), [&] {
+        HERON_TRACE_SCOPE("serve/generate_space");
+        rules::SpaceGenerator generator(spec_,
+                                        config_.space_options);
+        return generator.generate(workload);
+    });
 }
 
 std::optional<csp::Assignment>
@@ -222,20 +256,25 @@ KernelRegistry::try_fallback(const ops::Workload &workload,
 {
     HERON_TRACE_SCOPE("serve/fallback");
 
-    // Collect compatible donors under shared locks, then rank and
-    // re-validate with every lock released: try_bind walks the
-    // whole template and must not hold up writers.
+    // Collect compatible donors from each shard's snapshot (one
+    // hazard guard, re-targeted per shard), then rank and
+    // re-validate with no protection held: candidates are copied
+    // out, and try_bind walks the whole template so it must not
+    // pin a snapshot.
     struct Candidate {
         double distance;
         Entry entry;
     };
     std::vector<Candidate> candidates;
-    for (const auto &shard : shards_) {
-        std::shared_lock<std::shared_mutex> lock(shard->mu);
-        for (const auto &[donor_key, entry] : shard->map) {
-            double distance = shape_distance(key, donor_key);
-            if (distance <= config_.max_fallback_distance)
-                candidates.push_back({distance, entry});
+    {
+        support::HazardDomain::Guard guard;
+        for (const auto &shard : shards_) {
+            const Map *map = guard.protect(shard->current);
+            for (const auto &[donor_key, entry] : *map) {
+                double distance = shape_distance(key, donor_key);
+                if (distance <= config_.max_fallback_distance)
+                    candidates.push_back({distance, entry});
+            }
         }
     }
     if (candidates.empty())
@@ -348,15 +387,20 @@ KernelRegistry::lookup(const ops::Workload &workload,
     WorkloadKey key = make_key(workload, spec_);
 
     {
+        // Lock-free exact probe: protect the shard's snapshot, hash
+        // into it, copy the record out, drop protection. put() can
+        // swap in a new snapshot concurrently; this probe just
+        // answers from the one it pinned.
         const Shard &shard = shard_for(key);
-        std::shared_lock<std::shared_mutex> lock(shard.mu);
-        auto it = shard.map.find(key);
-        if (it != shard.map.end()) {
+        support::HazardDomain::Guard guard;
+        const Map *map = guard.protect(shard.current);
+        auto it = map->find(key);
+        if (it != map->end()) {
             LookupResult result;
             result.tier = LookupTier::kExact;
-            result.key = std::move(key);
             result.record = it->second.record;
-            lock.unlock();
+            guard.clear();
+            result.key = std::move(key);
             exact_hits_.fetch_add(1, std::memory_order_relaxed);
             HERON_COUNTER_INC("serve.lookup.exact");
             observe();
@@ -425,16 +469,25 @@ KernelRegistry::put(const ops::Workload &workload,
     bool serving = false;
     bool swapped = false;
     {
+        // Copy-on-write insert: the published snapshot is immutable,
+        // so build the successor under the write lock and swap it
+        // in. Readers see either the old or the new snapshot, never
+        // an intermediate state.
         Shard &shard = shard_for(key);
-        std::unique_lock<std::shared_mutex> lock(shard.mu);
-        auto it = shard.map.find(key);
-        if (it == shard.map.end()) {
-            shard.map.emplace(key, Entry{key, std::move(record)});
+        std::lock_guard<std::mutex> lock(shard.write_mu);
+        const Map *cur =
+            shard.current.load(std::memory_order_acquire);
+        auto it = cur->find(key);
+        if (it == cur->end()) {
             serving = true;
         } else if (record.gflops > it->second.record.gflops) {
-            it->second.record = std::move(record);
             serving = true;
             swapped = true;
+        }
+        if (serving) {
+            auto *next = new Map(*cur);
+            (*next)[key] = Entry{key, std::move(record)};
+            publish(shard, next);
         }
     }
     inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -455,10 +508,9 @@ size_t
 KernelRegistry::size() const
 {
     size_t total = 0;
-    for (const auto &shard : shards_) {
-        std::shared_lock<std::shared_mutex> lock(shard->mu);
-        total += shard->map.size();
-    }
+    support::HazardDomain::Guard guard;
+    for (const auto &shard : shards_)
+        total += guard.protect(shard->current)->size();
     return total;
 }
 
@@ -503,6 +555,14 @@ KernelRegistry::load_records(
     StoreLoadStats local;
     if (stats)
         local.read = stats->read;
+    // Screen and group records by shard first: COW makes a per-
+    // record insert O(shard size), so a bulk load does one
+    // copy+publish per touched shard instead of one per record.
+    struct Pending {
+        WorkloadKey key;
+        autotune::TuningRecord record;
+    };
+    std::vector<std::vector<Pending>> by_shard(shards_.size());
     for (auto &record : records) {
         auto key = parse_canonical(record.workload);
         if (!key) {
@@ -517,17 +577,30 @@ KernelRegistry::load_records(
             ++local.invalid;
             continue;
         }
-        Shard &shard = shard_for(*key);
-        std::unique_lock<std::shared_mutex> lock(shard.mu);
-        auto it = shard.map.find(*key);
-        if (it == shard.map.end()) {
-            shard.map.emplace(*key,
-                              Entry{*key, std::move(record)});
-            ++local.loaded;
-        } else if (record.gflops > it->second.record.gflops) {
-            it->second.record = std::move(record);
-            ++local.loaded;
+        size_t s = key->hash() % shards_.size();
+        by_shard[s].push_back({std::move(*key), std::move(record)});
+    }
+    for (size_t s = 0; s < by_shard.size(); ++s) {
+        if (by_shard[s].empty())
+            continue;
+        Shard &shard = *shards_[s];
+        std::lock_guard<std::mutex> lock(shard.write_mu);
+        auto *next = new Map(
+            *shard.current.load(std::memory_order_acquire));
+        for (auto &pending : by_shard[s]) {
+            auto it = next->find(pending.key);
+            if (it == next->end()) {
+                next->emplace(pending.key,
+                              Entry{pending.key,
+                                    std::move(pending.record)});
+                ++local.loaded;
+            } else if (pending.record.gflops >
+                       it->second.record.gflops) {
+                it->second.record = std::move(pending.record);
+                ++local.loaded;
+            }
         }
+        publish(shard, next);
     }
     if (local.unparsable > 0) {
         HERON_WARN << "serving store: skipped " << local.unparsable
@@ -561,10 +634,13 @@ bool
 KernelRegistry::save_store_file(const std::string &path) const
 {
     std::vector<autotune::TuningRecord> records;
-    for (const auto &shard : shards_) {
-        std::shared_lock<std::shared_mutex> lock(shard->mu);
-        for (const auto &[key, entry] : shard->map)
-            records.push_back(entry.record);
+    {
+        support::HazardDomain::Guard guard;
+        for (const auto &shard : shards_) {
+            const Map *map = guard.protect(shard->current);
+            for (const auto &[key, entry] : *map)
+                records.push_back(entry.record);
+        }
     }
     std::sort(records.begin(), records.end(),
               [](const autotune::TuningRecord &a,

@@ -3,9 +3,17 @@
  * KernelRegistry: the serving-side database of tuned schedules.
  *
  * An in-memory index over autotune::TuningRecords keyed by canonical
- * WorkloadKey, sharded under reader-writer locks so concurrent
- * lookups never serialize against each other and an insert only
- * stalls its own shard. Lookups answer in three tiers:
+ * WorkloadKey. The index is sharded, and each shard publishes an
+ * *immutable snapshot* map behind an atomic pointer: readers
+ * dereference the current snapshot through a hazard-pointer guard
+ * (support/hazard.h) and never take a lock, while put() copies the
+ * shard's map, mutates the copy, and swaps it in under a per-shard
+ * write mutex (RCU-style copy-on-write). A swapped-out snapshot is
+ * retired and freed only once no reader protects it, so lookups are
+ * wait-free with respect to inserts and never observe a half-updated
+ * shard. The negative cache is sharded alongside the index (one slot
+ * per shard) so miss bookkeeping for one key never contends with
+ * another shard's. Lookups answer in three tiers:
  *
  *   exact     the query's key is in the index
  *   nearest   a compatible key (same op/dtype/DLA) is close in
@@ -37,7 +45,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +52,7 @@
 #include "autotune/record.h"
 #include "rules/space_generator.h"
 #include "serve/workload_key.h"
+#include "support/hazard.h"
 
 namespace heron::serve {
 
@@ -104,7 +112,7 @@ struct LookupResult {
 
 /** Registry tuning knobs. */
 struct RegistryConfig {
-    /** Lock shards (clamped to >= 1; power of two not required). */
+    /** Index shards (clamped to >= 1; power of two not required). */
     int shards = 8;
     /** Serve nearest-workload fallbacks at all. */
     bool enable_fallback = true;
@@ -172,14 +180,20 @@ struct StoreLoadStats {
 };
 
 /**
- * Sharded, reader-writer-locked tuned-schedule database for one
- * DLA. All public methods are thread-safe.
+ * Sharded tuned-schedule database for one DLA with lock-free reads
+ * (hazard-protected copy-on-write snapshots; see file header). All
+ * public methods are thread-safe.
  */
 class KernelRegistry
 {
   public:
     explicit KernelRegistry(hw::DlaSpec spec,
                             RegistryConfig config = {});
+
+    ~KernelRegistry();
+
+    KernelRegistry(const KernelRegistry &) = delete;
+    KernelRegistry &operator=(const KernelRegistry &) = delete;
 
     /**
      * Called on a miss (and on a nearest-tier hit, so a fallback
@@ -258,9 +272,30 @@ class KernelRegistry
         autotune::TuningRecord record;
     };
 
+    using Map =
+        std::unordered_map<WorkloadKey, Entry, WorkloadKeyHash>;
+
+    /**
+     * One index shard. Readers follow `current` through a hazard
+     * guard and never lock; writers hold `write_mu`, copy the map
+     * pointed to by `current`, mutate the copy, exchange the
+     * pointer, and move the old snapshot to `retired` until no
+     * hazard slot protects it (the reclamation rule). The negative
+     * cache rides in the same shard under its own small mutex so
+     * miss bookkeeping is sharded too.
+     */
     struct Shard {
-        mutable std::shared_mutex mu;
-        std::unordered_map<WorkloadKey, Entry, WorkloadKeyHash> map;
+        /** Serializes writers; readers never touch it. */
+        std::mutex write_mu;
+        /** Published immutable snapshot (never nullptr). */
+        std::atomic<const Map *> current{nullptr};
+        /** Swapped-out snapshots awaiting reclamation (write_mu). */
+        std::vector<const Map *> retired;
+
+        /** Saturating per-key miss counters (negative cache). */
+        mutable std::mutex neg_mu;
+        std::unordered_map<WorkloadKey, int, WorkloadKeyHash>
+            negative;
     };
 
     hw::DlaSpec spec_;
@@ -268,20 +303,12 @@ class KernelRegistry
     RegistryConfig config_;
     std::vector<std::unique_ptr<Shard>> shards_;
 
-    /** Saturating per-key miss counters (the negative cache). */
-    mutable std::mutex negative_mu_;
-    std::unordered_map<WorkloadKey, int, WorkloadKeyHash> negative_;
-
     /**
      * Generated-space cache for fallback re-validation: generating
      * a space is milliseconds while a lookup is microseconds, so
-     * each query shape pays generation once.
+     * each query shape pays generation once. Striped internally.
      */
-    mutable std::mutex spaces_mu_;
-    std::unordered_map<WorkloadKey,
-                       std::shared_ptr<const rules::GeneratedSpace>,
-                       WorkloadKeyHash>
-        spaces_;
+    mutable rules::SpaceCache spaces_;
 
     mutable std::mutex miss_handler_mu_;
     MissHandler miss_handler_;
@@ -299,6 +326,13 @@ class KernelRegistry
 
     Shard &shard_for(const WorkloadKey &key);
     const Shard &shard_for(const WorkloadKey &key) const;
+
+    /**
+     * Publish @p next as @p shard's snapshot (write_mu must be
+     * held), retire the old one, and free any retired snapshot no
+     * reader still protects.
+     */
+    static void publish(Shard &shard, const Map *next);
 
     /** True when the key's negative entry is saturated. */
     bool negative_saturated(const WorkloadKey &key) const;

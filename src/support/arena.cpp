@@ -1,0 +1,81 @@
+#include "support/arena.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace heron::support {
+
+Arena::Arena(size_t chunk_bytes)
+    : chunk_bytes_(std::max<size_t>(chunk_bytes, 64))
+{
+}
+
+void *
+Arena::carve(Chunk &chunk, size_t bytes, size_t align)
+{
+    uintptr_t base = reinterpret_cast<uintptr_t>(chunk.data.get());
+    uintptr_t cursor = base + chunk.used;
+    uintptr_t aligned = (cursor + (align - 1)) & ~(align - 1);
+    size_t needed = (aligned - cursor) + bytes;
+    if (chunk.used + needed > chunk.size)
+        return nullptr;
+    chunk.used += needed;
+    return reinterpret_cast<void *>(aligned);
+}
+
+void *
+Arena::allocate(size_t bytes, size_t align)
+{
+    HERON_CHECK(align != 0 && (align & (align - 1)) == 0);
+    // Try the active chunk, then any retained chunk after it (reset
+    // rewinds used to 0 but keeps the storage).
+    for (; active_ < chunks_.size(); ++active_) {
+        if (void *p = carve(chunks_[active_], bytes, align)) {
+            live_ += bytes;
+            high_water_ = std::max(high_water_, live_);
+            return p;
+        }
+        // A request that doesn't fit the remainder moves on; the
+        // skipped tail is dead until the next reset (bounded waste:
+        // at most one request per chunk).
+    }
+    // Oversized requests get a dedicated exactly-sized chunk so one
+    // big allocation can't blow up the steady-state footprint.
+    size_t size = std::max(chunk_bytes_, bytes + align);
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(size);
+    chunk.size = size;
+    chunks_.push_back(std::move(chunk));
+    active_ = chunks_.size() - 1;
+    void *p = carve(chunks_.back(), bytes, align);
+    HERON_CHECK(p != nullptr);
+    live_ += bytes;
+    high_water_ = std::max(high_water_, live_);
+    return p;
+}
+
+void
+Arena::reset()
+{
+    for (Chunk &chunk : chunks_)
+        chunk.used = 0;
+    active_ = 0;
+    live_ = 0;
+    ++resets_;
+}
+
+Arena::Stats
+Arena::stats() const
+{
+    Stats stats;
+    stats.chunks = chunks_.size();
+    for (const Chunk &chunk : chunks_)
+        stats.bytes_reserved += chunk.size;
+    stats.bytes_live = live_;
+    stats.high_water = high_water_;
+    stats.resets = resets_;
+    return stats;
+}
+
+} // namespace heron::support

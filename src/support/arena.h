@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Chunked bump-pointer arena allocation.
+ *
+ * The parallel hot paths allocate many short-lived objects with one
+ * shared lifetime: a sampling batch's dedup set lives for one
+ * sample() call, a cost model's memoized feature vectors live until
+ * the cache is reset wholesale. Routing those through malloc makes
+ * every worker thread contend on the global allocator; an Arena
+ * instead hands out memory by bumping a pointer through
+ * thread-private chunks and reclaims *everything at once* with
+ * reset(), which rewinds the bump pointers but keeps the chunks —
+ * so a warmed-up arena allocates with zero malloc traffic.
+ *
+ * Ownership model: the arena owns every byte it hands out.
+ * Individual deallocation is a no-op; destructors of arena-backed
+ * containers run normally (they just don't return memory), and the
+ * caller must destroy (or abandon) every object carved from the
+ * arena *before* calling reset() — after reset the memory will be
+ * reused. An Arena is not thread-safe: one arena per owning thread
+ * or per externally synchronized structure.
+ */
+#ifndef HERON_SUPPORT_ARENA_H
+#define HERON_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace heron::support {
+
+/** Bump allocator over retained chunks; see file header. */
+class Arena
+{
+  public:
+    /** @param chunk_bytes granularity of backing allocations. */
+    explicit Arena(size_t chunk_bytes = kDefaultChunkBytes);
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Hand out @p bytes aligned to @p align (a power of two).
+     * Requests larger than the chunk size get a dedicated chunk.
+     * Never returns nullptr (zero-byte requests return a valid
+     * one-past pointer).
+     */
+    void *allocate(size_t bytes, size_t align);
+
+    /** Typed array allocation (uninitialized storage). */
+    template <typename T> T *alloc_array(size_t n)
+    {
+        return static_cast<T *>(
+            allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Rewind every chunk to empty, retaining the chunks themselves.
+     * All memory previously handed out is considered dead and will
+     * be reused by subsequent allocations.
+     */
+    void reset();
+
+    /** Observability counters. */
+    struct Stats {
+        /** Backing chunks currently held. */
+        size_t chunks = 0;
+        /** Total bytes reserved across chunks. */
+        size_t bytes_reserved = 0;
+        /** Bytes handed out since the last reset. */
+        size_t bytes_live = 0;
+        /** Largest bytes_live ever observed. */
+        size_t high_water = 0;
+        /** reset() calls. */
+        size_t resets = 0;
+    };
+    Stats stats() const;
+
+  private:
+    static constexpr size_t kDefaultChunkBytes = 64u << 10;
+
+    struct Chunk {
+        std::unique_ptr<std::byte[]> data;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    size_t chunk_bytes_;
+    std::vector<Chunk> chunks_;
+    /** Index of the chunk currently being bumped. */
+    size_t active_ = 0;
+    size_t live_ = 0;
+    size_t high_water_ = 0;
+    size_t resets_ = 0;
+
+    /** Carve from @p chunk or return nullptr if it doesn't fit. */
+    static void *carve(Chunk &chunk, size_t bytes, size_t align);
+};
+
+/**
+ * std::allocator adapter over an Arena, for standard containers
+ * whose contents share the arena's lifetime. deallocate() is a
+ * no-op — memory comes back only via Arena::reset() — so a
+ * container that churns (repeated insert/erase) will grow the
+ * arena; use it for build-once / reset-wholesale containers.
+ */
+template <typename T> class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit ArenaAllocator(Arena *arena) noexcept : arena_(arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other) noexcept
+        : arena_(other.arena())
+    {
+    }
+
+    T *allocate(size_t n)
+    {
+        return arena_->alloc_array<T>(n);
+    }
+
+    void deallocate(T *, size_t) noexcept {}
+
+    Arena *arena() const noexcept { return arena_; }
+
+    template <typename U>
+    bool operator==(const ArenaAllocator<U> &other) const noexcept
+    {
+        return arena_ == other.arena();
+    }
+
+    template <typename U>
+    bool operator!=(const ArenaAllocator<U> &other) const noexcept
+    {
+        return arena_ != other.arena();
+    }
+
+  private:
+    Arena *arena_;
+};
+
+} // namespace heron::support
+
+#endif // HERON_SUPPORT_ARENA_H

@@ -1,0 +1,166 @@
+#include "support/hazard.h"
+
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace heron::support {
+
+namespace {
+
+struct alignas(64) Slot {
+    std::atomic<const void *> ptr{nullptr};
+    std::atomic<uint32_t> owned{0};
+};
+
+Slot *
+slot_table()
+{
+    // Function-local static: alive for the whole process (trivially
+    // destructible members), so thread-exit releases can always
+    // touch it regardless of static destruction order.
+    static Slot table[HazardDomain::kSlots];
+    return table;
+}
+
+/**
+ * Fallback for threads that cannot claim a slot: readers hold this
+ * mutex across their protected section and writers' reclamation
+ * scans acquire it once, waiting out any such reader. Recursive so
+ * nested fallback Guards on one thread don't self-deadlock.
+ */
+std::recursive_mutex &
+fallback_mutex()
+{
+    static std::recursive_mutex mu;
+    return mu;
+}
+
+/** Per-thread claimed slots, stack-ordered to match Guard nesting. */
+struct Lease {
+    Slot *slots[HazardDomain::kMaxNested] = {};
+    int claimed = 0;
+    int depth = 0;
+
+    ~Lease()
+    {
+        for (int i = 0; i < claimed; ++i) {
+            slots[i]->ptr.store(nullptr,
+                                std::memory_order_seq_cst);
+            slots[i]->owned.store(0, std::memory_order_release);
+        }
+    }
+
+    Slot *claim_next()
+    {
+        if (depth < claimed)
+            return slots[depth];
+        if (claimed >= HazardDomain::kMaxNested)
+            return nullptr;
+        Slot *table = slot_table();
+        size_t start =
+            std::hash<std::thread::id>()(
+                std::this_thread::get_id()) %
+            static_cast<size_t>(HazardDomain::kSlots);
+        for (int i = 0; i < HazardDomain::kSlots; ++i) {
+            Slot &slot =
+                table[(start + static_cast<size_t>(i)) %
+                      static_cast<size_t>(HazardDomain::kSlots)];
+            uint32_t expected = 0;
+            if (slot.owned.compare_exchange_strong(
+                    expected, 1, std::memory_order_acq_rel))
+                return slots[claimed++] = &slot;
+        }
+        return nullptr; // table full: caller takes the fallback
+    }
+};
+
+thread_local Lease tls_lease;
+
+} // namespace
+
+HazardDomain::Guard::Guard()
+{
+    Slot *slot = tls_lease.claim_next();
+    if (slot != nullptr) {
+        ++tls_lease.depth;
+        slot_ = slot;
+    } else {
+        fallback_mutex().lock();
+    }
+}
+
+HazardDomain::Guard::~Guard()
+{
+    if (slot_ != nullptr) {
+        static_cast<Slot *>(slot_)->ptr.store(
+            nullptr, std::memory_order_seq_cst);
+        --tls_lease.depth;
+    } else {
+        fallback_mutex().unlock();
+    }
+}
+
+void
+HazardDomain::Guard::clear()
+{
+    if (slot_ != nullptr)
+        static_cast<Slot *>(slot_)->ptr.store(
+            nullptr, std::memory_order_seq_cst);
+    // Fallback guards keep the mutex until destruction: clear()
+    // only drops pointer protection, and the mutex is what protects
+    // a slotless reader.
+}
+
+const void *
+HazardDomain::Guard::protect_erased(
+    const std::atomic<const void *> &src)
+{
+    if (slot_ == nullptr) {
+        // Mutex fallback: reclamation scans serialize against this
+        // guard's mutex hold, so a plain load is already safe.
+        return src.load(std::memory_order_seq_cst);
+    }
+    Slot *slot = static_cast<Slot *>(slot_);
+    const void *p = src.load(std::memory_order_acquire);
+    for (;;) {
+        slot->ptr.store(p, std::memory_order_seq_cst);
+        // Re-validate: if the source moved on after we published
+        // the hazard, the writer may have already scanned (and
+        // missed) our slot — retry with the fresh pointer. If it
+        // still matches, our seq_cst publish is ordered before any
+        // later writer's scan, which must therefore observe it.
+        const void *q = src.load(std::memory_order_seq_cst);
+        if (q == p)
+            return p;
+        p = q;
+    }
+}
+
+bool
+HazardDomain::is_protected(const void *p)
+{
+    Slot *table = slot_table();
+    for (int i = 0; i < kSlots; ++i) {
+        if (table[i].ptr.load(std::memory_order_seq_cst) == p)
+            return true;
+    }
+    // Wait out any slotless reader that loaded the pointer before
+    // it was retired; new fallback readers can only observe the
+    // already-swapped source.
+    fallback_mutex().lock();
+    fallback_mutex().unlock();
+    return false;
+}
+
+int
+HazardDomain::active_slots()
+{
+    Slot *table = slot_table();
+    int active = 0;
+    for (int i = 0; i < kSlots; ++i)
+        active += table[i].owned.load(std::memory_order_acquire) != 0;
+    return active;
+}
+
+} // namespace heron::support

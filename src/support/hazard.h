@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Hazard-pointer protection for RCU-style read paths.
+ *
+ * The serving registry publishes immutable snapshots behind an
+ * atomic pointer: writers build a new snapshot and swap it in,
+ * readers dereference the current one without taking any lock. The
+ * remaining problem is reclamation — when may a writer free the
+ * snapshot it just replaced? Hazard pointers answer it with a
+ * process-wide table of per-thread slots:
+ *
+ *   reader   p = src.load(); slot = p; if (src.load() == p) use p;
+ *            (retry with the fresh pointer when the re-read
+ *            differs); clear slot when done
+ *   writer   old = src.exchange(next); defer freeing old until no
+ *            slot holds it (HazardDomain::is_protected)
+ *
+ * The re-validation closes the publish/swap race: either the writer
+ * swapped first and the reader retries with the new pointer, or the
+ * reader's slot store is ordered before the writer's scan (all slot
+ * and source operations are seq_cst) and the writer must observe
+ * the hazard. Writers never block readers; a writer only defers
+ * reclamation, bounded by the number of concurrently protected
+ * pointers.
+ *
+ * Slots are claimed per thread on first use (cached thread-locally,
+ * released at thread exit) so the steady-state read cost is one
+ * relaxed load, one seq_cst store, and one seq_cst load — all on
+ * cache lines the reading thread owns. Guards nest up to
+ * kMaxNested deep per thread; a thread that cannot claim a slot
+ * (more than kSlots live threads) falls back to a shared mutex that
+ * excludes writers' reclamation scans, preserving correctness at
+ * degraded speed.
+ */
+#ifndef HERON_SUPPORT_HAZARD_H
+#define HERON_SUPPORT_HAZARD_H
+
+#include <atomic>
+#include <cstddef>
+
+namespace heron::support {
+
+/** Process-wide hazard slot table; see file header. */
+class HazardDomain
+{
+  public:
+    /** Hazard slots (bounds live protected pointers). */
+    static constexpr int kSlots = 128;
+    /** Nested Guards per thread. */
+    static constexpr int kMaxNested = 4;
+
+    /**
+     * RAII protection for one pointer read from one atomic source.
+     * Not thread-safe (stack-confined by design); guards on one
+     * thread may nest up to kMaxNested deep.
+     */
+    class Guard
+    {
+      public:
+        Guard();
+        ~Guard();
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+        /**
+         * Load @p src and protect the result until clear() or
+         * destruction. May be called repeatedly; each call replaces
+         * the previous protection.
+         */
+        template <typename T>
+        const T *protect(const std::atomic<const T *> &src)
+        {
+            const void *p = protect_erased(
+                reinterpret_cast<const std::atomic<const void *> &>(
+                    src));
+            return static_cast<const T *>(p);
+        }
+
+        /** Drop the protection early. */
+        void clear();
+
+      private:
+        const void *protect_erased(
+            const std::atomic<const void *> &src);
+
+        /** Claimed slot, or nullptr when on the mutex fallback. */
+        void *slot_ = nullptr;
+    };
+
+    /**
+     * True when some thread currently protects @p p. Writers call
+     * this before freeing a retired pointer; a false result is a
+     * proof that no reader holds @p p (given the pointer was
+     * unreachable from every source before the scan).
+     */
+    static bool is_protected(const void *p);
+
+    /** Slots currently claimed by live threads (observability). */
+    static int active_slots();
+};
+
+} // namespace heron::support
+
+#endif // HERON_SUPPORT_HAZARD_H

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Parallel hot-path tests: the Arena allocator (alignment, reuse
+ * after reset, oversize chunks, container adapter), hazard-pointer
+ * protection, SampleBatch worker-count invariance on its persistent
+ * pool, the registry's lock-free (RCU-style) read path raced against
+ * put() hot swaps, the sharded negative cache, and SpaceCache
+ * memoization under contention. The concurrency tests here are also
+ * run under the tsan preset (see scripts/verify.sh).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "csp/sample_batch.h"
+#include "csp/solver.h"
+#include "ops/op_library.h"
+#include "rules/space_generator.h"
+#include "serve/registry.h"
+#include "serve/workload_key.h"
+#include "support/arena.h"
+#include "support/hazard.h"
+
+namespace heron {
+namespace {
+
+// ---------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------
+
+TEST(Arena, RespectsAlignment)
+{
+    support::Arena arena(256);
+    for (size_t align : {1u, 2u, 8u, 16u, 64u}) {
+        void *p = arena.allocate(3, align);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+    }
+}
+
+TEST(Arena, ReuseAfterResetRetainsChunks)
+{
+    support::Arena arena(1024);
+    // Warm up: force several chunks.
+    for (int i = 0; i < 64; ++i)
+        arena.alloc_array<int64_t>(16);
+    auto warmed = arena.stats();
+    EXPECT_GT(warmed.chunks, 0u);
+    EXPECT_GT(warmed.bytes_live, 0u);
+
+    // Reset + identical workload: no new chunks, same footprint.
+    for (int round = 0; round < 5; ++round) {
+        arena.reset();
+        EXPECT_EQ(arena.stats().bytes_live, 0u);
+        for (int i = 0; i < 64; ++i)
+            arena.alloc_array<int64_t>(16);
+        auto again = arena.stats();
+        EXPECT_EQ(again.chunks, warmed.chunks);
+        EXPECT_EQ(again.bytes_reserved, warmed.bytes_reserved);
+        EXPECT_EQ(again.bytes_live, warmed.bytes_live);
+    }
+    EXPECT_EQ(arena.stats().resets, 5u);
+}
+
+TEST(Arena, ResetMakesMemoryReusable)
+{
+    support::Arena arena(256);
+    int *first = arena.alloc_array<int>(8);
+    for (int i = 0; i < 8; ++i)
+        first[i] = i;
+    arena.reset();
+    // Same size and alignment right after reset: the bump pointer
+    // rewound, so the first chunk is carved from its start again.
+    int *second = arena.alloc_array<int>(8);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Arena, OversizeRequestGetsDedicatedChunk)
+{
+    support::Arena arena(128);
+    void *small = arena.allocate(16, 8);
+    ASSERT_NE(small, nullptr);
+    void *big = arena.allocate(4096, 8);
+    ASSERT_NE(big, nullptr);
+    auto stats = arena.stats();
+    EXPECT_GE(stats.chunks, 2u);
+    EXPECT_GE(stats.bytes_reserved, 4096u);
+    // The oversize chunk survives reset and is reusable.
+    arena.reset();
+    EXPECT_EQ(arena.stats().bytes_reserved, stats.bytes_reserved);
+}
+
+TEST(Arena, AllocatorAdapterBacksContainers)
+{
+    support::Arena arena;
+    {
+        support::ArenaAllocator<int> int_alloc(&arena);
+        std::vector<int, support::ArenaAllocator<int>> v(int_alloc);
+        for (int i = 0; i < 1000; ++i)
+            v.push_back(i);
+        EXPECT_EQ(v.size(), 1000u);
+        EXPECT_EQ(v[999], 999);
+
+        std::unordered_set<uint64_t, std::hash<uint64_t>,
+                           std::equal_to<uint64_t>,
+                           support::ArenaAllocator<uint64_t>>
+            set(16, std::hash<uint64_t>(), std::equal_to<uint64_t>(),
+                support::ArenaAllocator<uint64_t>(&arena));
+        for (uint64_t i = 0; i < 500; ++i)
+            set.insert(i * 7919);
+        EXPECT_EQ(set.size(), 500u);
+        EXPECT_TRUE(set.count(7919));
+    } // containers destroyed before reset (ownership rule)
+    EXPECT_GT(arena.stats().bytes_live, 0u);
+    arena.reset();
+    EXPECT_EQ(arena.stats().bytes_live, 0u);
+}
+
+// ---------------------------------------------------------------
+// Hazard pointers
+// ---------------------------------------------------------------
+
+TEST(Hazard, ProtectPinsUntilCleared)
+{
+    auto *value = new int(42);
+    std::atomic<const int *> source{value};
+    {
+        support::HazardDomain::Guard guard;
+        const int *seen = guard.protect(source);
+        EXPECT_EQ(seen, value);
+        EXPECT_TRUE(support::HazardDomain::is_protected(value));
+        guard.clear();
+        EXPECT_FALSE(support::HazardDomain::is_protected(value));
+    }
+    delete value;
+}
+
+TEST(Hazard, GuardsNest)
+{
+    auto *a = new int(1);
+    auto *b = new int(2);
+    std::atomic<const int *> sa{a}, sb{b};
+    {
+        support::HazardDomain::Guard ga;
+        EXPECT_EQ(ga.protect(sa), a);
+        {
+            support::HazardDomain::Guard gb;
+            EXPECT_EQ(gb.protect(sb), b);
+            EXPECT_TRUE(support::HazardDomain::is_protected(a));
+            EXPECT_TRUE(support::HazardDomain::is_protected(b));
+        }
+        EXPECT_FALSE(support::HazardDomain::is_protected(b));
+        EXPECT_TRUE(support::HazardDomain::is_protected(a));
+    }
+    EXPECT_FALSE(support::HazardDomain::is_protected(a));
+    delete a;
+    delete b;
+}
+
+// ---------------------------------------------------------------
+// SampleBatch worker invariance (persistent pool)
+// ---------------------------------------------------------------
+
+/** A small real space to sample from. */
+const rules::GeneratedSpace &
+small_space()
+{
+    static const rules::GeneratedSpace space = [] {
+        rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                                  rules::Options::heron());
+        return gen.generate(ops::gemm(128, 128, 128));
+    }();
+    return space;
+}
+
+TEST(SampleBatchPool, PopulationsInvariantAcrossWorkerCounts)
+{
+    const auto &space = small_space();
+    const uint64_t seed = 17;
+    const int population = 20;
+    const int generations = 3;
+
+    // Reference: serial. Repeated warm batches from one object, the
+    // way CGA uses it across generations.
+    std::vector<std::vector<csp::Assignment>> reference;
+    csp::SolverStats ref_stats;
+    {
+        csp::SampleBatch batch(space.csp, {}, 1);
+        for (int g = 0; g < generations; ++g)
+            reference.push_back(
+                batch.sample(seed + static_cast<uint64_t>(g),
+                             population));
+        ref_stats = batch.stats();
+        EXPECT_FALSE(batch.pool_started());
+    }
+    ASSERT_FALSE(reference.empty());
+    ASSERT_FALSE(reference[0].empty());
+
+    for (int workers : {2, 4, 8}) {
+        csp::SampleBatch batch(space.csp, {}, workers);
+        std::vector<std::vector<csp::Assignment>> got;
+        for (int g = 0; g < generations; ++g)
+            got.push_back(
+                batch.sample(seed + static_cast<uint64_t>(g),
+                             population));
+        EXPECT_EQ(got, reference)
+            << workers << "-worker populations differ from serial";
+        // Aggregate solver stats must be invariant too: the same
+        // slots are solved with the same RNG streams regardless of
+        // which worker served them.
+        auto stats = batch.stats();
+        EXPECT_EQ(stats.solve_calls, ref_stats.solve_calls);
+        EXPECT_EQ(stats.solutions, ref_stats.solutions);
+        EXPECT_EQ(stats.backtracks, ref_stats.backtracks);
+        EXPECT_EQ(stats.restarts, ref_stats.restarts);
+        EXPECT_EQ(stats.propagations, ref_stats.propagations);
+        EXPECT_EQ(stats.revisions, ref_stats.revisions);
+        EXPECT_EQ(batch.last_failure(), csp::SolveFailure::kNone);
+        EXPECT_TRUE(batch.pool_started());
+    }
+}
+
+TEST(SampleBatchPool, WarmRepeatEqualsFreshBatch)
+{
+    const auto &space = small_space();
+    csp::SampleBatch warm(space.csp, {}, 4);
+    auto first = warm.sample(99, 12);
+    // Interleave a different seed, then repeat the first call: the
+    // warm pool and reused scratch must not leak state between
+    // calls.
+    warm.sample(123, 12);
+    auto repeat = warm.sample(99, 12);
+    EXPECT_EQ(first, repeat);
+
+    csp::SampleBatch fresh(space.csp, {}, 4);
+    EXPECT_EQ(fresh.sample(99, 12), first);
+}
+
+TEST(SampleBatchPool, UnsatExtraInvariantAcrossWorkerCounts)
+{
+    const auto &space = small_space();
+    // Pin the first tunable to a value outside its domain: every
+    // slot fails, and the failure reason must be worker-invariant.
+    ASSERT_FALSE(space.csp.tunable_vars().empty());
+    csp::VarId v = space.csp.tunable_vars().front();
+    csp::Constraint pin;
+    pin.kind = csp::ConstraintKind::kIn;
+    pin.result = v;
+    pin.constants = {-12345};
+    std::vector<csp::Constraint> extra{pin};
+
+    csp::SampleBatch serial(space.csp, {}, 1);
+    auto ref = serial.sample(5, 8, extra);
+    auto ref_failure = serial.last_failure();
+    EXPECT_TRUE(ref.empty());
+
+    for (int workers : {2, 4}) {
+        csp::SampleBatch batch(space.csp, {}, workers);
+        EXPECT_EQ(batch.sample(5, 8, extra), ref);
+        EXPECT_EQ(batch.last_failure(), ref_failure);
+    }
+}
+
+// ---------------------------------------------------------------
+// Registry RCU read path vs put() (also run under tsan)
+// ---------------------------------------------------------------
+
+autotune::TuningRecord
+solved_record(const hw::DlaSpec &spec, const ops::Workload &workload,
+              double gflops)
+{
+    rules::SpaceGenerator generator(spec, rules::Options::heron());
+    auto space = generator.generate(workload);
+    csp::RandSatSolver solver(space.csp);
+    Rng rng(7);
+    auto assignment = solver.solve_one(rng);
+    EXPECT_TRUE(assignment.has_value());
+    autotune::TuningRecord record;
+    record.workload = workload.name;
+    record.dla = spec.name;
+    record.tuner = "test";
+    record.valid = true;
+    record.latency_ms = 1.0;
+    record.gflops = gflops;
+    record.assignment = assignment ? *assignment : csp::Assignment{};
+    return record;
+}
+
+TEST(RegistryRcuConcurrency, ReadersNeverObserveTornState)
+{
+    auto spec = hw::DlaSpec::v100();
+    serve::RegistryConfig config;
+    config.enable_fallback = false; // isolate the exact read path
+    serve::KernelRegistry registry(spec, config);
+
+    std::vector<ops::Workload> workloads;
+    for (int m : {64, 128, 256, 512})
+        workloads.push_back(ops::gemm(m, 128, 128));
+    std::vector<autotune::TuningRecord> seeds;
+    for (const auto &w : workloads) {
+        seeds.push_back(solved_record(spec, w, 10.0));
+        ASSERT_TRUE(registry.put(w, seeds.back()));
+    }
+
+    // Writer hot-swaps ever-faster records while readers hammer
+    // exact lookups. Every lookup must hit and serve a complete
+    // record whose gflops is one of the published values.
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&, t] {
+            size_t i = static_cast<size_t>(t);
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto &w = workloads[i++ % workloads.size()];
+                auto result = registry.lookup(w);
+                if (!result.hit() || !result.record ||
+                    result.record->assignment.empty() ||
+                    result.record->gflops < 10.0)
+                    torn.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (int round = 1; round <= 50; ++round) {
+        for (size_t i = 0; i < workloads.size(); ++i) {
+            auto faster = seeds[i];
+            faster.gflops = 10.0 + round;
+            registry.put(workloads[i], std::move(faster));
+        }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto &thread : readers)
+        thread.join();
+
+    EXPECT_EQ(torn.load(), 0);
+    EXPECT_EQ(registry.size(), workloads.size());
+    EXPECT_EQ(registry.stats().hot_swaps, 50 * 4);
+    // After the dust settles every key serves the fastest record.
+    for (const auto &w : workloads) {
+        auto result = registry.lookup(w);
+        ASSERT_TRUE(result.hit());
+        EXPECT_DOUBLE_EQ(result.record->gflops, 60.0);
+    }
+}
+
+TEST(RegistryRcuConcurrency, ShardedNegativeCache)
+{
+    auto spec = hw::DlaSpec::v100();
+    serve::RegistryConfig config;
+    config.enable_fallback = false;
+    config.negative_threshold = 3;
+    serve::KernelRegistry registry(spec, config);
+
+    // Distinct absent workloads hammered from several threads: the
+    // per-shard counters must saturate exactly like a global one.
+    std::vector<ops::Workload> absent;
+    for (int m : {32, 64, 96, 160, 224, 288, 352, 416})
+        absent.push_back(ops::gemm(m, 64, 64));
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 3; ++i)
+                for (const auto &w : absent)
+                    registry.lookup(w);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    // 12 total misses per key >= threshold: all negative now.
+    for (const auto &w : absent) {
+        auto result = registry.lookup(w);
+        EXPECT_EQ(result.tier, serve::LookupTier::kNegative);
+    }
+
+    // mark_untunable saturates immediately; put() clears.
+    auto fresh = ops::gemm(480, 64, 64);
+    registry.mark_untunable(serve::make_key(fresh, spec));
+    EXPECT_EQ(registry.lookup(fresh).tier,
+              serve::LookupTier::kNegative);
+    ASSERT_TRUE(registry.put(fresh,
+                             solved_record(spec, fresh, 5.0)));
+    EXPECT_EQ(registry.lookup(fresh).tier,
+              serve::LookupTier::kExact);
+}
+
+// ---------------------------------------------------------------
+// SpaceCache
+// ---------------------------------------------------------------
+
+TEST(SpaceCacheTest, MemoizesAndSharesOneCanonicalSpace)
+{
+    rules::SpaceCache cache;
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    auto workload = ops::gemm(128, 128, 128);
+
+    std::atomic<int> generated{0};
+    auto make = [&] {
+        generated.fetch_add(1, std::memory_order_relaxed);
+        return gen.generate(workload);
+    };
+
+    auto first = cache.get_or_generate(42, make);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(cache.get_or_generate(42, make).get(), first.get());
+    EXPECT_EQ(generated.load(), 1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.lookup(42).get(), first.get());
+    EXPECT_EQ(cache.lookup(43), nullptr);
+}
+
+TEST(SpaceCacheTest, ConcurrentGetOrGenerateConverges)
+{
+    rules::SpaceCache cache;
+    rules::SpaceGenerator gen(hw::DlaSpec::v100(),
+                              rules::Options::heron());
+    auto workload = ops::gemm(64, 64, 64);
+
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const rules::GeneratedSpace>> got(
+        kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Two keys, interleaved: stripes must not cross-talk.
+            uint64_t key = static_cast<uint64_t>(t % 2);
+            got[static_cast<size_t>(t)] = cache.get_or_generate(
+                key, [&] { return gen.generate(workload); });
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    // First insert wins: every thread asking for a key got the same
+    // canonical space.
+    EXPECT_EQ(cache.size(), 2u);
+    for (int t = 2; t < kThreads; ++t)
+        EXPECT_EQ(got[static_cast<size_t>(t)].get(),
+                  got[static_cast<size_t>(t % 2)].get());
+}
+
+} // namespace
+} // namespace heron
