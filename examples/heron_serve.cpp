@@ -63,6 +63,7 @@
 
 #include "serve/access_log.h"
 #include "serve/conn.h"
+#include "serve/graph.h"
 #include "serve/observe.h"
 #include "serve/prometheus.h"
 #include "serve/protocol.h"
@@ -90,6 +91,11 @@ struct CliArgs {
     std::string trace_path;
     bool tune_on_miss = false;
     bool fallback = true;
+    /** Whole-network graph serving ({"cmd":"graph"}). */
+    bool graph = false;
+    /** Emit directory for graph dispatch headers ("" = inline). */
+    std::string graph_dir;
+    int max_graphs = 64;
     int trials = 60;
     uint64_t seed = 1;
     int queue_capacity = 64;
@@ -134,6 +140,8 @@ print_usage(std::FILE *to)
         "                    [--compact-segments N]\n"
         "                    [--store-retry-ms D]]\n"
         "                   [--tune-on-miss]\n"
+        "                   [--graph | --graph-dir DIR]\n"
+        "                   [--max-graphs N]\n"
         "                   [--trials N] [--seed S]\n"
         "                   [--queue-capacity N] [--shards N]\n"
         "                   [--no-fallback] [--max-distance D]\n"
@@ -169,6 +177,17 @@ print_usage(std::FILE *to)
         "pending-request watermark shrinks (shedding lookups\n"
         "earlier), and it restores after --slo-ok-evals healthy\n"
         "evaluations.\n"
+        "\n"
+        "Graph serving: --graph enables whole-network requests\n"
+        "({\"cmd\":\"graph\",\"network\":\"resnet50\",\"batch\":16}\n"
+        "or an explicit \"layers\" array). Layers sharing a\n"
+        "canonical key are deduped, all distinct keys resolve in\n"
+        "one batched registry pass, misses are queued for tuning\n"
+        "in payoff order (count x FLOPs x tier gap), and the model\n"
+        "compiles into one dispatch header written to --graph-dir\n"
+        "(or returned inline with \"emit\":\"inline\"). Poll\n"
+        "{\"cmd\":\"graph_status\",\"graph\":ID} until\n"
+        "\"converged\":true.\n"
         "\n"
         "Durability: --store-dir serves from a write-ahead-logged\n"
         "store (crash-safe O(1) appends, background compaction,\n"
@@ -236,6 +255,13 @@ parse(int argc, char **argv)
             args.trace_path = need("--trace");
         } else if (!std::strcmp(argv[i], "--tune-on-miss")) {
             args.tune_on_miss = true;
+        } else if (!std::strcmp(argv[i], "--graph")) {
+            args.graph = true;
+        } else if (!std::strcmp(argv[i], "--graph-dir")) {
+            args.graph = true;
+            args.graph_dir = need("--graph-dir");
+        } else if (!std::strcmp(argv[i], "--max-graphs")) {
+            args.max_graphs = std::atoi(need("--max-graphs"));
         } else if (!std::strcmp(argv[i], "--no-fallback")) {
             args.fallback = false;
         } else if (!std::strcmp(argv[i], "--trials")) {
@@ -407,7 +433,8 @@ on_terminate_signal(int)
  */
 int
 run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
-          serve::TuneQueue &queue, serve::DurableStore *store)
+          serve::TuneQueue &queue, serve::DurableStore *store,
+          serve::GraphService *graph)
 {
     using Clock = std::chrono::steady_clock;
     serve::TuneQueue *stats_queue =
@@ -435,6 +462,7 @@ run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
     ctx.store = store;
     ctx.request_metrics = &request_metrics;
     ctx.runtime = &runtime;
+    ctx.graph = graph;
 
     std::unique_ptr<serve::PromExporter> exporter;
     if (args.metrics_port_set) {
@@ -581,11 +609,13 @@ run_stdio(const CliArgs &args, serve::KernelRegistry &registry,
 /** Default mode: front the epoll TCP server until it drains. */
 int
 run_tcp(const CliArgs &args, serve::KernelRegistry &registry,
-        serve::TuneQueue &queue, serve::DurableStore *store)
+        serve::TuneQueue &queue, serve::DurableStore *store,
+        serve::GraphService *graph)
 {
     serve::ServerConfig config = args.server;
     config.store_path = args.store_path;
     config.store = store;
+    config.graph = graph;
     serve::Server server(registry, args.tune_on_miss ? &queue
                                                      : nullptr,
                          config);
@@ -743,10 +773,27 @@ main(int argc, char **argv)
             });
     }
 
+    // Whole-network graph serving: the scheduler splits the tune
+    // queue's budget across concurrently converging graphs, so it
+    // only sees the queue when background tuning is actually on.
+    serve::GraphTuneScheduler graph_scheduler(
+        args.tune_on_miss ? &queue : nullptr);
+    std::unique_ptr<serve::GraphService> graph_service;
+    if (args.graph) {
+        serve::GraphServiceConfig graph_config;
+        graph_config.emit_dir = args.graph_dir;
+        graph_config.max_graphs = static_cast<size_t>(
+            std::max(1, args.max_graphs));
+        graph_service = std::make_unique<serve::GraphService>(
+            registry, graph_scheduler, graph_config);
+    }
+
     int rc =
         args.stdio
-            ? run_stdio(args, registry, queue, store.get())
-            : run_tcp(args, registry, queue, store.get());
+            ? run_stdio(args, registry, queue, store.get(),
+                        graph_service.get())
+            : run_tcp(args, registry, queue, store.get(),
+                      graph_service.get());
     if (store)
         store->close();
 

@@ -398,6 +398,133 @@ EOF
     echo "tcp smoke: OK (clean SIGTERM drains, store persisted)"
 }
 
+# Whole-network graph serving smoke out of $1: submit ResNet-50
+# (batch 16) as one {"cmd":"graph"} request over TCP against a cold
+# registry — the dedupe must collapse repeated layers, every
+# distinct layer must be scheduled for tuning (payoff order), and
+# after the tune queue drains a graph_status poll must report
+# convergence. A follow-up graph request must emit a dispatch
+# header covering every layer that compiles standalone.
+smoke_graph() {
+    local build_dir="$1"
+    echo "== graph serving smoke test ($build_dir) =="
+    local out="$build_dir/graph-smoke"
+    rm -rf "$out"
+    mkdir -p "$out/libs"
+
+    wait_for_port() {
+        local port_file="$1" pid="$2"
+        for _ in $(seq 100); do
+            [[ -s "$port_file" ]] && return 0
+            kill -0 "$pid" 2> /dev/null || break
+            sleep 0.1
+        done
+        echo "heron_serve never published its port" >&2
+        return 1
+    }
+
+    "$build_dir/examples/heron_serve" \
+        --dla v100 --graph-dir "$out/libs" \
+        --tune-on-miss --trials 6 --seed 5 \
+        --queue-capacity 64 \
+        --port 0 --port-file "$out/port.txt" \
+        > /dev/null 2> "$out/server.err" &
+    local server_pid=$!
+    wait_for_port "$out/port.txt" "$server_pid" || {
+        cat "$out/server.err" >&2
+        return 1
+    }
+
+    python3 - "$out/port.txt" "$out/header.txt" <<'EOF'
+import json, socket, sys
+
+port = int(open(sys.argv[1]).read().strip())
+s = socket.create_connection(("127.0.0.1", port), 30)
+s.settimeout(600)
+reader = s.makefile("r")
+
+def rpc(obj):
+    s.sendall((json.dumps(obj) + "\n").encode())
+    line = reader.readline()
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line)
+
+# Cold graph: one batched pass, everything misses, the whole
+# model lands on the tune queue in payoff order.
+first = rpc({"id": 1, "cmd": "graph", "network": "resnet50",
+             "batch": 16})
+assert first["deduped"] > 0, first
+assert first["tiers"]["miss"] == first["layers"], first
+assert first["scheduled"] == first["layers"], first
+assert not first["converged"], first
+payoffs = [l["payoff"] for l in first["layer_status"]]
+assert any(payoffs[i] < payoffs[i + 1]
+           for i in range(len(payoffs) - 1)), \
+    "layer payoffs monotone in network order: schedule would be " \
+    "indistinguishable from FIFO"
+
+# Drain the background tuner, then poll: miss -> scheduled ->
+# exact convergence (the poll itself re-dispatches stragglers).
+for _ in range(32):
+    drained = rpc({"id": 2, "cmd": "drain"})
+    assert drained["drained"] is True, drained
+    status = rpc({"id": 3, "cmd": "graph_status",
+                  "graph": first["graph"]})
+    if status["converged"]:
+        break
+else:
+    raise AssertionError(f"graph never converged: {status}")
+assert status["tiers"]["exact"] == status["layers"], status
+assert status["coverage"] == 1.0, status
+
+# A converged model compiles into one library: every layer
+# dispatches, shared kernels are emitted once.
+second = rpc({"id": 4, "cmd": "graph", "network": "resnet50",
+              "batch": 16, "emit": "inline"})
+assert second["converged"], second
+assert second["emitted"] == second["layers"], second
+assert second["library"], second
+open(sys.argv[2], "w").write(second["header"])
+
+stats = rpc({"id": 5, "cmd": "stats"})
+assert stats["graph"]["requests"] >= 2, stats
+assert stats["graph"]["deduped"] > 0, stats
+assert stats["graph"]["scheduled"] >= first["scheduled"], stats
+print(f"graph smoke: {first['layers']} layers "
+      f"({first['deduped']} deduped), {first['scheduled']} "
+      f"scheduled, converged, {second['emitted']} kernels emitted")
+s.close()
+EOF
+
+    # The emitted dispatch header is self-contained C++: the header
+    # written server-side and the inline copy must both compile.
+    local emitted
+    emitted=$(ls "$out/libs"/graph_*.h 2> /dev/null | tail -1)
+    if [[ -z "$emitted" ]]; then
+        echo "no dispatch header written to --graph-dir" >&2
+        return 1
+    fi
+    c++ -std=c++17 -fsyntax-only -x c++ "$emitted" || {
+        echo "emitted dispatch header does not compile" >&2
+        return 1
+    }
+    c++ -std=c++17 -fsyntax-only -x c++ "$out/header.txt" || {
+        echo "inline dispatch header does not compile" >&2
+        return 1
+    }
+
+    kill -TERM "$server_pid"
+    local rc=0
+    wait "$server_pid" || rc=$?
+    if [[ "$rc" != 0 ]]; then
+        echo "heron_serve exited $rc after SIGTERM (want 0)" >&2
+        cat "$out/server.err" >&2
+        return 1
+    fi
+    echo "graph smoke: OK (batched resolve, payoff schedule," \
+        "converged, emitted library compiles)"
+}
+
 # Crash-recovery chaos harness out of $1: run heron_serve on a WAL
 # store dir, tune shapes to exact-tier acknowledgment, SIGKILL the
 # server at random points (mid-tune, mid-append, mid-compaction),
@@ -712,10 +839,20 @@ assert wal["o1_persist"], wal
 assert wal["growth_ratio"] < 3.0, \
     f"WAL append cost grew with store size: {wal}"
 assert wal["replay_ms"] > 0, wal
+graph = bench["graph"]
+assert graph["deduped"] > 0, graph
+assert graph["converged"], graph
+# Batched resolution must never lose to the sequential loop it
+# replaces; 0.95 leaves room for scheduler noise, not for a real
+# regression.
+assert graph["batched_speedup"] >= 0.95, \
+    f"batched graph lookup slower than sequential: {graph}"
 print(f"serve bench smoke: OK ({rate:.0f} exact lookups/sec, "
       f"metrics overhead {over:.2f}%, {scaling}, "
       f"WAL {wal['appends_per_sec']:.0f} appends/sec "
-      f"ratio {wal['growth_ratio']:.2f})")
+      f"ratio {wal['growth_ratio']:.2f}, graph batched "
+      f"{graph['batched_speedup']:.2f}x over "
+      f"{graph['keys']} keys)")
 EOF
 }
 
@@ -727,6 +864,7 @@ smoke_observability build
 smoke_csp_bench build
 smoke_serve build
 smoke_serve_tcp build
+smoke_graph build
 smoke_store_crash build
 smoke_store_degraded build
 smoke_serve_bench build
@@ -747,6 +885,7 @@ if [[ "$run_asan" == 1 ]]; then
     ASAN_OPTIONS=detect_leaks=0 smoke_observability build-asan
     ASAN_OPTIONS=detect_leaks=0 smoke_serve build-asan
     ASAN_OPTIONS=detect_leaks=0 smoke_serve_tcp build-asan
+    ASAN_OPTIONS=detect_leaks=0 smoke_graph build-asan
     ASAN_OPTIONS=detect_leaks=0 smoke_store_crash build-asan
     ASAN_OPTIONS=detect_leaks=0 smoke_store_degraded build-asan
 fi
@@ -757,7 +896,7 @@ if [[ "$run_tsan" == 1 ]]; then
     cmake --build --preset tsan -j
     TSAN_OPTIONS=halt_on_error=1 \
         ctest --preset tsan \
-        -R 'test_measure_pool|test_csp_property|test_parallel_scale|test_serve|test_server|test_store_wal' \
+        -R 'test_measure_pool|test_csp_property|test_parallel_scale|test_serve|test_server|test_store_wal|test_graph' \
         --no-tests=error
 fi
 

@@ -14,19 +14,45 @@ LibraryBuilder::LibraryBuilder(hw::DlaSpec spec, TuneConfig config)
 {
 }
 
-void
+namespace {
+
+/**
+ * First free dispatch symbol derived from @p base: the base itself,
+ * then base_2, base_3, ... Distinct workloads may sanitize to the
+ * same identifier (names are user-facing, symbols are not), and a
+ * library with two same-named kernels would not link.
+ */
+std::string
+unique_kernel_name(const std::string &base,
+                   std::unordered_set<std::string> &used)
+{
+    std::string name = base;
+    for (int suffix = 2; !used.insert(name).second; ++suffix)
+        name = base + "_" + std::to_string(suffix);
+    return name;
+}
+
+} // namespace
+
+std::string
 LibraryBuilder::add(ops::Workload workload)
 {
     std::string signature =
         serve::canonical_signature(workload, spec_);
-    if (!signatures_.insert(signature).second) {
-        HERON_WARN << "library builder: dropping duplicate "
-                      "workload "
+    auto it = signatures_.find(signature);
+    if (it != signatures_.end()) {
+        HERON_WARN << "library builder: duplicate workload "
                    << workload.name << " (" << signature
-                   << " already queued)";
-        return;
+                   << " already queued) aliases kernel "
+                   << it->second;
+        return it->second;
     }
+    std::string name = unique_kernel_name(
+        codegen::sanitize_identifier(workload.name), used_names_);
+    signatures_.emplace(std::move(signature), name);
+    kernel_names_.push_back(name);
     workloads_.push_back(std::move(workload));
+    return name;
 }
 
 Library
@@ -37,11 +63,11 @@ LibraryBuilder::build()
     auto tuner = make_heron_tuner(spec_, config_);
     rules::SpaceGenerator generator(spec_, rules::Options::heron());
 
-    for (const auto &workload : workloads_) {
+    for (size_t w = 0; w < workloads_.size(); ++w) {
+        const auto &workload = workloads_[w];
         LibraryEntry entry;
         entry.workload = workload;
-        entry.kernel_name =
-            codegen::sanitize_identifier(workload.name);
+        entry.kernel_name = kernel_names_[w];
         if (tuner->supports(workload)) {
             auto outcome = tuner->tune(workload);
             if (outcome.result.found()) {
@@ -58,6 +84,164 @@ LibraryBuilder::build()
         library.entries.push_back(std::move(entry));
     }
     return library;
+}
+
+NetworkLibrary
+LibraryBuilder::emit_network(
+    const std::string &network_name,
+    const std::vector<NetworkLayerSpec> &layers) const
+{
+    NetworkLibrary library;
+    library.network = network_name;
+    library.spec = spec_;
+    rules::SpaceGenerator generator(spec_, rules::Options::heron());
+    std::unordered_map<std::string, int> by_signature;
+    std::unordered_set<std::string> used_names;
+
+    for (const auto &layer : layers) {
+        library.instances += layer.count;
+        library.layer_counts.push_back(layer.count);
+        std::string signature =
+            serve::canonical_signature(layer.workload, spec_);
+        auto existing = by_signature.find(signature);
+        if (existing != by_signature.end()) {
+            // Shared workload: the layer aliases the kernel already
+            // emitted for the first occurrence.
+            library.layer_entry.push_back(existing->second);
+            ++library.deduped;
+            continue;
+        }
+
+        LibraryEntry entry;
+        entry.workload = layer.workload;
+        entry.kernel_name = unique_kernel_name(
+            codegen::sanitize_identifier(layer.workload.name),
+            used_names);
+        if (layer.record && !layer.record->assignment.empty()) {
+            // Records come from outside (registry, store, wire), so
+            // re-validate instead of trusting: the assignment must
+            // bind against a freshly generated space for this shape
+            // before any source is emitted from it.
+            auto space = generator.generate(layer.workload);
+            std::string error;
+            if (auto program = space.try_bind(
+                    layer.record->assignment, &error)) {
+                entry.tuned = true;
+                entry.best = layer.record->assignment;
+                entry.latency_ms = layer.record->latency_ms;
+                entry.gflops = layer.record->gflops;
+                entry.source =
+                    codegen::emit_source(space, *program);
+                ++library.emitted;
+            } else {
+                HERON_WARN << "emit_network: record for "
+                           << layer.workload.name
+                           << " does not bind (" << error
+                           << "); layer left unresolved";
+            }
+        }
+        int index = static_cast<int>(library.entries.size());
+        by_signature.emplace(std::move(signature), index);
+        library.entries.push_back(std::move(entry));
+        library.layer_entry.push_back(index);
+    }
+    return library;
+}
+
+std::string
+NetworkLibrary::emit_header(const std::string &library_name) const
+{
+    std::ostringstream out;
+    std::string ns = codegen::sanitize_identifier(library_name);
+    std::string guard = ns;
+    for (auto &c : guard)
+        c = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+    out << "// " << library_name << ": generated by Heron for "
+        << spec.name << " (network " << network << ", "
+        << layer_entry.size() << " layers, " << instances
+        << " instances, " << entries.size()
+        << " distinct kernels)\n";
+    out << "#ifndef " << guard << "_H\n#define " << guard
+        << "_H\n\n#include <cstdint>\n\n";
+    out << "namespace " << ns << " {\n\n";
+
+    // Deduped kernels are emitted exactly once: one prototype per
+    // entry, however many layers alias it.
+    for (const auto &entry : entries) {
+        if (!entry.tuned)
+            continue;
+        out << "// " << entry.workload.label() << ": "
+            << static_cast<int64_t>(entry.gflops) << " GFLOP/s ("
+            << entry.latency_ms << " ms)\n";
+        out << "void " << entry.kernel_name
+            << "(const void *inputs[], void *output);\n\n";
+    }
+
+    out << "using KernelFn = void (*)(const void *[], void *);\n\n";
+    out << "/** Instances of each layer in the network. */\n";
+    out << "inline int64_t\nlayer_count(int layer)\n{\n"
+           "    static const int64_t counts[] = {";
+    // layer_entry and the per-layer counts are parallel by
+    // construction; reconstruct counts from entries is impossible
+    // (aliased layers share an entry), so the header carries them.
+    for (size_t i = 0; i < layer_counts.size(); ++i)
+        out << (i ? ", " : "") << layer_counts[i];
+    out << "};\n    if (layer < 0 || layer >= "
+        << layer_counts.size() << ") return 0;\n"
+           "    return counts[layer];\n}\n\n";
+
+    out << "/** Dispatch by layer index; every layer of the\n"
+           " *  network has a case. Aliased (deduped) layers\n"
+           " *  return the shared kernel; unresolved layers\n"
+           " *  return nullptr until tuned. */\n";
+    out << "inline KernelFn\ndispatch_layer(int layer)\n{\n"
+           "    switch (layer) {\n";
+    for (size_t i = 0; i < layer_entry.size(); ++i) {
+        int e = layer_entry[i];
+        out << "      case " << i << ": ";
+        if (e >= 0 &&
+            static_cast<size_t>(e) < entries.size() &&
+            entries[static_cast<size_t>(e)].tuned) {
+            out << "return &"
+                << entries[static_cast<size_t>(e)].kernel_name
+                << ";";
+        } else {
+            out << "return nullptr; // unresolved";
+        }
+        out << "\n";
+    }
+    out << "    }\n    return nullptr;\n}\n\n";
+    out << "} // namespace " << ns << "\n\n#endif\n";
+    return out.str();
+}
+
+std::string
+NetworkLibrary::summary() const
+{
+    TextTable table({"layer", "kernel", "workload", "count",
+                     "GFLOP/s", "status"});
+    table.set_title("Network library " + network + " for " +
+                    spec.name);
+    for (size_t i = 0; i < layer_entry.size(); ++i) {
+        int e = layer_entry[i];
+        const LibraryEntry *entry =
+            e >= 0 && static_cast<size_t>(e) < entries.size()
+                ? &entries[static_cast<size_t>(e)]
+                : nullptr;
+        table.add_row(
+            {std::to_string(i),
+             entry ? entry->kernel_name : "-",
+             entry ? entry->workload.label() : "?",
+             i < layer_counts.size()
+                 ? std::to_string(layer_counts[i])
+                 : "1",
+             entry && entry->tuned
+                 ? TextTable::fmt(entry->gflops, 0)
+                 : "-",
+             entry && entry->tuned ? "tuned" : "unresolved"});
+    }
+    return table.to_string();
 }
 
 std::string

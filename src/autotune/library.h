@@ -8,10 +8,13 @@
 #ifndef HERON_AUTOTUNE_LIBRARY_H
 #define HERON_AUTOTUNE_LIBRARY_H
 
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "autotune/record.h"
 #include "autotune/tuner.h"
 
 namespace heron::autotune {
@@ -52,6 +55,53 @@ struct Library {
     std::string summary() const;
 };
 
+/**
+ * One layer of a network handed to LibraryBuilder::emit_network:
+ * the workload, how many times the network instantiates it, and
+ * (when resolution succeeded) the tuned record whose assignment the
+ * kernel is generated from. A layer without a record still gets a
+ * dispatch-table slot — it dispatches to nullptr until tuned.
+ */
+struct NetworkLayerSpec {
+    ops::Workload workload;
+    int64_t count = 1;
+    std::optional<TuningRecord> record;
+};
+
+/**
+ * A whole model compiled as one dispatchable library: distinct
+ * kernels emitted once, every layer index mapped onto them through
+ * a single dispatch function (emit_header's dispatch_layer).
+ */
+struct NetworkLibrary {
+    std::string network;
+    hw::DlaSpec spec;
+    /** Distinct kernels, in first-appearance layer order. */
+    std::vector<LibraryEntry> entries;
+    /** Layer index -> index into entries (deduped layers alias). */
+    std::vector<int> layer_entry;
+    /** Layer index -> instance count (parallel to layer_entry). */
+    std::vector<int64_t> layer_counts;
+    /** Total layer instances across the network (Σ count). */
+    int64_t instances = 0;
+    /** Layers that aliased an earlier layer's kernel. */
+    int64_t deduped = 0;
+    /** Entries with generated source (tuned && bound). */
+    int64_t emitted = 0;
+
+    /**
+     * The model's public header: one prototype per emitted kernel
+     * (deduped kernels appear exactly once) and a dispatch_layer(i)
+     * function whose switch covers *every* layer index — aliased
+     * layers return the shared kernel, unresolved layers return
+     * nullptr. Self-contained C++ (compiles with -fsyntax-only).
+     */
+    std::string emit_header(const std::string &library_name) const;
+
+    /** Human-readable per-layer report. */
+    std::string summary() const;
+};
+
 /** Tunes a workload set and emits the library. */
 class LibraryBuilder
 {
@@ -59,12 +109,17 @@ class LibraryBuilder
     LibraryBuilder(hw::DlaSpec spec, TuneConfig config);
 
     /**
-     * Queue a workload. Workloads that duplicate an already-queued
-     * canonical signature (same op kind, normalized shape, dtype,
-     * and DLA — the display name does not matter) are dropped with
-     * a warning instead of being tuned twice.
+     * Queue a workload and return the kernel (dispatch) name its
+     * tuned entry will carry. Workloads that duplicate an
+     * already-queued canonical signature (same op kind, normalized
+     * shape, dtype, and DLA — the display name does not matter) are
+     * not tuned twice: the duplicate returns the *canonical
+     * existing entry's* kernel name so callers can alias it.
+     * Distinct workloads whose display names sanitize to the same
+     * identifier get a numeric suffix (collision-free dispatch
+     * symbols are part of the contract).
      */
-    void add(ops::Workload workload);
+    std::string add(ops::Workload workload);
 
     /** Number of queued workloads (after dedup). */
     size_t size() const { return workloads_.size(); }
@@ -72,12 +127,29 @@ class LibraryBuilder
     /** Tune everything and package the results. */
     Library build();
 
+    /**
+     * Compile an already-resolved network (e.g. records served by
+     * the kernel registry) into a single dispatchable library. No
+     * tuning happens here: each distinct layer's record assignment
+     * is re-validated against a freshly generated space (try_bind)
+     * and its kernel source emitted once; layers sharing a
+     * canonical signature alias one entry. Uses the same
+     * signature-dedup and name-collision rules as add().
+     */
+    NetworkLibrary
+    emit_network(const std::string &network_name,
+                 const std::vector<NetworkLayerSpec> &layers) const;
+
   private:
     hw::DlaSpec spec_;
     TuneConfig config_;
     std::vector<ops::Workload> workloads_;
-    /** Canonical signatures of queued workloads (the dedup set). */
-    std::unordered_set<std::string> signatures_;
+    /** Queued kernel names, parallel to workloads_. */
+    std::vector<std::string> kernel_names_;
+    /** Canonical signature -> assigned kernel name (dedup map). */
+    std::unordered_map<std::string, std::string> signatures_;
+    /** Kernel names already handed out (collision avoidance). */
+    std::unordered_set<std::string> used_names_;
 };
 
 } // namespace heron::autotune

@@ -111,6 +111,164 @@ parse_dtype(const std::string &name)
     return std::nullopt;
 }
 
+/**
+ * Depth-aware array extraction: json_extract stops at the first
+ * ']', which truncates an array of objects that themselves hold
+ * arrays (a graph request's "layers"). Returns the body between
+ * the matching brackets.
+ */
+std::optional<std::string>
+extract_nested_array(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    pos += needle.size();
+    while (pos < line.size() && line[pos] == ' ')
+        ++pos;
+    if (pos >= line.size() || line[pos] != '[')
+        return std::nullopt;
+    int depth = 0;
+    for (size_t i = pos; i < line.size(); ++i) {
+        if (line[i] == '[')
+            ++depth;
+        else if (line[i] == ']' && --depth == 0)
+            return line.substr(pos + 1, i - pos - 1);
+    }
+    return std::nullopt;
+}
+
+/** Split an array body into its top-level {...} objects. */
+std::vector<std::string>
+split_objects(const std::string &body)
+{
+    std::vector<std::string> objects;
+    int depth = 0;
+    size_t start = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+        if (body[i] == '{') {
+            if (depth++ == 0)
+                start = i;
+        } else if (body[i] == '}' && --depth == 0) {
+            objects.push_back(body.substr(start, i - start + 1));
+        }
+    }
+    return objects;
+}
+
+/** Resolve the dtype for one request/layer object. */
+std::optional<ir::DataType>
+dtype_for(const std::string &object, const hw::DlaSpec &spec,
+          std::string *error)
+{
+    ir::DataType dtype = spec.kind == hw::DlaKind::kTensorCore
+                             ? ir::DataType::kFloat16
+                             : ir::DataType::kInt8;
+    if (auto name = json_extract(object, "dtype")) {
+        auto parsed = parse_dtype(*name);
+        if (!parsed) {
+            *error = "unknown dtype '" + *name + "'";
+            return std::nullopt;
+        }
+        dtype = *parsed;
+    }
+    return dtype;
+}
+
+/**
+ * Parse a graph request's network: either a built-in benchmark
+ * ("network" + optional "batch") or an explicit "layers" array of
+ * lookup-shaped objects with optional per-layer "count".
+ */
+std::optional<ops::Network>
+parse_network(const std::string &line, const hw::DlaSpec &spec,
+              std::string *error)
+{
+    if (auto name = json_extract(line, "network")) {
+        int batch = 16;
+        if (auto b = json_extract(line, "batch")) {
+            batch = std::atoi(b->c_str());
+            if (batch < 1) {
+                *error = "batch must be >= 1";
+                return std::nullopt;
+            }
+        }
+        if (*name == "resnet50")
+            return ops::resnet50(batch);
+        if (*name == "inception_v3")
+            return ops::inception_v3(batch);
+        if (*name == "vgg16")
+            return ops::vgg16(batch);
+        if (*name == "bert")
+            return ops::bert(batch);
+        *error = "unknown network '" + *name +
+                 "' (resnet50, inception_v3, vgg16, bert)";
+        return std::nullopt;
+    }
+
+    auto body = extract_nested_array(line, "layers");
+    if (!body) {
+        *error = "graph needs \"network\" or \"layers\"";
+        return std::nullopt;
+    }
+    ops::Network network;
+    if (auto name = json_extract(line, "name"))
+        network.name = *name;
+    else
+        network.name = "graph";
+    for (const auto &object : split_objects(*body)) {
+        auto op = json_extract(object, "op");
+        auto shape = json_extract(object, "shape");
+        if (!op || !shape) {
+            *error = "graph layer needs \"op\" and \"shape\"";
+            return std::nullopt;
+        }
+        auto dtype = dtype_for(object, spec, error);
+        if (!dtype)
+            return std::nullopt;
+        auto workload = build_workload(*op, parse_params(*shape),
+                                       *dtype, error);
+        if (!workload)
+            return std::nullopt;
+        ops::NetworkLayer layer;
+        layer.workload = std::move(*workload);
+        if (auto count = json_extract(object, "count")) {
+            layer.count = std::atoi(count->c_str());
+            if (layer.count < 1) {
+                *error = "layer count must be >= 1";
+                return std::nullopt;
+            }
+        }
+        network.layers.push_back(std::move(layer));
+    }
+    if (network.layers.empty()) {
+        *error = "graph has no layers";
+        return std::nullopt;
+    }
+    return network;
+}
+
+/** json_escape plus newline escaping for multi-line payloads. */
+std::string
+escape_multiline(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (c == '\t') {
+            out += "\\t";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 const char *
@@ -119,6 +277,10 @@ request_kind_name(Request::Kind kind)
     switch (kind) {
       case Request::Kind::kLookup:
         return "lookup";
+      case Request::Kind::kGraph:
+        return "graph";
+      case Request::Kind::kGraphStatus:
+        return "graph_status";
       case Request::Kind::kStats:
         return "stats";
       case Request::Kind::kMetrics:
@@ -146,6 +308,40 @@ parse_request(const std::string &line, const hw::DlaSpec &spec,
         request.id = std::atoll(id->c_str());
 
     if (auto cmd = json_extract(line, "cmd")) {
+        if (*cmd == "graph") {
+            auto network = parse_network(line, spec, error);
+            if (!network)
+                return std::nullopt;
+            request.kind = Request::Kind::kGraph;
+            request.network = std::move(*network);
+            if (auto emit = json_extract(line, "emit")) {
+                if (*emit != "inline") {
+                    *error = "unknown emit mode '" + *emit + "'";
+                    return std::nullopt;
+                }
+                request.graph_inline = true;
+            }
+            if (auto deadline =
+                    json_extract(line, "deadline_ms")) {
+                double ms = std::atof(deadline->c_str());
+                if (ms < 0.0) {
+                    *error = "deadline_ms must be >= 0";
+                    return std::nullopt;
+                }
+                request.deadline_ms = ms;
+            }
+            return request;
+        }
+        if (*cmd == "graph_status") {
+            auto graph = json_extract(line, "graph");
+            if (!graph) {
+                *error = "graph_status needs \"graph\"";
+                return std::nullopt;
+            }
+            request.kind = Request::Kind::kGraphStatus;
+            request.graph_id = std::atoll(graph->c_str());
+            return request;
+        }
         if (*cmd == "stats")
             request.kind = Request::Kind::kStats;
         else if (*cmd == "metrics")
@@ -236,11 +432,56 @@ format_lookup_response(int64_t id, const LookupResult &result,
 }
 
 std::string
+format_graph_response(int64_t id, const GraphResult &result)
+{
+    std::ostringstream out;
+    out << std::setprecision(6);
+    out << "{\"id\":" << id << ",\"graph\":" << result.id
+        << ",\"name\":\"" << json_escape(result.name)
+        << "\",\"layers\":" << result.layers
+        << ",\"instances\":" << result.instances
+        << ",\"deduped\":" << result.deduped
+        << ",\"tiers\":{\"exact\":" << result.exact
+        << ",\"nearest\":" << result.nearest
+        << ",\"miss\":" << result.miss << "}"
+        << ",\"scheduled\":" << result.scheduled
+        << ",\"emitted\":" << result.emitted
+        << ",\"coverage\":" << result.coverage
+        << ",\"converged\":"
+        << (result.converged ? "true" : "false");
+    if (result.library_path.empty())
+        out << ",\"library\":null";
+    else
+        out << ",\"library\":\""
+            << json_escape(result.library_path) << "\"";
+    out << ",\"layer_status\":[";
+    for (size_t i = 0; i < result.layer_status.size(); ++i) {
+        const GraphLayerStatus &layer = result.layer_status[i];
+        out << (i ? "," : "") << "{\"key\":\""
+            << json_escape(layer.key) << "\",\"count\":"
+            << layer.count << ",\"tier\":\""
+            << lookup_tier_name(layer.tier) << "\"";
+        if (layer.tier == LookupTier::kNearest)
+            out << ",\"distance\":" << layer.distance;
+        out << ",\"payoff\":" << layer.payoff
+            << ",\"scheduled\":" << (layer.scheduled ? 1 : 0)
+            << "}";
+    }
+    out << "]";
+    if (!result.library_header.empty())
+        out << ",\"header\":\""
+            << escape_multiline(result.library_header) << "\"";
+    out << "}";
+    return out.str();
+}
+
+std::string
 format_stats_response(int64_t id, const KernelRegistry &registry,
                       const TuneQueue *queue,
                       const ServeRuntime *runtime,
                       const SloStatus *slo,
-                      const DurableStore *store)
+                      const DurableStore *store,
+                      const GraphServiceStats *graph)
 {
     RegistryStats stats = registry.stats();
     std::ostringstream out;
@@ -270,6 +511,15 @@ format_stats_response(int64_t id, const KernelRegistry &registry,
             << ",\"persist_retries\":" << qs.persist_retries
             << ",\"rejected_degraded\":" << qs.rejected_degraded
             << "}";
+    }
+    if (graph) {
+        out << ",\"graph\":{\"requests\":" << graph->requests
+            << ",\"status_requests\":" << graph->status_requests
+            << ",\"layers\":" << graph->layers
+            << ",\"deduped\":" << graph->deduped
+            << ",\"emitted\":" << graph->emitted
+            << ",\"scheduled\":" << graph->scheduled
+            << ",\"active\":" << graph->active << "}";
     }
     if (store)
         out << ",\"store\":" << store->stats().to_json();

@@ -19,6 +19,25 @@
  * {"id":...,"error":"deadline_exceeded"} instead of burning solver
  * time (see serve/registry.h LookupOptions).
  *
+ * Graph requests (whole-network serving; see serve/graph.h):
+ *   {"id":7,"cmd":"graph","network":"resnet50","batch":16}
+ *   {"id":7,"cmd":"graph","name":"tiny","layers":[
+ *      {"op":"c2d","shape":[16,64,56,56,64,3,3,1,1],"count":3},
+ *      {"op":"gemm","shape":[16,1000,2048]}]}
+ *   {"id":8,"cmd":"graph_status","graph":1}
+ * The named form instantiates a built-in benchmark network
+ * (resnet50, inception_v3, vgg16, bert) at the given batch size;
+ * the explicit form lists layers with the same op/shape/dtype
+ * conventions as a lookup plus an optional per-layer "count".
+ * "emit":"inline" on a graph request returns the generated dispatch
+ * header in the response ("header") besides writing it to the
+ * server's --graph-dir. "deadline_ms" is honored as for lookups
+ * (propagated into the batched resolution). The response reports
+ * the graph id (for graph_status), dedupe and per-tier counts, the
+ * payoff-ordered tune schedule size, and per-layer status; a
+ * graph_status poll re-reports those as background tunes land,
+ * converging to "converged":true.
+ *
  * Control requests:
  *   {"id":9,"cmd":"stats"}     tier counters + registry/queue sizes
  *                              + uptime/pid/build + SLO status
@@ -49,6 +68,8 @@
 #include <optional>
 #include <string>
 
+#include "ops/networks.h"
+#include "serve/graph.h"
 #include "serve/observe.h"
 #include "serve/registry.h"
 #include "serve/slo.h"
@@ -62,6 +83,8 @@ class DurableStore;
 struct Request {
     enum class Kind : uint8_t {
         kLookup = 0,
+        kGraph,
+        kGraphStatus,
         kStats,
         kMetrics,
         kDrain,
@@ -75,6 +98,12 @@ struct Request {
     int64_t id = 0;
     /** Lookup payload (kLookup only). */
     ops::Workload workload;
+    /** Graph payload (kGraph only). */
+    ops::Network network;
+    /** Target graph id (kGraphStatus only). */
+    int64_t graph_id = 0;
+    /** Return the emitted dispatch header inline (kGraph only). */
+    bool graph_inline = false;
     /**
      * Per-request latency budget in milliseconds, relative to
      * arrival (0 = none). Propagated into the registry lookup.
@@ -104,6 +133,16 @@ std::string format_lookup_response(int64_t id,
                                    bool degraded = false);
 
 /**
+ * Response line for a graph (or graph_status) result: graph id,
+ * dedupe/tier/schedule accounting, coverage, the emitted library
+ * path, and a per-layer status array. GraphResult::library_header,
+ * when present, rides along as "header" (newline-escaped so the
+ * response stays one NDJSON line).
+ */
+std::string format_graph_response(int64_t id,
+                                  const GraphResult &result);
+
+/**
  * Response line for {"cmd":"stats"}: per-tier counters, registry
  * size/inserts, and queue accounting. With @p runtime, adds
  * uptime_s/pid and the baked-in build identity (compiler, sanitizer
@@ -117,6 +156,8 @@ std::string format_stats_response(int64_t id,
                                       nullptr,
                                   const SloStatus *slo = nullptr,
                                   const DurableStore *store =
+                                      nullptr,
+                                  const GraphServiceStats *graph =
                                       nullptr);
 
 /**

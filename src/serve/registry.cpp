@@ -408,6 +408,17 @@ KernelRegistry::lookup(const ops::Workload &workload,
         }
     }
 
+    LookupResult result = lookup_slow(workload, std::move(key),
+                                      options);
+    observe();
+    return result;
+}
+
+LookupResult
+KernelRegistry::lookup_slow(const ops::Workload &workload,
+                            WorkloadKey key,
+                            const LookupOptions &options)
+{
     // Saturated negative cache: this workload has missed (or failed
     // to tune) repeatedly — answer immediately without paying the
     // fallback scan or re-enqueueing.
@@ -417,7 +428,6 @@ KernelRegistry::lookup(const ops::Workload &workload,
         LookupResult result;
         result.tier = LookupTier::kNegative;
         result.key = std::move(key);
-        observe();
         return result;
     }
 
@@ -429,8 +439,8 @@ KernelRegistry::lookup(const ops::Workload &workload,
             HERON_COUNTER_INC("serve.lookup.nearest");
             // A fallback answer is approximate; keep the background
             // tuner converging this shape to an exact record.
-            fallback->enqueued = dispatch_miss(workload, key);
-            observe();
+            if (options.dispatch_miss)
+                fallback->enqueued = dispatch_miss(workload, key);
             return *fallback;
         }
     }
@@ -447,10 +457,98 @@ KernelRegistry::lookup(const ops::Workload &workload,
     LookupResult result;
     result.tier = LookupTier::kMiss;
     result.deadline_expired = deadline_expired;
-    result.enqueued = dispatch_miss(workload, key);
+    if (options.dispatch_miss)
+        result.enqueued = dispatch_miss(workload, key);
     result.key = std::move(key);
-    observe();
     return result;
+}
+
+std::vector<LookupResult>
+KernelRegistry::lookup_batch(
+    const std::vector<ops::Workload> &workloads,
+    const LookupOptions &options)
+{
+    HERON_TRACE_SCOPE("serve/lookup_batch");
+    auto start = std::chrono::steady_clock::now();
+    std::vector<LookupResult> results(workloads.size());
+    if (workloads.empty())
+        return results;
+    HERON_COUNTER_INC("serve.lookup.batched");
+    HERON_COUNTER_ADD("serve.lookup.batched_keys",
+                      static_cast<int64_t>(workloads.size()));
+
+    // Group queries per shard so each touched shard's snapshot is
+    // protected exactly once, the read-side mirror of load_records'
+    // one-publish-per-shard write batching. Grouping is S scans
+    // over a precomputed shard-id array rather than per-shard index
+    // buckets: for serving-sized batches the bucket allocations
+    // cost more than the probes they would save, and a batch must
+    // never lose to the sequential loop it replaces.
+    std::vector<WorkloadKey> keys;
+    keys.reserve(workloads.size());
+    std::vector<uint32_t> shard_of(workloads.size());
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        keys.push_back(make_key(workloads[i], spec_));
+        shard_of[i] = static_cast<uint32_t>(keys[i].hash() %
+                                            shards_.size());
+    }
+
+    std::vector<bool> resolved(workloads.size(), false);
+    size_t remaining = workloads.size();
+    int64_t exact = 0;
+    {
+        support::HazardDomain::Guard guard;
+        for (size_t s = 0; s < shards_.size() && remaining > 0;
+             ++s) {
+            const Map *map = nullptr;
+            for (size_t i = 0; i < workloads.size(); ++i) {
+                if (shard_of[i] != s)
+                    continue;
+                if (map == nullptr)
+                    map = guard.protect(shards_[s]->current);
+                auto it = map->find(keys[i]);
+                if (it == map->end())
+                    continue;
+                LookupResult &result = results[i];
+                result.tier = LookupTier::kExact;
+                result.record = it->second.record;
+                result.key = std::move(keys[i]);
+                resolved[i] = true;
+                --remaining;
+                ++exact;
+            }
+        }
+    }
+    if (exact > 0) {
+        exact_hits_.fetch_add(exact, std::memory_order_relaxed);
+        HERON_COUNTER_ADD("serve.lookup.exact", exact);
+    }
+
+    // Leftovers pay the same slow path a single lookup would, so
+    // batch and sequential resolution agree tier-for-tier.
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        if (!resolved[i])
+            results[i] = lookup_slow(workloads[i],
+                                     std::move(keys[i]), options);
+    }
+    double batch_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    HERON_HISTOGRAM_OBSERVE("serve.lookup.batch_us", batch_us);
+    return results;
+}
+
+std::optional<autotune::TuningRecord>
+KernelRegistry::peek(const WorkloadKey &key) const
+{
+    const Shard &shard = shard_for(key);
+    support::HazardDomain::Guard guard;
+    const Map *map = guard.protect(shard.current);
+    auto it = map->find(key);
+    if (it == map->end())
+        return std::nullopt;
+    return it->second.record;
 }
 
 bool

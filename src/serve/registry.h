@@ -80,6 +80,13 @@ const char *lookup_tier_name(LookupTier tier);
 struct LookupOptions {
     /** Absolute wall-clock budget (unset = unlimited). */
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    /**
+     * Hand misses (and nearest-tier hits) to the registered miss
+     * handler. Graph resolution turns this off so the payoff
+     * scheduler — not registry key order — decides the tune order;
+     * the single-op path leaves it on.
+     */
+    bool dispatch_miss = true;
 };
 
 /** Outcome of one registry lookup. */
@@ -210,6 +217,32 @@ class KernelRegistry
     /** Three-tier lookup for @p workload (see file header). */
     LookupResult lookup(const ops::Workload &workload,
                         const LookupOptions &options = {});
+
+    /**
+     * Resolve a batch of workloads in one pass. Exact hits are
+     * answered by grouping the queries per shard and probing each
+     * touched shard's hazard-protected snapshot *once* — one guard
+     * acquisition per shard instead of one per query — then only
+     * the leftovers pay the per-query slow path (negative cache,
+     * fallback scan, miss dispatch), identical in behavior to
+     * lookup(). Results are returned in input order. Per-tier
+     * counters are maintained per query; the whole pass observes
+     * one `serve.lookup.batch_us` histogram sample (per-query
+     * latency histograms are not inflated with 1/n shares).
+     */
+    std::vector<LookupResult>
+    lookup_batch(const std::vector<ops::Workload> &workloads,
+                 const LookupOptions &options = {});
+
+    /**
+     * Pure exact-tier probe: the served record for @p key, or
+     * nullopt. No counters, no fallback, no miss dispatch, no
+     * negative-cache traffic — made for status polling (e.g.
+     * graph_status convergence checks) that must not perturb the
+     * serving statistics it reports.
+     */
+    std::optional<autotune::TuningRecord>
+    peek(const WorkloadKey &key) const;
 
     /**
      * Insert @p record as the tuned result for @p workload,
@@ -380,6 +413,15 @@ class KernelRegistry
     /** Invoke the miss handler (false when none installed). */
     bool dispatch_miss(const ops::Workload &workload,
                        const WorkloadKey &key);
+
+    /**
+     * Everything after a failed exact probe: negative cache, then
+     * fallback, then miss accounting + handler dispatch. Shared by
+     * lookup() and lookup_batch() so the two paths cannot drift.
+     */
+    LookupResult lookup_slow(const ops::Workload &workload,
+                             WorkloadKey key,
+                             const LookupOptions &options);
 };
 
 } // namespace heron::serve

@@ -60,6 +60,33 @@ send_reject_and_close(int fd, const std::string &line)
     ::close(fd);
 }
 
+/**
+ * Turn a registry result into the lookup response (tier, error
+ * mapping, degraded flag). Shared by execute_request and the
+ * batched worker path so the wire format cannot drift between the
+ * single and pipelined lookups.
+ */
+void
+fill_lookup_response(const Request &request,
+                     const LookupResult &result,
+                     const ServeContext &ctx, ExecutedRequest *out)
+{
+    out->tier = result.tier;
+    if (!result.hit() && result.deadline_expired) {
+        HERON_COUNTER_INC("serve.request.deadline_exceeded");
+        out->response =
+            format_error_response(request.id, "deadline_exceeded");
+        out->ok = false;
+        out->deadline_exceeded = true;
+        return;
+    }
+    // A degraded store pauses tune intake; flag the miss so
+    // clients can tell the pause from a full queue.
+    bool degraded = ctx.store != nullptr && !ctx.store->healthy();
+    out->response =
+        format_lookup_response(request.id, result, degraded);
+}
+
 } // namespace
 
 ExecutedRequest
@@ -99,22 +126,53 @@ execute_request(const Request &request, Clock::time_point arrival,
         LookupResult result =
             registry.lookup(request.workload, options);
         serialize_start = Clock::now();
-        out.tier = result.tier;
-        if (!result.hit() && result.deadline_expired) {
-            HERON_COUNTER_INC("serve.request.deadline_exceeded");
-            out.response = format_error_response(
-                request.id, "deadline_exceeded");
-            out.ok = false;
-            out.deadline_exceeded = true;
-        } else {
-            // A degraded store pauses tune intake; flag the miss so
-            // clients can tell the pause from a full queue.
-            bool degraded = ctx.store != nullptr &&
-                            !ctx.store->healthy();
-            out.response = format_lookup_response(request.id,
-                                                  result, degraded);
-        }
+        fill_lookup_response(request, result, ctx, &out);
         HERON_HISTOGRAM_OBSERVE("serve.request.lookup_us",
+                                ms_since(arrival) * 1e3);
+        break;
+      }
+      case Request::Kind::kGraph: {
+        if (ctx.graph == nullptr) {
+            out.response = format_error_response(
+                request.id, "graph serving disabled");
+            out.ok = false;
+            break;
+        }
+        LookupOptions options;
+        if (request.deadline_ms > 0.0)
+            options.deadline =
+                arrival +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        request.deadline_ms));
+        GraphResult result = ctx.graph->handle_graph(
+            request.network, options, request.graph_inline);
+        serialize_start = Clock::now();
+        out.response = format_graph_response(request.id, result);
+        HERON_HISTOGRAM_OBSERVE("serve.request.graph_us",
+                                ms_since(arrival) * 1e3);
+        break;
+      }
+      case Request::Kind::kGraphStatus: {
+        if (ctx.graph == nullptr) {
+            out.response = format_error_response(
+                request.id, "graph serving disabled");
+            out.ok = false;
+            break;
+        }
+        auto result = ctx.graph->handle_status(request.graph_id);
+        serialize_start = Clock::now();
+        if (result) {
+            out.response =
+                format_graph_response(request.id, *result);
+        } else {
+            out.response = format_error_response(
+                request.id,
+                "unknown graph " +
+                    std::to_string(request.graph_id));
+            out.ok = false;
+        }
+        HERON_HISTOGRAM_OBSERVE("serve.request.graph_status_us",
                                 ms_since(arrival) * 1e3);
         break;
       }
@@ -122,10 +180,14 @@ execute_request(const Request &request, Clock::time_point arrival,
         SloStatus slo_status;
         if (ctx.slo)
             slo_status = ctx.slo->status();
+        GraphServiceStats graph_stats;
+        if (ctx.graph)
+            graph_stats = ctx.graph->stats();
         serialize_start = Clock::now();
         out.response = format_stats_response(
             request.id, registry, queue, ctx.runtime,
-            ctx.slo ? &slo_status : nullptr, ctx.store);
+            ctx.slo ? &slo_status : nullptr, ctx.store,
+            ctx.graph ? &graph_stats : nullptr);
         HERON_HISTOGRAM_OBSERVE("serve.request.stats_us",
                                 ms_since(arrival) * 1e3);
         break;
@@ -242,6 +304,7 @@ Server::Server(KernelRegistry &registry, TuneQueue *queue,
     exec_ctx_.runtime = &runtime_;
     exec_ctx_.slo = slo_.get();
     exec_ctx_.store = config_.store;
+    exec_ctx_.graph = config_.graph;
 }
 
 Server::~Server()
@@ -1043,8 +1106,9 @@ Server::loop()
 void
 Server::worker_loop(Worker &worker)
 {
+    std::vector<WorkItem> batch;
     for (;;) {
-        WorkItem item;
+        batch.clear();
         {
             std::unique_lock<std::mutex> lock(worker.mu);
             worker.cv.wait(lock, [&] {
@@ -1054,48 +1118,111 @@ Server::worker_loop(Worker &worker)
             });
             if (worker.items.empty())
                 return; // stopping and drained
-            item = std::move(worker.items.front());
-            worker.items.pop_front();
+            // Drain the whole queue: a pipelined connection that
+            // sent several requests in one burst gets them resolved
+            // through one batched registry pass below instead of
+            // paying a shard-snapshot acquisition each.
+            while (!worker.items.empty()) {
+                batch.push_back(std::move(worker.items.front()));
+                worker.items.pop_front();
+            }
         }
-        Clock::time_point dispatched = Clock::now();
-        if (config_.debug_stall_ms > 0.0)
-            std::this_thread::sleep_for(
-                std::chrono::duration<double, std::milli>(
-                    config_.debug_stall_ms));
-        ExecutedRequest executed =
-            execute_request(item.request, item.arrival, exec_ctx_);
-        if (item.request.kind == Request::Kind::kLookup)
-            lookup_requests_.fetch_add(1,
-                                       std::memory_order_relaxed);
-        if (executed.deadline_exceeded)
-            deadline_exceeded_.fetch_add(
-                1, std::memory_order_relaxed);
-        Completion completion;
-        completion.conn_id = item.conn_id;
-        completion.response = std::move(executed.response);
-        completion.action = executed.action;
-        RequestObservation &obs = completion.obs;
-        obs.id = item.request.id;
-        obs.endpoint = request_kind_name(item.request.kind);
-        if (item.request.kind == Request::Kind::kLookup)
-            obs.tier = lookup_tier_name(executed.tier);
-        obs.ok = executed.ok;
-        obs.deadline_exceeded = executed.deadline_exceeded;
-        obs.parse_us = item.parse_us;
-        // debug_stall_ms burns inside the "queue" phase on purpose:
-        // it models a starved executor, which is queueing delay.
-        obs.queue_us = std::chrono::duration<double, std::micro>(
-                           dispatched - item.arrival)
-                           .count() +
-                       config_.debug_stall_ms * 1e3;
-        obs.handle_us = executed.handle_us;
-        obs.serialize_us = executed.serialize_us;
-        obs.has_deadline = item.request.deadline_ms > 0.0;
-        obs.deadline_ms = item.request.deadline_ms;
-        obs.arrival = item.arrival;
-        {
-            std::lock_guard<std::mutex> lock(completions_mu_);
-            completions_.push_back(std::move(completion));
+
+        // Batch eligibility: plain lookups with no deadline (a
+        // deadline needs the per-request precheck/budget logic in
+        // execute_request). debug_stall_ms disables batching so
+        // chaos tests keep their one-stall-per-request model.
+        std::vector<size_t> eligible;
+        if (config_.debug_stall_ms <= 0.0 && batch.size() >= 2) {
+            for (size_t i = 0; i < batch.size(); ++i)
+                if (batch[i].request.kind ==
+                        Request::Kind::kLookup &&
+                    batch[i].request.deadline_ms <= 0.0)
+                    eligible.push_back(i);
+        }
+        std::vector<LookupResult> batched_results;
+        double batch_share_us = 0.0;
+        if (eligible.size() >= 2) {
+            std::vector<ops::Workload> queries;
+            queries.reserve(eligible.size());
+            for (size_t i : eligible)
+                queries.push_back(batch[i].request.workload);
+            Clock::time_point batch_start = Clock::now();
+            batched_results = registry_.lookup_batch(queries);
+            batch_share_us =
+                std::chrono::duration<double, std::micro>(
+                    Clock::now() - batch_start)
+                    .count() /
+                static_cast<double>(eligible.size());
+        } else {
+            eligible.clear();
+        }
+
+        size_t next_batched = 0;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            WorkItem &item = batch[i];
+            Clock::time_point dispatched = Clock::now();
+            if (config_.debug_stall_ms > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        config_.debug_stall_ms));
+            ExecutedRequest executed;
+            if (next_batched < eligible.size() &&
+                eligible[next_batched] == i) {
+                // Answer from the batched pass; formatting is the
+                // only per-request work left.
+                Clock::time_point serialize_start = Clock::now();
+                fill_lookup_response(
+                    item.request, batched_results[next_batched],
+                    exec_ctx_, &executed);
+                executed.handle_us = batch_share_us;
+                executed.serialize_us =
+                    std::chrono::duration<double, std::micro>(
+                        Clock::now() - serialize_start)
+                        .count();
+                HERON_HISTOGRAM_OBSERVE(
+                    "serve.request.lookup_us",
+                    ms_since(item.arrival) * 1e3);
+                ++next_batched;
+            } else {
+                executed = execute_request(item.request,
+                                           item.arrival, exec_ctx_);
+            }
+            if (item.request.kind == Request::Kind::kLookup)
+                lookup_requests_.fetch_add(
+                    1, std::memory_order_relaxed);
+            if (executed.deadline_exceeded)
+                deadline_exceeded_.fetch_add(
+                    1, std::memory_order_relaxed);
+            Completion completion;
+            completion.conn_id = item.conn_id;
+            completion.response = std::move(executed.response);
+            completion.action = executed.action;
+            RequestObservation &obs = completion.obs;
+            obs.id = item.request.id;
+            obs.endpoint = request_kind_name(item.request.kind);
+            if (item.request.kind == Request::Kind::kLookup)
+                obs.tier = lookup_tier_name(executed.tier);
+            obs.ok = executed.ok;
+            obs.deadline_exceeded = executed.deadline_exceeded;
+            obs.parse_us = item.parse_us;
+            // debug_stall_ms burns inside the "queue" phase on
+            // purpose: it models a starved executor, which is
+            // queueing delay.
+            obs.queue_us =
+                std::chrono::duration<double, std::micro>(
+                    dispatched - item.arrival)
+                    .count() +
+                config_.debug_stall_ms * 1e3;
+            obs.handle_us = executed.handle_us;
+            obs.serialize_us = executed.serialize_us;
+            obs.has_deadline = item.request.deadline_ms > 0.0;
+            obs.deadline_ms = item.request.deadline_ms;
+            obs.arrival = item.arrival;
+            {
+                std::lock_guard<std::mutex> lock(completions_mu_);
+                completions_.push_back(std::move(completion));
+            }
         }
         uint64_t one = 1;
         ssize_t ignored [[maybe_unused]] =

@@ -116,6 +116,11 @@ struct ServerConfig {
     AccessLogConfig access_log;
     /** Requests slower than this dump a span breakdown (0=off). */
     double slow_request_ms = 0.0;
+    /**
+     * Whole-network graph serving (nullable = graph requests are
+     * rejected). Must outlive the server.
+     */
+    GraphService *graph = nullptr;
 };
 
 /** Monotonic server counters (mirrored to support/metrics). */
@@ -194,6 +199,8 @@ struct ServeContext {
     /** Durable store for health/stats/save and the degraded flag
      * on miss responses (nullable). */
     DurableStore *store = nullptr;
+    /** Graph serving front-end (nullable = graph cmds error). */
+    GraphService *graph = nullptr;
 };
 
 /**
